@@ -1,0 +1,110 @@
+// Ablation — why the corpus needs the two-factor Gaussian copula
+// (DESIGN.md section 2).  Three models are simulated against the same
+// yearly marginals:
+//
+//   full        w (domain sloppiness) + c_v (per-violation persistence)
+//   no-domain   w = 0: violations independent across rules
+//   no-persist  c_v = 0: violations independent across years
+//
+// Dropping either factor keeps every yearly marginal EXACT yet destroys
+// the paper's joint statistics: without the domain factor the
+// any-violation rate overshoots 74.3% badly (every domain violates
+// something); without persistence the 8-year unions collapse toward the
+// independence limit (FB2 would hit ~99% instead of 78.5%).
+#include <cstdio>
+#include <sstream>
+
+#include "core/violation.h"
+#include "corpus/calibration.h"
+#include "corpus/rng.h"
+#include "report/paper_data.h"
+#include "report/render.h"
+
+namespace {
+
+using namespace hv;
+
+struct ModelStats {
+  double any_rate_2015 = 0.0;
+  double fb2_union = 0.0;
+  double fb2_yearly_2015 = 0.0;
+};
+
+/// Simulates `samples` domains under a modified calibration.
+ModelStats simulate(const corpus::Calibration& calibration, bool keep_domain,
+                    bool keep_persistence, int samples) {
+  ModelStats stats;
+  corpus::SplitMix64 rng(0xAB1A7E);
+  int any_hits = 0;
+  int fb2_union_hits = 0;
+  int fb2_y0_hits = 0;
+  const auto fb2_index = static_cast<std::size_t>(core::Violation::kFB2);
+
+  for (int s = 0; s < samples; ++s) {
+    const double z_d = rng.normal();
+    bool any = false;
+    for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+      const corpus::CalibratedSeries& series = calibration.violations[v];
+      // Reallocate the removed factor's variance into yearly noise so the
+      // marginals stay exact.
+      const double w = keep_domain ? series.domain_weight : 0.0;
+      const double c = keep_persistence ? series.series_weight : 0.0;
+      const double e = std::sqrt(std::max(1e-9, 1.0 - w * w - c * c));
+      const double common = w * z_d + c * rng.normal();
+      bool ever = false;
+      for (int y = 0; y < corpus::kYears; ++y) {
+        const double z = common + e * rng.normal();
+        const bool active =
+            z < series.thresholds[static_cast<std::size_t>(y)];
+        if (active) ever = true;
+        if (y == 0 && active) {
+          any = true;
+          if (v == fb2_index) ++fb2_y0_hits;
+        }
+      }
+      if (v == fb2_index && ever) ++fb2_union_hits;
+    }
+    if (any) ++any_hits;
+  }
+  stats.any_rate_2015 = 100.0 * any_hits / samples;
+  stats.fb2_union = 100.0 * fb2_union_hits / samples;
+  stats.fb2_yearly_2015 = 100.0 * fb2_y0_hits / samples;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSamples = 20000;
+  const corpus::Calibration calibration = corpus::Calibration::solve(
+      corpus::paper_targets(), 0.7431, 0xCA11B, 3000);
+
+  const ModelStats full = simulate(calibration, true, true, kSamples);
+  const ModelStats no_domain = simulate(calibration, false, true, kSamples);
+  const ModelStats no_persist = simulate(calibration, true, false, kSamples);
+
+  std::printf("Ablation: the corpus calibration's two copula factors\n");
+  std::printf("(20k simulated domains; paper targets: any-2015 = 74.3%%, "
+              "FB2 union = 78.5%%, FB2 2015 = 48%%)\n\n");
+  report::Table table({"model", "FB2 2015 (marginal)", "any-violation 2015",
+                       "FB2 8-year union"});
+  const auto row = [&table](const char* name, const ModelStats& stats) {
+    table.add_row({name, report::format_percent(stats.fb2_yearly_2015, 1),
+                   report::format_percent(stats.any_rate_2015, 1),
+                   report::format_percent(stats.fb2_union, 1)});
+  };
+  row("full (domain + persistence)", full);
+  row("no domain factor (w=0)", no_domain);
+  row("no persistence (c=0)", no_persist);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("reading: the FB2 marginal stays ~48%% in every model (by "
+              "construction), but only the full model reproduces BOTH "
+              "joint statistics.\n");
+  const bool domain_needed = no_domain.any_rate_2015 > full.any_rate_2015 + 5;
+  const bool persist_needed = no_persist.fb2_union > full.fb2_union + 5;
+  std::printf("ablation verdicts: domain factor needed: %s; persistence "
+              "needed: %s\n",
+              domain_needed ? "YES" : "no", persist_needed ? "YES" : "no");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10 — trend of the four problem groups (FB, DM, HF, DE) over the
+// years: share of domains violating at least one rule of each group.
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "report/paper_data.h"
+#include "report/render.h"
+#include "study_cache.h"
+
+int main() {
+  using namespace hv;
+  const pipeline::StudySummary& summary = bench::study();
+
+  std::printf("Figure 10: trend of problem groups over the years\n\n");
+  std::vector<int> years(report::kYears.begin(), report::kYears.end());
+  std::vector<report::Comparison> rows;
+  bool shapes_ok = true;
+
+  for (const report::GroupTrend& trend : report::kGroupTrends) {
+    std::vector<double> measured;
+    for (int y = 0; y < report::kYearCount; ++y) {
+      const auto& stats = summary.per_year[static_cast<std::size_t>(y)];
+      measured.push_back(stats.percent_of_analyzed(
+          stats.group_domains[static_cast<std::size_t>(trend.group)]));
+    }
+    std::printf("%-17s %s\n",
+                std::string(core::to_string(trend.group)).c_str(),
+                report::render_series(years, measured).c_str());
+    rows.push_back({std::string(core::to_string(trend.group)) + " 2015",
+                    trend.start_percent, measured.front(),
+                    bench::tolerance_for(trend.start_percent)});
+    rows.push_back({std::string(core::to_string(trend.group)) + " 2022",
+                    trend.end_percent, measured.back(),
+                    bench::tolerance_for(trend.end_percent)});
+    if (measured.back() >= measured.front() &&
+        trend.end_percent < trend.start_percent - 1.0) {
+      shapes_ok = false;
+    }
+  }
+  std::printf("\n");
+  std::ostringstream out;
+  report::render_comparisons(out, "Figure 10 endpoints, paper vs measured",
+                             rows);
+  std::fputs(out.str().c_str(), stdout);
+  std::printf("shape (every group trends down; FB and DM dominate, DE "
+              "rare): %s\n",
+              shapes_ok ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 16 — trend of the Filter Bypass violations (FB1, FB2).
+#include "study_cache.h"
+
+int main() {
+  hv::bench::print_violation_trend_figure(
+      "Figure 16: Filter Bypass",
+      {hv::core::Violation::kFB2, hv::core::Violation::kFB1});
+  return 0;
+}

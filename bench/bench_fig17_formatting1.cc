@@ -1,0 +1,10 @@
+// Figure 17 — trend of the HTML Formatting violations HF1-HF3.
+#include "study_cache.h"
+
+int main() {
+  hv::bench::print_violation_trend_figure(
+      "Figure 17: HTML Formatting 1",
+      {hv::core::Violation::kHF1, hv::core::Violation::kHF2,
+       hv::core::Violation::kHF3});
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 18 — trend of the HTML Formatting violations HF4 and HF5_1-3.
+#include "study_cache.h"
+
+int main() {
+  hv::bench::print_violation_trend_figure(
+      "Figure 18: HTML Formatting 2",
+      {hv::core::Violation::kHF4, hv::core::Violation::kHF5_1,
+       hv::core::Violation::kHF5_2, hv::core::Violation::kHF5_3});
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 19 — trend of the Data Manipulation violations (DM1, DM2_*, DM3).
+#include "study_cache.h"
+
+int main() {
+  hv::bench::print_violation_trend_figure(
+      "Figure 19: Data Manipulation",
+      {hv::core::Violation::kDM3, hv::core::Violation::kDM1,
+       hv::core::Violation::kDM2_3, hv::core::Violation::kDM2_1,
+       hv::core::Violation::kDM2_2});
+  return 0;
+}

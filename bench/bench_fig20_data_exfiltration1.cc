@@ -1,0 +1,10 @@
+// Figure 20 — trend of the non-terminated-HTML violations (DE3_1-3).
+#include "study_cache.h"
+
+int main() {
+  hv::bench::print_violation_trend_figure(
+      "Figure 20: Data Exfiltration 1",
+      {hv::core::Violation::kDE3_1, hv::core::Violation::kDE3_2,
+       hv::core::Violation::kDE3_3});
+  return 0;
+}

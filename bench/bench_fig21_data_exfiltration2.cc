@@ -1,0 +1,10 @@
+// Figure 21 — trend of DE1, DE2, DE4.
+#include "study_cache.h"
+
+int main() {
+  hv::bench::print_violation_trend_figure(
+      "Figure 21: Data Exfiltration 2",
+      {hv::core::Violation::kDE4, hv::core::Violation::kDE2,
+       hv::core::Violation::kDE1});
+  return 0;
+}

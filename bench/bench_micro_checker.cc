@@ -1,0 +1,88 @@
+// Micro benchmarks: checker rule evaluation and the auto-fixer.
+#include <benchmark/benchmark.h>
+
+#include "core/checker.h"
+#include "corpus/page_builder.h"
+#include "fix/autofix.h"
+
+namespace {
+
+using namespace hv;
+
+std::string page_with(std::initializer_list<core::Violation> violations) {
+  corpus::PageSpec spec;
+  spec.domain = "bench.example";
+  spec.path = "/check";
+  spec.year = 2022;
+  spec.seed = 77;
+  for (const core::Violation violation : violations) {
+    spec.violations.set(static_cast<std::size_t>(violation));
+  }
+  return render_page(spec);
+}
+
+void BM_CheckCleanPage(benchmark::State& state) {
+  const core::Checker checker;
+  const std::string page = page_with({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_CheckCleanPage);
+
+void BM_CheckViolatingPage(benchmark::State& state) {
+  const core::Checker checker;
+  const std::string page =
+      page_with({core::Violation::kFB1, core::Violation::kFB2,
+                 core::Violation::kDM3, core::Violation::kHF4,
+                 core::Violation::kDE3_2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_CheckViolatingPage);
+
+void BM_CheckRulesOnlyOnParsedPage(benchmark::State& state) {
+  // Rule evaluation without the parse: the marginal cost of the checker.
+  const core::Checker checker;
+  const std::string page =
+      page_with({core::Violation::kFB2, core::Violation::kDM3});
+  const html::ParseResult parsed = html::parse(page);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(parsed, page));
+  }
+}
+BENCHMARK(BM_CheckRulesOnlyOnParsedPage);
+
+void BM_AutofixRoundTrip(benchmark::State& state) {
+  const fix::AutoFixer fixer;
+  const std::string page =
+      page_with({core::Violation::kFB2, core::Violation::kDM3,
+                 core::Violation::kDM1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixer.fix(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_AutofixRoundTrip);
+
+void BM_PageGeneration(benchmark::State& state) {
+  corpus::PageSpec spec;
+  spec.domain = "bench.example";
+  spec.year = 2020;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    spec.seed = ++seed;
+    benchmark::DoNotOptimize(corpus::render_page(spec));
+  }
+}
+BENCHMARK(BM_PageGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

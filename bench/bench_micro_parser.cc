@@ -1,0 +1,125 @@
+// Micro benchmarks: HTML parsing throughput (google-benchmark).  The
+// study parses ~150k pages per run at default scale, so parser speed
+// bounds the whole pipeline.
+#include <benchmark/benchmark.h>
+
+#include "corpus/page_builder.h"
+#include "html/parser.h"
+#include "html/serializer.h"
+
+namespace {
+
+using namespace hv;
+
+std::string sample_page(bool with_violations, bool with_svg) {
+  corpus::PageSpec spec;
+  spec.domain = "bench.example";
+  spec.path = "/bench";
+  spec.year = 2022;
+  spec.seed = 1234;
+  spec.quirk_uses_svg = with_svg;
+  if (with_violations) {
+    spec.violations.set(static_cast<std::size_t>(core::Violation::kFB2));
+    spec.violations.set(static_cast<std::size_t>(core::Violation::kDM3));
+    spec.violations.set(static_cast<std::size_t>(core::Violation::kHF4));
+  }
+  return render_page(spec);
+}
+
+std::string repeated(std::string_view unit, std::size_t copies) {
+  std::string out = "<!DOCTYPE html><html><head><title>b</title></head><body>";
+  for (std::size_t i = 0; i < copies; ++i) out.append(unit);
+  out += "</body></html>";
+  return out;
+}
+
+void BM_ParseCleanPage(benchmark::State& state) {
+  const std::string page = sample_page(false, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ParseCleanPage);
+
+void BM_ParseViolatingPage(benchmark::State& state) {
+  const std::string page = sample_page(true, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ParseViolatingPage);
+
+void BM_ParseBySize(benchmark::State& state) {
+  const std::string page = repeated(
+      "<div class=\"row\"><p>lorem ipsum dolor <b>sit</b> amet</p>"
+      "<a href=\"/x\">link</a></div>",
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ParseBySize)->Arg(8)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_ParseEntityHeavy(benchmark::State& state) {
+  const std::string page =
+      repeated("<p>&amp; &lt; &gt; &eacute; &hellip; &#x20AC; &copy;</p>",
+               256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ParseEntityHeavy);
+
+void BM_ParseTableHeavy(benchmark::State& state) {
+  const std::string page = repeated(
+      "<table><tr><td>a</td><td>b</td></tr><tr><strong>x</strong>"
+      "<td>c</td></tr></table>",
+      128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ParseTableHeavy);
+
+void BM_ParseScriptHeavy(benchmark::State& state) {
+  const std::string page = repeated(
+      "<script>function f(i){return i<10 && i>0;}/* <div> */</script>", 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ParseScriptHeavy);
+
+void BM_Serialize(benchmark::State& state) {
+  const html::ParseResult parsed = html::parse(sample_page(true, true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::serialize(*parsed.document));
+  }
+}
+BENCHMARK(BM_Serialize);
+
+void BM_ParseSerializeRoundTrip(benchmark::State& state) {
+  const std::string page = sample_page(true, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse_and_serialize(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ParseSerializeRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

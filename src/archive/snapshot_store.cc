@@ -1,0 +1,103 @@
+#include "archive/snapshot_store.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hv::archive {
+namespace {
+
+/// CSV escaping is unnecessary: domains/urls in the corpus contain no
+/// commas; content types may, so they are written last and read greedily.
+constexpr char kSep = ',';
+
+}  // namespace
+
+void CdxIndex::add(CdxEntry entry) {
+  by_domain_[entry.domain].push_back(entries_.size());
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<const CdxEntry*> CdxIndex::lookup(std::string_view domain,
+                                              std::size_t limit) const {
+  std::vector<const CdxEntry*> result;
+  const auto it = by_domain_.find(domain);
+  if (it == by_domain_.end()) return result;
+  for (const std::size_t index : it->second) {
+    if (result.size() >= limit) break;
+    result.push_back(&entries_[index]);
+  }
+  return result;
+}
+
+std::vector<std::string> CdxIndex::domains() const {
+  std::vector<std::string> result;
+  result.reserve(by_domain_.size());
+  for (const auto& [domain, indices] : by_domain_) {
+    result.push_back(domain);
+  }
+  return result;
+}
+
+void CdxIndex::save(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write CDX index: " + path.string());
+  }
+  for (const CdxEntry& entry : entries_) {
+    out << entry.domain << kSep << entry.url << kSep << entry.offset << kSep
+        << entry.length << kSep << entry.content_type << '\n';
+  }
+}
+
+CdxIndex CdxIndex::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read CDX index: " + path.string());
+  }
+  CdxIndex index;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    CdxEntry entry;
+    std::size_t pos = 0;
+    const auto take = [&line, &pos]() {
+      const std::size_t comma = line.find(kSep, pos);
+      if (comma == std::string::npos) {
+        throw std::runtime_error("malformed CDX line: " + line);
+      }
+      std::string field = line.substr(pos, comma - pos);
+      pos = comma + 1;
+      return field;
+    };
+    entry.domain = take();
+    entry.url = take();
+    entry.offset = std::stoull(take());
+    entry.length = std::stoull(take());
+    entry.content_type = line.substr(pos);  // greedy: may contain commas
+    index.add(std::move(entry));
+  }
+  return index;
+}
+
+SnapshotStore::SnapshotStore(std::filesystem::path root)
+    : root_(std::move(root)) {}
+
+SnapshotPaths SnapshotStore::paths_for(std::string_view snapshot_label) const {
+  const std::filesystem::path dir = root_ / snapshot_label;
+  return {dir / "segment.warc", dir / "index.cdx"};
+}
+
+SnapshotPaths SnapshotStore::create(std::string_view snapshot_label) const {
+  const std::filesystem::path dir = root_ / snapshot_label;
+  std::filesystem::create_directories(dir);
+  return paths_for(snapshot_label);
+}
+
+bool SnapshotStore::exists(std::string_view snapshot_label) const {
+  const SnapshotPaths paths = paths_for(snapshot_label);
+  return std::filesystem::exists(paths.warc) &&
+         std::filesystem::exists(paths.cdx);
+}
+
+}  // namespace hv::archive

@@ -1,0 +1,67 @@
+// Snapshot catalog + CDX-style index over WARC files — the "Common Crawl"
+// the framework queries: per snapshot, the index answers "which captures
+// exist for domain X?" (the paper's step 1, metadata collection) and the
+// WARC file serves the payload bytes (step 2, crawling).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::archive {
+
+/// One capture in the index (a simplified CDX line).
+struct CdxEntry {
+  std::string domain;  ///< eTLD+1 key (the paper aggregates per domain)
+  std::string url;
+  std::string content_type;
+  std::uint64_t offset = 0;  ///< WARC record offset
+  std::uint64_t length = 0;  ///< WARC record length
+};
+
+/// In-memory CDX index with CSV persistence next to the WARC file.
+class CdxIndex {
+ public:
+  void add(CdxEntry entry);
+  /// All captures for a domain, insertion-ordered, capped at `limit`
+  /// (the paper stores "up to 100 pages per domain").
+  std::vector<const CdxEntry*> lookup(std::string_view domain,
+                                      std::size_t limit = 100) const;
+  const std::vector<CdxEntry>& entries() const noexcept { return entries_; }
+  std::vector<std::string> domains() const;
+
+  void save(const std::filesystem::path& path) const;
+  static CdxIndex load(const std::filesystem::path& path);
+
+ private:
+  std::vector<CdxEntry> entries_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_domain_;
+};
+
+/// One snapshot on disk: <root>/<label>/segment.warc + index.cdx.
+struct SnapshotPaths {
+  std::filesystem::path warc;
+  std::filesystem::path cdx;
+};
+
+/// Directory layout manager for the snapshot archive.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::filesystem::path root);
+
+  SnapshotPaths paths_for(std::string_view snapshot_label) const;
+  /// Creates the snapshot directory and returns the file paths.
+  SnapshotPaths create(std::string_view snapshot_label) const;
+  bool exists(std::string_view snapshot_label) const;
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace hv::archive

@@ -1,0 +1,149 @@
+#include "archive/warc.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "net/http.h"
+
+namespace hv::archive {
+namespace {
+
+constexpr std::string_view kVersionLine = "WARC/1.0";
+
+std::string read_line(std::istream& in, std::uint64_t& offset) {
+  std::string line;
+  if (!std::getline(in, line)) return line;
+  offset += line.size() + 1;  // getline consumed the '\n'
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+std::optional<std::string_view> WarcRecord::header(
+    std::string_view name) const {
+  for (const WarcHeader& header : extra_headers) {
+    if (net::iequals(header.name, name)) {
+      return std::string_view{header.value};
+    }
+  }
+  return std::nullopt;
+}
+
+WarcWriter::WarcWriter(std::ostream& out) : out_(out) {}
+
+std::uint64_t WarcWriter::write_record(const WarcRecord& record) {
+  const std::uint64_t start = offset_;
+  std::string head;
+  head.append(kVersionLine);
+  head.append("\r\n");
+  head += "WARC-Type: " + record.type + "\r\n";
+  head += "WARC-Record-ID: <urn:uuid:" + std::to_string(++record_counter_) +
+          ">\r\n";
+  if (!record.date.empty()) head += "WARC-Date: " + record.date + "\r\n";
+  if (!record.target_uri.empty()) {
+    head += "WARC-Target-URI: " + record.target_uri + "\r\n";
+  }
+  for (const WarcHeader& header : record.extra_headers) {
+    head += header.name + ": " + header.value + "\r\n";
+  }
+  head += "Content-Length: " + std::to_string(record.payload.size()) +
+          "\r\n\r\n";
+  out_.write(head.data(), static_cast<std::streamsize>(head.size()));
+  out_.write(record.payload.data(),
+             static_cast<std::streamsize>(record.payload.size()));
+  out_.write("\r\n\r\n", 4);
+  offset_ += head.size() + record.payload.size() + 4;
+  return start;
+}
+
+void WarcWriter::write_warcinfo(std::string_view snapshot_label) {
+  WarcRecord record;
+  record.type = "warcinfo";
+  record.extra_headers.push_back(
+      {"Content-Type", "application/warc-fields"});
+  record.payload = "software: hv-corpus/1.0\r\nisPartOf: ";
+  record.payload.append(snapshot_label);
+  record.payload.append("\r\nformat: WARC File Format 1.0\r\n");
+  write_record(record);
+}
+
+std::uint64_t WarcWriter::write_response(std::string_view target_uri,
+                                         std::string_view date,
+                                         std::string_view http_message,
+                                         std::uint64_t* length) {
+  WarcRecord record;
+  record.type = "response";
+  record.target_uri.assign(target_uri);
+  record.date.assign(date);
+  record.extra_headers.push_back(
+      {"Content-Type", "application/http; msgtype=response"});
+  record.payload.assign(http_message);
+  const std::uint64_t before = offset_;
+  const std::uint64_t start = write_record(record);
+  if (length != nullptr) *length = offset_ - before;
+  return start;
+}
+
+WarcReader::WarcReader(std::istream& in) : in_(in) {}
+
+void WarcReader::seek(std::uint64_t offset) {
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  offset_ = offset;
+}
+
+std::optional<WarcRecord> WarcReader::next() {
+  // Skip blank separator lines.
+  std::string line;
+  while (true) {
+    if (in_.peek() == std::char_traits<char>::eof()) return std::nullopt;
+    line = read_line(in_, offset_);
+    if (!line.empty()) break;
+    if (in_.eof()) return std::nullopt;
+  }
+  if (line != kVersionLine) {
+    throw std::runtime_error("WARC: bad version line at offset " +
+                             std::to_string(offset_ - line.size() - 1));
+  }
+  WarcRecord record;
+  std::size_t content_length = 0;
+  bool have_length = false;
+  while (true) {
+    line = read_line(in_, offset_);
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("WARC: malformed header: " + line);
+    }
+    std::string name = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    if (net::iequals(name, "WARC-Type")) {
+      record.type = value;
+    } else if (net::iequals(name, "WARC-Target-URI")) {
+      record.target_uri = value;
+    } else if (net::iequals(name, "WARC-Date")) {
+      record.date = value;
+    } else if (net::iequals(name, "Content-Length")) {
+      content_length = static_cast<std::size_t>(std::stoull(value));
+      have_length = true;
+    } else {
+      record.extra_headers.push_back({std::move(name), std::move(value)});
+    }
+  }
+  if (!have_length) {
+    throw std::runtime_error("WARC: record without Content-Length");
+  }
+  record.payload.resize(content_length);
+  in_.read(record.payload.data(),
+           static_cast<std::streamsize>(content_length));
+  if (static_cast<std::size_t>(in_.gcount()) != content_length) {
+    throw std::runtime_error("WARC: truncated payload");
+  }
+  offset_ += content_length;
+  return record;
+}
+
+}  // namespace hv::archive

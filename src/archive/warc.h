@@ -1,0 +1,87 @@
+// WARC 1.0 record framing (ISO 28500 subset) — the storage format of
+// Common Crawl's archives, which the paper's crawler reads directly from
+// S3 ("we can request the database and S3 bucket directly").
+//
+// A WARC file is a sequence of records:
+//
+//   WARC/1.0 CRLF
+//   <header-name>: <value> CRLF ...
+//   CRLF
+//   <Content-Length bytes of payload> CRLF CRLF
+//
+// For "response" records the payload is a verbatim HTTP response message
+// (parsed by hv::net::parse_http_response).  Compression is out of scope
+// (DESIGN.md section 5): Common Crawl ships gzip members, we ship plain
+// records — the framing, indexing, and range-read logic is identical.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::archive {
+
+struct WarcHeader {
+  std::string name;
+  std::string value;
+};
+
+struct WarcRecord {
+  std::string type;  ///< "warcinfo", "response", "request", "metadata"
+  std::string target_uri;
+  std::string date;  ///< WARC-Date, e.g. "2015-03-18T12:00:00Z"
+  std::vector<WarcHeader> extra_headers;
+  std::string payload;
+
+  std::optional<std::string_view> header(std::string_view name) const;
+};
+
+/// Streams records into an ostream with correct framing and offsets.
+class WarcWriter {
+ public:
+  explicit WarcWriter(std::ostream& out);
+
+  /// Writes a warcinfo record describing the archive (software, label).
+  void write_warcinfo(std::string_view snapshot_label);
+
+  /// Writes a response record; returns the byte offset of the record
+  /// start (for the CDX index) and fills `*length` with the record size.
+  std::uint64_t write_response(std::string_view target_uri,
+                               std::string_view date,
+                               std::string_view http_message,
+                               std::uint64_t* length = nullptr);
+
+  std::uint64_t bytes_written() const noexcept { return offset_; }
+
+ private:
+  std::uint64_t write_record(const WarcRecord& record);
+
+  std::ostream& out_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t record_counter_ = 0;
+};
+
+/// Sequentially reads records from an istream.
+class WarcReader {
+ public:
+  explicit WarcReader(std::istream& in);
+
+  /// Reads the next record; nullopt at clean EOF.  Throws std::runtime_error
+  /// on framing corruption (truncated payload, missing version line).
+  std::optional<WarcRecord> next();
+
+  /// Byte offset of the record that `next` would read.
+  std::uint64_t offset() const noexcept { return offset_; }
+
+  /// Seeks to an absolute record offset (random access via CDX).
+  void seek(std::uint64_t offset);
+
+ private:
+  std::istream& in_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace hv::archive

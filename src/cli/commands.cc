@@ -1,0 +1,431 @@
+#include "cli/commands.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "archive/warc.h"
+#include "core/checker.h"
+#include "fix/autofix.h"
+#include "net/http.h"
+#include "html/input_stream.h"
+#include "html/parser.h"
+#include "html/token.h"
+#include "html/tokenizer.h"
+#include "pipeline/pipeline.h"
+#include "report/paper_data.h"
+#include "report/render.h"
+#include "sanitize/sanitizer.h"
+
+namespace hv::cli {
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kFindings = 1;
+constexpr int kUsage = 2;
+
+std::optional<std::string> read_input(const std::string& path,
+                                      std::istream& in, std::ostream& err) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    err << "hv: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void print_usage(std::ostream& out) {
+  out << "usage: hv <command> [options]\n"
+         "  check [--json] [file...]   detect HTML specification "
+         "violations\n"
+         "  fix [-o out.html] <file>   apply the automatic repairs\n"
+         "  sanitize [--legacy] <file> allowlist-sanitize untrusted "
+         "markup\n"
+         "  tokens <file>              dump tokens and parse errors\n"
+         "  study [--domains N] [--pages N] [--seed N] [--workdir DIR]\n"
+         "                             run the full longitudinal study\n"
+         "  warc list <file.warc>      index the records of an archive\n"
+         "  warc cat <file> <offset>   print one record's HTTP body\n"
+         "files named '-' read standard input\n";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+int cmd_check(const std::vector<std::string>& args, std::istream& in,
+              std::ostream& out, std::ostream& err) {
+  bool json = false;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) files.push_back("-");
+
+  const core::Checker checker;
+  bool any_violation = false;
+  bool first_file = true;
+  if (json) out << "[";
+  for (const std::string& path : files) {
+    const auto content = read_input(path, in, err);
+    if (!content.has_value()) return kUsage;
+    const core::CheckResult result = checker.check(*content);
+    any_violation = any_violation || result.violating();
+
+    if (json) {
+      if (!first_file) out << ",";
+      first_file = false;
+      out << "\n  {\"file\": \"" << json_escape(path) << "\", \"findings\": [";
+      bool first_finding = true;
+      for (const core::Finding& finding : result.findings) {
+        if (!first_finding) out << ",";
+        first_finding = false;
+        const core::ViolationInfo& info = core::info(finding.violation);
+        out << "\n    {\"violation\": \"" << info.name << "\", \"group\": \""
+            << core::to_string(info.group) << "\", \"line\": "
+            << finding.position.line << ", \"column\": "
+            << finding.position.column << ", \"auto_fixable\": "
+            << (info.auto_fixable ? "true" : "false") << ", \"detail\": \""
+            << json_escape(finding.detail) << "\"}";
+      }
+      out << (first_finding ? "]}" : "\n  ]}");
+      continue;
+    }
+    if (!result.violating()) {
+      out << path << ": clean\n";
+      continue;
+    }
+    out << path << ": " << result.findings.size() << " finding(s), "
+        << result.distinct_violations() << " distinct violation(s)\n";
+    for (const core::Finding& finding : result.findings) {
+      const core::ViolationInfo& info = core::info(finding.violation);
+      out << "  " << info.name << "  line " << finding.position.line << ":"
+          << finding.position.column << "  " << info.definition;
+      if (!finding.detail.empty()) out << " [" << finding.detail << "]";
+      out << "\n";
+    }
+  }
+  if (json) out << "\n]\n";
+  return any_violation ? kFindings : kOk;
+}
+
+int cmd_fix(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err) {
+  std::string output_path;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o") {
+      if (i + 1 >= args.size()) {
+        err << "hv fix: -o needs a path\n";
+        return kUsage;
+      }
+      output_path = args[++i];
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 1) {
+    err << "hv fix: exactly one input file expected\n";
+    return kUsage;
+  }
+  const auto content = read_input(files[0], in, err);
+  if (!content.has_value()) return kUsage;
+
+  const fix::AutoFixer fixer;
+  const fix::FixOutcome outcome = fixer.fix_and_verify(*content);
+  if (output_path.empty()) {
+    out << outcome.fixed_html;
+  } else {
+    std::ofstream file(output_path, std::ios::binary);
+    if (!file) {
+      err << "hv fix: cannot write " << output_path << "\n";
+      return kUsage;
+    }
+    file << outcome.fixed_html;
+  }
+  err << "hv fix: " << outcome.fixed.size() << " violation(s) removed, "
+      << outcome.remaining.size() << " remaining; semantics-preserving: "
+      << (outcome.semantics_preserving ? "yes" : "no (HF/DE present)")
+      << "\n";
+  return outcome.before.violating() ? kFindings : kOk;
+}
+
+int cmd_sanitize(const std::vector<std::string>& args, std::istream& in,
+                 std::ostream& out, std::ostream& err) {
+  sanitize::SanitizerConfig config;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    if (arg == "--legacy") {
+      config.mode = sanitize::SanitizerMode::kLegacy;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 1) {
+    err << "hv sanitize: exactly one input file expected\n";
+    return kUsage;
+  }
+  const auto content = read_input(files[0], in, err);
+  if (!content.has_value()) return kUsage;
+  const sanitize::Sanitizer sanitizer(config);
+  out << sanitizer.sanitize(*content) << "\n";
+  return kOk;
+}
+
+int cmd_tokens(const std::vector<std::string>& args, std::istream& in,
+               std::ostream& out, std::ostream& err) {
+  if (args.size() != 1) {
+    err << "hv tokens: exactly one input file expected\n";
+    return kUsage;
+  }
+  const auto content = read_input(args[0], in, err);
+  if (!content.has_value()) return kUsage;
+
+  class Printer final : public html::TokenSink {
+   public:
+    explicit Printer(std::ostream& out) : out_(out) {}
+    void process_token(html::Token&& token) override {
+      using Type = html::Token::Type;
+      switch (token.type) {
+        case Type::kStartTag:
+          out_ << "StartTag  <" << token.name;
+          for (const html::Attribute& attr : token.attributes) {
+            out_ << " " << attr.name << "=\"" << attr.value << "\"";
+          }
+          if (token.self_closing) out_ << " /";
+          out_ << ">\n";
+          break;
+        case Type::kEndTag:
+          out_ << "EndTag    </" << token.name << ">\n";
+          break;
+        case Type::kCharacters:
+          out_ << "Characters\"" << token.data << "\"\n";
+          break;
+        case Type::kNullCharacter:
+          out_ << "NullChar\n";
+          break;
+        case Type::kComment:
+          out_ << "Comment   <!--" << token.data << "-->\n";
+          break;
+        case Type::kDoctype:
+          out_ << "Doctype   " << token.name
+               << (token.force_quirks ? " (force-quirks)" : "") << "\n";
+          break;
+        case Type::kEof:
+          out_ << "EOF\n";
+          break;
+      }
+    }
+
+   private:
+    std::ostream& out_;
+  };
+
+  html::InputStream stream(*content);
+  Printer printer(out);
+  std::vector<html::ParseErrorEvent> errors;
+  html::Tokenizer tokenizer(stream, printer, errors);
+  tokenizer.run();
+
+  out << "\n" << errors.size() << " parse error(s):\n";
+  for (const html::ParseErrorEvent& event : errors) {
+    out << "  line " << event.position.line << ":" << event.position.column
+        << "  " << html::to_string(event.code);
+    if (!event.detail.empty()) out << " [" << event.detail << "]";
+    out << "\n";
+  }
+  return errors.empty() ? kOk : kFindings;
+}
+
+int cmd_study(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  pipeline::PipelineConfig config;
+  config.corpus.domain_count = 400;
+  config.corpus.max_pages_per_domain = 8;
+  config.workdir = std::filesystem::temp_directory_path() / "hv_cli_study";
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto next_value = [&](std::size_t* index) -> std::optional<std::string> {
+      if (*index + 1 >= args.size()) return std::nullopt;
+      return args[++*index];
+    };
+    if (args[i] == "--domains") {
+      const auto value = next_value(&i);
+      if (!value) {
+        err << "hv study: --domains needs a number\n";
+        return kUsage;
+      }
+      config.corpus.domain_count = std::stoull(*value);
+    } else if (args[i] == "--pages") {
+      const auto value = next_value(&i);
+      if (!value) {
+        err << "hv study: --pages needs a number\n";
+        return kUsage;
+      }
+      config.corpus.max_pages_per_domain = std::stoi(*value);
+    } else if (args[i] == "--seed") {
+      const auto value = next_value(&i);
+      if (!value) {
+        err << "hv study: --seed needs a number\n";
+        return kUsage;
+      }
+      config.corpus.seed = std::stoull(*value);
+    } else if (args[i] == "--workdir") {
+      const auto value = next_value(&i);
+      if (!value) {
+        err << "hv study: --workdir needs a path\n";
+        return kUsage;
+      }
+      config.workdir = *value;
+    } else {
+      err << "hv study: unknown option " << args[i] << "\n";
+      return kUsage;
+    }
+  }
+
+  err << "hv study: " << config.corpus.domain_count << " domains x "
+      << config.corpus.max_pages_per_domain << " pages x 8 snapshots\n";
+  pipeline::StudyPipeline pipeline(config);
+  pipeline.run_all();
+
+  const pipeline::ResultStore& store = pipeline.results();
+  report::Table table({"snapshot", "analyzed", "violating %", "auto-fixable %"});
+  for (int y = 0; y < pipeline::kYearCount; ++y) {
+    const pipeline::SnapshotStats stats = store.snapshot_stats(y);
+    table.add_row(
+        {std::string(report::kSnapshotLabels[static_cast<std::size_t>(y)]),
+         std::to_string(stats.domains_analyzed),
+         report::format_percent(
+             stats.percent_of_analyzed(stats.any_violation_domains), 1),
+         report::format_percent(
+             stats.percent_of_analyzed(stats.fully_auto_fixable_domains),
+             1)});
+  }
+  out << table.render();
+  out << "union any-violation: "
+      << report::format_percent(
+             100.0 * static_cast<double>(store.union_any_violation()) /
+                 static_cast<double>(store.total_domains_analyzed()),
+             1)
+      << " of " << store.total_domains_analyzed() << " domains\n";
+  return kOk;
+}
+
+int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.size() < 2 || (args[0] != "list" && args[0] != "cat")) {
+    err << "hv warc: usage: warc list <file> | warc cat <file> <offset>\n";
+    return kUsage;
+  }
+  std::ifstream file(args[1], std::ios::binary);
+  if (!file) {
+    err << "hv warc: cannot read " << args[1] << "\n";
+    return kUsage;
+  }
+  archive::WarcReader reader(file);
+  try {
+    if (args[0] == "list") {
+      out << "offset      type       uri\n";
+      while (true) {
+        const std::uint64_t offset = reader.offset();
+        const auto record = reader.next();
+        if (!record.has_value()) break;
+        char line[64];
+        std::snprintf(line, sizeof(line), "%-11llu %-10s ",
+                      static_cast<unsigned long long>(offset),
+                      record->type.c_str());
+        out << line << record->target_uri << "\n";
+      }
+      return kOk;
+    }
+    // cat
+    if (args.size() < 3) {
+      err << "hv warc cat: missing offset\n";
+      return kUsage;
+    }
+    reader.seek(std::stoull(args[2]));
+    const auto record = reader.next();
+    if (!record.has_value()) {
+      err << "hv warc cat: no record at offset " << args[2] << "\n";
+      return kUsage;
+    }
+    if (record->type == "response") {
+      const auto response = net::parse_http_response(record->payload);
+      if (response.has_value()) {
+        out << response->body;
+        return kOk;
+      }
+    }
+    out << record->payload;
+    return kOk;
+  } catch (const std::exception& e) {
+    err << "hv warc: " << e.what() << "\n";
+    return kUsage;
+  }
+}
+
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    print_usage(args.empty() ? err : out);
+    return args.empty() ? kUsage : kOk;
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "check") return cmd_check(rest, in, out, err);
+  if (command == "fix") return cmd_fix(rest, in, out, err);
+  if (command == "sanitize") return cmd_sanitize(rest, in, out, err);
+  if (command == "tokens") return cmd_tokens(rest, in, out, err);
+  if (command == "study") return cmd_study(rest, out, err);
+  if (command == "warc") return cmd_warc(rest, out, err);
+  err << "hv: unknown command '" << command << "'\n";
+  print_usage(err);
+  return kUsage;
+}
+
+}  // namespace hv::cli

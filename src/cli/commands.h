@@ -1,0 +1,47 @@
+// The `hv` command-line tool, as a library: each subcommand is a function
+// over streams so the test suite can drive it without spawning processes.
+//
+//   hv check [--json] [file...]       run the 20 violation rules
+//   hv fix [-o out.html] file         section 4.4 automatic repair
+//   hv sanitize [--legacy] file       DOMPurify-style sanitation
+//   hv tokens file                    dump the token stream + parse errors
+//   hv study [--domains N] [--pages N] [--seed N] [--workdir DIR]
+//                                     run the full Figure 6 study
+//   hv warc list <file.warc>          index the records of an archive
+//   hv warc cat <file.warc> <offset>  print one record's HTTP body
+//
+// Files named "-" read stdin.  Exit codes: 0 clean / success, 1 violations
+// found (check) or error-tolerant repairs applied (fix), 2 usage or I/O
+// error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hv::cli {
+
+/// Entry point used by tools/hv.cc and the tests.  `args` excludes the
+/// program name.
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err);
+
+// Individual subcommands (exposed for focused tests).
+int cmd_check(const std::vector<std::string>& args, std::istream& in,
+              std::ostream& out, std::ostream& err);
+int cmd_fix(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err);
+int cmd_sanitize(const std::vector<std::string>& args, std::istream& in,
+                 std::ostream& out, std::ostream& err);
+int cmd_tokens(const std::vector<std::string>& args, std::istream& in,
+               std::ostream& out, std::ostream& err);
+int cmd_study(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+/// JSON-escapes a string (the check --json output is hand-assembled; the
+/// findings schema is documented in README).
+std::string json_escape(std::string_view text);
+
+}  // namespace hv::cli

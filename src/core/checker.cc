@@ -1,0 +1,259 @@
+#include "core/checker.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "net/url.h"
+
+namespace hv::core {
+namespace {
+
+using html::ObservationKind;
+using html::ParseError;
+
+/// Case-insensitive substring search (DE3_2 looks for "<script" in any
+/// attribute, as the CSP nonce-stealing check does [4]).
+bool icontains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  const auto it = std::search(
+      haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+      [](char a, char b) {
+        return std::tolower(static_cast<unsigned char>(a)) ==
+               std::tolower(static_cast<unsigned char>(b));
+      });
+  return it != haystack.end();
+}
+
+/// Rule backed by one or more tokenizer/tree-builder parse errors.
+class ErrorRule final : public Rule {
+ public:
+  ErrorRule(Violation violation, std::initializer_list<ParseError> codes)
+      : violation_(violation), codes_(codes) {}
+
+  Violation id() const noexcept override { return violation_; }
+
+  void evaluate(const CheckContext& context,
+                std::vector<Finding>& out) const override {
+    for (const html::ParseErrorEvent& event : context.parse.errors) {
+      if (std::find(codes_.begin(), codes_.end(), event.code) !=
+          codes_.end()) {
+        out.push_back({violation_, event.position, event.detail});
+      }
+    }
+  }
+
+ private:
+  Violation violation_;
+  std::vector<ParseError> codes_;
+};
+
+/// Rule backed by one or more error-tolerance observations.
+class ObservationRule final : public Rule {
+ public:
+  ObservationRule(Violation violation,
+                  std::initializer_list<ObservationKind> kinds)
+      : violation_(violation), kinds_(kinds) {}
+
+  Violation id() const noexcept override { return violation_; }
+
+  void evaluate(const CheckContext& context,
+                std::vector<Finding>& out) const override {
+    for (const html::Observation& observation : context.parse.observations) {
+      if (std::find(kinds_.begin(), kinds_.end(), observation.kind) !=
+          kinds_.end()) {
+        out.push_back({violation_, observation.position, observation.detail});
+      }
+    }
+  }
+
+ private:
+  Violation violation_;
+  std::vector<ObservationKind> kinds_;
+};
+
+/// DE3_1 — classic dangling markup: a URL attribute whose value swallowed
+/// following markup, recognizable by a newline together with '<' [61].
+class DanglingUrlRule final : public Rule {
+ public:
+  Violation id() const noexcept override { return Violation::kDE3_1; }
+
+  void evaluate(const CheckContext& context,
+                std::vector<Finding>& out) const override {
+    for (const AttributeRef& attr : context.attributes) {
+      if (net::is_url_attribute(attr.name) &&
+          net::url_has_newline_and_lt(attr.value)) {
+        out.push_back({Violation::kDE3_1, attr.element->start_position(),
+                       std::string(attr.name)});
+      }
+    }
+  }
+};
+
+/// DE3_2 — nonce stealing: "<script" absorbed into an attribute value [4].
+class NonceStealRule final : public Rule {
+ public:
+  Violation id() const noexcept override { return Violation::kDE3_2; }
+
+  void evaluate(const CheckContext& context,
+                std::vector<Finding>& out) const override {
+    for (const AttributeRef& attr : context.attributes) {
+      // srcdoc legitimately holds markup; the paper's measurement (4.5)
+      // still counts it, so we report it here and let the mitigation module
+      // classify affected vs. unaffected elements.
+      if (icontains(attr.value, "<script")) {
+        out.push_back({Violation::kDE3_2, attr.element->start_position(),
+                       std::string(attr.name)});
+      }
+    }
+  }
+};
+
+/// DE3_3 — non-terminated target attribute: a newline inside target
+/// signals absorbed markup (paper Figure 5).
+class DanglingTargetRule final : public Rule {
+ public:
+  Violation id() const noexcept override { return Violation::kDE3_3; }
+
+  void evaluate(const CheckContext& context,
+                std::vector<Finding>& out) const override {
+    for (const AttributeRef& attr : context.attributes) {
+      if (attr.name == "target" &&
+          attr.value.find('\n') != std::string_view::npos) {
+        out.push_back({Violation::kDE3_3, attr.element->start_position(),
+                       attr.element->tag_name()});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool CheckResult::has_group(ProblemGroup group) const noexcept {
+  for (std::size_t i = 0; i < kViolationCount; ++i) {
+    if (present.test(i) && group_of(static_cast<Violation>(i)) == group) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CheckResult::fully_auto_fixable() const noexcept {
+  if (!present.any()) return false;
+  for (std::size_t i = 0; i < kViolationCount; ++i) {
+    if (present.test(i) && !info(static_cast<Violation>(i)).auto_fixable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Checker::Checker() {
+  using enum Violation;
+  using ObservationKind::kBaseAfterUrlUse;
+  using ObservationKind::kBaseOutsideHead;
+  using ObservationKind::kBodyImpliedByContent;
+  using ObservationKind::kFosterParented;
+  using ObservationKind::kForeignBreakoutMath;
+  using ObservationKind::kForeignBreakoutSvg;
+  using ObservationKind::kForeignErrorMath;
+  using ObservationKind::kForeignErrorSvg;
+  using ObservationKind::kHeadClosedByStrayElement;
+  using ObservationKind::kHeadContentAfterHead;
+  using ObservationKind::kHeadImplicitWithContent;
+  using ObservationKind::kMetaHttpEquivOutsideHead;
+  using ObservationKind::kNestedFormIgnored;
+  using ObservationKind::kSecondBase;
+  using ObservationKind::kSecondBodyMerged;
+  using ObservationKind::kSelectOpenAtEof;
+  using ObservationKind::kStrayForeignEndTag;
+  using ObservationKind::kTextareaOpenAtEof;
+  add_rule(std::make_unique<ObservationRule>(
+      kDE1, std::initializer_list<ObservationKind>{kTextareaOpenAtEof}));
+  add_rule(std::make_unique<ObservationRule>(
+      kDE2, std::initializer_list<ObservationKind>{kSelectOpenAtEof}));
+  add_rule(std::make_unique<DanglingUrlRule>());
+  add_rule(std::make_unique<NonceStealRule>());
+  add_rule(std::make_unique<DanglingTargetRule>());
+  add_rule(std::make_unique<ObservationRule>(
+      kDE4, std::initializer_list<ObservationKind>{kNestedFormIgnored}));
+  add_rule(std::make_unique<ObservationRule>(
+      kDM1,
+      std::initializer_list<ObservationKind>{kMetaHttpEquivOutsideHead}));
+  add_rule(std::make_unique<ObservationRule>(
+      kDM2_1, std::initializer_list<ObservationKind>{kBaseOutsideHead}));
+  add_rule(std::make_unique<ObservationRule>(
+      kDM2_2, std::initializer_list<ObservationKind>{kSecondBase}));
+  add_rule(std::make_unique<ObservationRule>(
+      kDM2_3, std::initializer_list<ObservationKind>{kBaseAfterUrlUse}));
+  add_rule(std::make_unique<ErrorRule>(
+      kDM3, std::initializer_list<ParseError>{ParseError::DuplicateAttribute}));
+  add_rule(std::make_unique<ObservationRule>(
+      kHF1, std::initializer_list<ObservationKind>{
+                kHeadClosedByStrayElement, kHeadImplicitWithContent,
+                kHeadContentAfterHead}));
+  add_rule(std::make_unique<ObservationRule>(
+      kHF2, std::initializer_list<ObservationKind>{kBodyImpliedByContent}));
+  add_rule(std::make_unique<ObservationRule>(
+      kHF3, std::initializer_list<ObservationKind>{kSecondBodyMerged}));
+  add_rule(std::make_unique<ObservationRule>(
+      kHF4, std::initializer_list<ObservationKind>{kFosterParented}));
+  // HF5_1 combines the observation (stray foreign end tags) with the
+  // tokenizer's cdata-in-html-content error (DESIGN.md section 5).
+  add_rule(std::make_unique<ObservationRule>(
+      kHF5_1, std::initializer_list<ObservationKind>{kStrayForeignEndTag}));
+  add_rule(std::make_unique<ErrorRule>(
+      kHF5_1,
+      std::initializer_list<ParseError>{ParseError::CdataInHtmlContent}));
+  add_rule(std::make_unique<ObservationRule>(
+      kHF5_2, std::initializer_list<ObservationKind>{kForeignBreakoutSvg,
+                                                     kForeignErrorSvg}));
+  add_rule(std::make_unique<ObservationRule>(
+      kHF5_3, std::initializer_list<ObservationKind>{kForeignBreakoutMath,
+                                                     kForeignErrorMath}));
+  add_rule(std::make_unique<ErrorRule>(
+      kFB1,
+      std::initializer_list<ParseError>{ParseError::UnexpectedSolidusInTag}));
+  add_rule(std::make_unique<ErrorRule>(
+      kFB2, std::initializer_list<ParseError>{
+                ParseError::MissingWhitespaceBetweenAttributes}));
+}
+
+Checker::~Checker() = default;
+Checker::Checker(Checker&&) noexcept = default;
+Checker& Checker::operator=(Checker&&) noexcept = default;
+
+void Checker::add_rule(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<AttributeRef> collect_attributes(const html::Document& document) {
+  std::vector<AttributeRef> attributes;
+  document.for_each([&attributes](const html::Node& node) {
+    const html::Element* element = node.as_element();
+    if (element == nullptr) return;
+    for (const html::Attribute& attr : element->attributes()) {
+      attributes.push_back({element, attr.name, attr.value});
+    }
+  });
+  return attributes;
+}
+
+CheckResult Checker::check(std::string_view html) const {
+  const html::ParseResult parse = html::parse(html);
+  return check(parse, html);
+}
+
+CheckResult Checker::check(const html::ParseResult& parse,
+                           std::string_view source) const {
+  CheckContext context{parse, source, collect_attributes(*parse.document)};
+  CheckResult result;
+  for (const auto& rule : rules_) {
+    rule->evaluate(context, result.findings);
+  }
+  for (const Finding& finding : result.findings) {
+    result.present.set(static_cast<std::size_t>(finding.violation));
+  }
+  return result;
+}
+
+}  // namespace hv::core

@@ -1,0 +1,92 @@
+// The violation checker — the "Checker" box of the paper's Figure 6.
+//
+// A Checker owns a set of Rules, one per violation.  Each rule inspects the
+// instrumented parse of a page (parse errors + error-tolerance observations
+// + the repaired DOM) and reports findings.  The rule set is extensible, as
+// the paper's framework is ("our framework is extensible to encourage
+// investigations of additional HTML specification violations").
+#pragma once
+
+#include <bitset>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/violation.h"
+#include "html/parser.h"
+
+namespace hv::core {
+
+/// One detected violation instance on a page.
+struct Finding {
+  Violation violation = Violation::kCount;
+  html::SourcePosition position;
+  std::string detail;  ///< element/attribute involved, for reports
+};
+
+/// Pre-extracted view of every attribute on the page, shared by the
+/// attribute-scanning rules so the DOM is traversed once per check.
+struct AttributeRef {
+  const html::Element* element = nullptr;
+  std::string_view name;
+  std::string_view value;
+};
+
+struct CheckContext {
+  const html::ParseResult& parse;
+  std::string_view source;
+  std::vector<AttributeRef> attributes;  ///< every attribute in tree order
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual Violation id() const noexcept = 0;
+  virtual void evaluate(const CheckContext& context,
+                        std::vector<Finding>& out) const = 0;
+};
+
+/// Result of checking one page.
+struct CheckResult {
+  std::vector<Finding> findings;
+  std::bitset<kViolationCount> present;
+
+  bool has(Violation violation) const noexcept {
+    return present.test(static_cast<std::size_t>(violation));
+  }
+  bool violating() const noexcept { return present.any(); }
+  std::size_t distinct_violations() const noexcept { return present.count(); }
+  bool has_group(ProblemGroup group) const noexcept;
+  /// True when every present violation is auto-fixable (section 4.4).
+  bool fully_auto_fixable() const noexcept;
+};
+
+class Checker {
+ public:
+  /// Constructs a checker with all twenty built-in rules registered.
+  Checker();
+  ~Checker();
+  Checker(Checker&&) noexcept;
+  Checker& operator=(Checker&&) noexcept;
+
+  /// Registers an additional rule (extension point).
+  void add_rule(std::unique_ptr<Rule> rule);
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  /// Parses `html` and evaluates every rule.
+  CheckResult check(std::string_view html) const;
+
+  /// Evaluates the rules over an existing parse (avoids re-parsing when the
+  /// caller also needs the DOM).
+  CheckResult check(const html::ParseResult& parse,
+                    std::string_view source) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Collects every attribute in the document in tree order.
+std::vector<AttributeRef> collect_attributes(const html::Document& document);
+
+}  // namespace hv::core

@@ -1,0 +1,107 @@
+#include "core/violation.h"
+
+namespace hv::core {
+namespace {
+
+using enum Violation;
+using ProblemGroup::kDataExfiltration;
+using ProblemGroup::kDataManipulation;
+using ProblemGroup::kFilterBypass;
+using ProblemGroup::kHtmlFormatting;
+using enum ViolationCategory;
+
+constexpr std::array<ViolationInfo, kViolationCount> kTable = {{
+    {kDE1, "DE1", "DE1", "Non-terminated textarea element",
+     kDefinitionViolation, kDataExfiltration, false},
+    {kDE2, "DE2", "DE2", "Non-terminated select and option elements",
+     kDefinitionViolation, kDataExfiltration, false},
+    {kDE3_1, "DE3_1", "DE3",
+     "Non-terminated HTML: newline and '<' inside a URL",
+     kParsingError, kDataExfiltration, false},
+    {kDE3_2, "DE3_2", "DE3",
+     "Non-terminated HTML: '<script' inside an attribute (nonce stealing)",
+     kParsingError, kDataExfiltration, false},
+    {kDE3_3, "DE3_3", "DE3",
+     "Non-terminated HTML: unclosed target attribute",
+     kParsingError, kDataExfiltration, false},
+    {kDE4, "DE4", "DE4", "Nested form element", kParsingError,
+     kDataExfiltration, false},
+    {kDM1, "DM1", "DM1", "Meta tag with http-equiv outside head",
+     kDefinitionViolation, kDataManipulation, true},
+    {kDM2_1, "DM2_1", "DM2", "Base tag outside head", kDefinitionViolation,
+     kDataManipulation, true},
+    {kDM2_2, "DM2_2", "DM2", "Multiple base elements", kDefinitionViolation,
+     kDataManipulation, true},
+    {kDM2_3, "DM2_3", "DM2", "Base tag after a URL-bearing element",
+     kDefinitionViolation, kDataManipulation, true},
+    {kDM3, "DM3", "DM3", "Multiple attributes with the same name",
+     kParsingError, kDataManipulation, true},
+    {kHF1, "HF1", "HF1", "Broken head section", kDefinitionViolation,
+     kHtmlFormatting, false},
+    {kHF2, "HF2", "HF2", "Content before body", kDefinitionViolation,
+     kHtmlFormatting, false},
+    {kHF3, "HF3", "HF3", "Multiple body elements", kParsingError,
+     kHtmlFormatting, false},
+    {kHF4, "HF4", "HF4", "Broken table element", kParsingError,
+     kHtmlFormatting, false},
+    {kHF5_1, "HF5_1", "HF5", "Wrong namespace (observed in HTML content)",
+     kParsingError, kHtmlFormatting, false},
+    {kHF5_2, "HF5_2", "HF5", "Wrong namespace (inside svg)", kParsingError,
+     kHtmlFormatting, false},
+    {kHF5_3, "HF5_3", "HF5", "Wrong namespace (inside math)", kParsingError,
+     kHtmlFormatting, false},
+    {kFB1, "FB1", "FB1", "Slashes between attributes", kParsingError,
+     kFilterBypass, true},
+    {kFB2, "FB2", "FB2", "Missing space between attributes", kParsingError,
+     kFilterBypass, true},
+}};
+
+}  // namespace
+
+const std::array<ViolationInfo, kViolationCount>& all_violations() noexcept {
+  return kTable;
+}
+
+const ViolationInfo& info(Violation violation) noexcept {
+  return kTable[static_cast<std::size_t>(violation)];
+}
+
+std::string_view to_string(Violation violation) noexcept {
+  return info(violation).name;
+}
+
+std::string_view to_string(ProblemGroup group) noexcept {
+  switch (group) {
+    case ProblemGroup::kDataExfiltration:
+      return "Data Exfiltration";
+    case ProblemGroup::kDataManipulation:
+      return "Data Manipulation";
+    case ProblemGroup::kHtmlFormatting:
+      return "HTML Formatting";
+    case ProblemGroup::kFilterBypass:
+      return "Filter Bypass";
+    case ProblemGroup::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ViolationCategory category) noexcept {
+  return category == ViolationCategory::kDefinitionViolation
+             ? "Definition Violation"
+             : "Parsing Error";
+}
+
+std::optional<Violation> violation_from_name(
+    std::string_view name) noexcept {
+  for (const ViolationInfo& entry : kTable) {
+    if (entry.name == name) return entry.id;
+  }
+  return std::nullopt;
+}
+
+ProblemGroup group_of(Violation violation) noexcept {
+  return info(violation).group;
+}
+
+}  // namespace hv::core

@@ -1,0 +1,88 @@
+// The paper's Table 1: the taxonomy of security-relevant HTML
+// specification violations.
+//
+// Two categories (section 3.2): Definition Violations — the parser and the
+// definitional part of the spec contradict each other; Parsing Errors — the
+// parser passes a named error state but tolerates it.  Four problem groups
+// indicate the security impact: Data Exfiltration (DE), Data Manipulation
+// (DM), HTML Formatting (HF, mXSS enablers), Filter Bypass (FB).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hv::core {
+
+enum class Violation : std::uint8_t {
+  kDE1,    ///< non-terminated textarea element
+  kDE2,    ///< non-terminated select / option elements
+  kDE3_1,  ///< dangling markup: newline + '<' inside a URL attribute
+  kDE3_2,  ///< nonce stealing: "<script" inside an attribute value
+  kDE3_3,  ///< unclosed target attribute (newline in target)
+  kDE4,    ///< nested form element (descendant form ignored)
+  kDM1,    ///< meta[http-equiv] outside head
+  kDM2_1,  ///< base outside head
+  kDM2_2,  ///< multiple base elements
+  kDM2_3,  ///< base after a URL-bearing element
+  kDM3,    ///< multiple attributes with the same name
+  kHF1,    ///< broken head section
+  kHF2,    ///< content before body
+  kHF3,    ///< multiple body elements
+  kHF4,    ///< broken table element (foster parenting)
+  kHF5_1,  ///< namespace violation observed in HTML content
+  kHF5_2,  ///< namespace violation inside <svg>
+  kHF5_3,  ///< namespace violation inside <math>
+  kFB1,    ///< slash between attributes
+  kFB2,    ///< missing space between attributes
+  kCount,
+};
+
+inline constexpr std::size_t kViolationCount =
+    static_cast<std::size_t>(Violation::kCount);
+
+enum class ProblemGroup : std::uint8_t {
+  kDataExfiltration,
+  kDataManipulation,
+  kHtmlFormatting,
+  kFilterBypass,
+  kCount,
+};
+
+inline constexpr std::size_t kProblemGroupCount =
+    static_cast<std::size_t>(ProblemGroup::kCount);
+
+enum class ViolationCategory : std::uint8_t {
+  kDefinitionViolation,  ///< spec contradicts itself / parser (section 3.2.1)
+  kParsingError,         ///< tolerated tokenizer/tree-builder error state
+};
+
+struct ViolationInfo {
+  Violation id;
+  std::string_view name;        ///< "DE3_1"
+  std::string_view family;      ///< "DE3" — Table 1 groups sub-variants
+  std::string_view definition;  ///< Table 1 wording
+  ViolationCategory category;
+  ProblemGroup group;
+  /// Section 4.4's classification: can a purely mechanical transformation
+  /// remove the violation without changing rendering?  (FB: serialize +
+  /// reparse; DM: dedupe / relocate into head.)
+  bool auto_fixable;
+};
+
+/// Static registry of all twenty violations in Table 1 order.
+const std::array<ViolationInfo, kViolationCount>& all_violations() noexcept;
+
+const ViolationInfo& info(Violation violation) noexcept;
+std::string_view to_string(Violation violation) noexcept;  ///< e.g. "DE3_1"
+std::string_view to_string(ProblemGroup group) noexcept;
+std::string_view to_string(ViolationCategory category) noexcept;
+
+/// Parses "DE3_1"-style names back to the enum.
+std::optional<Violation> violation_from_name(std::string_view name) noexcept;
+
+/// The problem group a violation belongs to.
+ProblemGroup group_of(Violation violation) noexcept;
+
+}  // namespace hv::core

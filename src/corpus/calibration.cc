@@ -1,0 +1,179 @@
+#include "corpus/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corpus/rng.h"
+#include "report/paper_data.h"
+
+namespace hv::corpus {
+namespace {
+
+/// Monte-Carlo estimate of the 8-year union for one series given the
+/// common-part weight m = sqrt(w^2 + c^2): draw the common factor
+/// G ~ N(0, m^2); conditional yearly probability is
+/// Phi((theta_y - G) / e).
+double estimate_union(const std::array<double, kYears>& thresholds, double m,
+                      std::uint64_t seed, int samples) {
+  const double e = std::sqrt(std::max(1e-9, 1.0 - m * m));
+  SplitMix64 rng(seed);
+  double total = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const double g = m * rng.normal();
+    double none = 1.0;
+    for (int y = 0; y < kYears; ++y) {
+      none *= 1.0 -
+              normal_cdf((thresholds[static_cast<std::size_t>(y)] - g) / e);
+    }
+    total += 1.0 - none;
+  }
+  return total / samples;
+}
+
+/// Finds m in [lower, 0.995] so the union matches; the union is monotone
+/// decreasing in m (more persistence => fewer distinct violators).
+double solve_common_weight(const std::array<double, kYears>& thresholds,
+                           double union_target, double lower,
+                           std::uint64_t seed, int samples) {
+  double lo = lower;          // most churn we are allowed (w fixed)
+  double hi = 0.995;          // almost perfectly persistent
+  const double u_lo = estimate_union(thresholds, lo, seed, samples);
+  if (union_target >= u_lo) return lo;  // cannot exceed the churn limit
+  const double u_hi = estimate_union(thresholds, hi, seed, samples);
+  if (union_target <= u_hi) return hi;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double u = estimate_union(thresholds, mid, seed, samples);
+    if (u > union_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Monte-Carlo estimate of the year-0 any-violation rate for a candidate
+/// domain weight w, with each violation's m solved for that w.
+double estimate_any_rate(
+    const std::array<SeriesTarget, core::kViolationCount>& targets,
+    const std::array<std::array<double, kYears>, core::kViolationCount>&
+        thresholds,
+    double w, std::uint64_t seed, int samples) {
+  // Solve m_v per violation for this w.
+  std::array<double, core::kViolationCount> m{};
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    if (targets[v].union_fraction > 0.0) {
+      m[v] = solve_common_weight(thresholds[v], targets[v].union_fraction, w,
+                                 mix(seed, v * 977 + 13), samples);
+    } else {
+      m[v] = std::min(0.9, std::max(w, 0.75));
+    }
+  }
+  SplitMix64 rng(mix(seed, 0xABCDEF));
+  int any = 0;
+  for (int s = 0; s < samples; ++s) {
+    const double z_d = rng.normal();
+    bool violated = false;
+    for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+      const double c = std::sqrt(std::max(0.0, m[v] * m[v] - w * w));
+      const double e = std::sqrt(std::max(1e-9, 1.0 - m[v] * m[v]));
+      const double z = w * z_d + c * rng.normal() + e * rng.normal();
+      if (z < thresholds[v][0]) {
+        violated = true;
+        break;
+      }
+    }
+    if (violated) ++any;
+  }
+  return static_cast<double>(any) / samples;
+}
+
+}  // namespace
+
+std::array<SeriesTarget, core::kViolationCount> paper_targets() {
+  std::array<SeriesTarget, core::kViolationCount> targets{};
+  for (const report::ViolationSeries& series :
+       report::paper_violation_series()) {
+    SeriesTarget& target =
+        targets[static_cast<std::size_t>(series.violation)];
+    for (int y = 0; y < kYears; ++y) {
+      target.yearly[static_cast<std::size_t>(y)] =
+          series.yearly_percent[static_cast<std::size_t>(y)] / 100.0;
+    }
+    target.union_fraction = series.union_percent / 100.0;
+  }
+  return targets;
+}
+
+Calibration Calibration::solve(
+    const std::array<SeriesTarget, core::kViolationCount>& targets,
+    double any_rate_2015, std::uint64_t seed, int monte_carlo_samples) {
+  Calibration calibration;
+
+  std::array<std::array<double, kYears>, core::kViolationCount> thresholds{};
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    for (int y = 0; y < kYears; ++y) {
+      thresholds[v][static_cast<std::size_t>(y)] = inverse_normal_cdf(
+          std::clamp(targets[v].yearly[static_cast<std::size_t>(y)], 1e-7,
+                     0.999999));
+    }
+  }
+
+  // Outer bisection on the domain weight w: a larger w concentrates
+  // violations on fewer (sloppier) domains, lowering the any-rate.
+  double lo = 0.05;
+  double hi = 0.85;
+  for (int iter = 0; iter < 12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double rate = estimate_any_rate(targets, thresholds, mid,
+                                          mix(seed, 31), monte_carlo_samples);
+    if (rate > any_rate_2015) {
+      lo = mid;  // too many violators: concentrate more
+    } else {
+      hi = mid;
+    }
+  }
+  const double w = 0.5 * (lo + hi);
+  calibration.domain_weight = w;
+
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    CalibratedSeries& series = calibration.violations[v];
+    series.thresholds = thresholds[v];
+    series.domain_weight = w;
+    double m = 0.0;
+    if (targets[v].union_fraction > 0.0) {
+      m = solve_common_weight(thresholds[v], targets[v].union_fraction, w,
+                              mix(seed, v * 977 + 13), monte_carlo_samples);
+    } else {
+      m = std::min(0.9, std::max(w, 0.75));
+    }
+    series.series_weight = std::sqrt(std::max(0.0, m * m - w * w));
+    series.noise_weight = std::sqrt(std::max(1e-9, 1.0 - m * m));
+  }
+  return calibration;
+}
+
+CalibratedSeries Calibration::solve_single(const SeriesTarget& target,
+                                           double domain_weight,
+                                           std::uint64_t seed,
+                                           int monte_carlo_samples) {
+  CalibratedSeries series;
+  series.domain_weight = domain_weight;
+  for (int y = 0; y < kYears; ++y) {
+    series.thresholds[static_cast<std::size_t>(y)] = inverse_normal_cdf(
+        std::clamp(target.yearly[static_cast<std::size_t>(y)], 1e-7,
+                   0.999999));
+  }
+  double m = std::min(0.9, std::max(domain_weight, 0.75));
+  if (target.union_fraction > 0.0) {
+    m = solve_common_weight(series.thresholds, target.union_fraction,
+                            domain_weight, seed, monte_carlo_samples);
+  }
+  series.series_weight =
+      std::sqrt(std::max(0.0, m * m - domain_weight * domain_weight));
+  series.noise_weight = std::sqrt(std::max(1e-9, 1.0 - m * m));
+  return series;
+}
+
+}  // namespace hv::corpus

@@ -1,0 +1,85 @@
+// Statistical calibration of the synthetic corpus against the paper.
+//
+// The corpus must reproduce three families of published statistics at
+// once (DESIGN.md section 2):
+//   1. yearly marginals  — % of domains violating v in year y
+//                          (Figures 16-21),
+//   2. 8-year unions     — % of domains violating v at least once
+//                          (Figure 8: FB2 78.5% despite yearly ~45%), and
+//   3. any-violation     — % of domains with >=1 violation per year
+//                          (Figure 9: 74.3% -> 68.4%, far below the
+//                          independence prediction of ~95%).
+//
+// Model: a Gaussian copula with one latent factor per level.  For domain
+// d, violation v, year y:
+//
+//     z_dvy = w * z_d  +  c_v * n_dv  +  e_v * eps_dvy,
+//     w^2 + c_v^2 + e_v^2 = 1,      violate  <=>  z_dvy < theta_vy
+//
+// where z_d is the domain's "sloppiness" (messy sites violate many rules —
+// this produces the sub-independence any-rate), n_dv is the per-(domain,
+// violation) persistence (a site that glues attributes keeps gluing them —
+// this produces the union/yearly gap), and eps is yearly churn (refactors
+// add and remove violations, section 5.2).  Setting theta_vy to the normal
+// quantile of the target rate makes marginal (1) exact by construction;
+// `solve` finds w to match the 2015 any-rate and each c_v to match the
+// Figure 8 union, both by bisection over Monte-Carlo estimates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/violation.h"
+
+namespace hv::corpus {
+
+inline constexpr int kYears = 8;
+
+struct SeriesTarget {
+  /// Target rate per year, as a fraction of domains (0..1).
+  std::array<double, kYears> yearly{};
+  /// Target 8-year union, fraction of domains; <= 0 disables union
+  /// fitting (the series weight defaults to a moderate persistence).
+  double union_fraction = -1.0;
+};
+
+/// Calibrated parameters for one violation (or benign quirk) series.
+struct CalibratedSeries {
+  std::array<double, kYears> thresholds{};  ///< theta_vy = Phi^-1(rate)
+  double domain_weight = 0.0;               ///< w
+  double series_weight = 0.0;               ///< c_v
+  double noise_weight = 1.0;                ///< e_v
+
+  /// Whether (z_d, n_dv, eps) trips the series in year `y`.
+  bool active(double z_domain, double n_series, double eps,
+              int y) const noexcept {
+    const double z = domain_weight * z_domain + series_weight * n_series +
+                     noise_weight * eps;
+    return z < thresholds[static_cast<std::size_t>(y)];
+  }
+};
+
+struct Calibration {
+  std::array<CalibratedSeries, core::kViolationCount> violations{};
+  double domain_weight = 0.0;
+
+  /// Solves the copula parameters for the given per-violation targets and
+  /// the target 2015 any-violation rate.  Deterministic in `seed`.
+  static Calibration solve(
+      const std::array<SeriesTarget, core::kViolationCount>& targets,
+      double any_rate_2015, std::uint64_t seed, int monte_carlo_samples = 3000);
+
+  /// Calibrates an independent auxiliary series (benign quirks such as
+  /// newline-in-URL or math usage) that shares the domain factor.
+  static CalibratedSeries solve_single(const SeriesTarget& target,
+                                       double domain_weight,
+                                       std::uint64_t seed,
+                                       int monte_carlo_samples = 3000);
+};
+
+/// Builds the calibration targets from the paper's published series
+/// (report/paper_data.h).
+std::array<SeriesTarget, core::kViolationCount> paper_targets();
+
+}  // namespace hv::corpus

@@ -1,0 +1,258 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+
+#include "corpus/rng.h"
+#include "report/paper_data.h"
+
+namespace hv::corpus {
+namespace {
+
+using core::Violation;
+
+/// Table 2 derived fractions: domains present per crawl / study population.
+constexpr std::array<double, kYears> kInCrawlRate = {
+    0.8456, 0.8491, 0.8954, 0.9032, 0.9251, 0.9200, 0.9168, 0.9064};
+
+/// Table 2: successfully analyzed / present.
+constexpr std::array<double, kYears> kSuccessRate = {
+    0.977, 0.979, 0.988, 0.990, 0.991, 0.992, 0.993, 0.993};
+
+/// Table 2: average pages per domain / the 100-page cap.
+constexpr std::array<double, kYears> kPageFill = {
+    0.788, 0.779, 0.873, 0.883, 0.901, 0.897, 0.898, 0.897};
+
+/// Section 4.5: domains with a newline inside some URL (11.2% -> 11.0%).
+constexpr std::array<double, kYears> kNewlineUrlRate = {
+    0.112, 0.112, 0.1115, 0.111, 0.111, 0.1105, 0.110, 0.110};
+
+/// Section 4.2: math-element usage grows 42 -> 224 domains (0.2% -> 1.0%).
+constexpr std::array<double, kYears> kMathUsageRate = {
+    0.0020, 0.0025, 0.0035, 0.0045, 0.0055, 0.0070, 0.0085, 0.0100};
+
+/// Inline SVG adoption (background realism; exercises the foreign-content
+/// path on clean pages).
+constexpr std::array<double, kYears> kSvgUsageRate = {
+    0.12, 0.14, 0.17, 0.20, 0.23, 0.26, 0.29, 0.32};
+
+SeriesTarget make_target(const std::array<double, kYears>& yearly,
+                         double union_fraction = -1.0) {
+  SeriesTarget target;
+  target.yearly = yearly;
+  target.union_fraction = union_fraction;
+  return target;
+}
+
+}  // namespace
+
+Generator::Generator(CorpusConfig config, std::vector<std::string> domains)
+    : config_(config), domains_(std::move(domains)) {
+  if (domains_.size() > config_.domain_count) {
+    domains_.resize(config_.domain_count);
+  }
+  std::array<SeriesTarget, core::kViolationCount> targets = paper_targets();
+  double any_target = 0.7431;
+  if (config_.violation_rate_scale != 1.0) {
+    const double scale = std::clamp(config_.violation_rate_scale, 0.05, 2.0);
+    for (SeriesTarget& target : targets) {
+      for (double& rate : target.yearly) rate = std::min(0.95, rate * scale);
+      if (target.union_fraction > 0.0) {
+        target.union_fraction = std::min(0.97, target.union_fraction * scale);
+      }
+    }
+    any_target = std::min(0.95, any_target * std::sqrt(scale));
+  }
+  calibration_ =
+      Calibration::solve(targets, any_target, mix(config_.seed, 0xCAFE),
+                         config_.calibration_samples);
+  const double w = calibration_.domain_weight;
+  newline_url_series_ = Calibration::solve_single(
+      make_target(kNewlineUrlRate), w * 0.5, mix(config_.seed, 1));
+  math_series_ = Calibration::solve_single(make_target(kMathUsageRate),
+                                           w * 0.25, mix(config_.seed, 2));
+  svg_series_ = Calibration::solve_single(make_target(kSvgUsageRate),
+                                          w * 0.25, mix(config_.seed, 3));
+  // Crawl presence is highly persistent: a site on Common Crawl one year
+  // is almost always there the next (Table 2's smooth counts).
+  in_crawl_series_ = Calibration::solve_single(
+      make_target(kInCrawlRate, /*union_fraction=*/0.9653),  // 24050/24915
+      0.30, mix(config_.seed, 4));
+}
+
+double Generator::latent_domain(std::size_t domain_index) const {
+  SplitMix64 rng(mix(config_.seed, fnv1a(domains_[domain_index]) ^ 0x51ull));
+  return rng.normal();
+}
+
+double Generator::latent_series(std::size_t domain_index,
+                                std::size_t series) const {
+  SplitMix64 rng(mix(mix(config_.seed, fnv1a(domains_[domain_index])),
+                     0x1000 + series));
+  return rng.normal();
+}
+
+double Generator::latent_year(std::size_t domain_index, std::size_t series,
+                              int year_index) const {
+  SplitMix64 rng(
+      mix(mix(config_.seed, fnv1a(domains_[domain_index])),
+          0x9000 + series * 64 + static_cast<std::size_t>(year_index)));
+  return rng.normal();
+}
+
+std::bitset<core::kViolationCount> Generator::ground_truth(
+    std::size_t domain_index, int year_index) const {
+  std::bitset<core::kViolationCount> bits;
+  const double z_d = latent_domain(domain_index);
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    const CalibratedSeries& series = calibration_.violations[v];
+    // FB1 shares FB2's persistence latent: in the paper's data the
+    // slash-separated-attribute sites are nearly a subset of the
+    // glued-attribute sites (Figure 10's FB group tracks FB2 alone).
+    // Marginals stay exact — only the cross-correlation rises.
+    std::size_t latent_index = v;
+    if (v == static_cast<std::size_t>(core::Violation::kFB1)) {
+      latent_index = static_cast<std::size_t>(core::Violation::kFB2);
+    }
+    const double n = latent_series(domain_index, latent_index);
+    const double eps = latent_year(domain_index, v, year_index);
+    if (series.active(z_d, n, eps, year_index)) bits.set(v);
+  }
+  return bits;
+}
+
+DomainSnapshot Generator::domain_snapshot(std::size_t domain_index,
+                                          int year_index) const {
+  DomainSnapshot snapshot;
+  snapshot.domain = domains_[domain_index];
+  snapshot.year_index = year_index;
+
+  const double z_d = latent_domain(domain_index);
+  constexpr std::size_t kCrawlSeries = 100;
+  constexpr std::size_t kNewlineSeries = 101;
+  constexpr std::size_t kMathSeries = 102;
+  constexpr std::size_t kSvgSeries = 103;
+
+  snapshot.in_crawl = in_crawl_series_.active(
+      z_d, latent_series(domain_index, kCrawlSeries),
+      latent_year(domain_index, kCrawlSeries, year_index), year_index);
+  if (!snapshot.in_crawl) return snapshot;
+
+  SplitMix64 rng(mix(mix(config_.seed, fnv1a(snapshot.domain)),
+                     0xF00D + static_cast<std::size_t>(year_index)));
+
+  // A small share of found domains serves no analyzable HTML (APIs, ad
+  // servers like doubleclick.net in the paper).
+  const double success_rate =
+      kSuccessRate[static_cast<std::size_t>(year_index)];
+  // Persistent across years: an API domain stays an API domain, and as
+  // the per-year success rate rises, some former failures become
+  // analyzable (the same stable uniform against a moving threshold).
+  SplitMix64 kind_rng(mix(config_.seed, fnv1a(snapshot.domain) ^ 0xA11));
+  const bool api_domain = kind_rng.uniform() > success_rate;
+
+  const int cap = config_.max_pages_per_domain;
+  const double fill = kPageFill[static_cast<std::size_t>(year_index)];
+  int page_count = std::max(
+      1, static_cast<int>(
+             std::lround(cap * fill + (rng.uniform() - 0.5) * 0.3 * cap)));
+  page_count = std::min(page_count, cap);
+
+  if (api_domain) {
+    snapshot.analyzable = false;
+    PageSpec spec;
+    spec.domain = snapshot.domain;
+    spec.seed = mix(config_.seed, fnv1a(snapshot.domain));
+    for (int i = 0; i < std::min(page_count, 3); ++i) {
+      spec.path = "/api/v1/resource/" + std::to_string(i);
+      snapshot.pages.push_back(
+          {spec.path, "application/json", render_non_html_payload(spec)});
+    }
+    return snapshot;
+  }
+  snapshot.analyzable = true;
+  snapshot.ground_truth = ground_truth(domain_index, year_index);
+
+  if (config_.inject_quirks) {
+    snapshot.quirk_newline_in_url = newline_url_series_.active(
+        z_d, latent_series(domain_index, kNewlineSeries),
+        latent_year(domain_index, kNewlineSeries, year_index), year_index);
+    snapshot.quirk_uses_math = math_series_.active(
+        z_d, latent_series(domain_index, kMathSeries),
+        latent_year(domain_index, kMathSeries, year_index), year_index);
+  }
+  const bool uses_svg =
+      config_.inject_quirks &&
+      svg_series_.active(z_d, latent_series(domain_index, kSvgSeries),
+                         latent_year(domain_index, kSvgSeries, year_index),
+                         year_index);
+
+  // Assign each active violation a primary page (guaranteed) plus extra
+  // pages with 25% probability each.  DE1 and DE2 swallow page tails, so
+  // they get distinct primaries and no extras.
+  const auto pages = static_cast<std::size_t>(page_count);
+  std::vector<std::bitset<core::kViolationCount>> page_violations(pages);
+  std::size_t de1_primary = pages;  // sentinel
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    if (!snapshot.ground_truth.test(v)) continue;
+    SplitMix64 assign_rng(
+        mix(mix(config_.seed, fnv1a(snapshot.domain)),
+            0xBEEF00 + v * 97 + static_cast<std::size_t>(year_index)));
+    std::size_t primary = assign_rng.below(pages);
+    const auto violation = static_cast<Violation>(v);
+    if (violation == Violation::kDE1) {
+      de1_primary = primary;
+    } else if (violation == Violation::kDE2 && primary == de1_primary) {
+      primary = (primary + 1) % pages;
+      if (primary == de1_primary) {  // single-page domain: DE1 wins
+        continue;
+      }
+    }
+    page_violations[primary].set(v);
+    if (violation != Violation::kDE1 && violation != Violation::kDE2) {
+      for (std::size_t p = 0; p < pages; ++p) {
+        if (p != primary && assign_rng.chance(0.25)) {
+          page_violations[p].set(v);
+        }
+      }
+    }
+  }
+  // An unterminated textarea would hide any same-page select leak.
+  if (de1_primary < pages) {
+    page_violations[de1_primary].reset(
+        static_cast<std::size_t>(Violation::kDE2));
+  }
+
+  for (std::size_t p = 0; p < pages; ++p) {
+    PageSpec spec;
+    spec.domain = snapshot.domain;
+    spec.year = report::kYears[static_cast<std::size_t>(year_index)];
+    spec.seed = mix(config_.seed,
+                    mix(fnv1a(snapshot.domain),
+                        0xABC000 + p * 131 +
+                            static_cast<std::size_t>(year_index)));
+    SplitMix64 page_rng(mix(spec.seed, 0x77));
+    spec.path = p == 0 ? std::string("/")
+                       : "/pages/" + std::to_string(spec.year) + "/entry-" +
+                             std::to_string(p);
+    spec.violations = page_violations[p];
+    spec.quirk_newline_in_url =
+        snapshot.quirk_newline_in_url && (p == 0 || page_rng.chance(0.3));
+    spec.quirk_uses_math =
+        snapshot.quirk_uses_math && (p == 0 || page_rng.chance(0.3));
+    spec.quirk_uses_svg = uses_svg && page_rng.chance(0.5);
+
+    // ~1% of pages are not UTF-8 and get filtered downstream; keep
+    // violation-bearing pages UTF-8 so domain-level ground truth holds.
+    if (page_violations[p].none() && page_rng.chance(0.01)) {
+      snapshot.pages.push_back({spec.path,
+                                "text/html; charset=iso-8859-1",
+                                render_non_utf8_page(spec)});
+      continue;
+    }
+    snapshot.pages.push_back(
+        {spec.path, "text/html; charset=utf-8", render_page(spec)});
+  }
+  return snapshot;
+}
+
+}  // namespace hv::corpus

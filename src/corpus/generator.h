@@ -1,0 +1,91 @@
+// The synthetic-web generator: decides, per (domain, year), which
+// violations and quirks a site exhibits (via the calibrated copula of
+// calibration.h) and renders the concrete pages (page_builder.h).
+//
+// The generator also models the dataset mechanics of Table 2: not every
+// study domain exists in every crawl (84.6%..90.6% per year), a small
+// share of found domains has no analyzable HTML (97.7%..99.3% success),
+// page counts per domain vary by year (avg 78-90% of the cap), and ~1% of
+// pages are not UTF-8 (filtered downstream, like the paper's framework).
+//
+// Ground truth (which violations were injected) is exposed so tests can
+// measure checker precision/recall — something the paper could only
+// estimate by manual review (section 3.3).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/violation.h"
+#include "corpus/calibration.h"
+#include "corpus/page_builder.h"
+
+namespace hv::corpus {
+
+struct CorpusConfig {
+  std::size_t domain_count = 2000;
+  int max_pages_per_domain = 10;
+  std::uint64_t seed = 42;
+  int calibration_samples = 3000;
+  /// Emit benign quirks (newline URLs, math/svg usage) for section 4.5/4.2.
+  bool inject_quirks = true;
+  /// Scales every violation's target rate.  1.0 models the paper's popular
+  /// domains; the section 5.2 generalization cohort ("less popular
+  /// websites ... have fewer violations on average") uses < 1.0.
+  double violation_rate_scale = 1.0;
+};
+
+struct PageRecord {
+  std::string url;
+  std::string content_type;  ///< e.g. "text/html; charset=utf-8"
+  std::string body;
+};
+
+struct DomainSnapshot {
+  std::string domain;
+  int year_index = 0;
+  bool in_crawl = false;     ///< has records in this snapshot (Table 2 col 2)
+  bool analyzable = false;   ///< has >=1 UTF-8 HTML page (Table 2 col 3)
+  std::bitset<core::kViolationCount> ground_truth;  ///< injected this year
+  bool quirk_newline_in_url = false;
+  bool quirk_uses_math = false;
+  std::vector<PageRecord> pages;
+};
+
+class Generator {
+ public:
+  Generator(CorpusConfig config, std::vector<std::string> domains);
+
+  const std::vector<std::string>& domains() const noexcept {
+    return domains_;
+  }
+  const CorpusConfig& config() const noexcept { return config_; }
+  const Calibration& calibration() const noexcept { return calibration_; }
+
+  /// Violations the copula schedules for (domain, year) — the ground truth
+  /// the checker is later measured against.
+  std::bitset<core::kViolationCount> ground_truth(std::size_t domain_index,
+                                                  int year_index) const;
+
+  /// Full snapshot of one domain in one year, pages rendered.
+  DomainSnapshot domain_snapshot(std::size_t domain_index,
+                                 int year_index) const;
+
+ private:
+  double latent_domain(std::size_t domain_index) const;
+  double latent_series(std::size_t domain_index, std::size_t series) const;
+  double latent_year(std::size_t domain_index, std::size_t series,
+                     int year_index) const;
+
+  CorpusConfig config_;
+  std::vector<std::string> domains_;
+  Calibration calibration_;
+  CalibratedSeries newline_url_series_;
+  CalibratedSeries math_series_;
+  CalibratedSeries svg_series_;
+  CalibratedSeries in_crawl_series_;
+};
+
+}  // namespace hv::corpus

@@ -1,0 +1,536 @@
+#include "corpus/page_builder.h"
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "corpus/rng.h"
+
+namespace hv::corpus {
+namespace {
+
+using core::Violation;
+
+constexpr std::array<std::string_view, 28> kNouns = {
+    "release",  "update",   "catalog",  "project", "service", "report",
+    "feature",  "platform", "customer", "market",  "product", "article",
+    "review",   "story",    "guide",    "event",   "partner", "network",
+    "insight",  "forecast", "summary",  "archive", "bulletin", "notice",
+    "briefing", "handbook", "survey",   "digest"};
+
+constexpr std::array<std::string_view, 24> kVerbs = {
+    "launches", "improves", "announces", "expands",  "delivers", "explores",
+    "reviews",  "compares", "measures",  "explains", "presents", "collects",
+    "tracks",   "curates",  "covers",    "shares",   "hosts",    "features",
+    "supports", "connects", "publishes", "archives", "updates",  "extends"};
+
+constexpr std::array<std::string_view, 20> kAdjectives = {
+    "quarterly", "regional", "annual",   "technical", "popular",
+    "detailed",  "modern",   "improved", "seasonal",  "practical",
+    "official",  "weekly",   "upcoming", "featured",  "complete",
+    "expanded",  "digital",  "local",    "global",    "monthly"};
+
+class Vocabulary {
+ public:
+  explicit Vocabulary(SplitMix64& rng) : rng_(rng) {}
+
+  std::string_view noun() { return kNouns[rng_.below(kNouns.size())]; }
+  std::string_view verb() { return kVerbs[rng_.below(kVerbs.size())]; }
+  std::string_view adjective() {
+    return kAdjectives[rng_.below(kAdjectives.size())];
+  }
+
+  std::string sentence(std::size_t words) {
+    std::string out = "The ";
+    out += adjective();
+    out.push_back(' ');
+    out += noun();
+    out.push_back(' ');
+    out += verb();
+    for (std::size_t i = 3; i < words; ++i) {
+      out.push_back(' ');
+      if (rng_.chance(0.3)) {
+        out += adjective();
+      } else {
+        out += noun();
+      }
+    }
+    out.push_back('.');
+    return out;
+  }
+
+  std::string paragraph(std::size_t sentences) {
+    std::string out;
+    for (std::size_t i = 0; i < sentences; ++i) {
+      if (i > 0) out.push_back(' ');
+      out += sentence(6 + rng_.below(8));
+    }
+    return out;
+  }
+
+  std::string title() {
+    std::string out(adjective());
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+    out.push_back(' ');
+    out += noun();
+    return out;
+  }
+
+  std::string slug() {
+    std::string out(noun());
+    out.push_back('-');
+    out += std::to_string(rng_.below(900) + 100);
+    return out;
+  }
+
+ private:
+  SplitMix64& rng_;
+};
+
+/// Assembly buffer with the injection slots the violations target.
+struct PageParts {
+  bool explicit_head = true;    ///< false -> Google-404-style implicit head
+  bool minimal_head = false;    ///< no URL-bearing elements in head (DM2_1)
+  std::vector<std::string> head_extra;       ///< early in <head>
+  std::vector<std::string> head_late;        ///< in <head>, after the links
+  std::vector<std::string> between_head_body;  ///< after </head>, before <body>
+  std::vector<std::string> body_start;       ///< right after <body>
+  std::vector<std::string> content;          ///< main content blocks
+  std::vector<std::string> body_end;         ///< before the footer
+  std::vector<std::string> tail;             ///< last thing in body (DE1/DE2)
+};
+
+void add_clean_table(PageParts& parts, Vocabulary& vocab) {
+  std::string table = "<table class=\"data\">\n<tr><th>Name</th><th>";
+  table += vocab.noun();
+  table += "</th></tr>\n";
+  for (int row = 0; row < 3; ++row) {
+    table += "<tr><td>";
+    table += vocab.title();
+    table += "</td><td>";
+    table += vocab.sentence(5);
+    table += "</td></tr>\n";
+  }
+  table += "</table>";
+  parts.content.push_back(std::move(table));
+}
+
+void add_clean_form(PageParts& parts, Vocabulary& vocab) {
+  std::string form =
+      "<form method=\"get\" action=\"/search\">\n"
+      "<label for=\"q\">Search ";
+  form += vocab.noun();
+  form +=
+      "s</label>\n"
+      "<input type=\"text\" id=\"q\" name=\"q\" placeholder=\"keyword\">\n"
+      "<input type=\"submit\" value=\"Go\">\n"
+      "</form>";
+  parts.content.push_back(std::move(form));
+}
+
+void add_clean_svg(PageParts& parts) {
+  parts.content.push_back(
+      "<span class=\"icon\"><svg width=\"16\" height=\"16\" "
+      "viewBox=\"0 0 16 16\"><path d=\"M2 2h12v12H2z\" "
+      "fill=\"currentColor\"/><circle cx=\"8\" cy=\"8\" r=\"3\"/></svg>"
+      "</span>");
+}
+
+void add_clean_math(PageParts& parts) {
+  parts.content.push_back(
+      "<p>The break-even point satisfies "
+      "<math><mi>r</mi><mo>=</mo><mn>1</mn><mo>-</mo><mi>c</mi></math> "
+      "as derived above.</p>");
+}
+
+// --- injectors (one per violation; see header for hygiene rules) -----------
+
+void inject(PageParts& parts, Violation violation, Vocabulary& vocab,
+            SplitMix64& rng) {
+  switch (violation) {
+    case Violation::kFB1:
+      // A mangled onClick quote made the '/' land inside the tag — the
+      // parser treats it as whitespace (unexpected-solidus-in-tag).
+      parts.content.push_back(
+          "<p>Browse the gallery "
+          "<img/src=\"/img/gallery-" + vocab.slug() +
+          ".jpg\"/alt=\"gallery preview\"> and more.</p>");
+      return;
+    case Violation::kFB2:
+      // Missing space between attributes, the most common oversight.
+      parts.content.push_back(
+          "<p><a href=\"/topics/" + vocab.slug() +
+          "\"class=\"more-link\">Read the full " +
+          std::string(vocab.noun()) + "</a></p>");
+      return;
+    case Violation::kDM3:
+      // A refactor added an alt attribute, forgetting one already existed
+      // (paper Figure 14).
+      parts.content.push_back(
+          "<img src=\"/img/teaser-" + vocab.slug() +
+          ".png\" alt=\"teaser\" alt=\"" + std::string(vocab.noun()) +
+          " teaser image\" width=\"320\" height=\"180\">");
+      return;
+    case Violation::kDE1:
+      // Copy-paste mistake: the closing </textarea> was lost, so the
+      // parser swallows the rest of the page (paper Figure 3).
+      parts.tail.push_back(
+          "<form method=\"post\" action=\"/feedback\">\n"
+          "<input type=\"submit\" value=\"Send\">\n"
+          "<textarea name=\"comment\" rows=\"4\">\n");
+      return;
+    case Violation::kDE2:
+      // Unterminated select: every following tag is dropped and its text
+      // leaks into the option list.
+      parts.tail.push_back(
+          "<form method=\"get\" action=\"/region\">\n"
+          "<select name=\"country\">\n"
+          "<option>Germany\n<option>France\n<option>Japan\n");
+      return;
+    case Violation::kDE3_1:
+      // Forgotten closing quote absorbed the following markup into the
+      // URL: the value now holds a newline and a '<'.
+      parts.content.push_back(
+          "<img src=\"/banner.php?campaign=" + vocab.slug() +
+          "\n<em>limited offer</em\" alt=\"campaign banner\">");
+      return;
+    case Violation::kDE3_2:
+      // An embed-code widget keeps raw markup in a value attribute.
+      parts.content.push_back(
+          "<input type=\"hidden\" name=\"embedcode\" "
+          "value='<script src=\"/widget/" + vocab.slug() +
+          ".js\"></script>'>");
+      return;
+    case Violation::kDE3_3:
+      // Unterminated target attribute with an absorbed newline
+      // (paper Figure 5).
+      parts.content.push_back(
+          "<p><a href=\"/help/" + vocab.slug() + "\" target=\"\n"
+          "_blank\">Need help?</a></p>");
+      return;
+    case Violation::kDE4:
+      // Two nearly identical forms pasted into each other
+      // (paper Figure 13, lines 1-4).
+      parts.content.push_back(
+          "<form method=\"get\" action=\"/search/\">\n"
+          "<form id=\"keywordsearch\" name=\"keywordsearch\" method=\"get\" "
+          "action=\"/search\">\n"
+          "<input name=\"q\" type=\"text\" placeholder=\"Search by "
+          "keyword\">\n"
+          "<input type=\"submit\" value=\"Search\">\n"
+          "</form>\n</form>");
+      return;
+    case Violation::kDM1:
+      // A meta refresh dropped into the body (paper Figure 15 spirit).
+      parts.content.push_back(
+          "<meta http-equiv=\"refresh\" content=\"300; URL=/" +
+          vocab.slug() + "\">");
+      return;
+    case Violation::kDM2_1:
+      // Base element in the body; the page's head is kept URL-free so the
+      // finding is purely "outside head" (DM2_1).
+      parts.minimal_head = true;
+      parts.body_start.push_back(
+          "<base href=\"https://cdn.example-assets.net/\">");
+      return;
+    case Violation::kDM2_2:
+      // Two base elements, both early in the head.
+      parts.head_extra.insert(parts.head_extra.begin(),
+                              "<base href=\"/\">\n<base target=\"_self\">");
+      parts.minimal_head = true;
+      return;
+    case Violation::kDM2_3:
+      // base declared after the stylesheet link that already used a URL.
+      parts.head_late.push_back("<base href=\"/\">");
+      return;
+    case Violation::kHF1:
+      switch (rng.below(3)) {
+        case 0:
+          // Head-only element placed after </head>.
+          parts.between_head_body.push_back(
+              "<link rel=\"stylesheet\" href=\"/css/late-" + vocab.slug() +
+              ".css\">");
+          return;
+        case 1:
+          // No <head> tags at all, but head content present
+          // (Google 404 style, paper Figure 12).
+          parts.explicit_head = false;
+          return;
+        default:
+          // A hidden modal div left inside the head.
+          parts.head_extra.push_back(
+              "<div class=\"preload-overlay\" style=\"display:none\">"
+              "loading</div>");
+          return;
+      }
+    case Violation::kHF2:
+      // Third-party snippet pasted between </head> and <body>.
+      parts.between_head_body.push_back(
+          "<div id=\"fb-root\"></div>");
+      return;
+    case Violation::kHF3:
+      // A second body tag introduced by a template merge.
+      parts.body_end.push_back("<body data-theme=\"light\">");
+      return;
+    case Violation::kHF4:
+      if (rng.chance(0.5)) {
+        // Headline row without a cell (paper Figure 11).
+        parts.content.push_back(
+            "<table>\n<tr><strong>" + vocab.title() +
+            "</strong></tr>\n<tr>\n<td>" + vocab.sentence(8) +
+            "</td>\n<td><img src=\"/img/" + vocab.slug() +
+            ".jpg\" align=\"right\"></td>\n</tr>\n</table>");
+      } else {
+        // Loose text directly inside the table.
+        parts.content.push_back(
+            "<table>" + std::string(vocab.noun()) +
+            " overview<tr><td>" + vocab.sentence(6) + "</td></tr></table>");
+      }
+      return;
+    case Violation::kHF5_1:
+      if (rng.chance(0.5)) {
+        // Leftover </svg> from a refactor.
+        parts.content.push_back(
+            "<div class=\"social-links\"><a href=\"/share\">share</a>"
+            "</svg></div>");
+      } else {
+        // CDATA block pasted from an XML feed.
+        parts.content.push_back(
+            "<![CDATA[legacy feed content]]>");
+      }
+      return;
+    case Violation::kHF5_2:
+      if (rng.chance(0.5)) {
+        // Unclosed circle makes the </g> mismatch inside the SVG.
+        parts.content.push_back(
+            "<svg width=\"20\" height=\"20\" viewBox=\"0 0 20 20\">"
+            "<g class=\"badge\"><circle cx=\"10\" cy=\"10\" r=\"8\"></g>"
+            "</svg>");
+      } else {
+        // HTML fallback image inside the svg breaks out of the namespace.
+        parts.content.push_back(
+            "<span class=\"logo\"><svg viewBox=\"0 0 16 16\">"
+            "<path d=\"M0 0h16v16H0z\"/>"
+            "<img src=\"/img/logo-fallback.png\" alt=\"logo\"></span>");
+      }
+      return;
+    case Violation::kHF5_3:
+      // Misnested MathML row.
+      parts.content.push_back(
+          "<p>Velocity: <math><mrow><mn>3</mn><mo>+</mo><mi>t</mrow>"
+          "</math></p>");
+      return;
+    case Violation::kCount:
+      return;
+  }
+}
+
+std::string assemble(const PageParts& parts, const PageSpec& spec,
+                     Vocabulary& vocab, SplitMix64& rng) {
+  std::string title = vocab.title();
+  std::string html = "<!DOCTYPE html>\n<html lang=\"en\">\n";
+
+  // --- head ---
+  std::string head_inner = "<meta charset=\"utf-8\">\n";
+  for (const std::string& extra : parts.head_extra) {
+    head_inner += extra;
+    head_inner.push_back('\n');
+  }
+  head_inner += "<title>" + title + " | " + spec.domain + "</title>\n";
+  head_inner += "<meta name=\"viewport\" content=\"width=device-width, "
+                "initial-scale=1\">\n";
+  if (!parts.minimal_head) {
+    head_inner += "<meta name=\"description\" content=\"" +
+                  vocab.sentence(8) + "\">\n";
+    head_inner += "<link rel=\"stylesheet\" href=\"/css/site.css\">\n";
+    if (rng.chance(0.6)) {
+      head_inner += "<script src=\"/js/app.js\" defer></script>\n";
+    }
+    if (rng.chance(0.3)) {
+      head_inner += "<style>.hero{margin:0 auto;max-width:960px}</style>\n";
+    }
+  }
+  for (const std::string& late : parts.head_late) {
+    head_inner += late;
+    head_inner.push_back('\n');
+  }
+  if (parts.explicit_head) {
+    html += "<head>\n" + head_inner + "</head>\n";
+  } else {
+    html += head_inner;  // HF1: head content without head tags
+  }
+  for (const std::string& between : parts.between_head_body) {
+    html += between;
+    html.push_back('\n');
+  }
+
+  // --- body ---
+  html += "<body class=\"page\">\n";
+  for (const std::string& start : parts.body_start) {
+    html += start;
+    html.push_back('\n');
+  }
+  html += "<nav class=\"top\"><a href=\"/\">Home</a> <a href=\"/" +
+          vocab.slug() + "\">" + std::string(vocab.noun()) +
+          "s</a> <a href=\"/about\">About</a></nav>\n";
+  html += "<main>\n<h1>" + title + "</h1>\n";
+  for (const std::string& block : parts.content) {
+    html += block;
+    html.push_back('\n');
+  }
+  html += "</main>\n";
+  for (const std::string& end : parts.body_end) {
+    html += end;
+    html.push_back('\n');
+  }
+  html += "<footer><p>&copy; " + std::to_string(spec.year) + " " +
+          spec.domain + " &middot; all rights reserved</p></footer>\n";
+  for (const std::string& tail : parts.tail) {
+    html += tail;
+    html.push_back('\n');
+  }
+  if (parts.tail.empty()) {
+    html += "</body>\n</html>\n";
+  }
+  // DE1/DE2 pages intentionally never reach </body>: the unterminated
+  // element swallows the rest of the file, as in the wild.
+  return html;
+}
+
+}  // namespace
+
+std::string render_page(const PageSpec& spec) {
+  SplitMix64 rng(mix(spec.seed, fnv1a(spec.domain) ^ fnv1a(spec.path)));
+  Vocabulary vocab(rng);
+  PageParts parts;
+
+  // Baseline content.
+  const int paragraphs = 2 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < paragraphs; ++i) {
+    parts.content.push_back("<p>" + vocab.paragraph(2 + rng.below(3)) +
+                            "</p>");
+  }
+  if (rng.chance(0.5)) add_clean_table(parts, vocab);
+  if (rng.chance(0.4)) add_clean_form(parts, vocab);
+  if (spec.quirk_uses_svg) add_clean_svg(parts);
+  if (spec.quirk_uses_math) add_clean_math(parts);
+  if (spec.quirk_newline_in_url) {
+    // A templating engine wrapped the URL across lines: legal but exactly
+    // what the section 4.5 mitigation telemetry counts.
+    parts.content.push_back("<a href=\"/promotions/autumn\n-sale\">"
+                            "Seasonal offers</a>");
+  }
+  if (rng.chance(0.4)) {
+    parts.content.push_back("<ul><li>" + vocab.sentence(5) + "</li><li>" +
+                            vocab.sentence(6) + "</li></ul>");
+  }
+
+  // Violations. DE1/DE2 go to `tail` inside their injectors; everything
+  // else lands in regular slots.  If both DE1 and DE2 are scheduled for
+  // the same page, DE2 is dropped here — the generator assigns them to
+  // different pages, this is a final guard (an open textarea would
+  // swallow the select and hide it from the checker anyway).
+  auto violations = spec.violations;
+  if (violations.test(static_cast<std::size_t>(Violation::kDE1)) &&
+      violations.test(static_cast<std::size_t>(Violation::kDE2))) {
+    violations.reset(static_cast<std::size_t>(Violation::kDE2));
+  }
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    if (violations.test(v)) {
+      inject(parts, static_cast<Violation>(v), vocab, rng);
+    }
+  }
+  return assemble(parts, spec, vocab, rng);
+}
+
+std::string render_non_html_payload(const PageSpec& spec) {
+  SplitMix64 rng(mix(spec.seed, fnv1a(spec.domain)));
+  return "{\"service\":\"" + spec.domain + "\",\"status\":\"ok\",\"id\":" +
+         std::to_string(rng.below(100000)) + "}";
+}
+
+bool violation_possible_in_fragment(core::Violation violation) noexcept {
+  switch (violation) {
+    case Violation::kHF1:
+    case Violation::kHF2:
+    case Violation::kHF3:
+    case Violation::kDM2_1:
+    case Violation::kDM2_2:
+    case Violation::kDM2_3:
+      return false;  // require a document head/body structure
+    default:
+      return violation != Violation::kCount;
+  }
+}
+
+std::string render_fragment(const PageSpec& spec) {
+  SplitMix64 rng(mix(spec.seed, fnv1a(spec.domain) ^ fnv1a(spec.path) ^
+                                    0xF4A6));
+  Vocabulary vocab(rng);
+  PageParts parts;
+
+  // Typical dynamically loaded partials.
+  switch (rng.below(4)) {
+    case 0: {  // product cards
+      for (int i = 0; i < 3; ++i) {
+        parts.content.push_back(
+            "<div class=\"card\"><h3>" + vocab.title() +
+            "</h3><p>" + vocab.sentence(7) + "</p>"
+            "<a href=\"/item/" + vocab.slug() + "\">details</a></div>");
+      }
+      break;
+    }
+    case 1: {  // comments partial
+      parts.content.push_back("<ul class=\"comments\">");
+      for (int i = 0; i < 3; ++i) {
+        parts.content.push_back("<li><b>user" +
+                                std::to_string(rng.below(999)) + "</b> " +
+                                vocab.sentence(9) + "</li>");
+      }
+      parts.content.push_back("</ul>");
+      break;
+    }
+    case 2:  // modal dialog
+      parts.content.push_back(
+          "<div class=\"modal\" role=\"dialog\"><h2>" + vocab.title() +
+          "</h2><p>" + vocab.paragraph(2) +
+          "</p><button type=\"button\">Close</button></div>");
+      break;
+    default:  // search-results partial with a small table
+      add_clean_table(parts, vocab);
+      break;
+  }
+
+  auto violations = spec.violations;
+  if (violations.test(static_cast<std::size_t>(Violation::kDE1)) &&
+      violations.test(static_cast<std::size_t>(Violation::kDE2))) {
+    violations.reset(static_cast<std::size_t>(Violation::kDE2));
+  }
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    if (!violations.test(v)) continue;
+    const auto violation = static_cast<Violation>(v);
+    if (!violation_possible_in_fragment(violation)) continue;
+    inject(parts, violation, vocab, rng);
+  }
+
+  std::string fragment;
+  for (const std::string& block : parts.content) {
+    fragment += block;
+    fragment.push_back('\n');
+  }
+  for (const std::string& tail : parts.tail) {
+    fragment += tail;
+    fragment.push_back('\n');
+  }
+  return fragment;
+}
+
+std::string render_non_utf8_page(const PageSpec& spec) {
+  std::string page =
+      "<!DOCTYPE html>\n<html>\n<head><title>Caf\xE9 " + spec.domain +
+      "</title></head>\n<body><p>R\xE9sum\xE9 of the day: cr\xE8me "
+      "br\xFBl\xE9""e.</p></body>\n</html>\n";
+  return page;  // Latin-1 bytes: rejected by the UTF-8 filter
+}
+
+}  // namespace hv::corpus

@@ -1,0 +1,57 @@
+// Synthetic page rendering with organic violation injection.
+//
+// Each generated page is a realistic document (head metadata, nav, main
+// content, forms, tables, footer).  When a violation is scheduled for a
+// page, the corresponding injector produces the same *root-cause mistake*
+// the paper's section 4.4 attributes to it — a forgotten quote, a glued
+// attribute, a copy-pasted form, a misplaced meta — NOT a synthetic
+// marker.  The checker must rediscover these through the real parser.
+//
+// Injector hygiene: every injector triggers exactly its own violation and
+// no other (verified by tests/corpus_test.cc); DE1/DE2 swallow trailing
+// content, so they render last and never share a page.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+#include "core/violation.h"
+
+namespace hv::corpus {
+
+struct PageSpec {
+  std::string domain;        ///< eTLD+1 the page belongs to
+  std::string path = "/";    ///< URL path
+  int year = 2015;           ///< snapshot year (content flavor changes)
+  std::uint64_t seed = 0;    ///< deterministic content stream
+  std::bitset<core::kViolationCount> violations;  ///< injections for the page
+  bool quirk_newline_in_url = false;  ///< benign \n inside a URL (sec. 4.5)
+  bool quirk_uses_math = false;       ///< valid MathML markup (sec. 4.2)
+  bool quirk_uses_svg = false;        ///< valid inline SVG
+};
+
+/// Renders the page.  With an empty violation set and no quirks the output
+/// parses with zero errors and zero observations.
+std::string render_page(const PageSpec& spec);
+
+/// Renders a non-HTML payload (JSON API response) used to model domains
+/// whose Common Crawl records are not analyzable HTML (Table 2's
+/// found-but-not-succeeded gap).
+std::string render_non_html_payload(const PageSpec& spec);
+
+/// Renders a page with Latin-1 (non-UTF-8) bytes to exercise the paper's
+/// encoding filter.
+std::string render_non_utf8_page(const PageSpec& spec);
+
+/// Renders a *dynamic HTML fragment* — the AJAX partials / client-side
+/// template output the paper's section 5.1 pre-study collected.  Only the
+/// fragment-capable violations are injected (document-structure violations
+/// such as HF1-HF3 or DM2 cannot occur in a fragment); others on
+/// `spec.violations` are silently skipped.
+std::string render_fragment(const PageSpec& spec);
+
+/// True when `violation` can occur inside a dynamically inserted fragment.
+bool violation_possible_in_fragment(core::Violation violation) noexcept;
+
+}  // namespace hv::corpus

@@ -1,0 +1,79 @@
+// Deterministic randomness for the synthetic corpus.
+//
+// Everything the corpus does must be reproducible bit-for-bit from the
+// seed (the paper's methodology stresses reproducibility), so all draws go
+// through SplitMix64 streams derived from stable string hashes — never
+// std::rand or hardware entropy.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace hv::corpus {
+
+/// SplitMix64: tiny, fast, deterministic PRNG with good statistical
+/// quality for simulation purposes.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Standard normal (Box-Muller; one value per call).
+  double normal() noexcept {
+    const double u1 = uniform() + 1e-15;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// FNV-1a, for deriving per-(domain, violation, year, ...) seed streams
+/// from stable names.
+constexpr std::uint64_t fnv1a(std::string_view text,
+                              std::uint64_t seed = 0xCBF29CE484222325ull) {
+  std::uint64_t hash = seed;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+constexpr std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return z ^ (z >> 31);
+}
+
+/// Standard normal CDF.
+inline double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x * 0.7071067811865475244);
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 — far below the corpus's Monte-Carlo noise).
+double inverse_normal_cdf(double p) noexcept;
+
+}  // namespace hv::corpus

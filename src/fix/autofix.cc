@@ -1,0 +1,98 @@
+#include "fix/autofix.h"
+
+#include <algorithm>
+
+#include "html/parser.h"
+#include "html/serializer.h"
+
+namespace hv::fix {
+namespace {
+
+using html::Document;
+using html::Element;
+using html::Node;
+
+/// Moves meta[http-equiv] and base elements that ended up outside the head
+/// back into it, and removes every base element after the first (DM1/DM2).
+void relocate_head_only_elements(Document& document) {
+  Element* head = document.head();
+  if (head == nullptr) return;
+
+  std::vector<Element*> to_move;
+  bool base_seen = false;
+  std::vector<Element*> surplus_bases;
+  document.for_each([&](Node& node) {
+    Element* element = node.as_element();
+    if (element == nullptr || element->ns() != html::Namespace::kHtml) return;
+    if (element->tag_name() == "base") {
+      if (base_seen) {
+        surplus_bases.push_back(element);
+        return;
+      }
+      base_seen = true;
+      to_move.push_back(element);  // ensure it sits first in the head
+      return;
+    }
+    if (element->tag_name() == "meta" && element->has_attribute("http-equiv")) {
+      // Move only when not already inside the head.
+      for (const Node* ancestor = element->parent(); ancestor != nullptr;
+           ancestor = ancestor->parent()) {
+        if (ancestor == head) return;
+      }
+      to_move.push_back(element);
+    }
+  });
+
+  for (Element* surplus : surplus_bases) {
+    if (surplus->parent() != nullptr) {
+      surplus->parent()->remove_child(surplus);
+    }
+  }
+  // base must precede every URL-bearing element (DM2_3), so prepend moved
+  // elements: base first, then the metas after it but before existing
+  // children.
+  Node* first_child =
+      head->children().empty() ? nullptr : head->children().front();
+  for (Element* element : to_move) {
+    head->insert_before(element, first_child);
+  }
+  // Keep base strictly first among the moved block.
+  for (Node* child : std::vector<Node*>(head->children())) {
+    Element* element = child->as_element();
+    if (element != nullptr && element->tag_name() == "base" &&
+        head->children().front() != child) {
+      head->insert_before(child, head->children().front());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+AutoFixer::AutoFixer() = default;
+
+std::string AutoFixer::fix(std::string_view html) const {
+  html::ParseResult parsed = html::parse(html);
+  relocate_head_only_elements(*parsed.document);
+  return html::serialize(*parsed.document);
+}
+
+FixOutcome AutoFixer::fix_and_verify(std::string_view html) const {
+  FixOutcome outcome;
+  outcome.before = checker_.check(html);
+  outcome.fixed_html = fix(html);
+  outcome.after = checker_.check(outcome.fixed_html);
+  for (std::size_t i = 0; i < core::kViolationCount; ++i) {
+    const auto violation = static_cast<core::Violation>(i);
+    if (outcome.before.has(violation) && !outcome.after.has(violation)) {
+      outcome.fixed.push_back(violation);
+    } else if (outcome.after.has(violation)) {
+      outcome.remaining.push_back(violation);
+    }
+  }
+  outcome.semantics_preserving = outcome.before.fully_auto_fixable();
+  outcome.fully_fixed = !outcome.after.violating();
+  return outcome;
+}
+
+}  // namespace hv::fix

@@ -1,0 +1,61 @@
+// Automatic violation repair (paper section 4.4).
+//
+// The paper estimates that 46% of violating sites could be repaired by a
+// simple automated process:
+//   * FB1/FB2 — "serializing the entire document with the current HTML
+//     parser and deserializing it again": syntax is fixed, rendering is
+//     unchanged (except for mXSS corner cases);
+//   * DM3 — duplicates after the first occurrence are dropped, which is
+//     what the parser already does, so removal changes nothing;
+//   * DM1/DM2 — meta[http-equiv]/base elements are relocated into the head
+//     ("we have not seen a single example in our data that would break by
+//     automatically moving the elements in the head section").
+//
+// HF and DE violations are mechanically normalizable too, but not
+// semantics-preserving (the parser's repair may not match developer
+// intent), so the section 4.4 policy — exposed as `semantics_preserving` —
+// counts a page as auto-fixable only when ALL of its violations fall into
+// the FB/DM classes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/checker.h"
+
+namespace hv::fix {
+
+struct FixOutcome {
+  std::string fixed_html;
+  core::CheckResult before;
+  core::CheckResult after;
+  /// Violations present before and absent after.
+  std::vector<core::Violation> fixed;
+  /// Violations still present after the mechanical fix.
+  std::vector<core::Violation> remaining;
+  /// Section 4.4 policy: every original violation was in the auto-fixable
+  /// (FB/DM) classes, so the fix is safe to apply blindly.
+  bool semantics_preserving = false;
+  bool fully_fixed = false;  ///< after.violating() == false
+};
+
+class AutoFixer {
+ public:
+  AutoFixer();
+
+  /// Mechanical repair: parse, relocate meta/base into the head, drop
+  /// surplus base elements, serialize.  Always returns syntactically valid
+  /// markup; idempotent.
+  std::string fix(std::string_view html) const;
+
+  /// Repairs and re-checks, reporting what changed.
+  FixOutcome fix_and_verify(std::string_view html) const;
+
+  const core::Checker& checker() const noexcept { return checker_; }
+
+ private:
+  core::Checker checker_;
+};
+
+}  // namespace hv::fix

@@ -1,0 +1,183 @@
+#include "html/dom.h"
+
+#include <algorithm>
+
+namespace hv::html {
+
+std::string_view to_string(Namespace ns) noexcept {
+  switch (ns) {
+    case Namespace::kHtml:
+      return "html";
+    case Namespace::kSvg:
+      return "svg";
+    case Namespace::kMathMl:
+      return "mathml";
+  }
+  return "html";
+}
+
+Element* Node::as_element() noexcept {
+  return is_element() ? static_cast<Element*>(this) : nullptr;
+}
+
+const Element* Node::as_element() const noexcept {
+  return is_element() ? static_cast<const Element*>(this) : nullptr;
+}
+
+void Node::append_child(Node* child) { insert_before(child, nullptr); }
+
+void Node::insert_before(Node* child, Node* reference) {
+  if (child == nullptr || child == this) return;
+  if (child->parent_ != nullptr) child->parent_->remove_child(child);
+  child->parent_ = this;
+  if (reference == nullptr) {
+    children_.push_back(child);
+    return;
+  }
+  const auto it = std::find(children_.begin(), children_.end(), reference);
+  children_.insert(it, child);  // appends when reference not found
+}
+
+void Node::remove_child(Node* child) {
+  const auto it = std::find(children_.begin(), children_.end(), child);
+  if (it == children_.end()) return;
+  children_.erase(it);
+  child->parent_ = nullptr;
+}
+
+std::size_t Node::index_of(const Node* child) const noexcept {
+  const auto it = std::find(children_.begin(), children_.end(), child);
+  return it == children_.end()
+             ? static_cast<std::size_t>(-1)
+             : static_cast<std::size_t>(it - children_.begin());
+}
+
+void Node::for_each(const std::function<void(Node&)>& visit) {
+  visit(*this);
+  // Children may be mutated by the visitor; iterate over a snapshot.
+  const std::vector<Node*> snapshot = children_;
+  for (Node* child : snapshot) child->for_each(visit);
+}
+
+void Node::for_each(const std::function<void(const Node&)>& visit) const {
+  visit(*this);
+  for (const Node* child : children_) child->for_each(visit);
+}
+
+std::string Node::text_content() const {
+  std::string out;
+  for_each([&out](const Node& node) {
+    if (node.type() == NodeType::kText) {
+      out += static_cast<const Text&>(node).data;
+    }
+  });
+  return out;
+}
+
+std::optional<std::string_view> Element::get_attribute(
+    std::string_view name) const noexcept {
+  for (const Attribute& attr : attrs_) {
+    if (attr.name == name) return std::string_view{attr.value};
+  }
+  return std::nullopt;
+}
+
+void Element::set_attribute(std::string_view name, std::string_view value) {
+  for (Attribute& attr : attrs_) {
+    if (attr.name == name) {
+      attr.value.assign(value);
+      return;
+    }
+  }
+  attrs_.push_back({std::string(name), std::string(value)});
+}
+
+bool Element::add_attribute_if_missing(const Attribute& attr) {
+  if (get_attribute(attr.name).has_value()) return false;
+  attrs_.push_back(attr);
+  return true;
+}
+
+void Element::remove_attribute(std::string_view name) {
+  attrs_.erase(std::remove_if(attrs_.begin(), attrs_.end(),
+                              [name](const Attribute& attr) {
+                                return attr.name == name;
+                              }),
+               attrs_.end());
+}
+
+Element* Document::create_element(std::string_view tag_name, Namespace ns) {
+  auto element = std::make_unique<Element>();
+  element->tag_name_.assign(tag_name);
+  element->ns_ = ns;
+  Element* raw = element.get();
+  arena_.push_back(std::move(element));
+  return raw;
+}
+
+Text* Document::create_text(std::string_view data) {
+  auto text = std::make_unique<Text>();
+  text->data.assign(data);
+  Text* raw = text.get();
+  arena_.push_back(std::move(text));
+  return raw;
+}
+
+Comment* Document::create_comment(std::string_view data) {
+  auto comment = std::make_unique<Comment>();
+  comment->data.assign(data);
+  Comment* raw = comment.get();
+  arena_.push_back(std::move(comment));
+  return raw;
+}
+
+DocumentType* Document::create_doctype(std::string_view name) {
+  auto doctype = std::make_unique<DocumentType>();
+  doctype->name.assign(name);
+  DocumentType* raw = doctype.get();
+  arena_.push_back(std::move(doctype));
+  return raw;
+}
+
+Element* Document::document_element() const noexcept {
+  for (Node* child : children()) {
+    if (Element* element = child->as_element()) return element;
+  }
+  return nullptr;
+}
+
+Element* Document::find_direct_child(const Element* parent,
+                                     std::string_view tag) const noexcept {
+  if (parent == nullptr) return nullptr;
+  for (Node* child : parent->children()) {
+    Element* element = child->as_element();
+    if (element != nullptr && element->ns() == Namespace::kHtml &&
+        element->tag_name() == tag) {
+      return element;
+    }
+  }
+  return nullptr;
+}
+
+Element* Document::head() const noexcept {
+  return find_direct_child(document_element(), "head");
+}
+
+Element* Document::body() const noexcept {
+  return find_direct_child(document_element(), "body");
+}
+
+std::vector<Element*> Document::get_elements_by_tag(std::string_view tag_name,
+                                                    bool any_namespace) const {
+  std::vector<Element*> result;
+  const_cast<Document*>(this)->for_each([&](Node& node) {
+    Element* element = node.as_element();
+    if (element != nullptr && element->tag_name() == tag_name &&
+        (any_namespace || element->ns() == Namespace::kHtml)) {
+      result.push_back(element);
+    }
+  });
+  return result;
+}
+
+}  // namespace hv::html

@@ -1,0 +1,187 @@
+// A compact Document Object Model produced by the tree builder.
+//
+// Ownership model: the Document owns every node in an arena of unique_ptrs;
+// tree structure (parent/children) uses non-owning pointers.  Nodes are
+// created through Document factory methods and live until the Document is
+// destroyed — detached nodes are simply unlinked, never freed early, which
+// keeps re-parenting operations (foster parenting, adoption agency) O(1)
+// and exception-free.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/errors.h"
+
+namespace hv::html {
+
+enum class NodeType : std::uint8_t {
+  kDocument,
+  kDocumentType,
+  kElement,
+  kText,
+  kComment,
+};
+
+/// Content namespaces relevant to HTML parsing (spec 13.2.6.5 foreign
+/// content; the paper's HF5 rule distinguishes exactly these three).
+enum class Namespace : std::uint8_t { kHtml, kSvg, kMathMl };
+
+std::string_view to_string(Namespace ns) noexcept;
+
+/// One element attribute.  Names are stored as the tree builder produced
+/// them (ASCII-lowercased for HTML elements).
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+class Document;
+class Element;
+
+/// Base node.  Concrete types: Document, DocumentType, Element, Text,
+/// Comment.  Not copyable; identity is the pointer.
+class Node {
+ public:
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  virtual ~Node() = default;
+
+  NodeType type() const noexcept { return type_; }
+  Node* parent() const noexcept { return parent_; }
+  const std::vector<Node*>& children() const noexcept { return children_; }
+
+  bool is_element() const noexcept { return type_ == NodeType::kElement; }
+  bool is_text() const noexcept { return type_ == NodeType::kText; }
+
+  /// Downcasts; nullptr when the node is not an Element.
+  Element* as_element() noexcept;
+  const Element* as_element() const noexcept;
+
+  /// Appends `child` (detaching it from any previous parent).
+  void append_child(Node* child);
+  /// Inserts `child` immediately before `reference` (which must be a child
+  /// of this node); appends when `reference` is nullptr.
+  void insert_before(Node* child, Node* reference);
+  /// Unlinks `child` from this node. No-op if not a child.
+  void remove_child(Node* child);
+
+  /// Last child or nullptr.
+  Node* last_child() const noexcept {
+    return children_.empty() ? nullptr : children_.back();
+  }
+
+  /// Index of `child` in children(), or npos.
+  std::size_t index_of(const Node* child) const noexcept;
+
+  /// Pre-order traversal over this node's subtree (including `this`).
+  void for_each(const std::function<void(Node&)>& visit);
+  void for_each(const std::function<void(const Node&)>& visit) const;
+
+  /// Concatenated text content of the subtree.
+  std::string text_content() const;
+
+ protected:
+  explicit Node(NodeType type) : type_(type) {}
+
+ private:
+  friend class Document;
+  NodeType type_;
+  Node* parent_ = nullptr;
+  std::vector<Node*> children_;
+};
+
+/// <!DOCTYPE ...>
+class DocumentType final : public Node {
+ public:
+  DocumentType() : Node(NodeType::kDocumentType) {}
+  std::string name;
+  std::string public_id;
+  std::string system_id;
+};
+
+class Element final : public Node {
+ public:
+  Element() : Node(NodeType::kElement) {}
+
+  const std::string& tag_name() const noexcept { return tag_name_; }
+  Namespace ns() const noexcept { return ns_; }
+  const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+
+  /// Value of the attribute `name` (exact match), or nullopt.
+  std::optional<std::string_view> get_attribute(
+      std::string_view name) const noexcept;
+  bool has_attribute(std::string_view name) const noexcept {
+    return get_attribute(name).has_value();
+  }
+  /// Sets (or overwrites) an attribute.
+  void set_attribute(std::string_view name, std::string_view value);
+  /// Adds `attr` only if no attribute of that name exists (the tree
+  /// builder's rule for merging <body>/<html> duplicates).
+  bool add_attribute_if_missing(const Attribute& attr);
+  void remove_attribute(std::string_view name);
+
+  bool is_html(std::string_view tag) const noexcept {
+    return ns_ == Namespace::kHtml && tag_name_ == tag;
+  }
+
+  /// Source position of the element's start tag in the original markup.
+  SourcePosition start_position() const noexcept { return start_position_; }
+
+ private:
+  friend class Document;
+  friend class TreeBuilder;
+  std::string tag_name_;
+  Namespace ns_ = Namespace::kHtml;
+  std::vector<Attribute> attrs_;
+  SourcePosition start_position_;
+};
+
+class Text final : public Node {
+ public:
+  Text() : Node(NodeType::kText) {}
+  std::string data;
+};
+
+class Comment final : public Node {
+ public:
+  Comment() : Node(NodeType::kComment) {}
+  std::string data;
+};
+
+/// The document: root of the tree and arena owner of every node.
+class Document final : public Node {
+ public:
+  Document() : Node(NodeType::kDocument) {}
+
+  Element* create_element(std::string_view tag_name,
+                          Namespace ns = Namespace::kHtml);
+  Text* create_text(std::string_view data);
+  Comment* create_comment(std::string_view data);
+  DocumentType* create_doctype(std::string_view name);
+
+  /// The <html> element, or nullptr for an empty document.
+  Element* document_element() const noexcept;
+  /// First <head>/<body> under the document element, or nullptr.
+  Element* head() const noexcept;
+  Element* body() const noexcept;
+
+  /// All elements in tree order matching `tag_name` (HTML namespace only
+  /// unless `any_namespace`).
+  std::vector<Element*> get_elements_by_tag(std::string_view tag_name,
+                                            bool any_namespace = false) const;
+
+  std::size_t node_count() const noexcept { return arena_.size(); }
+
+ private:
+  Element* find_direct_child(const Element* parent,
+                             std::string_view tag) const noexcept;
+  std::vector<std::unique_ptr<Node>> arena_;
+};
+
+}  // namespace hv::html

@@ -1,0 +1,115 @@
+#include "html/encoding.h"
+
+#include <string>
+
+namespace hv::html {
+namespace {
+
+constexpr bool is_continuation(unsigned char byte) noexcept {
+  return (byte & 0xC0u) == 0x80u;
+}
+
+}  // namespace
+
+DecodedCodePoint decode_utf8(std::string_view input,
+                             std::size_t offset) noexcept {
+  if (offset >= input.size()) return {kReplacementCharacter, 0, false};
+  const auto byte0 = static_cast<unsigned char>(input[offset]);
+
+  if (byte0 < 0x80u) return {byte0, 1, true};
+
+  // Determine sequence length and constraints per the Encoding Standard.
+  std::size_t needed = 0;
+  char32_t code_point = 0;
+  unsigned char lower = 0x80u;
+  unsigned char upper = 0xBFu;
+  if (byte0 >= 0xC2u && byte0 <= 0xDFu) {
+    needed = 1;
+    code_point = byte0 & 0x1Fu;
+  } else if (byte0 >= 0xE0u && byte0 <= 0xEFu) {
+    needed = 2;
+    code_point = byte0 & 0x0Fu;
+    if (byte0 == 0xE0u) lower = 0xA0u;  // reject overlong
+    if (byte0 == 0xEDu) upper = 0x9Fu;  // reject surrogates
+  } else if (byte0 >= 0xF0u && byte0 <= 0xF4u) {
+    needed = 3;
+    code_point = byte0 & 0x07u;
+    if (byte0 == 0xF0u) lower = 0x90u;  // reject overlong
+    if (byte0 == 0xF4u) upper = 0x8Fu;  // reject > U+10FFFF
+  } else {
+    return {kReplacementCharacter, 1, false};
+  }
+
+  std::size_t consumed = 1;
+  for (std::size_t i = 0; i < needed; ++i) {
+    const std::size_t pos = offset + 1 + i;
+    if (pos >= input.size()) {
+      return {kReplacementCharacter, consumed, false};  // truncated
+    }
+    const auto byte = static_cast<unsigned char>(input[pos]);
+    const unsigned char lo = (i == 0) ? lower : 0x80u;
+    const unsigned char hi = (i == 0) ? upper : 0xBFu;
+    if (byte < lo || byte > hi || !is_continuation(byte)) {
+      // Maximal subpart: consume the bytes read so far, not the bad byte.
+      return {kReplacementCharacter, consumed, false};
+    }
+    code_point = (code_point << 6) | (byte & 0x3Fu);
+    ++consumed;
+  }
+  return {code_point, consumed, true};
+}
+
+bool is_valid_utf8(std::string_view input) noexcept {
+  std::size_t offset = 0;
+  while (offset < input.size()) {
+    const DecodedCodePoint decoded = decode_utf8(input, offset);
+    if (!decoded.valid) return false;
+    offset += decoded.length;
+  }
+  return true;
+}
+
+void append_utf8(char32_t code_point, std::string& out) {
+  if (code_point > 0x10FFFF ||
+      (code_point >= 0xD800 && code_point <= 0xDFFF)) {
+    code_point = kReplacementCharacter;
+  }
+  if (code_point < 0x80) {
+    out.push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out.push_back(static_cast<char>(0xC0u | (code_point >> 6)));
+    out.push_back(static_cast<char>(0x80u | (code_point & 0x3Fu)));
+  } else if (code_point < 0x10000) {
+    out.push_back(static_cast<char>(0xE0u | (code_point >> 12)));
+    out.push_back(static_cast<char>(0x80u | ((code_point >> 6) & 0x3Fu)));
+    out.push_back(static_cast<char>(0x80u | (code_point & 0x3Fu)));
+  } else {
+    out.push_back(static_cast<char>(0xF0u | (code_point >> 18)));
+    out.push_back(static_cast<char>(0x80u | ((code_point >> 12) & 0x3Fu)));
+    out.push_back(static_cast<char>(0x80u | ((code_point >> 6) & 0x3Fu)));
+    out.push_back(static_cast<char>(0x80u | (code_point & 0x3Fu)));
+  }
+}
+
+std::size_t decode_utf8_string(std::string_view input, std::u32string& out) {
+  out.clear();
+  out.reserve(input.size());
+  std::size_t replacements = 0;
+  std::size_t offset = 0;
+  while (offset < input.size()) {
+    const DecodedCodePoint decoded = decode_utf8(input, offset);
+    out.push_back(decoded.code_point);
+    if (!decoded.valid) ++replacements;
+    offset += decoded.length == 0 ? 1 : decoded.length;
+  }
+  return replacements;
+}
+
+std::size_t utf8_length(char32_t code_point) noexcept {
+  if (code_point < 0x80) return 1;
+  if (code_point < 0x800) return 2;
+  if (code_point < 0x10000) return 3;
+  return 4;
+}
+
+}  // namespace hv::html

@@ -1,0 +1,49 @@
+// UTF-8 byte-stream decoding — the "Byte Stream Decoder" stage of the HTML
+// parsing pipeline (paper section 2.1).
+//
+// Like the paper's framework (section 4.1) we only accept UTF-8-decodable
+// documents; anything else is filtered upstream.  The decoder is strict:
+// overlong sequences, surrogates, and out-of-range code points are rejected
+// (mirroring the WHATWG Encoding Standard's UTF-8 decoder error behaviour).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace hv::html {
+
+inline constexpr char32_t kReplacementCharacter = U'�';
+
+/// Result of decoding one code point from a byte buffer.
+struct DecodedCodePoint {
+  char32_t code_point = 0;
+  std::size_t length = 0;  ///< bytes consumed (1-4); 0 on truncated input
+  bool valid = false;      ///< false => sequence malformed, caller decides
+};
+
+/// Decodes the UTF-8 sequence starting at `input[offset]`.
+/// On malformed input returns {U+FFFD, bytes-to-skip, false} following the
+/// Encoding Standard's maximal-subpart error recovery.
+DecodedCodePoint decode_utf8(std::string_view input,
+                             std::size_t offset) noexcept;
+
+/// True if `input` is entirely well-formed UTF-8 (the paper's filter:
+/// "the framework filters out documents that are not UTF-8 encodable").
+bool is_valid_utf8(std::string_view input) noexcept;
+
+/// Appends the UTF-8 encoding of `code_point` to `out`.
+/// Invalid scalar values (surrogates, > U+10FFFF) encode U+FFFD instead.
+void append_utf8(char32_t code_point, std::string& out);
+
+/// Decodes a whole UTF-8 string into code points; malformed sequences become
+/// U+FFFD.  Returns the number of replacement substitutions made.
+std::size_t decode_utf8_string(std::string_view input,
+                               std::u32string& out);
+
+/// Number of bytes this code point occupies when encoded as UTF-8.
+std::size_t utf8_length(char32_t code_point) noexcept;
+
+}  // namespace hv::html

@@ -1,0 +1,221 @@
+#include "html/entities.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace hv::html {
+namespace {
+
+// The table below covers: the full HTML4 entity set (Latin-1, symbols,
+// Greek, arrows, math, punctuation), the HTML5 additions seen in real
+// markup, and the spec's legacy semicolon-less forms.  Entries are sorted
+// lazily on first use so the source order can stay thematic.
+constexpr NamedEntity kRawEntities[] = {
+    // Core markup characters (with legacy forms).
+    {"amp;", U'&'}, {"amp", U'&'}, {"lt;", U'<'}, {"lt", U'<'},
+    {"gt;", U'>'}, {"gt", U'>'}, {"quot;", U'"'}, {"quot", U'"'},
+    {"apos;", U'\''},
+    // Latin-1 (ISO 8859-1) set, with legacy no-semicolon variants.
+    {"nbsp;", 0x00A0}, {"nbsp", 0x00A0}, {"iexcl;", 0x00A1}, {"iexcl", 0x00A1},
+    {"cent;", 0x00A2}, {"cent", 0x00A2}, {"pound;", 0x00A3}, {"pound", 0x00A3},
+    {"curren;", 0x00A4}, {"curren", 0x00A4}, {"yen;", 0x00A5}, {"yen", 0x00A5},
+    {"brvbar;", 0x00A6}, {"brvbar", 0x00A6}, {"sect;", 0x00A7},
+    {"sect", 0x00A7}, {"uml;", 0x00A8}, {"uml", 0x00A8}, {"copy;", 0x00A9},
+    {"copy", 0x00A9}, {"ordf;", 0x00AA}, {"ordf", 0x00AA}, {"laquo;", 0x00AB},
+    {"laquo", 0x00AB}, {"not;", 0x00AC}, {"not", 0x00AC}, {"shy;", 0x00AD},
+    {"shy", 0x00AD}, {"reg;", 0x00AE}, {"reg", 0x00AE}, {"macr;", 0x00AF},
+    {"macr", 0x00AF}, {"deg;", 0x00B0}, {"deg", 0x00B0}, {"plusmn;", 0x00B1},
+    {"plusmn", 0x00B1}, {"sup2;", 0x00B2}, {"sup2", 0x00B2}, {"sup3;", 0x00B3},
+    {"sup3", 0x00B3}, {"acute;", 0x00B4}, {"acute", 0x00B4},
+    {"micro;", 0x00B5}, {"micro", 0x00B5}, {"para;", 0x00B6}, {"para", 0x00B6},
+    {"middot;", 0x00B7}, {"middot", 0x00B7}, {"cedil;", 0x00B8},
+    {"cedil", 0x00B8}, {"sup1;", 0x00B9}, {"sup1", 0x00B9}, {"ordm;", 0x00BA},
+    {"ordm", 0x00BA}, {"raquo;", 0x00BB}, {"raquo", 0x00BB},
+    {"frac14;", 0x00BC}, {"frac14", 0x00BC}, {"frac12;", 0x00BD},
+    {"frac12", 0x00BD}, {"frac34;", 0x00BE}, {"frac34", 0x00BE},
+    {"iquest;", 0x00BF}, {"iquest", 0x00BF},
+    {"Agrave;", 0x00C0}, {"Agrave", 0x00C0}, {"Aacute;", 0x00C1},
+    {"Aacute", 0x00C1}, {"Acirc;", 0x00C2}, {"Acirc", 0x00C2},
+    {"Atilde;", 0x00C3}, {"Atilde", 0x00C3}, {"Auml;", 0x00C4},
+    {"Auml", 0x00C4}, {"Aring;", 0x00C5}, {"Aring", 0x00C5},
+    {"AElig;", 0x00C6}, {"AElig", 0x00C6}, {"Ccedil;", 0x00C7},
+    {"Ccedil", 0x00C7}, {"Egrave;", 0x00C8}, {"Egrave", 0x00C8},
+    {"Eacute;", 0x00C9}, {"Eacute", 0x00C9}, {"Ecirc;", 0x00CA},
+    {"Ecirc", 0x00CA}, {"Euml;", 0x00CB}, {"Euml", 0x00CB},
+    {"Igrave;", 0x00CC}, {"Igrave", 0x00CC}, {"Iacute;", 0x00CD},
+    {"Iacute", 0x00CD}, {"Icirc;", 0x00CE}, {"Icirc", 0x00CE},
+    {"Iuml;", 0x00CF}, {"Iuml", 0x00CF}, {"ETH;", 0x00D0}, {"ETH", 0x00D0},
+    {"Ntilde;", 0x00D1}, {"Ntilde", 0x00D1}, {"Ograve;", 0x00D2},
+    {"Ograve", 0x00D2}, {"Oacute;", 0x00D3}, {"Oacute", 0x00D3},
+    {"Ocirc;", 0x00D4}, {"Ocirc", 0x00D4}, {"Otilde;", 0x00D5},
+    {"Otilde", 0x00D5}, {"Ouml;", 0x00D6}, {"Ouml", 0x00D6},
+    {"times;", 0x00D7}, {"times", 0x00D7}, {"Oslash;", 0x00D8},
+    {"Oslash", 0x00D8}, {"Ugrave;", 0x00D9}, {"Ugrave", 0x00D9},
+    {"Uacute;", 0x00DA}, {"Uacute", 0x00DA}, {"Ucirc;", 0x00DB},
+    {"Ucirc", 0x00DB}, {"Uuml;", 0x00DC}, {"Uuml", 0x00DC},
+    {"Yacute;", 0x00DD}, {"Yacute", 0x00DD}, {"THORN;", 0x00DE},
+    {"THORN", 0x00DE}, {"szlig;", 0x00DF}, {"szlig", 0x00DF},
+    {"agrave;", 0x00E0}, {"agrave", 0x00E0}, {"aacute;", 0x00E1},
+    {"aacute", 0x00E1}, {"acirc;", 0x00E2}, {"acirc", 0x00E2},
+    {"atilde;", 0x00E3}, {"atilde", 0x00E3}, {"auml;", 0x00E4},
+    {"auml", 0x00E4}, {"aring;", 0x00E5}, {"aring", 0x00E5},
+    {"aelig;", 0x00E6}, {"aelig", 0x00E6}, {"ccedil;", 0x00E7},
+    {"ccedil", 0x00E7}, {"egrave;", 0x00E8}, {"egrave", 0x00E8},
+    {"eacute;", 0x00E9}, {"eacute", 0x00E9}, {"ecirc;", 0x00EA},
+    {"ecirc", 0x00EA}, {"euml;", 0x00EB}, {"euml", 0x00EB},
+    {"igrave;", 0x00EC}, {"igrave", 0x00EC}, {"iacute;", 0x00ED},
+    {"iacute", 0x00ED}, {"icirc;", 0x00EE}, {"icirc", 0x00EE},
+    {"iuml;", 0x00EF}, {"iuml", 0x00EF}, {"eth;", 0x00F0}, {"eth", 0x00F0},
+    {"ntilde;", 0x00F1}, {"ntilde", 0x00F1}, {"ograve;", 0x00F2},
+    {"ograve", 0x00F2}, {"oacute;", 0x00F3}, {"oacute", 0x00F3},
+    {"ocirc;", 0x00F4}, {"ocirc", 0x00F4}, {"otilde;", 0x00F5},
+    {"otilde", 0x00F5}, {"ouml;", 0x00F6}, {"ouml", 0x00F6},
+    {"divide;", 0x00F7}, {"divide", 0x00F7}, {"oslash;", 0x00F8},
+    {"oslash", 0x00F8}, {"ugrave;", 0x00F9}, {"ugrave", 0x00F9},
+    {"uacute;", 0x00FA}, {"uacute", 0x00FA}, {"ucirc;", 0x00FB},
+    {"ucirc", 0x00FB}, {"uuml;", 0x00FC}, {"uuml", 0x00FC},
+    {"yacute;", 0x00FD}, {"yacute", 0x00FD}, {"thorn;", 0x00FE},
+    {"thorn", 0x00FE}, {"yuml;", 0x00FF}, {"yuml", 0x00FF},
+    // Latin extended / ligatures.
+    {"OElig;", 0x0152}, {"oelig;", 0x0153}, {"Scaron;", 0x0160},
+    {"scaron;", 0x0161}, {"Yuml;", 0x0178}, {"fnof;", 0x0192},
+    {"circ;", 0x02C6}, {"tilde;", 0x02DC},
+    // Greek.
+    {"Alpha;", 0x0391}, {"Beta;", 0x0392}, {"Gamma;", 0x0393},
+    {"Delta;", 0x0394}, {"Epsilon;", 0x0395}, {"Zeta;", 0x0396},
+    {"Eta;", 0x0397}, {"Theta;", 0x0398}, {"Iota;", 0x0399},
+    {"Kappa;", 0x039A}, {"Lambda;", 0x039B}, {"Mu;", 0x039C}, {"Nu;", 0x039D},
+    {"Xi;", 0x039E}, {"Omicron;", 0x039F}, {"Pi;", 0x03A0}, {"Rho;", 0x03A1},
+    {"Sigma;", 0x03A3}, {"Tau;", 0x03A4}, {"Upsilon;", 0x03A5},
+    {"Phi;", 0x03A6}, {"Chi;", 0x03A7}, {"Psi;", 0x03A8}, {"Omega;", 0x03A9},
+    {"alpha;", 0x03B1}, {"beta;", 0x03B2}, {"gamma;", 0x03B3},
+    {"delta;", 0x03B4}, {"epsilon;", 0x03B5}, {"zeta;", 0x03B6},
+    {"eta;", 0x03B7}, {"theta;", 0x03B8}, {"iota;", 0x03B9},
+    {"kappa;", 0x03BA}, {"lambda;", 0x03BB}, {"mu;", 0x03BC}, {"nu;", 0x03BD},
+    {"xi;", 0x03BE}, {"omicron;", 0x03BF}, {"pi;", 0x03C0}, {"rho;", 0x03C1},
+    {"sigmaf;", 0x03C2}, {"sigma;", 0x03C3}, {"tau;", 0x03C4},
+    {"upsilon;", 0x03C5}, {"phi;", 0x03C6}, {"chi;", 0x03C7},
+    {"psi;", 0x03C8}, {"omega;", 0x03C9}, {"thetasym;", 0x03D1},
+    {"upsih;", 0x03D2}, {"piv;", 0x03D6},
+    // Spaces and punctuation.
+    {"ensp;", 0x2002}, {"emsp;", 0x2003}, {"thinsp;", 0x2009},
+    {"zwnj;", 0x200C}, {"zwj;", 0x200D}, {"lrm;", 0x200E}, {"rlm;", 0x200F},
+    {"ndash;", 0x2013}, {"mdash;", 0x2014}, {"horbar;", 0x2015},
+    {"lsquo;", 0x2018}, {"rsquo;", 0x2019}, {"sbquo;", 0x201A},
+    {"ldquo;", 0x201C}, {"rdquo;", 0x201D}, {"bdquo;", 0x201E},
+    {"dagger;", 0x2020}, {"Dagger;", 0x2021}, {"bull;", 0x2022},
+    {"hellip;", 0x2026}, {"permil;", 0x2030}, {"prime;", 0x2032},
+    {"Prime;", 0x2033}, {"lsaquo;", 0x2039}, {"rsaquo;", 0x203A},
+    {"oline;", 0x203E}, {"frasl;", 0x2044}, {"euro;", 0x20AC},
+    {"image;", 0x2111}, {"weierp;", 0x2118}, {"real;", 0x211C},
+    {"trade;", 0x2122}, {"alefsym;", 0x2135},
+    // Arrows.
+    {"larr;", 0x2190}, {"uarr;", 0x2191}, {"rarr;", 0x2192}, {"darr;", 0x2193},
+    {"harr;", 0x2194}, {"crarr;", 0x21B5}, {"lArr;", 0x21D0},
+    {"uArr;", 0x21D1}, {"rArr;", 0x21D2}, {"dArr;", 0x21D3}, {"hArr;", 0x21D4},
+    // Mathematical operators.
+    {"forall;", 0x2200}, {"part;", 0x2202}, {"exist;", 0x2203},
+    {"empty;", 0x2205}, {"nabla;", 0x2207}, {"isin;", 0x2208},
+    {"notin;", 0x2209}, {"ni;", 0x220B}, {"prod;", 0x220F}, {"sum;", 0x2211},
+    {"minus;", 0x2212}, {"lowast;", 0x2217}, {"radic;", 0x221A},
+    {"prop;", 0x221D}, {"infin;", 0x221E}, {"ang;", 0x2220}, {"and;", 0x2227},
+    {"or;", 0x2228}, {"cap;", 0x2229}, {"cup;", 0x222A}, {"int;", 0x222B},
+    {"there4;", 0x2234}, {"sim;", 0x223C}, {"cong;", 0x2245},
+    {"asymp;", 0x2248}, {"ne;", 0x2260}, {"equiv;", 0x2261}, {"le;", 0x2264},
+    {"ge;", 0x2265}, {"sub;", 0x2282}, {"sup;", 0x2283}, {"nsub;", 0x2284},
+    {"sube;", 0x2286}, {"supe;", 0x2287}, {"oplus;", 0x2295},
+    {"otimes;", 0x2297}, {"perp;", 0x22A5}, {"sdot;", 0x22C5},
+    // Technical / shapes / cards.
+    {"lceil;", 0x2308}, {"rceil;", 0x2309}, {"lfloor;", 0x230A},
+    {"rfloor;", 0x230B}, {"lang;", 0x27E8}, {"rang;", 0x27E9},
+    {"loz;", 0x25CA}, {"spades;", 0x2660}, {"clubs;", 0x2663},
+    {"hearts;", 0x2665}, {"diams;", 0x2666},
+    // Common HTML5 additions seen in the wild.
+    {"LT;", U'<'}, {"GT;", U'>'}, {"AMP;", U'&'}, {"QUOT;", U'"'},
+    {"COPY;", 0x00A9}, {"REG;", 0x00AE}, {"TRADE;", 0x2122},
+    {"num;", U'#'}, {"percnt;", U'%'}, {"ast;", U'*'}, {"commat;", U'@'},
+    {"lbrack;", U'['}, {"rbrack;", U']'}, {"lbrace;", U'{'},
+    {"rbrace;", U'}'}, {"lowbar;", U'_'}, {"sol;", U'/'}, {"bsol;", U'\\'},
+    {"semi;", U';'}, {"colon;", U':'}, {"comma;", U','}, {"period;", U'.'},
+    {"excl;", U'!'}, {"quest;", U'?'}, {"dollar;", U'$'}, {"equals;", U'='},
+    {"plus;", U'+'}, {"Hat;", U'^'}, {"grave;", U'`'}, {"vert;", U'|'},
+    {"star;", 0x2606}, {"phone;", 0x260E}, {"check;", 0x2713},
+    {"cross;", 0x2717}, {"sung;", 0x266A}, {"flat;", 0x266D},
+    {"natur;", 0x266E}, {"sharp;", 0x266F}, {"NotEqualTilde;", 0x2242, 0x0338},
+    {"nvlt;", U'<', 0x20D2}, {"nvgt;", U'>', 0x20D2},
+};
+
+const std::vector<NamedEntity>& sorted_entities() {
+  static const std::vector<NamedEntity> sorted = [] {
+    std::vector<NamedEntity> v(std::begin(kRawEntities),
+                               std::end(kRawEntities));
+    std::sort(v.begin(), v.end(),
+              [](const NamedEntity& a, const NamedEntity& b) {
+                return a.name < b.name;
+              });
+    return v;
+  }();
+  return sorted;
+}
+
+constexpr std::size_t kMaxEntityNameLength = 32;
+
+}  // namespace
+
+const NamedEntity* find_named_entity(std::string_view name) noexcept {
+  const auto& table = sorted_entities();
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), name,
+      [](const NamedEntity& e, std::string_view n) { return e.name < n; });
+  if (it != table.end() && it->name == name) return &*it;
+  return nullptr;
+}
+
+const NamedEntity* match_named_entity(std::string_view text,
+                                      std::size_t* matched_length) noexcept {
+  const std::size_t limit = std::min(text.size(), kMaxEntityNameLength);
+  for (std::size_t len = limit; len > 0; --len) {
+    if (const NamedEntity* entity = find_named_entity(text.substr(0, len))) {
+      if (matched_length != nullptr) *matched_length = len;
+      return entity;
+    }
+  }
+  if (matched_length != nullptr) *matched_length = 0;
+  return nullptr;
+}
+
+char32_t sanitize_numeric_reference(char32_t value, bool* error) noexcept {
+  bool had_error = false;
+  char32_t result = value;
+  if (value == 0x00) {
+    had_error = true;
+    result = 0xFFFD;
+  } else if (value > 0x10FFFF) {
+    had_error = true;
+    result = 0xFFFD;
+  } else if (value >= 0xD800 && value <= 0xDFFF) {
+    had_error = true;
+    result = 0xFFFD;
+  } else if ((value >= 0xFDD0 && value <= 0xFDEF) ||
+             (value & 0xFFFE) == 0xFFFE) {
+    had_error = true;  // noncharacter: error but value kept
+  } else if (value >= 0x80 && value <= 0x9F) {
+    // Windows-1252 remapping table from the spec.
+    static constexpr char32_t kC1Remap[32] = {
+        0x20AC, 0x81,   0x201A, 0x0192, 0x201E, 0x2026, 0x2020, 0x2021,
+        0x02C6, 0x2030, 0x0160, 0x2039, 0x0152, 0x8D,   0x017D, 0x8F,
+        0x90,   0x2018, 0x2019, 0x201C, 0x201D, 0x2022, 0x2013, 0x2014,
+        0x02DC, 0x2122, 0x0161, 0x203A, 0x0153, 0x9D,   0x017E, 0x0178};
+    had_error = true;
+    result = kC1Remap[value - 0x80];
+  } else if (value < 0x20 && value != 0x09 && value != 0x0A && value != 0x0C) {
+    had_error = true;  // control character reference: error, value kept
+  }
+  if (error != nullptr) *error = had_error;
+  return result;
+}
+
+std::size_t named_entity_count() noexcept { return sorted_entities().size(); }
+
+}  // namespace hv::html

@@ -1,0 +1,43 @@
+// Named and numeric character references (WHATWG HTML 13.2.5.72-80 and the
+// named character references table).
+//
+// We ship the named entities that appear in real-world markup with
+// meaningful frequency (all HTML4 entities plus the common HTML5 additions,
+// ~350 names) including the semicolon-less legacy forms the spec grandfathers
+// in.  The long tail of mathematical entities does not influence any
+// violation rule; DESIGN.md section 5 records this substitution.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace hv::html {
+
+/// A resolved named character reference. Most map to one code point; a few
+/// (e.g. &NotEqualTilde;) map to two.
+struct NamedEntity {
+  std::string_view name;  ///< without the leading '&', may end in ';'
+  char32_t first = 0;
+  char32_t second = 0;  ///< 0 when the entity is a single code point
+};
+
+/// Finds the longest entity whose name is a prefix of `text` (spec:
+/// "consume the maximum number of characters possible").  Returns the match
+/// and the matched length via `*matched_length`.
+const NamedEntity* match_named_entity(std::string_view text,
+                                      std::size_t* matched_length) noexcept;
+
+/// Exact lookup (name must match a table entry completely).
+const NamedEntity* find_named_entity(std::string_view name) noexcept;
+
+/// Applies the spec's numeric-character-reference-end remapping:
+/// NUL and out-of-range become U+FFFD, C1 controls remap to their
+/// Windows-1252 counterparts.  `*error` receives true when the original
+/// value was itself a parse error (surrogate, noncharacter, control, ...).
+char32_t sanitize_numeric_reference(char32_t value, bool* error) noexcept;
+
+/// Number of entities in the shipped table (for tests / documentation).
+std::size_t named_entity_count() noexcept;
+
+}  // namespace hv::html

@@ -1,0 +1,87 @@
+#include "html/errors.h"
+
+#include <array>
+
+namespace hv::html {
+namespace {
+
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(ParseError::kCount)>
+    kNames = {
+        "abrupt-closing-of-empty-comment",
+        "abrupt-doctype-public-identifier",
+        "abrupt-doctype-system-identifier",
+        "absence-of-digits-in-numeric-character-reference",
+        "cdata-in-html-content",
+        "character-reference-outside-unicode-range",
+        "control-character-in-input-stream",
+        "control-character-reference",
+        "duplicate-attribute",
+        "end-tag-with-attributes",
+        "end-tag-with-trailing-solidus",
+        "eof-before-tag-name",
+        "eof-in-cdata",
+        "eof-in-comment",
+        "eof-in-doctype",
+        "eof-in-script-html-comment-like-text",
+        "eof-in-tag",
+        "incorrectly-closed-comment",
+        "incorrectly-opened-comment",
+        "invalid-character-sequence-after-doctype-name",
+        "invalid-first-character-of-tag-name",
+        "missing-attribute-value",
+        "missing-doctype-name",
+        "missing-doctype-public-identifier",
+        "missing-doctype-system-identifier",
+        "missing-end-tag-name",
+        "missing-quote-before-doctype-public-identifier",
+        "missing-quote-before-doctype-system-identifier",
+        "missing-semicolon-after-character-reference",
+        "missing-whitespace-after-doctype-public-keyword",
+        "missing-whitespace-after-doctype-system-keyword",
+        "missing-whitespace-before-doctype-name",
+        "missing-whitespace-between-attributes",
+        "missing-whitespace-between-doctype-public-and-system-identifiers",
+        "nested-comment",
+        "noncharacter-character-reference",
+        "noncharacter-in-input-stream",
+        "non-void-html-element-start-tag-with-trailing-solidus",
+        "null-character-reference",
+        "surrogate-character-reference",
+        "surrogate-in-input-stream",
+        "unexpected-character-after-doctype-system-identifier",
+        "unexpected-character-in-attribute-name",
+        "unexpected-character-in-unquoted-attribute-value",
+        "unexpected-equals-sign-before-attribute-name",
+        "unexpected-null-character",
+        "unexpected-question-mark-instead-of-tag-name",
+        "unexpected-solidus-in-tag",
+        "unknown-named-character-reference",
+        "unexpected-doctype",
+        "unexpected-start-tag",
+        "unexpected-end-tag",
+        "misnested-tag",
+        "stray-start-tag-in-head",
+        "stray-content-after-head",
+        "multiple-body-start-tags",
+        "foster-parented-content",
+        "nested-form-start-tag",
+        "meta-http-equiv-in-body",
+        "base-outside-head",
+        "multiple-base-elements",
+        "base-after-url-use",
+        "unexpected-foreign-breakout",
+        "stray-foreign-end-tag",
+        "open-elements-at-eof",
+        "tree-construction-generic",
+};
+
+}  // namespace
+
+std::string_view to_string(ParseError error) noexcept {
+  const auto index = static_cast<std::size_t>(error);
+  if (index >= kNames.size()) return "unknown-parse-error";
+  return kNames[index];
+}
+
+}  // namespace hv::html

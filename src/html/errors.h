@@ -1,0 +1,111 @@
+// Parse error taxonomy of the WHATWG HTML Living Standard, section 13.2.
+//
+// Every error the specification names for the tokenizer and the tree builder
+// is represented here with its spec identifier.  The paper's "Parsing Errors"
+// violation category (FB1, FB2, DM3, DE3, ...) is defined directly in terms
+// of these error states, so the checker consumes them verbatim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hv::html {
+
+/// Spec-named parse errors (WHATWG HTML 13.2.5 "parse errors" plus the
+/// generic tree-construction error).  Names mirror the spec's kebab-case
+/// identifiers in UpperCamelCase.
+enum class ParseError : std::uint8_t {
+  // Tokenizer errors (spec table, 13.2.5).
+  AbruptClosingOfEmptyComment,
+  AbruptDoctypePublicIdentifier,
+  AbruptDoctypeSystemIdentifier,
+  AbsenceOfDigitsInNumericCharacterReference,
+  CdataInHtmlContent,
+  CharacterReferenceOutsideUnicodeRange,
+  ControlCharacterInInputStream,
+  ControlCharacterReference,
+  DuplicateAttribute,
+  EndTagWithAttributes,
+  EndTagWithTrailingSolidus,
+  EofBeforeTagName,
+  EofInCdata,
+  EofInComment,
+  EofInDoctype,
+  EofInScriptHtmlCommentLikeText,
+  EofInTag,
+  IncorrectlyClosedComment,
+  IncorrectlyOpenedComment,
+  InvalidCharacterSequenceAfterDoctypeName,
+  InvalidFirstCharacterOfTagName,
+  MissingAttributeValue,
+  MissingDoctypeName,
+  MissingDoctypePublicIdentifier,
+  MissingDoctypeSystemIdentifier,
+  MissingEndTagName,
+  MissingQuoteBeforeDoctypePublicIdentifier,
+  MissingQuoteBeforeDoctypeSystemIdentifier,
+  MissingSemicolonAfterCharacterReference,
+  MissingWhitespaceAfterDoctypePublicKeyword,
+  MissingWhitespaceAfterDoctypeSystemKeyword,
+  MissingWhitespaceBeforeDoctypeName,
+  MissingWhitespaceBetweenAttributes,
+  MissingWhitespaceBetweenDoctypePublicAndSystemIdentifiers,
+  NestedComment,
+  NoncharacterCharacterReference,
+  NoncharacterInInputStream,
+  NonVoidHtmlElementStartTagWithTrailingSolidus,
+  NullCharacterReference,
+  SurrogateCharacterReference,
+  SurrogateInInputStream,
+  UnexpectedCharacterAfterDoctypeSystemIdentifier,
+  UnexpectedCharacterInAttributeName,
+  UnexpectedCharacterInUnquotedAttributeValue,
+  UnexpectedEqualsSignBeforeAttributeName,
+  UnexpectedNullCharacter,
+  UnexpectedQuestionMarkInsteadOfTagName,
+  UnexpectedSolidusInTag,
+  UnknownNamedCharacterReference,
+  // Tree-construction errors.  The spec mostly says "this is a parse error"
+  // without naming them; we name the ones the study's rules depend on and
+  // use TreeConstructionGeneric for the rest.
+  UnexpectedDoctype,
+  UnexpectedStartTag,
+  UnexpectedEndTag,
+  MisnestedTag,
+  StrayStartTagInHead,        // non-head element forced the head closed (HF1)
+  StrayContentAfterHead,      // content before <body> implied the body (HF2)
+  MultipleBodyStartTags,      // second <body> merged into the first (HF3)
+  FosterParentedContent,      // content relocated out of a table (HF4)
+  NestedFormStartTag,         // <form> inside a form was ignored (DE4)
+  MetaHttpEquivInBody,        // meta[http-equiv] parsed outside head (DM1)
+  BaseOutsideHead,            // <base> parsed outside head (DM2_1)
+  MultipleBaseElements,       // more than one <base> (DM2_2)
+  BaseAfterUrlUse,            // <base> after a URL-bearing element (DM2_3)
+  UnexpectedForeignBreakout,  // HTML breakout element in SVG/MathML (HF5)
+  StrayForeignEndTag,         // </svg> or </math> with no open foreign root
+  OpenElementsAtEof,          // non-implied elements still open at EOF
+  TreeConstructionGeneric,
+  kCount,
+};
+
+/// Returns the spec's kebab-case identifier, e.g. "unexpected-solidus-in-tag".
+std::string_view to_string(ParseError error) noexcept;
+
+/// Byte/line/column position of an error in the original document.
+struct SourcePosition {
+  std::size_t offset = 0;  ///< byte offset into the raw input
+  std::size_t line = 1;    ///< 1-based line number
+  std::size_t column = 1;  ///< 1-based column in code points
+};
+
+/// One recorded parse error.  `detail` optionally names the element or
+/// attribute involved (e.g. the duplicated attribute name).
+struct ParseErrorEvent {
+  ParseError code = ParseError::TreeConstructionGeneric;
+  SourcePosition position;
+  std::string detail;  ///< element/attribute name involved, if any
+};
+
+}  // namespace hv::html

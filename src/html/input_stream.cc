@@ -1,0 +1,118 @@
+#include "html/input_stream.h"
+
+#include <algorithm>
+
+#include "html/encoding.h"
+
+namespace hv::html {
+
+InputStream::InputStream(std::string_view bytes) {
+  characters_.reserve(bytes.size());
+  byte_offsets_.reserve(bytes.size() + 1);
+  line_starts_.push_back(0);
+
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const DecodedCodePoint decoded = decode_utf8(bytes, offset);
+    char32_t c = decoded.code_point;
+    const std::size_t start = offset;
+    offset += decoded.length == 0 ? 1 : decoded.length;
+
+    // Newline normalization: CRLF -> LF, CR -> LF.
+    if (c == U'\r') {
+      if (offset < bytes.size() && bytes[offset] == '\n') ++offset;
+      c = U'\n';
+    }
+
+    const auto char_index = static_cast<std::uint32_t>(characters_.size());
+    characters_.push_back(c);
+    byte_offsets_.push_back(static_cast<std::uint32_t>(start));
+    if (c == U'\n') line_starts_.push_back(char_index + 1);
+
+    // Preprocessing parse errors (13.2.3.5).
+    if (!decoded.valid || is_surrogate(c)) {
+      if (is_surrogate(c)) {
+        errors_.push_back({ParseError::SurrogateInInputStream,
+                           position_at(char_index), {}});
+        characters_.back() = kReplacementCharacter;
+      }
+    } else if (is_noncharacter(c)) {
+      errors_.push_back({ParseError::NoncharacterInInputStream,
+                         position_at(char_index), {}});
+    } else if (is_control(c) && !is_ascii_whitespace(c) && c != 0x00) {
+      errors_.push_back({ParseError::ControlCharacterInInputStream,
+                         position_at(char_index), {}});
+    }
+  }
+  byte_offsets_.push_back(static_cast<std::uint32_t>(bytes.size()));
+}
+
+char32_t InputStream::consume() {
+  if (cursor_ >= characters_.size()) {
+    cursor_ = characters_.size() + 1;  // make reconsume() of EOF a no-op pop
+    return kEof;
+  }
+  return characters_[cursor_++];
+}
+
+void InputStream::reconsume() {
+  if (cursor_ > 0) --cursor_;
+  cursor_ = std::min(cursor_, characters_.size());
+}
+
+char32_t InputStream::peek(std::size_t ahead) const {
+  const std::size_t index = cursor_ + ahead;
+  return index < characters_.size() ? characters_[index] : kEof;
+}
+
+bool InputStream::lookahead_matches_insensitive(std::string_view text) const {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char32_t c = peek(i);
+    if (c == kEof) return false;
+    if (to_ascii_lower(c) !=
+        to_ascii_lower(static_cast<char32_t>(
+            static_cast<unsigned char>(text[i])))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool InputStream::lookahead_matches(std::string_view text) const {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (peek(i) !=
+        static_cast<char32_t>(static_cast<unsigned char>(text[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void InputStream::advance(std::size_t count) {
+  cursor_ = std::min(cursor_ + count, characters_.size());
+}
+
+SourcePosition InputStream::position() const {
+  return position_at(std::min(cursor_, characters_.size()));
+}
+
+SourcePosition InputStream::last_position() const {
+  return position_at(cursor_ > 0 ? std::min(cursor_, characters_.size()) - 1
+                                 : 0);
+}
+
+SourcePosition InputStream::position_at(std::size_t index) const {
+  SourcePosition pos;
+  pos.offset = index < byte_offsets_.size() ? byte_offsets_[index]
+                                            : byte_offsets_.back();
+  // Binary search for the line containing `index`.
+  const auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(),
+                                   static_cast<std::uint32_t>(index));
+  const std::size_t line_index =
+      static_cast<std::size_t>(it - line_starts_.begin()) - 1;
+  pos.line = line_index + 1;
+  pos.column = index - line_starts_[line_index] + 1;
+  return pos;
+}
+
+}  // namespace hv::html

@@ -1,0 +1,110 @@
+// The "Input Stream Preprocessor" stage (WHATWG HTML 13.2.3.5).
+//
+// Decodes UTF-8 bytes into code points, normalizes newlines (CRLF and bare
+// CR become LF — "it replaces all CR characters with LF characters as CR is
+// not allowed in HTML", paper section 2.1), and reports the pre-tokenization
+// parse errors for surrogates, noncharacters, and control characters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/errors.h"
+
+namespace hv::html {
+
+/// A decoded, normalized character stream with lookahead and position
+/// tracking, consumed by the Tokenizer.
+class InputStream {
+ public:
+  /// Sentinel for end of file (spec's "EOF character").
+  static constexpr char32_t kEof = 0xFFFFFFFF;
+
+  explicit InputStream(std::string_view bytes);
+
+  /// Consumes and returns the next input character, or kEof.
+  char32_t consume();
+
+  /// Pushes the last consumed character back ("reconsume" in the spec).
+  void reconsume();
+
+  /// Returns the character `ahead` positions past the cursor without
+  /// consuming (0 = the next character consume() would return).
+  char32_t peek(std::size_t ahead = 0) const;
+
+  /// True when the next characters match `text` ASCII case-insensitively.
+  bool lookahead_matches_insensitive(std::string_view text) const;
+  /// True when the next characters match `text` exactly.
+  bool lookahead_matches(std::string_view text) const;
+  /// Advances the cursor by `count` characters.
+  void advance(std::size_t count);
+
+  /// Source position of the character at the cursor (for error events).
+  SourcePosition position() const;
+  /// Source position of the most recently consumed character.
+  SourcePosition last_position() const;
+
+  bool at_eof() const { return cursor_ >= characters_.size(); }
+  std::size_t size() const { return characters_.size(); }
+
+  /// Errors found during decoding/preprocessing (control chars, surrogates,
+  /// noncharacters in the input stream).
+  const std::vector<ParseErrorEvent>& preprocessing_errors() const {
+    return errors_;
+  }
+
+ private:
+  SourcePosition position_at(std::size_t index) const;
+
+  std::u32string characters_;
+  std::vector<std::uint32_t> byte_offsets_;  // per character
+  std::vector<std::uint32_t> line_starts_;   // character index of each line
+  std::vector<ParseErrorEvent> errors_;
+  std::size_t cursor_ = 0;
+};
+
+/// Character-class helpers shared by tokenizer and tree builder
+/// (spec "ASCII whitespace" is TAB, LF, FF, CR, SPACE; CR is gone after
+/// preprocessing but kept here for direct string scanning).
+constexpr bool is_ascii_whitespace(char32_t c) noexcept {
+  return c == U'\t' || c == U'\n' || c == U'\f' || c == U'\r' || c == U' ';
+}
+constexpr bool is_ascii_upper_alpha(char32_t c) noexcept {
+  return c >= U'A' && c <= U'Z';
+}
+constexpr bool is_ascii_lower_alpha(char32_t c) noexcept {
+  return c >= U'a' && c <= U'z';
+}
+constexpr bool is_ascii_alpha(char32_t c) noexcept {
+  return is_ascii_upper_alpha(c) || is_ascii_lower_alpha(c);
+}
+constexpr bool is_ascii_digit(char32_t c) noexcept {
+  return c >= U'0' && c <= U'9';
+}
+constexpr bool is_ascii_alphanumeric(char32_t c) noexcept {
+  return is_ascii_alpha(c) || is_ascii_digit(c);
+}
+constexpr bool is_ascii_hex_digit(char32_t c) noexcept {
+  return is_ascii_digit(c) || (c >= U'a' && c <= U'f') ||
+         (c >= U'A' && c <= U'F');
+}
+constexpr char32_t to_ascii_lower(char32_t c) noexcept {
+  return is_ascii_upper_alpha(c) ? c + 0x20 : c;
+}
+
+/// Unicode classifications used by the preprocessor error rules.
+constexpr bool is_surrogate(char32_t c) noexcept {
+  return c >= 0xD800 && c <= 0xDFFF;
+}
+constexpr bool is_noncharacter(char32_t c) noexcept {
+  return (c >= 0xFDD0 && c <= 0xFDEF) || ((c & 0xFFFE) == 0xFFFE);
+}
+constexpr bool is_c0_control(char32_t c) noexcept { return c <= 0x1F; }
+constexpr bool is_control(char32_t c) noexcept {
+  return is_c0_control(c) || (c >= 0x7F && c <= 0x9F);
+}
+
+}  // namespace hv::html

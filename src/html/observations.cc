@@ -1,0 +1,40 @@
+#include "html/observations.h"
+
+#include <array>
+
+namespace hv::html {
+namespace {
+
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(ObservationKind::kCount)>
+    kNames = {
+        "head-closed-by-stray-element",
+        "head-implicit-with-content",
+        "head-content-after-head",
+        "body-implied-by-content",
+        "second-body-merged",
+        "foster-parented",
+        "stray-foreign-end-tag",
+        "foreign-breakout-svg",
+        "foreign-breakout-math",
+        "foreign-error-svg",
+        "foreign-error-math",
+        "meta-http-equiv-outside-head",
+        "base-outside-head",
+        "second-base",
+        "base-after-url-use",
+        "nested-form-ignored",
+        "textarea-open-at-eof",
+        "select-open-at-eof",
+        "elements-open-at-eof",
+};
+
+}  // namespace
+
+std::string_view to_string(ObservationKind kind) noexcept {
+  const auto index = static_cast<std::size_t>(kind);
+  if (index >= kNames.size()) return "unknown-observation";
+  return kNames[index];
+}
+
+}  // namespace hv::html

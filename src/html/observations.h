@@ -1,0 +1,63 @@
+// Structural observations emitted by the TreeBuilder.
+//
+// The HTML parser's error tolerance *repairs* markup silently; the study
+// needs to know every time such a repair happened.  Each observation
+// records one tolerated fix-up, with the element involved in `detail`.
+// The checker (src/core) maps observations to the paper's violations:
+//
+//   kHeadClosedByStrayElement / kHeadImplicitWithContent /
+//   kHeadContentAfterHead                          -> HF1
+//   kBodyImpliedByContent                          -> HF2
+//   kSecondBodyMerged                              -> HF3
+//   kFosterParented                                -> HF4
+//   kStrayForeignEndTag, kCdata handled via errors -> HF5_1
+//   kForeignBreakoutSvg / kForeignErrorSvg         -> HF5_2
+//   kForeignBreakoutMath / kForeignErrorMath       -> HF5_3
+//   kMetaHttpEquivOutsideHead                      -> DM1
+//   kBaseOutsideHead / kSecondBase / kBaseAfterUrl -> DM2_1/_2/_3
+//   kNestedFormIgnored                             -> DE4
+//   kTextareaOpenAtEof                             -> DE1
+//   kSelectOpenAtEof                               -> DE2
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "html/errors.h"
+
+namespace hv::html {
+
+enum class ObservationKind : std::uint8_t {
+  kHeadClosedByStrayElement,   ///< non-head element forced </head> (HF1)
+  kHeadImplicitWithContent,    ///< no <head> tag, yet head content existed
+  kHeadContentAfterHead,       ///< head-only element seen after </head>
+  kBodyImpliedByContent,       ///< content (not <body>) opened the body (HF2)
+  kSecondBodyMerged,           ///< duplicate <body>, attributes merged (HF3)
+  kFosterParented,             ///< node relocated in front of a table (HF4)
+  kStrayForeignEndTag,         ///< </svg> or </math> with nothing open (HF5_1)
+  kForeignBreakoutSvg,         ///< HTML breakout tag closed an <svg> (HF5_2)
+  kForeignBreakoutMath,        ///< HTML breakout tag closed a <math> (HF5_3)
+  kForeignErrorSvg,            ///< other tolerated error inside <svg>
+  kForeignErrorMath,           ///< other tolerated error inside <math>
+  kMetaHttpEquivOutsideHead,   ///< meta[http-equiv] parsed outside head (DM1)
+  kBaseOutsideHead,            ///< <base> parsed outside head (DM2_1)
+  kSecondBase,                 ///< more than one <base> element (DM2_2)
+  kBaseAfterUrlUse,            ///< <base> after a URL-bearing element (DM2_3)
+  kNestedFormIgnored,          ///< <form> inside a form was dropped (DE4)
+  kTextareaOpenAtEof,          ///< textarea auto-closed at EOF (DE1)
+  kSelectOpenAtEof,            ///< select auto-closed at EOF (DE2)
+  kElementsOpenAtEof,          ///< other non-omissible elements open at EOF
+  kCount,
+};
+
+std::string_view to_string(ObservationKind kind) noexcept;
+
+struct Observation {
+  ObservationKind kind = ObservationKind::kElementsOpenAtEof;
+  SourcePosition position;
+  std::string detail;  ///< tag name or short description
+};
+
+using Observations = std::vector<Observation>;
+
+}  // namespace hv::html

@@ -1,0 +1,75 @@
+#include "html/parser.h"
+
+#include "html/input_stream.h"
+#include "html/serializer.h"
+#include "html/token.h"
+#include "html/tokenizer.h"
+#include "html/treebuilder.h"
+
+namespace hv::html {
+
+std::size_t ParseResult::count(ParseError code) const noexcept {
+  std::size_t n = 0;
+  for (const ParseErrorEvent& event : errors) {
+    if (event.code == code) ++n;
+  }
+  return n;
+}
+
+std::size_t ParseResult::count(ObservationKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const Observation& observation : observations) {
+    if (observation.kind == kind) ++n;
+  }
+  return n;
+}
+
+ParseResult parse(std::string_view html) { return parse(html, {}); }
+
+ParseResult parse(std::string_view html, const ParseOptions& options) {
+  ParseResult result;
+  result.document = std::make_unique<Document>();
+
+  InputStream input(html);
+  TreeBuilder builder(*result.document, result.errors, result.observations);
+  builder.set_scripting(options.scripting_enabled);
+  Tokenizer tokenizer(input, builder, result.errors);
+  builder.set_tokenizer(&tokenizer);
+  tokenizer.run();
+  return result;
+}
+
+std::string parse_and_serialize(std::string_view html) {
+  const ParseResult result = parse(html);
+  return serialize(*result.document);
+}
+
+ParseResult parse_fragment(std::string_view html,
+                           std::string_view context_tag) {
+  ParseResult result;
+  result.document = std::make_unique<Document>();
+
+  InputStream input(html);
+  TreeBuilder builder(*result.document, result.errors, result.observations);
+  Tokenizer tokenizer(input, builder, result.errors);
+  builder.set_tokenizer(&tokenizer);
+  builder.init_fragment(context_tag);
+
+  // Tokenizer state follows the context element (spec fragment step 4).
+  if (context_tag == "title" || context_tag == "textarea") {
+    tokenizer.set_state(TokenizerState::kRcdata);
+  } else if (context_tag == "style" || context_tag == "xmp" ||
+             context_tag == "iframe" || context_tag == "noembed" ||
+             context_tag == "noframes") {
+    tokenizer.set_state(TokenizerState::kRawtext);
+  } else if (context_tag == "script") {
+    tokenizer.set_state(TokenizerState::kScriptData);
+  } else if (context_tag == "plaintext") {
+    tokenizer.set_state(TokenizerState::kPlaintext);
+  }
+  tokenizer.set_last_start_tag(context_tag);
+  tokenizer.run();
+  return result;
+}
+
+}  // namespace hv::html

@@ -1,0 +1,67 @@
+// Public facade over the full HTML parsing pipeline:
+//   bytes -> decoder -> input preprocessor -> tokenizer -> tree builder.
+//
+// This is the "instrumented browser parser" the study's checker runs on:
+// it yields the repaired DOM plus every spec-named parse error and every
+// silent error-tolerance repair (observation) the parser performed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/dom.h"
+#include "html/errors.h"
+#include "html/observations.h"
+
+namespace hv::html {
+
+struct ParseResult {
+  std::unique_ptr<Document> document;
+  std::vector<ParseErrorEvent> errors;  ///< tokenizer + tree-builder errors
+  Observations observations;            ///< tolerated structural repairs
+
+  /// True when the document triggered no parse error and no repair.
+  bool clean() const noexcept {
+    return errors.empty() && observations.empty();
+  }
+
+  /// Number of errors with the given code.
+  std::size_t count(ParseError code) const noexcept;
+  bool has_error(ParseError code) const noexcept { return count(code) > 0; }
+
+  std::size_t count(ObservationKind kind) const noexcept;
+  bool has_observation(ObservationKind kind) const noexcept {
+    return count(kind) > 0;
+  }
+};
+
+struct ParseOptions {
+  /// Spec scripting flag: when true, <noscript> content is opaque raw
+  /// text (a scripting browser); when false (crawler semantics, the
+  /// paper's framework) noscript children are parsed as markup.
+  bool scripting_enabled = false;
+};
+
+/// Parses a complete UTF-8 HTML document.  Never throws on malformed
+/// markup — that is the whole point: every tolerated problem is reported
+/// in the result instead.
+ParseResult parse(std::string_view html);
+ParseResult parse(std::string_view html, const ParseOptions& options);
+
+/// Convenience: parse then serialize, i.e. one round through the error
+/// tolerance.  This is the "first parsing process" of a sanitizer and the
+/// normalization step of the FB1/FB2 auto-fix.
+std::string parse_and_serialize(std::string_view html);
+
+/// Parses an HTML *fragment* as if inserted into a `context_tag` element
+/// (spec "parsing HTML fragments", the innerHTML algorithm).  This is what
+/// the paper's section 5.1 pre-study needs: dynamically loaded content
+/// never goes through the document parser, yet still enjoys (and suffers)
+/// the same error tolerance.  The fragment's nodes are children of the
+/// returned document's root <html> element.
+ParseResult parse_fragment(std::string_view html,
+                           std::string_view context_tag = "body");
+
+}  // namespace hv::html

@@ -1,0 +1,25 @@
+// Quirks-mode determination from the DOCTYPE (WHATWG HTML 13.2.6.4.1).
+//
+// Quirks mode matters to the study because its one tree-construction
+// effect here — <table> not closing an open <p> — changes where fostered
+// content lands (HF4), and old sites with HTML4 doctypes are parsed in
+// quirks mode by real browsers.
+#pragma once
+
+#include <string_view>
+
+namespace hv::html {
+
+/// True when a DOCTYPE with these fields switches the document to quirks
+/// mode.  `has_system_id` distinguishes an absent system identifier from
+/// an empty one (the spec treats them differently for two prefixes).
+bool doctype_indicates_quirks(bool force_quirks, std::string_view name,
+                              std::string_view public_id,
+                              bool has_system_id,
+                              std::string_view system_id) noexcept;
+
+/// ASCII case-insensitive prefix test (the spec compares identifiers
+/// case-insensitively).
+bool istarts_with(std::string_view text, std::string_view prefix) noexcept;
+
+}  // namespace hv::html

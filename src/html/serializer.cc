@@ -1,0 +1,164 @@
+#include "html/serializer.h"
+
+#include <unordered_set>
+
+namespace hv::html {
+namespace {
+
+bool is_void_element(const Element& element) {
+  if (element.ns() != Namespace::kHtml) return false;
+  static const std::unordered_set<std::string_view> kVoid = {
+      "area",  "base",  "basefont", "bgsound", "br",    "col",
+      "embed", "frame", "hr",       "img",     "input", "keygen",
+      "link",  "meta",  "param",    "source",  "track", "wbr"};
+  return kVoid.find(element.tag_name()) != kVoid.end();
+}
+
+bool is_raw_text_element(const Element& element) {
+  if (element.ns() != Namespace::kHtml) return false;
+  static const std::unordered_set<std::string_view> kRaw = {
+      "style",  "script",   "xmp",      "iframe",
+      "noembed", "noframes", "plaintext"};
+  return kRaw.find(element.tag_name()) != kRaw.end();
+}
+
+bool is_rcdata_element(const Element& element) {
+  return element.ns() == Namespace::kHtml &&
+         (element.tag_name() == "textarea" || element.tag_name() == "title");
+}
+
+void serialize_node(const Node& node, std::string& out);
+
+void serialize_element(const Element& element, std::string& out) {
+  out.push_back('<');
+  out.append(element.tag_name());
+  for (const Attribute& attr : element.attributes()) {
+    out.push_back(' ');
+    out.append(attr.name);
+    out.append("=\"");
+    out.append(escape_attribute(attr.value));
+    out.push_back('"');
+  }
+  out.push_back('>');
+  if (is_void_element(element)) return;
+  for (const Node* child : element.children()) serialize_node(*child, out);
+  out.append("</");
+  out.append(element.tag_name());
+  out.push_back('>');
+}
+
+void serialize_node(const Node& node, std::string& out) {
+  switch (node.type()) {
+    case NodeType::kDocument:
+      for (const Node* child : node.children()) serialize_node(*child, out);
+      return;
+    case NodeType::kDocumentType: {
+      const auto& doctype = static_cast<const DocumentType&>(node);
+      out.append("<!DOCTYPE ");
+      out.append(doctype.name);
+      out.push_back('>');
+      return;
+    }
+    case NodeType::kElement:
+      serialize_element(static_cast<const Element&>(node), out);
+      return;
+    case NodeType::kText: {
+      const auto& text = static_cast<const Text&>(node);
+      const Node* parent = node.parent();
+      const Element* parent_element =
+          parent != nullptr ? parent->as_element() : nullptr;
+      if (parent_element != nullptr && (is_raw_text_element(*parent_element) ||
+                                        is_rcdata_element(*parent_element))) {
+        // Raw text: emitted verbatim (13.3 step for script/style/...).
+        // RCDATA content is also emitted verbatim by browsers' serializers.
+        out.append(text.data);
+      } else {
+        out.append(escape_text(text.data));
+      }
+      return;
+    }
+    case NodeType::kComment: {
+      out.append("<!--");
+      out.append(static_cast<const Comment&>(node).data);
+      out.append("-->");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '\xC2':
+        // U+00A0 is C2 A0 in UTF-8.
+        if (i + 1 < text.size() && text[i + 1] == '\xA0') {
+          out.append("&nbsp;");
+          ++i;
+        } else {
+          out.push_back(c);
+        }
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\xC2':
+        if (i + 1 < text.size() && text[i + 1] == '\xA0') {
+          out.append("&nbsp;");
+          ++i;
+        } else {
+          out.push_back(c);
+        }
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string serialize_children(const Node& node,
+                               const SerializeOptions& options) {
+  (void)options;
+  std::string out;
+  for (const Node* child : node.children()) serialize_node(*child, out);
+  return out;
+}
+
+std::string serialize(const Node& node, const SerializeOptions& options) {
+  (void)options;
+  std::string out;
+  serialize_node(node, out);
+  return out;
+}
+
+}  // namespace hv::html

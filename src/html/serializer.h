@@ -1,0 +1,33 @@
+// HTML fragment serialization (WHATWG HTML 13.3).
+//
+// Serializing a parsed DOM back to markup is the core of the paper's
+// FB1/FB2 automatic repair ("serializing the entire document with the
+// current HTML parser and deserializing it again", section 4.4): the
+// output is syntactically valid even when the input was not.
+#pragma once
+
+#include <string>
+
+#include "html/dom.h"
+
+namespace hv::html {
+
+struct SerializeOptions {
+  bool pretty = false;  ///< newline+indent between elements (debugging aid)
+};
+
+/// Serializes `node`'s children (the "inner HTML" of the node).
+std::string serialize_children(const Node& node,
+                               const SerializeOptions& options = {});
+
+/// Serializes the node itself (the "outer HTML"); for a Document this is
+/// the whole page including the doctype.
+std::string serialize(const Node& node, const SerializeOptions& options = {});
+
+/// Escapes text for use in a text node (&, <, >, and U+00A0).
+std::string escape_text(std::string_view text);
+
+/// Escapes text for use in a double-quoted attribute value.
+std::string escape_attribute(std::string_view text);
+
+}  // namespace hv::html

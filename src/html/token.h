@@ -1,0 +1,78 @@
+// Tokens produced by the Tokenizer and consumed by the TreeBuilder
+// (WHATWG HTML 13.2.5: DOCTYPE, start tag, end tag, comment, character,
+// end-of-file).
+//
+// Deviation for speed: runs of ordinary text are emitted as a single
+// kCharacters token carrying a UTF-8 string; U+0000 is always emitted as a
+// lone kNullCharacter token because every insertion mode treats it
+// specially.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+#include "html/errors.h"
+
+namespace hv::html {
+
+struct Token {
+  enum class Type : std::uint8_t {
+    kDoctype,
+    kStartTag,
+    kEndTag,
+    kComment,
+    kCharacters,     // batch of non-NUL text, UTF-8 in `data`
+    kNullCharacter,  // a single U+0000 from the input stream
+    kEof,
+  };
+
+  Type type = Type::kEof;
+
+  // Tag tokens.
+  std::string name;                  // lowercased tag name
+  std::vector<Attribute> attributes;
+  bool self_closing = false;
+  /// Attribute names dropped by the duplicate-attribute rule, in source
+  /// order.  Kept so the study's DM3 rule can report what was ignored.
+  std::vector<std::string> dropped_duplicate_attributes;
+
+  // Comment and character tokens use `data`; DOCTYPE uses name + ids.
+  std::string data;
+  std::string public_identifier;
+  std::string system_identifier;
+  bool has_public_identifier = false;
+  bool has_system_identifier = false;
+  bool force_quirks = false;
+
+  /// Position of the token's first character in the source document.
+  SourcePosition position;
+
+  bool is_start_tag(std::string_view tag) const noexcept {
+    return type == Type::kStartTag && name == tag;
+  }
+  bool is_end_tag(std::string_view tag) const noexcept {
+    return type == Type::kEndTag && name == tag;
+  }
+
+  /// Value of attribute `attr_name` or nullopt (tag tokens only).
+  std::optional<std::string_view> attribute(
+      std::string_view attr_name) const noexcept {
+    for (const Attribute& attr : attributes) {
+      if (attr.name == attr_name) return std::string_view{attr.value};
+    }
+    return std::nullopt;
+  }
+};
+
+/// Receiver of the token stream (implemented by the TreeBuilder and by
+/// test drivers).
+class TokenSink {
+ public:
+  virtual ~TokenSink() = default;
+  /// Processes one token.  The sink may keep the token's strings only by
+  /// copying/moving them.
+  virtual void process_token(Token&& token) = 0;
+};
+
+}  // namespace hv::html

@@ -1,0 +1,1624 @@
+#include "html/tokenizer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "html/encoding.h"
+
+namespace hv::html {
+namespace {
+
+constexpr char32_t kEofChar = InputStream::kEof;
+
+bool is_ordinary_text(char32_t c, TokenizerState state) noexcept {
+  if (c == kEofChar || c == U'\0' || c == U'<') return false;
+  switch (state) {
+    case TokenizerState::kData:
+    case TokenizerState::kRcdata:
+      return c != U'&';
+    case TokenizerState::kRawtext:
+      return true;
+    case TokenizerState::kScriptData:
+      return c != U'-';  // keep '-' on the slow path for escape handling
+    case TokenizerState::kPlaintext:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(InputStream& input, TokenSink& sink,
+                     std::vector<ParseErrorEvent>& errors)
+    : input_(input), sink_(sink), errors_(errors) {
+  // Surface the preprocessor's errors ahead of tokenization.
+  const auto& pre = input_.preprocessing_errors();
+  errors_.insert(errors_.end(), pre.begin(), pre.end());
+}
+
+void Tokenizer::run() {
+  while (pump()) {
+  }
+}
+
+bool Tokenizer::pump() {
+  if (eof_emitted_) return false;
+  step();
+  return !eof_emitted_;
+}
+
+// --- emission helpers -----------------------------------------------------
+
+void Tokenizer::error(ParseError code) {
+  errors_.push_back({code, input_.last_position(), {}});
+}
+
+void Tokenizer::error_at(ParseError code, SourcePosition position,
+                         std::string detail) {
+  errors_.push_back({code, position, std::move(detail)});
+}
+
+void Tokenizer::flush_text() {
+  if (pending_text_.empty()) return;
+  Token token;
+  token.type = Token::Type::kCharacters;
+  token.data = std::move(pending_text_);
+  token.position = pending_text_position_;
+  pending_text_.clear();
+  sink_.process_token(std::move(token));
+}
+
+void Tokenizer::emit_char(char32_t c) {
+  if (pending_text_.empty()) pending_text_position_ = input_.last_position();
+  append_utf8(c, pending_text_);
+}
+
+void Tokenizer::emit_null() {
+  flush_text();
+  Token token;
+  token.type = Token::Type::kNullCharacter;
+  token.position = input_.last_position();
+  sink_.process_token(std::move(token));
+}
+
+void Tokenizer::begin_start_tag() {
+  current_tag_ = Token{};
+  current_tag_.type = Token::Type::kStartTag;
+  current_tag_.position = token_start_;
+  current_tag_is_start_ = true;
+  has_current_attr_ = false;
+}
+
+void Tokenizer::begin_end_tag() {
+  current_tag_ = Token{};
+  current_tag_.type = Token::Type::kEndTag;
+  current_tag_.position = token_start_;
+  current_tag_is_start_ = false;
+  has_current_attr_ = false;
+}
+
+void Tokenizer::start_new_attribute() {
+  finish_attribute_name();      // safety: completes a dangling name
+  commit_current_attr_value();  // stores the previous attribute's value
+  current_attr_name_.clear();
+  current_attr_value_.clear();
+  has_current_attr_ = true;
+  current_attr_dropped_ = false;
+  current_attr_position_ = input_.last_position();
+}
+
+void Tokenizer::commit_current_attr_value() {
+  if (current_attr_dropped_ || current_attr_value_.empty()) return;
+  if (current_tag_.attributes.empty()) return;
+  if (current_tag_.attributes.back().name != current_attr_name_) return;
+  current_tag_.attributes.back().value = std::move(current_attr_value_);
+  current_attr_value_.clear();
+}
+
+void Tokenizer::finish_attribute_name() {
+  if (!has_current_attr_) return;
+  has_current_attr_ = false;
+  if (current_attr_dropped_) return;
+  // Duplicate-attribute rule (13.2.5.33): if an attribute of this name is
+  // already on the token, this is a duplicate-attribute parse error and the
+  // whole attribute (with its value, if any) is ignored.
+  for (const Attribute& existing : current_tag_.attributes) {
+    if (existing.name == current_attr_name_) {
+      error_at(ParseError::DuplicateAttribute, current_attr_position_,
+               current_attr_name_);
+      current_tag_.dropped_duplicate_attributes.push_back(current_attr_name_);
+      current_attr_dropped_ = true;
+      return;
+    }
+  }
+  current_tag_.attributes.push_back({current_attr_name_, {}});
+}
+
+void Tokenizer::append_to_attr_name(char32_t c) {
+  append_utf8(c, current_attr_name_);
+}
+
+void Tokenizer::append_to_attr_value(char32_t c) {
+  append_utf8(c, current_attr_value_);
+}
+
+void Tokenizer::emit_current_tag() {
+  finish_attribute_name();
+  commit_current_attr_value();
+  current_attr_name_.clear();
+  current_attr_value_.clear();
+  current_attr_dropped_ = false;
+
+  if (current_tag_.type == Token::Type::kEndTag) {
+    if (!current_tag_.attributes.empty()) {
+      error_at(ParseError::EndTagWithAttributes, current_tag_.position,
+               current_tag_.name);
+      current_tag_.attributes.clear();
+    }
+    if (current_tag_.self_closing) {
+      error_at(ParseError::EndTagWithTrailingSolidus, current_tag_.position,
+               current_tag_.name);
+      current_tag_.self_closing = false;
+    }
+  } else {
+    last_start_tag_name_ = current_tag_.name;
+  }
+  flush_text();
+  sink_.process_token(std::move(current_tag_));
+  current_tag_ = Token{};
+}
+
+void Tokenizer::emit_eof() {
+  flush_text();
+  Token token;
+  token.type = Token::Type::kEof;
+  token.position = input_.position();
+  eof_emitted_ = true;
+  sink_.process_token(std::move(token));
+}
+
+void Tokenizer::emit_comment() {
+  flush_text();
+  sink_.process_token(std::move(current_comment_));
+  current_comment_ = Token{};
+}
+
+void Tokenizer::emit_doctype() {
+  flush_text();
+  sink_.process_token(std::move(current_doctype_));
+  current_doctype_ = Token{};
+}
+
+bool Tokenizer::current_end_tag_is_appropriate() const {
+  return !last_start_tag_name_.empty() &&
+         current_tag_.name == last_start_tag_name_;
+}
+
+bool Tokenizer::char_ref_in_attribute() const {
+  return return_state_ == TokenizerState::kAttributeValueDoubleQuoted ||
+         return_state_ == TokenizerState::kAttributeValueSingleQuoted ||
+         return_state_ == TokenizerState::kAttributeValueUnquoted;
+}
+
+void Tokenizer::flush_code_points_consumed_as_character_reference() {
+  for (const char32_t c : temporary_buffer_) {
+    if (char_ref_in_attribute()) {
+      append_to_attr_value(c);
+    } else {
+      emit_char(c);
+    }
+  }
+  temporary_buffer_.clear();
+}
+
+// --- the state machine ------------------------------------------------------
+
+// NOLINTNEXTLINE(readability-function-size): mirrors the spec's 80 states.
+void Tokenizer::step() {
+  using S = TokenizerState;
+
+  // Fast path: batch plain text runs in the pure-text states.
+  if (state_ == S::kData || state_ == S::kRcdata || state_ == S::kRawtext ||
+      state_ == S::kScriptData || state_ == S::kPlaintext) {
+    bool consumed_any = false;
+    while (is_ordinary_text(input_.peek(), state_)) {
+      emit_char(input_.consume());
+      consumed_any = true;
+    }
+    if (consumed_any) return;
+  }
+
+  switch (state_) {
+    case S::kData: {
+      const char32_t c = input_.consume();
+      if (c == U'&') {
+        return_state_ = S::kData;
+        state_ = S::kCharacterReference;
+      } else if (c == U'<') {
+        token_start_ = input_.last_position();
+        state_ = S::kTagOpen;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        emit_null();
+      } else if (c == kEofChar) {
+        emit_eof();
+      } else {
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kRcdata: {
+      const char32_t c = input_.consume();
+      if (c == U'&') {
+        return_state_ = S::kRcdata;
+        state_ = S::kCharacterReference;
+      } else if (c == U'<') {
+        state_ = S::kRcdataLessThanSign;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        emit_eof();
+      } else {
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kRawtext: {
+      const char32_t c = input_.consume();
+      if (c == U'<') {
+        state_ = S::kRawtextLessThanSign;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        emit_eof();
+      } else {
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kScriptData: {
+      const char32_t c = input_.consume();
+      if (c == U'<') {
+        state_ = S::kScriptDataLessThanSign;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        emit_eof();
+      } else {
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kPlaintext: {
+      const char32_t c = input_.consume();
+      if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        emit_eof();
+      } else {
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kTagOpen: {
+      const char32_t c = input_.consume();
+      if (c == U'!') {
+        state_ = S::kMarkupDeclarationOpen;
+      } else if (c == U'/') {
+        state_ = S::kEndTagOpen;
+      } else if (is_ascii_alpha(c)) {
+        begin_start_tag();
+        input_.reconsume();
+        state_ = S::kTagName;
+      } else if (c == U'?') {
+        error(ParseError::UnexpectedQuestionMarkInsteadOfTagName);
+        current_comment_ = Token{};
+        current_comment_.type = Token::Type::kComment;
+        current_comment_.position = token_start_;
+        input_.reconsume();
+        state_ = S::kBogusComment;
+      } else if (c == kEofChar) {
+        error(ParseError::EofBeforeTagName);
+        emit_char(U'<');
+        emit_eof();
+      } else {
+        error(ParseError::InvalidFirstCharacterOfTagName);
+        emit_char(U'<');
+        input_.reconsume();
+        state_ = S::kData;
+      }
+      return;
+    }
+    case S::kEndTagOpen: {
+      const char32_t c = input_.consume();
+      if (is_ascii_alpha(c)) {
+        begin_end_tag();
+        input_.reconsume();
+        state_ = S::kTagName;
+      } else if (c == U'>') {
+        error(ParseError::MissingEndTagName);
+        state_ = S::kData;
+      } else if (c == kEofChar) {
+        error(ParseError::EofBeforeTagName);
+        emit_char(U'<');
+        emit_char(U'/');
+        emit_eof();
+      } else {
+        error(ParseError::InvalidFirstCharacterOfTagName);
+        current_comment_ = Token{};
+        current_comment_.type = Token::Type::kComment;
+        current_comment_.position = token_start_;
+        input_.reconsume();
+        state_ = S::kBogusComment;
+      }
+      return;
+    }
+    case S::kTagName: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        state_ = S::kBeforeAttributeName;
+      } else if (c == U'/') {
+        state_ = S::kSelfClosingStartTag;
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_current_tag();
+      } else if (is_ascii_upper_alpha(c)) {
+        append_utf8(to_ascii_lower(c), current_tag_.name);
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_utf8(kReplacementCharacter, current_tag_.name);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInTag);
+        emit_eof();
+      } else {
+        append_utf8(c, current_tag_.name);
+      }
+      return;
+    }
+    // --- RCDATA / RAWTEXT / script end-tag recognition -------------------
+    case S::kRcdataLessThanSign:
+    case S::kRawtextLessThanSign: {
+      const bool rcdata = state_ == S::kRcdataLessThanSign;
+      const char32_t c = input_.consume();
+      if (c == U'/') {
+        temporary_buffer_.clear();
+        state_ = rcdata ? S::kRcdataEndTagOpen : S::kRawtextEndTagOpen;
+      } else {
+        emit_char(U'<');
+        input_.reconsume();
+        state_ = rcdata ? S::kRcdata : S::kRawtext;
+      }
+      return;
+    }
+    case S::kRcdataEndTagOpen:
+    case S::kRawtextEndTagOpen:
+    case S::kScriptDataEndTagOpen:
+    case S::kScriptDataEscapedEndTagOpen: {
+      const char32_t c = input_.consume();
+      S name_state;
+      S fallback;
+      switch (state_) {
+        case S::kRcdataEndTagOpen:
+          name_state = S::kRcdataEndTagName;
+          fallback = S::kRcdata;
+          break;
+        case S::kRawtextEndTagOpen:
+          name_state = S::kRawtextEndTagName;
+          fallback = S::kRawtext;
+          break;
+        case S::kScriptDataEndTagOpen:
+          name_state = S::kScriptDataEndTagName;
+          fallback = S::kScriptData;
+          break;
+        default:
+          name_state = S::kScriptDataEscapedEndTagName;
+          fallback = S::kScriptDataEscaped;
+          break;
+      }
+      if (is_ascii_alpha(c)) {
+        token_start_ = input_.last_position();
+        begin_end_tag();
+        input_.reconsume();
+        state_ = name_state;
+      } else {
+        emit_char(U'<');
+        emit_char(U'/');
+        input_.reconsume();
+        state_ = fallback;
+      }
+      return;
+    }
+    case S::kRcdataEndTagName:
+    case S::kRawtextEndTagName:
+    case S::kScriptDataEndTagName:
+    case S::kScriptDataEscapedEndTagName: {
+      S fallback;
+      switch (state_) {
+        case S::kRcdataEndTagName:
+          fallback = S::kRcdata;
+          break;
+        case S::kRawtextEndTagName:
+          fallback = S::kRawtext;
+          break;
+        case S::kScriptDataEndTagName:
+          fallback = S::kScriptData;
+          break;
+        default:
+          fallback = S::kScriptDataEscaped;
+          break;
+      }
+      const char32_t c = input_.consume();
+      const bool appropriate = current_end_tag_is_appropriate();
+      if (is_ascii_whitespace(c) && appropriate) {
+        state_ = S::kBeforeAttributeName;
+      } else if (c == U'/' && appropriate) {
+        state_ = S::kSelfClosingStartTag;
+      } else if (c == U'>' && appropriate) {
+        state_ = S::kData;
+        emit_current_tag();
+      } else if (is_ascii_upper_alpha(c)) {
+        append_utf8(to_ascii_lower(c), current_tag_.name);
+        temporary_buffer_.push_back(c);
+      } else if (is_ascii_lower_alpha(c)) {
+        append_utf8(c, current_tag_.name);
+        temporary_buffer_.push_back(c);
+      } else {
+        emit_char(U'<');
+        emit_char(U'/');
+        for (const char32_t tc : temporary_buffer_) emit_char(tc);
+        temporary_buffer_.clear();
+        input_.reconsume();
+        state_ = fallback;
+      }
+      return;
+    }
+    case S::kScriptDataLessThanSign: {
+      const char32_t c = input_.consume();
+      if (c == U'/') {
+        temporary_buffer_.clear();
+        state_ = S::kScriptDataEndTagOpen;
+      } else if (c == U'!') {
+        state_ = S::kScriptDataEscapeStart;
+        emit_char(U'<');
+        emit_char(U'!');
+      } else {
+        emit_char(U'<');
+        input_.reconsume();
+        state_ = S::kScriptData;
+      }
+      return;
+    }
+    case S::kScriptDataEscapeStart: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kScriptDataEscapeStartDash;
+        emit_char(U'-');
+      } else {
+        input_.reconsume();
+        state_ = S::kScriptData;
+      }
+      return;
+    }
+    case S::kScriptDataEscapeStartDash: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kScriptDataEscapedDashDash;
+        emit_char(U'-');
+      } else {
+        input_.reconsume();
+        state_ = S::kScriptData;
+      }
+      return;
+    }
+    case S::kScriptDataEscaped: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kScriptDataEscapedDash;
+        emit_char(U'-');
+      } else if (c == U'<') {
+        state_ = S::kScriptDataEscapedLessThanSign;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInScriptHtmlCommentLikeText);
+        emit_eof();
+      } else {
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kScriptDataEscapedDash: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kScriptDataEscapedDashDash;
+        emit_char(U'-');
+      } else if (c == U'<') {
+        state_ = S::kScriptDataEscapedLessThanSign;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        state_ = S::kScriptDataEscaped;
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInScriptHtmlCommentLikeText);
+        emit_eof();
+      } else {
+        state_ = S::kScriptDataEscaped;
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kScriptDataEscapedDashDash: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        emit_char(U'-');
+      } else if (c == U'<') {
+        state_ = S::kScriptDataEscapedLessThanSign;
+      } else if (c == U'>') {
+        state_ = S::kScriptData;
+        emit_char(U'>');
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        state_ = S::kScriptDataEscaped;
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInScriptHtmlCommentLikeText);
+        emit_eof();
+      } else {
+        state_ = S::kScriptDataEscaped;
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kScriptDataEscapedLessThanSign: {
+      const char32_t c = input_.consume();
+      if (c == U'/') {
+        temporary_buffer_.clear();
+        state_ = S::kScriptDataEscapedEndTagOpen;
+      } else if (is_ascii_alpha(c)) {
+        temporary_buffer_.clear();
+        emit_char(U'<');
+        input_.reconsume();
+        state_ = S::kScriptDataDoubleEscapeStart;
+      } else {
+        emit_char(U'<');
+        input_.reconsume();
+        state_ = S::kScriptDataEscaped;
+      }
+      return;
+    }
+    case S::kScriptDataDoubleEscapeStart:
+    case S::kScriptDataDoubleEscapeEnd: {
+      const bool starting = state_ == S::kScriptDataDoubleEscapeStart;
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c) || c == U'/' || c == U'>') {
+        const bool is_script = temporary_buffer_ == U"script";
+        if (starting) {
+          state_ = is_script ? S::kScriptDataDoubleEscaped
+                             : S::kScriptDataEscaped;
+        } else {
+          state_ = is_script ? S::kScriptDataEscaped
+                             : S::kScriptDataDoubleEscaped;
+        }
+        emit_char(c);
+      } else if (is_ascii_upper_alpha(c)) {
+        temporary_buffer_.push_back(to_ascii_lower(c));
+        emit_char(c);
+      } else if (is_ascii_lower_alpha(c)) {
+        temporary_buffer_.push_back(c);
+        emit_char(c);
+      } else {
+        input_.reconsume();
+        state_ = starting ? S::kScriptDataEscaped : S::kScriptDataDoubleEscaped;
+      }
+      return;
+    }
+    case S::kScriptDataDoubleEscaped: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kScriptDataDoubleEscapedDash;
+        emit_char(U'-');
+      } else if (c == U'<') {
+        state_ = S::kScriptDataDoubleEscapedLessThanSign;
+        emit_char(U'<');
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInScriptHtmlCommentLikeText);
+        emit_eof();
+      } else {
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kScriptDataDoubleEscapedDash: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kScriptDataDoubleEscapedDashDash;
+        emit_char(U'-');
+      } else if (c == U'<') {
+        state_ = S::kScriptDataDoubleEscapedLessThanSign;
+        emit_char(U'<');
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        state_ = S::kScriptDataDoubleEscaped;
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInScriptHtmlCommentLikeText);
+        emit_eof();
+      } else {
+        state_ = S::kScriptDataDoubleEscaped;
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kScriptDataDoubleEscapedDashDash: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        emit_char(U'-');
+      } else if (c == U'<') {
+        state_ = S::kScriptDataDoubleEscapedLessThanSign;
+        emit_char(U'<');
+      } else if (c == U'>') {
+        state_ = S::kScriptData;
+        emit_char(U'>');
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        state_ = S::kScriptDataDoubleEscaped;
+        emit_char(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInScriptHtmlCommentLikeText);
+        emit_eof();
+      } else {
+        state_ = S::kScriptDataDoubleEscaped;
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kScriptDataDoubleEscapedLessThanSign: {
+      const char32_t c = input_.consume();
+      if (c == U'/') {
+        temporary_buffer_.clear();
+        state_ = S::kScriptDataDoubleEscapeEnd;
+        emit_char(U'/');
+      } else {
+        input_.reconsume();
+        state_ = S::kScriptDataDoubleEscaped;
+      }
+      return;
+    }
+    // --- attributes -------------------------------------------------------
+    case S::kBeforeAttributeName: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'/' || c == U'>' || c == kEofChar) {
+        input_.reconsume();
+        state_ = S::kAfterAttributeName;
+      } else if (c == U'=') {
+        error(ParseError::UnexpectedEqualsSignBeforeAttributeName);
+        start_new_attribute();
+        append_to_attr_name(c);
+        state_ = S::kAttributeName;
+      } else {
+        start_new_attribute();
+        input_.reconsume();
+        state_ = S::kAttributeName;
+      }
+      return;
+    }
+    case S::kAttributeName: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c) || c == U'/' || c == U'>' || c == kEofChar) {
+        finish_attribute_name();
+        input_.reconsume();
+        state_ = S::kAfterAttributeName;
+      } else if (c == U'=') {
+        finish_attribute_name();
+        state_ = S::kBeforeAttributeValue;
+      } else if (is_ascii_upper_alpha(c)) {
+        append_to_attr_name(to_ascii_lower(c));
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_to_attr_name(kReplacementCharacter);
+      } else if (c == U'"' || c == U'\'' || c == U'<') {
+        error(ParseError::UnexpectedCharacterInAttributeName);
+        append_to_attr_name(c);
+      } else {
+        append_to_attr_name(c);
+      }
+      return;
+    }
+    case S::kAfterAttributeName: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'/') {
+        state_ = S::kSelfClosingStartTag;
+      } else if (c == U'=') {
+        state_ = S::kBeforeAttributeValue;
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_current_tag();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInTag);
+        emit_eof();
+      } else {
+        start_new_attribute();
+        input_.reconsume();
+        state_ = S::kAttributeName;
+      }
+      return;
+    }
+    case S::kBeforeAttributeValue: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'"') {
+        state_ = S::kAttributeValueDoubleQuoted;
+      } else if (c == U'\'') {
+        state_ = S::kAttributeValueSingleQuoted;
+      } else if (c == U'>') {
+        error(ParseError::MissingAttributeValue);
+        state_ = S::kData;
+        emit_current_tag();
+      } else {
+        input_.reconsume();
+        state_ = S::kAttributeValueUnquoted;
+      }
+      return;
+    }
+    case S::kAttributeValueDoubleQuoted:
+    case S::kAttributeValueSingleQuoted: {
+      const char32_t quote =
+          state_ == S::kAttributeValueDoubleQuoted ? U'"' : U'\'';
+      const char32_t c = input_.consume();
+      if (c == quote) {
+        state_ = S::kAfterAttributeValueQuoted;
+      } else if (c == U'&') {
+        return_state_ = state_;
+        state_ = S::kCharacterReference;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_to_attr_value(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInTag);
+        emit_eof();
+      } else {
+        append_to_attr_value(c);
+      }
+      return;
+    }
+    case S::kAttributeValueUnquoted: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        state_ = S::kBeforeAttributeName;
+      } else if (c == U'&') {
+        return_state_ = state_;
+        state_ = S::kCharacterReference;
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_current_tag();
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_to_attr_value(kReplacementCharacter);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInTag);
+        emit_eof();
+      } else {
+        if (c == U'"' || c == U'\'' || c == U'<' || c == U'=' || c == U'`') {
+          error(ParseError::UnexpectedCharacterInUnquotedAttributeValue);
+        }
+        append_to_attr_value(c);
+      }
+      return;
+    }
+    case S::kAfterAttributeValueQuoted: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        state_ = S::kBeforeAttributeName;
+      } else if (c == U'/') {
+        state_ = S::kSelfClosingStartTag;
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_current_tag();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInTag);
+        emit_eof();
+      } else {
+        // FB2: the parser tolerates glued attributes by pretending there was
+        // a space (paper section 3.2.2).
+        error(ParseError::MissingWhitespaceBetweenAttributes);
+        input_.reconsume();
+        state_ = S::kBeforeAttributeName;
+      }
+      return;
+    }
+    case S::kSelfClosingStartTag: {
+      const char32_t c = input_.consume();
+      if (c == U'>') {
+        current_tag_.self_closing = true;
+        state_ = S::kData;
+        emit_current_tag();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInTag);
+        emit_eof();
+      } else {
+        // FB1: a stray slash inside a tag is treated like whitespace
+        // (paper section 3.2.2).
+        error(ParseError::UnexpectedSolidusInTag);
+        input_.reconsume();
+        state_ = S::kBeforeAttributeName;
+      }
+      return;
+    }
+    // --- comments and bogus comments --------------------------------------
+    case S::kBogusComment: {
+      const char32_t c = input_.consume();
+      if (c == U'>') {
+        state_ = S::kData;
+        emit_comment();
+      } else if (c == kEofChar) {
+        emit_comment();
+        emit_eof();
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_utf8(kReplacementCharacter, current_comment_.data);
+      } else {
+        append_utf8(c, current_comment_.data);
+      }
+      return;
+    }
+    case S::kMarkupDeclarationOpen: {
+      if (input_.lookahead_matches("--")) {
+        input_.advance(2);
+        current_comment_ = Token{};
+        current_comment_.type = Token::Type::kComment;
+        current_comment_.position = token_start_;
+        state_ = S::kCommentStart;
+      } else if (input_.lookahead_matches_insensitive("doctype")) {
+        input_.advance(7);
+        state_ = S::kDoctype;
+      } else if (input_.lookahead_matches("[CDATA[")) {
+        input_.advance(7);
+        if (cdata_allowed_) {
+          state_ = S::kCdataSection;
+        } else {
+          error(ParseError::CdataInHtmlContent);
+          current_comment_ = Token{};
+          current_comment_.type = Token::Type::kComment;
+          current_comment_.position = token_start_;
+          current_comment_.data = "[CDATA[";
+          state_ = S::kBogusComment;
+        }
+      } else {
+        error(ParseError::IncorrectlyOpenedComment);
+        current_comment_ = Token{};
+        current_comment_.type = Token::Type::kComment;
+        current_comment_.position = token_start_;
+        state_ = S::kBogusComment;
+      }
+      return;
+    }
+    case S::kCommentStart: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kCommentStartDash;
+      } else if (c == U'>') {
+        error(ParseError::AbruptClosingOfEmptyComment);
+        state_ = S::kData;
+        emit_comment();
+      } else {
+        input_.reconsume();
+        state_ = S::kComment;
+      }
+      return;
+    }
+    case S::kCommentStartDash: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kCommentEnd;
+      } else if (c == U'>') {
+        error(ParseError::AbruptClosingOfEmptyComment);
+        state_ = S::kData;
+        emit_comment();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInComment);
+        emit_comment();
+        emit_eof();
+      } else {
+        current_comment_.data.push_back('-');
+        input_.reconsume();
+        state_ = S::kComment;
+      }
+      return;
+    }
+    case S::kComment: {
+      const char32_t c = input_.consume();
+      if (c == U'<') {
+        append_utf8(c, current_comment_.data);
+        state_ = S::kCommentLessThanSign;
+      } else if (c == U'-') {
+        state_ = S::kCommentEndDash;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_utf8(kReplacementCharacter, current_comment_.data);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInComment);
+        emit_comment();
+        emit_eof();
+      } else {
+        append_utf8(c, current_comment_.data);
+      }
+      return;
+    }
+    case S::kCommentLessThanSign: {
+      const char32_t c = input_.consume();
+      if (c == U'!') {
+        append_utf8(c, current_comment_.data);
+        state_ = S::kCommentLessThanSignBang;
+      } else if (c == U'<') {
+        append_utf8(c, current_comment_.data);
+      } else {
+        input_.reconsume();
+        state_ = S::kComment;
+      }
+      return;
+    }
+    case S::kCommentLessThanSignBang: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kCommentLessThanSignBangDash;
+      } else {
+        input_.reconsume();
+        state_ = S::kComment;
+      }
+      return;
+    }
+    case S::kCommentLessThanSignBangDash: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kCommentLessThanSignBangDashDash;
+      } else {
+        input_.reconsume();
+        state_ = S::kCommentEndDash;
+      }
+      return;
+    }
+    case S::kCommentLessThanSignBangDashDash: {
+      const char32_t c = input_.consume();
+      if (c != U'>' && c != kEofChar) {
+        error(ParseError::NestedComment);
+      }
+      input_.reconsume();
+      state_ = S::kCommentEnd;
+      return;
+    }
+    case S::kCommentEndDash: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        state_ = S::kCommentEnd;
+      } else if (c == kEofChar) {
+        error(ParseError::EofInComment);
+        emit_comment();
+        emit_eof();
+      } else {
+        current_comment_.data.push_back('-');
+        input_.reconsume();
+        state_ = S::kComment;
+      }
+      return;
+    }
+    case S::kCommentEnd: {
+      const char32_t c = input_.consume();
+      if (c == U'>') {
+        state_ = S::kData;
+        emit_comment();
+      } else if (c == U'!') {
+        state_ = S::kCommentEndBang;
+      } else if (c == U'-') {
+        current_comment_.data.push_back('-');
+      } else if (c == kEofChar) {
+        error(ParseError::EofInComment);
+        emit_comment();
+        emit_eof();
+      } else {
+        current_comment_.data += "--";
+        input_.reconsume();
+        state_ = S::kComment;
+      }
+      return;
+    }
+    case S::kCommentEndBang: {
+      const char32_t c = input_.consume();
+      if (c == U'-') {
+        current_comment_.data += "--!";
+        state_ = S::kCommentEndDash;
+      } else if (c == U'>') {
+        error(ParseError::IncorrectlyClosedComment);
+        state_ = S::kData;
+        emit_comment();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInComment);
+        emit_comment();
+        emit_eof();
+      } else {
+        current_comment_.data += "--!";
+        input_.reconsume();
+        state_ = S::kComment;
+      }
+      return;
+    }
+    // --- DOCTYPE -----------------------------------------------------------
+    case S::kDoctype: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        state_ = S::kBeforeDoctypeName;
+      } else if (c == U'>') {
+        input_.reconsume();
+        state_ = S::kBeforeDoctypeName;
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_ = Token{};
+        current_doctype_.type = Token::Type::kDoctype;
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        error(ParseError::MissingWhitespaceBeforeDoctypeName);
+        input_.reconsume();
+        state_ = S::kBeforeDoctypeName;
+      }
+      return;
+    }
+    case S::kBeforeDoctypeName: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'>') {
+        error(ParseError::MissingDoctypeName);
+        current_doctype_ = Token{};
+        current_doctype_.type = Token::Type::kDoctype;
+        current_doctype_.force_quirks = true;
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_ = Token{};
+        current_doctype_.type = Token::Type::kDoctype;
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        current_doctype_ = Token{};
+        current_doctype_.type = Token::Type::kDoctype;
+        current_doctype_.position = token_start_;
+        if (c == U'\0') {
+          error(ParseError::UnexpectedNullCharacter);
+          append_utf8(kReplacementCharacter, current_doctype_.name);
+        } else {
+          append_utf8(to_ascii_lower(c), current_doctype_.name);
+        }
+        state_ = S::kDoctypeName;
+      }
+      return;
+    }
+    case S::kDoctypeName: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        state_ = S::kAfterDoctypeName;
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_utf8(kReplacementCharacter, current_doctype_.name);
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        append_utf8(to_ascii_lower(c), current_doctype_.name);
+      }
+      return;
+    }
+    case S::kAfterDoctypeName: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        input_.reconsume();
+        if (input_.lookahead_matches_insensitive("public")) {
+          input_.advance(6);
+          state_ = S::kAfterDoctypePublicKeyword;
+        } else if (input_.lookahead_matches_insensitive("system")) {
+          input_.advance(6);
+          state_ = S::kAfterDoctypeSystemKeyword;
+        } else {
+          error(ParseError::InvalidCharacterSequenceAfterDoctypeName);
+          current_doctype_.force_quirks = true;
+          state_ = S::kBogusDoctype;
+        }
+      }
+      return;
+    }
+    case S::kAfterDoctypePublicKeyword: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        state_ = S::kBeforeDoctypePublicIdentifier;
+      } else if (c == U'"' || c == U'\'') {
+        error(ParseError::MissingWhitespaceAfterDoctypePublicKeyword);
+        current_doctype_.has_public_identifier = true;
+        state_ = c == U'"' ? S::kDoctypePublicIdentifierDoubleQuoted
+                           : S::kDoctypePublicIdentifierSingleQuoted;
+      } else if (c == U'>') {
+        error(ParseError::MissingDoctypePublicIdentifier);
+        current_doctype_.force_quirks = true;
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        error(ParseError::MissingQuoteBeforeDoctypePublicIdentifier);
+        current_doctype_.force_quirks = true;
+        input_.reconsume();
+        state_ = S::kBogusDoctype;
+      }
+      return;
+    }
+    case S::kBeforeDoctypePublicIdentifier: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'"' || c == U'\'') {
+        current_doctype_.has_public_identifier = true;
+        state_ = c == U'"' ? S::kDoctypePublicIdentifierDoubleQuoted
+                           : S::kDoctypePublicIdentifierSingleQuoted;
+      } else if (c == U'>') {
+        error(ParseError::MissingDoctypePublicIdentifier);
+        current_doctype_.force_quirks = true;
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        error(ParseError::MissingQuoteBeforeDoctypePublicIdentifier);
+        current_doctype_.force_quirks = true;
+        input_.reconsume();
+        state_ = S::kBogusDoctype;
+      }
+      return;
+    }
+    case S::kDoctypePublicIdentifierDoubleQuoted:
+    case S::kDoctypePublicIdentifierSingleQuoted: {
+      const char32_t quote =
+          state_ == S::kDoctypePublicIdentifierDoubleQuoted ? U'"' : U'\'';
+      const char32_t c = input_.consume();
+      if (c == quote) {
+        state_ = S::kAfterDoctypePublicIdentifier;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_utf8(kReplacementCharacter, current_doctype_.public_identifier);
+      } else if (c == U'>') {
+        error(ParseError::AbruptDoctypePublicIdentifier);
+        current_doctype_.force_quirks = true;
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        append_utf8(c, current_doctype_.public_identifier);
+      }
+      return;
+    }
+    case S::kAfterDoctypePublicIdentifier: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        state_ = S::kBetweenDoctypePublicAndSystemIdentifiers;
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == U'"' || c == U'\'') {
+        error(
+            ParseError::MissingWhitespaceBetweenDoctypePublicAndSystemIdentifiers);
+        current_doctype_.has_system_identifier = true;
+        state_ = c == U'"' ? S::kDoctypeSystemIdentifierDoubleQuoted
+                           : S::kDoctypeSystemIdentifierSingleQuoted;
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        error(ParseError::MissingQuoteBeforeDoctypeSystemIdentifier);
+        current_doctype_.force_quirks = true;
+        input_.reconsume();
+        state_ = S::kBogusDoctype;
+      }
+      return;
+    }
+    case S::kBetweenDoctypePublicAndSystemIdentifiers: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == U'"' || c == U'\'') {
+        current_doctype_.has_system_identifier = true;
+        state_ = c == U'"' ? S::kDoctypeSystemIdentifierDoubleQuoted
+                           : S::kDoctypeSystemIdentifierSingleQuoted;
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        error(ParseError::MissingQuoteBeforeDoctypeSystemIdentifier);
+        current_doctype_.force_quirks = true;
+        input_.reconsume();
+        state_ = S::kBogusDoctype;
+      }
+      return;
+    }
+    case S::kAfterDoctypeSystemKeyword: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        state_ = S::kBeforeDoctypeSystemIdentifier;
+      } else if (c == U'"' || c == U'\'') {
+        error(ParseError::MissingWhitespaceAfterDoctypeSystemKeyword);
+        current_doctype_.has_system_identifier = true;
+        state_ = c == U'"' ? S::kDoctypeSystemIdentifierDoubleQuoted
+                           : S::kDoctypeSystemIdentifierSingleQuoted;
+      } else if (c == U'>') {
+        error(ParseError::MissingDoctypeSystemIdentifier);
+        current_doctype_.force_quirks = true;
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        error(ParseError::MissingQuoteBeforeDoctypeSystemIdentifier);
+        current_doctype_.force_quirks = true;
+        input_.reconsume();
+        state_ = S::kBogusDoctype;
+      }
+      return;
+    }
+    case S::kBeforeDoctypeSystemIdentifier: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'"' || c == U'\'') {
+        current_doctype_.has_system_identifier = true;
+        state_ = c == U'"' ? S::kDoctypeSystemIdentifierDoubleQuoted
+                           : S::kDoctypeSystemIdentifierSingleQuoted;
+      } else if (c == U'>') {
+        error(ParseError::MissingDoctypeSystemIdentifier);
+        current_doctype_.force_quirks = true;
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        error(ParseError::MissingQuoteBeforeDoctypeSystemIdentifier);
+        current_doctype_.force_quirks = true;
+        input_.reconsume();
+        state_ = S::kBogusDoctype;
+      }
+      return;
+    }
+    case S::kDoctypeSystemIdentifierDoubleQuoted:
+    case S::kDoctypeSystemIdentifierSingleQuoted: {
+      const char32_t quote =
+          state_ == S::kDoctypeSystemIdentifierDoubleQuoted ? U'"' : U'\'';
+      const char32_t c = input_.consume();
+      if (c == quote) {
+        state_ = S::kAfterDoctypeSystemIdentifier;
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+        append_utf8(kReplacementCharacter, current_doctype_.system_identifier);
+      } else if (c == U'>') {
+        error(ParseError::AbruptDoctypeSystemIdentifier);
+        current_doctype_.force_quirks = true;
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        append_utf8(c, current_doctype_.system_identifier);
+      }
+      return;
+    }
+    case S::kAfterDoctypeSystemIdentifier: {
+      const char32_t c = input_.consume();
+      if (is_ascii_whitespace(c)) {
+        // ignore
+      } else if (c == U'>') {
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == kEofChar) {
+        error(ParseError::EofInDoctype);
+        current_doctype_.force_quirks = true;
+        emit_doctype();
+        emit_eof();
+      } else {
+        error(ParseError::UnexpectedCharacterAfterDoctypeSystemIdentifier);
+        input_.reconsume();
+        state_ = S::kBogusDoctype;
+      }
+      return;
+    }
+    case S::kBogusDoctype: {
+      const char32_t c = input_.consume();
+      if (c == U'>') {
+        state_ = S::kData;
+        emit_doctype();
+      } else if (c == U'\0') {
+        error(ParseError::UnexpectedNullCharacter);
+      } else if (c == kEofChar) {
+        emit_doctype();
+        emit_eof();
+      }
+      return;
+    }
+    // --- CDATA -------------------------------------------------------------
+    case S::kCdataSection: {
+      const char32_t c = input_.consume();
+      if (c == U']') {
+        state_ = S::kCdataSectionBracket;
+      } else if (c == kEofChar) {
+        error(ParseError::EofInCdata);
+        emit_eof();
+      } else if (c == U'\0') {
+        emit_null();
+      } else {
+        emit_char(c);
+      }
+      return;
+    }
+    case S::kCdataSectionBracket: {
+      const char32_t c = input_.consume();
+      if (c == U']') {
+        state_ = S::kCdataSectionEnd;
+      } else {
+        emit_char(U']');
+        input_.reconsume();
+        state_ = S::kCdataSection;
+      }
+      return;
+    }
+    case S::kCdataSectionEnd: {
+      const char32_t c = input_.consume();
+      if (c == U']') {
+        emit_char(U']');
+      } else if (c == U'>') {
+        state_ = S::kData;
+      } else {
+        emit_char(U']');
+        emit_char(U']');
+        input_.reconsume();
+        state_ = S::kCdataSection;
+      }
+      return;
+    }
+    // --- character references ---------------------------------------------
+    case S::kCharacterReference: {
+      temporary_buffer_.clear();
+      temporary_buffer_.push_back(U'&');
+      const char32_t c = input_.consume();
+      if (is_ascii_alphanumeric(c)) {
+        input_.reconsume();
+        state_ = S::kNamedCharacterReference;
+      } else if (c == U'#') {
+        temporary_buffer_.push_back(c);
+        state_ = S::kNumericCharacterReference;
+      } else {
+        flush_code_points_consumed_as_character_reference();
+        input_.reconsume();
+        state_ = return_state_;
+      }
+      return;
+    }
+    case S::kNamedCharacterReference: {
+      // Consume the maximum number of characters matching a table entry.
+      std::string candidate;
+      candidate.reserve(32);
+      for (std::size_t i = 0; i < 32; ++i) {
+        const char32_t c = input_.peek(i);
+        if (c == kEofChar || c > 0x7F) break;
+        candidate.push_back(static_cast<char>(c));
+        if (c == U';') break;
+      }
+      std::size_t matched = 0;
+      const NamedEntity* entity = match_named_entity(candidate, &matched);
+      if (entity != nullptr) {
+        const bool ends_with_semicolon = entity->name.back() == ';';
+        const char32_t next_after =
+            matched < candidate.size()
+                ? static_cast<char32_t>(
+                      static_cast<unsigned char>(candidate[matched]))
+                : input_.peek(matched);
+        // Historical attribute exception: "&not" followed by "=in" etc. is
+        // left alone inside attribute values.
+        if (char_ref_in_attribute() && !ends_with_semicolon &&
+            (next_after == U'=' || is_ascii_alphanumeric(next_after))) {
+          for (const char name_char : entity->name.substr(0, matched)) {
+            temporary_buffer_.push_back(
+                static_cast<char32_t>(static_cast<unsigned char>(name_char)));
+          }
+          input_.advance(matched);
+          flush_code_points_consumed_as_character_reference();
+          state_ = return_state_;
+          return;
+        }
+        input_.advance(matched);
+        if (!ends_with_semicolon) {
+          error(ParseError::MissingSemicolonAfterCharacterReference);
+        }
+        temporary_buffer_.clear();
+        temporary_buffer_.push_back(entity->first);
+        if (entity->second != 0) temporary_buffer_.push_back(entity->second);
+        flush_code_points_consumed_as_character_reference();
+        state_ = return_state_;
+      } else {
+        flush_code_points_consumed_as_character_reference();
+        state_ = S::kAmbiguousAmpersand;
+      }
+      return;
+    }
+    case S::kAmbiguousAmpersand: {
+      const char32_t c = input_.consume();
+      if (is_ascii_alphanumeric(c)) {
+        if (char_ref_in_attribute()) {
+          append_to_attr_value(c);
+        } else {
+          emit_char(c);
+        }
+      } else if (c == U';') {
+        error(ParseError::UnknownNamedCharacterReference);
+        input_.reconsume();
+        state_ = return_state_;
+      } else {
+        input_.reconsume();
+        state_ = return_state_;
+      }
+      return;
+    }
+    case S::kNumericCharacterReference: {
+      char_ref_code_ = 0;
+      const char32_t c = input_.consume();
+      if (c == U'x' || c == U'X') {
+        temporary_buffer_.push_back(c);
+        state_ = S::kHexadecimalCharacterReferenceStart;
+      } else {
+        input_.reconsume();
+        state_ = S::kDecimalCharacterReferenceStart;
+      }
+      return;
+    }
+    case S::kHexadecimalCharacterReferenceStart: {
+      const char32_t c = input_.consume();
+      if (is_ascii_hex_digit(c)) {
+        input_.reconsume();
+        state_ = S::kHexadecimalCharacterReference;
+      } else {
+        error(ParseError::AbsenceOfDigitsInNumericCharacterReference);
+        flush_code_points_consumed_as_character_reference();
+        input_.reconsume();
+        state_ = return_state_;
+      }
+      return;
+    }
+    case S::kDecimalCharacterReferenceStart: {
+      const char32_t c = input_.consume();
+      if (is_ascii_digit(c)) {
+        input_.reconsume();
+        state_ = S::kDecimalCharacterReference;
+      } else {
+        error(ParseError::AbsenceOfDigitsInNumericCharacterReference);
+        flush_code_points_consumed_as_character_reference();
+        input_.reconsume();
+        state_ = return_state_;
+      }
+      return;
+    }
+    case S::kHexadecimalCharacterReference: {
+      const char32_t c = input_.consume();
+      if (is_ascii_hex_digit(c)) {
+        if (char_ref_code_ < 0x200000) {
+          char32_t digit = 0;
+          if (is_ascii_digit(c)) {
+            digit = c - U'0';
+          } else {
+            digit = to_ascii_lower(c) - U'a' + 10;
+          }
+          char_ref_code_ = char_ref_code_ * 16 + digit;
+        }
+      } else if (c == U';') {
+        state_ = S::kNumericCharacterReferenceEnd;
+      } else {
+        error(ParseError::MissingSemicolonAfterCharacterReference);
+        input_.reconsume();
+        state_ = S::kNumericCharacterReferenceEnd;
+      }
+      return;
+    }
+    case S::kDecimalCharacterReference: {
+      const char32_t c = input_.consume();
+      if (is_ascii_digit(c)) {
+        if (char_ref_code_ < 0x200000) {
+          char_ref_code_ = char_ref_code_ * 10 + (c - U'0');
+        }
+      } else if (c == U';') {
+        state_ = S::kNumericCharacterReferenceEnd;
+      } else {
+        error(ParseError::MissingSemicolonAfterCharacterReference);
+        input_.reconsume();
+        state_ = S::kNumericCharacterReferenceEnd;
+      }
+      return;
+    }
+    case S::kNumericCharacterReferenceEnd: {
+      // This state does not consume a character.
+      const char32_t original = char_ref_code_;
+      bool had_error = false;
+      const char32_t value =
+          sanitize_numeric_reference(char_ref_code_, &had_error);
+      if (had_error) {
+        if (original == 0) {
+          error(ParseError::NullCharacterReference);
+        } else if (original > 0x10FFFF) {
+          error(ParseError::CharacterReferenceOutsideUnicodeRange);
+        } else if (original >= 0xD800 && original <= 0xDFFF) {
+          error(ParseError::SurrogateCharacterReference);
+        } else if ((original >= 0xFDD0 && original <= 0xFDEF) ||
+                   (original & 0xFFFE) == 0xFFFE) {
+          error(ParseError::NoncharacterCharacterReference);
+        } else {
+          error(ParseError::ControlCharacterReference);
+        }
+      }
+      temporary_buffer_.clear();
+      temporary_buffer_.push_back(value);
+      flush_code_points_consumed_as_character_reference();
+      state_ = return_state_;
+      return;
+    }
+  }
+}
+
+}  // namespace hv::html

@@ -1,0 +1,195 @@
+// The HTML tokenizer — the state machine of WHATWG HTML 13.2.5.
+//
+// Implements every spec state (data, RCDATA, RAWTEXT, script data with the
+// escaped/double-escaped comment-like sub-machine, PLAINTEXT, tag states,
+// attribute states, comment states, DOCTYPE states, CDATA, and the
+// character-reference sub-machine) and reports every spec-named parse error
+// through an error collector.  The paper's FB1/FB2/DM3/DE3 rules are defined
+// directly on these error states.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/entities.h"
+#include "html/errors.h"
+#include "html/input_stream.h"
+#include "html/token.h"
+
+namespace hv::html {
+
+/// Tokenizer states.  Names follow the spec section titles.
+enum class TokenizerState : std::uint8_t {
+  kData,
+  kRcdata,
+  kRawtext,
+  kScriptData,
+  kPlaintext,
+  kTagOpen,
+  kEndTagOpen,
+  kTagName,
+  kRcdataLessThanSign,
+  kRcdataEndTagOpen,
+  kRcdataEndTagName,
+  kRawtextLessThanSign,
+  kRawtextEndTagOpen,
+  kRawtextEndTagName,
+  kScriptDataLessThanSign,
+  kScriptDataEndTagOpen,
+  kScriptDataEndTagName,
+  kScriptDataEscapeStart,
+  kScriptDataEscapeStartDash,
+  kScriptDataEscaped,
+  kScriptDataEscapedDash,
+  kScriptDataEscapedDashDash,
+  kScriptDataEscapedLessThanSign,
+  kScriptDataEscapedEndTagOpen,
+  kScriptDataEscapedEndTagName,
+  kScriptDataDoubleEscapeStart,
+  kScriptDataDoubleEscaped,
+  kScriptDataDoubleEscapedDash,
+  kScriptDataDoubleEscapedDashDash,
+  kScriptDataDoubleEscapedLessThanSign,
+  kScriptDataDoubleEscapeEnd,
+  kBeforeAttributeName,
+  kAttributeName,
+  kAfterAttributeName,
+  kBeforeAttributeValue,
+  kAttributeValueDoubleQuoted,
+  kAttributeValueSingleQuoted,
+  kAttributeValueUnquoted,
+  kAfterAttributeValueQuoted,
+  kSelfClosingStartTag,
+  kBogusComment,
+  kMarkupDeclarationOpen,
+  kCommentStart,
+  kCommentStartDash,
+  kComment,
+  kCommentLessThanSign,
+  kCommentLessThanSignBang,
+  kCommentLessThanSignBangDash,
+  kCommentLessThanSignBangDashDash,
+  kCommentEndDash,
+  kCommentEnd,
+  kCommentEndBang,
+  kDoctype,
+  kBeforeDoctypeName,
+  kDoctypeName,
+  kAfterDoctypeName,
+  kAfterDoctypePublicKeyword,
+  kBeforeDoctypePublicIdentifier,
+  kDoctypePublicIdentifierDoubleQuoted,
+  kDoctypePublicIdentifierSingleQuoted,
+  kAfterDoctypePublicIdentifier,
+  kBetweenDoctypePublicAndSystemIdentifiers,
+  kAfterDoctypeSystemKeyword,
+  kBeforeDoctypeSystemIdentifier,
+  kDoctypeSystemIdentifierDoubleQuoted,
+  kDoctypeSystemIdentifierSingleQuoted,
+  kAfterDoctypeSystemIdentifier,
+  kBogusDoctype,
+  kCdataSection,
+  kCdataSectionBracket,
+  kCdataSectionEnd,
+  kCharacterReference,
+  kNamedCharacterReference,
+  kAmbiguousAmpersand,
+  kNumericCharacterReference,
+  kHexadecimalCharacterReferenceStart,
+  kDecimalCharacterReferenceStart,
+  kHexadecimalCharacterReference,
+  kDecimalCharacterReference,
+  kNumericCharacterReferenceEnd,
+};
+
+class Tokenizer {
+ public:
+  /// `errors` outlives the tokenizer and accumulates every parse error.
+  Tokenizer(InputStream& input, TokenSink& sink,
+            std::vector<ParseErrorEvent>& errors);
+
+  /// Runs until the EOF token has been emitted.
+  void run();
+
+  /// Tokenizes exactly one step (used by the tree builder to interleave
+  /// state switches). Returns false once EOF has been emitted.
+  bool pump();
+
+  /// Tree-builder feedback: switch state after a start tag (<title>,
+  /// <textarea> -> RCDATA; <style>,... -> RAWTEXT; <script> -> script
+  /// data; <plaintext> -> PLAINTEXT).
+  void set_state(TokenizerState state) { state_ = state; }
+  TokenizerState state() const noexcept { return state_; }
+
+  /// The tree builder records the name of the last emitted start tag so an
+  /// "appropriate end tag token" can be recognized in raw-text states.
+  void set_last_start_tag(std::string_view name) {
+    last_start_tag_name_.assign(name);
+  }
+
+  /// True while tokenizing inside CDATA-allowed foreign content; set by the
+  /// tree builder (the "adjusted current node" check of 13.2.5.42).
+  void set_cdata_allowed(bool allowed) { cdata_allowed_ = allowed; }
+
+  bool eof_emitted() const noexcept { return eof_emitted_; }
+
+ private:
+  // --- emission helpers -------------------------------------------------
+  void error(ParseError code);
+  void error_at(ParseError code, SourcePosition position,
+                std::string detail = {});
+  void emit_current_tag();
+  void emit_eof();
+  void emit_comment();
+  void emit_doctype();
+  void flush_text();                 // flush pending character batch
+  void emit_char(char32_t c);        // append to pending batch / NUL token
+  void emit_null();
+  void begin_start_tag();
+  void begin_end_tag();
+  void start_new_attribute();
+  void finish_attribute_name();      // duplicate-attribute detection
+  void commit_current_attr_value();  // moves value buffer onto the token
+  void append_to_attr_name(char32_t c);
+  void append_to_attr_value(char32_t c);
+  bool current_end_tag_is_appropriate() const;
+
+  // --- character reference helpers --------------------------------------
+  bool char_ref_in_attribute() const;
+  void flush_code_points_consumed_as_character_reference();
+
+  // --- one state step ----------------------------------------------------
+  void step();
+
+  InputStream& input_;
+  TokenSink& sink_;
+  std::vector<ParseErrorEvent>& errors_;
+
+  TokenizerState state_ = TokenizerState::kData;
+  TokenizerState return_state_ = TokenizerState::kData;
+
+  Token current_tag_;
+  bool current_tag_is_start_ = false;
+  std::string current_attr_name_;
+  std::string current_attr_value_;
+  bool has_current_attr_ = false;
+  bool current_attr_dropped_ = false;
+  SourcePosition current_attr_position_;
+
+  Token current_comment_;
+  Token current_doctype_;
+
+  std::string pending_text_;         // batched character tokens (UTF-8)
+  SourcePosition pending_text_position_;
+
+  std::string last_start_tag_name_;
+  std::u32string temporary_buffer_;
+  char32_t char_ref_code_ = 0;
+  SourcePosition token_start_;
+
+  bool cdata_allowed_ = false;
+  bool eof_emitted_ = false;
+};
+
+}  // namespace hv::html

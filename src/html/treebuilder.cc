@@ -1,0 +1,999 @@
+#include "html/treebuilder.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <unordered_set>
+
+#include "html/encoding.h"
+
+namespace hv::html {
+namespace {
+
+using TagSet = std::unordered_set<std::string_view>;
+
+bool contains(const TagSet& set, std::string_view tag) {
+  return set.find(tag) != set.end();
+}
+
+const TagSet& special_html_tags() {
+  static const TagSet set = {
+      "address",    "applet",  "area",     "article",  "aside",   "base",
+      "basefont",   "bgsound", "blockquote", "body",   "br",      "button",
+      "caption",    "center",  "col",      "colgroup", "dd",      "details",
+      "dir",        "div",     "dl",       "dt",       "embed",   "fieldset",
+      "figcaption", "figure",  "footer",   "form",     "frame",   "frameset",
+      "h1",         "h2",      "h3",       "h4",       "h5",      "h6",
+      "head",       "header",  "hgroup",   "hr",       "html",    "iframe",
+      "img",        "input",   "keygen",   "li",       "link",    "listing",
+      "main",       "marquee", "menu",     "meta",     "nav",     "noembed",
+      "noframes",   "noscript", "object",  "ol",       "p",       "param",
+      "plaintext",  "pre",     "script",   "section",  "select",  "source",
+      "style",      "summary", "table",    "tbody",    "td",      "template",
+      "textarea",   "tfoot",   "th",       "thead",    "title",   "tr",
+      "track",      "ul",      "wbr",      "xmp",
+  };
+  return set;
+}
+
+bool is_special(const Element* element) {
+  if (element == nullptr) return false;
+  switch (element->ns()) {
+    case Namespace::kHtml:
+      return contains(special_html_tags(), element->tag_name());
+    case Namespace::kMathMl: {
+      static const TagSet set = {"mi", "mo", "mn", "ms", "mtext",
+                                 "annotation-xml"};
+      return contains(set, element->tag_name());
+    }
+    case Namespace::kSvg: {
+      static const TagSet set = {"foreignObject", "desc", "title"};
+      return contains(set, element->tag_name());
+    }
+  }
+  return false;
+}
+
+/// HTML "breakout" tags that terminate foreign (SVG/MathML) content
+/// (spec 13.2.6.5) — the HF5 trigger list.
+bool is_foreign_breakout(const Token& token) {
+  static const TagSet set = {
+      "b",     "big",    "blockquote", "body", "br",     "center", "code",
+      "dd",    "div",    "dl",         "dt",   "em",     "embed",  "h1",
+      "h2",    "h3",     "h4",         "h5",   "h6",     "head",   "hr",
+      "i",     "img",    "li",         "listing", "menu", "meta",  "nobr",
+      "ol",    "p",      "pre",        "ruby", "s",      "small",  "span",
+      "strong", "strike", "sub",       "sup",  "table",  "tt",     "u",
+      "ul",    "var"};
+  if (contains(set, token.name)) return true;
+  if (token.name == "font") {
+    return token.attribute("color").has_value() ||
+           token.attribute("face").has_value() ||
+           token.attribute("size").has_value();
+  }
+  return false;
+}
+
+bool is_mathml_text_integration_point(const Element* element) {
+  if (element == nullptr || element->ns() != Namespace::kMathMl) return false;
+  static const TagSet set = {"mi", "mo", "mn", "ms", "mtext"};
+  return contains(set, element->tag_name());
+}
+
+bool is_html_integration_point(const Element* element) {
+  if (element == nullptr) return false;
+  if (element->ns() == Namespace::kSvg) {
+    static const TagSet set = {"foreignObject", "desc", "title"};
+    return contains(set, element->tag_name());
+  }
+  if (element->ns() == Namespace::kMathMl &&
+      element->tag_name() == "annotation-xml") {
+    const auto encoding = element->get_attribute("encoding");
+    if (!encoding.has_value()) return false;
+    std::string lowered(*encoding);
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return lowered == "text/html" || lowered == "application/xhtml+xml";
+  }
+  return false;
+}
+
+/// SVG tag-name case corrections (spec table, 13.2.6.5).
+std::string adjust_svg_tag_name(std::string_view name) {
+  static const std::unordered_set<std::string_view>* unused = nullptr;
+  (void)unused;
+  static const std::array<std::pair<std::string_view, std::string_view>, 36>
+      kMap = {{{"altglyph", "altGlyph"},
+               {"altglyphdef", "altGlyphDef"},
+               {"altglyphitem", "altGlyphItem"},
+               {"animatecolor", "animateColor"},
+               {"animatemotion", "animateMotion"},
+               {"animatetransform", "animateTransform"},
+               {"clippath", "clipPath"},
+               {"feblend", "feBlend"},
+               {"fecolormatrix", "feColorMatrix"},
+               {"fecomponenttransfer", "feComponentTransfer"},
+               {"fecomposite", "feComposite"},
+               {"feconvolvematrix", "feConvolveMatrix"},
+               {"fediffuselighting", "feDiffuseLighting"},
+               {"fedisplacementmap", "feDisplacementMap"},
+               {"fedistantlight", "feDistantLight"},
+               {"fedropshadow", "feDropShadow"},
+               {"feflood", "feFlood"},
+               {"fefunca", "feFuncA"},
+               {"fefuncb", "feFuncB"},
+               {"fefuncg", "feFuncG"},
+               {"fefuncr", "feFuncR"},
+               {"fegaussianblur", "feGaussianBlur"},
+               {"feimage", "feImage"},
+               {"femerge", "feMerge"},
+               {"femergenode", "feMergeNode"},
+               {"femorphology", "feMorphology"},
+               {"feoffset", "feOffset"},
+               {"fepointlight", "fePointLight"},
+               {"fespecularlighting", "feSpecularLighting"},
+               {"fespotlight", "feSpotLight"},
+               {"fetile", "feTile"},
+               {"feturbulence", "feTurbulence"},
+               {"foreignobject", "foreignObject"},
+               {"glyphref", "glyphRef"},
+               {"lineargradient", "linearGradient"},
+               {"radialgradient", "radialGradient"}}};
+  for (const auto& [lower, proper] : kMap) {
+    if (name == lower) return std::string(proper);
+  }
+  if (name == "textpath") return "textPath";
+  return std::string(name);
+}
+
+std::size_t leading_whitespace(std::string_view data) {
+  std::size_t i = 0;
+  while (i < data.size() &&
+         is_ascii_whitespace(static_cast<unsigned char>(data[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+bool all_whitespace(std::string_view data) {
+  return leading_whitespace(data) == data.size();
+}
+
+constexpr int kMaxReprocessDepth = 64;
+
+/// Open-element depth cap, mirroring Blink: beyond this, new elements are
+/// inserted into the tree but not pushed, flattening pathological nesting
+/// instead of growing an unbounded stack.
+constexpr std::size_t kMaxOpenElements = 512;
+
+}  // namespace
+
+TreeBuilder::TreeBuilder(Document& document,
+                         std::vector<ParseErrorEvent>& errors,
+                         Observations& observations)
+    : document_(document), errors_(errors), observations_(observations) {}
+
+bool TreeBuilder::special_is(const Element* element) const {
+  return is_special(element);
+}
+
+bool TreeBuilder::foreign_breakout_check(const Token& token) const {
+  return is_foreign_breakout(token);
+}
+
+bool TreeBuilder::is_mathml_text_ip(const Element* element) const {
+  return is_mathml_text_integration_point(element);
+}
+
+bool TreeBuilder::is_html_ip(const Element* element) const {
+  return is_html_integration_point(element);
+}
+
+void TreeBuilder::error(ParseError code, const Token& token,
+                        std::string detail) {
+  errors_.push_back({code, token.position, std::move(detail)});
+}
+
+void TreeBuilder::observe(ObservationKind kind, const Token& token,
+                          std::string detail) {
+  observations_.push_back({kind, token.position, std::move(detail)});
+}
+
+void TreeBuilder::init_fragment(std::string_view context_tag) {
+  fragment_ = true;
+  fragment_context_.assign(context_tag);
+  Element* root = document_.create_element("html");
+  document_.append_child(root);
+  push_open(root);
+  if (fragment_context_ == "template") {
+    template_modes_.push_back(InsertionMode::kInTemplate);
+  }
+  reset_insertion_mode();
+  update_cdata_flag();
+}
+
+void TreeBuilder::process_token(Token&& token) {
+  if (stopped_) return;
+  reprocess_depth_ = 0;
+  if (ignore_next_lf_) {
+    ignore_next_lf_ = false;
+    if (token.type == Token::Type::kCharacters && !token.data.empty() &&
+        token.data.front() == '\n') {
+      token.data.erase(token.data.begin());
+      if (token.data.empty()) {
+        update_cdata_flag();
+        return;
+      }
+    }
+  }
+  note_url_bearing(token);  // DM2_3 ordering: URL uses before <base>
+  if ((token.type == Token::Type::kStartTag &&
+       (token.name == "body" || token.name == "frameset")) ||
+      (token.type == Token::Type::kEndTag && token.name == "head")) {
+    source_head_open_ = false;
+  }
+  dispatch(token);
+  // Spec: a start tag's self-closing flag must be acknowledged (void
+  // elements, foreign elements); anything else is a parse error.
+  if (token.type == Token::Type::kStartTag && token.self_closing) {
+    error(ParseError::NonVoidHtmlElementStartTagWithTrailingSolidus, token,
+          token.name);
+  }
+  update_cdata_flag();
+}
+
+void TreeBuilder::update_cdata_flag() {
+  if (tokenizer_ == nullptr) return;
+  const Element* current = adjusted_current_node();
+  tokenizer_->set_cdata_allowed(current != nullptr &&
+                                current->ns() != Namespace::kHtml);
+}
+
+bool TreeBuilder::should_use_foreign_rules(const Token& token) const {
+  const Element* current = adjusted_current_node();
+  if (open_elements_.empty() || current == nullptr ||
+      current->ns() == Namespace::kHtml) {
+    return false;
+  }
+  if (is_mathml_text_integration_point(current)) {
+    if (token.type == Token::Type::kStartTag && token.name != "mglyph" &&
+        token.name != "malignmark") {
+      return false;
+    }
+    if (token.type == Token::Type::kCharacters ||
+        token.type == Token::Type::kNullCharacter) {
+      return false;
+    }
+  }
+  if (current->ns() == Namespace::kMathMl &&
+      current->tag_name() == "annotation-xml" &&
+      token.type == Token::Type::kStartTag && token.name == "svg") {
+    return false;
+  }
+  if (is_html_integration_point(current)) {
+    if (token.type == Token::Type::kStartTag ||
+        token.type == Token::Type::kCharacters ||
+        token.type == Token::Type::kNullCharacter) {
+      return false;
+    }
+  }
+  if (token.type == Token::Type::kEof) return false;
+  return true;
+}
+
+void TreeBuilder::dispatch(Token& token) {
+  if (stopped_) return;
+  if (++reprocess_depth_ > kMaxReprocessDepth) return;  // defensive guard
+  if (should_use_foreign_rules(token)) {
+    process_in_foreign_content(token);
+  } else {
+    process_by_mode(token, mode_);
+  }
+  --reprocess_depth_;
+}
+
+void TreeBuilder::process_by_mode(Token& token, InsertionMode mode) {
+  switch (mode) {
+    case InsertionMode::kInitial:
+      return mode_initial(token);
+    case InsertionMode::kBeforeHtml:
+      return mode_before_html(token);
+    case InsertionMode::kBeforeHead:
+      return mode_before_head(token);
+    case InsertionMode::kInHead:
+      return mode_in_head(token);
+    case InsertionMode::kInHeadNoscript:
+      return mode_in_head_noscript(token);
+    case InsertionMode::kAfterHead:
+      return mode_after_head(token);
+    case InsertionMode::kInBody:
+      return mode_in_body(token);
+    case InsertionMode::kText:
+      return mode_text(token);
+    case InsertionMode::kInTable:
+      return mode_in_table(token);
+    case InsertionMode::kInTableText:
+      return mode_in_table_text(token);
+    case InsertionMode::kInCaption:
+      return mode_in_caption(token);
+    case InsertionMode::kInColumnGroup:
+      return mode_in_column_group(token);
+    case InsertionMode::kInTableBody:
+      return mode_in_table_body(token);
+    case InsertionMode::kInRow:
+      return mode_in_row(token);
+    case InsertionMode::kInCell:
+      return mode_in_cell(token);
+    case InsertionMode::kInSelect:
+      return mode_in_select(token);
+    case InsertionMode::kInSelectInTable:
+      return mode_in_select_in_table(token);
+    case InsertionMode::kInTemplate:
+      return mode_in_template(token);
+    case InsertionMode::kAfterBody:
+      return mode_after_body(token);
+    case InsertionMode::kInFrameset:
+      return mode_in_frameset(token);
+    case InsertionMode::kAfterFrameset:
+      return mode_after_frameset(token);
+    case InsertionMode::kAfterAfterBody:
+      return mode_after_after_body(token);
+    case InsertionMode::kAfterAfterFrameset:
+      return mode_after_after_frameset(token);
+  }
+}
+
+// --- insertion helpers ------------------------------------------------------
+
+TreeBuilder::InsertionLocation TreeBuilder::appropriate_insertion_location(
+    Element* override_target) {
+  Element* target = override_target != nullptr ? override_target
+                                               : current_node();
+  InsertionLocation location;
+  if (target == nullptr) {
+    location.parent = &document_;
+    return location;
+  }
+  static const TagSet kTableParents = {"table", "tbody", "tfoot", "thead",
+                                       "tr"};
+  if (foster_parenting_ && target->ns() == Namespace::kHtml &&
+      contains(kTableParents, target->tag_name())) {
+    // Foster parenting: find the last <table> in the stack and insert the
+    // node immediately before it (spec 13.2.6.1).
+    Element* last_table = nullptr;
+    std::size_t table_index = 0;
+    for (std::size_t i = open_elements_.size(); i > 0; --i) {
+      Element* e = open_elements_[i - 1];
+      if (e->is_html("table")) {
+        last_table = e;
+        table_index = i - 1;
+        break;
+      }
+      if (e->is_html("template")) break;
+    }
+    if (last_table != nullptr && last_table->parent() != nullptr) {
+      location.parent = last_table->parent();
+      location.before = last_table;
+      return location;
+    }
+    if (last_table != nullptr && table_index > 0) {
+      location.parent = open_elements_[table_index - 1];
+      return location;
+    }
+    location.parent = open_elements_.front();
+    return location;
+  }
+  location.parent = target;
+  return location;
+}
+
+Element* TreeBuilder::create_element_for_token(const Token& token,
+                                               Namespace ns) {
+  std::string tag = token.name;
+  if (ns == Namespace::kSvg) tag = adjust_svg_tag_name(tag);
+  Element* element = document_.create_element(tag, ns);
+  element->start_position_ = token.position;
+  for (const Attribute& attr : token.attributes) {
+    Attribute adjusted = attr;
+    if (ns == Namespace::kMathMl && adjusted.name == "definitionurl") {
+      adjusted.name = "definitionURL";
+    } else if (ns == Namespace::kSvg) {
+      // A few camelCase SVG attributes the study's corpus uses.
+      static const std::array<std::pair<std::string_view, std::string_view>,
+                              6>
+          kAttrMap = {{{"viewbox", "viewBox"},
+                       {"preserveaspectratio", "preserveAspectRatio"},
+                       {"gradientunits", "gradientUnits"},
+                       {"gradienttransform", "gradientTransform"},
+                       {"patternunits", "patternUnits"},
+                       {"clippathunits", "clipPathUnits"}}};
+      for (const auto& [lower, proper] : kAttrMap) {
+        if (adjusted.name == lower) {
+          adjusted.name = std::string(proper);
+          break;
+        }
+      }
+    }
+    element->add_attribute_if_missing(adjusted);
+  }
+  return element;
+}
+
+Element* TreeBuilder::insert_html_element(const Token& token) {
+  return insert_foreign_element(token, Namespace::kHtml);
+}
+
+Element* TreeBuilder::insert_foreign_element(const Token& token,
+                                             Namespace ns) {
+  const InsertionLocation location = appropriate_insertion_location();
+  Element* element = create_element_for_token(token, ns);
+  if (location.before != nullptr) {
+    observe(ObservationKind::kFosterParented, token, token.name);
+    location.parent->insert_before(element, location.before);
+    errors_.push_back(
+        {ParseError::FosterParentedContent, token.position, token.name});
+  } else {
+    location.parent->append_child(element);
+  }
+  if (open_elements_.size() < kMaxOpenElements) {
+    push_open(element);
+  } else {
+    errors_.push_back({ParseError::TreeConstructionGeneric, token.position,
+                       "depth-limit"});
+  }
+  return element;
+}
+
+void TreeBuilder::insert_character_data(std::string_view data) {
+  if (data.empty()) return;
+  const InsertionLocation location = appropriate_insertion_location();
+  if (location.parent == &document_) return;  // spec: drop text at doc level
+  if (location.before != nullptr) {
+    // Fostered text (HF4).
+    Token pseudo;
+    pseudo.position = pending_table_text_position_;
+    if (!all_whitespace(data)) {
+      observe(ObservationKind::kFosterParented, pseudo, "#text");
+      errors_.push_back({ParseError::FosterParentedContent, pseudo.position,
+                         "#text"});
+    }
+    const std::size_t index = location.parent->index_of(location.before);
+    if (index > 0) {
+      Node* prev = location.parent->children()[index - 1];
+      if (prev->is_text()) {
+        static_cast<Text*>(prev)->data.append(data);
+        return;
+      }
+    }
+    Text* text = document_.create_text(data);
+    location.parent->insert_before(text, location.before);
+    return;
+  }
+  Node* last = location.parent->last_child();
+  if (last != nullptr && last->is_text()) {
+    static_cast<Text*>(last)->data.append(data);
+    return;
+  }
+  location.parent->append_child(document_.create_text(data));
+}
+
+void TreeBuilder::insert_comment(const Token& token, Node* parent) {
+  Comment* comment = document_.create_comment(token.data);
+  if (parent != nullptr) {
+    parent->append_child(comment);
+    return;
+  }
+  const InsertionLocation location = appropriate_insertion_location();
+  if (location.before != nullptr) {
+    location.parent->insert_before(comment, location.before);
+  } else {
+    location.parent->append_child(comment);
+  }
+}
+
+void TreeBuilder::generic_raw_text(const Token& token) {
+  Element* element = insert_html_element(token);
+  if (current_node() != element) return;  // depth cap: parse as markup
+  if (tokenizer_ != nullptr) tokenizer_->set_state(TokenizerState::kRawtext);
+  original_mode_ = mode_;
+  mode_ = InsertionMode::kText;
+}
+
+void TreeBuilder::generic_rcdata(const Token& token) {
+  Element* element = insert_html_element(token);
+  if (current_node() != element) return;  // depth cap: parse as markup
+  if (tokenizer_ != nullptr) tokenizer_->set_state(TokenizerState::kRcdata);
+  original_mode_ = mode_;
+  mode_ = InsertionMode::kText;
+}
+
+// --- stack of open elements --------------------------------------------------
+
+void TreeBuilder::pop_open() {
+  if (!open_elements_.empty()) open_elements_.pop_back();
+}
+
+void TreeBuilder::pop_until_inclusive(std::string_view tag) {
+  while (!open_elements_.empty()) {
+    Element* top = open_elements_.back();
+    open_elements_.pop_back();
+    if (top->ns() == Namespace::kHtml && top->tag_name() == tag) return;
+  }
+}
+
+bool TreeBuilder::stack_contains(std::string_view tag) const {
+  for (const Element* e : open_elements_) {
+    if (e->ns() == Namespace::kHtml && e->tag_name() == tag) return true;
+  }
+  return false;
+}
+
+bool TreeBuilder::stack_contains(const Element* element) const {
+  return std::find(open_elements_.begin(), open_elements_.end(), element) !=
+         open_elements_.end();
+}
+
+void TreeBuilder::remove_from_stack(const Element* element) {
+  const auto it =
+      std::find(open_elements_.begin(), open_elements_.end(), element);
+  if (it != open_elements_.end()) open_elements_.erase(it);
+}
+
+namespace {
+
+bool is_default_scope_terminator(const Element* e) {
+  switch (e->ns()) {
+    case Namespace::kHtml: {
+      static const TagSet set = {"applet", "caption", "html",   "table",
+                                 "td",     "th",      "marquee", "object",
+                                 "template"};
+      return contains(set, e->tag_name());
+    }
+    case Namespace::kMathMl: {
+      static const TagSet set = {"mi", "mo", "mn", "ms", "mtext",
+                                 "annotation-xml"};
+      return contains(set, e->tag_name());
+    }
+    case Namespace::kSvg: {
+      static const TagSet set = {"foreignObject", "desc", "title"};
+      return contains(set, e->tag_name());
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool TreeBuilder::has_element_in_scope(std::string_view tag) const {
+  for (std::size_t i = open_elements_.size(); i > 0; --i) {
+    const Element* e = open_elements_[i - 1];
+    if (e->ns() == Namespace::kHtml && e->tag_name() == tag) return true;
+    if (is_default_scope_terminator(e)) return false;
+  }
+  return false;
+}
+
+bool TreeBuilder::has_element_in_scope(const Element* element) const {
+  for (std::size_t i = open_elements_.size(); i > 0; --i) {
+    const Element* e = open_elements_[i - 1];
+    if (e == element) return true;
+    if (is_default_scope_terminator(e)) return false;
+  }
+  return false;
+}
+
+bool TreeBuilder::has_element_in_list_item_scope(std::string_view tag) const {
+  for (std::size_t i = open_elements_.size(); i > 0; --i) {
+    const Element* e = open_elements_[i - 1];
+    if (e->ns() == Namespace::kHtml && e->tag_name() == tag) return true;
+    if (is_default_scope_terminator(e)) return false;
+    if (e->ns() == Namespace::kHtml &&
+        (e->tag_name() == "ol" || e->tag_name() == "ul")) {
+      return false;
+    }
+  }
+  return false;
+}
+
+bool TreeBuilder::has_element_in_button_scope(std::string_view tag) const {
+  for (std::size_t i = open_elements_.size(); i > 0; --i) {
+    const Element* e = open_elements_[i - 1];
+    if (e->ns() == Namespace::kHtml && e->tag_name() == tag) return true;
+    if (is_default_scope_terminator(e)) return false;
+    if (e->is_html("button")) return false;
+  }
+  return false;
+}
+
+bool TreeBuilder::has_element_in_table_scope(std::string_view tag) const {
+  for (std::size_t i = open_elements_.size(); i > 0; --i) {
+    const Element* e = open_elements_[i - 1];
+    if (e->ns() == Namespace::kHtml && e->tag_name() == tag) return true;
+    if (e->ns() == Namespace::kHtml &&
+        (e->tag_name() == "html" || e->tag_name() == "table" ||
+         e->tag_name() == "template")) {
+      return false;
+    }
+  }
+  return false;
+}
+
+bool TreeBuilder::has_element_in_select_scope(std::string_view tag) const {
+  for (std::size_t i = open_elements_.size(); i > 0; --i) {
+    const Element* e = open_elements_[i - 1];
+    if (e->ns() == Namespace::kHtml && e->tag_name() == tag) return true;
+    if (e->ns() != Namespace::kHtml ||
+        (e->tag_name() != "optgroup" && e->tag_name() != "option")) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void TreeBuilder::generate_implied_end_tags(std::string_view except) {
+  static const TagSet kImplied = {"dd", "dt", "li", "optgroup", "option",
+                                  "p",  "rb", "rp", "rt",       "rtc"};
+  while (!open_elements_.empty()) {
+    const Element* top = open_elements_.back();
+    if (top->ns() != Namespace::kHtml) return;
+    if (!contains(kImplied, top->tag_name())) return;
+    if (!except.empty() && top->tag_name() == except) return;
+    open_elements_.pop_back();
+  }
+}
+
+void TreeBuilder::generate_all_implied_end_tags_thoroughly() {
+  static const TagSet kImplied = {"caption", "colgroup", "dd",    "dt",
+                                  "li",      "optgroup", "option", "p",
+                                  "rb",      "rp",       "rt",    "rtc",
+                                  "tbody",   "td",       "tfoot", "th",
+                                  "thead",   "tr"};
+  while (!open_elements_.empty()) {
+    const Element* top = open_elements_.back();
+    if (top->ns() != Namespace::kHtml) return;
+    if (!contains(kImplied, top->tag_name())) return;
+    open_elements_.pop_back();
+  }
+}
+
+void TreeBuilder::close_p_element() {
+  generate_implied_end_tags("p");
+  pop_until_inclusive("p");
+}
+
+void TreeBuilder::clear_stack_to_table_context() {
+  while (!open_elements_.empty()) {
+    const Element* top = open_elements_.back();
+    if (top->ns() == Namespace::kHtml &&
+        (top->tag_name() == "table" || top->tag_name() == "template" ||
+         top->tag_name() == "html")) {
+      return;
+    }
+    open_elements_.pop_back();
+  }
+}
+
+void TreeBuilder::clear_stack_to_table_body_context() {
+  while (!open_elements_.empty()) {
+    const Element* top = open_elements_.back();
+    if (top->ns() == Namespace::kHtml &&
+        (top->tag_name() == "tbody" || top->tag_name() == "tfoot" ||
+         top->tag_name() == "thead" || top->tag_name() == "template" ||
+         top->tag_name() == "html")) {
+      return;
+    }
+    open_elements_.pop_back();
+  }
+}
+
+void TreeBuilder::clear_stack_to_table_row_context() {
+  while (!open_elements_.empty()) {
+    const Element* top = open_elements_.back();
+    if (top->ns() == Namespace::kHtml &&
+        (top->tag_name() == "tr" || top->tag_name() == "template" ||
+         top->tag_name() == "html")) {
+      return;
+    }
+    open_elements_.pop_back();
+  }
+}
+
+void TreeBuilder::reset_insertion_mode() {
+  for (std::size_t i = open_elements_.size(); i > 0; --i) {
+    Element* node = open_elements_[i - 1];
+    const bool last = i == 1;
+    if (node->ns() != Namespace::kHtml && !(last && fragment_)) {
+      if (!last) continue;
+      mode_ = InsertionMode::kInBody;
+      return;
+    }
+    // In fragment mode the last (root) node stands in for the context
+    // element (spec: "if last is true, set node to the context element").
+    const std::string_view tag =
+        last && fragment_ ? std::string_view(fragment_context_)
+                          : std::string_view(node->tag_name());
+    if (tag == "select") {
+      for (std::size_t j = i - 1; j > 0; --j) {
+        const Element* ancestor = open_elements_[j - 1];
+        if (ancestor->is_html("template")) break;
+        if (ancestor->is_html("table")) {
+          mode_ = InsertionMode::kInSelectInTable;
+          return;
+        }
+      }
+      mode_ = InsertionMode::kInSelect;
+      return;
+    }
+    if ((tag == "td" || tag == "th") && !last) {
+      mode_ = InsertionMode::kInCell;
+      return;
+    }
+    if (tag == "tr") {
+      mode_ = InsertionMode::kInRow;
+      return;
+    }
+    if (tag == "tbody" || tag == "thead" || tag == "tfoot") {
+      mode_ = InsertionMode::kInTableBody;
+      return;
+    }
+    if (tag == "caption") {
+      mode_ = InsertionMode::kInCaption;
+      return;
+    }
+    if (tag == "colgroup") {
+      mode_ = InsertionMode::kInColumnGroup;
+      return;
+    }
+    if (tag == "table") {
+      mode_ = InsertionMode::kInTable;
+      return;
+    }
+    if (tag == "template") {
+      mode_ = template_modes_.empty() ? InsertionMode::kInBody
+                                      : template_modes_.back();
+      return;
+    }
+    if (tag == "head" && !last) {
+      mode_ = InsertionMode::kInHead;
+      return;
+    }
+    if (tag == "body") {
+      mode_ = InsertionMode::kInBody;
+      return;
+    }
+    if (tag == "frameset") {
+      mode_ = InsertionMode::kInFrameset;
+      return;
+    }
+    if (tag == "html") {
+      mode_ = head_element_ == nullptr ? InsertionMode::kBeforeHead
+                                       : InsertionMode::kAfterHead;
+      return;
+    }
+    if (last) {
+      mode_ = InsertionMode::kInBody;
+      return;
+    }
+  }
+  mode_ = InsertionMode::kInBody;
+}
+
+// --- active formatting elements -----------------------------------------------
+
+void TreeBuilder::push_formatting(Element* element, const Token& token) {
+  // Noah's Ark clause: at most three entries with identical tag/namespace/
+  // attributes after the last marker.
+  int matches = 0;
+  std::size_t earliest = formatting_.size();
+  for (std::size_t i = formatting_.size(); i > 0; --i) {
+    const FormattingEntry& entry = formatting_[i - 1];
+    if (entry.element == nullptr) break;  // marker
+    if (entry.element->tag_name() == element->tag_name() &&
+        entry.element->ns() == element->ns() &&
+        entry.element->attributes().size() == element->attributes().size()) {
+      bool same = true;
+      for (const Attribute& attr : element->attributes()) {
+        const auto other = entry.element->get_attribute(attr.name);
+        if (!other.has_value() || *other != attr.value) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        ++matches;
+        earliest = i - 1;
+      }
+    }
+  }
+  if (matches >= 3) formatting_.erase(formatting_.begin() + earliest);
+  formatting_.push_back({element, token});
+}
+
+void TreeBuilder::push_formatting_marker() { formatting_.push_back({}); }
+
+void TreeBuilder::reconstruct_active_formatting() {
+  if (formatting_.empty()) return;
+  const FormattingEntry& last = formatting_.back();
+  if (last.element == nullptr || stack_contains(last.element)) return;
+
+  std::size_t index = formatting_.size() - 1;
+  while (index > 0) {
+    const FormattingEntry& entry = formatting_[index - 1];
+    if (entry.element == nullptr || stack_contains(entry.element)) break;
+    --index;
+  }
+  for (; index < formatting_.size(); ++index) {
+    FormattingEntry& entry = formatting_[index];
+    Element* clone = insert_html_element(entry.token);
+    entry.element = clone;
+  }
+}
+
+void TreeBuilder::clear_formatting_to_marker() {
+  while (!formatting_.empty()) {
+    const bool was_marker = formatting_.back().element == nullptr;
+    formatting_.pop_back();
+    if (was_marker) return;
+  }
+}
+
+Element* TreeBuilder::formatting_element_after_marker(
+    std::string_view tag) const {
+  for (std::size_t i = formatting_.size(); i > 0; --i) {
+    const FormattingEntry& entry = formatting_[i - 1];
+    if (entry.element == nullptr) return nullptr;  // marker
+    if (entry.element->tag_name() == tag &&
+        entry.element->ns() == Namespace::kHtml) {
+      return entry.element;
+    }
+  }
+  return nullptr;
+}
+
+void TreeBuilder::remove_formatting_entry(const Element* element) {
+  const auto it = std::find_if(
+      formatting_.begin(), formatting_.end(),
+      [element](const FormattingEntry& e) { return e.element == element; });
+  if (it != formatting_.end()) formatting_.erase(it);
+}
+
+bool TreeBuilder::adoption_agency(Token& token) {
+  const std::string& subject = token.name;
+  Element* current = current_node();
+  if (current != nullptr && current->is_html(subject) &&
+      std::none_of(formatting_.begin(), formatting_.end(),
+                   [current](const FormattingEntry& e) {
+                     return e.element == current;
+                   })) {
+    pop_open();
+    return true;
+  }
+
+  for (int outer = 0; outer < 8; ++outer) {
+    Element* formatting_element = formatting_element_after_marker(subject);
+    if (formatting_element == nullptr) return false;  // any-other-end-tag
+    if (!stack_contains(formatting_element)) {
+      error(ParseError::MisnestedTag, token, subject);
+      remove_formatting_entry(formatting_element);
+      return true;
+    }
+    if (!has_element_in_scope(formatting_element)) {
+      error(ParseError::MisnestedTag, token, subject);
+      return true;
+    }
+    if (formatting_element != current_node()) {
+      error(ParseError::MisnestedTag, token, subject);
+    }
+
+    // Find the furthest block.
+    const auto fmt_it = std::find(open_elements_.begin(),
+                                  open_elements_.end(), formatting_element);
+    const std::size_t fmt_index =
+        static_cast<std::size_t>(fmt_it - open_elements_.begin());
+    Element* furthest_block = nullptr;
+    std::size_t furthest_index = 0;
+    for (std::size_t i = fmt_index + 1; i < open_elements_.size(); ++i) {
+      if (is_special(open_elements_[i])) {
+        furthest_block = open_elements_[i];
+        furthest_index = i;
+        break;
+      }
+    }
+    if (furthest_block == nullptr) {
+      open_elements_.resize(fmt_index);
+      remove_formatting_entry(formatting_element);
+      return true;
+    }
+
+    Element* common_ancestor =
+        fmt_index > 0 ? open_elements_[fmt_index - 1] : nullptr;
+    auto bookmark_it = std::find_if(formatting_.begin(), formatting_.end(),
+                                    [formatting_element](
+                                        const FormattingEntry& e) {
+                                      return e.element == formatting_element;
+                                    });
+    std::size_t bookmark =
+        static_cast<std::size_t>(bookmark_it - formatting_.begin());
+
+    // Inner loop: walk from the furthest block down toward the formatting
+    // element.  Removing the element at node_index shifts only the elements
+    // above it, so the plain --node_index keeps pointing at the element
+    // below — no recomputation needed.
+    Element* node = furthest_block;
+    Element* last_node = furthest_block;
+    std::size_t node_index = furthest_index;
+    for (int inner = 1;; ++inner) {
+      --node_index;
+      node = open_elements_[node_index];
+      if (node == formatting_element) break;
+      auto node_fmt = std::find_if(
+          formatting_.begin(), formatting_.end(),
+          [node](const FormattingEntry& e) { return e.element == node; });
+      if (inner > 3 && node_fmt != formatting_.end()) {
+        const std::size_t removed =
+            static_cast<std::size_t>(node_fmt - formatting_.begin());
+        formatting_.erase(node_fmt);
+        if (removed < bookmark) --bookmark;
+        node_fmt = formatting_.end();
+      }
+      if (node_fmt == formatting_.end()) {
+        open_elements_.erase(open_elements_.begin() +
+                             static_cast<std::ptrdiff_t>(node_index));
+        continue;
+      }
+      Element* clone =
+          create_element_for_token(node_fmt->token, Namespace::kHtml);
+      node_fmt->element = clone;
+      open_elements_[node_index] = clone;
+      node = clone;
+      if (last_node == furthest_block) {
+        bookmark =
+            static_cast<std::size_t>(node_fmt - formatting_.begin()) + 1;
+      }
+      node->append_child(last_node);
+      last_node = node;
+    }
+
+    // Insert last_node at the appropriate place under common_ancestor
+    // (foster-aware).
+    if (common_ancestor != nullptr) {
+      const InsertionLocation location =
+          appropriate_insertion_location(common_ancestor);
+      if (location.before != nullptr) {
+        location.parent->insert_before(last_node, location.before);
+      } else {
+        location.parent->append_child(last_node);
+      }
+    }
+
+    // Move furthest block's children into a clone of the formatting element.
+    const auto fe_fmt = std::find_if(formatting_.begin(), formatting_.end(),
+                                     [formatting_element](
+                                         const FormattingEntry& e) {
+                                       return e.element == formatting_element;
+                                     });
+    Token fe_token = fe_fmt != formatting_.end() ? fe_fmt->token : token;
+    Element* clone = create_element_for_token(fe_token, Namespace::kHtml);
+    const std::vector<Node*> fb_children = furthest_block->children();
+    for (Node* child : fb_children) clone->append_child(child);
+    furthest_block->append_child(clone);
+
+    if (fe_fmt != formatting_.end()) {
+      const std::size_t fe_index =
+          static_cast<std::size_t>(fe_fmt - formatting_.begin());
+      formatting_.erase(fe_fmt);
+      if (fe_index < bookmark) --bookmark;
+    }
+    bookmark = std::min(bookmark, formatting_.size());
+    formatting_.insert(formatting_.begin() + bookmark,
+                       {clone, fe_token});
+
+    remove_from_stack(formatting_element);
+    const auto fb_it = std::find(open_elements_.begin(), open_elements_.end(),
+                                 furthest_block);
+    open_elements_.insert(fb_it + 1, clone);
+  }
+  return true;
+}
+
+}  // namespace hv::html

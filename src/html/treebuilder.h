@@ -1,0 +1,246 @@
+// HTML tree construction (WHATWG HTML 13.2.6).
+//
+// Implements the insertion-mode state machine with the stack of open
+// elements, the list of active formatting elements (with Noah's Ark and the
+// adoption agency algorithm), foster parenting, foreign content (SVG and
+// MathML) with breakout handling, and the form element pointer — i.e. all
+// of the error-tolerance machinery whose silent repairs the study measures.
+// Every tolerated repair is reported as an Observation (observations.h).
+//
+// Documented simplifications (DESIGN.md section 5): scripting is disabled
+// (crawler semantics, like the paper's framework); <template> contents are
+// parsed into the template element itself rather than a separate fragment;
+// quirks mode only tracks the force-quirks flag and non-"html" doctype
+// names (its sole tree-construction effect here is the <table>-in-<p>
+// interaction).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+#include "html/errors.h"
+#include "html/observations.h"
+#include "html/token.h"
+#include "html/tokenizer.h"
+
+namespace hv::html {
+
+enum class InsertionMode : std::uint8_t {
+  kInitial,
+  kBeforeHtml,
+  kBeforeHead,
+  kInHead,
+  kInHeadNoscript,
+  kAfterHead,
+  kInBody,
+  kText,
+  kInTable,
+  kInTableText,
+  kInCaption,
+  kInColumnGroup,
+  kInTableBody,
+  kInRow,
+  kInCell,
+  kInSelect,
+  kInSelectInTable,
+  kInTemplate,
+  kAfterBody,
+  kInFrameset,
+  kAfterFrameset,
+  kAfterAfterBody,
+  kAfterAfterFrameset,
+};
+
+class TreeBuilder final : public TokenSink {
+ public:
+  TreeBuilder(Document& document, std::vector<ParseErrorEvent>& errors,
+              Observations& observations);
+
+  /// The tree builder drives tokenizer state switches (RCDATA/RAWTEXT/
+  /// script data/PLAINTEXT) and the CDATA-allowed flag.
+  void set_tokenizer(Tokenizer* tokenizer) { tokenizer_ = tokenizer; }
+
+  /// Scripting flag (spec: changes <noscript> parsing).  Defaults to
+  /// disabled — crawler semantics, like the paper's framework; enable to
+  /// model a scripting browser, where noscript content is raw text.
+  void set_scripting(bool enabled) { scripting_ = enabled; }
+
+  void process_token(Token&& token) override;
+
+  /// Switches the builder into HTML-fragment mode (spec "parsing HTML
+  /// fragments"): a root <html> element is created, the insertion mode is
+  /// reset as if `context_tag` were the context element, and the document
+  /// structure checks (head/body implication) are disabled.  Call before
+  /// the first token.
+  void init_fragment(std::string_view context_tag);
+
+  bool finished() const noexcept { return stopped_; }
+
+ private:
+  struct FormattingEntry {
+    Element* element = nullptr;  // nullptr => marker
+    Token token;                 // original token, for cloning
+  };
+
+  // --- dispatch ----------------------------------------------------------
+  void dispatch(Token& token);
+  bool should_use_foreign_rules(const Token& token) const;
+  void process_in_foreign_content(Token& token);
+  void process_by_mode(Token& token, InsertionMode mode);
+
+  // --- per-mode handlers ---------------------------------------------------
+  void mode_initial(Token& token);
+  void mode_before_html(Token& token);
+  void mode_before_head(Token& token);
+  void mode_in_head(Token& token);
+  void mode_in_head_noscript(Token& token);
+  void mode_after_head(Token& token);
+  void mode_in_body(Token& token);
+  void mode_text(Token& token);
+  void mode_in_table(Token& token);
+  void mode_in_table_text(Token& token);
+  void mode_in_caption(Token& token);
+  void mode_in_column_group(Token& token);
+  void mode_in_table_body(Token& token);
+  void mode_in_row(Token& token);
+  void mode_in_cell(Token& token);
+  void mode_in_select(Token& token);
+  void mode_in_select_in_table(Token& token);
+  void mode_in_template(Token& token);
+  void mode_after_body(Token& token);
+  void mode_in_frameset(Token& token);
+  void mode_after_frameset(Token& token);
+  void mode_after_after_body(Token& token);
+  void mode_after_after_frameset(Token& token);
+
+  void in_body_start_tag(Token& token);
+  void in_body_end_tag(Token& token);
+  void in_body_any_other_end_tag(Token& token);
+  void in_body_characters(Token& token);
+
+  // Wrappers over the spec's element-category sets (defined in
+  // treebuilder.cc) so the other translation units can use them.
+  bool special_is(const Element* element) const;
+  bool foreign_breakout_check(const Token& token) const;
+  bool is_mathml_text_ip(const Element* element) const;
+  bool is_html_ip(const Element* element) const;
+
+  // --- insertion helpers ---------------------------------------------------
+  struct InsertionLocation {
+    Node* parent = nullptr;
+    Node* before = nullptr;  // insert before this child; nullptr = append
+  };
+  InsertionLocation appropriate_insertion_location(Element* override_target =
+                                                       nullptr);
+  Element* insert_html_element(const Token& token);
+  Element* insert_foreign_element(const Token& token, Namespace ns);
+  Element* create_element_for_token(const Token& token, Namespace ns);
+  void insert_character_data(std::string_view data);
+  void insert_comment(const Token& token, Node* parent = nullptr);
+  void generic_raw_text(const Token& token);
+  void generic_rcdata(const Token& token);
+
+  // --- stack of open elements ---------------------------------------------
+  Element* current_node() const {
+    return open_elements_.empty() ? nullptr : open_elements_.back();
+  }
+  Element* adjusted_current_node() const { return current_node(); }
+  void push_open(Element* element) { open_elements_.push_back(element); }
+  void pop_open();
+  void pop_until_inclusive(std::string_view tag);
+  bool stack_contains(std::string_view tag) const;
+  bool stack_contains(const Element* element) const;
+  void remove_from_stack(const Element* element);
+
+  bool has_element_in_scope(std::string_view tag) const;
+  bool has_element_in_scope(const Element* element) const;
+  bool has_element_in_list_item_scope(std::string_view tag) const;
+  bool has_element_in_button_scope(std::string_view tag) const;
+  bool has_element_in_table_scope(std::string_view tag) const;
+  bool has_element_in_select_scope(std::string_view tag) const;
+
+  void generate_implied_end_tags(std::string_view except = {});
+  void generate_all_implied_end_tags_thoroughly();
+  void close_p_element();
+  void close_cell();
+  void clear_stack_to_table_context();
+  void clear_stack_to_table_body_context();
+  void clear_stack_to_table_row_context();
+  void reset_insertion_mode();
+
+  // --- active formatting elements -------------------------------------------
+  void push_formatting(Element* element, const Token& token);
+  void push_formatting_marker();
+  void reconstruct_active_formatting();
+  void clear_formatting_to_marker();
+  Element* formatting_element_after_marker(std::string_view tag) const;
+  void remove_formatting_entry(const Element* element);
+  bool adoption_agency(Token& token);  // returns false => act as any-other
+
+  // --- misc helpers ----------------------------------------------------------
+  void error(ParseError code, const Token& token, std::string detail = {});
+  void observe(ObservationKind kind, const Token& token,
+               std::string detail = {});
+  void switch_tokenizer_for(const Token& start_tag);
+  void update_cdata_flag();
+  void acknowledge_self_closing(Token& token);
+  void stop_parsing(const Token& eof_token);
+  void note_url_bearing(const Token& token);
+  void merge_attributes_into(Element* element, const Token& token);
+  void handle_base_start_tag(const Token& token, bool in_head_section);
+  void handle_meta_position_check(const Token& token, bool in_head_section);
+
+  Document& document_;
+  std::vector<ParseErrorEvent>& errors_;
+  Observations& observations_;
+  Tokenizer* tokenizer_ = nullptr;
+
+  InsertionMode mode_ = InsertionMode::kInitial;
+  InsertionMode original_mode_ = InsertionMode::kInBody;
+  std::vector<InsertionMode> template_modes_;
+
+  std::vector<Element*> open_elements_;
+  std::vector<FormattingEntry> formatting_;
+
+  Element* head_element_ = nullptr;
+  Element* form_element_ = nullptr;
+  bool fragment_ = false;
+  bool scripting_ = false;
+  std::string fragment_context_;  ///< context element's tag name
+
+  bool frameset_ok_ = true;
+  bool foster_parenting_ = false;
+  bool quirks_mode_ = false;
+  bool stopped_ = false;
+  bool ignore_next_lf_ = false;
+  bool head_was_implicit_ = false;
+  bool reported_implicit_head_content_ = false;
+  bool head_explicitly_closed_ = false;
+  /// Source-level "inside the head section" flag for the DM1/DM2 position
+  /// checks: true between the head's opening (explicit or implied with
+  /// content) and the literal </head>, <body>, or <frameset> token.  This
+  /// matches the paper's source-position semantics even when a stray
+  /// element already forced the parser out of the in-head insertion mode.
+  bool source_head_open_ = false;
+  bool seen_base_element_ = false;
+  bool seen_url_bearing_ = false;
+  /// Set when a content token implicitly closed the head and was already
+  /// counted as HF1 — the immediately following implied <body> must not
+  /// double-count as HF2.
+  bool suppress_next_body_implied_ = false;
+  /// Literal <body> start-tag tokens seen; HF3 ("multiple body elements")
+  /// is a source-level property, so it needs two *tokens*, not merely the
+  /// merge of an explicit tag into an implied body.
+  int body_start_tokens_ = 0;
+
+  std::string pending_table_text_;
+  SourcePosition pending_table_text_position_;
+  bool pending_table_text_has_nonspace_ = false;
+
+  // Reprocessing queue depth guard (the spec reprocesses tokens; a bug here
+  // would loop forever on adversarial input).
+  int reprocess_depth_ = 0;
+};
+
+}  // namespace hv::html

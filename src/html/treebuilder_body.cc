@@ -1,0 +1,1423 @@
+// The "in body" insertion mode, table modes, select modes, template mode,
+// and foreign content (WHATWG HTML 13.2.6.4.7+ and 13.2.6.5).
+#include <algorithm>
+#include <unordered_set>
+
+#include "html/encoding.h"
+#include "html/treebuilder.h"
+
+namespace hv::html {
+namespace {
+
+using TagSet = std::unordered_set<std::string_view>;
+
+bool in_set(const TagSet& set, std::string_view tag) {
+  return set.find(tag) != set.end();
+}
+
+std::size_t leading_ws(std::string_view data) {
+  std::size_t i = 0;
+  while (i < data.size() &&
+         is_ascii_whitespace(static_cast<unsigned char>(data[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+bool all_ws(std::string_view data) { return leading_ws(data) == data.size(); }
+
+bool is_heading(std::string_view tag) {
+  return tag.size() == 2 && tag[0] == 'h' && tag[1] >= '1' && tag[1] <= '6';
+}
+
+Token synthetic_start_tag(std::string_view name, SourcePosition position) {
+  Token token;
+  token.type = Token::Type::kStartTag;
+  token.name.assign(name);
+  token.position = position;
+  return token;
+}
+
+const TagSet kBlockTags = {
+    "address", "article",   "aside",  "blockquote", "center", "details",
+    "dialog",  "dir",       "div",    "dl",         "fieldset",
+    "figcaption", "figure", "footer", "header",     "hgroup", "main",
+    "menu",    "nav",       "ol",     "p",          "section", "summary",
+    "ul"};
+
+const TagSet kFormattingTags = {"b",  "big",   "code",   "em", "font",
+                                "i",  "s",     "small",  "strike",
+                                "strong", "tt", "u"};
+
+}  // namespace
+
+// --- in body ------------------------------------------------------------------
+
+void TreeBuilder::in_body_characters(Token& token) {
+  reconstruct_active_formatting();
+  insert_character_data(token.data);
+  if (!all_ws(token.data)) frameset_ok_ = false;
+}
+
+void TreeBuilder::mode_in_body(Token& token) {
+  switch (token.type) {
+    case Token::Type::kNullCharacter:
+      error(ParseError::UnexpectedNullCharacter, token);
+      return;  // ignored
+    case Token::Type::kCharacters:
+      in_body_characters(token);
+      return;
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag:
+      in_body_start_tag(token);
+      return;
+    case Token::Type::kEndTag:
+      in_body_end_tag(token);
+      return;
+    case Token::Type::kEof:
+      if (!template_modes_.empty()) {
+        process_by_mode(token, InsertionMode::kInTemplate);
+        return;
+      }
+      stop_parsing(token);
+      return;
+  }
+}
+
+void TreeBuilder::in_body_start_tag(Token& token) {
+  const std::string& name = token.name;
+
+  if (name == "html") {
+    error(ParseError::UnexpectedStartTag, token, name);
+    if (stack_contains("template")) return;
+    merge_attributes_into(open_elements_.empty() ? nullptr
+                                                 : open_elements_.front(),
+                          token);
+    return;
+  }
+  if (name == "base" || name == "basefont" || name == "bgsound" ||
+      name == "link") {
+    insert_html_element(token);
+    pop_open();
+    acknowledge_self_closing(token);
+    if (name == "base") handle_base_start_tag(token, source_head_open_);
+    return;
+  }
+  if (name == "meta") {
+    insert_html_element(token);
+    pop_open();
+    acknowledge_self_closing(token);
+    handle_meta_position_check(token, source_head_open_);
+    return;
+  }
+  if (name == "title") {
+    generic_rcdata(token);
+    return;
+  }
+  if (name == "noframes" || name == "style") {
+    generic_raw_text(token);
+    return;
+  }
+  if (name == "script") {
+    Element* element = insert_html_element(token);
+    if (current_node() != element) return;  // depth cap
+    if (tokenizer_ != nullptr) {
+      tokenizer_->set_state(TokenizerState::kScriptData);
+    }
+    original_mode_ = mode_;
+    mode_ = InsertionMode::kText;
+    return;
+  }
+  if (name == "template") {
+    process_by_mode(token, InsertionMode::kInHead);
+    return;
+  }
+  if (name == "body") {
+    // HF3: a second <body> start tag is merged into the existing body
+    // (spec 13.2.6.4.7), letting injections before/after the real body
+    // overwrite or add attributes.  Only a second *literal* tag counts —
+    // an explicit <body> merging into an implied one is the page's first.
+    ++body_start_tokens_;
+    if (body_start_tokens_ >= 2) {
+      error(ParseError::MultipleBodyStartTags, token);
+      observe(ObservationKind::kSecondBodyMerged, token);
+    } else {
+      error(ParseError::UnexpectedStartTag, token, name);
+    }
+    if (open_elements_.size() < 2 ||
+        !open_elements_[1]->is_html("body") || stack_contains("template")) {
+      return;
+    }
+    frameset_ok_ = false;
+    merge_attributes_into(open_elements_[1], token);
+    return;
+  }
+  if (name == "frameset") {
+    error(ParseError::UnexpectedStartTag, token, name);
+    if (open_elements_.size() < 2 || !open_elements_[1]->is_html("body") ||
+        !frameset_ok_) {
+      return;
+    }
+    Element* body = open_elements_[1];
+    if (body->parent() != nullptr) body->parent()->remove_child(body);
+    while (open_elements_.size() > 1) pop_open();
+    insert_html_element(token);
+    mode_ = InsertionMode::kInFrameset;
+    return;
+  }
+  if (in_set(kBlockTags, name) && name != "p") {
+    if (has_element_in_button_scope("p")) close_p_element();
+    insert_html_element(token);
+    return;
+  }
+  if (name == "p") {
+    if (has_element_in_button_scope("p")) close_p_element();
+    insert_html_element(token);
+    return;
+  }
+  if (is_heading(name)) {
+    if (has_element_in_button_scope("p")) close_p_element();
+    if (current_node() != nullptr &&
+        current_node()->ns() == Namespace::kHtml &&
+        is_heading(current_node()->tag_name())) {
+      error(ParseError::MisnestedTag, token, name);
+      pop_open();
+    }
+    insert_html_element(token);
+    return;
+  }
+  if (name == "pre" || name == "listing") {
+    if (has_element_in_button_scope("p")) close_p_element();
+    insert_html_element(token);
+    ignore_next_lf_ = true;
+    frameset_ok_ = false;
+    return;
+  }
+  if (name == "form") {
+    if (form_element_ != nullptr && !stack_contains("template")) {
+      // DE4: the nested form is dropped entirely; an injected form swallows
+      // the page's real one (paper section 3.2.2).
+      error(ParseError::NestedFormStartTag, token);
+      observe(ObservationKind::kNestedFormIgnored, token);
+      return;
+    }
+    if (has_element_in_button_scope("p")) close_p_element();
+    Element* form = insert_html_element(token);
+    if (!stack_contains("template")) form_element_ = form;
+    return;
+  }
+  if (name == "li") {
+    frameset_ok_ = false;
+    for (std::size_t i = open_elements_.size(); i > 0; --i) {
+      Element* node = open_elements_[i - 1];
+      if (node->is_html("li")) {
+        generate_implied_end_tags("li");
+        if (!current_node()->is_html("li")) {
+          error(ParseError::MisnestedTag, token, name);
+        }
+        pop_until_inclusive("li");
+        break;
+      }
+      if (node->ns() == Namespace::kHtml &&
+          node->tag_name() != "address" && node->tag_name() != "div" &&
+          node->tag_name() != "p" &&
+          special_is(node)) {
+        break;
+      }
+    }
+    if (has_element_in_button_scope("p")) close_p_element();
+    insert_html_element(token);
+    return;
+  }
+  if (name == "dd" || name == "dt") {
+    frameset_ok_ = false;
+    for (std::size_t i = open_elements_.size(); i > 0; --i) {
+      Element* node = open_elements_[i - 1];
+      if (node->is_html("dd") || node->is_html("dt")) {
+        generate_implied_end_tags(node->tag_name());
+        if (current_node() != node) {
+          error(ParseError::MisnestedTag, token, name);
+        }
+        pop_until_inclusive(node->tag_name());
+        break;
+      }
+      if (node->ns() == Namespace::kHtml &&
+          node->tag_name() != "address" && node->tag_name() != "div" &&
+          node->tag_name() != "p" && special_is(node)) {
+        break;
+      }
+    }
+    if (has_element_in_button_scope("p")) close_p_element();
+    insert_html_element(token);
+    return;
+  }
+  if (name == "plaintext") {
+    if (has_element_in_button_scope("p")) close_p_element();
+    insert_html_element(token);
+    if (tokenizer_ != nullptr) {
+      tokenizer_->set_state(TokenizerState::kPlaintext);
+    }
+    return;
+  }
+  if (name == "button") {
+    if (has_element_in_scope("button")) {
+      error(ParseError::MisnestedTag, token, name);
+      generate_implied_end_tags();
+      pop_until_inclusive("button");
+    }
+    reconstruct_active_formatting();
+    insert_html_element(token);
+    frameset_ok_ = false;
+    return;
+  }
+  if (name == "a") {
+    if (Element* existing = formatting_element_after_marker("a")) {
+      error(ParseError::MisnestedTag, token, name);
+      Token end_a;
+      end_a.type = Token::Type::kEndTag;
+      end_a.name = "a";
+      end_a.position = token.position;
+      adoption_agency(end_a);
+      remove_formatting_entry(existing);
+      remove_from_stack(existing);
+    }
+    reconstruct_active_formatting();
+    Element* element = insert_html_element(token);
+    push_formatting(element, token);
+    return;
+  }
+  if (in_set(kFormattingTags, name)) {
+    reconstruct_active_formatting();
+    Element* element = insert_html_element(token);
+    push_formatting(element, token);
+    return;
+  }
+  if (name == "nobr") {
+    reconstruct_active_formatting();
+    if (has_element_in_scope("nobr")) {
+      error(ParseError::MisnestedTag, token, name);
+      Token end_nobr;
+      end_nobr.type = Token::Type::kEndTag;
+      end_nobr.name = "nobr";
+      end_nobr.position = token.position;
+      adoption_agency(end_nobr);
+      reconstruct_active_formatting();
+    }
+    Element* element = insert_html_element(token);
+    push_formatting(element, token);
+    return;
+  }
+  if (name == "applet" || name == "marquee" || name == "object") {
+    reconstruct_active_formatting();
+    insert_html_element(token);
+    push_formatting_marker();
+    frameset_ok_ = false;
+    return;
+  }
+  if (name == "table") {
+    if (!quirks_mode_ && has_element_in_button_scope("p")) close_p_element();
+    insert_html_element(token);
+    frameset_ok_ = false;
+    mode_ = InsertionMode::kInTable;
+    return;
+  }
+  if (name == "area" || name == "br" || name == "embed" || name == "img" ||
+      name == "keygen" || name == "wbr") {
+    reconstruct_active_formatting();
+    insert_html_element(token);
+    pop_open();
+    acknowledge_self_closing(token);
+    frameset_ok_ = false;
+    return;
+  }
+  if (name == "input") {
+    reconstruct_active_formatting();
+    insert_html_element(token);
+    pop_open();
+    acknowledge_self_closing(token);
+    const auto type = token.attribute("type");
+    if (!type.has_value() || *type != "hidden") frameset_ok_ = false;
+    return;
+  }
+  if (name == "param" || name == "source" || name == "track") {
+    insert_html_element(token);
+    pop_open();
+    acknowledge_self_closing(token);
+    return;
+  }
+  if (name == "hr") {
+    if (has_element_in_button_scope("p")) close_p_element();
+    insert_html_element(token);
+    pop_open();
+    acknowledge_self_closing(token);
+    frameset_ok_ = false;
+    return;
+  }
+  if (name == "image") {
+    error(ParseError::UnexpectedStartTag, token, name);
+    token.name = "img";
+    in_body_start_tag(token);
+    return;
+  }
+  if (name == "textarea") {
+    Element* element = insert_html_element(token);
+    if (current_node() != element) return;  // depth cap
+    if (tokenizer_ != nullptr) tokenizer_->set_state(TokenizerState::kRcdata);
+    ignore_next_lf_ = true;
+    original_mode_ = mode_;
+    frameset_ok_ = false;
+    mode_ = InsertionMode::kText;
+    return;
+  }
+  if (name == "xmp") {
+    if (has_element_in_button_scope("p")) close_p_element();
+    reconstruct_active_formatting();
+    frameset_ok_ = false;
+    generic_raw_text(token);
+    return;
+  }
+  if (name == "iframe") {
+    frameset_ok_ = false;
+    generic_raw_text(token);
+    return;
+  }
+  if (name == "noembed" || (name == "noscript" && scripting_)) {
+    generic_raw_text(token);
+    return;
+  }
+  if (name == "select") {
+    reconstruct_active_formatting();
+    insert_html_element(token);
+    frameset_ok_ = false;
+    if (mode_ == InsertionMode::kInTable ||
+        mode_ == InsertionMode::kInCaption ||
+        mode_ == InsertionMode::kInTableBody ||
+        mode_ == InsertionMode::kInRow || mode_ == InsertionMode::kInCell) {
+      mode_ = InsertionMode::kInSelectInTable;
+    } else {
+      mode_ = InsertionMode::kInSelect;
+    }
+    return;
+  }
+  if (name == "optgroup" || name == "option") {
+    if (current_node() != nullptr && current_node()->is_html("option")) {
+      pop_open();
+    }
+    reconstruct_active_formatting();
+    insert_html_element(token);
+    return;
+  }
+  if (name == "rb" || name == "rtc") {
+    if (has_element_in_scope("ruby")) {
+      generate_implied_end_tags();
+      if (!current_node()->is_html("ruby")) {
+        error(ParseError::MisnestedTag, token, name);
+      }
+    }
+    insert_html_element(token);
+    return;
+  }
+  if (name == "rp" || name == "rt") {
+    if (has_element_in_scope("ruby")) {
+      generate_implied_end_tags("rtc");
+      if (!current_node()->is_html("ruby") &&
+          !current_node()->is_html("rtc")) {
+        error(ParseError::MisnestedTag, token, name);
+      }
+    }
+    insert_html_element(token);
+    return;
+  }
+  if (name == "math") {
+    reconstruct_active_formatting();
+    insert_foreign_element(token, Namespace::kMathMl);
+    if (token.self_closing) {
+      pop_open();
+      acknowledge_self_closing(token);
+    }
+    return;
+  }
+  if (name == "svg") {
+    reconstruct_active_formatting();
+    insert_foreign_element(token, Namespace::kSvg);
+    if (token.self_closing) {
+      pop_open();
+      acknowledge_self_closing(token);
+    }
+    return;
+  }
+  {
+    static const TagSet kIgnored = {"caption", "col",   "colgroup", "frame",
+                                    "head",    "tbody", "td",       "tfoot",
+                                    "th",      "thead", "tr"};
+    if (in_set(kIgnored, name)) {
+      error(ParseError::UnexpectedStartTag, token, name);
+      return;
+    }
+  }
+  // Any other start tag.  (An unacknowledged self-closing flag is
+  // reported centrally in process_token.)
+  reconstruct_active_formatting();
+  insert_html_element(token);
+}
+
+void TreeBuilder::in_body_end_tag(Token& token) {
+  const std::string& name = token.name;
+
+  if (name == "template") {
+    process_by_mode(token, InsertionMode::kInHead);
+    return;
+  }
+  if (name == "body" || name == "html") {
+    if (!has_element_in_scope("body")) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+    mode_ = InsertionMode::kAfterBody;
+    if (name == "html") dispatch(token);
+    return;
+  }
+  {
+    static const TagSet kBlockEnders = {
+        "address", "article", "aside",   "blockquote", "button", "center",
+        "details", "dialog",  "dir",     "div",        "dl",     "fieldset",
+        "figcaption", "figure", "footer", "header",    "hgroup", "listing",
+        "main",    "menu",    "nav",     "ol",         "pre",    "section",
+        "summary", "ul"};
+    if (in_set(kBlockEnders, name)) {
+      if (!has_element_in_scope(name)) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      generate_implied_end_tags();
+      if (current_node() == nullptr || !current_node()->is_html(name)) {
+        error(ParseError::MisnestedTag, token, name);
+      }
+      pop_until_inclusive(name);
+      return;
+    }
+  }
+  if (name == "form") {
+    if (!stack_contains("template")) {
+      Element* form = form_element_;
+      form_element_ = nullptr;
+      if (form == nullptr || !has_element_in_scope(form)) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      generate_implied_end_tags();
+      if (current_node() != form) {
+        error(ParseError::MisnestedTag, token, name);
+      }
+      remove_from_stack(form);
+      return;
+    }
+    if (!has_element_in_scope("form")) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+    generate_implied_end_tags();
+    if (current_node() == nullptr || !current_node()->is_html("form")) {
+      error(ParseError::MisnestedTag, token, name);
+    }
+    pop_until_inclusive("form");
+    return;
+  }
+  if (name == "p") {
+    if (!has_element_in_button_scope("p")) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      insert_html_element(synthetic_start_tag("p", token.position));
+    }
+    generate_implied_end_tags("p");
+    if (current_node() == nullptr || !current_node()->is_html("p")) {
+      error(ParseError::MisnestedTag, token, name);
+    }
+    pop_until_inclusive("p");
+    return;
+  }
+  if (name == "li") {
+    if (!has_element_in_list_item_scope("li")) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+    generate_implied_end_tags("li");
+    if (current_node() == nullptr || !current_node()->is_html("li")) {
+      error(ParseError::MisnestedTag, token, name);
+    }
+    pop_until_inclusive("li");
+    return;
+  }
+  if (name == "dd" || name == "dt") {
+    if (!has_element_in_scope(name)) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+    generate_implied_end_tags(name);
+    if (current_node() == nullptr || !current_node()->is_html(name)) {
+      error(ParseError::MisnestedTag, token, name);
+    }
+    pop_until_inclusive(name);
+    return;
+  }
+  if (is_heading(name)) {
+    const bool any_heading_in_scope =
+        has_element_in_scope("h1") || has_element_in_scope("h2") ||
+        has_element_in_scope("h3") || has_element_in_scope("h4") ||
+        has_element_in_scope("h5") || has_element_in_scope("h6");
+    if (!any_heading_in_scope) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+    generate_implied_end_tags();
+    if (current_node() == nullptr || !current_node()->is_html(name)) {
+      error(ParseError::MisnestedTag, token, name);
+    }
+    while (!open_elements_.empty()) {
+      Element* top = open_elements_.back();
+      open_elements_.pop_back();
+      if (top->ns() == Namespace::kHtml && is_heading(top->tag_name())) {
+        break;
+      }
+    }
+    return;
+  }
+  if (name == "a" || name == "nobr" || in_set(kFormattingTags, name)) {
+    if (!adoption_agency(token)) {
+      in_body_any_other_end_tag(token);
+    }
+    return;
+  }
+  if (name == "applet" || name == "marquee" || name == "object") {
+    if (!has_element_in_scope(name)) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+    generate_implied_end_tags();
+    if (current_node() == nullptr || !current_node()->is_html(name)) {
+      error(ParseError::MisnestedTag, token, name);
+    }
+    pop_until_inclusive(name);
+    clear_formatting_to_marker();
+    return;
+  }
+  if (name == "br") {
+    error(ParseError::UnexpectedEndTag, token, name);
+    Token br = synthetic_start_tag("br", token.position);
+    in_body_start_tag(br);
+    return;
+  }
+  if (name == "svg" || name == "math") {
+    // HF5_1: an </svg> or </math> in HTML content with no matching open
+    // foreign root is silently dropped — the classic namespace-confusion
+    // gadget.
+    bool open_anywhere = false;
+    for (const Element* e : open_elements_) {
+      if (e->tag_name() == name && e->ns() != Namespace::kHtml) {
+        open_anywhere = true;
+        break;
+      }
+    }
+    if (!open_anywhere) {
+      error(ParseError::StrayForeignEndTag, token, name);
+      observe(ObservationKind::kStrayForeignEndTag, token, name);
+      return;
+    }
+    // Fall through to generic handling below.
+  }
+  in_body_any_other_end_tag(token);
+}
+
+void TreeBuilder::in_body_any_other_end_tag(Token& token) {
+  for (std::size_t i = open_elements_.size(); i > 0; --i) {
+    Element* node = open_elements_[i - 1];
+    if (node->tag_name() == token.name) {
+      generate_implied_end_tags(token.name);
+      if (node != current_node()) {
+        error(ParseError::MisnestedTag, token, token.name);
+      }
+      while (!open_elements_.empty()) {
+        Element* top = open_elements_.back();
+        open_elements_.pop_back();
+        if (top == node) return;
+      }
+      return;
+    }
+    if (special_is(node)) {
+      error(ParseError::UnexpectedEndTag, token, token.name);
+      return;
+    }
+  }
+}
+
+// --- tables --------------------------------------------------------------------
+
+void TreeBuilder::mode_in_table(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters:
+    case Token::Type::kNullCharacter: {
+      const Element* current = current_node();
+      static const TagSet kTableContext = {"table", "tbody", "tfoot", "thead",
+                                           "tr"};
+      if (current != nullptr && current->ns() == Namespace::kHtml &&
+          in_set(kTableContext, current->tag_name())) {
+        pending_table_text_.clear();
+        pending_table_text_has_nonspace_ = false;
+        pending_table_text_position_ = token.position;
+        original_mode_ = mode_;
+        mode_ = InsertionMode::kInTableText;
+        dispatch(token);
+        return;
+      }
+      break;  // anything else (foster)
+    }
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag: {
+      const std::string& name = token.name;
+      if (name == "caption") {
+        clear_stack_to_table_context();
+        push_formatting_marker();
+        insert_html_element(token);
+        mode_ = InsertionMode::kInCaption;
+        return;
+      }
+      if (name == "colgroup") {
+        clear_stack_to_table_context();
+        insert_html_element(token);
+        mode_ = InsertionMode::kInColumnGroup;
+        return;
+      }
+      if (name == "col") {
+        clear_stack_to_table_context();
+        insert_html_element(synthetic_start_tag("colgroup", token.position));
+        mode_ = InsertionMode::kInColumnGroup;
+        dispatch(token);
+        return;
+      }
+      if (name == "tbody" || name == "tfoot" || name == "thead") {
+        clear_stack_to_table_context();
+        insert_html_element(token);
+        mode_ = InsertionMode::kInTableBody;
+        return;
+      }
+      if (name == "td" || name == "th" || name == "tr") {
+        clear_stack_to_table_context();
+        insert_html_element(synthetic_start_tag("tbody", token.position));
+        mode_ = InsertionMode::kInTableBody;
+        dispatch(token);
+        return;
+      }
+      if (name == "table") {
+        error(ParseError::UnexpectedStartTag, token, name);
+        if (!has_element_in_table_scope("table")) return;
+        pop_until_inclusive("table");
+        reset_insertion_mode();
+        dispatch(token);
+        return;
+      }
+      if (name == "style" || name == "script" || name == "template") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      if (name == "input") {
+        const auto type = token.attribute("type");
+        if (type.has_value() && *type == "hidden") {
+          error(ParseError::UnexpectedStartTag, token, name);
+          insert_html_element(token);
+          pop_open();
+          acknowledge_self_closing(token);
+          return;
+        }
+        break;  // anything else
+      }
+      if (name == "form") {
+        error(ParseError::UnexpectedStartTag, token, name);
+        if (stack_contains("template") || form_element_ != nullptr) return;
+        form_element_ = insert_html_element(token);
+        pop_open();
+        return;
+      }
+      break;  // anything else
+    }
+    case Token::Type::kEndTag: {
+      const std::string& name = token.name;
+      if (name == "table") {
+        if (!has_element_in_table_scope("table")) {
+          error(ParseError::UnexpectedEndTag, token, name);
+          return;
+        }
+        pop_until_inclusive("table");
+        reset_insertion_mode();
+        return;
+      }
+      if (name == "template") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      static const TagSet kIgnored = {"body", "caption", "col", "colgroup",
+                                      "html", "tbody",   "td",  "tfoot",
+                                      "th",   "thead",   "tr"};
+      if (in_set(kIgnored, name)) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      break;  // anything else
+    }
+    case Token::Type::kEof:
+      process_by_mode(token, InsertionMode::kInBody);
+      return;
+  }
+  // Anything else: foster parenting — the HF4 repair the paper measures.
+  foster_parenting_ = true;
+  process_by_mode(token, InsertionMode::kInBody);
+  foster_parenting_ = false;
+}
+
+void TreeBuilder::mode_in_table_text(Token& token) {
+  if (token.type == Token::Type::kNullCharacter) {
+    error(ParseError::UnexpectedNullCharacter, token);
+    return;
+  }
+  if (token.type == Token::Type::kCharacters) {
+    pending_table_text_.append(token.data);
+    if (!all_ws(token.data)) pending_table_text_has_nonspace_ = true;
+    return;
+  }
+  // Flush pending characters, then reprocess the current token.
+  if (!pending_table_text_.empty()) {
+    if (pending_table_text_has_nonspace_) {
+      errors_.push_back({ParseError::TreeConstructionGeneric,
+                         pending_table_text_position_, "#table-text"});
+      foster_parenting_ = true;
+      reconstruct_active_formatting();
+      insert_character_data(pending_table_text_);
+      foster_parenting_ = false;
+      frameset_ok_ = false;
+    } else {
+      insert_character_data(pending_table_text_);
+    }
+    pending_table_text_.clear();
+    pending_table_text_has_nonspace_ = false;
+  }
+  mode_ = original_mode_;
+  dispatch(token);
+}
+
+void TreeBuilder::mode_in_caption(Token& token) {
+  const auto close_caption = [this, &token]() -> bool {
+    if (!has_element_in_table_scope("caption")) {
+      error(ParseError::UnexpectedEndTag, token, token.name);
+      return false;
+    }
+    generate_implied_end_tags();
+    if (current_node() == nullptr || !current_node()->is_html("caption")) {
+      error(ParseError::MisnestedTag, token, token.name);
+    }
+    pop_until_inclusive("caption");
+    clear_formatting_to_marker();
+    mode_ = InsertionMode::kInTable;
+    return true;
+  };
+
+  if (token.type == Token::Type::kEndTag && token.name == "caption") {
+    close_caption();
+    return;
+  }
+  static const TagSet kTableParts = {"caption", "col",   "colgroup", "tbody",
+                                     "td",      "tfoot", "th",       "thead",
+                                     "tr"};
+  if ((token.type == Token::Type::kStartTag &&
+       in_set(kTableParts, token.name)) ||
+      (token.type == Token::Type::kEndTag && token.name == "table")) {
+    if (close_caption()) dispatch(token);
+    return;
+  }
+  if (token.type == Token::Type::kEndTag) {
+    static const TagSet kIgnored = {"body", "col",   "colgroup", "html",
+                                    "tbody", "td",   "tfoot",    "th",
+                                    "thead", "tr"};
+    if (in_set(kIgnored, token.name)) {
+      error(ParseError::UnexpectedEndTag, token, token.name);
+      return;
+    }
+  }
+  process_by_mode(token, InsertionMode::kInBody);
+}
+
+void TreeBuilder::mode_in_column_group(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws > 0) insert_character_data(std::string_view(token.data).substr(0, ws));
+      if (ws == token.data.size()) return;
+      token.data.erase(0, ws);
+      break;  // anything else
+    }
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag:
+      if (token.name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (token.name == "col") {
+        insert_html_element(token);
+        pop_open();
+        acknowledge_self_closing(token);
+        return;
+      }
+      if (token.name == "template") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      break;
+    case Token::Type::kEndTag:
+      if (token.name == "colgroup") {
+        if (current_node() == nullptr ||
+            !current_node()->is_html("colgroup")) {
+          error(ParseError::UnexpectedEndTag, token, token.name);
+          return;
+        }
+        pop_open();
+        mode_ = InsertionMode::kInTable;
+        return;
+      }
+      if (token.name == "col") {
+        error(ParseError::UnexpectedEndTag, token, token.name);
+        return;
+      }
+      if (token.name == "template") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      break;
+    case Token::Type::kEof:
+      process_by_mode(token, InsertionMode::kInBody);
+      return;
+    default:
+      break;
+  }
+  if (current_node() == nullptr || !current_node()->is_html("colgroup")) {
+    error(ParseError::TreeConstructionGeneric, token, token.name);
+    return;
+  }
+  pop_open();
+  mode_ = InsertionMode::kInTable;
+  dispatch(token);
+}
+
+void TreeBuilder::mode_in_table_body(Token& token) {
+  if (token.type == Token::Type::kStartTag) {
+    const std::string& name = token.name;
+    if (name == "tr") {
+      clear_stack_to_table_body_context();
+      insert_html_element(token);
+      mode_ = InsertionMode::kInRow;
+      return;
+    }
+    if (name == "th" || name == "td") {
+      error(ParseError::UnexpectedStartTag, token, name);
+      clear_stack_to_table_body_context();
+      insert_html_element(synthetic_start_tag("tr", token.position));
+      mode_ = InsertionMode::kInRow;
+      dispatch(token);
+      return;
+    }
+    static const TagSet kSections = {"caption", "col", "colgroup", "tbody",
+                                     "tfoot",   "thead"};
+    if (in_set(kSections, name)) {
+      if (!has_element_in_table_scope("tbody") &&
+          !has_element_in_table_scope("thead") &&
+          !has_element_in_table_scope("tfoot")) {
+        error(ParseError::UnexpectedStartTag, token, name);
+        return;
+      }
+      clear_stack_to_table_body_context();
+      pop_open();
+      mode_ = InsertionMode::kInTable;
+      dispatch(token);
+      return;
+    }
+  }
+  if (token.type == Token::Type::kEndTag) {
+    const std::string& name = token.name;
+    if (name == "tbody" || name == "tfoot" || name == "thead") {
+      if (!has_element_in_table_scope(name)) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      clear_stack_to_table_body_context();
+      pop_open();
+      mode_ = InsertionMode::kInTable;
+      return;
+    }
+    if (name == "table") {
+      if (!has_element_in_table_scope("tbody") &&
+          !has_element_in_table_scope("thead") &&
+          !has_element_in_table_scope("tfoot")) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      clear_stack_to_table_body_context();
+      pop_open();
+      mode_ = InsertionMode::kInTable;
+      dispatch(token);
+      return;
+    }
+    static const TagSet kIgnored = {"body", "caption", "col", "colgroup",
+                                    "html", "td",      "th",  "tr"};
+    if (in_set(kIgnored, name)) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+  }
+  process_by_mode(token, InsertionMode::kInTable);
+}
+
+void TreeBuilder::mode_in_row(Token& token) {
+  if (token.type == Token::Type::kStartTag) {
+    const std::string& name = token.name;
+    if (name == "th" || name == "td") {
+      clear_stack_to_table_row_context();
+      insert_html_element(token);
+      mode_ = InsertionMode::kInCell;
+      push_formatting_marker();
+      return;
+    }
+    static const TagSet kParts = {"caption", "col",   "colgroup", "tbody",
+                                  "tfoot",   "thead", "tr"};
+    if (in_set(kParts, name)) {
+      if (!has_element_in_table_scope("tr")) {
+        error(ParseError::UnexpectedStartTag, token, name);
+        return;
+      }
+      clear_stack_to_table_row_context();
+      pop_open();
+      mode_ = InsertionMode::kInTableBody;
+      dispatch(token);
+      return;
+    }
+  }
+  if (token.type == Token::Type::kEndTag) {
+    const std::string& name = token.name;
+    if (name == "tr") {
+      if (!has_element_in_table_scope("tr")) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      clear_stack_to_table_row_context();
+      pop_open();
+      mode_ = InsertionMode::kInTableBody;
+      return;
+    }
+    if (name == "table") {
+      if (!has_element_in_table_scope("tr")) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      clear_stack_to_table_row_context();
+      pop_open();
+      mode_ = InsertionMode::kInTableBody;
+      dispatch(token);
+      return;
+    }
+    if (name == "tbody" || name == "tfoot" || name == "thead") {
+      if (!has_element_in_table_scope(name)) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      if (!has_element_in_table_scope("tr")) return;
+      clear_stack_to_table_row_context();
+      pop_open();
+      mode_ = InsertionMode::kInTableBody;
+      dispatch(token);
+      return;
+    }
+    static const TagSet kIgnored = {"body", "caption", "col", "colgroup",
+                                    "html", "td",      "th"};
+    if (in_set(kIgnored, name)) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+  }
+  process_by_mode(token, InsertionMode::kInTable);
+}
+
+void TreeBuilder::close_cell() {
+  generate_implied_end_tags();
+  if (current_node() != nullptr && !current_node()->is_html("td") &&
+      !current_node()->is_html("th")) {
+    errors_.push_back({ParseError::MisnestedTag,
+                       current_node()->start_position(),
+                       current_node()->tag_name()});
+  }
+  while (!open_elements_.empty()) {
+    Element* top = open_elements_.back();
+    open_elements_.pop_back();
+    if (top->is_html("td") || top->is_html("th")) break;
+  }
+  clear_formatting_to_marker();
+  mode_ = InsertionMode::kInRow;
+}
+
+void TreeBuilder::mode_in_cell(Token& token) {
+  if (token.type == Token::Type::kEndTag) {
+    const std::string& name = token.name;
+    if (name == "td" || name == "th") {
+      if (!has_element_in_table_scope(name)) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      generate_implied_end_tags();
+      if (current_node() == nullptr || !current_node()->is_html(name)) {
+        error(ParseError::MisnestedTag, token, name);
+      }
+      pop_until_inclusive(name);
+      clear_formatting_to_marker();
+      mode_ = InsertionMode::kInRow;
+      return;
+    }
+    static const TagSet kIgnored = {"body", "caption", "col", "colgroup",
+                                    "html"};
+    if (in_set(kIgnored, name)) {
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+    static const TagSet kTableScoped = {"table", "tbody", "tfoot", "thead",
+                                        "tr"};
+    if (in_set(kTableScoped, name)) {
+      if (!has_element_in_table_scope(name)) {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      close_cell();
+      dispatch(token);
+      return;
+    }
+  }
+  if (token.type == Token::Type::kStartTag) {
+    static const TagSet kParts = {"caption", "col",   "colgroup", "tbody",
+                                  "td",      "tfoot", "th",       "thead",
+                                  "tr"};
+    if (in_set(kParts, token.name)) {
+      if (!has_element_in_table_scope("td") &&
+          !has_element_in_table_scope("th")) {
+        error(ParseError::UnexpectedStartTag, token, token.name);
+        return;
+      }
+      close_cell();
+      dispatch(token);
+      return;
+    }
+  }
+  process_by_mode(token, InsertionMode::kInBody);
+}
+
+// --- select --------------------------------------------------------------------
+
+void TreeBuilder::mode_in_select(Token& token) {
+  switch (token.type) {
+    case Token::Type::kNullCharacter:
+      error(ParseError::UnexpectedNullCharacter, token);
+      return;
+    case Token::Type::kCharacters:
+      insert_character_data(token.data);
+      return;
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag: {
+      const std::string& name = token.name;
+      if (name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (name == "option") {
+        if (current_node() != nullptr && current_node()->is_html("option")) {
+          pop_open();
+        }
+        insert_html_element(token);
+        return;
+      }
+      if (name == "optgroup") {
+        if (current_node() != nullptr && current_node()->is_html("option")) {
+          pop_open();
+        }
+        if (current_node() != nullptr &&
+            current_node()->is_html("optgroup")) {
+          pop_open();
+        }
+        insert_html_element(token);
+        return;
+      }
+      if (name == "select") {
+        error(ParseError::UnexpectedStartTag, token, name);
+        if (!has_element_in_select_scope("select")) return;
+        pop_until_inclusive("select");
+        reset_insertion_mode();
+        return;
+      }
+      if (name == "input" || name == "keygen" || name == "textarea") {
+        error(ParseError::UnexpectedStartTag, token, name);
+        if (!has_element_in_select_scope("select")) return;
+        pop_until_inclusive("select");
+        reset_insertion_mode();
+        dispatch(token);
+        return;
+      }
+      if (name == "script" || name == "template") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      error(ParseError::UnexpectedStartTag, token, name);
+      return;
+    }
+    case Token::Type::kEndTag: {
+      const std::string& name = token.name;
+      if (name == "optgroup") {
+        if (current_node() != nullptr && current_node()->is_html("option") &&
+            open_elements_.size() >= 2 &&
+            open_elements_[open_elements_.size() - 2]->is_html("optgroup")) {
+          pop_open();
+        }
+        if (current_node() != nullptr &&
+            current_node()->is_html("optgroup")) {
+          pop_open();
+        } else {
+          error(ParseError::UnexpectedEndTag, token, name);
+        }
+        return;
+      }
+      if (name == "option") {
+        if (current_node() != nullptr && current_node()->is_html("option")) {
+          pop_open();
+        } else {
+          error(ParseError::UnexpectedEndTag, token, name);
+        }
+        return;
+      }
+      if (name == "select") {
+        if (!has_element_in_select_scope("select")) {
+          error(ParseError::UnexpectedEndTag, token, name);
+          return;
+        }
+        pop_until_inclusive("select");
+        reset_insertion_mode();
+        return;
+      }
+      if (name == "template") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      error(ParseError::UnexpectedEndTag, token, name);
+      return;
+    }
+    case Token::Type::kEof:
+      process_by_mode(token, InsertionMode::kInBody);
+      return;
+  }
+}
+
+void TreeBuilder::mode_in_select_in_table(Token& token) {
+  static const TagSet kTableTags = {"caption", "table", "tbody", "tfoot",
+                                    "thead",   "tr",    "td",    "th"};
+  if (token.type == Token::Type::kStartTag && in_set(kTableTags, token.name)) {
+    error(ParseError::UnexpectedStartTag, token, token.name);
+    pop_until_inclusive("select");
+    reset_insertion_mode();
+    dispatch(token);
+    return;
+  }
+  if (token.type == Token::Type::kEndTag && in_set(kTableTags, token.name)) {
+    error(ParseError::UnexpectedEndTag, token, token.name);
+    if (!has_element_in_table_scope(token.name)) return;
+    pop_until_inclusive("select");
+    reset_insertion_mode();
+    dispatch(token);
+    return;
+  }
+  mode_in_select(token);
+}
+
+// --- template -------------------------------------------------------------------
+
+void TreeBuilder::mode_in_template(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters:
+    case Token::Type::kNullCharacter:
+    case Token::Type::kComment:
+    case Token::Type::kDoctype:
+      process_by_mode(token, InsertionMode::kInBody);
+      return;
+    case Token::Type::kStartTag: {
+      const std::string& name = token.name;
+      static const TagSet kHeadish = {"base",  "basefont", "bgsound",
+                                      "link",  "meta",     "noframes",
+                                      "script", "style",   "template",
+                                      "title"};
+      if (in_set(kHeadish, name)) {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      InsertionMode next = InsertionMode::kInBody;
+      if (name == "caption" || name == "colgroup" || name == "tbody" ||
+          name == "tfoot" || name == "thead") {
+        next = InsertionMode::kInTable;
+      } else if (name == "col") {
+        next = InsertionMode::kInColumnGroup;
+      } else if (name == "tr") {
+        next = InsertionMode::kInTableBody;
+      } else if (name == "td" || name == "th") {
+        next = InsertionMode::kInRow;
+      }
+      if (!template_modes_.empty()) template_modes_.pop_back();
+      template_modes_.push_back(next);
+      mode_ = next;
+      dispatch(token);
+      return;
+    }
+    case Token::Type::kEndTag:
+      if (token.name == "template") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      error(ParseError::UnexpectedEndTag, token, token.name);
+      return;
+    case Token::Type::kEof:
+      if (!stack_contains("template")) {
+        stop_parsing(token);
+        return;
+      }
+      error(ParseError::OpenElementsAtEof, token, "template");
+      pop_until_inclusive("template");
+      clear_formatting_to_marker();
+      if (!template_modes_.empty()) template_modes_.pop_back();
+      reset_insertion_mode();
+      dispatch(token);
+      return;
+  }
+}
+
+// --- foreign content --------------------------------------------------------------
+
+void TreeBuilder::process_in_foreign_content(Token& token) {
+  switch (token.type) {
+    case Token::Type::kNullCharacter:
+      error(ParseError::UnexpectedNullCharacter, token);
+      insert_character_data("\xEF\xBF\xBD");
+      return;
+    case Token::Type::kCharacters:
+      insert_character_data(token.data);
+      if (!all_ws(token.data)) frameset_ok_ = false;
+      return;
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag: {
+      if (foreign_breakout_check(token)) {
+        // HF5: an HTML breakout element silently closes the foreign
+        // context — the namespace-confusion gadget behind the DOMPurify
+        // bypass (paper Figure 1).
+        const Element* current = current_node();
+        const bool svg = current != nullptr && current->ns() == Namespace::kSvg;
+        error(ParseError::UnexpectedForeignBreakout, token, token.name);
+        observe(svg ? ObservationKind::kForeignBreakoutSvg
+                    : ObservationKind::kForeignBreakoutMath,
+                token, token.name);
+        while (current_node() != nullptr) {
+          const Element* node = current_node();
+          if (node->ns() == Namespace::kHtml) break;
+          if (is_mathml_text_ip(node) || is_html_ip(node)) break;
+          pop_open();
+        }
+        dispatch(token);
+        return;
+      }
+      const Element* adjusted = adjusted_current_node();
+      const Namespace ns = adjusted != nullptr ? adjusted->ns()
+                                               : Namespace::kHtml;
+      insert_foreign_element(token, ns);
+      if (token.self_closing) {
+        pop_open();
+        acknowledge_self_closing(token);
+      }
+      return;
+    }
+    case Token::Type::kEndTag: {
+      if (token.name == "br" || token.name == "p") {
+        // Spec 13.2.6.5 lists </br> and </p> with the breakout start tags.
+        const Element* current = current_node();
+        const bool svg =
+            current != nullptr && current->ns() == Namespace::kSvg;
+        error(ParseError::UnexpectedForeignBreakout, token, token.name);
+        observe(svg ? ObservationKind::kForeignBreakoutSvg
+                    : ObservationKind::kForeignBreakoutMath,
+                token, token.name);
+        while (current_node() != nullptr) {
+          const Element* node = current_node();
+          if (node->ns() == Namespace::kHtml) break;
+          if (is_mathml_text_ip(node) || is_html_ip(node)) break;
+          pop_open();
+        }
+        dispatch(token);
+        return;
+      }
+      Element* node = current_node();
+      if (node == nullptr) return;
+      std::string lowered = node->tag_name();
+      std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (lowered != token.name) {
+        error(ParseError::MisnestedTag, token, token.name);
+        observe(node->ns() == Namespace::kSvg
+                    ? ObservationKind::kForeignErrorSvg
+                    : ObservationKind::kForeignErrorMath,
+                token, token.name);
+      }
+      for (std::size_t i = open_elements_.size(); i > 0; --i) {
+        Element* candidate = open_elements_[i - 1];
+        if (i != open_elements_.size() &&
+            candidate->ns() == Namespace::kHtml) {
+          process_by_mode(token, mode_);
+          return;
+        }
+        std::string candidate_lower = candidate->tag_name();
+        std::transform(candidate_lower.begin(), candidate_lower.end(),
+                       candidate_lower.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        if (candidate_lower == token.name) {
+          while (!open_elements_.empty()) {
+            Element* top = open_elements_.back();
+            open_elements_.pop_back();
+            if (top == candidate) return;
+          }
+          return;
+        }
+      }
+      return;
+    }
+    case Token::Type::kEof:
+      return;  // unreachable: dispatch never routes EOF here
+  }
+}
+
+}  // namespace hv::html

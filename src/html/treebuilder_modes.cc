@@ -1,0 +1,787 @@
+// Insertion-mode handlers for the TreeBuilder (WHATWG HTML 13.2.6.4),
+// split from treebuilder.cc for readability.
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+#include "html/encoding.h"
+#include "html/quirks.h"
+#include "html/treebuilder.h"
+
+namespace hv::html {
+namespace {
+
+using TagSet = std::unordered_set<std::string_view>;
+
+bool in_set(const TagSet& set, std::string_view tag) {
+  return set.find(tag) != set.end();
+}
+
+std::size_t leading_ws(std::string_view data) {
+  std::size_t i = 0;
+  while (i < data.size() &&
+         is_ascii_whitespace(static_cast<unsigned char>(data[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+bool all_ws(std::string_view data) { return leading_ws(data) == data.size(); }
+
+Token synthetic_start_tag(std::string_view name, SourcePosition position) {
+  Token token;
+  token.type = Token::Type::kStartTag;
+  token.name.assign(name);
+  token.position = position;
+  return token;
+}
+
+const TagSet kHeadContentTags = {"base",  "basefont", "bgsound", "link",
+                                 "meta",  "noframes", "script",  "style",
+                                 "template", "title"};
+
+}  // namespace
+
+// --- misc helpers -----------------------------------------------------------
+
+void TreeBuilder::acknowledge_self_closing(Token& token) {
+  token.self_closing = false;  // acknowledged: suppress the non-void error
+}
+
+void TreeBuilder::merge_attributes_into(Element* element, const Token& token) {
+  if (element == nullptr) return;
+  for (const Attribute& attr : token.attributes) {
+    element->add_attribute_if_missing(attr);
+  }
+}
+
+void TreeBuilder::note_url_bearing(const Token& token) {
+  if (token.type != Token::Type::kStartTag || token.name == "base") return;
+  static const TagSet kUrlAttrs = {"href",   "src",    "action", "formaction",
+                                   "poster", "background", "data", "srcset",
+                                   "cite",   "longdesc",   "usemap"};
+  for (const Attribute& attr : token.attributes) {
+    if (in_set(kUrlAttrs, attr.name)) {
+      seen_url_bearing_ = true;
+      return;
+    }
+  }
+}
+
+void TreeBuilder::handle_base_start_tag(const Token& token,
+                                        bool in_head_section) {
+  if (seen_base_element_) {
+    error(ParseError::MultipleBaseElements, token);
+    observe(ObservationKind::kSecondBase, token);
+  }
+  seen_base_element_ = true;
+  if (!in_head_section) {
+    error(ParseError::BaseOutsideHead, token);
+    observe(ObservationKind::kBaseOutsideHead, token);
+  }
+  if (seen_url_bearing_) {
+    error(ParseError::BaseAfterUrlUse, token);
+    observe(ObservationKind::kBaseAfterUrlUse, token);
+  }
+}
+
+void TreeBuilder::handle_meta_position_check(const Token& token,
+                                             bool in_head_section) {
+  if (in_head_section) return;
+  const auto http_equiv = token.attribute("http-equiv");
+  if (!http_equiv.has_value()) return;
+  error(ParseError::MetaHttpEquivInBody, token, std::string(*http_equiv));
+  observe(ObservationKind::kMetaHttpEquivOutsideHead, token,
+          std::string(*http_equiv));
+}
+
+void TreeBuilder::switch_tokenizer_for(const Token& start_tag) {
+  (void)start_tag;  // switching is done inline at the insertion sites
+}
+
+void TreeBuilder::stop_parsing(const Token& eof_token) {
+  static const TagSet kAllowedOpen = {"dd", "dt",    "li",    "optgroup",
+                                      "option", "p", "rb",    "rp",
+                                      "rt", "rtc",   "tbody", "td",
+                                      "tfoot", "th", "thead", "tr",
+                                      "body", "html"};
+  bool generic_reported = false;
+  for (const Element* element : open_elements_) {
+    if (element->ns() != Namespace::kHtml) continue;
+    const std::string& tag = element->tag_name();
+    if (tag == "select") {
+      // DE1/DE2-style leak: the parser silently closes the element at EOF
+      // (spec 13.2.5.2), absorbing all trailing content.
+      observe(ObservationKind::kSelectOpenAtEof, eof_token, tag);
+      continue;
+    }
+    if (tag == "textarea") {
+      observe(ObservationKind::kTextareaOpenAtEof, eof_token, tag);
+      continue;
+    }
+    if (!in_set(kAllowedOpen, tag) && !generic_reported) {
+      error(ParseError::OpenElementsAtEof, eof_token, tag);
+      observe(ObservationKind::kElementsOpenAtEof, eof_token, tag);
+      generic_reported = true;
+    }
+  }
+  stopped_ = true;
+}
+
+// --- initial / before html / before head -----------------------------------
+
+void TreeBuilder::mode_initial(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws == token.data.size()) return;  // whitespace is ignored
+      token.data.erase(0, ws);
+      break;  // anything else
+    }
+    case Token::Type::kComment:
+      insert_comment(token, &document_);
+      return;
+    case Token::Type::kDoctype: {
+      DocumentType* doctype = document_.create_doctype(token.name);
+      doctype->public_id = token.public_identifier;
+      doctype->system_id = token.system_identifier;
+      document_.append_child(doctype);
+      quirks_mode_ = doctype_indicates_quirks(
+          token.force_quirks, token.name, token.public_identifier,
+          token.has_system_identifier, token.system_identifier);
+      mode_ = InsertionMode::kBeforeHtml;
+      return;
+    }
+    default:
+      break;
+  }
+  // Anything else: no DOCTYPE; quirks mode, reprocess.
+  quirks_mode_ = true;
+  mode_ = InsertionMode::kBeforeHtml;
+  dispatch(token);
+}
+
+void TreeBuilder::mode_before_html(Token& token) {
+  switch (token.type) {
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kComment:
+      insert_comment(token, &document_);
+      return;
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws == token.data.size()) return;
+      token.data.erase(0, ws);
+      break;
+    }
+    case Token::Type::kStartTag:
+      if (token.name == "html") {
+        Element* html = create_element_for_token(token, Namespace::kHtml);
+        document_.append_child(html);
+        push_open(html);
+        mode_ = InsertionMode::kBeforeHead;
+        return;
+      }
+      break;
+    case Token::Type::kEndTag:
+      if (token.name != "head" && token.name != "body" &&
+          token.name != "html" && token.name != "br") {
+        error(ParseError::UnexpectedEndTag, token, token.name);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  Element* html = document_.create_element("html");
+  document_.append_child(html);
+  push_open(html);
+  mode_ = InsertionMode::kBeforeHead;
+  dispatch(token);
+}
+
+void TreeBuilder::mode_before_head(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws == token.data.size()) return;
+      token.data.erase(0, ws);
+      break;
+    }
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag:
+      if (token.name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (token.name == "head") {
+        head_element_ = insert_html_element(token);
+        source_head_open_ = true;
+        mode_ = InsertionMode::kInHead;
+        return;
+      }
+      break;
+    case Token::Type::kEndTag:
+      if (token.name != "head" && token.name != "body" &&
+          token.name != "html" && token.name != "br") {
+        error(ParseError::UnexpectedEndTag, token, token.name);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  head_element_ =
+      insert_html_element(synthetic_start_tag("head", token.position));
+  head_was_implicit_ = true;
+  source_head_open_ = true;
+  mode_ = InsertionMode::kInHead;
+  dispatch(token);
+}
+
+// --- in head -----------------------------------------------------------------
+
+void TreeBuilder::mode_in_head(Token& token) {
+  const bool genuinely_in_head = mode_ == InsertionMode::kInHead;
+  const auto note_head_content = [&](const Token& t) {
+    if (genuinely_in_head && head_was_implicit_ &&
+        !reported_implicit_head_content_) {
+      reported_implicit_head_content_ = true;
+      observe(ObservationKind::kHeadImplicitWithContent, t, t.name);
+    }
+  };
+
+  switch (token.type) {
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws > 0) insert_character_data(std::string_view(token.data).substr(0, ws));
+      if (ws == token.data.size()) return;
+      token.data.erase(0, ws);
+      break;  // anything else
+    }
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag: {
+      const std::string& name = token.name;
+      if (name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (name == "base" || name == "basefont" || name == "bgsound" ||
+          name == "link") {
+        note_head_content(token);
+        insert_html_element(token);
+        pop_open();
+        acknowledge_self_closing(token);
+        if (name == "base") handle_base_start_tag(token, source_head_open_);
+        return;
+      }
+      if (name == "meta") {
+        note_head_content(token);
+        insert_html_element(token);
+        pop_open();
+        acknowledge_self_closing(token);
+        handle_meta_position_check(token, source_head_open_);
+        return;
+      }
+      if (name == "title") {
+        note_head_content(token);
+        generic_rcdata(token);
+        return;
+      }
+      if (name == "noscript") {
+        note_head_content(token);
+        if (scripting_) {
+          generic_raw_text(token);  // a scripting UA never shows noscript
+        } else {
+          insert_html_element(token);
+          mode_ = InsertionMode::kInHeadNoscript;
+        }
+        return;
+      }
+      if (name == "noframes" || name == "style") {
+        note_head_content(token);
+        generic_raw_text(token);
+        return;
+      }
+      if (name == "script") {
+        note_head_content(token);
+        Element* element = insert_html_element(token);
+        if (current_node() != element) return;  // depth cap
+        if (tokenizer_ != nullptr) {
+          tokenizer_->set_state(TokenizerState::kScriptData);
+        }
+        original_mode_ = mode_;
+        mode_ = InsertionMode::kText;
+        return;
+      }
+      if (name == "template") {
+        insert_html_element(token);
+        push_formatting_marker();
+        frameset_ok_ = false;
+        mode_ = InsertionMode::kInTemplate;
+        template_modes_.push_back(InsertionMode::kInTemplate);
+        return;
+      }
+      if (name == "head") {
+        error(ParseError::UnexpectedStartTag, token, name);
+        return;
+      }
+      break;  // anything else
+    }
+    case Token::Type::kEndTag: {
+      const std::string& name = token.name;
+      if (name == "head") {
+        pop_open();
+        head_explicitly_closed_ = true;
+        mode_ = InsertionMode::kAfterHead;
+        return;
+      }
+      if (name == "template") {
+        if (!stack_contains("template")) {
+          error(ParseError::UnexpectedEndTag, token, name);
+          return;
+        }
+        generate_all_implied_end_tags_thoroughly();
+        if (current_node() == nullptr || !current_node()->is_html("template")) {
+          error(ParseError::MisnestedTag, token, name);
+        }
+        pop_until_inclusive("template");
+        clear_formatting_to_marker();
+        if (!template_modes_.empty()) template_modes_.pop_back();
+        reset_insertion_mode();
+        return;
+      }
+      if (name != "body" && name != "html" && name != "br") {
+        error(ParseError::UnexpectedEndTag, token, name);
+        return;
+      }
+      break;  // anything else
+    }
+    default:
+      break;  // EOF -> anything else
+  }
+
+  // Anything else: act as if </head> was seen, then reprocess.  This is the
+  // silent repair HF1 measures: the parser cannot know which elements were
+  // meant to live in the head (paper section 3.2.1).
+  if (genuinely_in_head) {
+    const bool legit_omission =
+        token.type == Token::Type::kEof ||
+        (token.type == Token::Type::kStartTag &&
+         (token.name == "body" || token.name == "frameset")) ||
+        (token.type == Token::Type::kEndTag &&
+         (token.name == "body" || token.name == "html" ||
+          token.name == "br"));
+    const bool head_has_content =
+        head_element_ != nullptr && !head_element_->children().empty();
+    if (!legit_omission && (head_has_content || !head_was_implicit_)) {
+      error(ParseError::StrayStartTagInHead, token,
+            token.type == Token::Type::kCharacters ? "#text" : token.name);
+      observe(ObservationKind::kHeadClosedByStrayElement, token,
+              token.type == Token::Type::kCharacters ? "#text" : token.name);
+      suppress_next_body_implied_ = true;  // already counted under HF1
+    }
+    if (head_was_implicit_ && !head_has_content) {
+      // Legitimate head omission (<html><div>...): nothing head-like in the
+      // source, so position checks must not treat what follows as in-head.
+      source_head_open_ = false;
+    }
+  }
+  pop_open();  // the head element
+  mode_ = InsertionMode::kAfterHead;
+  dispatch(token);
+}
+
+void TreeBuilder::mode_in_head_noscript(Token& token) {
+  switch (token.type) {
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws > 0) {
+        Token prefix;
+        prefix.type = Token::Type::kCharacters;
+        prefix.data = token.data.substr(0, ws);
+        prefix.position = token.position;
+        process_by_mode(prefix, InsertionMode::kInHead);
+      }
+      if (ws == token.data.size()) return;
+      token.data.erase(0, ws);
+      break;  // anything else
+    }
+    case Token::Type::kComment:
+      process_by_mode(token, InsertionMode::kInHead);
+      return;
+    case Token::Type::kStartTag: {
+      const std::string& name = token.name;
+      if (name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (name == "basefont" || name == "bgsound" || name == "link" ||
+          name == "meta" || name == "noframes" || name == "style") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      if (name == "head" || name == "noscript") {
+        error(ParseError::UnexpectedStartTag, token, name);
+        return;
+      }
+      break;
+    }
+    case Token::Type::kEndTag:
+      if (token.name == "noscript") {
+        pop_open();
+        mode_ = InsertionMode::kInHead;
+        return;
+      }
+      if (token.name != "br") {
+        error(ParseError::UnexpectedEndTag, token, token.name);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  error(ParseError::TreeConstructionGeneric, token, token.name);
+  pop_open();  // noscript
+  mode_ = InsertionMode::kInHead;
+  dispatch(token);
+}
+
+// --- after head ---------------------------------------------------------------
+
+void TreeBuilder::mode_after_head(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws > 0) insert_character_data(std::string_view(token.data).substr(0, ws));
+      if (ws == token.data.size()) return;
+      token.data.erase(0, ws);
+      break;
+    }
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag: {
+      const std::string& name = token.name;
+      if (name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (name == "body") {
+        ++body_start_tokens_;
+        insert_html_element(token);
+        frameset_ok_ = false;
+        mode_ = InsertionMode::kInBody;
+        return;
+      }
+      if (name == "frameset") {
+        insert_html_element(token);
+        mode_ = InsertionMode::kInFrameset;
+        return;
+      }
+      if (in_set(kHeadContentTags, name)) {
+        // Head-only content after </head>: the parser silently stuffs it
+        // back into the head (HF1 territory).
+        error(ParseError::StrayContentAfterHead, token, name);
+        observe(ObservationKind::kHeadContentAfterHead, token, name);
+        if (head_element_ != nullptr) push_open(head_element_);
+        process_by_mode(token, InsertionMode::kInHead);
+        if (head_element_ != nullptr) remove_from_stack(head_element_);
+        return;
+      }
+      if (name == "head") {
+        error(ParseError::UnexpectedStartTag, token, name);
+        return;
+      }
+      break;
+    }
+    case Token::Type::kEndTag: {
+      if (token.name == "template") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      if (token.name != "body" && token.name != "html" &&
+          token.name != "br") {
+        error(ParseError::UnexpectedEndTag, token, token.name);
+        return;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Anything else: imply <body>.  When actual content triggered this, the
+  // page has "content before body" (HF2).
+  const bool content_triggered =
+      token.type == Token::Type::kStartTag ||
+      token.type == Token::Type::kCharacters ||
+      token.type == Token::Type::kNullCharacter;
+  if (content_triggered && !suppress_next_body_implied_) {
+    error(ParseError::StrayContentAfterHead, token,
+          token.type == Token::Type::kStartTag ? token.name : "#text");
+    observe(ObservationKind::kBodyImpliedByContent, token,
+            token.type == Token::Type::kStartTag ? token.name : "#text");
+  }
+  suppress_next_body_implied_ = false;
+  insert_html_element(synthetic_start_tag("body", token.position));
+  mode_ = InsertionMode::kInBody;
+  dispatch(token);
+}
+
+// --- text ----------------------------------------------------------------------
+
+void TreeBuilder::mode_text(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters:
+      insert_character_data(token.data);
+      return;
+    case Token::Type::kNullCharacter:
+      insert_character_data("\xEF\xBF\xBD");
+      return;
+    case Token::Type::kEof: {
+      error(ParseError::OpenElementsAtEof, token,
+            current_node() != nullptr ? current_node()->tag_name() : "");
+      if (current_node() != nullptr &&
+          current_node()->is_html("textarea")) {
+        // DE1: the spec closes the textarea at EOF, so everything after the
+        // unterminated tag has been swallowed as text.
+        observe(ObservationKind::kTextareaOpenAtEof, token, "textarea");
+      }
+      pop_open();
+      mode_ = original_mode_;
+      dispatch(token);
+      return;
+    }
+    case Token::Type::kEndTag:
+      pop_open();
+      mode_ = original_mode_;
+      return;
+    default:
+      return;  // start tags/comments cannot occur in text mode
+  }
+}
+
+// --- after body / frameset tails -------------------------------------------------
+
+void TreeBuilder::mode_after_body(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters:
+      if (all_ws(token.data)) {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      break;
+    case Token::Type::kComment:
+      insert_comment(token, open_elements_.empty()
+                                ? static_cast<Node*>(&document_)
+                                : open_elements_.front());
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag:
+      if (token.name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      break;
+    case Token::Type::kEndTag:
+      if (token.name == "html") {
+        mode_ = InsertionMode::kAfterAfterBody;
+        return;
+      }
+      break;
+    case Token::Type::kEof:
+      stop_parsing(token);
+      return;
+    default:
+      break;
+  }
+  error(ParseError::TreeConstructionGeneric, token, token.name);
+  mode_ = InsertionMode::kInBody;
+  dispatch(token);
+}
+
+void TreeBuilder::mode_in_frameset(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws > 0) insert_character_data(std::string_view(token.data).substr(0, ws));
+      if (ws < token.data.size()) {
+        error(ParseError::TreeConstructionGeneric, token, "#text");
+      }
+      return;
+    }
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kDoctype:
+      error(ParseError::UnexpectedDoctype, token);
+      return;
+    case Token::Type::kStartTag:
+      if (token.name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (token.name == "frameset") {
+        insert_html_element(token);
+        return;
+      }
+      if (token.name == "frame") {
+        insert_html_element(token);
+        pop_open();
+        acknowledge_self_closing(token);
+        return;
+      }
+      if (token.name == "noframes") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      break;
+    case Token::Type::kEndTag:
+      if (token.name == "frameset") {
+        if (current_node() != nullptr && current_node()->is_html("html")) {
+          error(ParseError::UnexpectedEndTag, token, token.name);
+          return;
+        }
+        pop_open();
+        if (current_node() != nullptr &&
+            !current_node()->is_html("frameset")) {
+          mode_ = InsertionMode::kAfterFrameset;
+        }
+        return;
+      }
+      break;
+    case Token::Type::kEof:
+      if (current_node() != nullptr && !current_node()->is_html("html")) {
+        error(ParseError::OpenElementsAtEof, token, "frameset");
+      }
+      stop_parsing(token);
+      return;
+    default:
+      break;
+  }
+  error(ParseError::TreeConstructionGeneric, token, token.name);
+}
+
+void TreeBuilder::mode_after_frameset(Token& token) {
+  switch (token.type) {
+    case Token::Type::kCharacters: {
+      const std::size_t ws = leading_ws(token.data);
+      if (ws > 0) insert_character_data(std::string_view(token.data).substr(0, ws));
+      if (ws < token.data.size()) {
+        error(ParseError::TreeConstructionGeneric, token, "#text");
+      }
+      return;
+    }
+    case Token::Type::kComment:
+      insert_comment(token);
+      return;
+    case Token::Type::kStartTag:
+      if (token.name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (token.name == "noframes") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      break;
+    case Token::Type::kEndTag:
+      if (token.name == "html") {
+        mode_ = InsertionMode::kAfterAfterFrameset;
+        return;
+      }
+      break;
+    case Token::Type::kEof:
+      stop_parsing(token);
+      return;
+    default:
+      break;
+  }
+  error(ParseError::TreeConstructionGeneric, token, token.name);
+}
+
+void TreeBuilder::mode_after_after_body(Token& token) {
+  switch (token.type) {
+    case Token::Type::kComment:
+      insert_comment(token, &document_);
+      return;
+    case Token::Type::kDoctype:
+      process_by_mode(token, InsertionMode::kInBody);
+      return;
+    case Token::Type::kCharacters:
+      if (all_ws(token.data)) {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      break;
+    case Token::Type::kStartTag:
+      if (token.name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      break;
+    case Token::Type::kEof:
+      stop_parsing(token);
+      return;
+    default:
+      break;
+  }
+  error(ParseError::TreeConstructionGeneric, token, token.name);
+  mode_ = InsertionMode::kInBody;
+  dispatch(token);
+}
+
+void TreeBuilder::mode_after_after_frameset(Token& token) {
+  switch (token.type) {
+    case Token::Type::kComment:
+      insert_comment(token, &document_);
+      return;
+    case Token::Type::kDoctype:
+      process_by_mode(token, InsertionMode::kInBody);
+      return;
+    case Token::Type::kCharacters:
+      if (all_ws(token.data)) {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      break;
+    case Token::Type::kStartTag:
+      if (token.name == "html") {
+        process_by_mode(token, InsertionMode::kInBody);
+        return;
+      }
+      if (token.name == "noframes") {
+        process_by_mode(token, InsertionMode::kInHead);
+        return;
+      }
+      break;
+    case Token::Type::kEof:
+      stop_parsing(token);
+      return;
+    default:
+      break;
+  }
+  error(ParseError::TreeConstructionGeneric, token, token.name);
+}
+
+}  // namespace hv::html

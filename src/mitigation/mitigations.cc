@@ -1,0 +1,176 @@
+#include "mitigation/mitigations.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "net/url.h"
+
+namespace hv::mitigation {
+namespace {
+
+bool icontains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  const auto it = std::search(
+      haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+      [](char a, char b) {
+        return std::tolower(static_cast<unsigned char>(a)) ==
+               std::tolower(static_cast<unsigned char>(b));
+      });
+  return it != haystack.end();
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Rollout stages, rarest violations first, mirroring the paper's Figure 8
+/// ordering ("In the beginning, this list contains violations that rarely
+/// appear in our analysis, such as all math element-related violations or
+/// dangling markup").
+const std::array<std::vector<core::Violation>, 6>& stage_additions() {
+  using enum core::Violation;
+  static const std::array<std::vector<core::Violation>, 6> kStages = {{
+      // Stage 0: near-extinct (<2% of domains).
+      {kHF5_3, kDE1, kDE2, kDE3_3, kHF5_2, kDM2_2, kDM2_1},
+      // Stage 1: rare (<8%).
+      {kDE3_1, kDE3_2, kDE4},
+      // Stage 2: uncommon (<15%).
+      {kHF5_1, kDM2_3},
+      // Stage 3: the mid-range formatting / meta problems.
+      {kDM1, kHF3, kHF2, kHF1},
+      // Stage 4: table fix-ups and slash-separated attributes.
+      {kHF4, kFB1},
+      // Stage 5: the two dominant attribute problems; = strict mode.
+      {kDM3, kFB2},
+  }};
+  return kStages;
+}
+
+}  // namespace
+
+bool ScriptInAttributeScan::any_affected() const noexcept {
+  return std::any_of(hits.begin(), hits.end(),
+                     [](const ScriptInAttributeHit& hit) {
+                       return hit.on_nonced_script;
+                     });
+}
+
+ScriptInAttributeScan scan_script_in_attributes(
+    const html::Document& document) {
+  ScriptInAttributeScan scan;
+  document.for_each([&scan](const html::Node& node) {
+    const html::Element* element = node.as_element();
+    if (element == nullptr) return;
+    for (const html::Attribute& attr : element->attributes()) {
+      if (!icontains(attr.value, "<script")) continue;
+      ScriptInAttributeHit hit;
+      hit.element_tag = element->tag_name();
+      hit.attribute_name = attr.name;
+      hit.on_nonced_script =
+          element->is_html("script") && element->has_attribute("nonce");
+      scan.hits.push_back(std::move(hit));
+    }
+  });
+  return scan;
+}
+
+UrlNewlineScan scan_url_newlines(const html::Document& document) {
+  UrlNewlineScan scan;
+  document.for_each([&scan](const html::Node& node) {
+    const html::Element* element = node.as_element();
+    if (element == nullptr) return;
+    for (const html::Attribute& attr : element->attributes()) {
+      if (!net::is_url_attribute(attr.name)) continue;
+      if (net::url_has_newline(attr.value)) ++scan.urls_with_newline;
+      if (net::url_has_newline_and_lt(attr.value)) {
+        ++scan.urls_with_newline_and_lt;
+      }
+    }
+  });
+  return scan;
+}
+
+StrictParserPolicy parse_strict_parser_header(std::string_view header_value) {
+  StrictParserPolicy policy;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= header_value.size()) {
+    std::size_t semi = header_value.find(';', start);
+    if (semi == std::string_view::npos) semi = header_value.size();
+    const std::string_view part =
+        trim(header_value.substr(start, semi - start));
+    if (first) {
+      first = false;
+      if (part == "strict") {
+        policy.mode = StrictParserMode::kStrict;
+      } else if (part == "unsafe") {
+        policy.mode = StrictParserMode::kUnsafe;
+      } else {
+        policy.mode = StrictParserMode::kDefault;  // fail-safe
+      }
+    } else if (part.starts_with("monitor=")) {
+      policy.monitor_url = std::string(trim(part.substr(8)));
+    }
+    start = semi + 1;
+    if (semi == header_value.size()) break;
+  }
+  return policy;
+}
+
+int max_enforcement_stage() noexcept {
+  return static_cast<int>(stage_additions().size()) - 1;
+}
+
+std::unordered_set<core::Violation> enforced_list_for_stage(int stage) {
+  std::unordered_set<core::Violation> enforced;
+  const auto& stages = stage_additions();
+  const int limit = std::clamp(stage, 0, max_enforcement_stage());
+  for (int i = 0; i <= limit; ++i) {
+    enforced.insert(stages[static_cast<std::size_t>(i)].begin(),
+                    stages[static_cast<std::size_t>(i)].end());
+  }
+  return enforced;
+}
+
+StrictParserDecision evaluate_strict_parser(const StrictParserPolicy& policy,
+                                            const core::CheckResult& result,
+                                            int stage) {
+  StrictParserDecision decision;
+  std::vector<core::Violation> present;
+  for (std::size_t i = 0; i < core::kViolationCount; ++i) {
+    const auto violation = static_cast<core::Violation>(i);
+    if (result.has(violation)) present.push_back(violation);
+  }
+  // Every violation is reported to the monitor URL regardless of mode, so
+  // developers can test the policy without breaking anything.
+  if (policy.monitor_url.has_value()) decision.reported = present;
+
+  switch (policy.mode) {
+    case StrictParserMode::kUnsafe:
+      return decision;  // never blocks
+    case StrictParserMode::kStrict:
+      decision.blocking = present;
+      decision.blocked = !present.empty();
+      return decision;
+    case StrictParserMode::kDefault: {
+      const auto enforced = enforced_list_for_stage(stage);
+      for (const core::Violation violation : present) {
+        if (enforced.count(violation) > 0) {
+          decision.blocking.push_back(violation);
+        }
+      }
+      decision.blocked = !decision.blocking.empty();
+      return decision;
+    }
+  }
+  return decision;
+}
+
+}  // namespace hv::mitigation

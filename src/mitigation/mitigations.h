@@ -1,0 +1,91 @@
+// Existing and proposed mitigations for error-tolerance abuse.
+//
+// Section 4.5 evaluates two mitigations Chromium shipped in 2017:
+//   1. nonce stealing: a <script> element carrying a CSP nonce is treated
+//      as nonce-less when "<script" appears inside one of its attributes;
+//   2. dangling markup: resource loads are blocked when the URL contains
+//      both a raw newline and a '<'.
+//
+// Section 5.3.2 proposes a STRICT-PARSER response header with three modes
+// (strict / unsafe / default) plus a growing "enforced" violation list and
+// an optional monitor URL.  This module implements both the measurement
+// scans and the header-policy simulation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/checker.h"
+#include "html/parser.h"
+
+namespace hv::mitigation {
+
+/// --- section 4.5, mitigation 1: "<script" inside attributes -------------
+
+struct ScriptInAttributeHit {
+  std::string element_tag;
+  std::string attribute_name;
+  bool on_nonced_script = false;  ///< the case the Chromium fix targets
+};
+
+struct ScriptInAttributeScan {
+  std::vector<ScriptInAttributeHit> hits;
+  bool any() const noexcept { return !hits.empty(); }
+  /// Pages the mitigation would actually affect (paper: none in 8 years).
+  bool any_affected() const noexcept;
+};
+
+ScriptInAttributeScan scan_script_in_attributes(
+    const html::Document& document);
+
+/// --- section 4.5, mitigation 2: newline (+ '<') in URLs ------------------
+
+struct UrlNewlineScan {
+  std::size_t urls_with_newline = 0;
+  std::size_t urls_with_newline_and_lt = 0;  ///< would be blocked [58]
+  bool any_newline() const noexcept { return urls_with_newline > 0; }
+  bool any_blocked() const noexcept { return urls_with_newline_and_lt > 0; }
+};
+
+UrlNewlineScan scan_url_newlines(const html::Document& document);
+
+/// --- section 5.3.2: the STRICT-PARSER header ------------------------------
+
+enum class StrictParserMode {
+  kStrict,   ///< block every deprecated violation
+  kUnsafe,   ///< parse everything (explicit opt-out)
+  kDefault,  ///< block only the currently-enforced list
+};
+
+struct StrictParserPolicy {
+  StrictParserMode mode = StrictParserMode::kDefault;
+  std::optional<std::string> monitor_url;  ///< violation reports target
+};
+
+/// Parses a STRICT-PARSER header value, e.g.
+///   "strict"
+///   "default; monitor=https://example.com/reports"
+/// Unknown modes fall back to kDefault (fail-safe).
+StrictParserPolicy parse_strict_parser_header(std::string_view header_value);
+
+/// The roadmap's staged enforcement: violations enter the enforced list as
+/// their in-the-wild usage drops (rarest first).  `stage` 0 enforces only
+/// the near-extinct violations; the final stage equals strict mode.
+std::unordered_set<core::Violation> enforced_list_for_stage(int stage);
+int max_enforcement_stage() noexcept;
+
+struct StrictParserDecision {
+  bool blocked = false;  ///< page replaced by an error page
+  std::vector<core::Violation> blocking;   ///< violations that blocked
+  std::vector<core::Violation> reported;   ///< sent to the monitor URL
+};
+
+/// Applies the policy to a page's check result at a given rollout stage.
+StrictParserDecision evaluate_strict_parser(
+    const StrictParserPolicy& policy, const core::CheckResult& result,
+    int stage);
+
+}  // namespace hv::mitigation

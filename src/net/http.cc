@@ -1,0 +1,166 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace hv::net {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+/// Finds the end of a line; accepts CRLF (canonical) and bare LF
+/// (tolerated, like real crawl data).  Returns {line, next_offset}.
+std::pair<std::string_view, std::size_t> next_line(std::string_view text,
+                                                   std::size_t offset) {
+  const std::size_t lf = text.find('\n', offset);
+  if (lf == std::string_view::npos) {
+    return {text.substr(offset), text.size()};
+  }
+  std::size_t end = lf;
+  if (end > offset && text[end - 1] == '\r') --end;
+  return {text.substr(offset, end - offset), lf + 1};
+}
+
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string_view> HttpResponse::header(
+    std::string_view name) const {
+  for (const HeaderField& field : headers) {
+    if (iequals(field.name, name)) return std::string_view{field.value};
+  }
+  return std::nullopt;
+}
+
+std::string HttpResponse::media_type() const {
+  const auto content_type = header("Content-Type");
+  if (!content_type.has_value()) return {};
+  const std::size_t semi = content_type->find(';');
+  return to_lower(trim(content_type->substr(0, semi)));
+}
+
+std::string HttpResponse::charset() const {
+  const auto content_type = header("Content-Type");
+  if (!content_type.has_value()) return {};
+  const std::string lowered = to_lower(*content_type);
+  const std::size_t pos = lowered.find("charset=");
+  if (pos == std::string::npos) return {};
+  std::string_view rest = std::string_view(lowered).substr(pos + 8);
+  const std::size_t end = rest.find_first_of("; \t\"");
+  std::string_view value = rest.substr(0, end);
+  if (!value.empty() && value.front() == '"') value.remove_prefix(1);
+  return std::string(value);
+}
+
+std::optional<HttpResponse> parse_http_response(std::string_view message,
+                                                HttpParseError* error) {
+  const auto fail = [error](std::string text, std::size_t offset)
+      -> std::optional<HttpResponse> {
+    if (error != nullptr) *error = {std::move(text), offset};
+    return std::nullopt;
+  };
+
+  HttpResponse response;
+  std::size_t offset = 0;
+  auto [status_line, after_status] = next_line(message, offset);
+  offset = after_status;
+
+  // Status line: HTTP-version SP status-code SP [reason].
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return fail("missing space after HTTP version", 0);
+  }
+  response.http_version = std::string(status_line.substr(0, sp1));
+  if (!response.http_version.starts_with("HTTP/")) {
+    return fail("not an HTTP response", 0);
+  }
+  std::string_view rest = status_line.substr(sp1 + 1);
+  const std::size_t sp2 = rest.find(' ');
+  const std::string_view code_text = rest.substr(0, sp2);
+  const auto [ptr, ec] =
+      std::from_chars(code_text.data(), code_text.data() + code_text.size(),
+                      response.status_code);
+  if (ec != std::errc{} || ptr != code_text.data() + code_text.size() ||
+      response.status_code < 100 || response.status_code > 599) {
+    return fail("invalid status code", sp1 + 1);
+  }
+  if (sp2 != std::string_view::npos) {
+    response.reason_phrase = std::string(trim(rest.substr(sp2 + 1)));
+  }
+
+  // Header fields until the blank line.
+  while (offset < message.size()) {
+    auto [line, next] = next_line(message, offset);
+    if (line.empty()) {
+      offset = next;
+      response.body = message.substr(offset);
+      return response;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail("malformed header field", offset);
+    }
+    HeaderField field;
+    field.name = std::string(trim(line.substr(0, colon)));
+    field.value = std::string(trim(line.substr(colon + 1)));
+    response.headers.push_back(std::move(field));
+    offset = next;
+  }
+  // No blank line: headers-only message with empty body.
+  response.body = std::string_view{};
+  return response;
+}
+
+std::string build_http_response(int status_code, std::string_view reason,
+                                const std::vector<HeaderField>& headers,
+                                std::string_view body) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status_code);
+  out.push_back(' ');
+  out.append(reason);
+  out.append("\r\n");
+  bool has_length = false;
+  for (const HeaderField& field : headers) {
+    out.append(field.name);
+    out.append(": ");
+    out.append(field.value);
+    out.append("\r\n");
+    if (iequals(field.name, "Content-Length")) has_length = true;
+  }
+  if (!has_length) {
+    out.append("Content-Length: ");
+    out += std::to_string(body.size());
+    out.append("\r\n");
+  }
+  out.append("\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace hv::net

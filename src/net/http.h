@@ -1,0 +1,59 @@
+// Minimal HTTP/1.1 response-message parsing (RFC 9112 subset).
+//
+// Common Crawl WARC "response" records store the verbatim HTTP response —
+// status line, header fields, CRLF, body.  The crawler must split these to
+// reach the HTML payload and the Content-Type header (the paper requests
+// only text/html records and filters non-UTF-8 bodies).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::net {
+
+struct HeaderField {
+  std::string name;   ///< original case preserved
+  std::string value;  ///< leading/trailing whitespace trimmed
+};
+
+struct HttpResponse {
+  int status_code = 0;
+  std::string reason_phrase;
+  std::string http_version;  ///< e.g. "HTTP/1.1"
+  std::vector<HeaderField> headers;
+  std::string_view body;  ///< view into the input buffer
+
+  /// Case-insensitive header lookup; returns the first match.
+  std::optional<std::string_view> header(std::string_view name) const;
+
+  /// Media type from Content-Type, lowercased, without parameters
+  /// ("text/html; charset=utf-8" -> "text/html").
+  std::string media_type() const;
+
+  /// charset parameter from Content-Type, lowercased ("" if absent).
+  std::string charset() const;
+};
+
+struct HttpParseError {
+  std::string message;
+  std::size_t offset = 0;
+};
+
+/// Parses a complete HTTP response message.  The returned body is a view
+/// into `message`, which must outlive the result.
+/// Returns nullopt (with `*error` filled in when given) on malformed input.
+std::optional<HttpResponse> parse_http_response(
+    std::string_view message, HttpParseError* error = nullptr);
+
+/// Serializes a response (used by the corpus generator when writing WARC
+/// records).  Adds Content-Length automatically.
+std::string build_http_response(int status_code, std::string_view reason,
+                                const std::vector<HeaderField>& headers,
+                                std::string_view body);
+
+/// ASCII case-insensitive string equality.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+}  // namespace hv::net

@@ -1,0 +1,225 @@
+#include "net/url.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace hv::net {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool is_scheme_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '+' ||
+         c == '-' || c == '.';
+}
+
+/// Removes "." and ".." segments (RFC 3986, 5.2.4).
+std::string remove_dot_segments(std::string_view path) {
+  std::string output;
+  std::string_view input = path;
+  while (!input.empty()) {
+    if (input.starts_with("../")) {
+      input.remove_prefix(3);
+    } else if (input.starts_with("./")) {
+      input.remove_prefix(2);
+    } else if (input.starts_with("/./")) {
+      input.remove_prefix(2);
+    } else if (input == "/.") {
+      input = "/";
+    } else if (input.starts_with("/../")) {
+      input.remove_prefix(3);
+      const std::size_t slash = output.rfind('/');
+      output.erase(slash == std::string::npos ? 0 : slash);
+    } else if (input == "/..") {
+      input = "/";
+      const std::size_t slash = output.rfind('/');
+      output.erase(slash == std::string::npos ? 0 : slash);
+    } else if (input == "." || input == "..") {
+      input = {};
+    } else {
+      std::size_t next = input.find('/', 1);
+      if (next == std::string_view::npos) next = input.size();
+      output.append(input.substr(0, next));
+      input.remove_prefix(next);
+    }
+  }
+  return output;
+}
+
+}  // namespace
+
+std::string Url::serialize() const {
+  std::string out = scheme;
+  out += "://";
+  out += host;
+  if (!port.empty()) {
+    out.push_back(':');
+    out += port;
+  }
+  out += path.empty() ? "/" : path;
+  if (!query.empty()) {
+    out.push_back('?');
+    out += query;
+  }
+  if (!fragment.empty()) {
+    out.push_back('#');
+    out += fragment;
+  }
+  return out;
+}
+
+std::string Url::etld_plus_one() const {
+  const std::size_t last = host.rfind('.');
+  if (last == std::string::npos || last == 0) return host;
+  const std::size_t second = host.rfind('.', last - 1);
+  if (second == std::string::npos) return host;
+  return host.substr(second + 1);
+}
+
+std::optional<Url> parse_url(std::string_view input) {
+  // scheme
+  const std::size_t colon = input.find(':');
+  if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+  for (char c : input.substr(0, colon)) {
+    if (!is_scheme_char(c)) return std::nullopt;
+  }
+  if (std::isalpha(static_cast<unsigned char>(input[0])) == 0) {
+    return std::nullopt;
+  }
+  Url url;
+  url.scheme = to_lower(input.substr(0, colon));
+  std::string_view rest = input.substr(colon + 1);
+  if (!rest.starts_with("//")) return std::nullopt;  // non-hierarchical
+  rest.remove_prefix(2);
+
+  // authority
+  std::size_t authority_end = rest.find_first_of("/?#");
+  if (authority_end == std::string_view::npos) authority_end = rest.size();
+  std::string_view authority = rest.substr(0, authority_end);
+  rest.remove_prefix(authority_end);
+  const std::size_t at = authority.rfind('@');
+  if (at != std::string_view::npos) authority.remove_prefix(at + 1);
+  const std::size_t port_colon = authority.rfind(':');
+  if (port_colon != std::string_view::npos &&
+      authority.find(']') == std::string_view::npos) {
+    url.port = std::string(authority.substr(port_colon + 1));
+    authority = authority.substr(0, port_colon);
+  }
+  url.host = to_lower(authority);
+
+  // path / query / fragment
+  const std::size_t hash = rest.find('#');
+  if (hash != std::string_view::npos) {
+    url.fragment = std::string(rest.substr(hash + 1));
+    rest = rest.substr(0, hash);
+  }
+  const std::size_t question = rest.find('?');
+  if (question != std::string_view::npos) {
+    url.query = std::string(rest.substr(question + 1));
+    rest = rest.substr(0, question);
+  }
+  url.path = rest.empty() ? "/" : std::string(rest);
+  return url;
+}
+
+std::string resolve_reference(const Url& base, std::string_view reference) {
+  if (reference.empty()) return base.serialize();
+  // Absolute?
+  if (auto absolute = parse_url(reference)) return absolute->serialize();
+  Url result = base;
+  result.fragment.clear();
+  if (reference.starts_with("//")) {
+    // Protocol-relative.
+    std::string with_scheme = base.scheme + ":";
+    with_scheme.append(reference);
+    if (auto parsed = parse_url(with_scheme)) return parsed->serialize();
+    return base.serialize();
+  }
+  if (reference.starts_with('#')) {
+    result = base;
+    result.fragment = std::string(reference.substr(1));
+    return result.serialize();
+  }
+  result.query.clear();
+  if (reference.starts_with('?')) {
+    const std::size_t hash = reference.find('#');
+    result.query = std::string(reference.substr(1, hash - 1));
+    if (hash != std::string_view::npos) {
+      result.fragment = std::string(reference.substr(hash + 1));
+    }
+    return result.serialize();
+  }
+  // Split path?query#fragment of the reference.
+  std::string_view ref_path = reference;
+  const std::size_t hash = ref_path.find('#');
+  if (hash != std::string_view::npos) {
+    result.fragment = std::string(ref_path.substr(hash + 1));
+    ref_path = ref_path.substr(0, hash);
+  }
+  const std::size_t question = ref_path.find('?');
+  if (question != std::string_view::npos) {
+    result.query = std::string(ref_path.substr(question + 1));
+    ref_path = ref_path.substr(0, question);
+  }
+  if (ref_path.starts_with('/')) {
+    result.path = remove_dot_segments(ref_path);
+  } else {
+    const std::size_t slash = base.path.rfind('/');
+    std::string merged =
+        slash == std::string::npos ? "/" : base.path.substr(0, slash + 1);
+    merged.append(ref_path);
+    result.path = remove_dot_segments(merged);
+  }
+  if (result.path.empty()) result.path.assign(1, '/');
+  return result.serialize();
+}
+
+bool is_url_attribute(std::string_view attribute_name) noexcept {
+  static constexpr std::array<std::string_view, 11> kNames = {
+      "href",       "src",  "action",   "formaction", "poster", "background",
+      "data",       "cite", "longdesc", "usemap",     "srcset"};
+  return std::find(kNames.begin(), kNames.end(), attribute_name) !=
+         kNames.end();
+}
+
+bool url_has_newline(std::string_view url_value) noexcept {
+  return url_value.find('\n') != std::string_view::npos ||
+         url_value.find('\r') != std::string_view::npos;
+}
+
+bool url_has_newline_and_lt(std::string_view url_value) noexcept {
+  return url_has_newline(url_value) &&
+         url_value.find('<') != std::string_view::npos;
+}
+
+std::string percent_decode(std::string_view input) {
+  const auto hex_value = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i] == '%' && i + 2 < input.size()) {
+      const int hi = hex_value(input[i + 1]);
+      const int lo = hex_value(input[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(input[i]);
+  }
+  return out;
+}
+
+}  // namespace hv::net

@@ -1,0 +1,54 @@
+// URL utilities used across the framework:
+//   * splitting URLs into components (scheme/host/path/query),
+//   * relative-reference resolution (what an injected <base> hijacks, DM2),
+//   * the attribute classification behind the DE3 rules and the Chromium
+//     "newline + '<' in URL" mitigation (section 4.5).
+//
+// This is a pragmatic subset of the WHATWG URL Standard: enough to resolve
+// the references the corpus produces and to classify attribute values; it
+// is not a general-purpose canonicalizer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hv::net {
+
+struct Url {
+  std::string scheme;  ///< lowercased, no colon
+  std::string host;    ///< lowercased
+  std::string port;    ///< digits only, empty when default
+  std::string path;    ///< always begins with '/' for hierarchical URLs
+  std::string query;   ///< without '?'
+  std::string fragment;  ///< without '#'
+
+  std::string serialize() const;
+  /// eTLD+1 approximation: last two labels of the host ("a.b.example.com"
+  /// -> "example.com").  The paper counts domains at eTLD+1 granularity.
+  std::string etld_plus_one() const;
+};
+
+/// Parses an absolute URL.  Returns nullopt when no scheme is present or
+/// the input is not hierarchical enough to split.
+std::optional<Url> parse_url(std::string_view input);
+
+/// Resolves `reference` against `base` (RFC 3986 section 5 subset:
+/// absolute refs, protocol-relative, root-relative, path-relative,
+/// query/fragment-only).
+std::string resolve_reference(const Url& base, std::string_view reference);
+
+/// True when `attribute_name` holds a URL on any HTML element (the set the
+/// DE3_1 dangling-markup rule scans: href, src, action, formaction, poster,
+/// background, data, cite, longdesc, usemap plus srcset candidates).
+bool is_url_attribute(std::string_view attribute_name) noexcept;
+
+/// The Chromium dangling-markup mitigation predicate [58]: a URL that
+/// contains both a raw newline and a '<' is blocked.
+bool url_has_newline_and_lt(std::string_view url_value) noexcept;
+bool url_has_newline(std::string_view url_value) noexcept;
+
+/// Percent-decodes %XX sequences (invalid sequences pass through).
+std::string percent_decode(std::string_view input);
+
+}  // namespace hv::net

@@ -1,0 +1,76 @@
+// The end-to-end measurement pipeline of the paper's Figure 6:
+//
+//   Tranco-like list -> (0) synthesize + archive the "Common Crawl"
+//   snapshots as WARC+CDX -> (1) collect metadata (CDX lookup, up to 100
+//   pages per domain) -> (2) crawl (random-access WARC reads, HTTP
+//   parsing) -> (3) check (UTF-8 filter, instrumented parse, 20 rules,
+//   mitigation scans) on a worker pool -> (4) store results.
+//
+// Step (0) replaces the real Common Crawl (DESIGN.md section 2); from
+// step (1) on, the pipeline is the paper's architecture working on real
+// bytes from disk.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "archive/snapshot_store.h"
+#include "core/checker.h"
+#include "corpus/generator.h"
+#include "pipeline/result_store.h"
+
+namespace hv::pipeline {
+
+struct PipelineConfig {
+  corpus::CorpusConfig corpus;
+  std::filesystem::path workdir;  ///< where the WARC snapshots live
+  int threads = 0;                ///< 0 = hardware concurrency
+  std::size_t pages_per_domain = 100;  ///< metadata cap, as in the paper
+};
+
+struct PipelineCounters {
+  std::size_t records_read = 0;
+  std::size_t non_html_records = 0;
+  std::size_t non_utf8_filtered = 0;
+  std::size_t pages_checked = 0;
+};
+
+class StudyPipeline {
+ public:
+  explicit StudyPipeline(PipelineConfig config);
+
+  /// Step 0: generate every snapshot into WARC+CDX under workdir.
+  /// Skips snapshots that already exist (archives are immutable).
+  void build_archives();
+
+  /// Steps 1-4 for one snapshot.
+  void run_snapshot(int year_index);
+
+  /// Builds archives if needed, then runs all eight snapshots.
+  void run_all();
+
+  const ResultStore& results() const noexcept { return store_; }
+  const PipelineCounters& counters() const noexcept { return counters_; }
+  const corpus::Generator& generator() const noexcept { return generator_; }
+  const PipelineConfig& config() const noexcept { return config_; }
+
+ private:
+  PipelineConfig config_;
+  corpus::Generator generator_;
+  archive::SnapshotStore snapshots_;
+  core::Checker checker_;
+  ResultStore store_;
+  PipelineCounters counters_;
+};
+
+/// Analyzes one HTTP response payload: media-type filter, UTF-8 filter,
+/// instrumented parse, rule evaluation, mitigation scans.  Returns false
+/// (and leaves `*outcome` non-analyzable) for filtered records.
+/// Exposed for unit tests and the micro benchmarks.
+bool analyze_capture(const core::Checker& checker, std::string_view domain,
+                     int year_index, std::string_view http_message,
+                     PageOutcome* outcome, PipelineCounters* counters);
+
+}  // namespace hv::pipeline

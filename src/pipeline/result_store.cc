@@ -1,0 +1,193 @@
+#include "pipeline/result_store.h"
+
+#include <sstream>
+
+namespace hv::pipeline {
+
+void ResultStore::add(const PageOutcome& outcome) {
+  const auto y = static_cast<std::size_t>(outcome.year_index);
+  std::lock_guard<std::mutex> lock(mutex_);
+  DomainRow& row = rows_[outcome.domain];
+  row.found[y] = true;
+  if (!outcome.analyzable) return;
+  row.analyzed[y] = true;
+  row.pages[y] += 1;
+  row.violations[y] |= outcome.violations;
+  row.url_newline[y] = row.url_newline[y] || outcome.url_newline;
+  row.url_newline_lt[y] = row.url_newline_lt[y] || outcome.url_newline_lt;
+  row.script_in_attr[y] =
+      row.script_in_attr[y] || outcome.script_in_attribute;
+  row.script_in_attr_affected[y] =
+      row.script_in_attr_affected[y] || outcome.script_in_attr_affected;
+  row.uses_math[y] = row.uses_math[y] || outcome.uses_math;
+}
+
+void ResultStore::mark_found(std::string_view domain, int year_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(domain);
+  if (it == rows_.end()) {
+    it = rows_.emplace(std::string(domain), DomainRow{}).first;
+  }
+  it->second.found[static_cast<std::size_t>(year_index)] = true;
+}
+
+void ResultStore::register_rank(std::string_view domain, std::size_t rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(domain);
+  if (it == rows_.end()) {
+    it = rows_.emplace(std::string(domain), DomainRow{}).first;
+  }
+  it->second.rank = rank;
+}
+
+SnapshotStats ResultStore::snapshot_stats(int year_index) const {
+  const auto y = static_cast<std::size_t>(year_index);
+  SnapshotStats stats;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total_pages = 0;
+  std::size_t rank_sum = 0;
+  std::size_t ranked_domains = 0;
+  for (const auto& [domain, row] : rows_) {
+    if (row.found[y]) ++stats.domains_found;
+    if (!row.analyzed[y]) continue;
+    ++stats.domains_analyzed;
+    total_pages += row.pages[y];
+    if (row.rank > 0) {
+      rank_sum += row.rank;
+      ++ranked_domains;
+    }
+
+    const auto& bits = row.violations[y];
+    if (bits.any()) {
+      ++stats.any_violation_domains;
+      bool all_fixable = true;
+      for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+        if (!bits.test(v)) continue;
+        const auto violation = static_cast<core::Violation>(v);
+        ++stats.violating_domains[v];
+        if (!core::info(violation).auto_fixable) all_fixable = false;
+      }
+      if (all_fixable) ++stats.fully_auto_fixable_domains;
+      for (std::size_t g = 0; g < core::kProblemGroupCount; ++g) {
+        const auto group = static_cast<core::ProblemGroup>(g);
+        for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+          if (bits.test(v) &&
+              core::group_of(static_cast<core::Violation>(v)) == group) {
+            ++stats.group_domains[g];
+            break;
+          }
+        }
+      }
+    }
+    if (row.url_newline[y]) ++stats.url_newline_domains;
+    if (row.url_newline_lt[y]) ++stats.url_newline_lt_domains;
+    if (row.script_in_attr[y]) ++stats.script_in_attr_domains;
+    if (row.script_in_attr_affected[y]) {
+      ++stats.script_in_attr_affected_domains;
+    }
+    if (row.uses_math[y]) ++stats.math_domains;
+  }
+  stats.pages_analyzed = total_pages;
+  stats.avg_pages = stats.domains_analyzed == 0
+                        ? 0.0
+                        : static_cast<double>(total_pages) /
+                              static_cast<double>(stats.domains_analyzed);
+  stats.avg_rank = ranked_domains == 0
+                       ? 0.0
+                       : static_cast<double>(rank_sum) /
+                             static_cast<double>(ranked_domains);
+  return stats;
+}
+
+std::array<std::size_t, core::kViolationCount> ResultStore::union_violating()
+    const {
+  std::array<std::size_t, core::kViolationCount> counts{};
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [domain, row] : rows_) {
+    std::bitset<core::kViolationCount> merged;
+    for (int y = 0; y < kYearCount; ++y) {
+      merged |= row.violations[static_cast<std::size_t>(y)];
+    }
+    for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+      if (merged.test(v)) ++counts[v];
+    }
+  }
+  return counts;
+}
+
+std::size_t ResultStore::union_any_violation() const {
+  std::size_t count = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [domain, row] : rows_) {
+    for (int y = 0; y < kYearCount; ++y) {
+      if (row.violations[static_cast<std::size_t>(y)].any()) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t ResultStore::total_domains_analyzed() const {
+  std::size_t count = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [domain, row] : rows_) {
+    for (int y = 0; y < kYearCount; ++y) {
+      if (row.analyzed[static_cast<std::size_t>(y)]) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t ResultStore::total_domains_found() const {
+  std::size_t count = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [domain, row] : rows_) {
+    for (int y = 0; y < kYearCount; ++y) {
+      if (row.found[static_cast<std::size_t>(y)]) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<ResultStore::DomainYear> ResultStore::domains_for_year(
+    int year_index) const {
+  const auto y = static_cast<std::size_t>(year_index);
+  std::vector<DomainYear> result;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [domain, row] : rows_) {
+    if (row.analyzed[y]) result.push_back({domain, row.violations[y]});
+  }
+  return result;
+}
+
+std::string ResultStore::to_csv() const {
+  std::ostringstream out;
+  out << "domain,year_index";
+  for (const core::ViolationInfo& info : core::all_violations()) {
+    out << ',' << info.name;
+  }
+  out << '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [domain, row] : rows_) {
+    for (int y = 0; y < kYearCount; ++y) {
+      const auto yi = static_cast<std::size_t>(y);
+      if (!row.analyzed[yi]) continue;
+      out << domain << ',' << y;
+      for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+        out << ',' << (row.violations[yi].test(v) ? '1' : '0');
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hv::pipeline

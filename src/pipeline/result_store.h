@@ -1,0 +1,123 @@
+// The results database — step (4) of the paper's Figure 6 pipeline
+// (PostgreSQL in the paper; an in-process column store here, DESIGN.md
+// section 2).
+//
+// Stores one row per (domain, snapshot) with the merged violation bitset
+// of all analyzed pages plus the auxiliary scans, and answers the
+// aggregate queries behind every table and figure: per-year rates
+// (Figures 9, 10, 16-21), 8-year unions (Figure 8), dataset statistics
+// (Table 2), auto-fixability (section 4.4), and mitigation counts
+// (section 4.5).
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/violation.h"
+
+namespace hv::pipeline {
+
+inline constexpr int kYearCount = 8;
+
+/// Result of analyzing one page (already checked).
+struct PageOutcome {
+  std::string domain;
+  int year_index = 0;
+  bool analyzable = false;  ///< UTF-8 HTML that was actually checked
+  std::bitset<core::kViolationCount> violations;
+  bool url_newline = false;        ///< some URL attr contains \n (sec. 4.5)
+  bool url_newline_lt = false;     ///< \n plus '<' (would be blocked)
+  bool script_in_attribute = false;       ///< "<script" in some attribute
+  bool script_in_attr_affected = false;   ///< ...on a nonced <script>
+  bool uses_math = false;
+  bool uses_svg = false;
+};
+
+/// Aggregates for one snapshot (one Table 2 row + one x-position of every
+/// trend figure).
+struct SnapshotStats {
+  std::size_t domains_found = 0;     ///< had records in the snapshot
+  std::size_t domains_analyzed = 0;  ///< >=1 analyzable page
+  std::size_t pages_analyzed = 0;
+  double avg_pages = 0.0;
+  std::array<std::size_t, core::kViolationCount> violating_domains{};
+  std::size_t any_violation_domains = 0;
+  std::array<std::size_t, core::kProblemGroupCount> group_domains{};
+  /// Violating domains whose entire violation set is auto-fixable (4.4).
+  std::size_t fully_auto_fixable_domains = 0;
+  std::size_t url_newline_domains = 0;
+  std::size_t url_newline_lt_domains = 0;
+  std::size_t script_in_attr_domains = 0;
+  std::size_t script_in_attr_affected_domains = 0;
+  std::size_t math_domains = 0;
+  /// Mean study-list rank of the analyzed domains.  The paper checks this
+  /// stays ~constant (~16,150) across snapshots as a dataset sanity check
+  /// (section 4.1); 0 when ranks were never registered.
+  double avg_rank = 0.0;
+
+  double percent_of_analyzed(std::size_t count) const noexcept {
+    return domains_analyzed == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(count) /
+                     static_cast<double>(domains_analyzed);
+  }
+};
+
+/// Thread-safe accumulation, lock-free reads after sealing.
+class ResultStore {
+ public:
+  /// Records a page outcome (thread-safe).
+  void add(const PageOutcome& outcome);
+  /// Marks a domain as present in a snapshot even if nothing was
+  /// analyzable (Table 2's found vs. succeeded distinction).
+  void mark_found(std::string_view domain, int year_index);
+
+  /// Registers a domain's study-list rank (1-based) for the avg_rank
+  /// statistic.  Unregistered domains count as rank 0 and are skipped.
+  void register_rank(std::string_view domain, std::size_t rank);
+
+  SnapshotStats snapshot_stats(int year_index) const;
+
+  /// Figure 8: domains violating v in at least one snapshot.
+  std::array<std::size_t, core::kViolationCount> union_violating() const;
+  /// Section 4.2: domains with >=1 violation in any snapshot.
+  std::size_t union_any_violation() const;
+  /// Domains analyzed in at least one snapshot (23,983 in the paper).
+  std::size_t total_domains_analyzed() const;
+  std::size_t total_domains_found() const;
+
+  /// Per-domain violation bitset for a snapshot (autofix experiment).
+  struct DomainYear {
+    std::string domain;
+    std::bitset<core::kViolationCount> violations;
+  };
+  std::vector<DomainYear> domains_for_year(int year_index) const;
+
+  /// CSV export: one line per (domain, year) with violation flags.
+  std::string to_csv() const;
+
+ private:
+  struct DomainRow {
+    std::size_t rank = 0;  ///< 1-based study-list rank; 0 = unknown
+    std::array<std::bitset<core::kViolationCount>, kYearCount> violations{};
+    std::array<bool, kYearCount> found{};
+    std::array<bool, kYearCount> analyzed{};
+    std::array<std::uint32_t, kYearCount> pages{};
+    std::array<bool, kYearCount> url_newline{};
+    std::array<bool, kYearCount> url_newline_lt{};
+    std::array<bool, kYearCount> script_in_attr{};
+    std::array<bool, kYearCount> script_in_attr_affected{};
+    std::array<bool, kYearCount> uses_math{};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, DomainRow, std::less<>> rows_;
+};
+
+}  // namespace hv::pipeline

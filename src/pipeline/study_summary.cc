@@ -1,0 +1,88 @@
+#include "pipeline/study_summary.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hv::pipeline {
+namespace {
+
+constexpr int kFormatVersion = 3;
+
+void write_stats(std::ostream& out, const SnapshotStats& stats) {
+  out << stats.domains_found << ' ' << stats.domains_analyzed << ' '
+      << stats.pages_analyzed << ' ' << stats.avg_pages << ' '
+      << stats.avg_rank << ' '
+      << stats.any_violation_domains << ' '
+      << stats.fully_auto_fixable_domains << ' '
+      << stats.url_newline_domains << ' ' << stats.url_newline_lt_domains
+      << ' ' << stats.script_in_attr_domains << ' '
+      << stats.script_in_attr_affected_domains << ' ' << stats.math_domains;
+  for (const std::size_t count : stats.violating_domains) out << ' ' << count;
+  for (const std::size_t count : stats.group_domains) out << ' ' << count;
+  out << '\n';
+}
+
+bool read_stats(std::istream& in, SnapshotStats* stats) {
+  in >> stats->domains_found >> stats->domains_analyzed >>
+      stats->pages_analyzed >> stats->avg_pages >> stats->avg_rank >>
+      stats->any_violation_domains >> stats->fully_auto_fixable_domains >>
+      stats->url_newline_domains >> stats->url_newline_lt_domains >>
+      stats->script_in_attr_domains >>
+      stats->script_in_attr_affected_domains >> stats->math_domains;
+  for (std::size_t& count : stats->violating_domains) in >> count;
+  for (std::size_t& count : stats->group_domains) in >> count;
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+StudySummary StudySummary::from_store(const ResultStore& store,
+                                      const PipelineCounters& counters) {
+  StudySummary summary;
+  for (int y = 0; y < kYearCount; ++y) {
+    summary.per_year[static_cast<std::size_t>(y)] = store.snapshot_stats(y);
+  }
+  summary.union_violating = store.union_violating();
+  summary.union_any = store.union_any_violation();
+  summary.total_found = store.total_domains_found();
+  summary.total_analyzed = store.total_domains_analyzed();
+  summary.pages_checked = counters.pages_checked;
+  return summary;
+}
+
+void StudySummary::save(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  out << kFormatVersion << ' ' << corpus_seed << ' ' << domain_count << ' '
+      << max_pages_per_domain << '\n';
+  out << union_any << ' ' << total_found << ' ' << total_analyzed << ' '
+      << pages_checked << '\n';
+  for (const std::size_t count : union_violating) out << count << ' ';
+  out << '\n';
+  for (const SnapshotStats& stats : per_year) write_stats(out, stats);
+}
+
+bool StudySummary::load(const std::filesystem::path& path,
+                        std::uint64_t seed, std::size_t domain_count,
+                        int max_pages, StudySummary* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  int version = 0;
+  StudySummary summary;
+  in >> version >> summary.corpus_seed >> summary.domain_count >>
+      summary.max_pages_per_domain;
+  if (!in || version != kFormatVersion || summary.corpus_seed != seed ||
+      summary.domain_count != domain_count ||
+      summary.max_pages_per_domain != max_pages) {
+    return false;
+  }
+  in >> summary.union_any >> summary.total_found >> summary.total_analyzed >>
+      summary.pages_checked;
+  for (std::size_t& count : summary.union_violating) in >> count;
+  for (SnapshotStats& stats : summary.per_year) {
+    if (!read_stats(in, &stats)) return false;
+  }
+  *out = summary;
+  return true;
+}
+
+}  // namespace hv::pipeline

@@ -1,0 +1,58 @@
+// A serializable summary of one full study run: everything the paper's
+// tables and figures aggregate over, per snapshot, plus the 8-year unions.
+// The experiment binaries (bench/) share one cached run through this.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/result_store.h"
+
+namespace hv::pipeline {
+
+struct StudySummary {
+  std::uint64_t corpus_seed = 0;
+  std::size_t domain_count = 0;
+  int max_pages_per_domain = 0;
+
+  std::array<SnapshotStats, kYearCount> per_year{};
+  std::array<std::size_t, core::kViolationCount> union_violating{};
+  std::size_t union_any = 0;
+  std::size_t total_found = 0;
+  std::size_t total_analyzed = 0;
+  std::size_t pages_checked = 0;
+
+  /// Percent helpers against the per-year analyzed denominator.
+  double percent(int year_index, std::size_t count) const {
+    return per_year[static_cast<std::size_t>(year_index)].percent_of_analyzed(
+        count);
+  }
+  double violation_percent(int year_index, core::Violation violation) const {
+    const auto& stats = per_year[static_cast<std::size_t>(year_index)];
+    return stats.percent_of_analyzed(
+        stats.violating_domains[static_cast<std::size_t>(violation)]);
+  }
+  double union_percent(core::Violation violation) const {
+    return total_analyzed == 0
+               ? 0.0
+               : 100.0 *
+                     static_cast<double>(union_violating[static_cast<
+                         std::size_t>(violation)]) /
+                     static_cast<double>(total_analyzed);
+  }
+
+  static StudySummary from_store(const ResultStore& store,
+                                 const PipelineCounters& counters);
+
+  void save(const std::filesystem::path& path) const;
+  /// Returns false when the file is missing or was produced by a different
+  /// configuration (seed/scale mismatch -> recompute).
+  static bool load(const std::filesystem::path& path, std::uint64_t seed,
+                   std::size_t domain_count, int max_pages,
+                   StudySummary* out);
+};
+
+}  // namespace hv::pipeline

@@ -1,0 +1,129 @@
+#include "ranking/tranco.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace hv::ranking {
+namespace {
+
+/// SplitMix64 — tiny, deterministic, seedable; good enough for corpus
+/// randomness and fully reproducible across platforms.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  double uniform() noexcept {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  double normal() noexcept {  // Box-Muller
+    const double u1 = std::max(uniform(), 1e-12);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::string make_domain_name(std::size_t index, SplitMix64& rng) {
+  static constexpr std::array<const char*, 24> kWords = {
+      "news",   "shop",   "cloud", "media",  "tech",  "play",  "travel",
+      "stream", "social", "data",  "sports", "photo", "forum", "music",
+      "market", "search", "video", "health", "game",  "learn", "mail",
+      "wiki",   "blog",   "store"};
+  static constexpr std::array<const char*, 10> kSuffixes = {
+      "hub", "zone", "base", "spot", "lab", "point", "space",
+      "line", "works", "port"};
+  static constexpr std::array<const char*, 6> kTlds = {
+      "com", "org", "net", "io", "co", "de"};
+  std::string name = kWords[rng.next() % kWords.size()];
+  name.push_back('-');
+  name += kSuffixes[rng.next() % kSuffixes.size()];
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%05zu", index);
+  name += buffer;
+  name.push_back('.');
+  name += kTlds[rng.next() % kTlds.size()];
+  return name;
+}
+
+}  // namespace
+
+ListGenerator::ListGenerator(ListGeneratorConfig config)
+    : config_(config) {
+  SplitMix64 rng(config_.seed);
+  universe_.reserve(config_.universe_size);
+  for (std::size_t i = 0; i < config_.universe_size; ++i) {
+    universe_.push_back(make_domain_name(i, rng));
+  }
+}
+
+std::vector<std::string> ListGenerator::daily_list(std::size_t day) const {
+  struct Scored {
+    std::size_t index;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(universe_.size());
+  SplitMix64 rng(config_.seed ^ (0xD1B54A32D192ED03ull * (day + 1)));
+  for (std::size_t i = 0; i < universe_.size(); ++i) {
+    if (rng.uniform() < config_.churn_rate) continue;  // sat this list out
+    // Zipf-like base popularity with lognormal day jitter.
+    const double base = 1.0 / std::pow(static_cast<double>(i + 1), 0.9);
+    const double jitter = std::exp(config_.rank_jitter * rng.normal());
+    scored.push_back({i, base * jitter});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+  const std::size_t count = std::min(config_.list_size, scored.size());
+  std::vector<std::string> list;
+  list.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    list.push_back(universe_[scored[i].index]);
+  }
+  return list;
+}
+
+std::vector<RankedDomain> build_study_population(
+    const std::vector<std::vector<std::string>>& lists) {
+  if (lists.empty()) return {};
+  // Count appearances and accumulate ranks.
+  std::unordered_map<std::string, std::pair<std::size_t, double>> stats;
+  for (const auto& list : lists) {
+    for (std::size_t rank = 0; rank < list.size(); ++rank) {
+      auto& [count, rank_sum] = stats[list[rank]];
+      ++count;
+      rank_sum += static_cast<double>(rank + 1);
+    }
+  }
+  // Keep only domains present on every list (drops trending outliers).
+  std::vector<RankedDomain> population;
+  for (const auto& [domain, entry] : stats) {
+    if (entry.first == lists.size()) {
+      population.push_back(
+          {domain, entry.second / static_cast<double>(lists.size())});
+    }
+  }
+  std::sort(population.begin(), population.end(),
+            [](const RankedDomain& a, const RankedDomain& b) {
+              if (a.average_rank != b.average_rank) {
+                return a.average_rank < b.average_rank;
+              }
+              return a.domain < b.domain;
+            });
+  return population;
+}
+
+}  // namespace hv::ranking

@@ -1,0 +1,58 @@
+// Tranco-like top-list construction (paper section 3.3 / 4.1).
+//
+// The paper builds its study population by taking the top 50,000 domains
+// of *every* Tranco list in a window, intersecting them ("consider only
+// the ones that appear on all lists" — this drops trending outliers), and
+// ordering the survivors by average rank.
+//
+// We cannot ship Tranco, so `ListGenerator` synthesizes daily lists with
+// the statistical properties that matter for that pipeline: Zipf-like
+// popularity, day-to-day rank jitter, and churn (domains entering and
+// leaving the cutoff).  `build_study_population` then applies the exact
+// intersection + average-rank procedure of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hv::ranking {
+
+struct RankedDomain {
+  std::string domain;   ///< eTLD+1, e.g. "stream-hub0042.net"
+  double average_rank;  ///< mean rank across all lists
+};
+
+struct ListGeneratorConfig {
+  std::size_t universe_size = 4000;  ///< distinct domains in existence
+  std::size_t list_size = 2000;      ///< cutoff per daily list ("top 50k")
+  std::size_t list_count = 30;       ///< daily lists in the window
+  double rank_jitter = 0.35;  ///< lognormal sigma of day-to-day popularity
+  double churn_rate = 0.02;   ///< chance a domain sits out a given list
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+class ListGenerator {
+ public:
+  explicit ListGenerator(ListGeneratorConfig config = {});
+
+  /// The synthetic universe: stable domain names, index = true popularity.
+  const std::vector<std::string>& universe() const noexcept {
+    return universe_;
+  }
+
+  /// Generates the daily list for `day` (deterministic in config.seed and
+  /// day): the top `list_size` domains by jittered popularity.
+  std::vector<std::string> daily_list(std::size_t day) const;
+
+ private:
+  ListGeneratorConfig config_;
+  std::vector<std::string> universe_;
+};
+
+/// The paper's dataset construction: intersect all lists, order by average
+/// rank.  Input lists are rank-ordered domain vectors.
+std::vector<RankedDomain> build_study_population(
+    const std::vector<std::vector<std::string>>& lists);
+
+}  // namespace hv::ranking

@@ -1,0 +1,64 @@
+#include "report/paper_data.h"
+
+namespace hv::report {
+namespace {
+
+using core::Violation;
+
+/// Yearly series read off Figures 16-21; unions from Figure 8.  DE3_1 and
+/// DE3_2 endpoints are exact (section 4.5 prose).
+constexpr std::array<ViolationSeries, core::kViolationCount> kSeries = {{
+    {Violation::kDE1, 0.10,
+     {0.020, 0.020, 0.020, 0.020, 0.020, 0.020, 0.020, 0.020}},
+    {Violation::kDE2, 0.27,
+     {0.060, 0.060, 0.060, 0.055, 0.055, 0.050, 0.050, 0.050}},
+    {Violation::kDE3_1, 4.46,
+     {1.37, 1.30, 1.25, 1.15, 1.05, 0.95, 0.85, 0.76}},
+    {Violation::kDE3_2, 5.25,
+     {1.50, 1.48, 1.47, 1.45, 1.44, 1.43, 1.41, 1.40}},
+    {Violation::kDE3_3, 0.93,
+     {0.45, 0.44, 0.42, 0.40, 0.38, 0.36, 0.34, 0.33}},
+    {Violation::kDE4, 7.03,
+     {2.00, 1.95, 2.00, 1.90, 1.80, 1.70, 1.60, 1.50}},
+    {Violation::kDM1, 21.02,
+     {12.0, 11.5, 11.0, 10.0, 9.5, 9.0, 8.5, 8.0}},
+    {Violation::kDM2_1, 1.79,
+     {0.50, 0.50, 0.52, 0.50, 0.48, 0.47, 0.46, 0.45}},
+    {Violation::kDM2_2, 1.31,
+     {0.35, 0.35, 0.36, 0.35, 0.34, 0.34, 0.33, 0.33}},
+    {Violation::kDM2_3, 13.28,
+     {6.0, 6.0, 6.5, 6.0, 5.5, 5.5, 5.0, 5.0}},
+    {Violation::kDM3, 75.14,
+     {40.0, 39.5, 40.5, 39.0, 39.0, 38.5, 38.0, 38.0}},
+    {Violation::kHF1, 36.13,
+     {17.0, 16.5, 17.0, 15.0, 14.0, 13.0, 12.0, 11.5}},
+    {Violation::kHF2, 32.81,
+     {15.0, 14.5, 15.0, 13.5, 13.0, 12.0, 11.0, 10.5}},
+    {Violation::kHF3, 28.52,
+     {11.0, 10.5, 11.0, 10.0, 9.5, 9.0, 8.5, 8.0}},
+    {Violation::kHF4, 39.64,
+     {24.0, 23.0, 24.0, 21.0, 20.0, 19.0, 18.0, 17.0}},
+    {Violation::kHF5_1, 10.12,
+     {3.5, 3.6, 3.8, 4.0, 4.0, 4.2, 4.3, 4.4}},
+    {Violation::kHF5_2, 1.22,
+     {0.35, 0.36, 0.38, 0.40, 0.42, 0.44, 0.46, 0.50}},
+    {Violation::kHF5_3, 0.0125,
+     {0.004, 0.004, 0.004, 0.004, 0.004, 0.004, 0.004, 0.004}},
+    {Violation::kFB1, 42.84,
+     {25.0, 24.0, 26.0, 22.0, 20.0, 18.0, 16.5, 15.0}},
+    {Violation::kFB2, 78.54,
+     {48.0, 47.5, 48.5, 46.0, 45.5, 44.5, 43.5, 43.0}},
+}};
+
+}  // namespace
+
+const std::array<ViolationSeries, core::kViolationCount>&
+paper_violation_series() noexcept {
+  return kSeries;
+}
+
+const ViolationSeries& paper_series(core::Violation violation) noexcept {
+  return kSeries[static_cast<std::size_t>(violation)];
+}
+
+}  // namespace hv::report

@@ -1,0 +1,106 @@
+// Reference numbers from the paper, used twice:
+//   1. as calibration targets for the synthetic corpus (hv::corpus), and
+//   2. as the "paper" column of every paper-vs-measured report
+//      (EXPERIMENTS.md, bench/ binaries).
+//
+// Sources: Table 2, Figure 8 (8-year unions), Figure 9 (any-violation
+// trend), Figure 10 (groups), Figures 16-21 (per-violation trends; values
+// read off the plots to ~0.5pp), and the section 4.4/4.5 prose numbers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "core/violation.h"
+
+namespace hv::report {
+
+inline constexpr int kYearCount = 8;
+inline constexpr std::array<int, kYearCount> kYears = {
+    2015, 2016, 2017, 2018, 2019, 2020, 2021, 2022};
+
+/// Common Crawl snapshot labels, Table 2.
+inline constexpr std::array<std::string_view, kYearCount> kSnapshotLabels = {
+    "CC-MAIN-2015-14", "CC-MAIN-2016-07", "CC-MAIN-2017-04",
+    "CC-MAIN-2018-05", "CC-MAIN-2019-04", "CC-MAIN-2020-05",
+    "CC-MAIN-2021-04", "CC-MAIN-2022-05"};
+
+/// Table 2 columns.
+struct DatasetRow {
+  std::string_view snapshot;
+  int domains;
+  int succeeded;
+  double avg_pages;
+};
+inline constexpr std::array<DatasetRow, kYearCount> kTable2 = {{
+    {"CC-MAIN-2015-14", 21068, 20579, 78.8},
+    {"CC-MAIN-2016-07", 21156, 20705, 77.9},
+    {"CC-MAIN-2017-04", 22311, 22038, 87.3},
+    {"CC-MAIN-2018-05", 22504, 22271, 88.3},
+    {"CC-MAIN-2019-04", 23049, 22830, 90.1},
+    {"CC-MAIN-2020-05", 22923, 22736, 89.7},
+    {"CC-MAIN-2021-04", 22843, 22668, 89.8},
+    {"CC-MAIN-2022-05", 22583, 22429, 89.7},
+}};
+inline constexpr int kStudyPopulation = 24915;  ///< filtered Tranco domains
+inline constexpr int kDomainsFoundOnCc = 24050;
+inline constexpr int kDomainsAnalyzed = 23983;
+
+/// Figure 9: % of analyzed domains with at least one violation, per year.
+inline constexpr std::array<double, kYearCount> kAnyViolationTrend = {
+    74.31, 73.57, 74.85, 71.68, 71.71, 70.29, 69.22, 68.38};
+
+/// Section 4.2: % of domains violating at least once across all 8 years.
+inline constexpr double kAnyViolationUnion = 92.0;
+
+/// Per-violation reference series (percent of analyzed domains).
+struct ViolationSeries {
+  core::Violation violation;
+  /// Figure 8: % of all domains affected at least once in 8 years.
+  double union_percent;
+  /// Figures 16-21: yearly % (read off the plots).
+  std::array<double, kYearCount> yearly_percent;
+};
+
+const std::array<ViolationSeries, core::kViolationCount>&
+paper_violation_series() noexcept;
+
+const ViolationSeries& paper_series(core::Violation violation) noexcept;
+
+/// Figure 10 endpoints (percent of domains, 2015 -> 2022).
+struct GroupTrend {
+  core::ProblemGroup group;
+  double start_percent;
+  double end_percent;
+};
+inline constexpr std::array<GroupTrend, 4> kGroupTrends = {{
+    {core::ProblemGroup::kFilterBypass, 52.0, 43.0},
+    {core::ProblemGroup::kDataManipulation, 47.0, 44.0},
+    {core::ProblemGroup::kHtmlFormatting, 42.0, 33.0},
+    {core::ProblemGroup::kDataExfiltration, 5.0, 4.0},
+}};
+
+/// Section 4.4: 15337 violating domains (68%) in 2022; 8298 (37%) would
+/// remain after automatic fixes — i.e. >46% of violating sites fixed.
+inline constexpr double kViolatingPercent2022 = 68.0;
+inline constexpr double kAfterAutofixPercent2022 = 37.0;
+inline constexpr double kAutofixedShareOfViolating = 46.0;
+
+/// Section 4.5 mitigation measurements (percent of domains).
+struct MitigationTrend {
+  double percent_2015;
+  double percent_2022;
+};
+inline constexpr MitigationTrend kScriptInAttribute = {1.5, 1.4};   // 299->312
+inline constexpr MitigationTrend kUrlWithNewline = {11.2, 11.0};    // 2314->2469
+inline constexpr MitigationTrend kUrlNewlineAndLt = {1.37, 0.76};   // 281->170
+/// West's 2017 Chrome telemetry, quoted for comparison only (DESIGN.md §5).
+inline constexpr double kWestNewlinePageViews = 0.4708;
+inline constexpr double kWestNewlineLtPageViews = 0.0189;
+
+/// Section 4.2: domains using the math element, 2015 -> 2022.
+inline constexpr int kMathDomains2015 = 42;
+inline constexpr int kMathDomains2022 = 224;
+
+}  // namespace hv::report

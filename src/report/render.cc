@@ -1,0 +1,124 @@
+#include "report/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace hv::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto line = [&out, &widths]() {
+    for (const std::size_t width : widths) {
+      out << '+' << std::string(width + 2, '-');
+    }
+    out << "+\n";
+  };
+  const auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << cells[c]
+          << std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  line();
+  emit(headers_);
+  line();
+  for (const auto& row : rows_) emit(row);
+  line();
+  return out.str();
+}
+
+std::string format_percent(double value, int decimals) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, value);
+  return buffer;
+}
+
+std::string format_double(double value, int decimals) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+bool Comparison::within_tolerance() const noexcept {
+  return std::abs(paper - measured) <= tolerance_pp;
+}
+
+std::size_t render_comparisons(std::ostream& out, std::string_view title,
+                               const std::vector<Comparison>& rows) {
+  Table table({"metric", "paper", "measured", "delta", "verdict"});
+  std::size_t drifted = 0;
+  for (const Comparison& row : rows) {
+    const double delta = row.measured - row.paper;
+    const bool ok = row.within_tolerance();
+    if (!ok) ++drifted;
+    table.add_row({row.metric, format_double(row.paper),
+                   format_double(row.measured),
+                   (delta >= 0 ? "+" : "") + format_double(delta),
+                   ok ? "OK" : "DRIFT"});
+  }
+  out << "== " << title << " ==\n" << table.render();
+  return drifted;
+}
+
+bool is_decreasing_overall(const std::vector<double>& series) {
+  if (series.size() < 2) return false;
+  return series.back() < series.front();
+}
+
+bool same_ordering(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<std::size_t> order_a(a.size());
+  std::vector<std::size_t> order_b(b.size());
+  std::iota(order_a.begin(), order_a.end(), 0);
+  std::iota(order_b.begin(), order_b.end(), 0);
+  std::sort(order_a.begin(), order_a.end(),
+            [&a](std::size_t x, std::size_t y) { return a[x] > a[y]; });
+  std::sort(order_b.begin(), order_b.end(),
+            [&b](std::size_t x, std::size_t y) { return b[x] > b[y]; });
+  return order_a == order_b;
+}
+
+std::string render_series(const std::vector<int>& years,
+                          const std::vector<double>& values) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < years.size() && i < values.size(); ++i) {
+    if (i > 0) out << "  ";
+    out << years[i] << ": " << format_double(values[i], 2);
+  }
+  // Sparkline.
+  if (!values.empty()) {
+    static constexpr const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                              "▅", "▆", "▇", "█"};
+    const double lo = *std::min_element(values.begin(), values.end());
+    const double hi = *std::max_element(values.begin(), values.end());
+    out << "   ";
+    for (const double value : values) {
+      const double norm = hi > lo ? (value - lo) / (hi - lo) : 0.5;
+      out << kBlocks[static_cast<int>(norm * 7.0 + 0.5)];
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hv::report

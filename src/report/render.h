@@ -1,0 +1,54 @@
+// Rendering helpers for the experiment binaries: ASCII tables, trend
+// series, and paper-vs-measured comparison rows with shape checks
+// (direction of trend, ordering of bars) — per the reproduction brief the
+// *shape* must hold, not the absolute counts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::report {
+
+/// Simple fixed-width ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_percent(double value, int decimals = 2);
+std::string format_double(double value, int decimals = 2);
+
+/// One paper-vs-measured comparison line with a tolerance verdict.
+struct Comparison {
+  std::string metric;
+  double paper = 0.0;
+  double measured = 0.0;
+  double tolerance_pp = 5.0;  ///< percentage points
+
+  bool within_tolerance() const noexcept;
+};
+
+/// Renders comparisons as a table with OK/DRIFT verdicts; returns the
+/// number of rows outside tolerance.
+std::size_t render_comparisons(std::ostream& out,
+                               std::string_view title,
+                               const std::vector<Comparison>& rows);
+
+/// Shape check helpers.
+bool is_decreasing_overall(const std::vector<double>& series);
+bool same_ordering(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Renders a yearly series as "2015: 74.3  2016: 73.6 ..." plus a compact
+/// unicode sparkline.
+std::string render_series(const std::vector<int>& years,
+                          const std::vector<double>& values);
+
+}  // namespace hv::report

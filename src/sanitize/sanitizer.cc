@@ -1,0 +1,218 @@
+#include "sanitize/sanitizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "html/parser.h"
+#include "html/serializer.h"
+
+namespace hv::sanitize {
+namespace {
+
+using html::Document;
+using html::Element;
+using html::Namespace;
+using html::Node;
+using html::NodeType;
+
+const std::unordered_set<std::string_view>& default_allowed_tags() {
+  static const std::unordered_set<std::string_view> kTags = {
+      // Structural / text-level HTML.
+      "a",    "abbr", "article", "aside", "b",     "bdi",   "bdo",
+      "blockquote", "br", "caption", "center", "cite", "code", "col",
+      "colgroup", "dd", "del", "details", "dfn", "div", "dl", "dt", "em",
+      "figcaption", "figure", "footer", "h1", "h2", "h3", "h4", "h5", "h6",
+      "header", "hr", "i", "img", "ins", "kbd", "li", "main", "mark", "nav",
+      "ol", "p", "pre", "q", "rp", "rt", "ruby", "s", "samp", "section",
+      "small", "span", "strike", "strong", "sub", "summary", "sup", "table",
+      "tbody", "td", "tfoot", "th", "thead", "tr", "tt", "u", "ul", "var",
+      "wbr",
+      // Forms (inert without JS).
+      "button", "datalist", "fieldset", "form", "input", "label", "legend",
+      "optgroup", "option", "output", "progress", "select", "textarea",
+      // Foreign content DOMPurify historically allowed.
+      "math", "mtext", "mi", "mo", "mn", "ms", "mglyph", "malignmark",
+      "annotation", "semantics", "svg", "g", "path", "circle", "rect",
+      "line", "ellipse", "polygon", "polyline", "text", "tspan", "defs",
+      "use", "desc", "title",
+      // style content is CSS, not script; DOMPurify < 2.1 allowed it.
+      "style",
+  };
+  return kTags;
+}
+
+const std::unordered_set<std::string_view>& default_allowed_attributes() {
+  static const std::unordered_set<std::string_view> kAttrs = {
+      "abbr",  "align",   "alt",    "border", "cellpadding", "cellspacing",
+      "class", "colspan", "cols",   "datetime", "dir",  "disabled",
+      "height", "hidden", "href",   "id",     "label", "lang", "name",
+      "placeholder", "rel", "rows", "rowspan", "span", "src", "style",
+      "summary", "tabindex", "target", "title", "type", "value", "width",
+      // SVG/MathML presentation attributes.
+      "d", "fill", "stroke", "stroke-width", "viewBox", "cx", "cy", "r",
+      "x", "y", "x1", "y1", "x2", "y2", "points", "transform",
+  };
+  return kAttrs;
+}
+
+bool is_event_handler(std::string_view name) {
+  return name.size() > 2 && (name[0] == 'o' || name[0] == 'O') &&
+         (name[1] == 'n' || name[1] == 'N');
+}
+
+bool is_script_url(std::string_view value) {
+  std::string compact;
+  compact.reserve(value.size());
+  for (char c : value) {
+    if (!std::isspace(static_cast<unsigned char>(c)) && c != '\0') {
+      compact.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return compact.starts_with("javascript:") ||
+         compact.starts_with("vbscript:") ||
+         (compact.starts_with("data:") &&
+          compact.find("script") != std::string::npos);
+}
+
+/// In hardened mode: a foreign-namespace element whose tag name has HTML
+/// parsing significance is a namespace-confusion gadget and is removed
+/// (mglyph/style/table & friends inside math/svg — the Figure 1 chain).
+bool is_namespace_confusion(const Element& element) {
+  if (element.ns() == Namespace::kHtml) return false;
+  static const std::unordered_set<std::string_view> kHtmlSignificant = {
+      "style",   "script", "table", "img",   "form", "head", "body",
+      "mglyph",  "malignmark",      "font",  "br",   "p",    "template",
+  };
+  // mglyph/malignmark are only legitimate as direct children of a MathML
+  // text integration point; anywhere else they confuse re-parsing.
+  if (element.tag_name() == "mglyph" || element.tag_name() == "malignmark") {
+    const Element* parent =
+        element.parent() != nullptr ? element.parent()->as_element() : nullptr;
+    if (parent == nullptr || parent->ns() != Namespace::kMathMl) return true;
+    static const std::unordered_set<std::string_view> kTextIp = {
+        "mi", "mo", "mn", "ms", "mtext"};
+    return kTextIp.find(parent->tag_name()) == kTextIp.end();
+  }
+  return kHtmlSignificant.find(element.tag_name()) != kHtmlSignificant.end();
+}
+
+}  // namespace
+
+Sanitizer::Sanitizer(SanitizerConfig config) : config_(std::move(config)) {}
+
+std::string Sanitizer::sanitize_once(std::string_view dirty) const {
+  html::ParseResult parsed = html::parse(dirty);
+  Element* body = parsed.document->body();
+  if (body == nullptr) return {};
+
+  const auto& allowed_tags = default_allowed_tags();
+  const auto& allowed_attrs = default_allowed_attributes();
+
+  // Collect removals first; mutating during traversal over snapshots is
+  // safe but a two-phase sweep keeps the policy readable.
+  std::vector<Element*> to_remove;
+  std::vector<Element*> to_unwrap;
+  body->for_each([&](Node& node) {
+    Element* element = node.as_element();
+    if (element == nullptr || element == body) return;
+
+    const bool allowed =
+        allowed_tags.count(element->tag_name()) > 0 ||
+        config_.extra_allowed_tags.count(element->tag_name()) > 0;
+    const bool dangerous = element->is_html("script") ||
+                           element->is_html("iframe") ||
+                           element->is_html("object") ||
+                           element->is_html("embed") ||
+                           element->is_html("base") ||
+                           element->is_html("meta") ||
+                           element->is_html("link");
+    if (dangerous) {
+      to_remove.push_back(element);
+      return;
+    }
+    if (!allowed) {
+      to_unwrap.push_back(element);  // drop the tag, keep the safe children
+      return;
+    }
+    if (config_.mode == SanitizerMode::kHardened &&
+        is_namespace_confusion(*element)) {
+      to_remove.push_back(element);
+      return;
+    }
+    // Attribute policy.
+    std::vector<std::string> drop;
+    for (const html::Attribute& attr : element->attributes()) {
+      if (is_event_handler(attr.name) ||
+          allowed_attrs.find(attr.name) == allowed_attrs.end() ||
+          ((attr.name == "href" || attr.name == "src") &&
+           is_script_url(attr.value))) {
+        drop.push_back(attr.name);
+      }
+    }
+    for (const std::string& name : drop) element->remove_attribute(name);
+  });
+
+  for (Element* element : to_remove) {
+    if (element->parent() != nullptr) {
+      element->parent()->remove_child(element);
+    }
+  }
+  for (Element* element : to_unwrap) {
+    Node* parent = element->parent();
+    if (parent == nullptr) continue;
+    for (Node* child : std::vector<Node*>(element->children())) {
+      parent->insert_before(child, element);
+    }
+    parent->remove_child(element);
+  }
+  return html::serialize_children(*body);
+}
+
+std::string Sanitizer::sanitize(std::string_view dirty) const {
+  std::string clean = sanitize_once(dirty);
+  if (config_.mode == SanitizerMode::kLegacy) return clean;
+  // Hardened mode: iterate until the output is a fixpoint of
+  // parse -> sanitize -> serialize, i.e. re-parsing cannot mutate it into
+  // anything that would have been filtered.
+  for (int i = 0; i < config_.max_iterations; ++i) {
+    std::string again = sanitize_once(clean);
+    if (again == clean) return clean;
+    clean = std::move(again);
+  }
+  return clean;
+}
+
+bool Sanitizer::output_is_mutation_stable(std::string_view dirty) const {
+  const std::string clean = sanitize(dirty);
+  const html::ParseResult reparsed = html::parse(clean);
+  const Element* body = reparsed.document->body();
+  const std::string round_two =
+      body != nullptr ? html::serialize_children(*body) : std::string();
+  return round_two == clean;
+}
+
+MutationDemo demonstrate_mutation(const Sanitizer& sanitizer,
+                                  std::string_view payload) {
+  MutationDemo demo;
+  demo.after_first_parse = sanitizer.sanitize(payload);
+
+  const html::ParseResult reparsed = html::parse(demo.after_first_parse);
+  const Element* body = reparsed.document->body();
+  demo.after_second_parse =
+      body != nullptr ? html::serialize_children(*body) : std::string();
+
+  // Did an executable vector appear in the HTML namespace in round two?
+  reparsed.document->for_each([&demo](const Node& node) {
+    const Element* element = node.as_element();
+    if (element == nullptr || element->ns() != Namespace::kHtml) return;
+    if (element->tag_name() == "script") demo.executes_script = true;
+    for (const html::Attribute& attr : element->attributes()) {
+      if (is_event_handler(attr.name)) demo.executes_script = true;
+    }
+  });
+  return demo;
+}
+
+}  // namespace hv::sanitize

@@ -1,0 +1,64 @@
+// An allowlist HTML sanitizer in the DOMPurify style (paper section 2.2):
+// parse the untrusted markup with the real (error-tolerant) parser, filter
+// the DOM against allowlists, serialize the clean DOM back to a string.
+//
+// The security-relevant subtlety the paper builds on: the *output string*
+// is parsed AGAIN by the consumer, and the error tolerance can mutate it
+// into something the sanitizer never saw (mutation XSS).  Two modes:
+//
+//   * kLegacy    — reproduces the pre-2.1 DOMPurify blind spot: foreign
+//     content (math/svg) is filtered by tag name only, so the Figure 1
+//     payload survives and mutates into an <img onerror> on re-parse.
+//   * kHardened  — additionally enforces namespace coherence (the fix that
+//     shipped after [30]): foreign-namespace elements whose tag also has
+//     HTML parsing significance are removed, and sanitization iterates to
+//     a mutation-stable fixpoint.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace hv::sanitize {
+
+enum class SanitizerMode { kLegacy, kHardened };
+
+struct SanitizerConfig {
+  SanitizerMode mode = SanitizerMode::kHardened;
+  /// Extra tags to allow on top of the default allowlist.
+  std::unordered_set<std::string> extra_allowed_tags;
+  /// Maximum fixpoint iterations in hardened mode.
+  int max_iterations = 8;
+};
+
+class Sanitizer {
+ public:
+  explicit Sanitizer(SanitizerConfig config = {});
+
+  /// Returns the sanitized inner-HTML of the input's body.
+  std::string sanitize(std::string_view dirty) const;
+
+  /// True when sanitize(x) is stable under one more parse+serialize round,
+  /// i.e. no mutation-XSS potential remains in the output.
+  bool output_is_mutation_stable(std::string_view dirty) const;
+
+  const SanitizerConfig& config() const noexcept { return config_; }
+
+ private:
+  std::string sanitize_once(std::string_view dirty) const;
+  SanitizerConfig config_;
+};
+
+/// Result of the paper's Figure 1 round-trip demonstration.
+struct MutationDemo {
+  std::string after_first_parse;   ///< what the sanitizer saw and emitted
+  std::string after_second_parse;  ///< what the consumer's parser built
+  bool executes_script = false;    ///< an onerror/script escaped into HTML
+};
+
+/// Runs a payload through one sanitize + one re-parse and reports whether
+/// markup that was inert in round one became active in round two.
+MutationDemo demonstrate_mutation(const Sanitizer& sanitizer,
+                                  std::string_view payload);
+
+}  // namespace hv::sanitize

@@ -1,0 +1,187 @@
+// WARC framing and CDX index tests, including random access (the paper's
+// direct-S3-offset reads) and corruption handling.
+#include "archive/warc.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "archive/snapshot_store.h"
+#include "net/http.h"
+
+namespace hv::archive {
+namespace {
+
+std::string http_page(std::string_view body) {
+  return net::build_http_response(
+      200, "OK", {{"Content-Type", "text/html; charset=utf-8"}}, body);
+}
+
+TEST(Warc, WriteReadRoundTrip) {
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  writer.write_warcinfo("CC-MAIN-TEST");
+  writer.write_response("https://a.example/", "2020-01-01T00:00:00Z",
+                        http_page("<p>a</p>"));
+  writer.write_response("https://b.example/x", "2020-01-01T00:00:00Z",
+                        http_page("<p>b</p>"));
+
+  WarcReader reader(stream);
+  const auto info = reader.next();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->type, "warcinfo");
+  EXPECT_NE(info->payload.find("CC-MAIN-TEST"), std::string::npos);
+
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, "response");
+  EXPECT_EQ(first->target_uri, "https://a.example/");
+  EXPECT_EQ(first->date, "2020-01-01T00:00:00Z");
+  const auto http = net::parse_http_response(first->payload);
+  ASSERT_TRUE(http.has_value());
+  EXPECT_EQ(http->body, "<p>a</p>");
+
+  const auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->target_uri, "https://b.example/x");
+
+  EXPECT_FALSE(reader.next().has_value());  // clean EOF
+}
+
+TEST(Warc, RandomAccessViaOffsets) {
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  writer.write_warcinfo("T");
+  const std::uint64_t first = writer.write_response(
+      "https://a/", "2020-01-01T00:00:00Z", http_page("AAA"));
+  std::uint64_t second_length = 0;
+  const std::uint64_t second = writer.write_response(
+      "https://b/", "2020-01-01T00:00:00Z", http_page("BBB"),
+      &second_length);
+  EXPECT_GT(second, first);
+  EXPECT_GT(second_length, 0u);
+
+  WarcReader reader(stream);
+  reader.seek(second);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->target_uri, "https://b/");
+  reader.seek(first);
+  EXPECT_EQ(reader.next()->target_uri, "https://a/");
+}
+
+TEST(Warc, BinaryPayloadSurvives) {
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  std::string body = "a";
+  body.push_back('\0');
+  body += "\r\n\r\nWARC/1.0\r\n";  // content that looks like framing
+  writer.write_response("https://x/", "2020-01-01T00:00:00Z",
+                        http_page(body));
+  WarcReader reader(stream);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  const auto http = net::parse_http_response(record->payload);
+  EXPECT_EQ(http->body, body);
+}
+
+TEST(Warc, TruncatedPayloadThrows) {
+  std::stringstream stream;
+  stream << "WARC/1.0\r\nWARC-Type: response\r\nContent-Length: 100\r\n\r\n"
+         << "short";
+  WarcReader reader(stream);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(Warc, BadVersionLineThrows) {
+  std::stringstream stream;
+  stream << "NOT-A-WARC\r\n\r\n";
+  WarcReader reader(stream);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(Warc, MissingContentLengthThrows) {
+  std::stringstream stream;
+  stream << "WARC/1.0\r\nWARC-Type: response\r\n\r\n";
+  WarcReader reader(stream);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(Warc, EmptyStreamIsCleanEof) {
+  std::stringstream stream;
+  WarcReader reader(stream);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+// --- CDX ------------------------------------------------------------------------
+
+TEST(Cdx, LookupGroupsByDomainInInsertionOrder) {
+  CdxIndex index;
+  index.add({"a.example", "https://a.example/", "text/html", 0, 10});
+  index.add({"b.example", "https://b.example/", "text/html", 10, 10});
+  index.add({"a.example", "https://a.example/2", "text/html", 20, 10});
+  const auto captures = index.lookup("a.example");
+  ASSERT_EQ(captures.size(), 2u);
+  EXPECT_EQ(captures[0]->url, "https://a.example/");
+  EXPECT_EQ(captures[1]->url, "https://a.example/2");
+  EXPECT_TRUE(index.lookup("missing.example").empty());
+}
+
+TEST(Cdx, LookupHonorsLimit) {
+  CdxIndex index;
+  for (int i = 0; i < 150; ++i) {
+    index.add({"a.example", "https://a.example/" + std::to_string(i),
+               "text/html", static_cast<std::uint64_t>(i) * 10, 10});
+  }
+  EXPECT_EQ(index.lookup("a.example").size(), 100u);  // the paper's cap
+  EXPECT_EQ(index.lookup("a.example", 5).size(), 5u);
+}
+
+TEST(Cdx, SaveLoadRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "hv_cdx_test.cdx";
+  CdxIndex index;
+  index.add({"a.example", "https://a.example/", "text/html; charset=utf-8",
+             123, 456});
+  index.add({"b.example", "https://b.example/p", "application/json", 789,
+             12});
+  index.save(path);
+  const CdxIndex loaded = CdxIndex::load(path);
+  ASSERT_EQ(loaded.entries().size(), 2u);
+  EXPECT_EQ(loaded.entries()[0].domain, "a.example");
+  EXPECT_EQ(loaded.entries()[0].offset, 123u);
+  EXPECT_EQ(loaded.entries()[0].content_type, "text/html; charset=utf-8");
+  EXPECT_EQ(loaded.entries()[1].length, 12u);
+  std::filesystem::remove(path);
+}
+
+TEST(Cdx, DomainsSorted) {
+  CdxIndex index;
+  index.add({"b.example", "u1", "t", 0, 1});
+  index.add({"a.example", "u2", "t", 1, 1});
+  const auto domains = index.domains();
+  ASSERT_EQ(domains.size(), 2u);
+  EXPECT_EQ(domains[0], "a.example");
+}
+
+TEST(SnapshotStore, CreateAndExists) {
+  const auto root =
+      std::filesystem::temp_directory_path() / "hv_snapshot_test";
+  std::filesystem::remove_all(root);
+  const SnapshotStore store(root);
+  EXPECT_FALSE(store.exists("CC-MAIN-2015-14"));
+  const SnapshotPaths paths = store.create("CC-MAIN-2015-14");
+  {
+    std::ofstream warc(paths.warc, std::ios::binary);
+    warc << "x";
+    std::ofstream cdx(paths.cdx, std::ios::binary);
+  }
+  EXPECT_TRUE(store.exists("CC-MAIN-2015-14"));
+  EXPECT_FALSE(store.exists("CC-MAIN-2016-07"));
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace hv::archive

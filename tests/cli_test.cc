@@ -1,0 +1,240 @@
+// Tests for the `hv` command-line tool (driven in-process via
+// hv::cli::run over string streams).
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "archive/warc.h"
+#include "net/http.h"
+
+namespace hv::cli {
+namespace {
+
+struct CliResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(const std::vector<std::string>& args,
+                  const std::string& stdin_content = {}) {
+  std::istringstream in(stdin_content);
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult result;
+  result.exit_code = run(args, in, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+std::filesystem::path write_temp(const std::string& name,
+                                 const std::string& content) {
+  const auto path = std::filesystem::temp_directory_path() / name;
+  std::ofstream file(path, std::ios::binary);
+  file << content;
+  return path;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CliResult result = run_cli({});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpGoesToStdout) {
+  const CliResult result = run_cli({"--help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommand) {
+  const CliResult result = run_cli({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliCheck, CleanPageFromStdin) {
+  const CliResult result = run_cli(
+      {"check"}, "<!DOCTYPE html><html><head><title>t</title></head>"
+                 "<body><p>x</p></body></html>");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("clean"), std::string::npos);
+}
+
+TEST(CliCheck, ViolationsReportedWithLines) {
+  const CliResult result = run_cli(
+      {"check"},
+      "<!DOCTYPE html><html><head><title>t</title></head><body>\n"
+      "<a href=\"/x\"class=\"y\">l</a></body></html>");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("FB2"), std::string::npos);
+  EXPECT_NE(result.out.find("line 2"), std::string::npos);
+}
+
+TEST(CliCheck, JsonOutputIsWellFormedIsh) {
+  const CliResult result = run_cli(
+      {"check", "--json"},
+      "<body><img src=\"a\" alt=\"1\" alt=\"2\"></body>");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("\"violation\": \"DM3\""), std::string::npos);
+  EXPECT_NE(result.out.find("\"auto_fixable\": true"), std::string::npos);
+  EXPECT_EQ(result.out.front(), '[');
+  // Balanced brackets at the ends.
+  EXPECT_NE(result.out.rfind("]"), std::string::npos);
+}
+
+TEST(CliCheck, MultipleFiles) {
+  const auto clean = write_temp("hv_cli_clean.html",
+                                "<!DOCTYPE html><html><head><title>t"
+                                "</title></head><body><p>x</p></body>"
+                                "</html>");
+  const auto dirty = write_temp("hv_cli_dirty.html",
+                                "<body><img/src=\"x\"/alt=\"y\"></body>");
+  const CliResult result =
+      run_cli({"check", clean.string(), dirty.string()});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("clean"), std::string::npos);
+  EXPECT_NE(result.out.find("FB1"), std::string::npos);
+  std::filesystem::remove(clean);
+  std::filesystem::remove(dirty);
+}
+
+TEST(CliCheck, MissingFileIsUsageError) {
+  const CliResult result = run_cli({"check", "/definitely/not/here.html"});
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliFix, RepairsStdinToStdout) {
+  const CliResult result = run_cli(
+      {"fix", "-"}, "<body><a href=\"/x\"class=\"y\">l</a></body>");
+  EXPECT_EQ(result.exit_code, 1);  // violations were present
+  EXPECT_NE(result.out.find("class=\"y\""), std::string::npos);
+  EXPECT_NE(result.err.find("1 violation(s) removed"), std::string::npos);
+  // The output parses clean.
+  const CliResult recheck = run_cli({"check"}, result.out);
+  EXPECT_EQ(recheck.exit_code, 0);
+}
+
+TEST(CliFix, WritesOutputFile) {
+  const auto out_path =
+      std::filesystem::temp_directory_path() / "hv_cli_fixed.html";
+  const CliResult result = run_cli(
+      {"fix", "-o", out_path.string(), "-"},
+      "<body><div id=a id=b>x</div></body>");
+  EXPECT_EQ(result.exit_code, 1);
+  std::ifstream file(out_path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("<div id=\"a\">x</div>"), std::string::npos);
+  std::filesystem::remove(out_path);
+}
+
+TEST(CliFix, CleanInputExitsZero) {
+  const CliResult result = run_cli(
+      {"fix", "-"},
+      "<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p>"
+      "</body></html>");
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST(CliSanitize, StripsScript) {
+  const CliResult result = run_cli(
+      {"sanitize", "-"}, "<p>ok</p><script>evil()</script>");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.out.find("script"), std::string::npos);
+  EXPECT_NE(result.out.find("<p>ok</p>"), std::string::npos);
+}
+
+TEST(CliSanitize, LegacyModeKeepsFigure1Gadget) {
+  const char* payload =
+      "<math><mtext><table><mglyph><style><!--</style>"
+      "<img title=\"--&gt;&lt;img src=1 onerror=alert(1)&gt;\">";
+  const CliResult legacy = run_cli({"sanitize", "--legacy", "-"}, payload);
+  EXPECT_NE(legacy.out.find("mglyph"), std::string::npos);
+  const CliResult hardened = run_cli({"sanitize", "-"}, payload);
+  EXPECT_EQ(hardened.out.find("<style"), std::string::npos);
+}
+
+TEST(CliTokens, DumpsTokensAndErrors) {
+  const CliResult result =
+      run_cli({"tokens", "-"}, "<a href=\"/x\"class=\"y\">l</a>");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("StartTag  <a"), std::string::npos);
+  EXPECT_NE(result.out.find("missing-whitespace-between-attributes"),
+            std::string::npos);
+}
+
+TEST(CliTokens, CleanInputExitsZero) {
+  const CliResult result = run_cli({"tokens", "-"}, "<p>x</p>");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("0 parse error(s)"), std::string::npos);
+}
+
+TEST(CliStudy, TinyStudyRuns) {
+  const auto workdir =
+      std::filesystem::temp_directory_path() / "hv_cli_study_test";
+  std::filesystem::remove_all(workdir);
+  const CliResult result = run_cli(
+      {"study", "--domains", "60", "--pages", "3", "--seed", "9",
+       "--workdir", workdir.string()});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("CC-MAIN-2015-14"), std::string::npos);
+  EXPECT_NE(result.out.find("union any-violation"), std::string::npos);
+  std::filesystem::remove_all(workdir);
+}
+
+TEST(CliStudy, BadOptionIsUsageError) {
+  EXPECT_EQ(run_cli({"study", "--domains"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"study", "--bogus"}).exit_code, 2);
+}
+
+TEST(CliWarc, ListAndCat) {
+  // Build a tiny archive on disk first.
+  const auto path =
+      std::filesystem::temp_directory_path() / "hv_cli_test.warc";
+  std::uint64_t second_offset = 0;
+  {
+    std::ofstream file(path, std::ios::binary);
+    archive::WarcWriter writer(file);
+    writer.write_warcinfo("CC-TEST");
+    writer.write_response(
+        "https://a.example/", "2020-01-01T00:00:00Z",
+        net::build_http_response(200, "OK", {{"Content-Type", "text/html"}},
+                                 "<p>first</p>"));
+    second_offset = writer.write_response(
+        "https://b.example/x", "2020-01-01T00:00:00Z",
+        net::build_http_response(200, "OK", {{"Content-Type", "text/html"}},
+                                 "<p>second</p>"));
+  }
+
+  const CliResult listing = run_cli({"warc", "list", path.string()});
+  EXPECT_EQ(listing.exit_code, 0);
+  EXPECT_NE(listing.out.find("warcinfo"), std::string::npos);
+  EXPECT_NE(listing.out.find("https://a.example/"), std::string::npos);
+  EXPECT_NE(listing.out.find("https://b.example/x"), std::string::npos);
+
+  const CliResult cat = run_cli(
+      {"warc", "cat", path.string(), std::to_string(second_offset)});
+  EXPECT_EQ(cat.exit_code, 0);
+  EXPECT_EQ(cat.out, "<p>second</p>");
+  std::filesystem::remove(path);
+}
+
+TEST(CliWarc, UsageErrors) {
+  EXPECT_EQ(run_cli({"warc"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"warc", "list", "/no/such.warc"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"warc", "frob", "x"}).exit_code, 2);
+}
+
+TEST(JsonEscape, ControlAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string_view("x\x01y", 3)), "x\\u0001y");
+}
+
+}  // namespace
+}  // namespace hv::cli

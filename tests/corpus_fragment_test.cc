@@ -1,0 +1,114 @@
+// Fragment-generator tests: injector hygiene for dynamically loaded
+// content (the section 5.1 pre-study machinery).
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "corpus/page_builder.h"
+#include "html/parser.h"
+
+namespace hv::corpus {
+namespace {
+
+const core::Checker& checker() {
+  static const core::Checker instance;
+  return instance;
+}
+
+PageSpec fragment_spec(std::uint64_t seed) {
+  PageSpec spec;
+  spec.domain = "fragment-test.example";
+  spec.path = "/ajax/partial";
+  spec.year = 2021;
+  spec.seed = seed;
+  return spec;
+}
+
+core::CheckResult check_fragment(const std::string& fragment) {
+  const html::ParseResult parsed = html::parse_fragment(fragment, "div");
+  return checker().check(parsed, fragment);
+}
+
+TEST(FragmentCapability, StructureViolationsExcluded) {
+  using core::Violation;
+  EXPECT_FALSE(violation_possible_in_fragment(Violation::kHF1));
+  EXPECT_FALSE(violation_possible_in_fragment(Violation::kHF2));
+  EXPECT_FALSE(violation_possible_in_fragment(Violation::kHF3));
+  EXPECT_FALSE(violation_possible_in_fragment(Violation::kDM2_1));
+  EXPECT_FALSE(violation_possible_in_fragment(Violation::kDM2_2));
+  EXPECT_FALSE(violation_possible_in_fragment(Violation::kDM2_3));
+  EXPECT_TRUE(violation_possible_in_fragment(Violation::kFB2));
+  EXPECT_TRUE(violation_possible_in_fragment(Violation::kDM3));
+  EXPECT_TRUE(violation_possible_in_fragment(Violation::kHF4));
+  EXPECT_TRUE(violation_possible_in_fragment(Violation::kDE1));
+  EXPECT_FALSE(violation_possible_in_fragment(Violation::kCount));
+}
+
+class CleanFragmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CleanFragmentProperty, NoViolations) {
+  const PageSpec spec =
+      fragment_spec(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  const core::CheckResult result = check_fragment(render_fragment(spec));
+  std::string found;
+  for (const core::Finding& finding : result.findings) {
+    found += std::string(core::to_string(finding.violation)) + " ";
+  }
+  EXPECT_FALSE(result.violating()) << "seed " << GetParam() << ": " << found;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanFragmentProperty,
+                         ::testing::Range(0, 25));
+
+class FragmentInjectorPurity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FragmentInjectorPurity, ExactlyTheInjectedFamily) {
+  const auto violation =
+      static_cast<core::Violation>(std::get<0>(GetParam()));
+  if (!violation_possible_in_fragment(violation)) GTEST_SKIP();
+  const int seed = std::get<1>(GetParam());
+  PageSpec spec = fragment_spec(static_cast<std::uint64_t>(seed) * 7 + 3);
+  spec.violations.set(static_cast<std::size_t>(violation));
+  const core::CheckResult result = check_fragment(render_fragment(spec));
+  EXPECT_TRUE(result.has(violation)) << core::to_string(violation);
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    if (v == static_cast<std::size_t>(violation)) continue;
+    EXPECT_FALSE(result.has(static_cast<core::Violation>(v)))
+        << core::to_string(violation) << " seed " << seed << " co-fired "
+        << core::to_string(static_cast<core::Violation>(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllViolationsTimesSeeds, FragmentInjectorPurity,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(core::kViolationCount)),
+        ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(core::to_string(
+                 static_cast<core::Violation>(std::get<0>(info.param)))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Fragments, StructureViolationsSilentlySkipped) {
+  PageSpec spec = fragment_spec(77);
+  spec.violations.set(static_cast<std::size_t>(core::Violation::kHF1));
+  spec.violations.set(static_cast<std::size_t>(core::Violation::kDM2_2));
+  const core::CheckResult result = check_fragment(render_fragment(spec));
+  EXPECT_FALSE(result.violating());
+}
+
+TEST(Fragments, Deterministic) {
+  const PageSpec spec = fragment_spec(9);
+  EXPECT_EQ(render_fragment(spec), render_fragment(spec));
+}
+
+TEST(Fragments, VariantsDifferByPath) {
+  PageSpec a = fragment_spec(9);
+  PageSpec b = fragment_spec(9);
+  b.path = "/ajax/other";
+  EXPECT_NE(render_fragment(a), render_fragment(b));
+}
+
+}  // namespace
+}  // namespace hv::corpus

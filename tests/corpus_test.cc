@@ -1,0 +1,318 @@
+// Corpus tests — the ground-truth guarantees everything else rests on:
+//   * injector purity: each injected violation is detected as exactly that
+//     violation family and nothing else,
+//   * clean pages parse with zero findings (checker false-positive rate),
+//   * calibration reproduces the paper's marginals,
+//   * full determinism in the seed.
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "corpus/calibration.h"
+#include "corpus/page_builder.h"
+#include "corpus/rng.h"
+#include "html/encoding.h"
+
+namespace hv::corpus {
+namespace {
+
+const core::Checker& checker() {
+  static const core::Checker instance;
+  return instance;
+}
+
+PageSpec base_spec(std::uint64_t seed) {
+  PageSpec spec;
+  spec.domain = "unit-test.example";
+  spec.path = "/";
+  spec.year = 2020;
+  spec.seed = seed;
+  return spec;
+}
+
+// --- clean pages -------------------------------------------------------------
+
+class CleanPageProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CleanPageProperty, NoViolationsAcrossSeeds) {
+  PageSpec spec = base_spec(static_cast<std::uint64_t>(GetParam()) * 7919);
+  spec.path = "/page-" + std::to_string(GetParam());
+  const std::string html = render_page(spec);
+  const core::CheckResult result = checker().check(html);
+  std::string found;
+  for (const core::Finding& finding : result.findings) {
+    found += std::string(core::to_string(finding.violation)) + "@" +
+             std::to_string(finding.position.line) + " ";
+  }
+  EXPECT_FALSE(result.violating()) << "seed " << GetParam() << ": " << found;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanPageProperty, ::testing::Range(0, 40));
+
+TEST(CleanPage, QuirksDoNotTripTheChecker) {
+  for (int seed = 0; seed < 10; ++seed) {
+    PageSpec spec = base_spec(static_cast<std::uint64_t>(seed));
+    spec.quirk_newline_in_url = true;
+    spec.quirk_uses_math = true;
+    spec.quirk_uses_svg = true;
+    const core::CheckResult result = checker().check(render_page(spec));
+    EXPECT_FALSE(result.violating()) << "seed " << seed;
+  }
+}
+
+TEST(CleanPage, IsValidUtf8) {
+  const std::string html = render_page(base_spec(11));
+  EXPECT_TRUE(html::is_valid_utf8(html));
+}
+
+TEST(CleanPage, Deterministic) {
+  EXPECT_EQ(render_page(base_spec(5)), render_page(base_spec(5)));
+  EXPECT_NE(render_page(base_spec(5)), render_page(base_spec(6)));
+}
+
+TEST(NonUtf8Page, FailsTheEncodingFilter) {
+  EXPECT_FALSE(html::is_valid_utf8(render_non_utf8_page(base_spec(3))));
+}
+
+TEST(NonHtmlPayload, LooksLikeJson) {
+  const std::string payload = render_non_html_payload(base_spec(3));
+  EXPECT_EQ(payload.front(), '{');
+  EXPECT_NE(payload.find("unit-test.example"), std::string::npos);
+}
+
+// --- injector purity -----------------------------------------------------------
+
+class InjectorPurity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(InjectorPurity, ExactlyTheInjectedFamily) {
+  const auto violation =
+      static_cast<core::Violation>(std::get<0>(GetParam()));
+  const int seed = std::get<1>(GetParam());
+  PageSpec spec = base_spec(static_cast<std::uint64_t>(seed) * 104729 + 17);
+  spec.violations.set(static_cast<std::size_t>(violation));
+  const std::string html = render_page(spec);
+  const core::CheckResult result = checker().check(html);
+
+  EXPECT_TRUE(result.has(violation))
+      << core::to_string(violation) << " seed " << seed << " not detected";
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    if (v == static_cast<std::size_t>(violation)) continue;
+    EXPECT_FALSE(result.has(static_cast<core::Violation>(v)))
+        << core::to_string(violation) << " seed " << seed
+        << " also triggered "
+        << core::to_string(static_cast<core::Violation>(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllViolationsTimesSeeds, InjectorPurity,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(core::kViolationCount)),
+        ::testing::Values(1, 2, 3, 4, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(core::to_string(
+                 static_cast<core::Violation>(std::get<0>(info.param)))) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Injectors, CombinedFixableViolationsAllDetected) {
+  PageSpec spec = base_spec(99);
+  spec.violations.set(static_cast<std::size_t>(core::Violation::kFB1));
+  spec.violations.set(static_cast<std::size_t>(core::Violation::kFB2));
+  spec.violations.set(static_cast<std::size_t>(core::Violation::kDM3));
+  const core::CheckResult result = checker().check(render_page(spec));
+  EXPECT_TRUE(result.has(core::Violation::kFB1));
+  EXPECT_TRUE(result.has(core::Violation::kFB2));
+  EXPECT_TRUE(result.has(core::Violation::kDM3));
+}
+
+TEST(Injectors, De1SuppressesSamePageDe2) {
+  PageSpec spec = base_spec(4);
+  spec.violations.set(static_cast<std::size_t>(core::Violation::kDE1));
+  spec.violations.set(static_cast<std::size_t>(core::Violation::kDE2));
+  const core::CheckResult result = checker().check(render_page(spec));
+  EXPECT_TRUE(result.has(core::Violation::kDE1));
+  EXPECT_FALSE(result.has(core::Violation::kDE2));
+}
+
+// --- rng / math utilities --------------------------------------------------------
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsSane) {
+  SplitMix64 rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, InverseNormalCdfRoundTrips) {
+  for (const double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-6) << p;
+  }
+}
+
+TEST(Rng, Fnv1aStable) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+}
+
+// --- calibration ------------------------------------------------------------------
+
+TEST(Calibration, ThresholdsMatchMarginals) {
+  const auto targets = paper_targets();
+  const Calibration calibration = Calibration::solve(targets, 0.7431, 1234,
+                                                     1500);
+  // Verify by simulation: the year-0 marginal of FB2 should be close to
+  // the paper's 48%.
+  const auto& fb2 = calibration.violations[static_cast<std::size_t>(
+      core::Violation::kFB2)];
+  SplitMix64 rng(77);
+  int hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (fb2.active(rng.normal(), rng.normal(), rng.normal(), 0)) ++hits;
+  }
+  EXPECT_NEAR(100.0 * hits / kSamples,
+              48.0, 1.5);
+}
+
+TEST(Calibration, WeightsAreAValidDecomposition) {
+  const Calibration calibration =
+      Calibration::solve(paper_targets(), 0.7431, 99, 1000);
+  for (const CalibratedSeries& series : calibration.violations) {
+    const double total = series.domain_weight * series.domain_weight +
+                         series.series_weight * series.series_weight +
+                         series.noise_weight * series.noise_weight;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+    EXPECT_GE(series.noise_weight, 0.0);
+  }
+}
+
+TEST(Calibration, PersistenceRaisesWithUnionGap) {
+  // FB2 union (78.5%) is far above its yearly ~45%, so it needs noticeable
+  // churn; DE1 (union 0.10 vs yearly 0.02) needs even more relative churn.
+  const Calibration calibration =
+      Calibration::solve(paper_targets(), 0.7431, 99, 1000);
+  const auto& fb2 = calibration.violations[static_cast<std::size_t>(
+      core::Violation::kFB2)];
+  EXPECT_GT(fb2.noise_weight, 0.05);
+}
+
+// --- the generator -----------------------------------------------------------------
+
+CorpusConfig small_config() {
+  CorpusConfig config;
+  config.domain_count = 60;
+  config.max_pages_per_domain = 4;
+  config.calibration_samples = 800;
+  config.seed = 2024;
+  return config;
+}
+
+std::vector<std::string> test_domains(std::size_t count) {
+  std::vector<std::string> domains;
+  for (std::size_t i = 0; i < count; ++i) {
+    domains.push_back("site" + std::to_string(i) + ".example");
+  }
+  return domains;
+}
+
+TEST(Generator, DeterministicSnapshots) {
+  const Generator a(small_config(), test_domains(60));
+  const Generator b(small_config(), test_domains(60));
+  for (const std::size_t d : {0u, 7u, 33u}) {
+    const DomainSnapshot snap_a = a.domain_snapshot(d, 3);
+    const DomainSnapshot snap_b = b.domain_snapshot(d, 3);
+    EXPECT_EQ(snap_a.in_crawl, snap_b.in_crawl);
+    ASSERT_EQ(snap_a.pages.size(), snap_b.pages.size());
+    for (std::size_t p = 0; p < snap_a.pages.size(); ++p) {
+      EXPECT_EQ(snap_a.pages[p].body, snap_b.pages[p].body);
+    }
+  }
+}
+
+TEST(Generator, GroundTruthIsDetectedByChecker) {
+  // Page-level end-to-end: every violation scheduled for a domain-year is
+  // found on at least one of its pages, and nothing extra appears at the
+  // domain level... except cross-fire-free injectors guarantee none.
+  const Generator generator(small_config(), test_domains(60));
+  int checked_domains = 0;
+  for (std::size_t d = 0; d < 60 && checked_domains < 25; ++d) {
+    const DomainSnapshot snapshot = generator.domain_snapshot(d, 7);
+    if (!snapshot.analyzable) continue;
+    ++checked_domains;
+    std::bitset<core::kViolationCount> detected;
+    for (const PageRecord& record : snapshot.pages) {
+      if (record.content_type.find("utf-8") == std::string::npos) continue;
+      detected |= checker().check(record.body).present;
+    }
+    // DE2 may be sacrificed on single-page domains sharing DE1.
+    auto expected = snapshot.ground_truth;
+    if (expected.test(static_cast<std::size_t>(core::Violation::kDE1)) &&
+        snapshot.pages.size() == 1) {
+      expected.reset(static_cast<std::size_t>(core::Violation::kDE2));
+    }
+    EXPECT_EQ(detected, expected) << "domain " << d;
+  }
+  EXPECT_GE(checked_domains, 10);
+}
+
+TEST(Generator, ApiDomainsAreNotAnalyzable) {
+  const Generator generator(small_config(), test_domains(60));
+  bool saw_api = false;
+  for (std::size_t d = 0; d < 60; ++d) {
+    const DomainSnapshot snapshot = generator.domain_snapshot(d, 0);
+    if (snapshot.in_crawl && !snapshot.analyzable) {
+      saw_api = true;
+      for (const PageRecord& record : snapshot.pages) {
+        EXPECT_EQ(record.content_type, "application/json");
+      }
+    }
+  }
+  // With 60 domains and ~2.3% failure rate this may or may not appear;
+  // only assert the invariant, not the existence.
+  (void)saw_api;
+}
+
+TEST(Generator, PageCountsWithinCap) {
+  const Generator generator(small_config(), test_domains(60));
+  for (std::size_t d = 0; d < 20; ++d) {
+    const DomainSnapshot snapshot = generator.domain_snapshot(d, 4);
+    EXPECT_LE(snapshot.pages.size(), 4u);
+    if (snapshot.in_crawl && snapshot.analyzable) {
+      EXPECT_GE(snapshot.pages.size(), 1u);
+    }
+  }
+}
+
+TEST(Generator, TruncatesDomainListToConfig) {
+  CorpusConfig config = small_config();
+  config.domain_count = 10;
+  const Generator generator(config, test_domains(60));
+  EXPECT_EQ(generator.domains().size(), 10u);
+}
+
+}  // namespace
+}  // namespace hv::corpus

@@ -1,0 +1,172 @@
+// Auto-fixer tests (paper section 4.4): the FB/DM classes are mechanically
+// repairable without changing rendering; HF/DE are not semantics-safe.
+#include "fix/autofix.h"
+
+#include <gtest/gtest.h>
+
+namespace hv::fix {
+namespace {
+
+const AutoFixer& fixer() {
+  static const AutoFixer instance;
+  return instance;
+}
+
+std::string page(std::string_view head, std::string_view body) {
+  std::string out = "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+                    "<title>t</title>";
+  out += head;
+  out += "</head><body>";
+  out += body;
+  out += "</body></html>";
+  return out;
+}
+
+TEST(AutoFix, FixesFB1) {
+  const FixOutcome outcome = fixer().fix_and_verify(
+      page("", "<img/src=\"/x.png\"/alt=\"y\">"));
+  EXPECT_TRUE(outcome.before.has(core::Violation::kFB1));
+  EXPECT_FALSE(outcome.after.has(core::Violation::kFB1));
+  EXPECT_TRUE(outcome.fully_fixed);
+  EXPECT_TRUE(outcome.semantics_preserving);
+}
+
+TEST(AutoFix, FixesFB2) {
+  const FixOutcome outcome = fixer().fix_and_verify(
+      page("", "<a href=\"/x\"class=\"btn\">go</a>"));
+  EXPECT_TRUE(outcome.before.has(core::Violation::kFB2));
+  EXPECT_TRUE(outcome.fully_fixed);
+  // Both attributes survive in the repaired markup.
+  EXPECT_NE(outcome.fixed_html.find("href=\"/x\""), std::string::npos);
+  EXPECT_NE(outcome.fixed_html.find("class=\"btn\""), std::string::npos);
+}
+
+TEST(AutoFix, FixesDM3ByDeduplication) {
+  const FixOutcome outcome = fixer().fix_and_verify(
+      page("", "<img src=\"/a.png\" alt=\"first\" alt=\"second\">"));
+  EXPECT_TRUE(outcome.before.has(core::Violation::kDM3));
+  EXPECT_TRUE(outcome.fully_fixed);
+  // The first attribute wins, as the parser already behaves (section 4.4).
+  EXPECT_NE(outcome.fixed_html.find("alt=\"first\""), std::string::npos);
+  EXPECT_EQ(outcome.fixed_html.find("alt=\"second\""), std::string::npos);
+}
+
+TEST(AutoFix, FixesDM1ByRelocatingMeta) {
+  const FixOutcome outcome = fixer().fix_and_verify(page(
+      "", "<p>x</p><meta http-equiv=\"refresh\" content=\"300; URL=/y\">"));
+  EXPECT_TRUE(outcome.before.has(core::Violation::kDM1));
+  EXPECT_FALSE(outcome.after.has(core::Violation::kDM1));
+  // The meta now lives in the head, before </head>.
+  const std::size_t head_end = outcome.fixed_html.find("</head>");
+  const std::size_t meta = outcome.fixed_html.find("http-equiv");
+  ASSERT_NE(head_end, std::string::npos);
+  ASSERT_NE(meta, std::string::npos);
+  EXPECT_LT(meta, head_end);
+}
+
+TEST(AutoFix, FixesDM2ByRelocatingBase) {
+  const FixOutcome outcome = fixer().fix_and_verify(
+      "<!DOCTYPE html><html><head><title>t</title></head><body>"
+      "<base href=\"https://cdn.x/\"><p>y</p></body></html>");
+  EXPECT_TRUE(outcome.before.has(core::Violation::kDM2_1));
+  EXPECT_FALSE(outcome.after.has(core::Violation::kDM2_1));
+  EXPECT_FALSE(outcome.after.has(core::Violation::kDM2_3));
+}
+
+TEST(AutoFix, RemovesSurplusBases) {
+  const FixOutcome outcome = fixer().fix_and_verify(
+      "<!DOCTYPE html><html><head><base href=\"/\"><base target=\"_x\">"
+      "<title>t</title></head><body></body></html>");
+  EXPECT_TRUE(outcome.before.has(core::Violation::kDM2_2));
+  EXPECT_FALSE(outcome.after.has(core::Violation::kDM2_2));
+  // Exactly one base remains.
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = outcome.fixed_html.find("<base", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(AutoFix, MixedFixableViolationsAllClear) {
+  const FixOutcome outcome = fixer().fix_and_verify(page(
+      "", "<img/src=\"a\"/alt=\"b\"><a href=\"/x\"class=\"y\">l</a>"
+          "<div id=\"d\" id=\"e\">z</div>"));
+  EXPECT_EQ(outcome.before.distinct_violations(), 3u);
+  EXPECT_TRUE(outcome.fully_fixed);
+  EXPECT_TRUE(outcome.semantics_preserving);
+  EXPECT_EQ(outcome.fixed.size(), 3u);
+}
+
+TEST(AutoFix, HFViolationsAreNotSemanticsPreserving) {
+  const FixOutcome outcome = fixer().fix_and_verify(
+      page("", "<table><tr><strong>T</strong></tr></table>"));
+  EXPECT_TRUE(outcome.before.has(core::Violation::kHF4));
+  // Mechanically normalized, but the section 4.4 policy refuses to call it
+  // safe: the layout intent may differ.
+  EXPECT_FALSE(outcome.semantics_preserving);
+}
+
+TEST(AutoFix, DEViolationsAreNotSemanticsPreserving) {
+  const FixOutcome outcome = fixer().fix_and_verify(
+      page("", "<select name=\"c\"><option>G"));
+  EXPECT_TRUE(outcome.before.has(core::Violation::kDE2));
+  EXPECT_FALSE(outcome.semantics_preserving);
+}
+
+TEST(AutoFix, CleanInputPassesThroughSemantically) {
+  const std::string clean = page("", "<p>hello <b>world</b></p>");
+  const FixOutcome outcome = fixer().fix_and_verify(clean);
+  EXPECT_FALSE(outcome.before.violating());
+  EXPECT_FALSE(outcome.after.violating());
+  EXPECT_NE(outcome.fixed_html.find("<p>hello <b>world</b></p>"),
+            std::string::npos);
+}
+
+class FixIdempotence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixIdempotence, FixOfFixIsIdentity) {
+  const std::string once = fixer().fix(GetParam());
+  const std::string twice = fixer().fix(once);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, FixIdempotence,
+    ::testing::Values(
+        "<p>clean</p>",
+        "<img/src=\"x\"/alt=\"y\">",
+        "<a href=\"1\"class=\"2\">l</a>",
+        "<div id=a id=b>x</div>",
+        "<body><meta http-equiv=\"refresh\" content=\"1\"></body>",
+        "<head><base href=\"/\"><base target=\"_x\"></head><body>b",
+        "<table><tr><strong>T</strong></tr></table>",
+        "<head><link href=\"/a.css\" rel=\"stylesheet\"><base href=\"/\">"
+        "</head><body>x"));
+
+// The repaired output is always violation-free for FB/DM inputs — the
+// mechanical half of the paper's 46% claim.
+class FixClearsFixableClass : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixClearsFixableClass, AfterHasNoViolations) {
+  const FixOutcome outcome = fixer().fix_and_verify(GetParam());
+  EXPECT_TRUE(outcome.semantics_preserving);
+  EXPECT_TRUE(outcome.fully_fixed)
+      << "remaining: " << outcome.remaining.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FixableInputs, FixClearsFixableClass,
+    ::testing::Values(
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        "<img/src=\"x\"/alt=\"y\"></body></html>",
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        "<a href=\"1\"rel=\"2\"class=\"3\">l</a></body></html>",
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        "<h2 style=\"a\" style=\"b\">h</h2></body></html>",
+        "<!DOCTYPE html><html><head><title>t</title></head><body>"
+        "<meta http-equiv=\"set-cookie\" content=\"a=1\"></body></html>"));
+
+}  // namespace
+}  // namespace hv::fix

@@ -1,0 +1,247 @@
+// html5lib-style tree-construction conformance table: each case maps an
+// input document to the exact serialized body (or document) the spec's
+// algorithm produces.  These pin the subtle interactions — adoption
+// agency, implied end tags, table fix-up, select, template, rawtext —
+// that the study's violation rules sit on top of.
+#include <gtest/gtest.h>
+
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+struct Case {
+  const char* label;
+  const char* input;
+  const char* expected_body;
+};
+
+class TreeConstruction : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TreeConstruction, BodyMatches) {
+  EXPECT_EQ(testing::body_html(GetParam().input), GetParam().expected_body)
+      << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blocks, TreeConstruction,
+    ::testing::Values(
+        Case{"div_nesting", "<!DOCTYPE html><body><div><div><p>x",
+             "<div><div><p>x</p></div></div>"},
+        Case{"p_closed_by_address", "<!DOCTYPE html><body><p>a<address>b",
+             "<p>a</p><address>b</address>"},
+        Case{"p_not_closed_by_span", "<!DOCTYPE html><body><p>a<span>b",
+             "<p>a<span>b</span></p>"},
+        Case{"h_chain", "<!DOCTYPE html><body><h1>a<h2>b<h3>c",
+             "<h1>a</h1><h2>b</h2><h3>c</h3>"},
+        Case{"blockquote_in_p", "<!DOCTYPE html><body><p>a<blockquote>b",
+             "<p>a</p><blockquote>b</blockquote>"},
+        Case{"button_closes_button",
+             "<!DOCTYPE html><body><button>a<button>b",
+             "<button>a</button><button>b</button>"},
+        Case{"li_deep_close", "<!DOCTYPE html><body><ul><li><b>a<li>b",
+             "<ul><li><b>a</b></li><li><b>b</b></li></ul>"},
+        Case{"hr_closes_p", "<!DOCTYPE html><body><p>a<hr>b",
+             "<p>a</p><hr>b"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+INSTANTIATE_TEST_SUITE_P(
+    Formatting, TreeConstruction,
+    ::testing::Values(
+        Case{"b_i_interleave", "<!DOCTYPE html><body><b>1<i>2</b>3</i>",
+             "<b>1<i>2</i></b><i>3</i>"},
+        Case{"em_across_p", "<!DOCTYPE html><body><em>a<p>b</em>c</p>",
+             "<em>a</em><p><em>b</em>c</p>"},
+        Case{"font_stays_open_across_p",
+             "<!DOCTYPE html><body><font color=\"red\">a<p>b",
+             "<font color=\"red\">a<p>b</p></font>"},
+        Case{"font_adoption_on_close",
+             "<!DOCTYPE html><body><font color=\"red\">a<p>b</font>c",
+             "<font color=\"red\">a</font><p><font color=\"red\">b</font>"
+             "c</p>"},
+        Case{"nobr_reopens", "<!DOCTYPE html><body><nobr>a<nobr>b",
+             "<nobr>a</nobr><nobr>b</nobr>"},
+        Case{"b_in_div_boundary", "<!DOCTYPE html><body><b><div>x</b>y</div>",
+             "<b></b><div><b>x</b>y</div>"},
+        Case{"stray_end_b", "<!DOCTYPE html><body>a</b>c", "ac"},
+        Case{"u_s_strike", "<!DOCTYPE html><body><u><s>a</u>b</s>",
+             "<u><s>a</s></u><s>b</s>"},
+        Case{"big_small_tt",
+             "<!DOCTYPE html><body><big><small>x</big>y</small>",
+             "<big><small>x</small></big><small>y</small>"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables, TreeConstruction,
+    ::testing::Values(
+        Case{"minimal_table", "<!DOCTYPE html><body><table><td>x",
+             "<table><tbody><tr><td>x</td></tr></tbody></table>"},
+        Case{"thead_tfoot",
+             "<!DOCTYPE html><body><table><thead><tr><th>h</th></tr>"
+             "</thead><tfoot><tr><td>f</td></tr></tfoot></table>",
+             "<table><thead><tr><th>h</th></tr></thead>"
+             "<tfoot><tr><td>f</td></tr></tfoot></table>"},
+        Case{"div_fostered",
+             "<!DOCTYPE html><body><table><div>d</div><tr><td>x</table>",
+             "<div>d</div><table><tbody><tr><td>x</td></tr></tbody>"
+             "</table>"},
+        Case{"input_hidden_stays",
+             "<!DOCTYPE html><body><table><input type=\"hidden\">"
+             "<tr><td>x</table>",
+             "<table><input type=\"hidden\"><tbody><tr><td>x</td></tr>"
+             "</tbody></table>"},
+        Case{"input_text_fostered",
+             "<!DOCTYPE html><body><table><input type=\"text\">"
+             "<tr><td>x</table>",
+             "<input type=\"text\"><table><tbody><tr><td>x</td></tr>"
+             "</tbody></table>"},
+        Case{"nested_table_in_cell",
+             "<!DOCTYPE html><body><table><tr><td><table><tr><td>i",
+             "<table><tbody><tr><td><table><tbody><tr><td>i</td></tr>"
+             "</tbody></table></td></tr></tbody></table>"},
+        Case{"table_in_table_fosters",
+             "<!DOCTYPE html><body><table><tr><table>",
+             "<table><tbody><tr></tr></tbody></table><table></table>"},
+        Case{"caption_content",
+             "<!DOCTYPE html><body><table><caption>c<td>x</table>",
+             "<table><caption>c</caption><tbody><tr><td>x</td></tr>"
+             "</tbody></table>"},
+        Case{"col_without_group",
+             "<!DOCTYPE html><body><table><col span=\"2\"><tr><td>x"
+             "</table>",
+             "<table><colgroup><col span=\"2\"></colgroup><tbody><tr>"
+             "<td>x</td></tr></tbody></table>"},
+        Case{"form_in_table_pointerless",
+             "<!DOCTYPE html><body><table><form><tr><td>x</table>",
+             "<table><form></form><tbody><tr><td>x</td></tr></tbody>"
+             "</table>"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+INSTANTIATE_TEST_SUITE_P(
+    SelectAndOptions, TreeConstruction,
+    ::testing::Values(
+        Case{"optgroup_nesting",
+             "<!DOCTYPE html><body><select><optgroup label=\"g\">"
+             "<option>a<option>b<optgroup label=\"h\"><option>c</select>",
+             "<select><optgroup label=\"g\"><option>a</option>"
+             "<option>b</option></optgroup><optgroup label=\"h\">"
+             "<option>c</option></optgroup></select>"},
+        Case{"select_in_select",
+             "<!DOCTYPE html><body><select><option>a<select><option>b",
+             "<select><option>a</option></select><option>b</option>"},
+        Case{"input_pops_select",
+             "<!DOCTYPE html><body><select><option>a<input name=\"q\">",
+             "<select><option>a</option></select><input name=\"q\">"},
+        Case{"option_outside_select",
+             "<!DOCTYPE html><body><option>a<option>b",
+             "<option>a</option><option>b</option>"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+INSTANTIATE_TEST_SUITE_P(
+    RawTextAndEntities, TreeConstruction,
+    ::testing::Values(
+        Case{"script_with_tags",
+             "<!DOCTYPE html><body><script><b>not bold</b></script>",
+             "<script><b>not bold</b></script>"},
+        Case{"xmp_raw", "<!DOCTYPE html><body><xmp><i>raw</i></xmp>",
+             "<xmp><i>raw</i></xmp>"},
+        Case{"textarea_entities_decoded",
+             "<!DOCTYPE html><body><textarea>&lt;b&gt;</textarea>",
+             "<textarea><b></textarea>"},
+        Case{"entity_in_text", "<!DOCTYPE html><body>1 &lt; 2 &amp; 3",
+             "1 &lt; 2 &amp; 3"},
+        Case{"numeric_entity", "<!DOCTYPE html><body>&#65;&#x42;", "AB"},
+        Case{"attr_entities",
+             "<!DOCTYPE html><body><a title=\"&quot;x&quot;\">t</a>",
+             "<a title=\"&quot;x&quot;\">t</a>"},
+        Case{"comment_survives",
+             "<!DOCTYPE html><body>a<!-- keep<b> -->z",
+             "a<!-- keep<b> -->z"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+INSTANTIATE_TEST_SUITE_P(
+    Misnesting, TreeConstruction,
+    ::testing::Values(
+        Case{"unclosed_everything", "<!DOCTYPE html><body><div><p><b>x",
+             "<div><p><b>x</b></p></div>"},
+        Case{"wrong_order_close",
+             "<!DOCTYPE html><body><div><span>x</div></span>y",
+             "<div><span>x</span></div>y"},
+        Case{"li_outside_list", "<!DOCTYPE html><body><li>a<li>b",
+             "<li>a</li><li>b</li>"},
+        Case{"dd_without_dl", "<!DOCTYPE html><body><dd>a<dt>b",
+             "<dd>a</dd><dt>b</dt>"},
+        Case{"stray_end_body_tail",
+             "<!DOCTYPE html><body>a</body>b", "ab"},
+        Case{"content_after_html_close",
+             "<!DOCTYPE html><body>a</html>b", "ab"},
+        Case{"image_renamed", "<!DOCTYPE html><body><image src=\"x\">",
+             "<img src=\"x\">"},
+        Case{"br_end_tag", "<!DOCTYPE html><body>a</br>b", "a<br>b"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+INSTANTIATE_TEST_SUITE_P(
+    ForeignContent, TreeConstruction,
+    ::testing::Values(
+        Case{"svg_case_fix",
+             "<!DOCTYPE html><body><svg><lineargradient id=\"g\">"
+             "</lineargradient></svg>",
+             "<svg><linearGradient id=\"g\"></linearGradient></svg>"},
+        Case{"math_annotation_html",
+             "<!DOCTYPE html><body><math><annotation-xml "
+             "encoding=\"text/html\"><div>h</div></annotation-xml></math>",
+             "<math><annotation-xml encoding=\"text/html\"><div>h</div>"
+             "</annotation-xml></math>"},
+        Case{"svg_title_is_html_ip",
+             "<!DOCTYPE html><body><svg><title><b>t</b></title></svg>",
+             "<svg><title><b>t</b></title></svg>"},
+        Case{"table_breakout_from_svg",
+             "<!DOCTYPE html><body><svg><table><tr><td>x",
+             "<svg></svg><table><tbody><tr><td>x</td></tr></tbody>"
+             "</table>"},
+        Case{"nested_svg_in_foreignobject",
+             "<!DOCTYPE html><body><svg><foreignObject><svg></svg>"
+             "</foreignObject></svg>",
+             "<svg><foreignObject><svg></svg></foreignObject></svg>"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// Whole-document shape checks (head/body synthesis and placement).
+struct DocCase {
+  const char* label;
+  const char* input;
+  const char* expected_document;
+};
+
+class DocumentConstruction : public ::testing::TestWithParam<DocCase> {};
+
+TEST_P(DocumentConstruction, SerializedDocumentMatches) {
+  const ParseResult result = parse(GetParam().input);
+  EXPECT_EQ(serialize(*result.document), GetParam().expected_document)
+      << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, DocumentConstruction,
+    ::testing::Values(
+        DocCase{"empty", "", "<html><head></head><body></body></html>"},
+        DocCase{"only_doctype", "<!DOCTYPE html>",
+                "<!DOCTYPE html><html><head></head><body></body></html>"},
+        DocCase{"only_text", "hi",
+                "<html><head></head><body>hi</body></html>"},
+        DocCase{"comment_before_html", "<!--x--><html></html>",
+                "<!--x--><html><head></head><body></body></html>"},
+        DocCase{"whitespace_skipped", "  \n  <!DOCTYPE html>  \n <html>",
+                "<!DOCTYPE html><html><head></head><body></body></html>"},
+        DocCase{"attrs_on_synthesized",
+                "<html lang=\"en\"><body class=\"c\">x",
+                "<html lang=\"en\"><head></head><body class=\"c\">x</body>"
+                "</html>"},
+        DocCase{"frameset_replaces_body",
+                "<!DOCTYPE html><html><head></head><frameset>"
+                "<frame src=\"a\"></frameset></html>",
+                "<!DOCTYPE html><html><head></head><frameset>"
+                "<frame src=\"a\"></frameset></html>"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace
+}  // namespace hv::html

@@ -1,0 +1,169 @@
+// DOM unit tests: tree surgery primitives the tree builder, auto-fixer,
+// and sanitizer all rely on.
+#include "html/dom.h"
+
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+
+namespace hv::html {
+namespace {
+
+TEST(Dom, CreateAndAppend) {
+  Document document;
+  Element* div = document.create_element("div");
+  Text* text = document.create_text("hi");
+  document.append_child(div);
+  div->append_child(text);
+  EXPECT_EQ(div->parent(), &document);
+  EXPECT_EQ(text->parent(), div);
+  EXPECT_EQ(document.node_count(), 2u);
+}
+
+TEST(Dom, InsertBefore) {
+  Document document;
+  Element* parent = document.create_element("ul");
+  Element* a = document.create_element("li");
+  Element* c = document.create_element("li");
+  Element* b = document.create_element("li");
+  parent->append_child(a);
+  parent->append_child(c);
+  parent->insert_before(b, c);
+  ASSERT_EQ(parent->children().size(), 3u);
+  EXPECT_EQ(parent->children()[0], a);
+  EXPECT_EQ(parent->children()[1], b);
+  EXPECT_EQ(parent->children()[2], c);
+}
+
+TEST(Dom, InsertBeforeNullAppends) {
+  Document document;
+  Element* parent = document.create_element("div");
+  Element* child = document.create_element("span");
+  parent->insert_before(child, nullptr);
+  EXPECT_EQ(parent->last_child(), child);
+}
+
+TEST(Dom, ReparentDetachesFromOldParent) {
+  Document document;
+  Element* first = document.create_element("div");
+  Element* second = document.create_element("div");
+  Element* child = document.create_element("span");
+  first->append_child(child);
+  second->append_child(child);
+  EXPECT_TRUE(first->children().empty());
+  EXPECT_EQ(child->parent(), second);
+}
+
+TEST(Dom, RemoveChild) {
+  Document document;
+  Element* parent = document.create_element("div");
+  Element* child = document.create_element("span");
+  parent->append_child(child);
+  parent->remove_child(child);
+  EXPECT_TRUE(parent->children().empty());
+  EXPECT_EQ(child->parent(), nullptr);
+  parent->remove_child(child);  // no-op, not a crash
+}
+
+TEST(Dom, SelfAppendIsNoOp) {
+  Document document;
+  Element* node = document.create_element("div");
+  node->append_child(node);
+  EXPECT_TRUE(node->children().empty());
+}
+
+TEST(Dom, IndexOf) {
+  Document document;
+  Element* parent = document.create_element("div");
+  Element* a = document.create_element("a");
+  Element* b = document.create_element("b");
+  parent->append_child(a);
+  parent->append_child(b);
+  EXPECT_EQ(parent->index_of(a), 0u);
+  EXPECT_EQ(parent->index_of(b), 1u);
+  EXPECT_EQ(parent->index_of(parent), static_cast<std::size_t>(-1));
+}
+
+TEST(Dom, Attributes) {
+  Document document;
+  Element* element = document.create_element("img");
+  element->set_attribute("src", "/a.png");
+  element->set_attribute("src", "/b.png");  // overwrite
+  EXPECT_EQ(*element->get_attribute("src"), "/b.png");
+  EXPECT_FALSE(element->get_attribute("alt").has_value());
+
+  EXPECT_TRUE(element->add_attribute_if_missing({"alt", "x"}));
+  EXPECT_FALSE(element->add_attribute_if_missing({"alt", "y"}));
+  EXPECT_EQ(*element->get_attribute("alt"), "x");
+
+  element->remove_attribute("src");
+  EXPECT_FALSE(element->has_attribute("src"));
+  EXPECT_EQ(element->attributes().size(), 1u);
+}
+
+TEST(Dom, TextContentConcatenatesSubtree) {
+  const ParseResult result =
+      parse("<body><div>a<span>b<b>c</b></span>d</div></body>");
+  EXPECT_EQ(result.document->body()->text_content(), "abcd");
+}
+
+TEST(Dom, ForEachVisitsPreOrder) {
+  const ParseResult result = parse("<body><div><p>x</p></div><ul></ul>");
+  std::vector<std::string> tags;
+  result.document->for_each([&tags](const Node& node) {
+    if (const Element* element = node.as_element()) {
+      tags.push_back(element->tag_name());
+    }
+  });
+  EXPECT_EQ(tags, (std::vector<std::string>{"html", "head", "body", "div",
+                                            "p", "ul"}));
+}
+
+TEST(Dom, ForEachToleratesRemovalDuringVisit) {
+  const ParseResult result =
+      parse("<body><div id=\"a\"></div><div id=\"b\"></div></body>");
+  Element* body = result.document->body();
+  std::size_t visited = 0;
+  result.document->for_each([&](Node& node) {
+    Element* element = node.as_element();
+    if (element != nullptr && element->tag_name() == "div") {
+      ++visited;
+      body->remove_child(element);
+    }
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_TRUE(body->children().empty());
+}
+
+TEST(Dom, GetElementsByTagFiltersNamespace) {
+  const ParseResult result =
+      parse("<body><title>t2</title><svg><title>s</title></svg></body>");
+  EXPECT_EQ(result.document->get_elements_by_tag("title").size(), 1u);
+  EXPECT_EQ(result.document->get_elements_by_tag("title", true).size(), 2u);
+}
+
+TEST(Dom, HeadAndBodyAccessors) {
+  const ParseResult result = parse("<!DOCTYPE html><p>x</p>");
+  ASSERT_NE(result.document->head(), nullptr);
+  ASSERT_NE(result.document->body(), nullptr);
+  EXPECT_EQ(result.document->head()->tag_name(), "head");
+  EXPECT_EQ(result.document->body()->tag_name(), "body");
+  EXPECT_EQ(result.document->document_element()->tag_name(), "html");
+}
+
+TEST(Dom, NamespaceToString) {
+  EXPECT_EQ(to_string(Namespace::kHtml), "html");
+  EXPECT_EQ(to_string(Namespace::kSvg), "svg");
+  EXPECT_EQ(to_string(Namespace::kMathMl), "mathml");
+}
+
+TEST(Dom, StartPositionTracksSource) {
+  const ParseResult result = parse("<body>\n\n  <div id=\"x\">y</div>");
+  const auto divs = result.document->get_elements_by_tag("div");
+  ASSERT_EQ(divs.size(), 1u);
+  EXPECT_EQ(divs[0]->start_position().line, 3u);
+  EXPECT_EQ(divs[0]->start_position().column, 3u);
+}
+
+}  // namespace
+}  // namespace hv::html

@@ -1,0 +1,144 @@
+// Unit and property tests for the UTF-8 byte-stream decoder.
+#include "html/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace hv::html {
+namespace {
+
+TEST(DecodeUtf8, Ascii) {
+  const auto decoded = decode_utf8("A", 0);
+  EXPECT_TRUE(decoded.valid);
+  EXPECT_EQ(decoded.code_point, U'A');
+  EXPECT_EQ(decoded.length, 1u);
+}
+
+TEST(DecodeUtf8, TwoByte) {
+  const auto decoded = decode_utf8("\xC3\xA9", 0);  // é
+  EXPECT_TRUE(decoded.valid);
+  EXPECT_EQ(decoded.code_point, 0xE9u);
+  EXPECT_EQ(decoded.length, 2u);
+}
+
+TEST(DecodeUtf8, ThreeByte) {
+  const auto decoded = decode_utf8("\xE2\x82\xAC", 0);  // €
+  EXPECT_TRUE(decoded.valid);
+  EXPECT_EQ(decoded.code_point, 0x20ACu);
+}
+
+TEST(DecodeUtf8, FourByte) {
+  const auto decoded = decode_utf8("\xF0\x9F\x98\x80", 0);  // 😀
+  EXPECT_TRUE(decoded.valid);
+  EXPECT_EQ(decoded.code_point, 0x1F600u);
+  EXPECT_EQ(decoded.length, 4u);
+}
+
+TEST(DecodeUtf8, RejectsOverlongTwoByte) {
+  // 0xC0 0x80 would be an overlong encoding of NUL.
+  const auto decoded = decode_utf8("\xC0\x80", 0);
+  EXPECT_FALSE(decoded.valid);
+}
+
+TEST(DecodeUtf8, RejectsOverlongThreeByte) {
+  // 0xE0 0x80 0x80: overlong.
+  const auto decoded = decode_utf8("\xE0\x80\x80", 0);
+  EXPECT_FALSE(decoded.valid);
+}
+
+TEST(DecodeUtf8, RejectsSurrogates) {
+  // 0xED 0xA0 0x80 = U+D800.
+  const auto decoded = decode_utf8("\xED\xA0\x80", 0);
+  EXPECT_FALSE(decoded.valid);
+}
+
+TEST(DecodeUtf8, RejectsAboveMaxCodePoint) {
+  // 0xF4 0x90 0x80 0x80 = U+110000.
+  const auto decoded = decode_utf8("\xF4\x90\x80\x80", 0);
+  EXPECT_FALSE(decoded.valid);
+}
+
+TEST(DecodeUtf8, RejectsLoneContinuation) {
+  const auto decoded = decode_utf8("\x80", 0);
+  EXPECT_FALSE(decoded.valid);
+  EXPECT_EQ(decoded.length, 1u);
+}
+
+TEST(DecodeUtf8, TruncatedSequenceConsumesPrefix) {
+  const auto decoded = decode_utf8("\xE2\x82", 0);
+  EXPECT_FALSE(decoded.valid);
+  EXPECT_GE(decoded.length, 1u);
+  EXPECT_LE(decoded.length, 2u);
+}
+
+TEST(IsValidUtf8, AcceptsWellFormed) {
+  EXPECT_TRUE(is_valid_utf8("plain ascii"));
+  EXPECT_TRUE(is_valid_utf8("caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80"));
+  EXPECT_TRUE(is_valid_utf8(""));
+}
+
+TEST(IsValidUtf8, RejectsLatin1) {
+  EXPECT_FALSE(is_valid_utf8("caf\xE9"));  // the paper's encoding filter
+}
+
+TEST(IsValidUtf8, RejectsStrayContinuation) {
+  EXPECT_FALSE(is_valid_utf8("a\x80z"));
+}
+
+TEST(AppendUtf8, RoundTripsEveryPlane) {
+  const char32_t samples[] = {0x7F, 0x80, 0x7FF, 0x800, 0xFFFF, 0x10000,
+                              0x10FFFF};
+  for (const char32_t cp : samples) {
+    std::string bytes;
+    append_utf8(cp, bytes);
+    const auto decoded = decode_utf8(bytes, 0);
+    EXPECT_TRUE(decoded.valid) << std::hex << static_cast<uint32_t>(cp);
+    EXPECT_EQ(decoded.code_point, cp);
+    EXPECT_EQ(decoded.length, bytes.size());
+    EXPECT_EQ(utf8_length(cp), bytes.size());
+  }
+}
+
+TEST(AppendUtf8, SurrogateBecomesReplacement) {
+  std::string bytes;
+  append_utf8(0xD800, bytes);
+  const auto decoded = decode_utf8(bytes, 0);
+  EXPECT_EQ(decoded.code_point, kReplacementCharacter);
+}
+
+TEST(DecodeUtf8String, ReplacesMalformedAndCounts) {
+  std::u32string out;
+  const std::size_t replaced = decode_utf8_string("a\xC0z\xE9", out);
+  EXPECT_EQ(replaced, 2u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], U'a');
+  EXPECT_EQ(out[1], kReplacementCharacter);
+  EXPECT_EQ(out[2], U'z');
+  EXPECT_EQ(out[3], kReplacementCharacter);
+}
+
+// Property sweep: every code point that round-trips must validate, and
+// every boundary value decodes to itself.
+class Utf8RoundTripProperty
+    : public ::testing::TestWithParam<char32_t> {};
+
+TEST_P(Utf8RoundTripProperty, EncodeDecodeIdentity) {
+  const char32_t cp = GetParam();
+  std::string bytes;
+  append_utf8(cp, bytes);
+  ASSERT_FALSE(bytes.empty());
+  const auto decoded = decode_utf8(bytes, 0);
+  EXPECT_TRUE(decoded.valid);
+  EXPECT_EQ(decoded.code_point, cp);
+  EXPECT_TRUE(is_valid_utf8(bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, Utf8RoundTripProperty,
+    ::testing::Values(U'\x01', U'\x7F', 0x80, 0x7FF, 0x800, 0xD7FF, 0xE000,
+                      0xFFFD, 0x10000, 0xABCDE, 0x10FFFF));
+
+}  // namespace
+}  // namespace hv::html

@@ -1,0 +1,198 @@
+// Tests for named/numeric character references, including the legacy
+// semicolon-less forms and the attribute-context exception that real
+// pages depend on.
+#include "html/entities.h"
+
+#include <gtest/gtest.h>
+
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+using testing::tokenize;
+
+TEST(Entities, ExactLookup) {
+  const NamedEntity* amp = find_named_entity("amp;");
+  ASSERT_NE(amp, nullptr);
+  EXPECT_EQ(amp->first, U'&');
+  EXPECT_EQ(find_named_entity("doesnotexist;"), nullptr);
+}
+
+TEST(Entities, LegacyFormsExist) {
+  for (const char* name : {"amp", "lt", "gt", "quot", "nbsp", "copy",
+                           "eacute", "uuml", "frac12"}) {
+    EXPECT_NE(find_named_entity(name), nullptr) << name;
+  }
+}
+
+TEST(Entities, AposHasNoLegacyForm) {
+  EXPECT_NE(find_named_entity("apos;"), nullptr);
+  EXPECT_EQ(find_named_entity("apos"), nullptr);
+}
+
+TEST(Entities, LongestMatchWins) {
+  std::size_t matched = 0;
+  // "not" and "notin;" both exist; "notin;" must win on full input.
+  const NamedEntity* entity = match_named_entity("notin;", &matched);
+  ASSERT_NE(entity, nullptr);
+  EXPECT_EQ(entity->name, "notin;");
+  EXPECT_EQ(matched, 6u);
+  // On a prefix, fall back to the shorter legacy entity.
+  entity = match_named_entity("notx", &matched);
+  ASSERT_NE(entity, nullptr);
+  EXPECT_EQ(entity->name, "not");
+  EXPECT_EQ(matched, 3u);
+}
+
+TEST(Entities, TableIsReasonablySized) {
+  EXPECT_GE(named_entity_count(), 380u);
+}
+
+TEST(SanitizeNumeric, NulBecomesReplacement) {
+  bool error = false;
+  EXPECT_EQ(sanitize_numeric_reference(0, &error), 0xFFFDu);
+  EXPECT_TRUE(error);
+}
+
+TEST(SanitizeNumeric, OutOfRangeBecomesReplacement) {
+  bool error = false;
+  EXPECT_EQ(sanitize_numeric_reference(0x110000, &error), 0xFFFDu);
+  EXPECT_TRUE(error);
+}
+
+TEST(SanitizeNumeric, SurrogateBecomesReplacement) {
+  bool error = false;
+  EXPECT_EQ(sanitize_numeric_reference(0xDFFF, &error), 0xFFFDu);
+  EXPECT_TRUE(error);
+}
+
+TEST(SanitizeNumeric, C1ControlsRemapToWindows1252) {
+  bool error = false;
+  EXPECT_EQ(sanitize_numeric_reference(0x80, &error), 0x20ACu);  // €
+  EXPECT_TRUE(error);
+  EXPECT_EQ(sanitize_numeric_reference(0x99, &error), 0x2122u);  // ™
+  EXPECT_EQ(sanitize_numeric_reference(0x9F, &error), 0x0178u);  // Ÿ
+}
+
+TEST(SanitizeNumeric, OrdinaryValuePassesClean) {
+  bool error = true;
+  EXPECT_EQ(sanitize_numeric_reference(U'A', &error), U'A');
+  EXPECT_FALSE(error);
+}
+
+// --- integration with the tokenizer ---------------------------------------
+
+TEST(EntityTokenization, NamedInText) {
+  const auto result = tokenize("a &amp; b");
+  EXPECT_EQ(result.tokens.front().data, "a & b");
+}
+
+TEST(EntityTokenization, NamedWithoutSemicolonErrorsButDecodes) {
+  const auto result = tokenize("x &amp y");
+  EXPECT_EQ(result.tokens.front().data, "x & y");
+  EXPECT_TRUE(
+      result.has_error(ParseError::MissingSemicolonAfterCharacterReference));
+}
+
+TEST(EntityTokenization, NumericDecimal) {
+  const auto result = tokenize("&#65;&#66;");
+  EXPECT_EQ(result.tokens.front().data, "AB");
+}
+
+TEST(EntityTokenization, NumericHex) {
+  const auto result = tokenize("&#x41;&#X42;");
+  EXPECT_EQ(result.tokens.front().data, "AB");
+}
+
+TEST(EntityTokenization, NumericMissingDigits) {
+  const auto result = tokenize("&#;");
+  EXPECT_TRUE(result.has_error(
+      ParseError::AbsenceOfDigitsInNumericCharacterReference));
+  EXPECT_EQ(result.tokens.front().data, "&#;");
+}
+
+TEST(EntityTokenization, UnknownNamedWithSemicolonErrors) {
+  const auto result = tokenize("&bogusentity;");
+  EXPECT_TRUE(result.has_error(ParseError::UnknownNamedCharacterReference));
+  EXPECT_EQ(result.tokens.front().data, "&bogusentity;");
+}
+
+TEST(EntityTokenization, KnownPrefixDecodesPerSpec) {
+  // Spec quirk: "&notanentity;" starts with the legacy entity "not", which
+  // is decoded even though the full name matches nothing.
+  const auto result = tokenize("&notanentity;");
+  EXPECT_EQ(result.tokens.front().data, "\xC2\xAC" "anentity;");
+}
+
+TEST(EntityTokenization, BareAmpersandPassesThrough) {
+  const auto result = tokenize("fish & chips");
+  EXPECT_EQ(result.tokens.front().data, "fish & chips");
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(EntityTokenization, AttributeLegacyExceptionBeforeEquals) {
+  // "&not=" inside an attribute must NOT decode (historical exception).
+  const auto result = tokenize("<a href=\"?a&not=1\">x</a>");
+  ASSERT_FALSE(result.tokens.empty());
+  const auto href = result.tokens.front().attribute("href");
+  ASSERT_TRUE(href.has_value());
+  EXPECT_EQ(*href, "?a&not=1");
+}
+
+TEST(EntityTokenization, AttributeDecodesWithSemicolon) {
+  const auto result = tokenize("<a href=\"?a&amp;b=1\">x</a>");
+  const auto href = result.tokens.front().attribute("href");
+  ASSERT_TRUE(href.has_value());
+  EXPECT_EQ(*href, "?a&b=1");
+}
+
+TEST(EntityTokenization, TextDecodesLegacyEvenBeforeAlnum) {
+  // In text (not attributes), "&notit" decodes the "not" prefix.
+  const auto result = tokenize("I'm &notit; I tell you");
+  EXPECT_NE(result.tokens.front().data.find("\xC2\xACit;"),
+            std::string::npos);
+}
+
+TEST(EntityTokenization, NumericControlRemaps) {
+  const auto result = tokenize("&#x80;");
+  EXPECT_EQ(result.tokens.front().data, "\xE2\x82\xAC");  // €
+  EXPECT_TRUE(result.has_error(ParseError::ControlCharacterReference));
+}
+
+TEST(EntityTokenization, TwoCodePointEntity) {
+  const auto result = tokenize("&NotEqualTilde;");
+  // U+2242 U+0338
+  EXPECT_EQ(result.tokens.front().data, "\xE2\x89\x82\xCC\xB8");
+}
+
+struct EntityCase {
+  const char* input;
+  const char* expected;
+};
+
+class CommonEntitySweep : public ::testing::TestWithParam<EntityCase> {};
+
+TEST_P(CommonEntitySweep, DecodesToUtf8) {
+  const auto result = tokenize(GetParam().input);
+  EXPECT_EQ(result.tokens.front().data, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Entities, CommonEntitySweep,
+    ::testing::Values(
+        EntityCase{"&lt;", "<"}, EntityCase{"&gt;", ">"},
+        EntityCase{"&quot;", "\""}, EntityCase{"&apos;", "'"},
+        EntityCase{"&nbsp;", "\xC2\xA0"}, EntityCase{"&copy;", "\xC2\xA9"},
+        EntityCase{"&eacute;", "\xC3\xA9"},
+        EntityCase{"&euro;", "\xE2\x82\xAC"},
+        EntityCase{"&mdash;", "\xE2\x80\x94"},
+        EntityCase{"&hellip;", "\xE2\x80\xA6"},
+        EntityCase{"&alpha;", "\xCE\xB1"}, EntityCase{"&Omega;", "\xCE\xA9"},
+        EntityCase{"&rarr;", "\xE2\x86\x92"},
+        EntityCase{"&trade;", "\xE2\x84\xA2"},
+        EntityCase{"&ne;", "\xE2\x89\xA0"},
+        EntityCase{"&times;", "\xC3\x97"}));
+
+}  // namespace
+}  // namespace hv::html

@@ -1,0 +1,214 @@
+// Foreign content (SVG / MathML) tests: namespace assignment, integration
+// points, breakout handling (HF5), CDATA, and the paper's Figure 1
+// DOMPurify mutation chain reproduced end to end.
+#include <gtest/gtest.h>
+
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+using testing::body_html;
+using OK = ObservationKind;
+
+TEST(Foreign, SvgElementsGetSvgNamespace) {
+  const ParseResult result =
+      parse("<body><svg><circle cx=\"1\"/></svg></body>");
+  const auto svgs = result.document->get_elements_by_tag("svg", true);
+  ASSERT_EQ(svgs.size(), 1u);
+  EXPECT_EQ(svgs[0]->ns(), Namespace::kSvg);
+  const auto circles = result.document->get_elements_by_tag("circle", true);
+  ASSERT_EQ(circles.size(), 1u);
+  EXPECT_EQ(circles[0]->ns(), Namespace::kSvg);
+}
+
+TEST(Foreign, MathElementsGetMathNamespace) {
+  const ParseResult result =
+      parse("<body><math><mi>x</mi></math></body>");
+  const auto mis = result.document->get_elements_by_tag("mi", true);
+  ASSERT_EQ(mis.size(), 1u);
+  EXPECT_EQ(mis[0]->ns(), Namespace::kMathMl);
+}
+
+TEST(Foreign, SvgTagNameCaseAdjusted) {
+  const ParseResult result =
+      parse("<body><svg><foreignobject><p>x</p></foreignobject></svg></body>");
+  const auto fos =
+      result.document->get_elements_by_tag("foreignObject", true);
+  EXPECT_EQ(fos.size(), 1u);
+}
+
+TEST(Foreign, CleanSvgHasNoObservations) {
+  const ParseResult result = parse(
+      "<body><svg width=\"16\" height=\"16\" viewBox=\"0 0 16 16\">"
+      "<path d=\"M2 2h12\"/><circle cx=\"8\" cy=\"8\" r=\"3\"/></svg></body>");
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(Foreign, CleanMathHasNoObservations) {
+  const ParseResult result = parse(
+      "<body><math><mrow><mi>a</mi><mo>+</mo><mn>1</mn></mrow></math></body>");
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(Foreign, HtmlInsideForeignObjectIsLegal) {
+  // foreignObject is an HTML integration point.
+  const ParseResult result = parse(
+      "<body><svg><foreignObject><div>html here</div></foreignObject>"
+      "</svg></body>");
+  EXPECT_FALSE(result.has_observation(OK::kForeignBreakoutSvg));
+  const auto divs = result.document->get_elements_by_tag("div");
+  ASSERT_EQ(divs.size(), 1u);
+  EXPECT_EQ(divs[0]->ns(), Namespace::kHtml);
+}
+
+TEST(Foreign, BreakoutTagClosesSvg) {
+  const ParseResult result =
+      parse("<body><span><svg><path d=\"M0 0\"/><img src=\"/f.png\">"
+            "</span></body>");
+  EXPECT_TRUE(result.has_observation(OK::kForeignBreakoutSvg));
+  // The img landed back in HTML.
+  const auto imgs = result.document->get_elements_by_tag("img");
+  ASSERT_EQ(imgs.size(), 1u);
+  EXPECT_EQ(imgs[0]->ns(), Namespace::kHtml);
+}
+
+TEST(Foreign, BreakoutTagClosesMath) {
+  const ParseResult result =
+      parse("<body><math><mrow><div>escape</div></math></body>");
+  EXPECT_TRUE(result.has_observation(OK::kForeignBreakoutMath));
+}
+
+TEST(Foreign, FontWithColorIsBreakoutFontWithoutIsNot) {
+  EXPECT_TRUE(parse("<body><svg><font color=\"red\"></svg></body>")
+                  .has_observation(OK::kForeignBreakoutSvg));
+  EXPECT_FALSE(parse("<body><svg><font></font></svg></body>")
+                   .has_observation(OK::kForeignBreakoutSvg));
+}
+
+TEST(Foreign, EndTagBrIsABreakout) {
+  // Spec 13.2.6.5: </br> (and </p>) break out of foreign content; found
+  // by the tag-soup fuzzer as a serialize-reparse divergence.
+  const ParseResult result = parse("<body><svg></br></body>");
+  EXPECT_TRUE(result.has_observation(OK::kForeignBreakoutSvg));
+  EXPECT_EQ(body_html("<body><svg></br></body>"), "<svg></svg><br>");
+}
+
+TEST(Foreign, EndTagPIsABreakout) {
+  // The dispatched </p> finds no open p, creates-and-closes an empty one.
+  EXPECT_EQ(body_html("<body><math></p>x</body>"),
+            "<math></math><p></p>x");
+}
+
+TEST(Foreign, MismatchedEndTagInSvgObserved) {
+  const ParseResult result = parse(
+      "<body><svg><g><circle cx=\"1\"></g></svg></body>");
+  EXPECT_TRUE(result.has_observation(OK::kForeignErrorSvg));
+  EXPECT_FALSE(result.has_observation(OK::kForeignBreakoutSvg));
+}
+
+TEST(Foreign, MismatchedEndTagInMathObserved) {
+  const ParseResult result =
+      parse("<body><math><mrow><mn>1</mrow></math></body>");
+  EXPECT_TRUE(result.has_observation(OK::kForeignErrorMath));
+}
+
+TEST(Foreign, StrayForeignEndTagObserved) {
+  const ParseResult result = parse("<body><div>x</svg></div></body>");
+  EXPECT_TRUE(result.has_observation(OK::kStrayForeignEndTag));
+}
+
+TEST(Foreign, MatchedSvgCloseIsNotStray) {
+  const ParseResult result = parse("<body><svg></svg></body>");
+  EXPECT_FALSE(result.has_observation(OK::kStrayForeignEndTag));
+}
+
+TEST(Foreign, CdataAllowedInForeignContent) {
+  const ParseResult result = parse(
+      "<body><svg><desc><![CDATA[a < b]]></desc></svg></body>");
+  EXPECT_FALSE(result.has_error(ParseError::CdataInHtmlContent));
+  const auto descs = result.document->get_elements_by_tag("desc", true);
+  ASSERT_EQ(descs.size(), 1u);
+  EXPECT_EQ(descs[0]->text_content(), "a < b");
+}
+
+TEST(Foreign, CdataInHtmlContentErrors) {
+  const ParseResult result = parse("<body><![CDATA[legacy]]></body>");
+  EXPECT_TRUE(result.has_error(ParseError::CdataInHtmlContent));
+}
+
+TEST(Foreign, TextInMathTextIntegrationPoint) {
+  const ParseResult result =
+      parse("<body><math><mtext><b>bold</b></mtext></math></body>");
+  // b inside mtext (a text integration point) parses as HTML.
+  const auto bolds = result.document->get_elements_by_tag("b");
+  ASSERT_EQ(bolds.size(), 1u);
+  EXPECT_EQ(bolds[0]->ns(), Namespace::kHtml);
+}
+
+TEST(Foreign, SelfClosingForeignElements) {
+  const ParseResult result =
+      parse("<body><svg><rect width=\"5\"/><path d=\"M0 0\"/></svg></body>");
+  EXPECT_TRUE(result.clean());
+  const auto rects = result.document->get_elements_by_tag("rect", true);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_TRUE(rects[0]->children().empty());
+}
+
+// --- the paper's Figure 1: DOMPurify bypass mutation chain -----------------
+
+TEST(Foreign, Figure1FirstParseMatchesPaper) {
+  // Figure 1a: the initial payload.
+  const char* payload =
+      "<math><mtext><table><mglyph><style><!--</style>"
+      "<img title=\"--&gt;&lt;img src=1 onerror=alert(1)&gt;\">";
+  const std::string round_one = body_html(payload);
+  // Figure 1b: entities decoded, mglyph/style moved before the table,
+  // missing close tags added.
+  EXPECT_EQ(round_one,
+            "<math><mtext><mglyph><style><!--</style>"
+            "<img title=\"--><img src=1 onerror=alert(1)>\">"
+            "</mglyph><table></table></mtext></math>");
+}
+
+TEST(Foreign, Figure1SecondParseMutatesIntoXss) {
+  const char* payload =
+      "<math><mtext><table><mglyph><style><!--</style>"
+      "<img title=\"--&gt;&lt;img src=1 onerror=alert(1)&gt;\">";
+  const std::string round_one = body_html(payload);
+  const ParseResult round_two = parse("<body>" + round_one + "</body>");
+  // In round two, mglyph is in MathML, <!-- opens a real comment inside
+  // style, the --> in the title closes it, and the second <img> appears as
+  // a REAL HTML element with the onerror handler.
+  bool xss_img = false;
+  round_two.document->for_each([&xss_img](const Node& node) {
+    const Element* element = node.as_element();
+    if (element != nullptr && element->ns() == Namespace::kHtml &&
+        element->tag_name() == "img" &&
+        element->has_attribute("onerror")) {
+      xss_img = true;
+    }
+  });
+  EXPECT_TRUE(xss_img) << "the mutation must produce a live onerror img";
+}
+
+TEST(Foreign, Figure1StyleCommentInertInFirstParse) {
+  // In round one the <!-- inside <style> is raw text (HTML namespace), so
+  // no img with onerror exists yet.
+  const char* payload =
+      "<math><mtext><table><mglyph><style><!--</style>"
+      "<img title=\"--&gt;&lt;img src=1 onerror=alert(1)&gt;\">";
+  const ParseResult round_one = parse(payload);
+  bool xss_img = false;
+  round_one.document->for_each([&xss_img](const Node& node) {
+    const Element* element = node.as_element();
+    if (element != nullptr && element->tag_name() == "img" &&
+        element->has_attribute("onerror")) {
+      xss_img = true;
+    }
+  });
+  EXPECT_FALSE(xss_img);
+}
+
+}  // namespace
+}  // namespace hv::html

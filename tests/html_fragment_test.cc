@@ -1,0 +1,142 @@
+// Fragment-parsing tests (the innerHTML algorithm, spec 13.2.4) — the
+// machinery behind the paper's section 5.1 dynamic-content pre-study.
+#include <gtest/gtest.h>
+
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+std::string fragment_html(std::string_view input,
+                          std::string_view context = "body") {
+  const ParseResult result = parse_fragment(input, context);
+  const Element* root = result.document->document_element();
+  return root != nullptr ? serialize_children(*root) : std::string();
+}
+
+TEST(Fragment, SimpleContentInBodyContext) {
+  EXPECT_EQ(fragment_html("<p>hi</p>"), "<p>hi</p>");
+}
+
+TEST(Fragment, NoHeadOrBodyIsSynthesized) {
+  const ParseResult result = parse_fragment("<div>x</div>");
+  EXPECT_EQ(result.document->head(), nullptr);
+  EXPECT_EQ(result.document->body(), nullptr);
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(Fragment, BodyStructureViolationsCannotFire) {
+  // Content that would imply a body in a document is plain content here.
+  const ParseResult result = parse_fragment("<div>a</div><p>b</p>");
+  EXPECT_FALSE(result.has_observation(ObservationKind::kBodyImpliedByContent));
+  EXPECT_FALSE(
+      result.has_observation(ObservationKind::kHeadClosedByStrayElement));
+}
+
+TEST(Fragment, TokenizerErrorsStillDetected) {
+  const ParseResult result =
+      parse_fragment("<a href=\"/x\"class=\"y\">l</a><img/src=\"i\"/alt=\"\">");
+  EXPECT_TRUE(
+      result.has_error(ParseError::MissingWhitespaceBetweenAttributes));
+  EXPECT_TRUE(result.has_error(ParseError::UnexpectedSolidusInTag));
+}
+
+TEST(Fragment, DuplicateAttributeDetected) {
+  const ParseResult result = parse_fragment("<img src=a src=b alt=c>");
+  EXPECT_TRUE(result.has_error(ParseError::DuplicateAttribute));
+}
+
+TEST(Fragment, TableFosterParentingWorks) {
+  const ParseResult result =
+      parse_fragment("<table><tr><strong>T</strong></tr></table>");
+  EXPECT_TRUE(result.has_observation(ObservationKind::kFosterParented));
+}
+
+TEST(Fragment, UnterminatedTextareaObserved) {
+  const ParseResult result =
+      parse_fragment("<form action=\"/f\"><textarea>\n<p>leak</p>");
+  EXPECT_TRUE(result.has_observation(ObservationKind::kTextareaOpenAtEof));
+}
+
+TEST(Fragment, TdContextParsesCellContent) {
+  // In a td context, flow content parses directly (no table fix-up).
+  EXPECT_EQ(fragment_html("<b>x</b>", "td"), "<b>x</b>");
+}
+
+TEST(Fragment, TrContextRoutesCells) {
+  const std::string html = fragment_html("<td>a</td><td>b</td>", "tr");
+  EXPECT_EQ(html, "<td>a</td><td>b</td>");
+}
+
+TEST(Fragment, TableContextSynthesizesTbody) {
+  const std::string html = fragment_html("<tr><td>a</td></tr>", "table");
+  EXPECT_EQ(html, "<tbody><tr><td>a</td></tr></tbody>");
+}
+
+TEST(Fragment, SelectContextKeepsOptions) {
+  const std::string html =
+      fragment_html("<option>a</option><option>b", "select");
+  EXPECT_EQ(html, "<option>a</option><option>b</option>");
+}
+
+TEST(Fragment, TextareaContextIsRcdata) {
+  const std::string html = fragment_html("<b>not bold</b>", "textarea");
+  // Everything is text: serialized children of root are a text node.
+  const ParseResult result = parse_fragment("<b>not bold</b>", "textarea");
+  const Element* root = result.document->document_element();
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->children().size(), 1u);
+  EXPECT_TRUE(root->children()[0]->is_text());
+  EXPECT_EQ(root->text_content(), "<b>not bold</b>");
+  (void)html;
+}
+
+TEST(Fragment, ScriptContextIsOpaque) {
+  const ParseResult result =
+      parse_fragment("var a = \"<div>\";", "script");
+  EXPECT_EQ(result.document->document_element()->text_content(),
+            "var a = \"<div>\";");
+}
+
+TEST(Fragment, StyleContextIsRawText) {
+  const ParseResult result = parse_fragment("a > b { }", "style");
+  EXPECT_EQ(result.document->document_element()->text_content(),
+            "a > b { }");
+}
+
+TEST(Fragment, DivContextMatchesBodyContext) {
+  const char* input = "<p>1<b>2<i>3</b>4</i></p>";
+  EXPECT_EQ(fragment_html(input, "div"), fragment_html(input, "body"));
+}
+
+TEST(Fragment, ForeignContentInsideFragment) {
+  const ParseResult result =
+      parse_fragment("<svg viewBox=\"0 0 4 4\"><path d=\"M0 0\"/></svg>");
+  EXPECT_TRUE(result.clean());
+  const auto svgs = result.document->get_elements_by_tag("svg", true);
+  ASSERT_EQ(svgs.size(), 1u);
+  EXPECT_EQ(svgs[0]->ns(), Namespace::kSvg);
+}
+
+TEST(Fragment, MetaHttpEquivInFragmentIsDM1Shaped) {
+  // A meta refresh delivered via innerHTML is by definition outside the
+  // head — the fragment checker reports it like the paper's DM1.
+  const ParseResult result = parse_fragment(
+      "<meta http-equiv=\"refresh\" content=\"0; URL=/evil\">");
+  EXPECT_TRUE(
+      result.has_observation(ObservationKind::kMetaHttpEquivOutsideHead));
+}
+
+TEST(Fragment, CleanFragmentsAreClean) {
+  for (const char* input :
+       {"<div class=\"card\"><h3>t</h3><p>x</p></div>",
+        "<ul><li>a</li><li>b</li></ul>",
+        "<table><tr><td>1</td></tr></table>",
+        "text only", ""}) {
+    const ParseResult result = parse_fragment(input);
+    EXPECT_TRUE(result.clean()) << input;
+  }
+}
+
+}  // namespace
+}  // namespace hv::html

@@ -1,0 +1,189 @@
+// Deterministic tag-soup fuzzing: the parser must never crash, never
+// loop, and always satisfy its structural invariants, no matter how
+// broken the input — that is literally what error tolerance promises.
+//
+// A seeded generator produces adversarial soup (random tags, misnesting,
+// truncated constructs, entity garbage, foreign-content churn); each case
+// asserts:
+//   * parse() terminates and yields a document rooted at <html> (or empty),
+//   * the tree is well-formed (parent/child links consistent, acyclic),
+//   * serialize(parse(x)) reaches a fixpoint after one round,
+//   * parse_fragment never crashes either.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "corpus/rng.h"
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+std::string random_soup(std::uint64_t seed, std::size_t operations) {
+  static constexpr const char* kTags[] = {
+      "div",   "p",     "b",     "i",        "a",     "span",  "table",
+      "tr",    "td",    "th",    "tbody",    "ul",    "li",    "form",
+      "input", "select", "option", "textarea", "svg",  "math",  "mtext",
+      "style", "script", "title", "head",    "body",  "html",  "base",
+      "meta",  "img",   "br",    "template", "button", "h1",   "caption",
+      "mglyph", "foreignObject", "annotation-xml", "frameset", "section"};
+  // NOTE: <plaintext> is deliberately absent — its raw serialization can
+  // never round-trip (see PlaintextRoundTripIsLossy below).
+  static constexpr const char* kChunks[] = {
+      "text ",       "&amp;",       "&bogus;",  "&#x41;",     "&#xD800;",
+      "<!--c-->",    "<!-- ",       "-->",      "<![CDATA[x]]>",
+      "\"",          "'",           "<",        ">",          "/",
+      "=",           " attr=1 ",    "\n",       "<?pi?>",     "</>",
+      "<!DOCTYPE html>", "\xC3\xA9", "--!>",    "<!doctype x>"};
+  corpus::SplitMix64 rng(seed);
+  std::string soup;
+  soup.reserve(operations * 12);
+  for (std::size_t i = 0; i < operations; ++i) {
+    switch (rng.below(5)) {
+      case 0: {  // open tag, maybe with broken attributes
+        soup.push_back('<');
+        soup += kTags[rng.below(std::size(kTags))];
+        if (rng.chance(0.5)) {
+          soup += " a";
+          soup += std::to_string(rng.below(3));
+          if (rng.chance(0.7)) {
+            soup += "=\"v";
+            if (rng.chance(0.3)) soup += "\n<";
+            if (rng.chance(0.8)) soup += "\"";  // sometimes unterminated
+          }
+        }
+        if (rng.chance(0.15)) soup += "/";
+        if (rng.chance(0.9)) soup += ">";
+        break;
+      }
+      case 1:  // close tag (often mismatched)
+        soup += "</";
+        soup += kTags[rng.below(std::size(kTags))];
+        if (rng.chance(0.9)) soup += ">";
+        break;
+      case 2:
+      case 3:
+        soup += kChunks[rng.below(std::size(kChunks))];
+        break;
+      default:  // random bytes, ASCII-biased
+        for (int b = 0; b < 4; ++b) {
+          soup.push_back(static_cast<char>(0x20 + rng.below(0x5F)));
+        }
+        break;
+    }
+  }
+  return soup;
+}
+
+void check_tree_invariants(const Node& node, int depth) {
+  // The tree builder caps the open-element stack at 512 (Blink-style), so
+  // real depth stays close to that; anything far beyond indicates a cycle.
+  ASSERT_LT(depth, 600) << "tree too deep: possible cycle";
+  for (const Node* child : node.children()) {
+    ASSERT_NE(child, nullptr);
+    EXPECT_EQ(child->parent(), &node);
+    check_tree_invariants(*child, depth + 1);
+  }
+}
+
+class TagSoupFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TagSoupFuzz, ParserSurvivesAndIsConsistent) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::string soup = random_soup(seed * 2654435761u + 1, 120);
+
+  const ParseResult raw = parse(soup);
+  ASSERT_NE(raw.document, nullptr);
+  check_tree_invariants(*raw.document, 0);
+
+  // Serialization fixpoint: one normalization round is enough in
+  // standards mode.  (Quirks mode is genuinely non-idempotent: the
+  // p-table nesting quirk creates trees no serialization reproduces —
+  // see QuirksTableInPCannotRoundTrip.)
+  const ParseResult result = parse("<!DOCTYPE html>\n" + soup);
+  check_tree_invariants(*result.document, 0);
+  const std::string once = serialize(*result.document);
+  const ParseResult reparsed = parse(once);
+  check_tree_invariants(*reparsed.document, 0);
+  const std::string twice = serialize(*reparsed.document);
+  EXPECT_EQ(once, twice) << "seed " << seed;
+}
+
+TEST_P(TagSoupFuzz, FragmentParserSurvives) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::string soup = random_soup(seed * 11400714819323198485ull, 80);
+  for (const char* context : {"body", "div", "table", "select", "head"}) {
+    const ParseResult result = parse_fragment(soup, context);
+    ASSERT_NE(result.document, nullptr) << context;
+    check_tree_invariants(*result.document, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TagSoupFuzz, ::testing::Range(0, 60));
+
+TEST(TagSoupFuzz, LargeSoupTerminatesQuickly) {
+  const std::string soup = random_soup(0xF00, 20000);
+  const ParseResult result = parse(soup);
+  ASSERT_NE(result.document, nullptr);
+  check_tree_invariants(*result.document, 0);
+}
+
+TEST(TagSoupFuzz, PathologicalNesting) {
+  std::string soup;
+  for (int i = 0; i < 2000; ++i) soup += "<b><i><a>";
+  const ParseResult result = parse(soup);
+  check_tree_invariants(*result.document, 0);
+}
+
+TEST(TagSoupFuzz, PathologicalTableNesting) {
+  std::string soup;
+  for (int i = 0; i < 500; ++i) soup += "<table><tr><td>";
+  const ParseResult result = parse(soup);
+  check_tree_invariants(*result.document, 0);
+}
+
+TEST(TagSoupFuzz, PathologicalFormattingAdoption) {
+  std::string soup = "<p>";
+  for (int i = 0; i < 200; ++i) soup += "<b>x<p>";
+  for (int i = 0; i < 200; ++i) soup += "</b>";
+  const ParseResult result = parse(soup);
+  check_tree_invariants(*result.document, 0);
+}
+
+TEST(TagSoupFuzz, QuirksTableInPCannotRoundTrip) {
+  // Without a doctype (quirks mode) the spec keeps <p> open across
+  // <table>, so fostered content lands INSIDE the p — a tree that no
+  // serialization can reproduce, because re-parsing closes the p at the
+  // fostered block element.  Found by the fuzzer; real browsers behave
+  // the same in quirks documents.
+  const ParseResult quirks = parse("<p><table><section>");
+  const std::string once = serialize(*quirks.document);
+  EXPECT_NE(once, parse_and_serialize(once));
+
+  // Standards mode: the p closes at <table>, round trip is stable.
+  const std::string strict_once =
+      parse_and_serialize("<!DOCTYPE html><p><table><section>");
+  EXPECT_EQ(strict_once, parse_and_serialize(strict_once));
+}
+
+TEST(TagSoupFuzz, PlaintextRoundTripIsLossy) {
+  // <plaintext> cannot round-trip: the serializer emits its text raw plus
+  // an end tag, and the next parse swallows that end tag (and everything
+  // after) back into the element.  Browsers' innerHTML has the same
+  // pathology; the fix-up pipeline never has to be stable for it.  This
+  // test pins the behavior so a future "fix" is a conscious decision.
+  const ParseResult result = parse("<body><plaintext>raw</body>");
+  const std::string once = serialize(*result.document);
+  const std::string twice = parse_and_serialize(once);
+  EXPECT_NE(once, twice);
+  EXPECT_NE(twice.find("raw"), std::string::npos);
+}
+
+TEST(TagSoupFuzz, NullBytesEverywhere) {
+  std::string soup("<di\0v a\0=\"x\0\"><p>\0</p>", 23);
+  const ParseResult result = parse(soup);
+  check_tree_invariants(*result.document, 0);
+}
+
+}  // namespace
+}  // namespace hv::html

@@ -1,0 +1,145 @@
+// Tests for the input stream preprocessor (13.2.3.5): newline
+// normalization, position tracking, lookahead, preprocessing errors.
+#include "html/input_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace hv::html {
+namespace {
+
+std::u32string drain(InputStream& stream) {
+  std::u32string out;
+  for (char32_t c = stream.consume(); c != InputStream::kEof;
+       c = stream.consume()) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(InputStream, PassesAsciiThrough) {
+  InputStream stream("hello");
+  EXPECT_EQ(drain(stream), U"hello");
+}
+
+TEST(InputStream, NormalizesCrLfToLf) {
+  InputStream stream("a\r\nb");
+  EXPECT_EQ(drain(stream), U"a\nb");
+}
+
+TEST(InputStream, NormalizesBareCrToLf) {
+  InputStream stream("a\rb\r");
+  EXPECT_EQ(drain(stream), U"a\nb\n");
+}
+
+TEST(InputStream, NormalizesMixedNewlines) {
+  InputStream stream("1\r\n2\r3\n4\r\n\r5");
+  EXPECT_EQ(drain(stream), U"1\n2\n3\n4\n\n5");
+}
+
+TEST(InputStream, DecodesMultibyte) {
+  InputStream stream("\xC3\xA9\xE2\x82\xAC");
+  const std::u32string content = drain(stream);
+  ASSERT_EQ(content.size(), 2u);
+  EXPECT_EQ(content[0], 0xE9u);
+  EXPECT_EQ(content[1], 0x20ACu);
+}
+
+TEST(InputStream, ReconsumeYieldsSameCharacter) {
+  InputStream stream("xy");
+  EXPECT_EQ(stream.consume(), U'x');
+  stream.reconsume();
+  EXPECT_EQ(stream.consume(), U'x');
+  EXPECT_EQ(stream.consume(), U'y');
+}
+
+TEST(InputStream, ReconsumeAtEofIsStable) {
+  InputStream stream("a");
+  EXPECT_EQ(stream.consume(), U'a');
+  EXPECT_EQ(stream.consume(), InputStream::kEof);
+  stream.reconsume();
+  EXPECT_EQ(stream.consume(), InputStream::kEof);
+}
+
+TEST(InputStream, PeekDoesNotConsume) {
+  InputStream stream("abc");
+  EXPECT_EQ(stream.peek(0), U'a');
+  EXPECT_EQ(stream.peek(2), U'c');
+  EXPECT_EQ(stream.peek(3), InputStream::kEof);
+  EXPECT_EQ(stream.consume(), U'a');
+}
+
+TEST(InputStream, LookaheadMatchInsensitive) {
+  InputStream stream("DocType html");
+  EXPECT_TRUE(stream.lookahead_matches_insensitive("doctype"));
+  EXPECT_FALSE(stream.lookahead_matches("doctype"));
+  EXPECT_TRUE(stream.lookahead_matches("DocType"));
+}
+
+TEST(InputStream, AdvanceSkips) {
+  InputStream stream("abcdef");
+  stream.advance(3);
+  EXPECT_EQ(stream.consume(), U'd');
+}
+
+TEST(InputStream, TracksLineAndColumn) {
+  InputStream stream("ab\ncd\nef");
+  stream.advance(0);
+  EXPECT_EQ(stream.position().line, 1u);
+  EXPECT_EQ(stream.position().column, 1u);
+  stream.advance(3);  // consumed "ab\n"
+  EXPECT_EQ(stream.position().line, 2u);
+  EXPECT_EQ(stream.position().column, 1u);
+  stream.advance(4);  // "cd\ne"
+  EXPECT_EQ(stream.position().line, 3u);
+  EXPECT_EQ(stream.position().column, 2u);
+}
+
+TEST(InputStream, ByteOffsetsSurviveMultibyte) {
+  InputStream stream("\xC3\xA9x");  // é is two bytes
+  stream.advance(1);
+  EXPECT_EQ(stream.position().offset, 2u);  // x starts at byte 2
+}
+
+TEST(InputStream, ReportsControlCharacterError) {
+  InputStream stream("a\x01z");
+  ASSERT_EQ(stream.preprocessing_errors().size(), 1u);
+  EXPECT_EQ(stream.preprocessing_errors()[0].code,
+            ParseError::ControlCharacterInInputStream);
+}
+
+TEST(InputStream, ReportsNoncharacterError) {
+  InputStream stream("a\xEF\xB7\x90z");  // U+FDD0
+  ASSERT_EQ(stream.preprocessing_errors().size(), 1u);
+  EXPECT_EQ(stream.preprocessing_errors()[0].code,
+            ParseError::NoncharacterInInputStream);
+}
+
+TEST(InputStream, WhitespaceIsNotAControlError) {
+  InputStream stream("a\tb\nc\fd");
+  EXPECT_TRUE(stream.preprocessing_errors().empty());
+}
+
+TEST(InputStream, NulIsNotAPreprocessingError) {
+  // NUL is handled (and reported) contextually by the tokenizer instead.
+  InputStream stream(std::string_view("a\0b", 3));
+  EXPECT_TRUE(stream.preprocessing_errors().empty());
+  EXPECT_EQ(stream.consume(), U'a');
+  EXPECT_EQ(stream.consume(), U'\0');
+}
+
+TEST(InputStream, CharClassHelpers) {
+  EXPECT_TRUE(is_ascii_whitespace(U' '));
+  EXPECT_TRUE(is_ascii_whitespace(U'\t'));
+  EXPECT_FALSE(is_ascii_whitespace(U'\v'));  // vertical tab is NOT spec ws
+  EXPECT_TRUE(is_ascii_alpha(U'Q'));
+  EXPECT_TRUE(is_ascii_hex_digit(U'f'));
+  EXPECT_FALSE(is_ascii_hex_digit(U'g'));
+  EXPECT_EQ(to_ascii_lower(U'Z'), U'z');
+  EXPECT_EQ(to_ascii_lower(U'!'), U'!');
+  EXPECT_TRUE(is_surrogate(0xD800));
+  EXPECT_TRUE(is_noncharacter(0xFFFE));
+  EXPECT_TRUE(is_noncharacter(0x10FFFF));
+}
+
+}  // namespace
+}  // namespace hv::html

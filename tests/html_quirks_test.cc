@@ -1,0 +1,119 @@
+// Quirks-mode determination (spec 13.2.6.4.1) and its single
+// tree-construction consequence here: <table> keeps an open <p> alive.
+// Plus the scripting flag's effect on <noscript>.
+#include "html/quirks.h"
+
+#include <gtest/gtest.h>
+
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+TEST(Quirks, NoDoctypeIsQuirks) {
+  // Tree-level effect: table nests inside the open p.
+  EXPECT_EQ(testing::body_html("<p>a<table></table>"),
+            "<p>a<table></table></p>");
+}
+
+TEST(Quirks, Html5DoctypeIsStandards) {
+  EXPECT_EQ(testing::body_html("<!DOCTYPE html><p>a<table></table>"),
+            "<p>a</p><table></table>");
+}
+
+TEST(Quirks, PredicateBasics) {
+  EXPECT_TRUE(doctype_indicates_quirks(true, "html", "", false, ""));
+  EXPECT_TRUE(doctype_indicates_quirks(false, "xhtml", "", false, ""));
+  EXPECT_FALSE(doctype_indicates_quirks(false, "html", "", false, ""));
+  EXPECT_FALSE(doctype_indicates_quirks(false, "HTML", "", false, ""));
+}
+
+TEST(Quirks, ExactPublicIds) {
+  EXPECT_TRUE(doctype_indicates_quirks(false, "html", "HTML", false, ""));
+  EXPECT_TRUE(doctype_indicates_quirks(
+      false, "html", "-/W3C/DTD HTML 4.0 Transitional/EN", false, ""));
+  EXPECT_TRUE(doctype_indicates_quirks(
+      false, "html", "-//W3O//DTD W3 HTML Strict 3.0//EN//", false, ""));
+}
+
+TEST(Quirks, PrefixesAreCaseInsensitive) {
+  EXPECT_TRUE(doctype_indicates_quirks(
+      false, "html", "-//w3c//dtd html 3.2//en", false, ""));
+  EXPECT_TRUE(doctype_indicates_quirks(
+      false, "html", "-//IETF//DTD HTML 2.0//EN", false, ""));
+  EXPECT_TRUE(doctype_indicates_quirks(
+      false, "html", "-//NETSCAPE COMM. CORP.//DTD HTML//EN", false, ""));
+}
+
+TEST(Quirks, Html401TransitionalDependsOnSystemId) {
+  constexpr std::string_view kPublic =
+      "-//W3C//DTD HTML 4.01 Transitional//EN";
+  // Without a system id: quirks.
+  EXPECT_TRUE(doctype_indicates_quirks(false, "html", kPublic, false, ""));
+  // With one: standards (really "limited quirks", which parses the same).
+  EXPECT_FALSE(doctype_indicates_quirks(
+      false, "html", kPublic, true,
+      "http://www.w3.org/TR/html4/loose.dtd"));
+}
+
+TEST(Quirks, IbmSystemId) {
+  EXPECT_TRUE(doctype_indicates_quirks(
+      false, "html", "", true,
+      "http://www.ibm.com/data/dtd/v11/ibmxhtml1-transitional.dtd"));
+}
+
+TEST(Quirks, Html40TransitionalViaDocument) {
+  // End to end: a real HTML 4.0 Transitional page parses in quirks mode.
+  const char* page =
+      "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">"
+      "<html><body><p>a<table></table></body></html>";
+  EXPECT_EQ(testing::body_html(page), "<p>a<table></table></p>");
+}
+
+TEST(Quirks, IstartsWith) {
+  EXPECT_TRUE(istarts_with("HELLO world", "hello"));
+  EXPECT_FALSE(istarts_with("he", "hello"));
+  EXPECT_TRUE(istarts_with("abc", ""));
+}
+
+// --- scripting flag -----------------------------------------------------------
+
+TEST(Scripting, DisabledParsesNoscriptChildren) {
+  const ParseResult result =
+      parse("<!DOCTYPE html><body><noscript><p>enable js</p></noscript>");
+  const auto paragraphs = result.document->get_elements_by_tag("p");
+  EXPECT_EQ(paragraphs.size(), 1u);
+}
+
+TEST(Scripting, EnabledTreatsNoscriptAsRawText) {
+  ParseOptions options;
+  options.scripting_enabled = true;
+  const ParseResult result = parse(
+      "<!DOCTYPE html><body><noscript><p>enable js</p></noscript>",
+      options);
+  EXPECT_TRUE(result.document->get_elements_by_tag("p").empty());
+  const auto noscripts = result.document->get_elements_by_tag("noscript");
+  ASSERT_EQ(noscripts.size(), 1u);
+  EXPECT_EQ(noscripts[0]->text_content(), "<p>enable js</p>");
+}
+
+TEST(Scripting, EnabledInHeadNoscript) {
+  ParseOptions options;
+  options.scripting_enabled = true;
+  const ParseResult result = parse(
+      "<!DOCTYPE html><head><noscript><link href=\"/x\" rel=\"s\">"
+      "</noscript><title>t</title></head><body></body>",
+      options);
+  EXPECT_TRUE(result.document->get_elements_by_tag("link").empty());
+  EXPECT_EQ(result.document->get_elements_by_tag("title").size(), 1u);
+}
+
+TEST(Scripting, DisabledInHeadNoscriptKeepsLink) {
+  const ParseResult result = parse(
+      "<!DOCTYPE html><head><noscript><link href=\"/x\" rel=\"s\">"
+      "</noscript><title>t</title></head><body></body>");
+  EXPECT_EQ(result.document->get_elements_by_tag("link").size(), 1u);
+}
+
+}  // namespace
+}  // namespace hv::html

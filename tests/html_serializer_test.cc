@@ -1,0 +1,110 @@
+// Serializer tests, including the parse-serialize fixpoint property that
+// the paper's FB1/FB2 auto-fix relies on (section 4.4).
+#include "html/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+TEST(Serializer, EscapesTextNodes) {
+  EXPECT_EQ(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+}
+
+TEST(Serializer, EscapesNbsp) {
+  EXPECT_EQ(escape_text("a\xC2\xA0" "b"), "a&nbsp;b");
+}
+
+TEST(Serializer, EscapesAttributes) {
+  EXPECT_EQ(escape_attribute("say \"hi\" & go"),
+            "say &quot;hi&quot; &amp; go");
+  // '<' is legal inside a double-quoted attribute; only & and " escape.
+  EXPECT_EQ(escape_attribute("<b>"), "<b>");
+}
+
+TEST(Serializer, VoidElementsHaveNoEndTag) {
+  const ParseResult result =
+      parse("<body><br><img src=\"x\"><hr></body>");
+  const std::string html = serialize_children(*result.document->body());
+  EXPECT_EQ(html, "<br><img src=\"x\"><hr>");
+}
+
+TEST(Serializer, RawTextEmittedVerbatim) {
+  const std::string html = testing::body_html(
+      "<body><script>a && b < 3</script></body>");
+  EXPECT_EQ(html, "<script>a && b < 3</script>");
+}
+
+TEST(Serializer, CommentsPreserved) {
+  EXPECT_EQ(testing::body_html("<body><!-- note --></body>"),
+            "<!-- note -->");
+}
+
+TEST(Serializer, DoctypeSerialized) {
+  const ParseResult result = parse("<!DOCTYPE html><html></html>");
+  const std::string html = serialize(*result.document);
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+}
+
+TEST(Serializer, AttributesAlwaysDoubleQuoted) {
+  EXPECT_EQ(testing::body_html("<body><a href=x id='y'>l</a></body>"),
+            "<a href=\"x\" id=\"y\">l</a>");
+}
+
+// The fixpoint property: after one parse+serialize round, further rounds
+// change nothing.  This is what makes the FB auto-fix idempotent, and any
+// counterexample is an mXSS candidate (sanitize_test covers those).
+class SerializeFixpointProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SerializeFixpointProperty, SecondRoundIsIdentity) {
+  const std::string once = parse_and_serialize(GetParam());
+  const std::string twice = parse_and_serialize(once);
+  EXPECT_EQ(once, twice) << "input: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MessyInputs, SerializeFixpointProperty,
+    ::testing::Values(
+        "<p>plain</p>",
+        "<img/src=\"x\"/onerror=\"a\">",             // FB1
+        "<a href=\"/x\"class=\"y\">l</a>",           // FB2
+        "<div id=a id=b>dup</div>",                  // DM3
+        "<table><tr><strong>T</strong></tr></table>",  // HF4
+        "<p>1<b>2<i>3</b>4</i>5</p>",                // adoption agency
+        "<ul><li>1<li>2</ul>",
+        "<body><p>unclosed",
+        "<option value='Cote d'Ivoire'>",
+        "<head><div>x</div><meta name=a></head><body>y",
+        "<svg><g><circle></g></svg>",
+        "<math><mrow><mn>1</mrow></math>",
+        "text &amp; entities &lt;kept&gt;",
+        "<!DOCTYPE html><html><body>full</body></html>",
+        "<select><option>a<option>b"));
+
+// After one normalization round the tokenizer-level violations are gone —
+// the mechanical core of the section 4.4 auto-fix claim.
+class NormalizationClearsSyntaxErrors
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NormalizationClearsSyntaxErrors, ReparseHasNoTokenizerErrors) {
+  const std::string normalized = parse_and_serialize(GetParam());
+  const ParseResult reparsed = parse(normalized);
+  EXPECT_FALSE(reparsed.has_error(ParseError::UnexpectedSolidusInTag));
+  EXPECT_FALSE(
+      reparsed.has_error(ParseError::MissingWhitespaceBetweenAttributes));
+  EXPECT_FALSE(reparsed.has_error(ParseError::DuplicateAttribute));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FixableInputs, NormalizationClearsSyntaxErrors,
+    ::testing::Values("<img/src=\"x\"/alt=\"y\">",
+                      "<a href=\"/x\"class=\"y\">l</a>",
+                      "<div onclick=\"a()\" onclick=\"b()\">x</div>",
+                      "<option value='Cote d'Ivoire'>x",
+                      "<a href=\"1\"id=\"2\"class=\"3\"rel=\"4\">x</a>"));
+
+}  // namespace
+}  // namespace hv::html

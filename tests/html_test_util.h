@@ -1,0 +1,90 @@
+// Shared helpers for the HTML parser tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/input_stream.h"
+#include "html/parser.h"
+#include "html/serializer.h"
+#include "html/token.h"
+#include "html/tokenizer.h"
+
+namespace hv::html::testing {
+
+/// Collects the raw token stream (for tokenizer-level tests).
+class TokenCollector final : public TokenSink {
+ public:
+  void process_token(Token&& token) override {
+    tokens.push_back(std::move(token));
+  }
+
+  std::vector<Token> tokens;
+
+  /// All character data concatenated.
+  std::string text() const {
+    std::string out;
+    for (const Token& token : tokens) {
+      if (token.type == Token::Type::kCharacters) out += token.data;
+      if (token.type == Token::Type::kNullCharacter) out += '\0';
+    }
+    return out;
+  }
+
+  const Token* first_tag(std::string_view name) const {
+    for (const Token& token : tokens) {
+      if ((token.type == Token::Type::kStartTag ||
+           token.type == Token::Type::kEndTag) &&
+          token.name == name) {
+        return &token;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Runs the tokenizer alone over `input`.
+struct TokenizeResult {
+  std::vector<Token> tokens;
+  std::vector<ParseErrorEvent> errors;
+
+  bool has_error(ParseError code) const {
+    for (const ParseErrorEvent& event : errors) {
+      if (event.code == code) return true;
+    }
+    return false;
+  }
+  std::size_t count_error(ParseError code) const {
+    std::size_t n = 0;
+    for (const ParseErrorEvent& event : errors) {
+      if (event.code == code) ++n;
+    }
+    return n;
+  }
+};
+
+inline TokenizeResult tokenize(std::string_view input,
+                               TokenizerState initial_state =
+                                   TokenizerState::kData,
+                               std::string_view last_start_tag = {}) {
+  TokenizeResult result;
+  InputStream stream(input);
+  TokenCollector collector;
+  Tokenizer tokenizer(stream, collector, result.errors);
+  tokenizer.set_state(initial_state);
+  if (!last_start_tag.empty()) tokenizer.set_last_start_tag(last_start_tag);
+  tokenizer.run();
+  result.tokens = std::move(collector.tokens);
+  return result;
+}
+
+/// Parses and serializes the body's inner HTML — the most convenient way
+/// to assert tree shapes.
+inline std::string body_html(std::string_view input) {
+  const ParseResult result = parse(input);
+  const Element* body = result.document->body();
+  return body != nullptr ? serialize_children(*body) : std::string();
+}
+
+}  // namespace hv::html::testing

@@ -1,0 +1,627 @@
+// Tokenizer state-machine tests: token shapes, attribute handling, and —
+// central to the study — the spec-named parse errors (FB1 =
+// unexpected-solidus-in-tag, FB2 = missing-whitespace-between-attributes,
+// DM3 = duplicate-attribute, ...).
+#include "html/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+using testing::tokenize;
+using Type = Token::Type;
+
+TEST(Tokenizer, SimpleStartAndEndTag) {
+  const auto result = tokenize("<p>hi</p>");
+  ASSERT_EQ(result.tokens.size(), 4u);  // start, chars, end, EOF
+  EXPECT_EQ(result.tokens[0].type, Type::kStartTag);
+  EXPECT_EQ(result.tokens[0].name, "p");
+  EXPECT_EQ(result.tokens[1].data, "hi");
+  EXPECT_EQ(result.tokens[2].type, Type::kEndTag);
+  EXPECT_EQ(result.tokens[3].type, Type::kEof);
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(Tokenizer, TagNamesAreLowercased) {
+  const auto result = tokenize("<DIV CLASS=Box>");
+  EXPECT_EQ(result.tokens[0].name, "div");
+  EXPECT_EQ(result.tokens[0].attributes[0].name, "class");
+  EXPECT_EQ(result.tokens[0].attributes[0].value, "Box");  // values keep case
+}
+
+TEST(Tokenizer, AttributeQuotingStyles) {
+  const auto result =
+      tokenize("<a one=\"1\" two='2' three=3 four five = 5>");
+  const Token& tag = result.tokens[0];
+  ASSERT_EQ(tag.attributes.size(), 5u);
+  EXPECT_EQ(*tag.attribute("one"), "1");
+  EXPECT_EQ(*tag.attribute("two"), "2");
+  EXPECT_EQ(*tag.attribute("three"), "3");
+  EXPECT_EQ(*tag.attribute("four"), "");
+  EXPECT_EQ(*tag.attribute("five"), "5");
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(Tokenizer, SelfClosingFlag) {
+  const auto result = tokenize("<br/>");
+  EXPECT_TRUE(result.tokens[0].self_closing);
+  EXPECT_TRUE(result.errors.empty());
+}
+
+// --- FB1: unexpected-solidus-in-tag ----------------------------------------
+
+TEST(Tokenizer, FB1SlashBetweenAttributes) {
+  const auto result = tokenize("<img/src=\"x\"/onerror=\"a()\">");
+  EXPECT_EQ(result.count_error(ParseError::UnexpectedSolidusInTag), 2u);
+  const Token& tag = result.tokens[0];
+  EXPECT_EQ(*tag.attribute("src"), "x");
+  EXPECT_EQ(*tag.attribute("onerror"), "a()");
+  EXPECT_FALSE(tag.self_closing);  // the slashes acted as whitespace
+}
+
+TEST(Tokenizer, FB1SlashInUnquotedValueIsPartOfValue) {
+  // A slash inside an unquoted value is value content, not FB1.
+  const auto result = tokenize("<a href=/about/team>");
+  EXPECT_EQ(result.count_error(ParseError::UnexpectedSolidusInTag), 0u);
+  EXPECT_EQ(*result.tokens[0].attribute("href"), "/about/team");
+}
+
+// --- FB2: missing-whitespace-between-attributes ------------------------------
+
+TEST(Tokenizer, FB2GluedAttributes) {
+  const auto result = tokenize("<a href=\"/x\"class=\"btn\">");
+  EXPECT_EQ(result.count_error(ParseError::MissingWhitespaceBetweenAttributes),
+            1u);
+  const Token& tag = result.tokens[0];
+  EXPECT_EQ(*tag.attribute("href"), "/x");
+  EXPECT_EQ(*tag.attribute("class"), "btn");  // parser inserted the space
+}
+
+TEST(Tokenizer, FB2QuoteCollisionFromPaperFigure13) {
+  // <option value='Cote d'Ivoire'> — the inner quote ends the value and
+  // "Ivoire'" becomes a glued attribute.
+  const auto result = tokenize("<option value='Cote d'Ivoire'>");
+  EXPECT_GE(result.count_error(ParseError::MissingWhitespaceBetweenAttributes),
+            1u);
+  EXPECT_EQ(*result.tokens[0].attribute("value"), "Cote d");
+  EXPECT_TRUE(result.tokens[0].attribute("ivoire'").has_value());
+}
+
+TEST(Tokenizer, NoFB2WithProperSpacing) {
+  const auto result = tokenize("<a href=\"/x\" class=\"btn\" id=\"l\">");
+  EXPECT_EQ(result.count_error(ParseError::MissingWhitespaceBetweenAttributes),
+            0u);
+}
+
+// --- DM3: duplicate-attribute -------------------------------------------------
+
+TEST(Tokenizer, DM3DuplicateAttributeDropped) {
+  const auto result =
+      tokenize("<div onclick=\"evil()\" onclick=\"benign()\">");
+  EXPECT_EQ(result.count_error(ParseError::DuplicateAttribute), 1u);
+  const Token& tag = result.tokens[0];
+  ASSERT_EQ(tag.attributes.size(), 1u);
+  EXPECT_EQ(*tag.attribute("onclick"), "evil()");  // first one wins
+  ASSERT_EQ(tag.dropped_duplicate_attributes.size(), 1u);
+  EXPECT_EQ(tag.dropped_duplicate_attributes[0], "onclick");
+}
+
+TEST(Tokenizer, DM3ErrorDetailNamesTheAttribute) {
+  const auto result = tokenize("<img src=a src=b alt=c>");
+  ASSERT_EQ(result.count_error(ParseError::DuplicateAttribute), 1u);
+  for (const ParseErrorEvent& event : result.errors) {
+    if (event.code == ParseError::DuplicateAttribute) {
+      EXPECT_EQ(event.detail, "src");
+    }
+  }
+}
+
+TEST(Tokenizer, DM3CaseInsensitiveNames) {
+  // Names are lowercased before comparison, so ID and id collide.
+  const auto result = tokenize("<div ID=\"a\" id=\"b\">");
+  EXPECT_EQ(result.count_error(ParseError::DuplicateAttribute), 1u);
+}
+
+TEST(Tokenizer, DM3ValueOfDuplicateNotMerged) {
+  const auto result = tokenize("<div a=\"1\" a=\"2\" b=\"3\">");
+  const Token& tag = result.tokens[0];
+  ASSERT_EQ(tag.attributes.size(), 2u);
+  EXPECT_EQ(*tag.attribute("a"), "1");
+  EXPECT_EQ(*tag.attribute("b"), "3");
+}
+
+// --- other attribute error states (DE3 signals) -----------------------------
+
+TEST(Tokenizer, UnexpectedCharacterInAttributeName) {
+  const auto result = tokenize("<iframe src=\"https://x\"</iframe>");
+  EXPECT_TRUE(
+      result.has_error(ParseError::UnexpectedCharacterInAttributeName));
+  // The '<' became part of an attribute, as in the paper's Figure 13.
+  const Token& tag = result.tokens[0];
+  EXPECT_TRUE(tag.attribute("<").has_value() ||
+              tag.attribute("<iframe").has_value());
+}
+
+TEST(Tokenizer, UnquotedValueBadCharacters) {
+  const auto result = tokenize("<a href=a=b>");
+  EXPECT_TRUE(result.has_error(
+      ParseError::UnexpectedCharacterInUnquotedAttributeValue));
+}
+
+TEST(Tokenizer, MissingAttributeValue) {
+  const auto result = tokenize("<a href=>");
+  EXPECT_TRUE(result.has_error(ParseError::MissingAttributeValue));
+  EXPECT_EQ(*result.tokens[0].attribute("href"), "");
+}
+
+TEST(Tokenizer, EqualsSignBeforeAttributeName) {
+  const auto result = tokenize("<a =b>");
+  EXPECT_TRUE(
+      result.has_error(ParseError::UnexpectedEqualsSignBeforeAttributeName));
+  EXPECT_TRUE(result.tokens[0].attribute("=b").has_value());
+}
+
+TEST(Tokenizer, EofInTag) {
+  const auto result = tokenize("<a href=\"x");
+  EXPECT_TRUE(result.has_error(ParseError::EofInTag));
+  EXPECT_EQ(result.tokens.back().type, Type::kEof);
+}
+
+TEST(Tokenizer, NewlineSurvivesInsideQuotedAttribute) {
+  const auto result = tokenize("<a href=\"/a\n<b\">x</a>");
+  EXPECT_EQ(*result.tokens[0].attribute("href"), "/a\n<b");
+  EXPECT_TRUE(result.errors.empty());  // legal, but dangling-markup shaped
+}
+
+// --- end tags -----------------------------------------------------------------
+
+TEST(Tokenizer, EndTagWithAttributesErrors) {
+  const auto result = tokenize("</div class=\"x\">");
+  EXPECT_TRUE(result.has_error(ParseError::EndTagWithAttributes));
+  EXPECT_TRUE(result.tokens[0].attributes.empty());
+}
+
+TEST(Tokenizer, EndTagWithTrailingSolidus) {
+  const auto result = tokenize("</div/>");
+  EXPECT_TRUE(result.has_error(ParseError::EndTagWithTrailingSolidus));
+}
+
+TEST(Tokenizer, MissingEndTagName) {
+  const auto result = tokenize("a</>b");
+  EXPECT_TRUE(result.has_error(ParseError::MissingEndTagName));
+  EXPECT_EQ(result.tokens[0].data, "ab");  // </> vanished
+}
+
+TEST(Tokenizer, InvalidFirstCharacterOfTagName) {
+  const auto result = tokenize("<3 little pigs>");
+  EXPECT_TRUE(result.has_error(ParseError::InvalidFirstCharacterOfTagName));
+  EXPECT_EQ(result.tokens[0].data, "<3 little pigs>");  // emitted as text
+}
+
+TEST(Tokenizer, QuestionMarkBecomesBogusComment) {
+  const auto result = tokenize("<?xml version=\"1.0\"?>");
+  EXPECT_TRUE(result.has_error(
+      ParseError::UnexpectedQuestionMarkInsteadOfTagName));
+  EXPECT_EQ(result.tokens[0].type, Type::kComment);
+  EXPECT_EQ(result.tokens[0].data, "?xml version=\"1.0\"?");
+}
+
+TEST(Tokenizer, EndTagBogusComment) {
+  const auto result = tokenize("</#fragment>");
+  EXPECT_TRUE(result.has_error(ParseError::InvalidFirstCharacterOfTagName));
+  EXPECT_EQ(result.tokens[0].type, Type::kComment);
+}
+
+// --- comments -------------------------------------------------------------------
+
+TEST(Tokenizer, SimpleComment) {
+  const auto result = tokenize("<!-- hello -->");
+  EXPECT_EQ(result.tokens[0].type, Type::kComment);
+  EXPECT_EQ(result.tokens[0].data, " hello ");
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(Tokenizer, AbruptEmptyComment) {
+  const auto result = tokenize("<!-->");
+  EXPECT_TRUE(result.has_error(ParseError::AbruptClosingOfEmptyComment));
+  EXPECT_EQ(result.tokens[0].type, Type::kComment);
+  EXPECT_EQ(result.tokens[0].data, "");
+}
+
+TEST(Tokenizer, AbruptEmptyCommentDash) {
+  const auto result = tokenize("<!--->");
+  EXPECT_TRUE(result.has_error(ParseError::AbruptClosingOfEmptyComment));
+}
+
+TEST(Tokenizer, NestedCommentErrors) {
+  const auto result = tokenize("<!-- a <!-- b --> c -->");
+  EXPECT_TRUE(result.has_error(ParseError::NestedComment));
+}
+
+TEST(Tokenizer, IncorrectlyClosedComment) {
+  const auto result = tokenize("<!-- x --!>");
+  EXPECT_TRUE(result.has_error(ParseError::IncorrectlyClosedComment));
+  EXPECT_EQ(result.tokens[0].data, " x ");
+}
+
+TEST(Tokenizer, IncorrectlyOpenedComment) {
+  const auto result = tokenize("<! just bogus >");
+  EXPECT_TRUE(result.has_error(ParseError::IncorrectlyOpenedComment));
+  EXPECT_EQ(result.tokens[0].type, Type::kComment);
+}
+
+TEST(Tokenizer, EofInComment) {
+  const auto result = tokenize("<!-- never closed");
+  EXPECT_TRUE(result.has_error(ParseError::EofInComment));
+  EXPECT_EQ(result.tokens[0].type, Type::kComment);
+}
+
+TEST(Tokenizer, CommentDashesPreserved) {
+  const auto result = tokenize("<!-- a-b--c -->");
+  EXPECT_EQ(result.tokens[0].data, " a-b--c ");
+}
+
+// --- DOCTYPE --------------------------------------------------------------------
+
+TEST(Tokenizer, SimpleDoctype) {
+  const auto result = tokenize("<!DOCTYPE html>");
+  EXPECT_EQ(result.tokens[0].type, Type::kDoctype);
+  EXPECT_EQ(result.tokens[0].name, "html");
+  EXPECT_FALSE(result.tokens[0].force_quirks);
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(Tokenizer, DoctypeCaseInsensitive) {
+  const auto result = tokenize("<!doctype HTML>");
+  EXPECT_EQ(result.tokens[0].name, "html");
+}
+
+TEST(Tokenizer, DoctypeWithPublicAndSystem) {
+  const auto result = tokenize(
+      "<!DOCTYPE html PUBLIC \"-//W3C//DTD HTML 4.01//EN\" "
+      "\"http://www.w3.org/TR/html4/strict.dtd\">");
+  const Token& doctype = result.tokens[0];
+  EXPECT_TRUE(doctype.has_public_identifier);
+  EXPECT_EQ(doctype.public_identifier, "-//W3C//DTD HTML 4.01//EN");
+  EXPECT_TRUE(doctype.has_system_identifier);
+  EXPECT_EQ(doctype.system_identifier,
+            "http://www.w3.org/TR/html4/strict.dtd");
+}
+
+TEST(Tokenizer, DoctypeMissingName) {
+  const auto result = tokenize("<!DOCTYPE>");
+  EXPECT_TRUE(result.has_error(ParseError::MissingDoctypeName));
+  EXPECT_TRUE(result.tokens[0].force_quirks);
+}
+
+TEST(Tokenizer, DoctypeBogusAfterName) {
+  const auto result = tokenize("<!DOCTYPE html BOGUS>");
+  EXPECT_TRUE(result.has_error(
+      ParseError::InvalidCharacterSequenceAfterDoctypeName));
+  EXPECT_TRUE(result.tokens[0].force_quirks);
+}
+
+TEST(Tokenizer, SystemPrefixMatchesKeyword) {
+  // "SYSTEMATIC" begins with the SYSTEM keyword, so the error is the
+  // missing quote, not an invalid sequence (spec 13.2.5.55).
+  const auto result = tokenize("<!DOCTYPE html SYSTEMATIC>");
+  EXPECT_TRUE(result.has_error(
+      ParseError::MissingQuoteBeforeDoctypeSystemIdentifier));
+}
+
+TEST(Tokenizer, DoctypeEof) {
+  const auto result = tokenize("<!DOCTYPE html");
+  EXPECT_TRUE(result.has_error(ParseError::EofInDoctype));
+  EXPECT_TRUE(result.tokens[0].force_quirks);
+}
+
+TEST(Tokenizer, DoctypeAbruptPublicIdentifier) {
+  const auto result = tokenize("<!DOCTYPE html PUBLIC \"-//W3C>");
+  EXPECT_TRUE(result.has_error(ParseError::AbruptDoctypePublicIdentifier));
+}
+
+// --- RCDATA / RAWTEXT / script data -----------------------------------------
+
+TEST(Tokenizer, RcdataTreatsTagsAsText) {
+  const auto result =
+      tokenize("<b>bold</b></title>", TokenizerState::kRcdata, "title");
+  // Everything before </title> is text.
+  EXPECT_EQ(result.tokens[0].data, "<b>bold</b>");
+  EXPECT_EQ(result.tokens[1].type, Type::kEndTag);
+  EXPECT_EQ(result.tokens[1].name, "title");
+}
+
+TEST(Tokenizer, RcdataNonAppropriateEndTagIsText) {
+  const auto result =
+      tokenize("</div></textarea>", TokenizerState::kRcdata, "textarea");
+  EXPECT_EQ(result.tokens[0].data, "</div>");
+  EXPECT_EQ(result.tokens[1].name, "textarea");
+}
+
+TEST(Tokenizer, RawtextEndsOnlyOnAppropriateEndTag) {
+  const auto result =
+      tokenize("a { content: \"</span>\" } </style>",
+               TokenizerState::kRawtext, "style");
+  EXPECT_NE(result.tokens[0].data.find("</span>"), std::string::npos);
+  EXPECT_EQ(result.tokens[1].name, "style");
+}
+
+TEST(Tokenizer, ScriptDataSimple) {
+  const auto result =
+      tokenize("var x = 1 < 2;</script>", TokenizerState::kScriptData,
+               "script");
+  EXPECT_EQ(result.tokens[0].data, "var x = 1 < 2;");
+  EXPECT_EQ(result.tokens[1].name, "script");
+}
+
+TEST(Tokenizer, ScriptDataEscapedCommentHidesEndTag) {
+  // <!-- <script> ... </script> inside script data: the first </script>
+  // within the double-escaped region does not end the element.
+  const auto result = tokenize(
+      "<!--<script>inner</script>-->real</script>",
+      TokenizerState::kScriptData, "script");
+  std::string text;
+  for (const Token& token : result.tokens) {
+    if (token.type == Type::kCharacters) text += token.data;
+  }
+  EXPECT_EQ(text, "<!--<script>inner</script>-->real");
+  EXPECT_EQ(result.tokens.back().type, Type::kEof);
+}
+
+TEST(Tokenizer, ScriptDataEofInCommentLikeText) {
+  const auto result = tokenize("<!-- not closed", TokenizerState::kScriptData,
+                               "script");
+  EXPECT_TRUE(
+      result.has_error(ParseError::EofInScriptHtmlCommentLikeText));
+}
+
+TEST(Tokenizer, PlaintextConsumesEverything) {
+  const auto result =
+      tokenize("a</plaintext><b>", TokenizerState::kPlaintext, "plaintext");
+  EXPECT_EQ(result.tokens[0].data, "a</plaintext><b>");
+}
+
+// --- NUL handling ----------------------------------------------------------------
+
+TEST(Tokenizer, NulInDataEmitsNullToken) {
+  const auto result = tokenize(std::string_view("a\0b", 3));
+  EXPECT_TRUE(result.has_error(ParseError::UnexpectedNullCharacter));
+  bool saw_null = false;
+  for (const Token& token : result.tokens) {
+    if (token.type == Type::kNullCharacter) saw_null = true;
+  }
+  EXPECT_TRUE(saw_null);
+}
+
+TEST(Tokenizer, NulInAttributeBecomesReplacement) {
+  const auto result = tokenize(std::string_view("<a b=\"x\0y\">", 11));
+  EXPECT_TRUE(result.has_error(ParseError::UnexpectedNullCharacter));
+  EXPECT_EQ(*result.tokens[0].attribute("b"), "x\xEF\xBF\xBDy");
+}
+
+// --- positions -------------------------------------------------------------------
+
+TEST(Tokenizer, TagPositionPointsAtLessThan) {
+  const auto result = tokenize("abc\n<div>");
+  const Token* div = nullptr;
+  for (const Token& token : result.tokens) {
+    if (token.type == Type::kStartTag) div = &token;
+  }
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->position.line, 2u);
+  EXPECT_EQ(div->position.column, 1u);
+  EXPECT_EQ(div->position.offset, 4u);
+}
+
+TEST(Tokenizer, ErrorPositionIsPlausible) {
+  const auto result = tokenize("<a href=\"x\"class=\"y\">");
+  for (const ParseErrorEvent& event : result.errors) {
+    if (event.code == ParseError::MissingWhitespaceBetweenAttributes) {
+      EXPECT_EQ(event.position.line, 1u);
+      EXPECT_GT(event.position.column, 10u);
+    }
+  }
+}
+
+// --- rarely exercised states --------------------------------------------------
+
+TEST(Tokenizer, ScriptDoubleEscapeEndReturnsToEscaped) {
+  // <!--<script> opens double-escape; </script> inside ends it, so the
+  // comment-like region continues until -->, then the real end tag works.
+  const auto result = tokenize(
+      "<!--<script>a</script>b--></script>",
+      TokenizerState::kScriptData, "script");
+  std::string text;
+  for (const Token& token : result.tokens) {
+    if (token.type == Type::kCharacters) text += token.data;
+  }
+  EXPECT_EQ(text, "<!--<script>a</script>b-->");
+  EXPECT_EQ(result.tokens[result.tokens.size() - 2].type, Type::kEndTag);
+}
+
+TEST(Tokenizer, ScriptEscapedDashRuns) {
+  const auto result = tokenize("<!-- - -- ---><x>",
+                               TokenizerState::kScriptData, "script");
+  std::string text;
+  for (const Token& token : result.tokens) {
+    if (token.type == Type::kCharacters) text += token.data;
+  }
+  EXPECT_EQ(text, "<!-- - -- ---><x>");
+}
+
+TEST(Tokenizer, CdataBracketHandling) {
+  // In foreign content CDATA, lone and double brackets pass through.
+  testing::TokenizeResult result;
+  {
+    InputStream stream("<![CDATA[a]b]]c]]>");
+    testing::TokenCollector collector;
+    Tokenizer tokenizer(stream, collector, result.errors);
+    tokenizer.set_cdata_allowed(true);
+    tokenizer.run();
+    result.tokens = std::move(collector.tokens);
+  }
+  std::string text;
+  for (const Token& token : result.tokens) {
+    if (token.type == Type::kCharacters) text += token.data;
+  }
+  EXPECT_EQ(text, "a]b]]c");
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(Tokenizer, EofInCdata) {
+  testing::TokenizeResult result;
+  InputStream stream("<![CDATA[unclosed");
+  testing::TokenCollector collector;
+  Tokenizer tokenizer(stream, collector, result.errors);
+  tokenizer.set_cdata_allowed(true);
+  tokenizer.run();
+  result.tokens = std::move(collector.tokens);
+  bool found = false;
+  for (const ParseErrorEvent& event : result.errors) {
+    if (event.code == ParseError::EofInCdata) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tokenizer, AmbiguousAmpersandInAttribute) {
+  const auto result = tokenize("<a href=\"?a=1&b=2&cdefg=3\">x</a>");
+  EXPECT_EQ(*result.tokens[0].attribute("href"), "?a=1&b=2&cdefg=3");
+}
+
+TEST(Tokenizer, NumericReferenceOverflowClamped) {
+  const auto result = tokenize("&#999999999999999999999;");
+  EXPECT_TRUE(
+      result.has_error(ParseError::CharacterReferenceOutsideUnicodeRange));
+  EXPECT_EQ(result.tokens.front().data, "\xEF\xBF\xBD");
+}
+
+TEST(Tokenizer, CommentLessThanBangChain) {
+  const auto result = tokenize("<!-- <!- x --> ");
+  EXPECT_EQ(result.tokens[0].type, Type::kComment);
+  EXPECT_EQ(result.tokens[0].data, " <!- x ");
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(Tokenizer, CommentEndBangResumes) {
+  const auto result = tokenize("<!-- a --!b -->");
+  EXPECT_EQ(result.tokens[0].data, " a --!b ");
+}
+
+TEST(Tokenizer, SelfClosingOnNonVoidReportedByTreeBuilder) {
+  const ParseResult result = parse("<!DOCTYPE html><body><div/>x</div>");
+  EXPECT_TRUE(result.has_error(
+      ParseError::NonVoidHtmlElementStartTagWithTrailingSolidus));
+}
+
+TEST(Tokenizer, BogusDoctypeSkipsToClose) {
+  const auto result = tokenize("<!DOCTYPE html \"garbage\" more>z");
+  EXPECT_EQ(result.tokens[0].type, Type::kDoctype);
+  EXPECT_EQ(result.tokens[1].data, "z");
+}
+
+TEST(Tokenizer, DoctypeSystemOnly) {
+  const auto result =
+      tokenize("<!DOCTYPE html SYSTEM \"about:legacy-compat\">");
+  const Token& doctype = result.tokens[0];
+  EXPECT_FALSE(doctype.has_public_identifier);
+  EXPECT_TRUE(doctype.has_system_identifier);
+  EXPECT_EQ(doctype.system_identifier, "about:legacy-compat");
+  EXPECT_FALSE(doctype.force_quirks);
+}
+
+// --- parameterized error-state sweep ------------------------------------------
+
+struct ErrorCase {
+  const char* label;
+  const char* input;
+  ParseError expected;
+};
+
+class TokenizerErrorSweep : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(TokenizerErrorSweep, RaisesNamedError) {
+  const auto result = tokenize(GetParam().input);
+  EXPECT_TRUE(result.has_error(GetParam().expected)) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecErrors, TokenizerErrorSweep,
+    ::testing::Values(
+        ErrorCase{"fb1", "<img/alt=x>", ParseError::UnexpectedSolidusInTag},
+        ErrorCase{"fb2", "<a b=\"1\"c=\"2\">",
+                  ParseError::MissingWhitespaceBetweenAttributes},
+        ErrorCase{"dm3", "<a b=1 b=2>", ParseError::DuplicateAttribute},
+        ErrorCase{"eof_before_name", "<", ParseError::EofBeforeTagName},
+        ErrorCase{"eof_in_tag", "<a b", ParseError::EofInTag},
+        ErrorCase{"lt_in_attr_name", "<a <b=1>",
+                  ParseError::UnexpectedCharacterInAttributeName},
+        ErrorCase{"quote_in_attr_name", "<a \"b\"=1>",
+                  ParseError::UnexpectedCharacterInAttributeName},
+        ErrorCase{"backtick_unquoted", "<a b=`c`>",
+                  ParseError::UnexpectedCharacterInUnquotedAttributeValue},
+        ErrorCase{"missing_value", "<a b=>", ParseError::MissingAttributeValue},
+        ErrorCase{"abrupt_comment", "<!-->",
+                  ParseError::AbruptClosingOfEmptyComment},
+        ErrorCase{"bad_comment_close", "<!--x--!>",
+                  ParseError::IncorrectlyClosedComment},
+        ErrorCase{"bogus_markup_decl", "<!ELEMENT html>",
+                  ParseError::IncorrectlyOpenedComment},
+        ErrorCase{"eof_comment", "<!--x", ParseError::EofInComment},
+        ErrorCase{"missing_doctype_name", "<!DOCTYPE >",
+                  ParseError::MissingDoctypeName},
+        ErrorCase{"doctype_no_ws", "<!DOCTYPEhtml>",
+                  ParseError::MissingWhitespaceBeforeDoctypeName},
+        ErrorCase{"missing_public_quote", "<!DOCTYPE html PUBLIC x>",
+                  ParseError::MissingQuoteBeforeDoctypePublicIdentifier},
+        ErrorCase{"missing_public_kw_ws", "<!DOCTYPE html PUBLIC\"x\">",
+                  ParseError::MissingWhitespaceAfterDoctypePublicKeyword},
+        ErrorCase{"char_ref_no_digits", "&#z",
+                  ParseError::AbsenceOfDigitsInNumericCharacterReference},
+        ErrorCase{"char_ref_out_of_range", "&#x110000;",
+                  ParseError::CharacterReferenceOutsideUnicodeRange},
+        ErrorCase{"char_ref_surrogate", "&#xD800;",
+                  ParseError::SurrogateCharacterReference},
+        ErrorCase{"char_ref_null", "&#0;",
+                  ParseError::NullCharacterReference},
+        ErrorCase{"char_ref_noncharacter", "&#xFDD0;",
+                  ParseError::NoncharacterCharacterReference},
+        ErrorCase{"unknown_entity", "&bogus;",
+                  ParseError::UnknownNamedCharacterReference},
+        ErrorCase{"cdata_in_html", "<![CDATA[x]]>",
+                  ParseError::CdataInHtmlContent}),
+    [](const ::testing::TestParamInfo<ErrorCase>& info) {
+      return info.param.label;
+    });
+
+// Clean inputs must stay clean: the checker's false-positive rate depends
+// on it.
+class TokenizerCleanSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TokenizerCleanSweep, NoErrors) {
+  const auto result = tokenize(GetParam());
+  EXPECT_TRUE(result.errors.empty())
+      << "first error: "
+      << (result.errors.empty()
+              ? ""
+              : std::string(to_string(result.errors[0].code)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CleanInputs, TokenizerCleanSweep,
+    ::testing::Values(
+        "plain text only",
+        "<div class=\"a\" id=\"b\" data-x=\"1\">text</div>",
+        "<input type=\"checkbox\" checked>",
+        "<br/>",
+        "<a href=\"/a?b=1&amp;c=2\">link</a>",
+        "<!-- a comment --><p>x</p>",
+        "<!DOCTYPE html><html></html>",
+        "5 &lt; 6 &amp;&amp; 7 &gt; 3",
+        "<img src=\"x.png\" alt=\"\">",
+        "<ul>\n  <li>one</li>\n  <li>two</li>\n</ul>"));
+
+}  // namespace
+}  // namespace hv::html

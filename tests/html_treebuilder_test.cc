@@ -1,0 +1,500 @@
+// Tree-construction tests: insertion modes, implied elements, foster
+// parenting, the adoption agency, and the error-tolerance observations
+// the study's HF/DM/DE rules are built on.
+#include "html/treebuilder.h"
+
+#include <gtest/gtest.h>
+
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+using testing::body_html;
+using OK = ObservationKind;
+
+TEST(TreeBuilder, SynthesizesMissingStructure) {
+  const ParseResult result = parse("hello");
+  ASSERT_NE(result.document->document_element(), nullptr);
+  ASSERT_NE(result.document->head(), nullptr);
+  ASSERT_NE(result.document->body(), nullptr);
+  EXPECT_EQ(result.document->body()->text_content(), "hello");
+}
+
+TEST(TreeBuilder, WellFormedDocumentIsClean) {
+  const ParseResult result = parse(
+      "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">"
+      "<title>t</title></head><body><p>x</p></body></html>");
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(TreeBuilder, DoctypeNodeCaptured) {
+  const ParseResult result = parse("<!DOCTYPE html><html></html>");
+  const Node* first = result.document->children().front();
+  ASSERT_EQ(first->type(), NodeType::kDocumentType);
+  EXPECT_EQ(static_cast<const DocumentType*>(first)->name, "html");
+}
+
+TEST(TreeBuilder, CommentsAtEveryLevel) {
+  const ParseResult result = parse(
+      "<!--top--><html><head></head><body><!--in body--></body></html>"
+      "<!--after-->");
+  EXPECT_EQ(result.document->children().front()->type(), NodeType::kComment);
+}
+
+TEST(TreeBuilder, HtmlAttributesMergeIntoExisting) {
+  const ParseResult result =
+      parse("<html lang=\"en\"><html data-x=\"1\"><body></body></html>");
+  const Element* html = result.document->document_element();
+  EXPECT_EQ(*html->get_attribute("lang"), "en");
+  EXPECT_EQ(*html->get_attribute("data-x"), "1");
+}
+
+// --- head handling (HF1) -----------------------------------------------------
+
+TEST(TreeBuilder, StrayDivClosesHead) {
+  const ParseResult result = parse(
+      "<html><head><title>t</title><div>modal</div>"
+      "<meta name=\"a\"></head><body></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kHeadClosedByStrayElement));
+  // The div is NOT in the head in the final tree.
+  const Element* head = result.document->head();
+  for (const Node* child : head->children()) {
+    const Element* element = child->as_element();
+    EXPECT_TRUE(element == nullptr || element->tag_name() != "div");
+  }
+}
+
+TEST(TreeBuilder, ExplicitHeadBodyDoesNotFlagHF1) {
+  const ParseResult result = parse(
+      "<html><head><title>t</title></head><body><div>x</div></body></html>");
+  EXPECT_FALSE(result.has_observation(OK::kHeadClosedByStrayElement));
+  EXPECT_FALSE(result.has_observation(OK::kHeadImplicitWithContent));
+  EXPECT_FALSE(result.has_observation(OK::kBodyImpliedByContent));
+}
+
+TEST(TreeBuilder, OmittedEmptyHeadIsLegal) {
+  // <html><body>... : head omitted and empty — valid omission, no HF1.
+  const ParseResult result = parse("<html><body><p>x</p></body></html>");
+  EXPECT_FALSE(result.has_observation(OK::kHeadClosedByStrayElement));
+  EXPECT_FALSE(result.has_observation(OK::kHeadImplicitWithContent));
+}
+
+TEST(TreeBuilder, ImplicitHeadWithContentFlagsHF1) {
+  // Google-404 style (paper Figure 12): meta/title without <head>.
+  const ParseResult result = parse(
+      "<!DOCTYPE html><html lang=en><meta charset=utf-8>"
+      "<title>Error 404</title><body><p>gone</p></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kHeadImplicitWithContent));
+  EXPECT_FALSE(result.has_observation(OK::kBodyImpliedByContent));
+}
+
+TEST(TreeBuilder, HeadContentAfterHeadFlagsAndRelocates) {
+  const ParseResult result = parse(
+      "<html><head><title>t</title></head>"
+      "<link rel=\"stylesheet\" href=\"/x.css\"><body></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kHeadContentAfterHead));
+  // The link was moved back into the head.
+  bool link_in_head = false;
+  for (const Node* child : result.document->head()->children()) {
+    const Element* element = child->as_element();
+    if (element != nullptr && element->tag_name() == "link") {
+      link_in_head = true;
+    }
+  }
+  EXPECT_TRUE(link_in_head);
+}
+
+// --- body handling (HF2, HF3) -------------------------------------------------
+
+TEST(TreeBuilder, ContentBeforeBodyFlagsHF2) {
+  const ParseResult result = parse(
+      "<html><head></head><div id=\"fb-root\"></div>"
+      "<body class=\"page\"><p>x</p></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kBodyImpliedByContent));
+  EXPECT_FALSE(result.has_observation(OK::kSecondBodyMerged));
+  // The explicit body's attributes merged into the implied body.
+  EXPECT_EQ(*result.document->body()->get_attribute("class"), "page");
+}
+
+TEST(TreeBuilder, HeadStrayDoesNotDoubleCountAsHF2) {
+  const ParseResult result = parse(
+      "<html><head><title>t</title><div>oops</div></head>"
+      "<body></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kHeadClosedByStrayElement));
+  EXPECT_FALSE(result.has_observation(OK::kBodyImpliedByContent));
+}
+
+TEST(TreeBuilder, SecondBodyTagFlagsHF3AndMergesAttributes) {
+  const ParseResult result = parse(
+      "<html><head></head><body class=\"a\"><p>x</p>"
+      "<body data-theme=\"dark\" class=\"b\"><p>y</p></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kSecondBodyMerged));
+  const Element* body = result.document->body();
+  EXPECT_EQ(*body->get_attribute("class"), "a");  // first wins
+  EXPECT_EQ(*body->get_attribute("data-theme"), "dark");  // new one added
+}
+
+TEST(TreeBuilder, SingleExplicitBodyNeverFlagsHF3) {
+  const ParseResult result =
+      parse("<html><head></head><body><p>x</p></body></html>");
+  EXPECT_FALSE(result.has_observation(OK::kSecondBodyMerged));
+}
+
+// --- paragraphs, lists, headings ---------------------------------------------
+
+TEST(TreeBuilder, PClosesOnBlock) {
+  EXPECT_EQ(body_html("<body><p>a<div>b</div></body>"),
+            "<p>a</p><div>b</div>");
+}
+
+TEST(TreeBuilder, NestedPImpliesClose) {
+  EXPECT_EQ(body_html("<body><p>a<p>b</body>"), "<p>a</p><p>b</p>");
+}
+
+TEST(TreeBuilder, EndPWithoutOpenCreatesEmptyP) {
+  const ParseResult result = parse("<body></p></body>");
+  EXPECT_EQ(testing::body_html("<body></p></body>"), "<p></p>");
+  (void)result;
+}
+
+TEST(TreeBuilder, LiImpliesPreviousLiClose) {
+  EXPECT_EQ(body_html("<body><ul><li>1<li>2<li>3</ul></body>"),
+            "<ul><li>1</li><li>2</li><li>3</li></ul>");
+}
+
+TEST(TreeBuilder, DtDdImplyClose) {
+  EXPECT_EQ(body_html("<body><dl><dt>t<dd>d<dt>t2</dl></body>"),
+            "<dl><dt>t</dt><dd>d</dd><dt>t2</dt></dl>");
+}
+
+TEST(TreeBuilder, HeadingClosesHeading) {
+  const ParseResult result = parse("<body><h1>a<h2>b</h2></body>");
+  EXPECT_EQ(body_html("<body><h1>a<h2>b</h2></body>"), "<h1>a</h1><h2>b</h2>");
+  EXPECT_TRUE(result.has_error(ParseError::MisnestedTag));
+}
+
+TEST(TreeBuilder, PreSkipsFirstNewline) {
+  EXPECT_EQ(body_html("<body><pre>\ncode</pre></body>"),
+            "<pre>code</pre>");
+}
+
+TEST(TreeBuilder, PreKeepsSecondNewline) {
+  EXPECT_EQ(body_html("<body><pre>\n\ncode</pre></body>"),
+            "<pre>\ncode</pre>");
+}
+
+// --- formatting elements / adoption agency -------------------------------------
+
+TEST(TreeBuilder, MisnestedBoldItalic) {
+  EXPECT_EQ(body_html("<body><p>1<b>2<i>3</b>4</i>5</p></body>"),
+            "<p>1<b>2<i>3</i></b><i>4</i>5</p>");
+}
+
+TEST(TreeBuilder, FormattingAcrossBlock) {
+  EXPECT_EQ(body_html("<body><b>1<p>2</b>3</p></body>"),
+            "<b>1</b><p><b>2</b>3</p>");
+}
+
+TEST(TreeBuilder, SecondAClosesFirst) {
+  const ParseResult result = parse("<body><a href=\"1\">x<a href=\"2\">y</a></body>");
+  EXPECT_TRUE(result.has_error(ParseError::MisnestedTag));
+  EXPECT_EQ(body_html("<body><a href=\"1\">x<a href=\"2\">y</a></body>"),
+            "<a href=\"1\">x</a><a href=\"2\">y</a>");
+}
+
+TEST(TreeBuilder, FormattingReconstructedAfterBlock) {
+  // <b> spans two paragraphs through reconstruction.
+  EXPECT_EQ(body_html("<body><p><b>1<p>2</b></body>"),
+            "<p><b>1</b></p><p><b>2</b></p>");
+}
+
+TEST(TreeBuilder, NoahsArkLimitsClones) {
+  // Four identical <b> opens: reconstruction must not grow unboundedly.
+  const std::string html = body_html(
+      "<body><p><b><b><b><b>x<p>y</body>");
+  // Second paragraph gets at most three reconstructed <b>s.
+  std::size_t count = 0;
+  for (std::size_t pos = html.find("y"); pos != std::string::npos;) {
+    break;
+  }
+  const std::size_t second_p = html.find("<p>", 3);
+  ASSERT_NE(second_p, std::string::npos);
+  for (std::size_t pos = second_p;
+       (pos = html.find("<b>", pos)) != std::string::npos; ++pos) {
+    ++count;
+  }
+  EXPECT_LE(count, 3u);
+}
+
+// --- tables (HF4) ----------------------------------------------------------------
+
+TEST(TreeBuilder, TableSynthesizesTbody) {
+  EXPECT_EQ(body_html("<body><table><tr><td>a</td></tr></table></body>"),
+            "<table><tbody><tr><td>a</td></tr></tbody></table>");
+}
+
+TEST(TreeBuilder, StrongInRowFosterParented) {
+  const ParseResult result = parse(
+      "<body><table><tr><strong>T</strong></tr></table></body>");
+  EXPECT_TRUE(result.has_observation(OK::kFosterParented));
+  const std::string html =
+      body_html("<body><table><tr><strong>T</strong></tr></table></body>");
+  EXPECT_EQ(html,
+            "<strong>T</strong><table><tbody><tr></tr></tbody></table>");
+}
+
+TEST(TreeBuilder, TextInTableFosterParented) {
+  const ParseResult result =
+      parse("<body><table>loose<tr><td>a</td></tr></table></body>");
+  EXPECT_TRUE(result.has_observation(OK::kFosterParented));
+  const std::string html =
+      body_html("<body><table>loose<tr><td>a</td></tr></table></body>");
+  EXPECT_EQ(html.find("loose"), 0u);  // moved before the table
+}
+
+TEST(TreeBuilder, WhitespaceInTableIsNotFostered) {
+  const ParseResult result =
+      parse("<body><table> <tr> <td>a</td> </tr> </table></body>");
+  EXPECT_FALSE(result.has_observation(OK::kFosterParented));
+}
+
+TEST(TreeBuilder, ImpliedCellClose) {
+  EXPECT_EQ(body_html("<body><table><tr><td>a<td>b</table></body>"),
+            "<table><tbody><tr><td>a</td><td>b</td></tr></tbody></table>");
+}
+
+TEST(TreeBuilder, ImpliedRowClose) {
+  EXPECT_EQ(
+      body_html("<body><table><tr><td>a<tr><td>b</table></body>"),
+      "<table><tbody><tr><td>a</td></tr><tr><td>b</td></tr></tbody></table>");
+}
+
+TEST(TreeBuilder, CaptionAndColgroup) {
+  EXPECT_EQ(body_html("<body><table><caption>c</caption><colgroup>"
+                      "<col span=\"2\"></colgroup><tr><td>a</table></body>"),
+            "<table><caption>c</caption><colgroup><col span=\"2\"></colgroup>"
+            "<tbody><tr><td>a</td></tr></tbody></table>");
+}
+
+TEST(TreeBuilder, NestedTableClosesImplicitly) {
+  const ParseResult result =
+      parse("<body><table><tr><td><table><tr><td>i</table></table></body>");
+  // inner table inside the cell, outer </table> closes what remains.
+  const std::string html = body_html(
+      "<body><table><tr><td><table><tr><td>i</table></table></body>");
+  EXPECT_NE(html.find("<td><table>"), std::string::npos);
+}
+
+TEST(TreeBuilder, TdOutsideTableIgnored) {
+  EXPECT_EQ(body_html("<body><td>stray</td>ok</body>"), "strayok");
+}
+
+// --- select (DE2) -------------------------------------------------------------
+
+TEST(TreeBuilder, SelectOptionsParse) {
+  EXPECT_EQ(body_html("<body><select><option>a</option>"
+                      "<option>b</option></select></body>"),
+            "<select><option>a</option><option>b</option></select>");
+}
+
+TEST(TreeBuilder, OptionImpliedClose) {
+  EXPECT_EQ(body_html("<body><select><option>a<option>b</select></body>"),
+            "<select><option>a</option><option>b</option></select>");
+}
+
+TEST(TreeBuilder, SelectStripsNonOptionTags) {
+  // Paper section 3.2.1 (DE2): tags other than option/optgroup are removed
+  // but their text kept.
+  const std::string html = body_html(
+      "<body><select><option>a</option><p id=\"private\">secret</p>"
+      "</select></body>");
+  EXPECT_EQ(html.find("<p"), std::string::npos);
+  EXPECT_NE(html.find("secret"), std::string::npos);
+}
+
+TEST(TreeBuilder, UnterminatedSelectObservedAtEof) {
+  const ParseResult result =
+      parse("<body><form action=\"/x\"><select name=\"c\"><option>G");
+  EXPECT_TRUE(result.has_observation(OK::kSelectOpenAtEof));
+}
+
+TEST(TreeBuilder, ClosedSelectNotObserved) {
+  const ParseResult result =
+      parse("<body><select><option>a</option></select></body>");
+  EXPECT_FALSE(result.has_observation(OK::kSelectOpenAtEof));
+}
+
+TEST(TreeBuilder, SelectInTableEscapesOnTableTag) {
+  const ParseResult result = parse(
+      "<body><table><tr><td><select><option>a<td>next</table></body>");
+  // the <td> forces the select closed instead of being swallowed.
+  EXPECT_FALSE(result.has_observation(OK::kSelectOpenAtEof));
+}
+
+// --- textarea (DE1) -------------------------------------------------------------
+
+TEST(TreeBuilder, UnterminatedTextareaObserved) {
+  const ParseResult result = parse(
+      "<body><form action=\"https://evil.com\"><input type=\"submit\">"
+      "<textarea>\n<p>My little secret</p>");
+  EXPECT_TRUE(result.has_observation(OK::kTextareaOpenAtEof));
+  // The following markup was swallowed as text (paper Figure 3).
+  const auto textareas =
+      result.document->get_elements_by_tag("textarea");
+  ASSERT_FALSE(textareas.empty());
+  EXPECT_NE(textareas[0]->text_content().find("<p>My little secret</p>"),
+            std::string::npos);
+}
+
+TEST(TreeBuilder, ClosedTextareaNotObserved) {
+  const ParseResult result =
+      parse("<body><textarea>note</textarea><p>after</p></body>");
+  EXPECT_FALSE(result.has_observation(OK::kTextareaOpenAtEof));
+  EXPECT_EQ(body_html("<body><textarea>note</textarea><p>after</p></body>"),
+            "<textarea>note</textarea><p>after</p>");
+}
+
+// --- forms (DE4) -----------------------------------------------------------------
+
+TEST(TreeBuilder, NestedFormIgnored) {
+  const ParseResult result = parse(
+      "<body><form action=\"/a\"><form action=\"/b\">"
+      "<input name=\"q\"></form></form></body>");
+  EXPECT_TRUE(result.has_observation(OK::kNestedFormIgnored));
+  const auto forms = result.document->get_elements_by_tag("form");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(*forms[0]->get_attribute("action"), "/a");
+}
+
+TEST(TreeBuilder, SiblingFormsAreFine) {
+  const ParseResult result = parse(
+      "<body><form action=\"/a\"></form><form action=\"/b\"></form></body>");
+  EXPECT_FALSE(result.has_observation(OK::kNestedFormIgnored));
+  EXPECT_EQ(result.document->get_elements_by_tag("form").size(), 2u);
+}
+
+// --- meta / base (DM1, DM2) -------------------------------------------------------
+
+TEST(TreeBuilder, MetaHttpEquivInBodyObserved) {
+  const ParseResult result = parse(
+      "<html><head><title>t</title></head><body>"
+      "<meta http-equiv=\"refresh\" content=\"0; URL=/n\"></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kMetaHttpEquivOutsideHead));
+}
+
+TEST(TreeBuilder, PlainMetaInBodyNotObserved) {
+  const ParseResult result = parse(
+      "<html><head></head><body><meta name=\"x\" content=\"y\"></body></html>");
+  EXPECT_FALSE(result.has_observation(OK::kMetaHttpEquivOutsideHead));
+}
+
+TEST(TreeBuilder, MetaHttpEquivInHeadNotObserved) {
+  const ParseResult result = parse(
+      "<html><head><meta http-equiv=\"refresh\" content=\"3\"></head>"
+      "<body></body></html>");
+  EXPECT_FALSE(result.has_observation(OK::kMetaHttpEquivOutsideHead));
+}
+
+TEST(TreeBuilder, BaseInBodyObserved) {
+  const ParseResult result = parse(
+      "<html><head><title>t</title></head><body>"
+      "<base href=\"https://evil.com/\"></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kBaseOutsideHead));
+}
+
+TEST(TreeBuilder, SecondBaseObserved) {
+  const ParseResult result = parse(
+      "<html><head><base href=\"/\"><base target=\"_blank\"></head>"
+      "<body></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kSecondBase));
+  EXPECT_FALSE(result.has_observation(OK::kBaseOutsideHead));
+}
+
+TEST(TreeBuilder, BaseAfterLinkObserved) {
+  const ParseResult result = parse(
+      "<html><head><link rel=\"stylesheet\" href=\"/a.css\">"
+      "<base href=\"/\"></head><body></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kBaseAfterUrlUse));
+  EXPECT_FALSE(result.has_observation(OK::kBaseOutsideHead));
+}
+
+TEST(TreeBuilder, BaseInSourceHeadAfterStrayElementIsNotOutsideHead) {
+  // A stray div breaks the head (HF1), but the base is still between
+  // <head> and </head> in the source — the paper's source-level DM2_1
+  // must not fire.
+  const ParseResult result = parse(
+      "<html><head><title>t</title><div>oops</div>"
+      "<base href=\"/\"></head><body></body></html>");
+  EXPECT_TRUE(result.has_observation(OK::kHeadClosedByStrayElement));
+  EXPECT_FALSE(result.has_observation(OK::kBaseOutsideHead));
+}
+
+TEST(TreeBuilder, MetaInSourceHeadAfterStrayElementIsNotDM1) {
+  const ParseResult result = parse(
+      "<html><head><title>t</title><div>oops</div>"
+      "<meta http-equiv=\"refresh\" content=\"3\"></head>"
+      "<body></body></html>");
+  EXPECT_FALSE(result.has_observation(OK::kMetaHttpEquivOutsideHead));
+}
+
+TEST(TreeBuilder, BaseAfterHeadOmittedEntirelyIsOutsideHead) {
+  // <html><div>... : head omitted and empty, so a later base is outside.
+  const ParseResult result = parse(
+      "<html><div>content</div><base href=\"https://evil.com/\"></html>");
+  EXPECT_TRUE(result.has_observation(OK::kBaseOutsideHead));
+}
+
+TEST(TreeBuilder, BaseBeforeEverythingIsClean) {
+  const ParseResult result = parse(
+      "<html><head><base href=\"/\"><link rel=\"stylesheet\" "
+      "href=\"/a.css\"></head><body><a href=\"/x\">l</a></body></html>");
+  EXPECT_FALSE(result.has_observation(OK::kBaseOutsideHead));
+  EXPECT_FALSE(result.has_observation(OK::kSecondBase));
+  EXPECT_FALSE(result.has_observation(OK::kBaseAfterUrlUse));
+}
+
+// --- frameset --------------------------------------------------------------------
+
+TEST(TreeBuilder, FramesetDocument) {
+  const ParseResult result = parse(
+      "<html><head><title>f</title></head><frameset cols=\"50%,50%\">"
+      "<frame src=\"/a\"><frame src=\"/b\"></frameset></html>");
+  const auto framesets =
+      result.document->get_elements_by_tag("frameset");
+  ASSERT_EQ(framesets.size(), 1u);
+  EXPECT_EQ(framesets[0]->children().size(), 2u);
+  EXPECT_EQ(result.document->body(), nullptr);
+}
+
+// --- EOF handling -----------------------------------------------------------------
+
+TEST(TreeBuilder, OpenDivAtEofObserved) {
+  const ParseResult result = parse("<body><div><section>unclosed");
+  EXPECT_TRUE(result.has_observation(OK::kElementsOpenAtEof));
+}
+
+TEST(TreeBuilder, OpenPAtEofIsLegal) {
+  const ParseResult result = parse(
+      "<html><head></head><body><p>trailing");
+  EXPECT_FALSE(result.has_observation(OK::kElementsOpenAtEof));
+}
+
+TEST(TreeBuilder, ScriptContentIsOpaque) {
+  const std::string html = body_html(
+      "<body><script>if (a < b) { x = \"<div>\"; }</script></body>");
+  EXPECT_EQ(html, "<script>if (a < b) { x = \"<div>\"; }</script>");
+}
+
+TEST(TreeBuilder, StyleContentIsOpaque) {
+  const std::string html =
+      body_html("<head><style>a > b { color: red }</style></head><body>x");
+  const ParseResult result =
+      parse("<head><style>a > b { color: red }</style></head><body>x");
+  const auto styles = result.document->get_elements_by_tag("style");
+  ASSERT_EQ(styles.size(), 1u);
+  EXPECT_EQ(styles[0]->text_content(), "a > b { color: red }");
+}
+
+}  // namespace
+}  // namespace hv::html

@@ -1,0 +1,175 @@
+// Tests for the section 4.5 mitigation scans and the section 5.3.2
+// STRICT-PARSER header simulation.
+#include "mitigation/mitigations.h"
+
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+
+namespace hv::mitigation {
+namespace {
+
+TEST(ScriptInAttribute, DetectsInValueAttr) {
+  const html::ParseResult parsed = html::parse(
+      "<body><input type=\"hidden\" value='<script src=\"/w.js\">"
+      "</script>'></body>");
+  const ScriptInAttributeScan scan =
+      scan_script_in_attributes(*parsed.document);
+  ASSERT_TRUE(scan.any());
+  EXPECT_EQ(scan.hits[0].element_tag, "input");
+  EXPECT_EQ(scan.hits[0].attribute_name, "value");
+  EXPECT_FALSE(scan.any_affected());
+}
+
+TEST(ScriptInAttribute, CaseInsensitive) {
+  const html::ParseResult parsed = html::parse(
+      "<body><div data-embed=\"&lt;SCRIPT src=x&gt;\"></div></body>");
+  EXPECT_TRUE(scan_script_in_attributes(*parsed.document).any());
+}
+
+TEST(ScriptInAttribute, NoncedScriptIsAffected) {
+  // The nonce-stealing shape the Chromium fix targets (paper Figure 2).
+  const html::ParseResult parsed = html::parse(
+      "<body><script src=\"https://evil.com/x.js\" nonce=\"r4nd\" "
+      "inj=\"<p>x</p><script id=in-action\"></script></body>");
+  const ScriptInAttributeScan scan =
+      scan_script_in_attributes(*parsed.document);
+  ASSERT_TRUE(scan.any());
+  EXPECT_TRUE(scan.any_affected());
+}
+
+TEST(ScriptInAttribute, CleanPageHasNoHits) {
+  const html::ParseResult parsed = html::parse(
+      "<body><script src=\"/app.js\" nonce=\"r4nd\"></script>"
+      "<input value=\"scripted content\"></body>");
+  EXPECT_FALSE(scan_script_in_attributes(*parsed.document).any());
+}
+
+TEST(UrlNewline, CountsBothPredicates) {
+  const html::ParseResult parsed = html::parse(
+      "<body><a href=\"/a\nb\">1</a><img src=\"/c\n<d\">"
+      "<a href=\"/clean\">2</a></body>");
+  const UrlNewlineScan scan = scan_url_newlines(*parsed.document);
+  EXPECT_EQ(scan.urls_with_newline, 2u);
+  EXPECT_EQ(scan.urls_with_newline_and_lt, 1u);
+  EXPECT_TRUE(scan.any_newline());
+  EXPECT_TRUE(scan.any_blocked());
+}
+
+TEST(UrlNewline, IgnoresNonUrlAttributes) {
+  const html::ParseResult parsed = html::parse(
+      "<body><div title=\"a\nb\" data-x=\"c\n<d\">t</div></body>");
+  const UrlNewlineScan scan = scan_url_newlines(*parsed.document);
+  EXPECT_EQ(scan.urls_with_newline, 0u);
+}
+
+// --- STRICT-PARSER header ---------------------------------------------------
+
+TEST(StrictParserHeader, ParsesModes) {
+  EXPECT_EQ(parse_strict_parser_header("strict").mode,
+            StrictParserMode::kStrict);
+  EXPECT_EQ(parse_strict_parser_header("unsafe").mode,
+            StrictParserMode::kUnsafe);
+  EXPECT_EQ(parse_strict_parser_header("default").mode,
+            StrictParserMode::kDefault);
+}
+
+TEST(StrictParserHeader, UnknownModeFailsSafeToDefault) {
+  EXPECT_EQ(parse_strict_parser_header("lenient-please").mode,
+            StrictParserMode::kDefault);
+  EXPECT_EQ(parse_strict_parser_header("").mode, StrictParserMode::kDefault);
+}
+
+TEST(StrictParserHeader, ParsesMonitorUrl) {
+  const StrictParserPolicy policy = parse_strict_parser_header(
+      "strict; monitor=https://example.com/reports");
+  EXPECT_EQ(policy.mode, StrictParserMode::kStrict);
+  ASSERT_TRUE(policy.monitor_url.has_value());
+  EXPECT_EQ(*policy.monitor_url, "https://example.com/reports");
+}
+
+TEST(StrictParserStages, GrowMonotonically) {
+  std::size_t previous = 0;
+  for (int stage = 0; stage <= max_enforcement_stage(); ++stage) {
+    const auto enforced = enforced_list_for_stage(stage);
+    EXPECT_GT(enforced.size(), previous) << "stage " << stage;
+    previous = enforced.size();
+  }
+  // The final stage enforces everything = strict mode.
+  EXPECT_EQ(enforced_list_for_stage(max_enforcement_stage()).size(),
+            core::kViolationCount);
+}
+
+TEST(StrictParserStages, EarlyStagesOnlyRareViolations) {
+  const auto stage0 = enforced_list_for_stage(0);
+  // Rare violations enforced first (paper: math-related, dangling markup).
+  EXPECT_TRUE(stage0.count(core::Violation::kHF5_3) > 0);
+  EXPECT_TRUE(stage0.count(core::Violation::kDE1) > 0);
+  // The dominant ones come last.
+  EXPECT_EQ(stage0.count(core::Violation::kFB2), 0u);
+  EXPECT_EQ(stage0.count(core::Violation::kDM3), 0u);
+}
+
+core::CheckResult check(std::string_view html) {
+  static const core::Checker checker;
+  return checker.check(html);
+}
+
+TEST(StrictParserEvaluate, UnsafeNeverBlocks) {
+  const auto result = check("<body><img/src=\"x\"/alt=\"y\"></body>");
+  const StrictParserDecision decision = evaluate_strict_parser(
+      parse_strict_parser_header("unsafe"), result, max_enforcement_stage());
+  EXPECT_FALSE(decision.blocked);
+}
+
+TEST(StrictParserEvaluate, StrictBlocksAnyViolation) {
+  const auto result = check("<body><img/src=\"x\"/alt=\"y\"></body>");
+  const StrictParserDecision decision =
+      evaluate_strict_parser(parse_strict_parser_header("strict"), result, 0);
+  EXPECT_TRUE(decision.blocked);
+  ASSERT_EQ(decision.blocking.size(), 1u);
+  EXPECT_EQ(decision.blocking[0], core::Violation::kFB1);
+}
+
+TEST(StrictParserEvaluate, StrictPassesCleanPage) {
+  const auto result = check("<body><p>ok</p></body>");
+  const StrictParserDecision decision =
+      evaluate_strict_parser(parse_strict_parser_header("strict"), result, 0);
+  EXPECT_FALSE(decision.blocked);
+}
+
+TEST(StrictParserEvaluate, DefaultBlocksOnlyEnforcedList) {
+  // FB1 is not in stage 0, so a default-mode page with FB1 still renders.
+  const auto fb1 = check("<body><img/src=\"x\"/alt=\"y\"></body>");
+  EXPECT_FALSE(evaluate_strict_parser(parse_strict_parser_header("default"),
+                                      fb1, 0)
+                   .blocked);
+  // An unterminated select (DE2, stage 0) is blocked immediately.
+  const auto de2 = check("<body><select><option>G");
+  EXPECT_TRUE(evaluate_strict_parser(parse_strict_parser_header("default"),
+                                     de2, 0)
+                  .blocked);
+}
+
+TEST(StrictParserEvaluate, DefaultAtFinalStageEqualsStrict) {
+  const auto result = check("<body><a href=\"1\"class=\"2\">l</a></body>");
+  const StrictParserDecision default_decision = evaluate_strict_parser(
+      parse_strict_parser_header("default"), result,
+      max_enforcement_stage());
+  const StrictParserDecision strict_decision = evaluate_strict_parser(
+      parse_strict_parser_header("strict"), result, 0);
+  EXPECT_EQ(default_decision.blocked, strict_decision.blocked);
+}
+
+TEST(StrictParserEvaluate, MonitorReportsEvenWhenNotBlocking) {
+  const auto result = check("<body><img/src=\"x\"/alt=\"y\"></body>");
+  const StrictParserDecision decision = evaluate_strict_parser(
+      parse_strict_parser_header("unsafe; monitor=https://m.example/r"),
+      result, 0);
+  EXPECT_FALSE(decision.blocked);
+  ASSERT_EQ(decision.reported.size(), 1u);
+  EXPECT_EQ(decision.reported[0], core::Violation::kFB1);
+}
+
+}  // namespace
+}  // namespace hv::mitigation

@@ -1,0 +1,112 @@
+// HTTP/1.1 response parsing tests (the WARC payload format).
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+namespace hv::net {
+namespace {
+
+TEST(HttpParse, BasicResponse) {
+  const std::string message =
+      "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n"
+      "Content-Length: 5\r\n\r\nhello";
+  const auto response = parse_http_response(message);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->reason_phrase, "OK");
+  EXPECT_EQ(response->http_version, "HTTP/1.1");
+  EXPECT_EQ(response->body, "hello");
+}
+
+TEST(HttpParse, HeaderLookupIsCaseInsensitive) {
+  const std::string message =
+      "HTTP/1.1 200 OK\r\ncontent-type: text/html\r\n\r\n";
+  const auto response = parse_http_response(message);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->header("Content-Type").has_value());
+  EXPECT_TRUE(response->header("CONTENT-TYPE").has_value());
+}
+
+TEST(HttpParse, MediaTypeStripsParameters) {
+  const std::string message =
+      "HTTP/1.1 200 OK\r\nContent-Type: Text/HTML; charset=UTF-8\r\n\r\n";
+  const auto response = parse_http_response(message);
+  EXPECT_EQ(response->media_type(), "text/html");
+  EXPECT_EQ(response->charset(), "utf-8");
+}
+
+TEST(HttpParse, CharsetAbsent) {
+  const std::string message =
+      "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n";
+  EXPECT_EQ(parse_http_response(message)->charset(), "");
+}
+
+TEST(HttpParse, ToleratesBareLfLineEndings) {
+  const std::string message =
+      "HTTP/1.1 404 Not Found\nContent-Type: text/plain\n\nmissing";
+  const auto response = parse_http_response(message);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 404);
+  EXPECT_EQ(response->body, "missing");
+}
+
+TEST(HttpParse, MissingReasonPhrase) {
+  const auto response = parse_http_response("HTTP/1.1 204\r\n\r\n");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 204);
+  EXPECT_EQ(response->reason_phrase, "");
+}
+
+TEST(HttpParse, RejectsNonHttp) {
+  HttpParseError error;
+  EXPECT_FALSE(parse_http_response("GIF89a.....", &error).has_value());
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(HttpParse, RejectsBadStatusCode) {
+  EXPECT_FALSE(parse_http_response("HTTP/1.1 abc OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.1 99 Low\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.1 600 High\r\n\r\n").has_value());
+}
+
+TEST(HttpParse, RejectsMalformedHeader) {
+  EXPECT_FALSE(
+      parse_http_response("HTTP/1.1 200 OK\r\nno colon here\r\n\r\n")
+          .has_value());
+}
+
+TEST(HttpParse, BinaryBodySurvives) {
+  std::string message = "HTTP/1.1 200 OK\r\nContent-Type: app/bin\r\n\r\n";
+  message.push_back('\0');
+  message.push_back('\xFF');
+  const auto response = parse_http_response(message);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->body.size(), 2u);
+}
+
+TEST(HttpBuild, RoundTrip) {
+  const std::string message = build_http_response(
+      200, "OK", {{"Content-Type", "text/html; charset=utf-8"}}, "<p>x</p>");
+  const auto response = parse_http_response(message);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->media_type(), "text/html");
+  EXPECT_EQ(response->body, "<p>x</p>");
+  EXPECT_EQ(*response->header("Content-Length"), "8");
+}
+
+TEST(HttpBuild, DoesNotDuplicateContentLength) {
+  const std::string message =
+      build_http_response(200, "OK", {{"Content-Length", "3"}}, "abc");
+  EXPECT_EQ(message.find("Content-Length"),
+            message.rfind("Content-Length"));
+}
+
+TEST(Iequals, Basics) {
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+}  // namespace
+}  // namespace hv::net

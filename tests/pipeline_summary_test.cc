@@ -1,0 +1,114 @@
+// StudySummary serialization tests (the cache the experiment binaries
+// share) plus its percent helpers.
+#include "pipeline/study_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace hv::pipeline {
+namespace {
+
+StudySummary sample_summary() {
+  StudySummary summary;
+  summary.corpus_seed = 42;
+  summary.domain_count = 100;
+  summary.max_pages_per_domain = 8;
+  summary.union_any = 92;
+  summary.total_found = 98;
+  summary.total_analyzed = 96;
+  summary.pages_checked = 700;
+  for (int y = 0; y < kYearCount; ++y) {
+    SnapshotStats& stats = summary.per_year[static_cast<std::size_t>(y)];
+    stats.domains_found = 90 + static_cast<std::size_t>(y);
+    stats.domains_analyzed = 88 + static_cast<std::size_t>(y);
+    stats.pages_analyzed = 700;
+    stats.avg_pages = 7.5;
+    stats.any_violation_domains = 60;
+    stats.fully_auto_fixable_domains = 20;
+    stats.url_newline_domains = 10;
+    stats.url_newline_lt_domains = 2;
+    stats.script_in_attr_domains = 3;
+    stats.math_domains = 1;
+    stats.violating_domains[static_cast<std::size_t>(
+        core::Violation::kFB2)] = 40;
+    stats.group_domains[static_cast<std::size_t>(
+        core::ProblemGroup::kFilterBypass)] = 45;
+  }
+  summary.union_violating[static_cast<std::size_t>(core::Violation::kFB2)] =
+      75;
+  return summary;
+}
+
+TEST(StudySummary, SaveLoadRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "hv_summary_test.dat";
+  const StudySummary original = sample_summary();
+  original.save(path);
+
+  StudySummary loaded;
+  ASSERT_TRUE(StudySummary::load(path, 42, 100, 8, &loaded));
+  EXPECT_EQ(loaded.union_any, original.union_any);
+  EXPECT_EQ(loaded.total_analyzed, original.total_analyzed);
+  EXPECT_EQ(loaded.pages_checked, original.pages_checked);
+  for (int y = 0; y < kYearCount; ++y) {
+    const auto& a = original.per_year[static_cast<std::size_t>(y)];
+    const auto& b = loaded.per_year[static_cast<std::size_t>(y)];
+    EXPECT_EQ(a.domains_found, b.domains_found);
+    EXPECT_EQ(a.violating_domains, b.violating_domains);
+    EXPECT_EQ(a.group_domains, b.group_domains);
+    EXPECT_DOUBLE_EQ(a.avg_pages, b.avg_pages);
+  }
+  EXPECT_EQ(loaded.union_violating, original.union_violating);
+  std::filesystem::remove(path);
+}
+
+TEST(StudySummary, LoadRejectsConfigMismatch) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "hv_summary_test2.dat";
+  sample_summary().save(path);
+  StudySummary loaded;
+  EXPECT_FALSE(StudySummary::load(path, 43, 100, 8, &loaded));   // seed
+  EXPECT_FALSE(StudySummary::load(path, 42, 200, 8, &loaded));   // domains
+  EXPECT_FALSE(StudySummary::load(path, 42, 100, 10, &loaded));  // pages
+  EXPECT_TRUE(StudySummary::load(path, 42, 100, 8, &loaded));
+  std::filesystem::remove(path);
+}
+
+TEST(StudySummary, LoadRejectsMissingFile) {
+  StudySummary loaded;
+  EXPECT_FALSE(StudySummary::load("/nonexistent/hv.dat", 42, 100, 8,
+                                  &loaded));
+}
+
+TEST(StudySummary, PercentHelpers) {
+  const StudySummary summary = sample_summary();
+  EXPECT_NEAR(summary.violation_percent(0, core::Violation::kFB2),
+              100.0 * 40 / 88, 1e-9);
+  EXPECT_NEAR(summary.union_percent(core::Violation::kFB2),
+              100.0 * 75 / 96, 1e-9);
+  EXPECT_EQ(summary.violation_percent(0, core::Violation::kDE1), 0.0);
+}
+
+TEST(StudySummary, FromStoreMatchesQueries) {
+  ResultStore store;
+  PageOutcome outcome;
+  outcome.domain = "x.example";
+  outcome.year_index = 2;
+  outcome.analyzable = true;
+  outcome.violations.set(static_cast<std::size_t>(core::Violation::kDM3));
+  store.add(outcome);
+  PipelineCounters counters;
+  counters.pages_checked = 1;
+
+  const StudySummary summary = StudySummary::from_store(store, counters);
+  EXPECT_EQ(summary.total_analyzed, 1u);
+  EXPECT_EQ(summary.pages_checked, 1u);
+  EXPECT_EQ(summary.per_year[2].domains_analyzed, 1u);
+  EXPECT_EQ(summary.union_violating[static_cast<std::size_t>(
+                core::Violation::kDM3)],
+            1u);
+}
+
+}  // namespace
+}  // namespace hv::pipeline

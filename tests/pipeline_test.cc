@@ -1,0 +1,244 @@
+// End-to-end pipeline tests on a miniature study: archives are built,
+// read back through WARC, filtered, checked, and aggregated.
+#include "pipeline/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "net/http.h"
+
+namespace hv::pipeline {
+namespace {
+
+PipelineConfig mini_config(const char* tag) {
+  PipelineConfig config;
+  config.corpus.domain_count = 80;
+  config.corpus.max_pages_per_domain = 4;
+  config.corpus.calibration_samples = 800;
+  config.corpus.seed = 7;
+  config.workdir = std::filesystem::temp_directory_path() /
+                   (std::string("hv_pipeline_test_") + tag);
+  config.threads = 4;
+  std::filesystem::remove_all(config.workdir);
+  return config;
+}
+
+// --- analyze_capture ------------------------------------------------------------
+
+TEST(AnalyzeCapture, AcceptsUtf8Html) {
+  const core::Checker checker;
+  PageOutcome outcome;
+  const std::string message = net::build_http_response(
+      200, "OK", {{"Content-Type", "text/html; charset=utf-8"}},
+      "<!DOCTYPE html><html><head><title>t</title></head><body>"
+      "<a href=\"/x\"class=\"y\">l</a></body></html>");
+  EXPECT_TRUE(analyze_capture(checker, "a.example", 2, message, &outcome,
+                              nullptr));
+  EXPECT_TRUE(outcome.analyzable);
+  EXPECT_EQ(outcome.domain, "a.example");
+  EXPECT_EQ(outcome.year_index, 2);
+  EXPECT_TRUE(
+      outcome.violations.test(static_cast<std::size_t>(core::Violation::kFB2)));
+}
+
+TEST(AnalyzeCapture, RejectsNonHtml) {
+  const core::Checker checker;
+  PageOutcome outcome;
+  PipelineCounters counters;
+  const std::string message = net::build_http_response(
+      200, "OK", {{"Content-Type", "application/json"}}, "{}");
+  EXPECT_FALSE(analyze_capture(checker, "a.example", 0, message, &outcome,
+                               &counters));
+  EXPECT_EQ(counters.non_html_records, 1u);
+}
+
+TEST(AnalyzeCapture, RejectsNonUtf8) {
+  const core::Checker checker;
+  PageOutcome outcome;
+  PipelineCounters counters;
+  const std::string message = net::build_http_response(
+      200, "OK", {{"Content-Type", "text/html"}}, "caf\xE9");
+  EXPECT_FALSE(analyze_capture(checker, "a.example", 0, message, &outcome,
+                               &counters));
+  EXPECT_EQ(counters.non_utf8_filtered, 1u);
+}
+
+TEST(AnalyzeCapture, RejectsNon200) {
+  const core::Checker checker;
+  PageOutcome outcome;
+  const std::string message = net::build_http_response(
+      404, "Not Found", {{"Content-Type", "text/html"}}, "<p>x</p>");
+  EXPECT_FALSE(
+      analyze_capture(checker, "a.example", 0, message, &outcome, nullptr));
+}
+
+TEST(AnalyzeCapture, MitigationScansPopulated) {
+  const core::Checker checker;
+  PageOutcome outcome;
+  const std::string message = net::build_http_response(
+      200, "OK", {{"Content-Type", "text/html"}},
+      "<body><a href=\"/a\nb\">x</a><math><mi>y</mi></math></body>");
+  ASSERT_TRUE(
+      analyze_capture(checker, "a.example", 0, message, &outcome, nullptr));
+  EXPECT_TRUE(outcome.url_newline);
+  EXPECT_FALSE(outcome.url_newline_lt);
+  EXPECT_TRUE(outcome.uses_math);
+}
+
+// --- ResultStore ------------------------------------------------------------------
+
+TEST(ResultStore, AggregatesDomainLevel) {
+  ResultStore store;
+  PageOutcome outcome;
+  outcome.domain = "a.example";
+  outcome.year_index = 0;
+  outcome.analyzable = true;
+  outcome.violations.set(static_cast<std::size_t>(core::Violation::kFB2));
+  store.add(outcome);
+  outcome.violations.reset();
+  outcome.violations.set(static_cast<std::size_t>(core::Violation::kHF4));
+  store.add(outcome);  // second page, same domain
+
+  const SnapshotStats stats = store.snapshot_stats(0);
+  EXPECT_EQ(stats.domains_analyzed, 1u);
+  EXPECT_EQ(stats.pages_analyzed, 2u);
+  EXPECT_EQ(stats.any_violation_domains, 1u);
+  EXPECT_EQ(stats.violating_domains[static_cast<std::size_t>(
+                core::Violation::kFB2)],
+            1u);
+  EXPECT_EQ(stats.violating_domains[static_cast<std::size_t>(
+                core::Violation::kHF4)],
+            1u);
+  // HF4 is not auto-fixable -> domain not fully fixable.
+  EXPECT_EQ(stats.fully_auto_fixable_domains, 0u);
+  EXPECT_EQ(stats.group_domains[static_cast<std::size_t>(
+                core::ProblemGroup::kFilterBypass)],
+            1u);
+}
+
+TEST(ResultStore, AvgRankOverAnalyzedDomains) {
+  ResultStore store;
+  store.register_rank("a.example", 10);
+  store.register_rank("b.example", 30);
+  store.register_rank("c.example", 1000);  // never analyzed
+  PageOutcome outcome;
+  outcome.analyzable = true;
+  outcome.year_index = 0;
+  outcome.domain = "a.example";
+  store.add(outcome);
+  outcome.domain = "b.example";
+  store.add(outcome);
+  EXPECT_DOUBLE_EQ(store.snapshot_stats(0).avg_rank, 20.0);
+  // No ranked analyzed domains in another year.
+  EXPECT_DOUBLE_EQ(store.snapshot_stats(3).avg_rank, 0.0);
+}
+
+TEST(ResultStore, FoundWithoutAnalyzedCounted) {
+  ResultStore store;
+  store.mark_found("api.example", 3);
+  const SnapshotStats stats = store.snapshot_stats(3);
+  EXPECT_EQ(stats.domains_found, 1u);
+  EXPECT_EQ(stats.domains_analyzed, 0u);
+  EXPECT_EQ(store.total_domains_found(), 1u);
+  EXPECT_EQ(store.total_domains_analyzed(), 0u);
+}
+
+TEST(ResultStore, UnionAcrossYears) {
+  ResultStore store;
+  PageOutcome outcome;
+  outcome.domain = "a.example";
+  outcome.analyzable = true;
+  outcome.year_index = 0;
+  outcome.violations.set(static_cast<std::size_t>(core::Violation::kFB2));
+  store.add(outcome);
+  outcome.year_index = 5;
+  outcome.violations.reset();
+  outcome.violations.set(static_cast<std::size_t>(core::Violation::kDM3));
+  store.add(outcome);
+
+  const auto unions = store.union_violating();
+  EXPECT_EQ(unions[static_cast<std::size_t>(core::Violation::kFB2)], 1u);
+  EXPECT_EQ(unions[static_cast<std::size_t>(core::Violation::kDM3)], 1u);
+  EXPECT_EQ(store.union_any_violation(), 1u);
+}
+
+TEST(ResultStore, CsvExportShape) {
+  ResultStore store;
+  PageOutcome outcome;
+  outcome.domain = "a.example";
+  outcome.year_index = 1;
+  outcome.analyzable = true;
+  outcome.violations.set(static_cast<std::size_t>(core::Violation::kFB1));
+  store.add(outcome);
+  const std::string csv = store.to_csv();
+  EXPECT_NE(csv.find("domain,year_index,DE1,"), std::string::npos);
+  EXPECT_NE(csv.find("a.example,1,"), std::string::npos);
+}
+
+// --- full pipeline ------------------------------------------------------------------
+
+TEST(StudyPipeline, EndToEndMiniStudy) {
+  PipelineConfig config = mini_config("e2e");
+  StudyPipeline pipeline(config);
+  pipeline.run_all();
+
+  const ResultStore& store = pipeline.results();
+  EXPECT_GT(store.total_domains_analyzed(), 20u);
+  EXPECT_GE(store.total_domains_found(), store.total_domains_analyzed());
+
+  for (int y = 0; y < kYearCount; ++y) {
+    const SnapshotStats stats = store.snapshot_stats(y);
+    EXPECT_GE(stats.domains_found, stats.domains_analyzed);
+    EXPECT_GE(stats.any_violation_domains, stats.fully_auto_fixable_domains);
+    EXPECT_GT(stats.pages_analyzed, 0u);
+    EXPECT_LE(stats.avg_pages, config.corpus.max_pages_per_domain);
+    for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+      EXPECT_LE(stats.violating_domains[v], stats.any_violation_domains);
+    }
+  }
+  // Unions dominate single years.
+  const auto unions = store.union_violating();
+  const SnapshotStats y0 = store.snapshot_stats(0);
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    EXPECT_GE(unions[v], y0.violating_domains[v]);
+  }
+  EXPECT_GT(pipeline.counters().pages_checked, 100u);
+  std::filesystem::remove_all(config.workdir);
+}
+
+TEST(StudyPipeline, ArchivesAreImmutableAcrossRuns) {
+  PipelineConfig config = mini_config("rerun");
+  {
+    StudyPipeline pipeline(config);
+    pipeline.build_archives();
+  }
+  const auto warc_path =
+      config.workdir / "CC-MAIN-2015-14" / "segment.warc";
+  const auto first_size = std::filesystem::file_size(warc_path);
+  {
+    StudyPipeline pipeline(config);
+    pipeline.build_archives();  // must skip existing snapshots
+  }
+  EXPECT_EQ(std::filesystem::file_size(warc_path), first_size);
+  std::filesystem::remove_all(config.workdir);
+}
+
+TEST(StudyPipeline, DeterministicAcrossThreadCounts) {
+  PipelineConfig config_a = mini_config("t1");
+  config_a.threads = 1;
+  StudyPipeline pipeline_a(config_a);
+  pipeline_a.run_all();
+
+  PipelineConfig config_b = mini_config("t8");
+  config_b.threads = 8;
+  StudyPipeline pipeline_b(config_b);
+  pipeline_b.run_all();
+
+  EXPECT_EQ(pipeline_a.results().to_csv(), pipeline_b.results().to_csv());
+  std::filesystem::remove_all(config_a.workdir);
+  std::filesystem::remove_all(config_b.workdir);
+}
+
+}  // namespace
+}  // namespace hv::pipeline

@@ -1,0 +1,118 @@
+// Tests for the Tranco-like list generation and the paper's dataset
+// construction (intersection + average rank, section 3.3).
+#include "ranking/tranco.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hv::ranking {
+namespace {
+
+TEST(ListGenerator, UniverseIsStableAndUnique) {
+  ListGeneratorConfig config;
+  config.universe_size = 500;
+  const ListGenerator a(config);
+  const ListGenerator b(config);
+  EXPECT_EQ(a.universe(), b.universe());
+  const std::set<std::string> unique(a.universe().begin(),
+                                     a.universe().end());
+  EXPECT_EQ(unique.size(), a.universe().size());
+}
+
+TEST(ListGenerator, DailyListsDeterministic) {
+  ListGeneratorConfig config;
+  config.universe_size = 400;
+  config.list_size = 200;
+  const ListGenerator generator(config);
+  EXPECT_EQ(generator.daily_list(3), generator.daily_list(3));
+  EXPECT_NE(generator.daily_list(3), generator.daily_list(4));  // drift
+}
+
+TEST(ListGenerator, ListSizeHonored) {
+  ListGeneratorConfig config;
+  config.universe_size = 400;
+  config.list_size = 150;
+  const ListGenerator generator(config);
+  EXPECT_EQ(generator.daily_list(0).size(), 150u);
+}
+
+TEST(ListGenerator, PopularDomainsLeadTheList) {
+  // The head of the Zipf distribution should dominate the top ranks.
+  ListGeneratorConfig config;
+  config.universe_size = 1000;
+  config.list_size = 500;
+  const ListGenerator generator(config);
+  const auto list = generator.daily_list(0);
+  // The true #1 domain should be near the very top.
+  const auto& top = generator.universe().front();
+  const auto it = std::find(list.begin(), list.end(), top);
+  ASSERT_NE(it, list.end());
+  EXPECT_LT(static_cast<std::size_t>(it - list.begin()), 20u);
+}
+
+TEST(ListGenerator, ChurnMakesDomainsSitOut) {
+  ListGeneratorConfig config;
+  config.universe_size = 300;
+  config.list_size = 300;
+  config.churn_rate = 0.10;
+  const ListGenerator generator(config);
+  // With churn, a full-universe cutoff still misses ~10% of domains.
+  EXPECT_LT(generator.daily_list(0).size(), 300u);
+}
+
+TEST(StudyPopulation, IntersectionDropsPartTimers) {
+  const std::vector<std::vector<std::string>> lists = {
+      {"a.com", "b.com", "c.com"},
+      {"b.com", "a.com", "d.com"},
+      {"a.com", "c.com", "b.com"},
+  };
+  const auto population = build_study_population(lists);
+  ASSERT_EQ(population.size(), 2u);  // only a.com and b.com on all lists
+  // a.com ranks: 1,2,1 (avg 1.33); b.com: 2,1,3 (avg 2.0).
+  EXPECT_EQ(population[0].domain, "a.com");
+  EXPECT_NEAR(population[0].average_rank, 4.0 / 3.0, 1e-9);
+  EXPECT_EQ(population[1].domain, "b.com");
+  EXPECT_NEAR(population[1].average_rank, 2.0, 1e-9);
+}
+
+TEST(StudyPopulation, EmptyInput) {
+  EXPECT_TRUE(build_study_population({}).empty());
+}
+
+TEST(StudyPopulation, SingleList) {
+  const auto population = build_study_population({{"x.com", "y.com"}});
+  ASSERT_EQ(population.size(), 2u);
+  EXPECT_EQ(population[0].domain, "x.com");
+}
+
+TEST(StudyPopulation, TieBreaksAlphabetically) {
+  const auto population =
+      build_study_population({{"b.com", "a.com"}, {"a.com", "b.com"}});
+  ASSERT_EQ(population.size(), 2u);
+  // Both average rank 1.5 -> alphabetical.
+  EXPECT_EQ(population[0].domain, "a.com");
+}
+
+TEST(StudyPopulation, EndToEndWithGenerator) {
+  ListGeneratorConfig config;
+  config.universe_size = 600;
+  config.list_size = 400;
+  config.list_count = 8;
+  const ListGenerator generator(config);
+  std::vector<std::vector<std::string>> lists;
+  for (std::size_t day = 0; day < config.list_count; ++day) {
+    lists.push_back(generator.daily_list(day));
+  }
+  const auto population = build_study_population(lists);
+  // Some churn losses, but a healthy population survives.
+  EXPECT_GT(population.size(), 100u);
+  EXPECT_LT(population.size(), 400u);
+  // Ordered by average rank.
+  for (std::size_t i = 1; i < population.size(); ++i) {
+    EXPECT_LE(population[i - 1].average_rank, population[i].average_rank);
+  }
+}
+
+}  // namespace
+}  // namespace hv::ranking

@@ -1,0 +1,145 @@
+// Report-rendering tests plus internal-consistency checks on the paper's
+// reference data (the calibration targets must themselves be coherent).
+#include "report/render.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/paper_data.h"
+
+namespace hv::report {
+namespace {
+
+TEST(Table, RendersAligned) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"a-much-longer-name", "23456"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| a-much-longer-name"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_NE(table.render().find("only-one"), std::string::npos);
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(68.375), "68.38%");
+  EXPECT_EQ(format_percent(5.0, 1), "5.0%");
+}
+
+TEST(Comparison, ToleranceVerdict) {
+  Comparison row{"x", 50.0, 52.0, 5.0};
+  EXPECT_TRUE(row.within_tolerance());
+  row.measured = 60.0;
+  EXPECT_FALSE(row.within_tolerance());
+}
+
+TEST(Comparison, RenderCountsDrift) {
+  std::ostringstream out;
+  const std::size_t drifted = render_comparisons(
+      out, "test",
+      {{"ok", 10.0, 11.0, 5.0}, {"bad", 10.0, 40.0, 5.0}});
+  EXPECT_EQ(drifted, 1u);
+  EXPECT_NE(out.str().find("DRIFT"), std::string::npos);
+  EXPECT_NE(out.str().find("OK"), std::string::npos);
+}
+
+TEST(Shape, DecreasingOverall) {
+  EXPECT_TRUE(is_decreasing_overall({74.3, 73.6, 74.9, 68.4}));
+  EXPECT_FALSE(is_decreasing_overall({50.0, 60.0}));
+  EXPECT_FALSE(is_decreasing_overall({1.0}));
+}
+
+TEST(Shape, SameOrdering) {
+  EXPECT_TRUE(same_ordering({3, 1, 2}, {30, 10, 20}));
+  EXPECT_FALSE(same_ordering({3, 1, 2}, {10, 30, 20}));
+  EXPECT_FALSE(same_ordering({1, 2}, {1, 2, 3}));
+}
+
+TEST(Series, RenderContainsYearsAndSparkline) {
+  const std::string out = render_series({2015, 2016}, {74.31, 73.57});
+  EXPECT_NE(out.find("2015: 74.31"), std::string::npos);
+  EXPECT_NE(out.find("2016: 73.57"), std::string::npos);
+}
+
+// --- paper reference data consistency ----------------------------------------
+
+TEST(PaperData, EveryViolationHasASeries) {
+  const auto& series = paper_violation_series();
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    EXPECT_EQ(static_cast<std::size_t>(series[v].violation), v);
+  }
+}
+
+TEST(PaperData, UnionDominatesEveryYear) {
+  // A union over 8 years can never be below any single year's rate.
+  for (const ViolationSeries& series : paper_violation_series()) {
+    for (const double yearly : series.yearly_percent) {
+      EXPECT_GE(series.union_percent, yearly * 0.999)
+          << core::to_string(series.violation);
+    }
+  }
+}
+
+TEST(PaperData, Figure8OrderingMatchesPaper) {
+  // Top three by union: FB2, DM3, FB1 (paper Figure 8).
+  const auto& fb2 = paper_series(core::Violation::kFB2);
+  const auto& dm3 = paper_series(core::Violation::kDM3);
+  const auto& fb1 = paper_series(core::Violation::kFB1);
+  EXPECT_GT(fb2.union_percent, dm3.union_percent);
+  EXPECT_GT(dm3.union_percent, fb1.union_percent);
+  // And the bottom: HF5_3 rarest.
+  for (const ViolationSeries& series : paper_violation_series()) {
+    if (series.violation == core::Violation::kHF5_3) continue;
+    EXPECT_GT(series.union_percent,
+              paper_series(core::Violation::kHF5_3).union_percent);
+  }
+}
+
+TEST(PaperData, AnyViolationTrendDecreases) {
+  EXPECT_NEAR(kAnyViolationTrend.front(), 74.31, 1e-9);
+  EXPECT_NEAR(kAnyViolationTrend.back(), 68.38, 1e-9);
+  EXPECT_TRUE(is_decreasing_overall(std::vector<double>(
+      kAnyViolationTrend.begin(), kAnyViolationTrend.end())));
+}
+
+TEST(PaperData, Table2MatchesPaperTotals) {
+  EXPECT_EQ(kTable2.size(), 8u);
+  EXPECT_EQ(kTable2[0].domains, 21068);
+  EXPECT_EQ(kTable2[7].succeeded, 22429);
+  for (const DatasetRow& row : kTable2) {
+    EXPECT_LT(row.succeeded, row.domains);
+    EXPECT_GT(static_cast<double>(row.succeeded) / row.domains, 0.97);
+    EXPECT_GT(row.avg_pages, 70.0);
+    EXPECT_LT(row.avg_pages, 100.0);
+  }
+}
+
+TEST(PaperData, AutofixNumbersCoherent) {
+  // 68% violating, 37% after fix => 46% of violating sites fixed.
+  const double fixed_share =
+      100.0 * (kViolatingPercent2022 - kAfterAutofixPercent2022) /
+      kViolatingPercent2022;
+  EXPECT_NEAR(fixed_share, kAutofixedShareOfViolating, 1.0);
+}
+
+TEST(PaperData, GroupEndpointsMatchProse) {
+  for (const GroupTrend& trend : kGroupTrends) {
+    EXPECT_GT(trend.start_percent, trend.end_percent * 0.99);
+  }
+}
+
+}  // namespace
+}  // namespace hv::report

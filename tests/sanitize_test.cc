@@ -1,0 +1,155 @@
+// Sanitizer tests: basic filtering, the legacy-mode reproduction of the
+// paper's Figure 1 DOMPurify bypass, and the hardened-mode fix.
+#include "sanitize/sanitizer.h"
+
+#include <gtest/gtest.h>
+
+namespace hv::sanitize {
+namespace {
+
+constexpr const char* kFigure1Payload =
+    "<math><mtext><table><mglyph><style><!--</style>"
+    "<img title=\"--&gt;&lt;img src=1 onerror=alert(1)&gt;\">";
+
+Sanitizer legacy() {
+  SanitizerConfig config;
+  config.mode = SanitizerMode::kLegacy;
+  return Sanitizer(config);
+}
+
+Sanitizer hardened() { return Sanitizer(SanitizerConfig{}); }
+
+TEST(Sanitizer, RemovesScriptElements) {
+  const std::string clean =
+      hardened().sanitize("<p>a</p><script>evil()</script><p>b</p>");
+  EXPECT_EQ(clean.find("script"), std::string::npos);
+  EXPECT_NE(clean.find("<p>a</p>"), std::string::npos);
+  EXPECT_NE(clean.find("<p>b</p>"), std::string::npos);
+}
+
+TEST(Sanitizer, RemovesEventHandlers) {
+  const std::string clean =
+      hardened().sanitize("<img src=\"/x.png\" onerror=\"evil()\">");
+  EXPECT_EQ(clean.find("onerror"), std::string::npos);
+  EXPECT_NE(clean.find("src=\"/x.png\""), std::string::npos);
+}
+
+TEST(Sanitizer, RemovesJavascriptUrls) {
+  const std::string clean =
+      hardened().sanitize("<a href=\"javascript:alert(1)\">x</a>");
+  EXPECT_EQ(clean.find("javascript"), std::string::npos);
+}
+
+TEST(Sanitizer, RemovesObfuscatedJavascriptUrls) {
+  const std::string clean =
+      hardened().sanitize("<a href=\"  jAvAsCrIpT:alert(1)\">x</a>");
+  EXPECT_EQ(clean.find("alert"), std::string::npos);
+}
+
+TEST(Sanitizer, UnwrapsUnknownTagsKeepingChildren) {
+  const std::string clean =
+      hardened().sanitize("<widget><p>keep me</p></widget>");
+  EXPECT_EQ(clean.find("widget"), std::string::npos);
+  EXPECT_NE(clean.find("<p>keep me</p>"), std::string::npos);
+}
+
+TEST(Sanitizer, RemovesIframeObjectEmbed) {
+  const std::string clean = hardened().sanitize(
+      "<iframe src=\"/x\"></iframe><object></object><embed>");
+  EXPECT_EQ(clean.find("iframe"), std::string::npos);
+  EXPECT_EQ(clean.find("object"), std::string::npos);
+  EXPECT_EQ(clean.find("embed"), std::string::npos);
+}
+
+TEST(Sanitizer, KeepsBenignMarkup) {
+  const char* benign =
+      "<h2>Title</h2><p>Text with <b>bold</b> and "
+      "<a href=\"/rel\">links</a>.</p><ul><li>x</li></ul>";
+  const std::string clean = hardened().sanitize(benign);
+  EXPECT_EQ(clean, benign);
+}
+
+TEST(Sanitizer, DropsDisallowedAttributes) {
+  const std::string clean = hardened().sanitize(
+      "<p data-tracking=\"secret\" class=\"ok\">x</p>");
+  EXPECT_EQ(clean.find("data-tracking"), std::string::npos);
+  EXPECT_NE(clean.find("class=\"ok\""), std::string::npos);
+}
+
+// --- the Figure 1 mutation chain ------------------------------------------------
+
+TEST(SanitizerLegacy, Figure1PayloadLooksHarmlessAfterRoundOne) {
+  const Sanitizer sanitizer = legacy();
+  const std::string round_one = sanitizer.sanitize(kFigure1Payload);
+  // The alert stays inside a title attribute: no live handler yet.
+  EXPECT_NE(round_one.find("title="), std::string::npos);
+  EXPECT_EQ(round_one.find("onerror=\"alert"), std::string::npos);
+}
+
+TEST(SanitizerLegacy, Figure1MutatesIntoXssOnSecondParse) {
+  const MutationDemo demo = demonstrate_mutation(legacy(), kFigure1Payload);
+  EXPECT_TRUE(demo.executes_script)
+      << "round two: " << demo.after_second_parse;
+  EXPECT_NE(demo.after_first_parse, demo.after_second_parse);
+}
+
+TEST(SanitizerLegacy, OutputIsNotMutationStable) {
+  EXPECT_FALSE(legacy().output_is_mutation_stable(kFigure1Payload));
+}
+
+TEST(SanitizerHardened, Figure1PayloadNeutralized) {
+  const MutationDemo demo =
+      demonstrate_mutation(hardened(), kFigure1Payload);
+  EXPECT_FALSE(demo.executes_script)
+      << "round two: " << demo.after_second_parse;
+}
+
+TEST(SanitizerHardened, OutputIsMutationStable) {
+  EXPECT_TRUE(hardened().output_is_mutation_stable(kFigure1Payload));
+}
+
+TEST(SanitizerHardened, BenignMathSurvives) {
+  const std::string clean = hardened().sanitize(
+      "<math><mi>x</mi><mo>+</mo><mn>1</mn></math>");
+  EXPECT_NE(clean.find("<math>"), std::string::npos);
+  EXPECT_NE(clean.find("<mi>x</mi>"), std::string::npos);
+}
+
+TEST(SanitizerHardened, NamespaceConfusionGadgetsRemoved) {
+  // mglyph outside a text integration point is removed in hardened mode.
+  const std::string clean =
+      hardened().sanitize("<math><mglyph></mglyph><mi>x</mi></math>");
+  EXPECT_EQ(clean.find("mglyph"), std::string::npos);
+}
+
+TEST(SanitizerHardened, MglyphInsideMtextIsLegal) {
+  const std::string clean =
+      hardened().sanitize("<math><mtext><mglyph></mglyph></mtext></math>");
+  EXPECT_NE(clean.find("mglyph"), std::string::npos);
+}
+
+// Mutation-stability property over a payload corpus: hardened output must
+// always be a fixpoint of reparsing.
+class HardenedStability : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HardenedStability, OutputStable) {
+  EXPECT_TRUE(hardened().output_is_mutation_stable(GetParam()))
+      << hardened().sanitize(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Payloads, HardenedStability,
+    ::testing::Values(
+        kFigure1Payload,
+        "<p>plain</p>",
+        "<svg><style><!--</style><img title=\"--&gt;\">",
+        "<math><annotation-xml encoding=\"text/html\"><style>x</style>"
+        "</annotation-xml></math>",
+        "<table><tr><td><math><mtext><table></table></mtext></math>",
+        "<form><math><mtext></form><form><mglyph><style></math><img "
+        "src onerror=alert(1)>",
+        "<svg><desc><b>x</b></desc></svg>",
+        "<b attr=\"--&gt;&lt;img src=1&gt;\">t</b>"));
+
+}  // namespace
+}  // namespace hv::sanitize

@@ -1,0 +1,12 @@
+// Thin entry point for the `hv` command-line tool; all logic lives in
+// src/cli (hv::cli::run) so the test suite can exercise it in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return hv::cli::run(args, std::cin, std::cout, std::cerr);
+}
