@@ -1,6 +1,8 @@
 // Micro benchmarks: checker rule evaluation and the auto-fixer.
 #include <benchmark/benchmark.h>
 
+#include "micro_harness.h"
+
 #include "core/checker.h"
 #include "corpus/page_builder.h"
 #include "fix/autofix.h"
@@ -29,6 +31,7 @@ void BM_CheckCleanPage(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(page.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CheckCleanPage);
 
@@ -43,6 +46,7 @@ void BM_CheckViolatingPage(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(page.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CheckViolatingPage);
 
@@ -85,4 +89,4 @@ BENCHMARK(BM_PageGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hv::bench::micro_main(argc, argv); }

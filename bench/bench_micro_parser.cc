@@ -3,6 +3,8 @@
 // bounds the whole pipeline.
 #include <benchmark/benchmark.h>
 
+#include "micro_harness.h"
+
 #include "corpus/page_builder.h"
 #include "html/parser.h"
 #include "html/serializer.h"
@@ -40,6 +42,7 @@ void BM_ParseCleanPage(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(page.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ParseCleanPage);
 
@@ -50,6 +53,7 @@ void BM_ParseViolatingPage(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(page.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ParseViolatingPage);
 
@@ -122,4 +126,4 @@ BENCHMARK(BM_ParseSerializeRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hv::bench::micro_main(argc, argv); }

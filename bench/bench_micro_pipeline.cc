@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "micro_harness.h"
+
 #include "archive/warc.h"
 #include "corpus/page_builder.h"
 #include "html/encoding.h"
@@ -36,6 +38,7 @@ void BM_AnalyzeCapture(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(message.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_AnalyzeCapture);
 
@@ -46,6 +49,7 @@ void BM_HttpResponseParse(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(message.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_HttpResponseParse);
 
@@ -62,6 +66,7 @@ void BM_WarcWrite(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16 *
                           static_cast<int64_t>(message.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 16);
 }
 BENCHMARK(BM_WarcWrite);
 
@@ -83,6 +88,7 @@ void BM_WarcReadSequential(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(archive_bytes.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_WarcReadSequential);
 
@@ -96,9 +102,10 @@ void BM_Utf8Validation(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(page.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Utf8Validation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hv::bench::micro_main(argc, argv); }

@@ -1,0 +1,144 @@
+// Shared main() for the bench_micro_* binaries: google-benchmark with an
+// optional `--json <file>` flag that writes a machine-readable summary
+//
+//   [{"name": ..., "iters": ..., "ns_per_op": ..., "pages_per_sec": ...}]
+//
+// next to the usual console output.  Per-benchmark timings are
+// aggregated through hv::obs::Histogram (one per benchmark name), so
+// repeated runs fold into a mean; in HV_OBS_DISABLED builds the
+// histogram is inert and the last run's direct value is reported
+// instead — the flag works identically in both builds, which is what
+// tools/check_noop_build.sh relies on to compare instrumentation
+// overhead.
+//
+// Usage: replace BENCHMARK_MAIN(); with
+//
+//   int main(int argc, char** argv) {
+//     return hv::bench::micro_main(argc, argv);
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hv::bench {
+
+namespace detail {
+
+/// Nanosecond-scale buckets for per-op latencies: 1ns .. 10s.
+inline std::vector<double> ns_buckets() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e9; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.5);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(1e10);
+  return bounds;
+}
+
+struct BenchRecord {
+  obs::Histogram ns_per_op{ns_buckets()};
+  double last_ns_per_op = 0.0;  ///< direct value (works when obs is no-op)
+  std::uint64_t iters = 0;
+  double pages_per_sec = 0.0;
+};
+
+/// Forwards everything to a ConsoleReporter while collecting per-run
+/// timings for the JSON summary.
+class CollectingReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    console_.SetOutputStream(&GetOutputStream());
+    console_.SetErrorStream(&GetErrorStream());
+    return console_.ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      if (run.iterations == 0) continue;
+      BenchRecord& record = records_[run.run_name.str()];
+      const double ns = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e9;
+      record.ns_per_op.observe(ns);
+      record.last_ns_per_op = ns;
+      record.iters = static_cast<std::uint64_t>(run.iterations);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        record.pages_per_sec = items->second;
+      }
+    }
+    console_.ReportRuns(runs);
+  }
+
+  void Finalize() override { console_.Finalize(); }
+
+  /// Writes the summary as a JSON array, one object per benchmark.
+  void write_json(std::ostream& out) const {
+    out << "[";
+    bool first = true;
+    for (const auto& [name, record] : records_) {
+      if (!first) out << ",";
+      first = false;
+      const double ns = record.ns_per_op.count() > 0
+                            ? record.ns_per_op.mean()
+                            : record.last_ns_per_op;
+      out << "\n  {\"name\": \"" << name << "\", \"iters\": " << record.iters
+          << ", \"ns_per_op\": " << ns
+          << ", \"pages_per_sec\": " << record.pages_per_sec << "}";
+    }
+    out << "\n]\n";
+  }
+
+ private:
+  benchmark::ConsoleReporter console_;
+  std::map<std::string, BenchRecord> records_;  ///< keyed by run name
+};
+
+}  // namespace detail
+
+/// Drop-in replacement for BENCHMARK_MAIN() adding `--json <file>`.
+inline int micro_main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             filtered.data())) {
+    return 1;
+  }
+
+  detail::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path, std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    reporter.write_json(file);
+  }
+  return 0;
+}
+
+}  // namespace hv::bench

@@ -4,12 +4,22 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace hv::archive {
 namespace {
 
 /// CSV escaping is unnecessary: domains/urls in the corpus contain no
 /// commas; content types may, so they are written last and read greedily.
 constexpr char kSep = ',';
+
+obs::Histogram& cdx_lookup_seconds() {
+  static obs::Histogram* const histogram =
+      &obs::default_registry().histogram("hv_archive_cdx_lookup_seconds",
+                                         "CDX per-domain lookup latency",
+                                         obs::default_time_buckets());
+  return *histogram;
+}
 
 }  // namespace
 
@@ -20,6 +30,7 @@ void CdxIndex::add(CdxEntry entry) {
 
 std::vector<const CdxEntry*> CdxIndex::lookup(std::string_view domain,
                                               std::size_t limit) const {
+  const obs::ScopedTimer timer(cdx_lookup_seconds());
   std::vector<const CdxEntry*> result;
   const auto it = by_domain_.find(domain);
   if (it == by_domain_.end()) return result;

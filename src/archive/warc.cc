@@ -5,11 +5,34 @@
 #include <stdexcept>
 
 #include "net/http.h"
+#include "obs/metrics.h"
 
 namespace hv::archive {
 namespace {
 
 constexpr std::string_view kVersionLine = "WARC/1.0";
+
+/// Pre-resolved handles into the default registry; one lookup per
+/// process, relaxed atomics afterwards.
+struct WarcMetrics {
+  obs::Counter& records_written;
+  obs::Counter& bytes_written;
+  obs::Counter& records_read;
+  obs::Counter& bytes_read;
+
+  static WarcMetrics& get() {
+    static WarcMetrics* const metrics = new WarcMetrics{
+        obs::default_registry().counter("hv_archive_warc_records_written_total",
+                                        "WARC records written"),
+        obs::default_registry().counter("hv_archive_warc_bytes_written_total",
+                                        "WARC bytes written (incl. framing)"),
+        obs::default_registry().counter("hv_archive_warc_records_read_total",
+                                        "WARC records read"),
+        obs::default_registry().counter("hv_archive_warc_bytes_read_total",
+                                        "WARC bytes read (incl. framing)")};
+    return *metrics;
+  }
+};
 
 std::string read_line(std::istream& in, std::uint64_t& offset) {
   std::string line;
@@ -55,6 +78,8 @@ std::uint64_t WarcWriter::write_record(const WarcRecord& record) {
              static_cast<std::streamsize>(record.payload.size()));
   out_.write("\r\n\r\n", 4);
   offset_ += head.size() + record.payload.size() + 4;
+  WarcMetrics::get().records_written.inc();
+  WarcMetrics::get().bytes_written.inc(offset_ - start);
   return start;
 }
 
@@ -95,6 +120,7 @@ void WarcReader::seek(std::uint64_t offset) {
 }
 
 std::optional<WarcRecord> WarcReader::next() {
+  const std::uint64_t record_start = offset_;
   // Skip blank separator lines.
   std::string line;
   while (true) {
@@ -143,6 +169,8 @@ std::optional<WarcRecord> WarcReader::next() {
     throw std::runtime_error("WARC: truncated payload");
   }
   offset_ += content_length;
+  WarcMetrics::get().records_read.inc();
+  WarcMetrics::get().bytes_read.inc(offset_ - record_start);
   return record;
 }
 

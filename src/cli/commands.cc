@@ -14,6 +14,7 @@
 #include "html/parser.h"
 #include "html/token.h"
 #include "html/tokenizer.h"
+#include "obs/obs.h"
 #include "pipeline/pipeline.h"
 #include "report/paper_data.h"
 #include "report/render.h"
@@ -44,7 +45,7 @@ std::optional<std::string> read_input(const std::string& path,
 }
 
 void print_usage(std::ostream& out) {
-  out << "usage: hv <command> [options]\n"
+  out << "usage: hv [--log-level LVL] <command> [options]\n"
          "  check [--json] [file...]   detect HTML specification "
          "violations\n"
          "  fix [-o out.html] <file>   apply the automatic repairs\n"
@@ -52,10 +53,112 @@ void print_usage(std::ostream& out) {
          "markup\n"
          "  tokens <file>              dump tokens and parse errors\n"
          "  study [--domains N] [--pages N] [--seed N] [--workdir DIR]\n"
+         "        [--metrics-out FILE] [--trace-out FILE]\n"
          "                             run the full longitudinal study\n"
+         "  stats [study options] [--format prom|json]\n"
+         "                             run a small study, print the "
+         "metrics snapshot\n"
          "  warc list <file.warc>      index the records of an archive\n"
          "  warc cat <file> <offset>   print one record's HTTP body\n"
+         "--log-level <debug|info|warn|error|off> mirrors structured logs "
+         "to stderr\n"
          "files named '-' read standard input\n";
+}
+
+/// Options shared by `hv study` and `hv stats`.
+struct StudyOptions {
+  pipeline::PipelineConfig config;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string format = "prom";  ///< stats only: prom | json
+};
+
+/// Parses the shared study/stats options; returns false (after printing
+/// to `err`) on a usage error.  `command` names the subcommand in
+/// diagnostics; `allow_format` enables the stats-only --format flag.
+bool parse_study_options(const std::vector<std::string>& args,
+                         std::string_view command, bool allow_format,
+                         StudyOptions* options, std::ostream& err) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto next_value =
+        [&](std::size_t* index) -> std::optional<std::string> {
+      if (*index + 1 >= args.size()) return std::nullopt;
+      return args[++*index];
+    };
+    const auto required = [&](std::size_t* index,
+                              std::string_view what)
+        -> std::optional<std::string> {
+      auto value = next_value(index);
+      if (!value) {
+        err << "hv " << command << ": " << args[*index] << " needs "
+            << what << "\n";
+      }
+      return value;
+    };
+    if (args[i] == "--domains") {
+      const auto value = required(&i, "a number");
+      if (!value) return false;
+      options->config.corpus.domain_count = std::stoull(*value);
+    } else if (args[i] == "--pages") {
+      const auto value = required(&i, "a number");
+      if (!value) return false;
+      options->config.corpus.max_pages_per_domain = std::stoi(*value);
+    } else if (args[i] == "--seed") {
+      const auto value = required(&i, "a number");
+      if (!value) return false;
+      options->config.corpus.seed = std::stoull(*value);
+    } else if (args[i] == "--threads") {
+      const auto value = required(&i, "a number");
+      if (!value) return false;
+      options->config.threads = std::stoi(*value);
+    } else if (args[i] == "--workdir") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->config.workdir = *value;
+    } else if (args[i] == "--metrics-out") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->metrics_out = *value;
+    } else if (args[i] == "--trace-out") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->trace_out = *value;
+    } else if (allow_format && args[i] == "--format") {
+      const auto value = required(&i, "prom or json");
+      if (!value) return false;
+      if (*value != "prom" && *value != "json") {
+        err << "hv " << command << ": --format expects prom or json\n";
+        return false;
+      }
+      options->format = *value;
+    } else {
+      err << "hv " << command << ": unknown option " << args[i] << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Writes the default registry (Prometheus text) to `path`.
+bool write_metrics_file(const std::string& path, std::ostream& err) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    err << "hv: cannot write " << path << "\n";
+    return false;
+  }
+  obs::default_registry().write_prometheus(file);
+  return true;
+}
+
+/// Writes the default tracer's Chrome trace_event JSON to `path`.
+bool write_trace_file(const std::string& path, std::ostream& err) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    err << "hv: cannot write " << path << "\n";
+    return false;
+  }
+  obs::default_tracer().write_chrome_trace(file);
+  return true;
 }
 
 }  // namespace
@@ -284,54 +387,30 @@ int cmd_tokens(const std::vector<std::string>& args, std::istream& in,
 
 int cmd_study(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
-  pipeline::PipelineConfig config;
-  config.corpus.domain_count = 400;
-  config.corpus.max_pages_per_domain = 8;
-  config.workdir = std::filesystem::temp_directory_path() / "hv_cli_study";
-
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const auto next_value = [&](std::size_t* index) -> std::optional<std::string> {
-      if (*index + 1 >= args.size()) return std::nullopt;
-      return args[++*index];
-    };
-    if (args[i] == "--domains") {
-      const auto value = next_value(&i);
-      if (!value) {
-        err << "hv study: --domains needs a number\n";
-        return kUsage;
-      }
-      config.corpus.domain_count = std::stoull(*value);
-    } else if (args[i] == "--pages") {
-      const auto value = next_value(&i);
-      if (!value) {
-        err << "hv study: --pages needs a number\n";
-        return kUsage;
-      }
-      config.corpus.max_pages_per_domain = std::stoi(*value);
-    } else if (args[i] == "--seed") {
-      const auto value = next_value(&i);
-      if (!value) {
-        err << "hv study: --seed needs a number\n";
-        return kUsage;
-      }
-      config.corpus.seed = std::stoull(*value);
-    } else if (args[i] == "--workdir") {
-      const auto value = next_value(&i);
-      if (!value) {
-        err << "hv study: --workdir needs a path\n";
-        return kUsage;
-      }
-      config.workdir = *value;
-    } else {
-      err << "hv study: unknown option " << args[i] << "\n";
-      return kUsage;
-    }
+  StudyOptions options;
+  options.config.corpus.domain_count = 400;
+  options.config.corpus.max_pages_per_domain = 8;
+  options.config.workdir =
+      std::filesystem::temp_directory_path() / "hv_cli_study";
+  if (!parse_study_options(args, "study", /*allow_format=*/false, &options,
+                           err)) {
+    return kUsage;
   }
+  pipeline::PipelineConfig& config = options.config;
 
   err << "hv study: " << config.corpus.domain_count << " domains x "
       << config.corpus.max_pages_per_domain << " pages x 8 snapshots\n";
   pipeline::StudyPipeline pipeline(config);
   pipeline.run_all();
+
+  if (!options.metrics_out.empty() &&
+      !write_metrics_file(options.metrics_out, err)) {
+    return kUsage;
+  }
+  if (!options.trace_out.empty() &&
+      !write_trace_file(options.trace_out, err)) {
+    return kUsage;
+  }
 
   const pipeline::ResultStore& store = pipeline.results();
   report::Table table({"snapshot", "analyzed", "violating %", "auto-fixable %"});
@@ -353,6 +432,55 @@ int cmd_study(const std::vector<std::string>& args, std::ostream& out,
                  static_cast<double>(store.total_domains_analyzed()),
              1)
       << " of " << store.total_domains_analyzed() << " domains\n";
+  return kOk;
+}
+
+int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  StudyOptions options;
+  options.config.corpus.domain_count = 150;
+  options.config.corpus.max_pages_per_domain = 4;
+  if (!parse_study_options(args, "stats", /*allow_format=*/true, &options,
+                           err)) {
+    return kUsage;
+  }
+  pipeline::PipelineConfig& config = options.config;
+  if (config.workdir.empty()) {
+    // Encode the corpus parameters so a rerun with different sizes does
+    // not collide with a stale (immutable) archive set.
+    config.workdir =
+        std::filesystem::temp_directory_path() /
+        ("hv_cli_stats_" + std::to_string(config.corpus.domain_count) + "x" +
+         std::to_string(config.corpus.max_pages_per_domain) + "_s" +
+         std::to_string(config.corpus.seed));
+  }
+
+  // Self-contained snapshot: drop whatever earlier commands recorded.
+  obs::default_registry().reset();
+  obs::default_tracer().clear();
+
+  err << "hv stats: " << config.corpus.domain_count << " domains x "
+      << config.corpus.max_pages_per_domain << " pages x 8 snapshots\n";
+  pipeline::StudyPipeline pipeline(config);
+  pipeline.run_all();
+
+  const pipeline::PipelineCounters counters = pipeline.counters();
+  err << "hv stats: " << counters.pages_checked << " pages checked, "
+      << counters.records_read << " records read\n";
+
+  if (options.format == "json") {
+    obs::default_registry().write_json(out);
+  } else {
+    obs::default_registry().write_prometheus(out);
+  }
+  if (!options.metrics_out.empty() &&
+      !write_metrics_file(options.metrics_out, err)) {
+    return kUsage;
+  }
+  if (!options.trace_out.empty() &&
+      !write_trace_file(options.trace_out, err)) {
+    return kUsage;
+  }
   return kOk;
 }
 
@@ -411,17 +539,49 @@ int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
 
 int run(const std::vector<std::string>& args, std::istream& in,
         std::ostream& out, std::ostream& err) {
-  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
-    print_usage(args.empty() ? err : out);
-    return args.empty() ? kUsage : kOk;
+  // The global --log-level flag is accepted anywhere on the command line
+  // and stripped before subcommand dispatch.  The mirror stream is `err`,
+  // which only outlives this call — detach it on every exit path.
+  struct StreamGuard {
+    bool attached = false;
+    ~StreamGuard() {
+      if (attached) obs::default_log().set_stream(nullptr);
+    }
+  } stream_guard;
+  std::vector<std::string> filtered;
+  filtered.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--log-level") {
+      if (i + 1 >= args.size()) {
+        err << "hv: --log-level needs a value "
+               "(debug|info|warn|error|off)\n";
+        return kUsage;
+      }
+      const auto level = obs::log_level_from_name(args[++i]);
+      if (!level.has_value()) {
+        err << "hv: unknown log level '" << args[i] << "'\n";
+        return kUsage;
+      }
+      obs::default_log().set_level(*level);
+      obs::default_log().set_stream(&err);
+      stream_guard.attached = true;
+      continue;
+    }
+    filtered.push_back(args[i]);
   }
-  const std::string& command = args[0];
-  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  if (filtered.empty() || filtered[0] == "--help" || filtered[0] == "-h") {
+    print_usage(filtered.empty() ? err : out);
+    return filtered.empty() ? kUsage : kOk;
+  }
+  const std::string& command = filtered[0];
+  const std::vector<std::string> rest(filtered.begin() + 1, filtered.end());
   if (command == "check") return cmd_check(rest, in, out, err);
   if (command == "fix") return cmd_fix(rest, in, out, err);
   if (command == "sanitize") return cmd_sanitize(rest, in, out, err);
   if (command == "tokens") return cmd_tokens(rest, in, out, err);
   if (command == "study") return cmd_study(rest, out, err);
+  if (command == "stats") return cmd_stats(rest, out, err);
   if (command == "warc") return cmd_warc(rest, out, err);
   err << "hv: unknown command '" << command << "'\n";
   print_usage(err);

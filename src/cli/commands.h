@@ -6,9 +6,19 @@
 //   hv sanitize [--legacy] file       DOMPurify-style sanitation
 //   hv tokens file                    dump the token stream + parse errors
 //   hv study [--domains N] [--pages N] [--seed N] [--workdir DIR]
+//            [--metrics-out FILE] [--trace-out FILE]
 //                                     run the full Figure 6 study
+//   hv stats [study options] [--format prom|json]
+//                                     run a small study, print the obs
+//                                     metrics snapshot
 //   hv warc list <file.warc>          index the records of an archive
 //   hv warc cat <file.warc> <offset>  print one record's HTTP body
+//
+// The global flag `--log-level <debug|info|warn|error|off>` (any position)
+// sets the structured-log threshold and mirrors accepted entries to
+// stderr.  `--metrics-out` writes the hv_* metrics registry in Prometheus
+// text format; `--trace-out` writes a Chrome trace_event JSON profile of
+// the pipeline stages (load in chrome://tracing or Perfetto).
 //
 // Files named "-" read stdin.  Exit codes: 0 clean / success, 1 violations
 // found (check) or error-tolerant repairs applied (fix), 2 usage or I/O
@@ -36,6 +46,8 @@ int cmd_sanitize(const std::vector<std::string>& args, std::istream& in,
 int cmd_tokens(const std::vector<std::string>& args, std::istream& in,
                std::ostream& out, std::ostream& err);
 int cmd_study(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 
 #include "net/url.h"
+#include "obs/metrics.h"
 
 namespace hv::core {
 namespace {
@@ -148,6 +150,9 @@ bool CheckResult::fully_auto_fixable() const noexcept {
 }
 
 Checker::Checker() {
+  check_seconds_ = &obs::default_registry().histogram(
+      "hv_checker_check_seconds", "Whole-page rule evaluation latency",
+      obs::default_time_buckets());
   using enum Violation;
   using ObservationKind::kBaseAfterUrlUse;
   using ObservationKind::kBaseOutsideHead;
@@ -223,6 +228,27 @@ Checker::Checker(Checker&&) noexcept = default;
 Checker& Checker::operator=(Checker&&) noexcept = default;
 
 void Checker::add_rule(std::unique_ptr<Rule> rule) {
+  // Eagerly resolving the series means every registered rule shows up in
+  // metric exports with a zero count — silently-skipped rules are visible.
+  // User-supplied rules may use the kCount sentinel (or worse) as an id;
+  // those share one "custom" series rather than indexing the name table.
+  const std::string_view rule_name =
+      static_cast<std::size_t>(rule->id()) < kViolationCount
+          ? to_string(rule->id())
+          : std::string_view("custom");
+  obs::Registry& registry = obs::default_registry();
+  RuleMetrics metrics;
+  metrics.hits = &registry
+                      .counter_family("hv_checker_rule_hits_total",
+                                      "Findings emitted per rule", {"rule"})
+                      .with({rule_name});
+  metrics.seconds = &registry
+                         .histogram_family("hv_checker_rule_seconds",
+                                           "Per-rule evaluation latency",
+                                           {"rule"},
+                                           obs::default_time_buckets())
+                         .with({rule_name});
+  rule_metrics_.push_back(metrics);
   rules_.push_back(std::move(rule));
 }
 
@@ -247,8 +273,23 @@ CheckResult Checker::check(const html::ParseResult& parse,
                            std::string_view source) const {
   CheckContext context{parse, source, collect_attributes(*parse.document)};
   CheckResult result;
-  for (const auto& rule : rules_) {
-    rule->evaluate(context, result.findings);
+#ifndef HV_OBS_DISABLED
+  const obs::ScopedTimer total_timer(*check_seconds_);
+  // One clock read per rule (chained timestamps) keeps the per-rule
+  // latency histograms within the hot-path overhead budget.
+  auto last = std::chrono::steady_clock::now();
+#endif
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const std::size_t before = result.findings.size();
+    rules_[i]->evaluate(context, result.findings);
+    const std::size_t emitted = result.findings.size() - before;
+    if (emitted != 0) rule_metrics_[i].hits->inc(emitted);
+#ifndef HV_OBS_DISABLED
+    const auto now = std::chrono::steady_clock::now();
+    rule_metrics_[i].seconds->observe(
+        std::chrono::duration<double>(now - last).count());
+    last = now;
+#endif
   }
   for (const Finding& finding : result.findings) {
     result.present.set(static_cast<std::size_t>(finding.violation));

@@ -16,6 +16,11 @@
 #include "core/violation.h"
 #include "html/parser.h"
 
+namespace hv::obs {
+class Counter;
+class Histogram;
+}  // namespace hv::obs
+
 namespace hv::core {
 
 /// One detected violation instance on a page.
@@ -70,7 +75,9 @@ class Checker {
   Checker(Checker&&) noexcept;
   Checker& operator=(Checker&&) noexcept;
 
-  /// Registers an additional rule (extension point).
+  /// Registers an additional rule (extension point).  Also registers the
+  /// rule's `hv_checker_rule_*{rule="<name>"}` metric series, so every
+  /// rule appears in exports even before its first hit.
   void add_rule(std::unique_ptr<Rule> rule);
   std::size_t rule_count() const noexcept { return rules_.size(); }
 
@@ -83,7 +90,16 @@ class Checker {
                     std::string_view source) const;
 
  private:
+  /// Pre-resolved handles into obs::default_registry(), parallel to
+  /// `rules_`: finding count + evaluation-time histogram per rule.
+  struct RuleMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Histogram* seconds = nullptr;
+  };
+
   std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<RuleMetrics> rule_metrics_;
+  obs::Histogram* check_seconds_ = nullptr;  ///< whole-page check latency
 };
 
 /// Collects every attribute in the document in tree order.

@@ -3,12 +3,43 @@
 #include <algorithm>
 
 #include "corpus/rng.h"
+#include "obs/metrics.h"
 #include "report/paper_data.h"
 
 namespace hv::corpus {
 namespace {
 
 using core::Violation;
+
+/// Counts rendered pages (and their bytes) per snapshot label; handles
+/// are resolved once per process.
+void note_pages_generated(int year_index,
+                          const std::vector<PageRecord>& pages) {
+  struct Handles {
+    obs::Counter* pages[kYears];
+    obs::Counter* bytes[kYears];
+  };
+  static Handles* const handles = [] {
+    auto* h = new Handles;
+    obs::CounterFamily& page_family = obs::default_registry().counter_family(
+        "hv_corpus_pages_generated_total",
+        "Synthetic pages rendered per snapshot", {"snapshot"});
+    obs::CounterFamily& byte_family = obs::default_registry().counter_family(
+        "hv_corpus_page_bytes_generated_total",
+        "Synthetic page bytes rendered per snapshot", {"snapshot"});
+    for (int y = 0; y < kYears; ++y) {
+      const std::string_view label =
+          report::kSnapshotLabels[static_cast<std::size_t>(y)];
+      h->pages[y] = &page_family.with({label});
+      h->bytes[y] = &byte_family.with({label});
+    }
+    return h;
+  }();
+  std::size_t bytes = 0;
+  for (const PageRecord& page : pages) bytes += page.body.size();
+  handles->pages[year_index]->inc(pages.size());
+  handles->bytes[year_index]->inc(bytes);
+}
 
 /// Table 2 derived fractions: domains present per crawl / study population.
 constexpr std::array<double, kYears> kInCrawlRate = {
@@ -167,6 +198,7 @@ DomainSnapshot Generator::domain_snapshot(std::size_t domain_index,
       snapshot.pages.push_back(
           {spec.path, "application/json", render_non_html_payload(spec)});
     }
+    note_pages_generated(year_index, snapshot.pages);
     return snapshot;
   }
   snapshot.analyzable = true;
@@ -252,6 +284,7 @@ DomainSnapshot Generator::domain_snapshot(std::size_t domain_index,
     snapshot.pages.push_back(
         {spec.path, "text/html; charset=utf-8", render_page(spec)});
   }
+  note_pages_generated(year_index, snapshot.pages);
   return snapshot;
 }
 

@@ -1,0 +1,98 @@
+#include "obs/log.h"
+
+#include <ostream>
+
+namespace hv::obs {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> log_level_from_name(std::string_view name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::string LogEntry::format() const {
+  std::string out = "[";
+  out.append(to_string(level));
+  out += "] ";
+  out.append(message);
+  for (const LogField& field : fields) {
+    out += " ";
+    out += field.key;
+    out += "=";
+    out += field.value;
+  }
+  return out;
+}
+
+Log::Log(std::size_t ring_capacity)
+    : capacity_(ring_capacity == 0 ? 1 : ring_capacity) {
+  ring_.reserve(capacity_);
+}
+
+void Log::set_stream(std::ostream* stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stream_ = stream;
+}
+
+void Log::write(LogLevel level, std::string_view message,
+                std::initializer_list<LogField> fields) {
+#ifndef HV_OBS_DISABLED
+  if (level == LogLevel::kOff || level < this->level()) return;
+  LogEntry entry;
+  entry.level = level;
+  entry.message.assign(message);
+  entry.fields.assign(fields.begin(), fields.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
+  if (stream_ != nullptr) *stream_ << entry.format() << "\n";
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[entry.sequence % capacity_] = std::move(entry);
+  }
+#else
+  (void)level;
+  (void)message;
+  (void)fields;
+#endif
+}
+
+std::vector<LogEntry> Log::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) return ring_;
+  // Full ring: the oldest entry sits right after the most recent write.
+  const std::uint64_t next = sequence_.load(std::memory_order_relaxed);
+  std::vector<LogEntry> out;
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(next + i) % capacity_]);
+  }
+  return out;
+}
+
+void Log::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  sequence_.store(0, std::memory_order_relaxed);
+}
+
+Log& default_log() {
+  static Log* const log = new Log();  // never destroyed
+  return *log;
+}
+
+}  // namespace hv::obs

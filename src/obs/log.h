@@ -1,0 +1,105 @@
+// hv::obs — structured logging with levels, key=value fields, and a
+// ring-buffer sink the tests can inspect.
+//
+//   obs::default_log().info("snapshot complete",
+//                           {{"snapshot", label}, {"pages", "1234"}});
+//
+// Entries below the active level are dropped before any formatting.
+// Every accepted entry lands in a fixed-capacity ring buffer (`recent()`
+// returns the surviving tail, oldest first) and, when a mirror stream is
+// attached (the CLI wires stderr via --log-level), is rendered as
+//   [LEVEL] message key=value key=value
+//
+// Under HV_OBS_DISABLED `write` is a no-op.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::obs {
+
+enum class LogLevel : std::uint8_t { kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view to_string(LogLevel level) noexcept;
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive).
+std::optional<LogLevel> log_level_from_name(std::string_view name) noexcept;
+
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+struct LogEntry {
+  LogLevel level = LogLevel::kInfo;
+  std::string message;
+  std::vector<LogField> fields;
+  std::uint64_t sequence = 0;  ///< monotonically increasing per Log
+
+  /// "[INFO] message key=value ..." — the mirror-stream rendering.
+  std::string format() const;
+};
+
+class Log {
+ public:
+  explicit Log(std::size_t ring_capacity = 256);
+
+  LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  /// Attaches a stream every accepted entry is also rendered to
+  /// (nullptr detaches).  The stream must outlive the logger's use.
+  void set_stream(std::ostream* stream);
+
+  void write(LogLevel level, std::string_view message,
+             std::initializer_list<LogField> fields = {});
+  void debug(std::string_view message,
+             std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kDebug, message, fields);
+  }
+  void info(std::string_view message,
+            std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kInfo, message, fields);
+  }
+  void warn(std::string_view message,
+            std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kWarn, message, fields);
+  }
+  void error(std::string_view message,
+             std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kError, message, fields);
+  }
+
+  /// Ring-buffer contents, oldest surviving entry first.
+  std::vector<LogEntry> recent() const;
+  /// Total entries accepted since construction (>= recent().size()).
+  std::uint64_t total_logged() const noexcept {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+  std::size_t ring_capacity() const noexcept { return capacity_; }
+  void clear();
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
+  std::atomic<std::uint64_t> sequence_{0};
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::vector<LogEntry> ring_;  ///< fixed capacity, sequence % capacity
+  std::ostream* stream_ = nullptr;
+};
+
+/// The process-wide logger used by the pipeline and the CLI.
+Log& default_log();
+
+}  // namespace hv::obs

@@ -1,0 +1,441 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hv::obs {
+namespace {
+
+/// Shortest stable decimal rendering shared by both export formats.
+std::string format_number(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string escape_json(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string label_block(const std::vector<std::string>& keys,
+                        const std::vector<std::string>& values,
+                        std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (keys.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i != 0) out += ",";
+    out += keys[i] + "=\"" + escape_label(values[i]) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!keys.empty()) out += ",";
+    out.append(extra_key);
+    out += "=\"";
+    out.append(extra_value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string labels_json(const std::vector<std::string>& keys,
+                        const std::vector<std::string>& values) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + escape_json(keys[i]) + "\":\"" + escape_json(values[i]) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void check_label_arity(const std::vector<std::string>& keys,
+                       std::initializer_list<std::string_view> values,
+                       const std::string& name) {
+  if (values.size() != keys.size()) {
+    throw std::invalid_argument("obs: metric " + name + " expects " +
+                                std::to_string(keys.size()) +
+                                " label value(s), got " +
+                                std::to_string(values.size()));
+  }
+}
+
+}  // namespace
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double value) noexcept {
+#ifndef HV_OBS_DISABLED
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+#else
+  (void)value;
+#endif
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double previous = cumulative;
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative < target || counts[i] == 0) continue;
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    // +Inf bucket: no upper bound to interpolate against; report the mean
+    // of the whole distribution capped below by the last finite bound.
+    if (i == bounds_.size()) return std::max(lower, mean());
+    const double upper = bounds_[i];
+    const double fraction =
+        (target - previous) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds_.empty() ? mean() : bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0.0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_time_buckets() {
+  static const std::vector<double> kBuckets = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+      1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+      1.0,  2.5,    5.0,  10.0};
+  return kBuckets;
+}
+
+// --- families ---------------------------------------------------------------
+
+Counter& CounterFamily::with(std::initializer_list<std::string_view> values) {
+  check_label_arity(keys_, values, name_);
+  return resolve(values, [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& GaugeFamily::with(std::initializer_list<std::string_view> values) {
+  check_label_arity(keys_, values, name_);
+  return resolve(values, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& HistogramFamily::with(
+    std::initializer_list<std::string_view> values) {
+  check_label_arity(keys_, values, name_);
+  return resolve(values,
+                 [this] { return std::make_unique<Histogram>(bounds_); });
+}
+
+// --- Registry ---------------------------------------------------------------
+
+namespace {
+
+template <typename Map, typename Make>
+auto& find_or_register(Map& map, std::string_view name,
+                       const std::vector<std::string>& label_keys,
+                       const Make& make) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  } else if (it->second->label_keys() != label_keys) {
+    throw std::invalid_argument("obs: metric " + std::string(name) +
+                                " re-registered with different label keys");
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+CounterFamily& Registry::counter_family(std::string_view name,
+                                        std::string_view help,
+                                        std::vector<std::string> label_keys) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_register(counters_, name, label_keys, [&] {
+    return std::unique_ptr<CounterFamily>(new CounterFamily(
+        std::string(name), std::string(help), label_keys));
+  });
+}
+
+GaugeFamily& Registry::gauge_family(std::string_view name,
+                                    std::string_view help,
+                                    std::vector<std::string> label_keys) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_register(gauges_, name, label_keys, [&] {
+    return std::unique_ptr<GaugeFamily>(
+        new GaugeFamily(std::string(name), std::string(help), label_keys));
+  });
+}
+
+HistogramFamily& Registry::histogram_family(std::string_view name,
+                                            std::string_view help,
+                                            std::vector<std::string>
+                                                label_keys,
+                                            std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_register(histograms_, name, label_keys, [&] {
+    return std::unique_ptr<HistogramFamily>(
+        new HistogramFamily(std::string(name), std::string(help), label_keys,
+                            std::move(bounds)));
+  });
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  return counter_family(name, help, {}).with({});
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return gauge_family(name, help, {}).with({});
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds) {
+  return histogram_family(name, help, {}, std::move(bounds)).with({});
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : counters_) {
+    out << "# HELP " << name << " " << family->help() << "\n";
+    out << "# TYPE " << name << " counter\n";
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Counter& counter) {
+      out << name << label_block(family->label_keys(), labels) << " "
+          << counter.value() << "\n";
+    });
+  }
+  for (const auto& [name, family] : gauges_) {
+    out << "# HELP " << name << " " << family->help() << "\n";
+    out << "# TYPE " << name << " gauge\n";
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Gauge& gauge) {
+      out << name << label_block(family->label_keys(), labels) << " "
+          << format_number(gauge.value()) << "\n";
+    });
+  }
+  for (const auto& [name, family] : histograms_) {
+    out << "# HELP " << name << " " << family->help() << "\n";
+    out << "# TYPE " << name << " histogram\n";
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Histogram& histogram) {
+      const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+        cumulative += counts[i];
+        out << name << "_bucket"
+            << label_block(family->label_keys(), labels, "le",
+                           format_number(histogram.bounds()[i]))
+            << " " << cumulative << "\n";
+      }
+      cumulative += counts.back();
+      out << name << "_bucket"
+          << label_block(family->label_keys(), labels, "le", "+Inf") << " "
+          << cumulative << "\n";
+      out << name << "_sum" << label_block(family->label_keys(), labels)
+          << " " << format_number(histogram.sum()) << "\n";
+      out << name << "_count" << label_block(family->label_keys(), labels)
+          << " " << histogram.count() << "\n";
+    });
+  }
+}
+
+std::string Registry::prometheus_text() const {
+  std::ostringstream out;
+  write_prometheus(out);
+  return out.str();
+}
+
+void Registry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [name, family] : counters_) {
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Counter& counter) {
+      out << (first ? "" : ",") << "\n    {\"name\": \"" << name
+          << "\", \"labels\": " << labels_json(family->label_keys(), labels)
+          << ", \"value\": " << counter.value() << "}";
+      first = false;
+    });
+  }
+  out << (first ? "]" : "\n  ]") << ",\n  \"gauges\": [";
+  first = true;
+  for (const auto& [name, family] : gauges_) {
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Gauge& gauge) {
+      out << (first ? "" : ",") << "\n    {\"name\": \"" << name
+          << "\", \"labels\": " << labels_json(family->label_keys(), labels)
+          << ", \"value\": " << format_number(gauge.value()) << "}";
+      first = false;
+    });
+  }
+  out << (first ? "]" : "\n  ]") << ",\n  \"histograms\": [";
+  first = true;
+  for (const auto& [name, family] : histograms_) {
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Histogram& histogram) {
+      out << (first ? "" : ",") << "\n    {\"name\": \"" << name
+          << "\", \"labels\": " << labels_json(family->label_keys(), labels)
+          << ", \"count\": " << histogram.count()
+          << ", \"sum\": " << format_number(histogram.sum())
+          << ", \"buckets\": [";
+      const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        out << (i == 0 ? "" : ",") << "{\"le\": \""
+            << (i < histogram.bounds().size()
+                    ? format_number(histogram.bounds()[i])
+                    : std::string("+Inf"))
+            << "\", \"count\": " << counts[i] << "}";
+      }
+      out << "]}";
+      first = false;
+    });
+  }
+  out << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+std::string Registry::json_text() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+std::optional<double> Registry::value(
+    std::string_view name,
+    std::initializer_list<std::string_view> label_values) const {
+  const std::vector<std::string> key(label_values.begin(),
+                                     label_values.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<double> found;
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    it->second->for_each(
+        [&](const std::vector<std::string>& labels, const Counter& counter) {
+          if (labels == key) found = static_cast<double>(counter.value());
+        });
+    return found;
+  }
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    it->second->for_each(
+        [&](const std::vector<std::string>& labels, const Gauge& gauge) {
+          if (labels == key) found = gauge.value();
+        });
+    return found;
+  }
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    it->second->for_each([&](const std::vector<std::string>& labels,
+                             const Histogram& histogram) {
+      if (labels == key) found = static_cast<double>(histogram.count());
+    });
+    return found;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Registry::label_values(
+    std::string_view name, std::string_view label_key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> values;
+  const auto collect = [&](const auto& family) {
+    const auto& keys = family.label_keys();
+    const auto key_it = std::find(keys.begin(), keys.end(), label_key);
+    if (key_it == keys.end()) return;
+    const std::size_t index =
+        static_cast<std::size_t>(key_it - keys.begin());
+    family.for_each(
+        [&](const std::vector<std::string>& labels, const auto&) {
+          values.push_back(labels[index]);
+        });
+  };
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    collect(*it->second);
+  } else if (const auto g = gauges_.find(name); g != gauges_.end()) {
+    collect(*g->second);
+  } else if (const auto h = histograms_.find(name); h != histograms_.end()) {
+    collect(*h->second);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, family] : counters_) family->reset_all();
+  for (auto& [name, family] : gauges_) family->reset_all();
+  for (auto& [name, family] : histograms_) family->reset_all();
+}
+
+Registry& default_registry() {
+  static Registry* const registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace hv::obs

@@ -1,0 +1,291 @@
+// hv::obs — the metrics registry behind every `hv_*` series.
+//
+// Design goals (DESIGN.md "Observability"):
+//   * lock-cheap hot path: a Counter/Gauge/Histogram handle is a stable
+//     reference; incrementing it is a single relaxed atomic op, no mutex.
+//     The registry mutex is only taken when a series is first resolved
+//     (`family.with(...)`) or at export time — callers cache handles.
+//   * labeled families for per-rule / per-snapshot / per-stage series,
+//     named `hv_<subsystem>_<name>{label="value"}`.
+//   * exportable as Prometheus text format (`write_prometheus`) and JSON
+//     (`write_json`), both with deterministic ordering.
+//
+// Compiling with -DHV_OBS_DISABLED turns every mutation (inc/set/observe
+// and the ScopedTimer's clock reads) into a no-op while keeping the API,
+// so instrumented code builds unchanged; see tools/check_noop_build.sh.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+#ifndef HV_OBS_DISABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (can go up and down).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+#ifndef HV_OBS_DISABLED
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void add(double v) noexcept {
+#ifndef HV_OBS_DISABLED
+    value_.fetch_add(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket distribution: per-bucket atomic counts plus sum/count.
+/// Buckets are upper bounds; values above the last bound land in the
+/// implicit +Inf bucket.  All mutation is relaxed atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +Inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  /// Bucket-interpolated quantile estimate (q in [0,1]); 0 when empty.
+  double quantile(double q) const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;  ///< sorted, deduplicated upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Default latency buckets (seconds): 1µs .. 10s in a 1-2.5-5 ladder.
+/// Shared by every `*_seconds` histogram so series stay comparable.
+const std::vector<double>& default_time_buckets();
+
+/// RAII wall-clock timer observing its lifetime (in seconds) into a
+/// histogram.  Under HV_OBS_DISABLED no clock is ever read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) noexcept
+#ifndef HV_OBS_DISABLED
+      : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {
+  }
+#else
+  {
+    (void)histogram;
+  }
+#endif
+
+  ~ScopedTimer() {
+#ifndef HV_OBS_DISABLED
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->observe(std::chrono::duration<double>(elapsed).count());
+#endif
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+#ifndef HV_OBS_DISABLED
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+namespace detail {
+
+/// Shared family machinery: a named series set keyed by label values.
+/// `Metric` must be default-constructible (Counter/Gauge) or constructed
+/// via the family's factory (Histogram).
+template <typename Metric>
+class Family {
+ public:
+  const std::string& name() const noexcept { return name_; }
+  const std::string& help() const noexcept { return help_; }
+  const std::vector<std::string>& label_keys() const noexcept {
+    return keys_;
+  }
+
+  /// Visits every series as (label_values, metric) in label order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [labels, metric] : series_) fn(labels, *metric);
+  }
+
+  /// Zeroes every series in the family (handles stay valid).
+  void reset_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [labels, metric] : series_) metric->reset();
+  }
+
+ protected:
+  Family(std::string name, std::string help, std::vector<std::string> keys)
+      : name_(std::move(name)), help_(std::move(help)),
+        keys_(std::move(keys)) {}
+
+  template <typename Factory>
+  Metric& resolve(std::initializer_list<std::string_view> values,
+                  const Factory& factory) {
+    std::vector<std::string> key(values.begin(), values.end());
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(key);
+    if (it == series_.end()) {
+      it = series_.emplace(std::move(key), factory()).first;
+    }
+    return *it->second;
+  }
+
+  mutable std::mutex mutex_;
+  std::string name_;
+  std::string help_;
+  std::vector<std::string> keys_;
+  std::map<std::vector<std::string>, std::unique_ptr<Metric>> series_;
+};
+
+}  // namespace detail
+
+class CounterFamily : public detail::Family<Counter> {
+ public:
+  /// Stable handle for one label-value combination; callers cache it.
+  /// The number of values must match the family's label keys.
+  Counter& with(std::initializer_list<std::string_view> values);
+
+ private:
+  friend class Registry;
+  using Family::Family;
+};
+
+class GaugeFamily : public detail::Family<Gauge> {
+ public:
+  Gauge& with(std::initializer_list<std::string_view> values);
+
+ private:
+  friend class Registry;
+  using Family::Family;
+};
+
+class HistogramFamily : public detail::Family<Histogram> {
+ public:
+  Histogram& with(std::initializer_list<std::string_view> values);
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+ private:
+  friend class Registry;
+  HistogramFamily(std::string name, std::string help,
+                  std::vector<std::string> keys, std::vector<double> bounds)
+      : Family(std::move(name), std::move(help), std::move(keys)),
+        bounds_(std::move(bounds)) {}
+
+  std::vector<double> bounds_;
+};
+
+/// The registry: owns families, hands out stable metric handles, exports
+/// snapshots.  Registering an existing name returns the existing family
+/// (label keys must match; throws std::invalid_argument otherwise).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  CounterFamily& counter_family(std::string_view name, std::string_view help,
+                                std::vector<std::string> label_keys);
+  GaugeFamily& gauge_family(std::string_view name, std::string_view help,
+                            std::vector<std::string> label_keys);
+  HistogramFamily& histogram_family(std::string_view name,
+                                    std::string_view help,
+                                    std::vector<std::string> label_keys,
+                                    std::vector<double> bounds);
+
+  /// Unlabeled conveniences (a family with no label keys, one series).
+  Counter& counter(std::string_view name, std::string_view help);
+  Gauge& gauge(std::string_view name, std::string_view help);
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds);
+
+  /// Prometheus text exposition format (HELP/TYPE + one line per series).
+  void write_prometheus(std::ostream& out) const;
+  std::string prometheus_text() const;
+
+  /// JSON snapshot: {"counters": [...], "gauges": [...],
+  /// "histograms": [...]}, each entry {name, labels, ...}.
+  void write_json(std::ostream& out) const;
+  std::string json_text() const;
+
+  /// Test/query helper: the value of a counter (count), gauge (value), or
+  /// histogram (observation count) series.  `label_values` in key order.
+  std::optional<double> value(
+      std::string_view name,
+      std::initializer_list<std::string_view> label_values = {}) const;
+
+  /// Distinct values of `label_key` across one family's series (sorted).
+  std::vector<std::string> label_values(std::string_view name,
+                                        std::string_view label_key) const;
+
+  /// Zeroes every series (families and handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<CounterFamily>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<GaugeFamily>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramFamily>, std::less<>>
+      histograms_;
+};
+
+/// The process-wide registry every subsystem's instrumentation uses.
+Registry& default_registry();
+
+}  // namespace hv::obs

@@ -1,0 +1,16 @@
+// hv::obs — umbrella header for the observability layer.
+//
+//   metrics.h  Registry / Counter / Gauge / Histogram / ScopedTimer
+//   trace.h    Tracer / Span (Chrome trace_event export)
+//   log.h      Log (levels, key=value fields, ring-buffer sink)
+//
+// Each piece has a process-wide default instance (`default_registry()`,
+// `default_tracer()`, `default_log()`) that all built-in instrumentation
+// uses; tests construct local instances for isolated assertions.
+// Compile with -DHV_OBS_DISABLED (CMake: -DHV_OBS_DISABLED=ON) to turn
+// the whole layer into no-ops.
+#pragma once
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace hv::obs {
+namespace {
+
+#ifndef HV_OBS_DISABLED
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Per-thread stack of open span names; parent/depth come from here, so
+/// nesting needs no cross-thread coordination.
+std::vector<std::string>& span_stack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
+#endif
+
+std::string escape_json(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::since_epoch_us(
+    std::chrono::steady_clock::time_point when) const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(when - epoch_)
+          .count());
+}
+
+void Tracer::record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<SpanEvent> snapshot = events();
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanEvent& event : snapshot) {
+    out << (first ? "" : ",") << "\n  {\"name\": \""
+        << escape_json(event.name) << "\", \"cat\": \""
+        << escape_json(event.category) << "\", \"ph\": \"X\", \"ts\": "
+        << event.start_us << ", \"dur\": " << event.duration_us
+        << ", \"pid\": 1, \"tid\": " << event.thread_id << ", \"args\": {";
+    out << "\"parent\": \"" << escape_json(event.parent) << "\", \"depth\": \""
+        << event.depth << "\"";
+    for (const auto& [key, value] : event.args) {
+      out << ", \"" << escape_json(key) << "\": \"" << escape_json(value)
+          << "\"";
+    }
+    out << "}}";
+    first = false;
+  }
+  out << (first ? "]" : "\n]") << "}\n";
+}
+
+std::string Tracer::chrome_trace_text() const {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  return out.str();
+}
+
+#ifndef HV_OBS_DISABLED
+
+Span::Span(Tracer& tracer, std::string name, std::string category)
+    : tracer_(&tracer), start_(std::chrono::steady_clock::now()) {
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  std::vector<std::string>& stack = span_stack();
+  if (!stack.empty()) event_.parent = stack.back();
+  event_.depth = static_cast<std::uint32_t>(stack.size());
+  event_.thread_id = this_thread_id();
+  stack.push_back(event_.name);
+}
+
+Span::~Span() {
+  const auto end = std::chrono::steady_clock::now();
+  span_stack().pop_back();
+  event_.start_us = tracer_->since_epoch_us(start_);
+  event_.duration_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count());
+  tracer_->record(std::move(event_));
+}
+
+void Span::arg(std::string key, std::string value) {
+  event_.args.emplace_back(std::move(key), std::move(value));
+}
+
+#else  // HV_OBS_DISABLED
+
+Span::Span(Tracer&, std::string, std::string) {}
+Span::~Span() = default;
+void Span::arg(std::string, std::string) {}
+
+#endif
+
+Tracer& default_tracer() {
+  static Tracer* const tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+}  // namespace hv::obs

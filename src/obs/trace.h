@@ -1,0 +1,86 @@
+// hv::obs — hierarchical wall-clock tracing for the pipeline stages.
+//
+// A Span is an RAII scope: it notes the steady-clock time on entry and
+// records a completed event into its Tracer on exit.  Nesting is tracked
+// per thread (depth + parent name), so the recorded events reconstruct
+// the stage hierarchy build_archives -> metadata -> crawl/check -> store
+// without any coordination between threads.
+//
+// `write_chrome_trace` emits the events as Chrome trace_event JSON
+// (complete "X" events), loadable in chrome://tracing or Perfetto; each
+// OS thread gets its own lane, so worker spans show pool parallelism.
+//
+// Under HV_OBS_DISABLED a Span never reads the clock and records nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hv::obs {
+
+/// One completed span, times in microseconds since the tracer's epoch.
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  std::string parent;  ///< enclosing span's name on this thread ("" = root)
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t thread_id = 0;  ///< small sequential id, 1-based
+  std::uint32_t depth = 0;      ///< nesting depth on this thread, 0 = root
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  /// Completed events in completion order (copy, thread-safe).
+  std::vector<SpanEvent> events() const;
+  std::size_t event_count() const;
+  void clear();
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  void write_chrome_trace(std::ostream& out) const;
+  std::string chrome_trace_text() const;
+
+ private:
+  friend class Span;
+  void record(SpanEvent event);
+  std::uint64_t since_epoch_us(
+      std::chrono::steady_clock::time_point when) const noexcept;
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+};
+
+/// RAII span; records into the tracer when it goes out of scope.
+class Span {
+ public:
+  Span(Tracer& tracer, std::string name, std::string category = "pipeline");
+  ~Span();
+
+  /// Attaches a key=value argument (shown in the trace viewer).
+  void arg(std::string key, std::string value);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#ifndef HV_OBS_DISABLED
+  Tracer* tracer_;
+  SpanEvent event_;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+/// The process-wide tracer used by the pipeline instrumentation.
+Tracer& default_tracer();
+
+}  // namespace hv::obs

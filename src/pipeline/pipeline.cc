@@ -4,17 +4,63 @@
 #include <fstream>
 
 #include "archive/warc.h"
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
 #include "html/encoding.h"
 #include "mitigation/mitigations.h"
 #include "net/http.h"
+#include "obs/obs.h"
 #include "ranking/tranco.h"
 #include "report/paper_data.h"
 
 namespace hv::pipeline {
 namespace {
+
+/// Handles into obs::default_registry(), resolved once per process.
+/// Naming scheme: hv_pipeline_<name>{snapshot=...[,reason|stage|worker]}.
+struct PipelineMetrics {
+  obs::CounterFamily& records_read;     ///< {snapshot}
+  obs::CounterFamily& filter_drops;     ///< {snapshot, reason}
+  obs::CounterFamily& pages_checked;    ///< {snapshot}
+  obs::HistogramFamily& stage_seconds;  ///< {stage, snapshot}
+  obs::Histogram& crawl_seconds;        ///< per-capture WARC random read
+  obs::Histogram& check_seconds;        ///< per-capture filter+parse+rules
+  obs::GaugeFamily& worker_throughput;  ///< {snapshot, worker}, pages/s
+
+  static PipelineMetrics& get() {
+    obs::Registry& registry = obs::default_registry();
+    static PipelineMetrics* const metrics = new PipelineMetrics{
+        registry.counter_family("hv_pipeline_records_read_total",
+                                "WARC records pulled by the crawl step",
+                                {"snapshot"}),
+        registry.counter_family(
+            "hv_pipeline_filter_drops_total",
+            "Captures dropped before checking, by filter reason",
+            {"snapshot", "reason"}),
+        registry.counter_family("hv_pipeline_pages_checked_total",
+                                "Pages that passed every filter and were "
+                                "rule-checked",
+                                {"snapshot"}),
+        registry.histogram_family("hv_pipeline_stage_seconds",
+                                  "Wall-clock time per pipeline stage",
+                                  {"stage", "snapshot"},
+                                  obs::default_time_buckets()),
+        registry.histogram("hv_pipeline_crawl_seconds",
+                           "Per-capture WARC seek+read latency",
+                           obs::default_time_buckets()),
+        registry.histogram("hv_pipeline_check_seconds",
+                           "Per-capture analyze latency (filters, parse, "
+                           "rules, mitigation scans)",
+                           obs::default_time_buckets()),
+        registry.gauge_family("hv_pipeline_worker_pages_per_sec",
+                              "Check throughput per worker in the last "
+                              "snapshot run",
+                              {"snapshot", "worker"})};
+    return *metrics;
+  }
+};
 
 std::vector<std::string> study_domains(const corpus::CorpusConfig& config) {
   // Paper section 3.3: intersect the top cutoff of many Tranco lists,
@@ -64,7 +110,10 @@ bool analyze_capture(const core::Checker& checker, std::string_view domain,
   outcome->analyzable = false;
 
   const auto response = net::parse_http_response(http_message);
-  if (!response.has_value() || response->status_code != 200) return false;
+  if (!response.has_value() || response->status_code != 200) {
+    if (counters != nullptr) ++counters->http_errors;
+    return false;
+  }
   if (response->media_type() != "text/html") {
     if (counters != nullptr) ++counters->non_html_records;
     return false;
@@ -113,10 +162,19 @@ StudyPipeline::StudyPipeline(PipelineConfig config)
 }
 
 void StudyPipeline::build_archives() {
+  obs::Span build_span(obs::default_tracer(), "build_archives");
   for (int y = 0; y < kYearCount; ++y) {
     const std::string_view label =
         report::kSnapshotLabels[static_cast<std::size_t>(y)];
-    if (snapshots_.exists(label)) continue;
+    if (snapshots_.exists(label)) {
+      obs::default_log().debug("archive exists, skipping",
+                               {{"snapshot", std::string(label)}});
+      continue;
+    }
+    obs::Span snapshot_span(obs::default_tracer(),
+                            "archive:" + std::string(label));
+    const obs::ScopedTimer stage_timer(
+        PipelineMetrics::get().stage_seconds.with({"build_archives", label}));
     const archive::SnapshotPaths paths = snapshots_.create(label);
     std::ofstream warc_out(paths.warc, std::ios::binary);
     if (!warc_out) {
@@ -144,26 +202,44 @@ void StudyPipeline::build_archives() {
       }
     }
     index.save(paths.cdx);
+    snapshot_span.arg("records", std::to_string(index.entries().size()));
+    obs::default_log().info(
+        "archive built",
+        {{"snapshot", std::string(label)},
+         {"records", std::to_string(index.entries().size())},
+         {"bytes", std::to_string(writer.bytes_written())}});
   }
 }
 
 void StudyPipeline::run_snapshot(int year_index) {
   const std::string_view label =
       report::kSnapshotLabels[static_cast<std::size_t>(year_index)];
-  const archive::SnapshotPaths paths = snapshots_.paths_for(label);
-  const archive::CdxIndex index = archive::CdxIndex::load(paths.cdx);
+  PipelineMetrics& metrics = PipelineMetrics::get();
+  obs::Tracer& tracer = obs::default_tracer();
+  obs::Span snapshot_span(tracer, "snapshot:" + std::string(label));
 
   // Step 1: metadata — which captures exist per domain (capped).
-  const std::vector<std::string> domains = index.domains();
   struct Task {
     const std::string* domain;
     std::vector<const archive::CdxEntry*> captures;
   };
+  archive::SnapshotPaths paths = snapshots_.paths_for(label);
+  archive::CdxIndex index;
+  std::vector<std::string> domains;
   std::vector<Task> tasks;
-  tasks.reserve(domains.size());
-  for (const std::string& domain : domains) {
-    tasks.push_back({&domain, index.lookup(domain, config_.pages_per_domain)});
-    store_.mark_found(domain, year_index);
+  {
+    obs::Span span(tracer, "metadata");
+    const obs::ScopedTimer stage_timer(
+        metrics.stage_seconds.with({"metadata", label}));
+    index = archive::CdxIndex::load(paths.cdx);
+    domains = index.domains();
+    tasks.reserve(domains.size());
+    for (const std::string& domain : domains) {
+      tasks.push_back(
+          {&domain, index.lookup(domain, config_.pages_per_domain)});
+      store_.mark_found(domain, year_index);
+    }
+    span.arg("domains", std::to_string(domains.size()));
   }
 
   // Steps 2+3: crawl and check on a worker pool; every worker owns its own
@@ -172,9 +248,15 @@ void StudyPipeline::run_snapshot(int year_index) {
   std::atomic<std::size_t> records_read{0};
   std::atomic<std::size_t> non_html{0};
   std::atomic<std::size_t> non_utf8{0};
+  std::atomic<std::size_t> http_errors{0};
   std::atomic<std::size_t> checked{0};
 
-  const auto worker = [&]() {
+  const auto worker = [&](int worker_index) {
+    obs::Span worker_span(tracer, "worker:" + std::to_string(worker_index),
+                          "pool");
+#ifndef HV_OBS_DISABLED
+    const auto worker_start = std::chrono::steady_clock::now();
+#endif
     std::ifstream warc_in(paths.warc, std::ios::binary);
     archive::WarcReader reader(warc_in);
     PipelineCounters local;
@@ -184,13 +266,20 @@ void StudyPipeline::run_snapshot(int year_index) {
       if (task_index >= tasks.size()) break;
       const Task& task = tasks[task_index];
       for (const archive::CdxEntry* capture : task.captures) {
-        reader.seek(capture->offset);
-        const auto record = reader.next();
+        std::optional<archive::WarcRecord> record;
+        {
+          const obs::ScopedTimer crawl_timer(metrics.crawl_seconds);
+          reader.seek(capture->offset);
+          record = reader.next();
+        }
         ++local.records_read;
         if (!record.has_value() || record->type != "response") continue;
         PageOutcome outcome;
-        analyze_capture(checker_, *task.domain, year_index, record->payload,
-                        &outcome, &local);
+        {
+          const obs::ScopedTimer check_timer(metrics.check_seconds);
+          analyze_capture(checker_, *task.domain, year_index,
+                          record->payload, &outcome, &local);
+        }
         if (outcome.analyzable) {
           store_.add(outcome);
         }
@@ -199,23 +288,72 @@ void StudyPipeline::run_snapshot(int year_index) {
     records_read.fetch_add(local.records_read);
     non_html.fetch_add(local.non_html_records);
     non_utf8.fetch_add(local.non_utf8_filtered);
+    http_errors.fetch_add(local.http_errors);
     checked.fetch_add(local.pages_checked);
+    worker_span.arg("pages_checked", std::to_string(local.pages_checked));
+#ifndef HV_OBS_DISABLED
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - worker_start)
+                               .count();
+    metrics.worker_throughput
+        .with({label, std::to_string(worker_index)})
+        .set(elapsed > 0.0
+                 ? static_cast<double>(local.pages_checked) / elapsed
+                 : 0.0);
+#endif
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(config_.threads));
-  for (int t = 0; t < config_.threads; ++t) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
+  {
+    obs::Span span(tracer, "crawl+check");
+    const obs::ScopedTimer stage_timer(
+        metrics.stage_seconds.with({"crawl_check", label}));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(config_.threads));
+    for (int t = 0; t < config_.threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& thread : pool) thread.join();
+    span.arg("workers", std::to_string(config_.threads));
+  }
 
-  counters_.records_read += records_read.load();
-  counters_.non_html_records += non_html.load();
-  counters_.non_utf8_filtered += non_utf8.load();
-  counters_.pages_checked += checked.load();
+  // Step 4: fold the pool's tallies into the study-level counters and the
+  // exported per-snapshot series (ResultStore rows were added in-flight).
+  {
+    obs::Span span(tracer, "store");
+    const obs::ScopedTimer stage_timer(
+        metrics.stage_seconds.with({"store", label}));
+    counters_.records_read.fetch_add(records_read.load());
+    counters_.non_html_records.fetch_add(non_html.load());
+    counters_.non_utf8_filtered.fetch_add(non_utf8.load());
+    counters_.http_errors.fetch_add(http_errors.load());
+    counters_.pages_checked.fetch_add(checked.load());
+    metrics.records_read.with({label}).inc(records_read.load());
+    metrics.filter_drops.with({label, "non_html"}).inc(non_html.load());
+    metrics.filter_drops.with({label, "non_utf8"}).inc(non_utf8.load());
+    metrics.filter_drops.with({label, "http_error"}).inc(http_errors.load());
+    metrics.pages_checked.with({label}).inc(checked.load());
+  }
+  obs::default_log().info(
+      "snapshot complete",
+      {{"snapshot", std::string(label)},
+       {"records", std::to_string(records_read.load())},
+       {"checked", std::to_string(checked.load())},
+       {"dropped_non_html", std::to_string(non_html.load())},
+       {"dropped_non_utf8", std::to_string(non_utf8.load())}});
 }
 
 void StudyPipeline::run_all() {
+  obs::Span run_span(obs::default_tracer(), "run_all");
   build_archives();
   for (int y = 0; y < kYearCount; ++y) run_snapshot(y);
+}
+
+PipelineCounters StudyPipeline::counters() const noexcept {
+  PipelineCounters snapshot;
+  snapshot.records_read = counters_.records_read.load();
+  snapshot.non_html_records = counters_.non_html_records.load();
+  snapshot.non_utf8_filtered = counters_.non_utf8_filtered.load();
+  snapshot.http_errors = counters_.http_errors.load();
+  snapshot.pages_checked = counters_.pages_checked.load();
+  return snapshot;
 }
 
 }  // namespace hv::pipeline

@@ -11,6 +11,7 @@
 // bytes from disk.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -30,10 +31,17 @@ struct PipelineConfig {
   std::size_t pages_per_domain = 100;  ///< metadata cap, as in the paper
 };
 
+/// Snapshot of the pipeline's bookkeeping counters.  `analyze_capture`
+/// accumulates into a caller-owned instance (each worker keeps its own —
+/// the struct itself is not thread-safe); StudyPipeline aggregates the
+/// per-worker values into atomics and returns a consistent copy from
+/// `counters()`.  The same numbers are exported through obs as
+/// `hv_pipeline_*_total{snapshot=...}` series.
 struct PipelineCounters {
   std::size_t records_read = 0;
   std::size_t non_html_records = 0;
   std::size_t non_utf8_filtered = 0;
+  std::size_t http_errors = 0;  ///< non-200 / unparseable HTTP messages
   std::size_t pages_checked = 0;
 };
 
@@ -52,17 +60,29 @@ class StudyPipeline {
   void run_all();
 
   const ResultStore& results() const noexcept { return store_; }
-  const PipelineCounters& counters() const noexcept { return counters_; }
+  /// Consistent snapshot of the accumulated counters (thread-safe).
+  PipelineCounters counters() const noexcept;
   const corpus::Generator& generator() const noexcept { return generator_; }
   const PipelineConfig& config() const noexcept { return config_; }
 
  private:
+  /// Atomic accumulation across the step-3 worker pool; `counters()`
+  /// materializes the view.  Plain fields would race if `run_snapshot`
+  /// ever overlapped another reader (the latent bug this replaces).
+  struct AtomicCounters {
+    std::atomic<std::size_t> records_read{0};
+    std::atomic<std::size_t> non_html_records{0};
+    std::atomic<std::size_t> non_utf8_filtered{0};
+    std::atomic<std::size_t> http_errors{0};
+    std::atomic<std::size_t> pages_checked{0};
+  };
+
   PipelineConfig config_;
   corpus::Generator generator_;
   archive::SnapshotStore snapshots_;
   core::Checker checker_;
   ResultStore store_;
-  PipelineCounters counters_;
+  AtomicCounters counters_;
 };
 
 /// Analyzes one HTTP response payload: media-type filter, UTF-8 filter,

@@ -193,6 +193,67 @@ TEST(CliStudy, BadOptionIsUsageError) {
   EXPECT_EQ(run_cli({"study", "--bogus"}).exit_code, 2);
 }
 
+TEST(CliStats, PrintsMetricsSnapshot) {
+  const auto workdir =
+      std::filesystem::temp_directory_path() / "hv_cli_stats_test";
+  std::filesystem::remove_all(workdir);
+  const CliResult result =
+      run_cli({"stats", "--domains", "20", "--pages", "2", "--workdir",
+               workdir.string()});
+  EXPECT_EQ(result.exit_code, 0);
+  // Family registration happens even in HV_OBS_DISABLED builds, so these
+  // series are present (possibly zero-valued) in both modes.
+  EXPECT_NE(result.out.find("# TYPE hv_checker_rule_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("hv_checker_rule_hits_total{rule=\"DE1\"}"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("# TYPE hv_pipeline_stage_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(result.err.find("hv stats:"), std::string::npos);
+  std::filesystem::remove_all(workdir);
+}
+
+TEST(CliStats, JsonFormatAndOutputFiles) {
+  const auto workdir =
+      std::filesystem::temp_directory_path() / "hv_cli_stats_json_test";
+  const auto metrics_path =
+      std::filesystem::temp_directory_path() / "hv_cli_stats_test.prom";
+  const auto trace_path =
+      std::filesystem::temp_directory_path() / "hv_cli_stats_test.trace.json";
+  std::filesystem::remove_all(workdir);
+  const CliResult result = run_cli(
+      {"stats", "--domains", "20", "--pages", "2", "--workdir",
+       workdir.string(), "--format", "json", "--metrics-out",
+       metrics_path.string(), "--trace-out", trace_path.string()});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("\"counters\": ["), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(metrics_path));
+  EXPECT_TRUE(std::filesystem::exists(trace_path));
+  std::ifstream trace(trace_path);
+  std::stringstream trace_text;
+  trace_text << trace.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"traceEvents\": ["), std::string::npos);
+  std::filesystem::remove_all(workdir);
+  std::filesystem::remove(metrics_path);
+  std::filesystem::remove(trace_path);
+}
+
+TEST(CliStats, BadFormatIsUsageError) {
+  EXPECT_EQ(run_cli({"stats", "--format", "xml"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"study", "--format", "prom"}).exit_code, 2);
+}
+
+TEST(Cli, LogLevelFlagIsGlobalAndValidated) {
+  EXPECT_EQ(run_cli({"--log-level"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"--log-level", "loud"}).exit_code, 2);
+  // Accepted anywhere; the remaining args dispatch normally.
+  const CliResult result =
+      run_cli({"check", "--log-level", "off", "-"},
+              "<!DOCTYPE html><html><head><title>t</title></head>"
+              "<body><p>x</p></body></html>");
+  EXPECT_EQ(result.exit_code, 0);
+}
+
 TEST(CliWarc, ListAndCat) {
   // Build a tiny archive on disk first.
   const auto path =

@@ -1,0 +1,359 @@
+// Tests for hv::obs: metrics registry semantics (including concurrent
+// mutation), Prometheus/JSON golden exports, tracer span nesting, and the
+// log ring buffer.  Value-semantics tests skip under HV_OBS_DISABLED
+// (mutations are no-ops there); structural tests — registration, export
+// shape, label plumbing — run in both builds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+// Mutation semantics don't hold in the no-op build; registration and
+// export structure still do, so only the former is skipped.
+#ifdef HV_OBS_DISABLED
+#define SKIP_IF_NOOP() \
+  GTEST_SKIP() << "hv::obs mutations are compiled out (HV_OBS_DISABLED)"
+#else
+#define SKIP_IF_NOOP() \
+  do {                 \
+  } while (false)
+#endif
+
+namespace hv::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  SKIP_IF_NOOP();
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  SKIP_IF_NOOP();
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter.inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  SKIP_IF_NOOP();
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+}
+
+TEST(Histogram, BucketsObservationsCumulatively) {
+  SKIP_IF_NOOP();
+  Histogram histogram({1.0, 5.0, 10.0});
+  histogram.observe(0.5);   // <= 1
+  histogram.observe(1.0);   // <= 1 (bounds are inclusive upper bounds)
+  histogram.observe(3.0);   // <= 5
+  histogram.observe(100.0); // +Inf
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 104.5);
+  const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(Histogram, SortsAndDeduplicatesBounds) {
+  Histogram histogram({5.0, 1.0, 5.0, 2.0});
+  EXPECT_EQ(histogram.bounds(), (std::vector<double>{1.0, 2.0, 5.0}));
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  SKIP_IF_NOOP();
+  Histogram histogram({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) histogram.observe(1.5);  // all in (1, 2]
+  // The median sits halfway through the only populated bucket.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, ConcurrentObservationsAreLossless) {
+  SKIP_IF_NOOP();
+  constexpr int kThreads = 8;
+  constexpr int kObservationsPerThread = 10000;
+  Histogram histogram(default_time_buckets());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kObservationsPerThread; ++i) {
+        histogram.observe(1e-6 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kThreads) * kObservationsPerThread;
+  EXPECT_EQ(histogram.count(), expected);
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t n : histogram.bucket_counts()) bucketed += n;
+  EXPECT_EQ(bucketed, expected);
+}
+
+TEST(Registry, LabeledFamiliesHandOutStableHandles) {
+  Registry registry;
+  CounterFamily& family =
+      registry.counter_family("hv_test_hits_total", "test", {"rule"});
+  Counter& de1 = family.with({"DE1"});
+  EXPECT_EQ(&de1, &family.with({"DE1"}));
+  EXPECT_NE(&de1, &family.with({"DE2"}));
+  EXPECT_EQ(registry.label_values("hv_test_hits_total", "rule"),
+            (std::vector<std::string>{"DE1", "DE2"}));
+}
+
+TEST(Registry, LabelArityMismatchThrows) {
+  Registry registry;
+  CounterFamily& family =
+      registry.counter_family("hv_test_arity_total", "test", {"a", "b"});
+  EXPECT_THROW(family.with({"only-one"}), std::invalid_argument);
+}
+
+TEST(Registry, ReRegistrationWithDifferentKeysThrows) {
+  Registry registry;
+  registry.counter_family("hv_test_rereg_total", "test", {"a"});
+  EXPECT_NO_THROW(registry.counter_family("hv_test_rereg_total", "x", {"a"}));
+  EXPECT_THROW(registry.counter_family("hv_test_rereg_total", "x", {"b"}),
+               std::invalid_argument);
+}
+
+TEST(Registry, ValueLooksUpAllThreeKinds) {
+  SKIP_IF_NOOP();
+  Registry registry;
+  registry.counter_family("hv_test_c_total", "c", {"k"}).with({"v"}).inc(3);
+  registry.gauge("hv_test_g", "g").set(1.25);
+  registry.histogram("hv_test_h_seconds", "h", {1.0}).observe(0.5);
+  EXPECT_EQ(registry.value("hv_test_c_total", {"v"}), 3.0);
+  EXPECT_EQ(registry.value("hv_test_g"), 1.25);
+  EXPECT_EQ(registry.value("hv_test_h_seconds"), 1.0);  // observation count
+  EXPECT_EQ(registry.value("hv_test_c_total", {"missing"}), std::nullopt);
+  EXPECT_EQ(registry.value("hv_test_absent"), std::nullopt);
+}
+
+TEST(Registry, ResetZeroesEverySeriesButKeepsHandles) {
+  SKIP_IF_NOOP();
+  Registry registry;
+  Counter& counter = registry.counter("hv_test_reset_total", "r");
+  counter.inc(7);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  EXPECT_EQ(registry.value("hv_test_reset_total"), 1.0);
+}
+
+TEST(Registry, PrometheusGolden) {
+  SKIP_IF_NOOP();
+  Registry registry;
+  registry.counter_family("hv_test_pages_total", "Pages seen", {"snapshot"})
+      .with({"2015"})
+      .inc(12);
+  registry.gauge("hv_test_rate", "Rate").set(2.5);
+  Histogram& histogram =
+      registry.histogram("hv_test_seconds", "Latency", {0.1, 1.0});
+  histogram.observe(0.05);
+  histogram.observe(0.05);
+  histogram.observe(0.5);
+  histogram.observe(9.0);
+  EXPECT_EQ(registry.prometheus_text(),
+            "# HELP hv_test_pages_total Pages seen\n"
+            "# TYPE hv_test_pages_total counter\n"
+            "hv_test_pages_total{snapshot=\"2015\"} 12\n"
+            "# HELP hv_test_rate Rate\n"
+            "# TYPE hv_test_rate gauge\n"
+            "hv_test_rate 2.5\n"
+            "# HELP hv_test_seconds Latency\n"
+            "# TYPE hv_test_seconds histogram\n"
+            "hv_test_seconds_bucket{le=\"0.1\"} 2\n"
+            "hv_test_seconds_bucket{le=\"1\"} 3\n"
+            "hv_test_seconds_bucket{le=\"+Inf\"} 4\n"
+            "hv_test_seconds_sum 9.6\n"
+            "hv_test_seconds_count 4\n");
+}
+
+TEST(Registry, JsonGolden) {
+  SKIP_IF_NOOP();
+  Registry registry;
+  registry.counter_family("hv_test_hits_total", "Hits", {"rule"})
+      .with({"FB1"})
+      .inc(5);
+  Histogram& histogram = registry.histogram("hv_test_seconds", "L", {1.0});
+  histogram.observe(0.5);
+  EXPECT_EQ(registry.json_text(),
+            "{\n"
+            "  \"counters\": [\n"
+            "    {\"name\": \"hv_test_hits_total\", \"labels\": "
+            "{\"rule\":\"FB1\"}, \"value\": 5}\n"
+            "  ],\n"
+            "  \"gauges\": [],\n"
+            "  \"histograms\": [\n"
+            "    {\"name\": \"hv_test_seconds\", \"labels\": {}, "
+            "\"count\": 1, \"sum\": 0.5, \"buckets\": "
+            "[{\"le\": \"1\", \"count\": 1},{\"le\": \"+Inf\", \"count\": "
+            "0}]}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Registry, PrometheusEscapesLabelValues) {
+  SKIP_IF_NOOP();
+  Registry registry;
+  registry.counter_family("hv_test_esc_total", "e", {"k"})
+      .with({"a\"b\\c\nd"})
+      .inc();
+  EXPECT_NE(registry.prometheus_text().find(
+                "hv_test_esc_total{k=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(Tracer, RecordsNestingDepthAndParent) {
+  SKIP_IF_NOOP();
+  Tracer tracer;
+  {
+    Span outer(tracer, "outer");
+    {
+      Span inner(tracer, "inner", "pool");
+      inner.arg("pages", "42");
+    }
+  }
+  const std::vector<SpanEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete inside-out.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].category, "pool");
+  EXPECT_EQ(events[0].parent, "outer");
+  EXPECT_EQ(events[0].depth, 1u);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "pages");
+  EXPECT_EQ(events[0].args[0].second, "42");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].parent, "");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_LE(events[0].duration_us, events[1].duration_us);
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+}
+
+TEST(Tracer, ThreadsGetDistinctLanes) {
+  SKIP_IF_NOOP();
+  Tracer tracer;
+  std::thread worker([&tracer] { Span span(tracer, "worker"); });
+  worker.join();
+  {
+    Span span(tracer, "main");
+  }
+  const std::vector<SpanEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].thread_id, events[1].thread_id);
+  EXPECT_GT(events[0].thread_id, 0u);
+}
+
+TEST(Tracer, ChromeTraceIsWellFormed) {
+  SKIP_IF_NOOP();
+  Tracer tracer;
+  {
+    Span span(tracer, "stage:\"quoted\"");
+    span.arg("key", "value");
+  }
+  const std::string text = tracer.chrome_trace_text();
+  EXPECT_NE(text.find("{\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"stage:\\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"key\": \"value\""), std::string::npos);
+  EXPECT_EQ(tracer.event_count(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Log, LevelsFilterBeforeTheRing) {
+  SKIP_IF_NOOP();
+  Log log(8);
+  log.set_level(LogLevel::kWarn);
+  log.debug("dropped");
+  log.info("dropped too");
+  log.warn("kept", {{"k", "v"}});
+  log.error("kept too");
+  const std::vector<LogEntry> entries = log.recent();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].message, "kept");
+  EXPECT_EQ(entries[0].format(), "[WARN] kept k=v");
+  EXPECT_EQ(entries[1].message, "kept too");
+  EXPECT_EQ(log.total_logged(), 2u);
+}
+
+TEST(Log, RingBufferKeepsTheNewestEntriesInOrder) {
+  SKIP_IF_NOOP();
+  Log log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.info("m" + std::to_string(i));
+  }
+  const std::vector<LogEntry> entries = log.recent();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].message, "m6");
+  EXPECT_EQ(entries[3].message, "m9");
+  EXPECT_EQ(log.total_logged(), 10u);
+  EXPECT_EQ(log.ring_capacity(), 4u);
+}
+
+TEST(Log, MirrorsAcceptedEntriesToTheAttachedStream) {
+  SKIP_IF_NOOP();
+  Log log(4);
+  std::ostringstream sink;
+  log.set_stream(&sink);
+  log.set_level(LogLevel::kInfo);
+  log.debug("below threshold");
+  log.info("hello", {{"a", "1"}});
+  log.set_stream(nullptr);
+  log.info("detached");
+  EXPECT_EQ(sink.str(), "[INFO] hello a=1\n");
+}
+
+TEST(Log, LevelNamesRoundTrip) {
+  EXPECT_EQ(log_level_from_name("debug"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_name("info"), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_name("warn"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_name("warning"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_name("error"), LogLevel::kError);
+  EXPECT_EQ(log_level_from_name("off"), LogLevel::kOff);
+  EXPECT_EQ(log_level_from_name("none"), LogLevel::kOff);
+  EXPECT_EQ(log_level_from_name("bogus"), std::nullopt);
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(ScopedTimer, ObservesItsLifetime) {
+  SKIP_IF_NOOP();
+  Histogram histogram(default_time_buckets());
+  {
+    ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_GE(histogram.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace hv::obs

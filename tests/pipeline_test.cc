@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <filesystem>
+#include <string_view>
 
 #include "net/http.h"
+#include "obs/obs.h"
+#include "report/paper_data.h"
 
 namespace hv::pipeline {
 namespace {
@@ -223,6 +228,94 @@ TEST(StudyPipeline, ArchivesAreImmutableAcrossRuns) {
   EXPECT_EQ(std::filesystem::file_size(warc_path), first_size);
   std::filesystem::remove_all(config.workdir);
 }
+
+#ifndef HV_OBS_DISABLED
+
+// Helper: current value of a per-snapshot counter series (0 if absent).
+double metric_value(std::string_view name, std::string_view snapshot,
+                    std::string_view reason = {}) {
+  const auto value =
+      reason.empty()
+          ? obs::default_registry().value(name, {snapshot})
+          : obs::default_registry().value(name, {snapshot, reason});
+  return value.value_or(0.0);
+}
+
+TEST(StudyPipeline, ObsCountersReconcileWithResultStore) {
+  // The obs registry is process-global and cumulative, so compare deltas
+  // around this run rather than absolute values.
+  std::array<double, kYearCount> checked_before{};
+  std::array<double, kYearCount> read_before{};
+  std::array<std::array<double, 3>, kYearCount> drops_before{};
+  const char* kReasons[3] = {"non_html", "non_utf8", "http_error"};
+  for (int y = 0; y < kYearCount; ++y) {
+    const auto label = report::kSnapshotLabels[static_cast<std::size_t>(y)];
+    checked_before[y] =
+        metric_value("hv_pipeline_pages_checked_total", label);
+    read_before[y] = metric_value("hv_pipeline_records_read_total", label);
+    for (int r = 0; r < 3; ++r) {
+      drops_before[y][r] =
+          metric_value("hv_pipeline_filter_drops_total", label, kReasons[r]);
+    }
+  }
+
+  PipelineConfig config = mini_config("obs");
+  StudyPipeline pipeline(config);
+  pipeline.run_all();
+
+  const ResultStore& store = pipeline.results();
+  for (int y = 0; y < kYearCount; ++y) {
+    const auto label = report::kSnapshotLabels[static_cast<std::size_t>(y)];
+    const double checked =
+        metric_value("hv_pipeline_pages_checked_total", label) -
+        checked_before[y];
+    const double read =
+        metric_value("hv_pipeline_records_read_total", label) -
+        read_before[y];
+    double dropped = 0.0;
+    for (int r = 0; r < 3; ++r) {
+      dropped +=
+          metric_value("hv_pipeline_filter_drops_total", label, kReasons[r]) -
+          drops_before[y][r];
+    }
+    // Per-snapshot page counts match the ResultStore's ground truth, and
+    // every record read is accounted for: checked or dropped by a filter.
+    EXPECT_EQ(checked,
+              static_cast<double>(store.snapshot_stats(y).pages_analyzed))
+        << "snapshot " << label;
+    EXPECT_EQ(read, checked + dropped) << "snapshot " << label;
+  }
+
+  // Stage histograms saw every snapshot of this run.
+  const auto stage_snapshot_labels = obs::default_registry().label_values(
+      "hv_pipeline_stage_seconds", "snapshot");
+  for (int y = 0; y < kYearCount; ++y) {
+    const std::string label(
+        report::kSnapshotLabels[static_cast<std::size_t>(y)]);
+    EXPECT_NE(std::find(stage_snapshot_labels.begin(),
+                        stage_snapshot_labels.end(), label),
+              stage_snapshot_labels.end())
+        << label;
+  }
+  std::filesystem::remove_all(config.workdir);
+}
+
+TEST(StudyPipeline, AllTwentyRulesAppearInPerRuleMetrics) {
+  // Rule series are registered eagerly when the Checker is constructed,
+  // so even never-hit rules are present (with zero counts).
+  const core::Checker checker;
+  const auto rules = obs::default_registry().label_values(
+      "hv_checker_rule_hits_total", "rule");
+  EXPECT_EQ(rules.size(), core::kViolationCount);
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    const std::string name(
+        core::to_string(static_cast<core::Violation>(v)));
+    EXPECT_NE(std::find(rules.begin(), rules.end(), name), rules.end())
+        << "missing per-rule series for " << name;
+  }
+}
+
+#endif  // HV_OBS_DISABLED
 
 TEST(StudyPipeline, DeterministicAcrossThreadCounts) {
   PipelineConfig config_a = mini_config("t1");

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Proves the HV_OBS_DISABLED no-op build stays healthy: configures a
+# separate build tree with the instrumentation compiled out, builds
+# everything, and runs the full test suite there.  The obs semantics
+# tests GTEST_SKIP themselves in that mode; everything else must pass
+# unchanged.
+#
+# Usage: tools/check_noop_build.sh [build-dir]   (default: build-noop)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build-noop"}"
+
+cmake -S "$repo_root" -B "$build_dir" -DHV_OBS_DISABLED=ON
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+cd "$build_dir"
+ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+echo "check_noop_build: OK (HV_OBS_DISABLED build passes the test suite)"
