@@ -114,6 +114,10 @@ std::uint64_t WarcWriter::write_response(std::string_view target_uri,
 WarcReader::WarcReader(std::istream& in) : in_(in) {}
 
 void WarcReader::seek(std::uint64_t offset) {
+  // Offset-sorted batch reads make most seeks land exactly where the
+  // previous record ended; skipping the redundant seekg keeps the stream's
+  // readahead buffer intact instead of discarding it.
+  if (offset == offset_ && in_.good()) return;
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(offset));
   offset_ = offset;

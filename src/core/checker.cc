@@ -122,7 +122,7 @@ class DanglingTargetRule final : public Rule {
       if (attr.name == "target" &&
           attr.value.find('\n') != std::string_view::npos) {
         out.push_back({Violation::kDE3_3, attr.element->start_position(),
-                       attr.element->tag_name()});
+                       std::string(attr.element->tag_name())});
       }
     }
   }
@@ -257,7 +257,7 @@ std::vector<AttributeRef> collect_attributes(const html::Document& document) {
   document.for_each([&attributes](const html::Node& node) {
     const html::Element* element = node.as_element();
     if (element == nullptr) return;
-    for (const html::Attribute& attr : element->attributes()) {
+    for (const html::DomAttribute& attr : element->attributes()) {
       attributes.push_back({element, attr.name, attr.value});
     }
   });

@@ -1,0 +1,97 @@
+// Bump-pointer arena for parse-tree nodes.
+//
+// The tree builder creates tens of thousands of small nodes per page and
+// never frees one individually: detached nodes stay alive until the whole
+// Document dies (dom.h ownership model).  That lifetime pattern is exactly
+// what a bump allocator wants — allocation is a pointer increment into a
+// chunk, and teardown is one walk over the registered finalizers followed
+// by freeing a handful of chunks, instead of one `delete` per node.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hv::html {
+
+/// Chunked bump allocator with destructor registration.  Objects are
+/// allocated front-to-back inside fixed-size chunks; objects larger than a
+/// chunk get a dedicated oversized chunk.  Destructors run in reverse
+/// creation order when the arena is destroyed.  Not thread-safe — each
+/// Document owns its own arena.
+class BumpArena {
+ public:
+  BumpArena() = default;
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+  ~BumpArena() {
+    for (auto it = finalizers_.rbegin(); it != finalizers_.rend(); ++it) {
+      it->destroy(it->object);
+    }
+  }
+
+  /// Allocates and constructs a T inside the arena.  The returned pointer
+  /// stays valid for the arena's lifetime; there is no per-object free.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "arena chunks only guarantee fundamental alignment");
+    void* memory = allocate(sizeof(T), alignof(T));
+    T* object = ::new (memory) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      finalizers_.push_back(
+          {object, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    ++object_count_;
+    return object;
+  }
+
+  std::size_t object_count() const noexcept { return object_count_; }
+  std::size_t bytes_used() const noexcept { return bytes_used_; }
+
+ private:
+  struct Finalizer {
+    void* object;
+    void (*destroy)(void*);
+  };
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t used = 0;
+    std::size_t capacity = 0;
+  };
+
+  static constexpr std::size_t kChunkSize = 16 * 1024;
+
+  void* allocate(std::size_t size, std::size_t align) {
+    if (!chunks_.empty()) {
+      Chunk& chunk = chunks_.back();
+      // Chunk bases have fundamental alignment, so rounding the offset up
+      // keeps every object aligned.
+      const std::size_t offset = (chunk.used + align - 1) & ~(align - 1);
+      if (offset + size <= chunk.capacity) {
+        chunk.used = offset + size;
+        bytes_used_ += size;
+        return chunk.data.get() + offset;
+      }
+    }
+    const std::size_t capacity = size > kChunkSize ? size : kChunkSize;
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(capacity);
+    chunk.capacity = capacity;
+    chunks_.push_back(std::move(chunk));
+    Chunk& fresh = chunks_.back();
+    fresh.used = size;
+    bytes_used_ += size;
+    return fresh.data.get();
+  }
+
+  std::vector<Chunk> chunks_;
+  std::vector<Finalizer> finalizers_;
+  std::size_t object_count_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace hv::html

@@ -76,67 +76,68 @@ std::string Node::text_content() const {
 
 std::optional<std::string_view> Element::get_attribute(
     std::string_view name) const noexcept {
-  for (const Attribute& attr : attrs_) {
+  for (const DomAttribute& attr : attrs_) {
     if (attr.name == name) return std::string_view{attr.value};
   }
   return std::nullopt;
 }
 
 void Element::set_attribute(std::string_view name, std::string_view value) {
-  for (Attribute& attr : attrs_) {
+  for (DomAttribute& attr : attrs_) {
     if (attr.name == name) {
       attr.value.assign(value);
       return;
     }
   }
-  attrs_.push_back({std::string(name), std::string(value)});
+  attrs_.push_back({document_->names().intern(name), std::string(value)});
 }
 
-bool Element::add_attribute_if_missing(const Attribute& attr) {
-  if (get_attribute(attr.name).has_value()) return false;
-  attrs_.push_back(attr);
+bool Element::add_attribute_if_missing(std::string_view name,
+                                       std::string_view value) {
+  if (get_attribute(name).has_value()) return false;
+  attrs_.push_back({document_->names().intern(name), std::string(value)});
   return true;
 }
 
 void Element::remove_attribute(std::string_view name) {
   attrs_.erase(std::remove_if(attrs_.begin(), attrs_.end(),
-                              [name](const Attribute& attr) {
+                              [name](const DomAttribute& attr) {
                                 return attr.name == name;
                               }),
                attrs_.end());
 }
 
 Element* Document::create_element(std::string_view tag_name, Namespace ns) {
-  auto element = std::make_unique<Element>();
-  element->tag_name_.assign(tag_name);
+  Element* element = arena_.create<Element>();
+  element->document_ = this;
+  element->tag_name_ = interner_.intern(tag_name);
   element->ns_ = ns;
-  Element* raw = element.get();
-  arena_.push_back(std::move(element));
-  return raw;
+  // Parse-time foreign-content flags: same predicate as the pipeline's old
+  // get_elements_by_tag("math"/"svg", /*any_namespace=*/true) scan.
+  if (tag_name == "math") {
+    saw_math_ = true;
+  } else if (tag_name == "svg") {
+    saw_svg_ = true;
+  }
+  return element;
 }
 
 Text* Document::create_text(std::string_view data) {
-  auto text = std::make_unique<Text>();
+  Text* text = arena_.create<Text>();
   text->data.assign(data);
-  Text* raw = text.get();
-  arena_.push_back(std::move(text));
-  return raw;
+  return text;
 }
 
 Comment* Document::create_comment(std::string_view data) {
-  auto comment = std::make_unique<Comment>();
+  Comment* comment = arena_.create<Comment>();
   comment->data.assign(data);
-  Comment* raw = comment.get();
-  arena_.push_back(std::move(comment));
-  return raw;
+  return comment;
 }
 
 DocumentType* Document::create_doctype(std::string_view name) {
-  auto doctype = std::make_unique<DocumentType>();
+  DocumentType* doctype = arena_.create<DocumentType>();
   doctype->name.assign(name);
-  DocumentType* raw = doctype.get();
-  arena_.push_back(std::move(doctype));
-  return raw;
+  return doctype;
 }
 
 Element* Document::document_element() const noexcept {

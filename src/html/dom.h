@@ -1,22 +1,30 @@
 // A compact Document Object Model produced by the tree builder.
 //
-// Ownership model: the Document owns every node in an arena of unique_ptrs;
-// tree structure (parent/children) uses non-owning pointers.  Nodes are
-// created through Document factory methods and live until the Document is
-// destroyed — detached nodes are simply unlinked, never freed early, which
-// keeps re-parenting operations (foster parenting, adoption agency) O(1)
-// and exception-free.
+// Ownership model: the Document owns every node through a bump arena
+// (arena.h); tree structure (parent/children) uses non-owning pointers.
+// Nodes are created through Document factory methods and live until the
+// Document is destroyed — detached nodes are simply unlinked, never freed
+// early, which keeps re-parenting operations (foster parenting, adoption
+// agency) O(1) and exception-free.
+//
+// Name storage: element tag names and attribute names are interned
+// (interner.h) — each distinct name is one stable std::string_view backed
+// either by the static well-known table or by the Document's interner, so
+// per-node name strings and their heap churn are gone.  Attribute values
+// stay owned (they are rarely repeated).  Views returned by tag_name() and
+// DomAttribute::name are valid for the Document's lifetime.
 #pragma once
 
 #include <cstddef>
 #include <functional>
-#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "html/arena.h"
 #include "html/errors.h"
+#include "html/interner.h"
 
 namespace hv::html {
 
@@ -34,10 +42,18 @@ enum class Namespace : std::uint8_t { kHtml, kSvg, kMathMl };
 
 std::string_view to_string(Namespace ns) noexcept;
 
-/// One element attribute.  Names are stored as the tree builder produced
-/// them (ASCII-lowercased for HTML elements).
+/// One tokenizer-side attribute (token.h).  Names are stored as the
+/// tokenizer produced them (ASCII-lowercased); both fields are owned
+/// because tokens outlive no document.
 struct Attribute {
   std::string name;
+  std::string value;
+};
+
+/// One element attribute.  The name is interned by the owning Document
+/// (stable for the Document's lifetime); the value is owned.
+struct DomAttribute {
+  std::string_view name;
   std::string value;
 };
 
@@ -109,9 +125,11 @@ class Element final : public Node {
  public:
   Element() : Node(NodeType::kElement) {}
 
-  const std::string& tag_name() const noexcept { return tag_name_; }
+  std::string_view tag_name() const noexcept { return tag_name_; }
   Namespace ns() const noexcept { return ns_; }
-  const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+  const std::vector<DomAttribute>& attributes() const noexcept {
+    return attrs_;
+  }
 
   /// Value of the attribute `name` (exact match), or nullopt.
   std::optional<std::string_view> get_attribute(
@@ -121,9 +139,10 @@ class Element final : public Node {
   }
   /// Sets (or overwrites) an attribute.
   void set_attribute(std::string_view name, std::string_view value);
-  /// Adds `attr` only if no attribute of that name exists (the tree
+  /// Adds the attribute only if no attribute of that name exists (the tree
   /// builder's rule for merging <body>/<html> duplicates).
-  bool add_attribute_if_missing(const Attribute& attr);
+  bool add_attribute_if_missing(std::string_view name,
+                                std::string_view value);
   void remove_attribute(std::string_view name);
 
   bool is_html(std::string_view tag) const noexcept {
@@ -136,9 +155,10 @@ class Element final : public Node {
  private:
   friend class Document;
   friend class TreeBuilder;
-  std::string tag_name_;
+  std::string_view tag_name_;
+  Document* document_ = nullptr;  // for interning names set after creation
   Namespace ns_ = Namespace::kHtml;
-  std::vector<Attribute> attrs_;
+  std::vector<DomAttribute> attrs_;
   SourcePosition start_position_;
 };
 
@@ -154,7 +174,8 @@ class Comment final : public Node {
   std::string data;
 };
 
-/// The document: root of the tree and arena owner of every node.
+/// The document: root of the tree, arena owner of every node, and owner of
+/// the name interner backing tag/attribute name views.
 class Document final : public Node {
  public:
   Document() : Node(NodeType::kDocument) {}
@@ -176,12 +197,26 @@ class Document final : public Node {
   std::vector<Element*> get_elements_by_tag(std::string_view tag_name,
                                             bool any_namespace = false) const;
 
-  std::size_t node_count() const noexcept { return arena_.size(); }
+  std::size_t node_count() const noexcept { return arena_.object_count(); }
+
+  /// True when a <math>/<svg> element was ever created for this document,
+  /// recorded at parse time so the pipeline's foreign-content accounting
+  /// needs no full-tree traversal.
+  bool uses_math() const noexcept { return saw_math_; }
+  bool uses_svg() const noexcept { return saw_svg_; }
+
+  NameInterner& names() noexcept { return interner_; }
 
  private:
   Element* find_direct_child(const Element* parent,
                              std::string_view tag) const noexcept;
-  std::vector<std::unique_ptr<Node>> arena_;
+  // Destruction order matters: `arena_` is declared last so node
+  // destructors run before the interner backing their name views goes
+  // away (they never dereference the views, but keep the order safe).
+  NameInterner interner_;
+  bool saw_math_ = false;
+  bool saw_svg_ = false;
+  BumpArena arena_;
 };
 
 }  // namespace hv::html

@@ -1,68 +1,284 @@
 #include "html/input_stream.h"
 
-#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
 
 #include "html/encoding.h"
 
 namespace hv::html {
+namespace {
 
-InputStream::InputStream(std::string_view bytes) {
-  characters_.reserve(bytes.size());
-  byte_offsets_.reserve(bytes.size() + 1);
-  line_starts_.push_back(0);
+using ByteTable = std::array<bool, 256>;
 
-  std::size_t offset = 0;
-  while (offset < bytes.size()) {
-    const DecodedCodePoint decoded = decode_utf8(bytes, offset);
-    char32_t c = decoded.code_point;
-    const std::size_t start = offset;
-    offset += decoded.length == 0 ? 1 : decoded.length;
-
-    // Newline normalization: CRLF -> LF, CR -> LF.
-    if (c == U'\r') {
-      if (offset < bytes.size() && bytes[offset] == '\n') ++offset;
-      c = U'\n';
-    }
-
-    const auto char_index = static_cast<std::uint32_t>(characters_.size());
-    characters_.push_back(c);
-    byte_offsets_.push_back(static_cast<std::uint32_t>(start));
-    if (c == U'\n') line_starts_.push_back(char_index + 1);
-
-    // Preprocessing parse errors (13.2.3.5).
-    if (!decoded.valid || is_surrogate(c)) {
-      if (is_surrogate(c)) {
-        errors_.push_back({ParseError::SurrogateInInputStream,
-                           position_at(char_index), {}});
-        characters_.back() = kReplacementCharacter;
-      }
-    } else if (is_noncharacter(c)) {
-      errors_.push_back({ParseError::NoncharacterInInputStream,
-                         position_at(char_index), {}});
-    } else if (is_control(c) && !is_ascii_whitespace(c) && c != 0x00) {
-      errors_.push_back({ParseError::ControlCharacterInInputStream,
-                         position_at(char_index), {}});
-    }
+/// Bytes the pre-scan must look at: C0 controls (newlines, NUL, controls),
+/// DEL, and everything non-ASCII.  Printable ASCII skips in one compare.
+constexpr ByteTable make_attention_table() {
+  ByteTable table{};
+  for (unsigned i = 0; i < 256; ++i) {
+    table[i] = i < 0x20 || i == 0x7F || i >= 0x80;
   }
-  byte_offsets_.push_back(static_cast<std::uint32_t>(bytes.size()));
+  return table;
+}
+constexpr ByteTable kNeedsAttention = make_attention_table();
+
+/// Stop bytes per text-run state.  NUL and CR always stop (NUL tokens and
+/// newline normalization take the slow path); '<' stops everywhere a tag
+/// can open; '&' stops where character references live; '-' stays on the
+/// slow path in script data for escape handling.  When the document is not
+/// well-formed UTF-8, every non-ASCII byte stops too, so runs only ever
+/// cover bytes whose decode/re-encode round trip is the identity.
+constexpr ByteTable make_stop_table(std::initializer_list<unsigned char> stops,
+                                    bool stop_non_ascii,
+                                    bool stop_upper = false) {
+  ByteTable table{};
+  table[0x00] = true;
+  table[static_cast<unsigned char>('\r')] = true;
+  for (const unsigned char b : stops) table[b] = true;
+  if (stop_non_ascii) {
+    for (unsigned i = 0x80; i < 256; ++i) table[i] = true;
+  }
+  if (stop_upper) {
+    for (unsigned i = 'A'; i <= 'Z'; ++i) table[i] = true;
+  }
+  return table;
+}
+
+// Indexed [kind][wellformed ? 0 : 1].
+constexpr std::array<std::array<ByteTable, 2>, 9> kStopTables = {{
+    {make_stop_table({'<', '&'}, false), make_stop_table({'<', '&'}, true)},
+    {make_stop_table({'<', '&'}, false), make_stop_table({'<', '&'}, true)},
+    {make_stop_table({'<'}, false), make_stop_table({'<'}, true)},
+    {make_stop_table({'<', '-'}, false), make_stop_table({'<', '-'}, true)},
+    {make_stop_table({}, false), make_stop_table({}, true)},
+    {make_stop_table({'"', '&'}, false), make_stop_table({'"', '&'}, true)},
+    {make_stop_table({'\'', '&'}, false),
+     make_stop_table({'\'', '&'}, true)},
+    {make_stop_table({'\t', '\n', '\f', ' ', '/', '>'}, false, true),
+     make_stop_table({'\t', '\n', '\f', ' ', '/', '>'}, true, true)},
+    {make_stop_table({'\t', '\n', '\f', ' ', '/', '=', '>', '"', '\'', '<'},
+                     false, true),
+     make_stop_table({'\t', '\n', '\f', ' ', '/', '=', '>', '"', '\'', '<'},
+                     true, true)},
+}};
+
+constexpr bool is_utf8_continuation(unsigned char byte) noexcept {
+  return (byte & 0xC0u) == 0x80u;
+}
+
+/// True when any byte of the word needs per-byte attention in pre_scan
+/// (byte < 0x20, byte == 0x7F, or byte >= 0x80).  Uses the SWAR
+/// has-byte-less-than / has-zero-byte idioms; the high-bit mask makes any
+/// false positives from cross-byte borrows impossible, because bytes with
+/// the high bit set already flag via `high`.
+constexpr bool word_needs_attention(std::uint64_t w) noexcept {
+  constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+  constexpr std::uint64_t kHigh = 0x8080808080808080ull;
+  const std::uint64_t high = w & kHigh;
+  const std::uint64_t lt20 = (w - 0x20 * kOnes) & ~w;
+  const std::uint64_t x7f = w ^ 0x7F * kOnes;
+  const std::uint64_t eq7f = (x7f - kOnes) & ~x7f;
+  return ((high | lt20 | eq7f) & kHigh) != 0;
+}
+
+}  // namespace
+
+InputStream::InputStream(std::string_view bytes) : bytes_(bytes) {
+  pre_scan();
+}
+
+void InputStream::pre_scan() {
+  // One pass replaces the old eager materialization AND the pipeline's
+  // separate is_valid_utf8 scan: it records preprocessing errors with full
+  // line/column positions, the well-formedness verdict, and the code-point
+  // count.  Columns are counted in code points from the last newline, like
+  // the old per-character line_starts_ table did.
+  std::size_t offset = 0;
+  std::size_t char_index = 0;
+  std::size_t line = 1;
+  std::size_t line_start = 0;  // char index of the current line's start
+  const std::size_t size = bytes_.size();
+  while (offset < size) {
+    // Word-at-a-time skip over printable ASCII (the overwhelmingly common
+    // case in crawled markup): 8 bytes per iteration, 8 code points each.
+    while (offset + 8 <= size) {
+      std::uint64_t word;
+      std::memcpy(&word, bytes_.data() + offset, 8);
+      if (word_needs_attention(word)) break;
+      offset += 8;
+      char_index += 8;
+    }
+    if (offset >= size) break;
+    const auto b = static_cast<unsigned char>(bytes_[offset]);
+    if (!kNeedsAttention[b]) {
+      ++offset;
+      ++char_index;
+      continue;
+    }
+    if (b == '\n') {
+      ++offset;
+      ++char_index;
+      ++line;
+      line_start = char_index;
+      continue;
+    }
+    if (b == '\r') {
+      offset += (offset + 1 < size && bytes_[offset + 1] == '\n') ? 2 : 1;
+      ++char_index;
+      ++line;
+      line_start = char_index;
+      continue;
+    }
+    const SourcePosition pos{offset, line, char_index - line_start + 1};
+    if (b < 0x80) {
+      // C0 control or DEL; whitespace and NUL are exempt (13.2.3.5).
+      if (b != '\t' && b != '\f' && b != 0x00) {
+        errors_.push_back(
+            {ParseError::ControlCharacterInInputStream, pos, {}});
+      }
+      ++offset;
+      ++char_index;
+      continue;
+    }
+    const DecodedCodePoint decoded = decode_utf8(bytes_, offset);
+    if (!decoded.valid) {
+      // Invalid sequences decode to U+FFFD without a preprocessing error
+      // (matching the old decoder), but mark the document ill-formed.
+      wellformed_ = false;
+    } else if (is_noncharacter(decoded.code_point)) {
+      errors_.push_back({ParseError::NoncharacterInInputStream, pos, {}});
+    } else if (is_control(decoded.code_point)) {
+      // C1 controls (U+0080–U+009F); never whitespace or NUL.
+      errors_.push_back({ParseError::ControlCharacterInInputStream, pos, {}});
+    }
+    offset += decoded.length == 0 ? 1 : decoded.length;
+    ++char_index;
+  }
+  char_count_ = char_index;
+}
+
+InputStream::Decoded InputStream::decode_at(std::size_t offset) const {
+  if (offset == cache_offset_) return cache_;
+  Decoded out;
+  const auto b = static_cast<unsigned char>(bytes_[offset]);
+  if (b == '\r') {
+    // Newline normalization: CRLF -> LF, CR -> LF.
+    out.c = U'\n';
+    out.length =
+        (offset + 1 < bytes_.size() && bytes_[offset + 1] == '\n') ? 2 : 1;
+  } else if (b < 0x80) {
+    out.c = b;
+    out.length = 1;
+  } else {
+    const DecodedCodePoint decoded = decode_utf8(bytes_, offset);
+    out.c = decoded.code_point;
+    out.length =
+        decoded.length == 0 ? 1 : static_cast<std::uint32_t>(decoded.length);
+  }
+  cache_offset_ = offset;
+  cache_ = out;
+  return out;
 }
 
 char32_t InputStream::consume() {
-  if (cursor_ >= characters_.size()) {
-    cursor_ = characters_.size() + 1;  // make reconsume() of EOF a no-op pop
+  if (has_pending_) {
+    has_pending_ = false;
+    if (pending_char_ != kEof) {
+      prev_last_pos_ = last_pos_;
+      last_pos_ = pending_pos_;
+    }
+    return pending_char_;
+  }
+  consumed_anything_ = true;
+  if (cursor_ >= bytes_.size()) {
+    // EOF consumes leave positions untouched: last_position() keeps
+    // pointing at the final real character, as the old stream did.
+    last_char_ = kEof;
     return kEof;
   }
-  return characters_[cursor_++];
+  const Decoded decoded = decode_at(cursor_);
+  prev_last_pos_ = last_pos_;
+  last_pos_ = {cursor_, line_, column_};
+  cursor_ += decoded.length;
+  if (decoded.c == U'\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  last_char_ = decoded.c;
+  return decoded.c;
 }
 
 void InputStream::reconsume() {
-  if (cursor_ > 0) --cursor_;
-  cursor_ = std::min(cursor_, characters_.size());
+  assert(!has_pending_ && "only one pushback depth is supported");
+  if (!consumed_anything_) return;  // old stream: no-op at start of input
+  has_pending_ = true;
+  pending_char_ = last_char_;
+  if (last_char_ == kEof) {
+    // Reconsuming EOF keeps last_position() at the final real character.
+    pending_pos_ = position();
+    return;
+  }
+  pending_pos_ = last_pos_;
+  last_pos_ = prev_last_pos_;
 }
 
 char32_t InputStream::peek(std::size_t ahead) const {
-  const std::size_t index = cursor_ + ahead;
-  return index < characters_.size() ? characters_[index] : kEof;
+  std::size_t offset = cursor_;
+  if (has_pending_) {
+    if (ahead == 0) return pending_char_;
+    if (pending_char_ == kEof) return kEof;
+    --ahead;
+  }
+  for (;;) {
+    if (offset >= bytes_.size()) return kEof;
+    const Decoded decoded = decode_at(offset);
+    if (ahead == 0) return decoded.c;
+    --ahead;
+    offset += decoded.length;
+  }
+}
+
+std::string_view InputStream::scan_text_run(TextRunKind kind) {
+  const ByteTable& stop =
+      kStopTables[static_cast<std::size_t>(kind)][wellformed_ ? 0 : 1];
+  const std::size_t start = cursor_;
+  const std::size_t size = bytes_.size();
+  std::size_t i = start;
+  // Fused scan: find the run end while tracking the position of the run's
+  // final character so last_position() stays exact.  Columns advance once
+  // per code point (lead byte), not per byte.
+  std::size_t line = line_;
+  std::size_t column = column_;
+  std::size_t last_line = line_;
+  std::size_t last_column = column_;
+  std::size_t last_lead = start;
+  while (i < size) {
+    const auto b = static_cast<unsigned char>(bytes_[i]);
+    if (stop[b]) break;
+    if (!is_utf8_continuation(b)) {
+      last_lead = i;
+      last_line = line;
+      last_column = column;
+      if (b == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    ++i;
+  }
+  if (i == start) return {};
+  consumed_anything_ = true;
+  line_ = line;
+  column_ = column;
+  cursor_ = i;
+  prev_last_pos_ = last_pos_;
+  last_pos_ = {last_lead, last_line, last_column};
+  last_char_ = decode_at(last_lead).c;
+  return bytes_.substr(start, i - start);
 }
 
 bool InputStream::lookahead_matches_insensitive(std::string_view text) const {
@@ -89,30 +305,10 @@ bool InputStream::lookahead_matches(std::string_view text) const {
 }
 
 void InputStream::advance(std::size_t count) {
-  cursor_ = std::min(cursor_ + count, characters_.size());
-}
-
-SourcePosition InputStream::position() const {
-  return position_at(std::min(cursor_, characters_.size()));
-}
-
-SourcePosition InputStream::last_position() const {
-  return position_at(cursor_ > 0 ? std::min(cursor_, characters_.size()) - 1
-                                 : 0);
-}
-
-SourcePosition InputStream::position_at(std::size_t index) const {
-  SourcePosition pos;
-  pos.offset = index < byte_offsets_.size() ? byte_offsets_[index]
-                                            : byte_offsets_.back();
-  // Binary search for the line containing `index`.
-  const auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(),
-                                   static_cast<std::uint32_t>(index));
-  const std::size_t line_index =
-      static_cast<std::size_t>(it - line_starts_.begin()) - 1;
-  pos.line = line_index + 1;
-  pos.column = index - line_starts_[line_index] + 1;
-  return pos;
+  while (count > 0 && !at_eof()) {
+    consume();
+    --count;
+  }
 }
 
 }  // namespace hv::html

@@ -3,12 +3,24 @@
 // Decodes UTF-8 bytes into code points, normalizes newlines (CRLF and bare
 // CR become LF — "it replaces all CR characters with LF characters as CR is
 // not allowed in HTML", paper section 2.1), and reports the pre-tokenization
-// parse errors for surrogates, noncharacters, and control characters.
+// parse errors for noncharacters and control characters.
+//
+// Zero-copy design: unlike the original implementation, the stream never
+// materializes a char32_t buffer.  Construction makes one cheap pre-scan
+// over the raw bytes (collecting preprocessing errors, the UTF-8
+// well-formedness verdict, and the code-point count — the scan that used to
+// be a separate html::is_valid_utf8 pass in the pipeline); after that,
+// characters are decoded lazily at the byte cursor.  consume_text_run()
+// additionally hands the tokenizer whole byte runs of ordinary text so the
+// hot text states skip per-character decode/re-encode entirely — for
+// well-formed input the raw bytes ARE the UTF-8 re-encoding of the decoded
+// characters, so appending the run is byte-identical to the old path.
+//
+// The viewed bytes must outlive the stream (the parser keeps the source
+// buffer alive for the whole parse).
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <string>
 #include <string_view>
 #include <vector>
 
@@ -23,17 +35,46 @@ class InputStream {
   /// Sentinel for end of file (spec's "EOF character").
   static constexpr char32_t kEof = 0xFFFFFFFF;
 
+  /// Tokenizer text states that support run scanning; numbering matches
+  /// the first five TokenizerState values.
+  enum class TextRunKind : std::uint8_t {
+    kData = 0,
+    kRcdata = 1,
+    kRawtext = 2,
+    kScriptData = 3,
+    kPlaintext = 4,
+    // Quoted attribute values and name states (not TokenizerState-
+    // aligned).  Name runs additionally stop at uppercase ASCII so the
+    // tokenizer's lowercasing stays on the slow path.
+    kAttrValueDoubleQuoted = 5,
+    kAttrValueSingleQuoted = 6,
+    kTagName = 7,
+    kAttrName = 8,
+  };
+
   explicit InputStream(std::string_view bytes);
 
   /// Consumes and returns the next input character, or kEof.
   char32_t consume();
 
   /// Pushes the last consumed character back ("reconsume" in the spec).
+  /// Supports one pushback depth — every spec reconsume target consumes
+  /// before reconsuming again.
   void reconsume();
 
   /// Returns the character `ahead` positions past the cursor without
   /// consuming (0 = the next character consume() would return).
   char32_t peek(std::size_t ahead = 0) const;
+
+  /// Consumes and returns the maximal run of bytes that the given text
+  /// state treats as ordinary characters (stops at '<', NUL, CR, state
+  /// delimiters, and — for ill-formed documents — any non-ASCII byte).
+  /// Returns an empty view when the next character is not ordinary or a
+  /// reconsumed character is pending.
+  std::string_view consume_text_run(TextRunKind kind) {
+    if (has_pending_ || cursor_ >= bytes_.size()) return {};
+    return scan_text_run(kind);
+  }
 
   /// True when the next characters match `text` ASCII case-insensitively.
   bool lookahead_matches_insensitive(std::string_view text) const;
@@ -43,27 +84,64 @@ class InputStream {
   void advance(std::size_t count);
 
   /// Source position of the character at the cursor (for error events).
-  SourcePosition position() const;
+  SourcePosition position() const {
+    if (has_pending_) return pending_pos_;
+    return {cursor_, line_, column_};
+  }
   /// Source position of the most recently consumed character.
-  SourcePosition last_position() const;
+  SourcePosition last_position() const { return last_pos_; }
 
-  bool at_eof() const { return cursor_ >= characters_.size(); }
-  std::size_t size() const { return characters_.size(); }
+  bool at_eof() const {
+    if (has_pending_ && pending_char_ != kEof) return false;
+    return cursor_ >= bytes_.size();
+  }
+  /// Total number of code points in the stream (after newline
+  /// normalization), computed by the construction pre-scan.
+  std::size_t size() const { return char_count_; }
 
-  /// Errors found during decoding/preprocessing (control chars, surrogates,
+  /// True when the whole input was well-formed UTF-8 — the fused
+  /// replacement for the pipeline's separate is_valid_utf8 pass.
+  bool wellformed_utf8() const { return wellformed_; }
+
+  /// Errors found during decoding/preprocessing (control chars and
   /// noncharacters in the input stream).
   const std::vector<ParseErrorEvent>& preprocessing_errors() const {
     return errors_;
   }
 
  private:
-  SourcePosition position_at(std::size_t index) const;
+  struct Decoded {
+    char32_t c = kEof;
+    std::uint32_t length = 0;  // bytes, including a swallowed CRLF pair
+  };
 
-  std::u32string characters_;
-  std::vector<std::uint32_t> byte_offsets_;  // per character
-  std::vector<std::uint32_t> line_starts_;   // character index of each line
+  /// Decodes the (newline-normalized) character starting at `offset`.
+  Decoded decode_at(std::size_t offset) const;
+  std::string_view scan_text_run(TextRunKind kind);
+  void pre_scan();
+
+  std::string_view bytes_;
+  std::size_t cursor_ = 0;    // byte offset of the character at the cursor
+  std::size_t line_ = 1;      // position of the character at the cursor
+  std::size_t column_ = 1;
+  SourcePosition last_pos_;       // most recently consumed character
+  SourcePosition prev_last_pos_;  // the one before (restored on reconsume)
+
+  // One-deep pushback for reconsume().
+  bool consumed_anything_ = false;
+  bool has_pending_ = false;
+  char32_t pending_char_ = kEof;
+  SourcePosition pending_pos_;
+  char32_t last_char_ = kEof;
+
+  // Single-entry decode cache: peek(0) followed by consume() is the
+  // dominant access pattern.
+  mutable std::size_t cache_offset_ = static_cast<std::size_t>(-1);
+  mutable Decoded cache_;
+
+  bool wellformed_ = true;
+  std::size_t char_count_ = 0;
   std::vector<ParseErrorEvent> errors_;
-  std::size_t cursor_ = 0;
 };
 
 /// Character-class helpers shared by tokenizer and tree builder

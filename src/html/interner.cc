@@ -1,0 +1,96 @@
+#include "html/interner.h"
+
+#include <array>
+
+namespace hv::html {
+namespace {
+
+// Every entry is a string literal, so the views handed out for well-known
+// names point at static storage and outlive any document.  The table
+// covers the HTML element vocabulary (WHATWG section index), the SVG
+// camelCase names the tree builder's case adjustment can produce, the
+// MathML text-integration names, and the attribute names that dominate
+// crawled markup.  Missing a name here costs one per-document copy, never
+// correctness.
+constexpr std::array kWellKnown = {
+    // HTML elements.
+    "a", "abbr", "address", "area", "article", "aside", "audio", "b",
+    "base", "bdi", "bdo", "blockquote", "body", "br", "button", "canvas",
+    "caption", "center", "cite", "code", "col", "colgroup", "data",
+    "datalist", "dd", "del", "details", "dfn", "dialog", "dir", "div",
+    "dl", "dt", "em", "embed", "fieldset", "figcaption", "figure", "font",
+    "footer", "form", "frame", "frameset", "h1", "h2", "h3", "h4", "h5",
+    "h6", "head", "header", "hgroup", "hr", "html", "i", "iframe", "img",
+    "input", "ins", "kbd", "label", "legend", "li", "link", "main", "map",
+    "mark", "marquee", "menu", "meta", "meter", "nav", "nobr", "noembed",
+    "noframes", "noscript", "object", "ol", "optgroup", "option", "output",
+    "p", "param", "picture", "plaintext", "pre", "progress", "q", "rb",
+    "rp", "rt", "rtc", "ruby", "s", "samp", "script", "search", "section",
+    "select", "slot", "small", "source", "span", "strike", "strong",
+    "style", "sub", "summary", "sup", "table", "tbody", "td", "template",
+    "textarea", "tfoot", "th", "thead", "time", "title", "tr", "track",
+    "tt", "u", "ul", "var", "video", "wbr", "xmp",
+    // SVG elements (lowercase plus the adjusted camelCase spellings).
+    "svg", "g", "defs", "desc", "ellipse", "circle", "rect", "line",
+    "polyline", "polygon", "path", "text", "tspan", "image", "use",
+    "switch", "symbol", "marker", "mask", "metadata", "pattern", "stop",
+    "view", "filter", "animate", "set", "altGlyph", "altGlyphDef",
+    "altGlyphItem", "animateColor", "animateMotion", "animateTransform",
+    "clipPath", "feBlend", "feColorMatrix", "feComponentTransfer",
+    "feComposite", "feConvolveMatrix", "feDiffuseLighting",
+    "feDisplacementMap", "feDistantLight", "feDropShadow", "feFlood",
+    "feFuncA", "feFuncB", "feFuncG", "feFuncR", "feGaussianBlur",
+    "feImage", "feMerge", "feMergeNode", "feMorphology", "feOffset",
+    "fePointLight", "feSpecularLighting", "feSpotLight", "feTile",
+    "feTurbulence", "foreignObject", "glyphRef", "linearGradient",
+    "radialGradient", "textPath",
+    // MathML elements.
+    "math", "mi", "mo", "mn", "ms", "mtext", "mrow", "mfrac", "msqrt",
+    "msub", "msup", "msubsup", "munder", "mover", "munderover", "mtable",
+    "mtr", "mtd", "mspace", "mstyle", "merror", "mpadded", "mphantom",
+    "semantics", "annotation", "annotation-xml", "mglyph", "malignmark",
+    // Common attribute names (plus the adjusted foreign spellings).
+    "accept", "action", "align", "alt", "aria-hidden", "aria-label",
+    "async", "autocomplete", "autofocus", "autoplay", "background",
+    "border", "charset", "checked", "class", "color", "cols", "colspan",
+    "content", "controls", "coords", "crossorigin", "d", "data-id",
+    "datetime", "defer", "definitionURL", "disabled", "download",
+    "enctype", "fill", "for", "height", "hidden", "href", "hreflang",
+    "http-equiv", "id", "integrity", "itemprop", "itemscope", "itemtype",
+    "lang", "loading", "loop", "max", "maxlength", "media", "method",
+    "min", "multiple", "muted", "name", "nonce", "novalidate", "onclick",
+    "onerror", "onload", "open", "pattern", "ping", "placeholder",
+    "poster", "preload", "preserveAspectRatio", "property", "readonly",
+    "referrerpolicy", "rel", "required", "reversed", "role", "rows",
+    "rowspan", "sandbox", "scope", "selected", "shape", "size", "sizes",
+    "slot", "span", "spellcheck", "src", "srcdoc", "srclang", "srcset",
+    "start", "step", "stroke", "stroke-width", "style", "tabindex",
+    "target", "title", "transform", "translate", "type", "usemap",
+    "value", "viewBox", "width", "wrap", "xmlns",
+    // Foreign camelCase attributes the tree builder adjusts.
+    "gradientUnits", "gradientTransform", "patternUnits", "clipPathUnits",
+};
+
+const std::unordered_set<std::string_view>& well_known_table() {
+  static const std::unordered_set<std::string_view> table(kWellKnown.begin(),
+                                                          kWellKnown.end());
+  return table;
+}
+
+}  // namespace
+
+std::string_view well_known_name(std::string_view name) noexcept {
+  const auto& table = well_known_table();
+  const auto it = table.find(name);
+  return it == table.end() ? std::string_view{} : *it;
+}
+
+std::string_view NameInterner::intern_local(std::string_view name) {
+  if (const auto it = local_.find(name); it != local_.end()) return *it;
+  storage_.emplace_back(name);
+  const std::string_view view = storage_.back();
+  local_.insert(view);
+  return view;
+}
+
+}  // namespace hv::html

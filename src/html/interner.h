@@ -1,0 +1,77 @@
+// Name interning for element tag names and attribute names.
+//
+// Real-world markup draws almost every name from a small vocabulary (~110
+// HTML element names plus a few dozen common attributes), yet the old DOM
+// stored a heap std::string per node.  The interner maps each distinct
+// name to one stable std::string_view: well-known names resolve to static
+// storage shared by every document, and the rare unknown name (custom
+// elements, typos the tokenizer tolerated) is copied once into
+// per-interner storage.  Views stay valid for the interner's lifetime —
+// the owning Document keeps its interner alive as long as its nodes.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace hv::html {
+
+/// Returns the static interned view for a well-known HTML/SVG/MathML
+/// element or common attribute name, or an empty view when the name is not
+/// in the built-in table.  Thread-safe (the table is immutable).
+std::string_view well_known_name(std::string_view name) noexcept;
+
+/// well_known_name() behind a small thread-local direct-mapped cache.
+/// Because the underlying table is static and immutable, cached views stay
+/// valid forever and the cache warms across documents — a fresh parse hits
+/// on its very first <html>.  Names repeat constantly (<td>, class=...),
+/// so a hit costs one short string compare instead of a hash lookup.
+inline std::string_view well_known_name_cached(std::string_view name) {
+  if (name.empty()) return {};
+  static constexpr std::size_t kSlots = 128;
+  thread_local std::string_view cache[kSlots];
+  // Length, first, and last character distinguish the names that collide
+  // under length+first alone (td/tr/th, src/svg, ...).
+  const auto first = static_cast<unsigned char>(name.front());
+  const auto last = static_cast<unsigned char>(name.back());
+  const std::size_t slot =
+      (name.size() * 131 + first * 31 + last) & (kSlots - 1);
+  std::string_view& entry = cache[slot];
+  if (entry == name) return entry;
+  const std::string_view known = well_known_name(name);
+  if (!known.empty()) entry = known;
+  return known;
+}
+
+/// Per-document name interner.  Not thread-safe — each Document owns one.
+class NameInterner {
+ public:
+  NameInterner() = default;
+  NameInterner(const NameInterner&) = delete;
+  NameInterner& operator=(const NameInterner&) = delete;
+
+  /// Returns a view of `name` that remains valid for this interner's
+  /// lifetime, allocating a private copy only for names outside the
+  /// well-known table.
+  std::string_view intern(std::string_view name) {
+    if (const std::string_view known = well_known_name_cached(name);
+        !known.empty()) {
+      return known;
+    }
+    return intern_local(name);
+  }
+
+  /// Number of names that fell outside the well-known table.
+  std::size_t local_count() const noexcept { return local_.size(); }
+
+ private:
+  /// Interns a name that is not in the well-known table.
+  std::string_view intern_local(std::string_view name);
+
+  // deque never relocates elements, so views into `storage_` are stable.
+  std::deque<std::string> storage_;
+  std::unordered_set<std::string_view> local_;
+};
+
+}  // namespace hv::html

@@ -36,6 +36,7 @@ ParseResult parse(std::string_view html, const ParseOptions& options) {
   Tokenizer tokenizer(input, builder, result.errors);
   builder.set_tokenizer(&tokenizer);
   tokenizer.run();
+  result.input_utf8_valid = input.wellformed_utf8();
   return result;
 }
 
@@ -69,6 +70,7 @@ ParseResult parse_fragment(std::string_view html,
   }
   tokenizer.set_last_start_tag(context_tag);
   tokenizer.run();
+  result.input_utf8_valid = input.wellformed_utf8();
   return result;
 }
 

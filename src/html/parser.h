@@ -22,6 +22,10 @@ struct ParseResult {
   std::vector<ParseErrorEvent> errors;  ///< tokenizer + tree-builder errors
   Observations observations;            ///< tolerated structural repairs
 
+  /// True when the input was well-formed UTF-8, as determined by the input
+  /// stream's decoding pass (no separate validation scan needed).
+  bool input_utf8_valid = true;
+
   /// True when the document triggered no parse error and no repair.
   bool clean() const noexcept {
     return errors.empty() && observations.empty();

@@ -32,7 +32,7 @@ void serialize_node(const Node& node, std::string& out);
 void serialize_element(const Element& element, std::string& out) {
   out.push_back('<');
   out.append(element.tag_name());
-  for (const Attribute& attr : element.attributes()) {
+  for (const DomAttribute& attr : element.attributes()) {
     out.push_back(' ');
     out.append(attr.name);
     out.append("=\"");

@@ -1,11 +1,27 @@
 #include "html/tokenizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "html/encoding.h"
 
 namespace hv::html {
+
+namespace {
+
+std::atomic<bool> g_parser_fastpath{true};
+
+}  // namespace
+
+void set_parser_fastpath(bool enabled) noexcept {
+  g_parser_fastpath.store(enabled, std::memory_order_relaxed);
+}
+
+bool parser_fastpath_enabled() noexcept {
+  return g_parser_fastpath.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 constexpr char32_t kEofChar = InputStream::kEof;
@@ -218,11 +234,31 @@ void Tokenizer::flush_code_points_consumed_as_character_reference() {
 void Tokenizer::step() {
   using S = TokenizerState;
 
-  // Fast path: batch plain text runs in the pure-text states.
+  // Fast path: batch plain text runs in the pure-text states.  With the
+  // run-scanning path on, whole byte runs come straight off the input
+  // buffer (no decode/re-encode); the per-character loop still handles
+  // normalized newlines, reconsumed characters, and — for ill-formed
+  // documents — non-ASCII bytes, which run scanning excludes.
   if (state_ == S::kData || state_ == S::kRcdata || state_ == S::kRawtext ||
       state_ == S::kScriptData || state_ == S::kPlaintext) {
     bool consumed_any = false;
-    while (is_ordinary_text(input_.peek(), state_)) {
+    for (;;) {
+      if (fastpath_) {
+        // TextRunKind numbering matches the first five TokenizerState
+        // values, so the state maps directly.
+        const SourcePosition run_start = input_.position();
+        const std::string_view run = input_.consume_text_run(
+            static_cast<InputStream::TextRunKind>(state_));
+        if (!run.empty()) {
+          if (pending_text_.empty()) pending_text_position_ = run_start;
+          pending_text_.append(run);
+          consumed_any = true;
+          // The run is maximal, so the next character is a stop byte; fall
+          // through to the peek check (a normalized CR decodes to an
+          // ordinary '\n' and loops back here via the slow path).
+        }
+      }
+      if (!is_ordinary_text(input_.peek(), state_)) break;
       emit_char(input_.consume());
       consumed_any = true;
     }
@@ -359,6 +395,11 @@ void Tokenizer::step() {
       return;
     }
     case S::kTagName: {
+      if (fastpath_) {
+        const std::string_view run =
+            input_.consume_text_run(InputStream::TextRunKind::kTagName);
+        if (!run.empty()) current_tag_.name.append(run);
+      }
       const char32_t c = input_.consume();
       if (is_ascii_whitespace(c)) {
         state_ = S::kBeforeAttributeName;
@@ -714,6 +755,11 @@ void Tokenizer::step() {
       return;
     }
     case S::kAttributeName: {
+      if (fastpath_) {
+        const std::string_view run =
+            input_.consume_text_run(InputStream::TextRunKind::kAttrName);
+        if (!run.empty()) current_attr_name_.append(run);
+      }
       const char32_t c = input_.consume();
       if (is_ascii_whitespace(c) || c == U'/' || c == U'>' || c == kEofChar) {
         finish_attribute_name();
@@ -778,6 +824,15 @@ void Tokenizer::step() {
     case S::kAttributeValueSingleQuoted: {
       const char32_t quote =
           state_ == S::kAttributeValueDoubleQuoted ? U'"' : U'\'';
+      if (fastpath_) {
+        // Batch the plain bytes of the value; the consume below then sees
+        // the delimiter/special character that stopped the run.
+        const std::string_view run = input_.consume_text_run(
+            state_ == S::kAttributeValueDoubleQuoted
+                ? InputStream::TextRunKind::kAttrValueDoubleQuoted
+                : InputStream::TextRunKind::kAttrValueSingleQuoted);
+        if (!run.empty()) current_attr_value_.append(run);
+      }
       const char32_t c = input_.consume();
       if (c == quote) {
         state_ = S::kAfterAttributeValueQuoted;

@@ -103,6 +103,12 @@ enum class TokenizerState : std::uint8_t {
   kNumericCharacterReferenceEnd,
 };
 
+/// Globally enables/disables the byte-run fast path (input stream run
+/// scanning).  Defaults to on; the golden-equivalence tests flip it off to
+/// compare the optimized path against the per-character reference path.
+void set_parser_fastpath(bool enabled) noexcept;
+bool parser_fastpath_enabled() noexcept;
+
 class Tokenizer {
  public:
   /// `errors` outlives the tokenizer and accumulates every parse error.
@@ -168,6 +174,7 @@ class Tokenizer {
 
   TokenizerState state_ = TokenizerState::kData;
   TokenizerState return_state_ = TokenizerState::kData;
+  const bool fastpath_ = parser_fastpath_enabled();
 
   Token current_tag_;
   bool current_tag_is_start_ = false;

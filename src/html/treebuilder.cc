@@ -190,13 +190,13 @@ bool TreeBuilder::is_html_ip(const Element* element) const {
 }
 
 void TreeBuilder::error(ParseError code, const Token& token,
-                        std::string detail) {
-  errors_.push_back({code, token.position, std::move(detail)});
+                        std::string_view detail) {
+  errors_.push_back({code, token.position, std::string(detail)});
 }
 
 void TreeBuilder::observe(ObservationKind kind, const Token& token,
-                          std::string detail) {
-  observations_.push_back({kind, token.position, std::move(detail)});
+                          std::string_view detail) {
+  observations_.push_back({kind, token.position, std::string(detail)});
 }
 
 void TreeBuilder::init_fragment(std::string_view context_tag) {
@@ -394,9 +394,9 @@ Element* TreeBuilder::create_element_for_token(const Token& token,
   Element* element = document_.create_element(tag, ns);
   element->start_position_ = token.position;
   for (const Attribute& attr : token.attributes) {
-    Attribute adjusted = attr;
-    if (ns == Namespace::kMathMl && adjusted.name == "definitionurl") {
-      adjusted.name = "definitionURL";
+    std::string_view name = attr.name;
+    if (ns == Namespace::kMathMl && name == "definitionurl") {
+      name = "definitionURL";
     } else if (ns == Namespace::kSvg) {
       // A few camelCase SVG attributes the study's corpus uses.
       static const std::array<std::pair<std::string_view, std::string_view>,
@@ -408,13 +408,13 @@ Element* TreeBuilder::create_element_for_token(const Token& token,
                        {"patternunits", "patternUnits"},
                        {"clippathunits", "clipPathUnits"}}};
       for (const auto& [lower, proper] : kAttrMap) {
-        if (adjusted.name == lower) {
-          adjusted.name = std::string(proper);
+        if (name == lower) {
+          name = proper;
           break;
         }
       }
     }
-    element->add_attribute_if_missing(adjusted);
+    element->add_attribute_if_missing(name, attr.value);
   }
   return element;
 }
@@ -792,7 +792,7 @@ void TreeBuilder::push_formatting(Element* element, const Token& token) {
         entry.element->ns() == element->ns() &&
         entry.element->attributes().size() == element->attributes().size()) {
       bool same = true;
-      for (const Attribute& attr : element->attributes()) {
+      for (const DomAttribute& attr : element->attributes()) {
         const auto other = entry.element->get_attribute(attr.name);
         if (!other.has_value() || *other != attr.value) {
           same = false;

@@ -179,9 +179,10 @@ class TreeBuilder final : public TokenSink {
   bool adoption_agency(Token& token);  // returns false => act as any-other
 
   // --- misc helpers ----------------------------------------------------------
-  void error(ParseError code, const Token& token, std::string detail = {});
+  void error(ParseError code, const Token& token,
+             std::string_view detail = {});
   void observe(ObservationKind kind, const Token& token,
-               std::string detail = {});
+               std::string_view detail = {});
   void switch_tokenizer_for(const Token& start_tag);
   void update_cdata_flag();
   void acknowledge_self_closing(Token& token);

@@ -1062,7 +1062,7 @@ void TreeBuilder::close_cell() {
       !current_node()->is_html("th")) {
     errors_.push_back({ParseError::MisnestedTag,
                        current_node()->start_position(),
-                       current_node()->tag_name()});
+                       std::string(current_node()->tag_name())});
   }
   while (!open_elements_.empty()) {
     Element* top = open_elements_.back();
@@ -1383,7 +1383,7 @@ void TreeBuilder::process_in_foreign_content(Token& token) {
       }
       Element* node = current_node();
       if (node == nullptr) return;
-      std::string lowered = node->tag_name();
+      std::string lowered(node->tag_name());
       std::transform(lowered.begin(), lowered.end(), lowered.begin(),
                      [](unsigned char c) { return std::tolower(c); });
       if (lowered != token.name) {
@@ -1400,7 +1400,7 @@ void TreeBuilder::process_in_foreign_content(Token& token) {
           process_by_mode(token, mode_);
           return;
         }
-        std::string candidate_lower = candidate->tag_name();
+        std::string candidate_lower(candidate->tag_name());
         std::transform(candidate_lower.begin(), candidate_lower.end(),
                        candidate_lower.begin(),
                        [](unsigned char c) { return std::tolower(c); });

@@ -51,7 +51,7 @@ void TreeBuilder::acknowledge_self_closing(Token& token) {
 void TreeBuilder::merge_attributes_into(Element* element, const Token& token) {
   if (element == nullptr) return;
   for (const Attribute& attr : token.attributes) {
-    element->add_attribute_if_missing(attr);
+    element->add_attribute_if_missing(attr.name, attr.value);
   }
 }
 
@@ -108,7 +108,7 @@ void TreeBuilder::stop_parsing(const Token& eof_token) {
   bool generic_reported = false;
   for (const Element* element : open_elements_) {
     if (element->ns() != Namespace::kHtml) continue;
-    const std::string& tag = element->tag_name();
+    const std::string_view tag = element->tag_name();
     if (tag == "select") {
       // DE1/DE2-style leak: the parser silently closes the element at EOF
       // (spec 13.2.5.2), absorbing all trailing content.

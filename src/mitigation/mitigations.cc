@@ -68,7 +68,7 @@ ScriptInAttributeScan scan_script_in_attributes(
   document.for_each([&scan](const html::Node& node) {
     const html::Element* element = node.as_element();
     if (element == nullptr) return;
-    for (const html::Attribute& attr : element->attributes()) {
+    for (const html::DomAttribute& attr : element->attributes()) {
       if (!icontains(attr.value, "<script")) continue;
       ScriptInAttributeHit hit;
       hit.element_tag = element->tag_name();
@@ -86,7 +86,7 @@ UrlNewlineScan scan_url_newlines(const html::Document& document) {
   document.for_each([&scan](const html::Node& node) {
     const html::Element* element = node.as_element();
     if (element == nullptr) return;
-    for (const html::Attribute& attr : element->attributes()) {
+    for (const html::DomAttribute& attr : element->attributes()) {
       if (!net::is_url_attribute(attr.name)) continue;
       if (net::url_has_newline(attr.value)) ++scan.urls_with_newline;
       if (net::url_has_newline_and_lt(attr.value)) {

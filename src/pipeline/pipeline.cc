@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 
@@ -8,7 +9,6 @@
 #include <stdexcept>
 #include <thread>
 
-#include "html/encoding.h"
 #include "mitigation/mitigations.h"
 #include "net/http.h"
 #include "obs/obs.h"
@@ -118,13 +118,16 @@ bool analyze_capture(const core::Checker& checker, std::string_view domain,
     if (counters != nullptr) ++counters->non_html_records;
     return false;
   }
-  // The paper's encoding filter: only UTF-8-decodable documents.
-  if (!html::is_valid_utf8(response->body)) {
+  // The paper's encoding filter: only UTF-8-decodable documents.  The
+  // verdict now falls out of the parser's own decoding pass
+  // (ParseResult::input_utf8_valid), so the old separate
+  // html::is_valid_utf8 scan over the body is gone.
+  const html::ParseResult parsed = html::parse(response->body);
+  if (!parsed.input_utf8_valid) {
     if (counters != nullptr) ++counters->non_utf8_filtered;
     return false;
   }
 
-  const html::ParseResult parsed = html::parse(response->body);
   const core::CheckResult checked = checker.check(parsed, response->body);
   outcome->analyzable = true;
   outcome->violations = checked.present;
@@ -137,10 +140,10 @@ bool analyze_capture(const core::Checker& checker, std::string_view domain,
       mitigation::scan_script_in_attributes(*parsed.document);
   outcome->script_in_attribute = script_scan.any();
   outcome->script_in_attr_affected = script_scan.any_affected();
-  outcome->uses_math =
-      !parsed.document->get_elements_by_tag("math", true).empty();
-  outcome->uses_svg =
-      !parsed.document->get_elements_by_tag("svg", true).empty();
+  // Foreign-content usage was observed at parse time by the Document
+  // factory; no full-tree traversal needed.
+  outcome->uses_math = parsed.document->uses_math();
+  outcome->uses_svg = parsed.document->uses_svg();
   if (counters != nullptr) ++counters->pages_checked;
   return true;
 }
@@ -218,9 +221,9 @@ void StudyPipeline::run_snapshot(int year_index) {
   obs::Tracer& tracer = obs::default_tracer();
   obs::Span snapshot_span(tracer, "snapshot:" + std::string(label));
 
-  // Step 1: metadata — which captures exist per domain (capped).
+  // Step 1: metadata — which captures exist per domain (capped).  Each
+  // capture knows its own domain, so a task is just the capture list.
   struct Task {
-    const std::string* domain;
     std::vector<const archive::CdxEntry*> captures;
   };
   archive::SnapshotPaths paths = snapshots_.paths_for(label);
@@ -235,15 +238,17 @@ void StudyPipeline::run_snapshot(int year_index) {
     domains = index.domains();
     tasks.reserve(domains.size());
     for (const std::string& domain : domains) {
-      tasks.push_back(
-          {&domain, index.lookup(domain, config_.pages_per_domain)});
+      tasks.push_back({index.lookup(domain, config_.pages_per_domain)});
       store_.mark_found(domain, year_index);
     }
     span.arg("domains", std::to_string(domains.size()));
   }
 
   // Steps 2+3: crawl and check on a worker pool; every worker owns its own
-  // file handle for random-access WARC reads.
+  // file handle for random-access WARC reads.  Workers claim domains in
+  // batches (one atomic per batch, not per domain) and read each batch's
+  // captures in WARC-offset order, so the file is walked forward through
+  // the readahead buffer instead of seeking domain by domain.
   std::atomic<std::size_t> next_task{0};
   std::atomic<std::size_t> records_read{0};
   std::atomic<std::size_t> non_html{0};
@@ -251,21 +256,40 @@ void StudyPipeline::run_snapshot(int year_index) {
   std::atomic<std::size_t> http_errors{0};
   std::atomic<std::size_t> checked{0};
 
+  // Big enough to amortize the atomic and open a sequential read window,
+  // small enough that the tail stays balanced across the pool.
+  const std::size_t batch_size = std::max<std::size_t>(
+      1, tasks.size() / (static_cast<std::size_t>(config_.threads) * 8));
+
   const auto worker = [&](int worker_index) {
     obs::Span worker_span(tracer, "worker:" + std::to_string(worker_index),
                           "pool");
 #ifndef HV_OBS_DISABLED
     const auto worker_start = std::chrono::steady_clock::now();
 #endif
-    std::ifstream warc_in(paths.warc, std::ios::binary);
+    std::vector<char> readahead(256 * 1024);
+    std::ifstream warc_in;
+    warc_in.rdbuf()->pubsetbuf(readahead.data(),
+                               static_cast<std::streamsize>(readahead.size()));
+    warc_in.open(paths.warc, std::ios::binary);
     archive::WarcReader reader(warc_in);
     PipelineCounters local;
+    std::vector<const archive::CdxEntry*> batch_captures;
     while (true) {
-      const std::size_t task_index =
-          next_task.fetch_add(1, std::memory_order_relaxed);
-      if (task_index >= tasks.size()) break;
-      const Task& task = tasks[task_index];
-      for (const archive::CdxEntry* capture : task.captures) {
+      const std::size_t begin =
+          next_task.fetch_add(batch_size, std::memory_order_relaxed);
+      if (begin >= tasks.size()) break;
+      const std::size_t end = std::min(tasks.size(), begin + batch_size);
+      batch_captures.clear();
+      for (std::size_t t = begin; t < end; ++t) {
+        batch_captures.insert(batch_captures.end(), tasks[t].captures.begin(),
+                              tasks[t].captures.end());
+      }
+      std::sort(batch_captures.begin(), batch_captures.end(),
+                [](const archive::CdxEntry* a, const archive::CdxEntry* b) {
+                  return a->offset < b->offset;
+                });
+      for (const archive::CdxEntry* capture : batch_captures) {
         std::optional<archive::WarcRecord> record;
         {
           const obs::ScopedTimer crawl_timer(metrics.crawl_seconds);
@@ -277,7 +301,7 @@ void StudyPipeline::run_snapshot(int year_index) {
         PageOutcome outcome;
         {
           const obs::ScopedTimer check_timer(metrics.check_seconds);
-          analyze_capture(checker_, *task.domain, year_index,
+          analyze_capture(checker_, capture->domain, year_index,
                           record->payload, &outcome, &local);
         }
         if (outcome.analyzable) {
@@ -343,7 +367,20 @@ void StudyPipeline::run_snapshot(int year_index) {
 void StudyPipeline::run_all() {
   obs::Span run_span(obs::default_tracer(), "run_all");
   build_archives();
-  for (int y = 0; y < kYearCount; ++y) run_snapshot(y);
+  if (!config_.overlap_snapshots) {
+    for (int y = 0; y < kYearCount; ++y) run_snapshot(y);
+    return;
+  }
+  // Pairwise overlap: two snapshots in flight bounds memory (each run
+  // holds its CDX index) while hiding the serial metadata/store stages.
+  for (int y = 0; y < kYearCount; y += 2) {
+    std::thread companion;
+    if (y + 1 < kYearCount) {
+      companion = std::thread([this, y] { run_snapshot(y + 1); });
+    }
+    run_snapshot(y);
+    if (companion.joinable()) companion.join();
+  }
 }
 
 PipelineCounters StudyPipeline::counters() const noexcept {

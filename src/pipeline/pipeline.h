@@ -29,6 +29,11 @@ struct PipelineConfig {
   std::filesystem::path workdir;  ///< where the WARC snapshots live
   int threads = 0;                ///< 0 = hardware concurrency
   std::size_t pages_per_domain = 100;  ///< metadata cap, as in the paper
+  /// When true, run_all overlaps two snapshot runs at a time: snapshots
+  /// are independent WARC files, the result store is mutex-protected, and
+  /// counters are atomic, so one snapshot's metadata/store stages can
+  /// hide behind the other's crawl+check.  Doubles peak thread count.
+  bool overlap_snapshots = false;
 };
 
 /// Snapshot of the pipeline's bookkeeping counters.  `analyze_capture`

@@ -120,7 +120,8 @@ std::string Sanitizer::sanitize_once(std::string_view dirty) const {
 
     const bool allowed =
         allowed_tags.count(element->tag_name()) > 0 ||
-        config_.extra_allowed_tags.count(element->tag_name()) > 0;
+        config_.extra_allowed_tags.count(std::string(element->tag_name())) >
+            0;
     const bool dangerous = element->is_html("script") ||
                            element->is_html("iframe") ||
                            element->is_html("object") ||
@@ -143,12 +144,12 @@ std::string Sanitizer::sanitize_once(std::string_view dirty) const {
     }
     // Attribute policy.
     std::vector<std::string> drop;
-    for (const html::Attribute& attr : element->attributes()) {
+    for (const html::DomAttribute& attr : element->attributes()) {
       if (is_event_handler(attr.name) ||
           allowed_attrs.find(attr.name) == allowed_attrs.end() ||
           ((attr.name == "href" || attr.name == "src") &&
            is_script_url(attr.value))) {
-        drop.push_back(attr.name);
+        drop.push_back(std::string(attr.name));
       }
     }
     for (const std::string& name : drop) element->remove_attribute(name);
@@ -208,7 +209,7 @@ MutationDemo demonstrate_mutation(const Sanitizer& sanitizer,
     const Element* element = node.as_element();
     if (element == nullptr || element->ns() != Namespace::kHtml) return;
     if (element->tag_name() == "script") demo.executes_script = true;
-    for (const html::Attribute& attr : element->attributes()) {
+    for (const html::DomAttribute& attr : element->attributes()) {
       if (is_event_handler(attr.name)) demo.executes_script = true;
     }
   });

@@ -92,8 +92,8 @@ TEST(Dom, Attributes) {
   EXPECT_EQ(*element->get_attribute("src"), "/b.png");
   EXPECT_FALSE(element->get_attribute("alt").has_value());
 
-  EXPECT_TRUE(element->add_attribute_if_missing({"alt", "x"}));
-  EXPECT_FALSE(element->add_attribute_if_missing({"alt", "y"}));
+  EXPECT_TRUE(element->add_attribute_if_missing("alt", "x"));
+  EXPECT_FALSE(element->add_attribute_if_missing("alt", "y"));
   EXPECT_EQ(*element->get_attribute("alt"), "x");
 
   element->remove_attribute("src");
@@ -112,7 +112,7 @@ TEST(Dom, ForEachVisitsPreOrder) {
   std::vector<std::string> tags;
   result.document->for_each([&tags](const Node& node) {
     if (const Element* element = node.as_element()) {
-      tags.push_back(element->tag_name());
+      tags.emplace_back(element->tag_name());
     }
   });
   EXPECT_EQ(tags, (std::vector<std::string>{"html", "head", "body", "div",

@@ -1,0 +1,376 @@
+// Golden equivalence: the zero-copy fast path must be invisible.
+//
+// The input stream's run scanning (consume_text_run) and the tokenizer's
+// batched text states are pure optimizations — with the fast path toggled
+// off, every character goes through the per-character spec path.  These
+// tests drive identical inputs through both configurations and demand
+// bit-identical results at every layer: token streams, parse errors,
+// observations, serialized trees, checker verdicts.
+//
+// A reference re-implementation of the old eager decoder additionally
+// pins down the InputStream's lazy consume()/position() behavior
+// character by character.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "corpus/page_builder.h"
+#include "corpus/rng.h"
+#include "html/encoding.h"
+#include "html_test_util.h"
+
+namespace hv::html {
+namespace {
+
+/// Runs a callback once per fast-path setting, restoring the default.
+class FastpathGuard {
+ public:
+  explicit FastpathGuard(bool enabled) { set_parser_fastpath(enabled); }
+  ~FastpathGuard() { set_parser_fastpath(true); }
+};
+
+std::string dump_position(const SourcePosition& pos) {
+  std::ostringstream out;
+  out << pos.offset << ":" << pos.line << ":" << pos.column;
+  return out.str();
+}
+
+std::string dump_errors(const std::vector<ParseErrorEvent>& errors) {
+  std::ostringstream out;
+  for (const ParseErrorEvent& event : errors) {
+    out << to_string(event.code) << "@" << dump_position(event.position)
+        << "[" << event.detail << "]\n";
+  }
+  return out.str();
+}
+
+std::string dump_observations(const Observations& observations) {
+  std::ostringstream out;
+  for (const Observation& observation : observations) {
+    out << to_string(observation.kind) << "@"
+        << dump_position(observation.position) << "[" << observation.detail
+        << "]\n";
+  }
+  return out.str();
+}
+
+std::string dump_tokens(const std::vector<Token>& tokens) {
+  std::ostringstream out;
+  for (const Token& token : tokens) {
+    out << static_cast<int>(token.type) << " name=" << token.name
+        << " data=" << token.data << " pos=" << dump_position(token.position)
+        << " self_closing=" << token.self_closing;
+    for (const Attribute& attr : token.attributes) {
+      out << " [" << attr.name << "=" << attr.value << "]";
+    }
+    for (const std::string& dropped : token.dropped_duplicate_attributes) {
+      out << " dropped=" << dropped;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+/// Everything observable from one full run of the measurement stack.
+struct GoldenRun {
+  std::string tokens;
+  std::string tokenizer_errors;
+  std::string parse_errors;
+  std::string observations;
+  std::string serialized;
+  bool utf8_valid = false;
+  bool uses_math = false;
+  bool uses_svg = false;
+  std::string checker_verdict;
+  std::string fragment_serialized;
+  std::string fragment_errors;
+};
+
+GoldenRun run_stack(std::string_view input, bool fastpath) {
+  const FastpathGuard guard(fastpath);
+  GoldenRun run;
+
+  const testing::TokenizeResult tokenized = testing::tokenize(input);
+  run.tokens = dump_tokens(tokenized.tokens);
+  run.tokenizer_errors = dump_errors(tokenized.errors);
+
+  const ParseResult parsed = parse(input);
+  run.parse_errors = dump_errors(parsed.errors);
+  run.observations = dump_observations(parsed.observations);
+  run.serialized = serialize(*parsed.document);
+  run.utf8_valid = parsed.input_utf8_valid;
+  run.uses_math = parsed.document->uses_math();
+  run.uses_svg = parsed.document->uses_svg();
+
+  const core::Checker checker;
+  const core::CheckResult checked = checker.check(parsed, input);
+  run.checker_verdict = checked.present.to_string();
+
+  const ParseResult fragment = parse_fragment(input);
+  run.fragment_serialized = serialize(*fragment.document);
+  run.fragment_errors = dump_errors(fragment.errors);
+  return run;
+}
+
+void expect_equivalent(std::string_view input, std::string_view label) {
+  const GoldenRun golden = run_stack(input, /*fastpath=*/false);
+  const GoldenRun fast = run_stack(input, /*fastpath=*/true);
+  EXPECT_EQ(golden.tokens, fast.tokens) << label;
+  EXPECT_EQ(golden.tokenizer_errors, fast.tokenizer_errors) << label;
+  EXPECT_EQ(golden.parse_errors, fast.parse_errors) << label;
+  EXPECT_EQ(golden.observations, fast.observations) << label;
+  EXPECT_EQ(golden.serialized, fast.serialized) << label;
+  EXPECT_EQ(golden.utf8_valid, fast.utf8_valid) << label;
+  EXPECT_EQ(golden.uses_math, fast.uses_math) << label;
+  EXPECT_EQ(golden.uses_svg, fast.uses_svg) << label;
+  EXPECT_EQ(golden.checker_verdict, fast.checker_verdict) << label;
+  EXPECT_EQ(golden.fragment_serialized, fast.fragment_serialized) << label;
+  EXPECT_EQ(golden.fragment_errors, fast.fragment_errors) << label;
+}
+
+// --- corpus pages: every injected violation family, quirks, years -------
+
+TEST(GoldenEquivalence, CorpusPagesPerViolation) {
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    corpus::PageSpec spec;
+    spec.domain = "golden.example";
+    spec.path = "/v" + std::to_string(v);
+    spec.year = 2015 + static_cast<int>(v % 8);
+    spec.seed = 77 + v;
+    spec.violations.set(v);
+    expect_equivalent(corpus::render_page(spec), "violation " +
+                                                     std::to_string(v));
+  }
+}
+
+TEST(GoldenEquivalence, CorpusPagesCleanAndQuirks) {
+  for (int year = 2015; year <= 2022; ++year) {
+    corpus::PageSpec spec;
+    spec.domain = "golden.example";
+    spec.year = year;
+    spec.seed = static_cast<std::uint64_t>(year);
+    spec.quirk_uses_math = (year % 2) == 0;
+    spec.quirk_uses_svg = (year % 3) == 0;
+    spec.quirk_newline_in_url = (year % 2) == 1;
+    expect_equivalent(corpus::render_page(spec),
+                      "clean year " + std::to_string(year));
+  }
+}
+
+TEST(GoldenEquivalence, CorpusFragments) {
+  for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+    corpus::PageSpec spec;
+    spec.domain = "golden.example";
+    spec.seed = 901 + v;
+    spec.violations.set(v);
+    expect_equivalent(corpus::render_fragment(spec),
+                      "fragment " + std::to_string(v));
+  }
+}
+
+TEST(GoldenEquivalence, NonUtf8Pages) {
+  corpus::PageSpec spec;
+  spec.domain = "golden.example";
+  spec.seed = 13;
+  expect_equivalent(corpus::render_non_utf8_page(spec), "non-utf8 page");
+}
+
+// --- adversarial soup ---------------------------------------------------
+
+std::string random_soup(std::uint64_t seed, std::size_t operations) {
+  static constexpr const char* kTags[] = {
+      "div", "p",     "b",      "a",     "span",  "table", "tr",
+      "td",  "ul",    "li",     "svg",   "math",  "mtext", "style",
+      "script", "title", "textarea", "template", "select", "frameset"};
+  static constexpr const char* kChunks[] = {
+      "text ", "&amp;", "&bogus;", "&#x41;", "&#xD800;", "<!--c-->",
+      "-->",   "\"",    "'",       "<",      ">",        "=",
+      " x=1 ", "\r\n",  "\r",      "<?pi?>", "</>",      "<!DOCTYPE html>",
+      "\xC3\xA9", "\xE2\x82\xAC", "\xF0\x9F\x98\x80", "\xC3", "\xFF",
+      "--!>",  "<![CDATA[x]]>", "A<B", "UPPER CASE"};
+  corpus::SplitMix64 rng(seed);
+  std::string soup;
+  soup.reserve(operations * 10);
+  for (std::size_t i = 0; i < operations; ++i) {
+    switch (rng.below(5)) {
+      case 0:
+        soup.push_back('<');
+        soup += kTags[rng.below(std::size(kTags))];
+        if (rng.chance(0.5)) {
+          soup += " ATTR=\"v";
+          if (rng.chance(0.8)) soup += "\"";
+        }
+        if (rng.chance(0.9)) soup += ">";
+        break;
+      case 1:
+        soup += "</";
+        soup += kTags[rng.below(std::size(kTags))];
+        if (rng.chance(0.9)) soup += ">";
+        break;
+      default:
+        soup += kChunks[rng.below(std::size(kChunks))];
+        break;
+    }
+  }
+  return soup;
+}
+
+TEST(GoldenEquivalence, RandomSoup) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    expect_equivalent(random_soup(seed, 160), "soup " + std::to_string(seed));
+  }
+}
+
+// --- handcrafted edge cases for the run scanner -------------------------
+
+TEST(GoldenEquivalence, EdgeCases) {
+  const char* cases[] = {
+      "",
+      "plain text only",
+      "a\rb\r\nc\nd",
+      "<p>text\rwith\r\nnewlines</p>",
+      std::string("NUL\0byte", 8).c_str(),  // note: c_str truncates at NUL
+      "<title>rcdata &amp; text\r\n</title>",
+      "<textarea>one<two&amp;\r</textarea>",
+      "<style>raw < text & stuff\r\n</style>",
+      "<script>if (a < b && c > d) { }\r</script>",
+      "<script><!-- escaped <script> --></script>",
+      "<plaintext>everything goes \r\n <here>",
+      "<DIV CLASS=\"X\">UPPERCASE TAGS</DIV>",
+      "<div class='single\r\nquoted'>x</div>",
+      "<div class=unquoted>y</div>",
+      "<div a=1 a=2 b=3>dupes</div>",
+      "<input type=text value='a&notit;b'>",
+      "text &amp; entity &#x48;&#101;&unknown; done",
+      "<svg viewBox=\"0 0 1 1\"><path d=\"M0 0\"/></svg>",
+      "<math><mi>x</mi><annotation-xml>t</annotation-xml></math>",
+      "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80 multibyte",
+      "broken \xC3 utf8 \xFF bytes \x80 here",
+      "\xEF\xBB\xBFBOM then text",
+      "ends with CR\r",
+      "ends with lone lead \xE2\x82",
+      "<!-- comment with \r\n CRLF -->",
+      "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.01//EN\">x",
+      "<table><tr><td>cell</table>trailing",
+      "<b><i>misnested</b></i>",
+  };
+  int index = 0;
+  for (const char* raw : cases) {
+    expect_equivalent(raw, "edge case " + std::to_string(index++));
+  }
+  // NUL bytes survive through std::string construction with explicit size.
+  expect_equivalent(std::string("NUL\0<di\0v>text\0</div>", 21),
+                    "embedded NULs");
+  expect_equivalent(std::string("<p a\0b=\"x\0y\">\0</p>", 18),
+                    "NUL in names and values");
+}
+
+// --- reference decoder: the old eager materialization, re-implemented ---
+
+/// What the pre-rewrite InputStream computed up front: the normalized
+/// code-point sequence plus a SourcePosition per character.
+struct ReferenceStream {
+  std::vector<char32_t> chars;
+  std::vector<SourcePosition> positions;
+  bool wellformed = true;
+
+  explicit ReferenceStream(std::string_view bytes) {
+    std::size_t offset = 0;
+    std::size_t line = 1;
+    std::size_t column = 1;
+    while (offset < bytes.size()) {
+      const std::size_t start = offset;
+      char32_t c;
+      const auto b = static_cast<unsigned char>(bytes[offset]);
+      if (b == '\r') {
+        c = U'\n';
+        offset += (offset + 1 < bytes.size() && bytes[offset + 1] == '\n')
+                      ? 2
+                      : 1;
+      } else if (b < 0x80) {
+        c = b;
+        ++offset;
+      } else {
+        const DecodedCodePoint decoded = decode_utf8(bytes, offset);
+        c = decoded.code_point;
+        offset += decoded.length == 0 ? 1 : decoded.length;
+        if (!decoded.valid) wellformed = false;
+      }
+      chars.push_back(c);
+      positions.push_back({start, line, column});
+      if (c == U'\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  }
+};
+
+void expect_stream_matches_reference(std::string_view bytes,
+                                     std::string_view label) {
+  const ReferenceStream reference(bytes);
+  InputStream stream(bytes);
+  EXPECT_EQ(stream.size(), reference.chars.size()) << label;
+  EXPECT_EQ(stream.wellformed_utf8(), reference.wellformed) << label;
+  for (std::size_t i = 0; i < reference.chars.size(); ++i) {
+    EXPECT_EQ(stream.position().offset, reference.positions[i].offset)
+        << label << " char " << i;
+    const char32_t c = stream.consume();
+    ASSERT_EQ(c, reference.chars[i]) << label << " char " << i;
+    EXPECT_EQ(stream.last_position().offset, reference.positions[i].offset)
+        << label << " char " << i;
+    EXPECT_EQ(stream.last_position().line, reference.positions[i].line)
+        << label << " char " << i;
+    EXPECT_EQ(stream.last_position().column, reference.positions[i].column)
+        << label << " char " << i;
+  }
+  EXPECT_TRUE(stream.at_eof()) << label;
+  EXPECT_EQ(stream.consume(), InputStream::kEof) << label;
+}
+
+TEST(GoldenEquivalence, StreamMatchesEagerReference) {
+  const std::string_view cases[] = {
+      "",
+      "ascii only text",
+      "line one\nline two\nline three",
+      "crlf\r\nand cr\rand lf\n",
+      "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80",
+      "bad \xC3 seq \xFF and \x80 tail \xE2\x82",
+      "\r\r\n\n\r",
+      std::string_view("with\0nul", 8),
+      "<html><body a='b'>mark\xE1\x88\xB4up</body></html>",
+  };
+  int index = 0;
+  for (const std::string_view bytes : cases) {
+    expect_stream_matches_reference(bytes,
+                                    "case " + std::to_string(index++));
+  }
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    expect_stream_matches_reference(random_soup(seed, 120),
+                                    "soup " + std::to_string(seed));
+  }
+}
+
+/// Reconsume/pushback semantics against the same reference.
+TEST(GoldenEquivalence, StreamReconsumeMatchesReference) {
+  const std::string_view bytes = "ab\r\ncd\xC3\xA9!";
+  const ReferenceStream reference(bytes);
+  InputStream stream(bytes);
+  for (std::size_t i = 0; i < reference.chars.size(); ++i) {
+    const char32_t c = stream.consume();
+    ASSERT_EQ(c, reference.chars[i]);
+    // Push back and re-read: same character, same positions afterwards.
+    stream.reconsume();
+    EXPECT_EQ(stream.position().offset, reference.positions[i].offset);
+    EXPECT_EQ(stream.consume(), c);
+    EXPECT_EQ(stream.last_position().offset, reference.positions[i].offset);
+  }
+}
+
+}  // namespace
+}  // namespace hv::html

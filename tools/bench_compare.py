@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two bench --json outputs and flag regressions.
+
+The bench binaries (bench/bench_micro_*.cc --json) emit a JSON array of
+entries: {"name": ..., "iters": ..., "ns_per_op": ..., "pages_per_sec":...}.
+BENCH_baseline.json / BENCH_after.json in the repo root are merged arrays
+from all three binaries.
+
+Usage:
+  tools/bench_compare.py BASELINE.json AFTER.json
+      [--max-regression PCT]          # fail if ns_per_op grew more (default 5)
+      [--require-speedup NAME:FACTOR] # fail unless NAME sped up >= FACTOR
+      [--report-only]                 # never fail, just print the table
+
+Exit status: 0 when every check holds, 1 otherwise.  Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a JSON array of benchmark entries")
+    out = {}
+    for entry in data:
+        name = entry.get("name")
+        ns = entry.get("ns_per_op")
+        if name is None or ns is None:
+            raise SystemExit(f"{path}: entry missing name/ns_per_op: {entry}")
+        out[name] = float(ns)
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("after")
+    parser.add_argument("--max-regression", type=float, default=5.0,
+                        metavar="PCT",
+                        help="max allowed ns_per_op growth in percent")
+    parser.add_argument("--require-speedup", action="append", default=[],
+                        metavar="NAME:FACTOR",
+                        help="require NAME to be at least FACTOR times faster")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but always exit 0")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    after = load(args.after)
+
+    failures = []
+    shared = sorted(set(baseline) & set(after))
+    if not shared:
+        failures.append("no benchmark names in common")
+
+    width = max((len(name) for name in shared), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'after':>12}  "
+          f"{'delta':>8}  speedup")
+    for name in shared:
+        base_ns = baseline[name]
+        after_ns = after[name]
+        delta_pct = (after_ns - base_ns) / base_ns * 100.0
+        speedup = base_ns / after_ns if after_ns else float("inf")
+        marker = ""
+        if delta_pct > args.max_regression:
+            marker = "  <-- REGRESSION"
+            failures.append(
+                f"{name}: {delta_pct:+.1f}% ns_per_op "
+                f"(limit +{args.max_regression:.1f}%)")
+        print(f"{name:<{width}}  {base_ns:>12.1f}  {after_ns:>12.1f}  "
+              f"{delta_pct:>+7.1f}%  {speedup:.2f}x{marker}")
+
+    only_base = sorted(set(baseline) - set(after))
+    only_after = sorted(set(after) - set(baseline))
+    for name in only_base:
+        print(f"{name}: only in baseline (skipped)")
+    for name in only_after:
+        print(f"{name}: only in after (skipped)")
+
+    for requirement in args.require_speedup:
+        try:
+            name, factor_text = requirement.rsplit(":", 1)
+            factor = float(factor_text)
+        except ValueError:
+            raise SystemExit(f"bad --require-speedup value: {requirement}")
+        if name not in baseline or name not in after:
+            failures.append(f"{name}: required benchmark missing")
+            continue
+        speedup = baseline[name] / after[name]
+        status = "ok" if speedup >= factor else "FAIL"
+        print(f"require-speedup {name}: {speedup:.2f}x "
+              f"(need {factor:.2f}x) {status}")
+        if speedup < factor:
+            failures.append(
+                f"{name}: {speedup:.2f}x speedup below required "
+                f"{factor:.2f}x")
+
+    if failures:
+        print("\nbench_compare: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 0 if args.report_only else 1
+    print("\nbench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Bench smoke job, next to check_noop_build.sh in the CI script set.
+#
+# Two layers:
+#   1. Deterministic: the committed BENCH_baseline.json vs BENCH_after.json
+#      must satisfy this PR-series' performance contract — no benchmark
+#      regressed more than 5% and the headline parser benchmarks hold
+#      their >=2x speedup (tools/bench_compare.py enforces both).
+#   2. Machine-local: build and run the micro benchmarks briefly with
+#      --json, then diff against BENCH_after.json in --report-only mode.
+#      Absolute times differ across machines, so this layer only proves
+#      the binaries, the --json plumbing, and the comparator end to end.
+#
+# Usage: tools/check_bench_smoke.sh [build-dir]   (default: build)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+echo "== bench_compare on committed baseline/after =="
+python3 "$repo_root/tools/bench_compare.py" \
+  "$repo_root/BENCH_baseline.json" "$repo_root/BENCH_after.json" \
+  --max-regression 5 \
+  --require-speedup BM_ParseCleanPage:2 \
+  --require-speedup BM_ParseViolatingPage:2
+
+echo "== smoke-running micro benchmarks =="
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target bench_micro_parser bench_micro_checker bench_micro_pipeline
+"$build_dir/bench/bench_micro_parser" --benchmark_min_time=0.05 \
+  --json "$tmp_dir/parser.json" >/dev/null
+"$build_dir/bench/bench_micro_checker" --benchmark_min_time=0.05 \
+  --json "$tmp_dir/checker.json" >/dev/null
+"$build_dir/bench/bench_micro_pipeline" --benchmark_min_time=0.05 \
+  --json "$tmp_dir/pipeline.json" >/dev/null
+python3 - "$tmp_dir" <<'EOF'
+import json, sys, pathlib
+tmp = pathlib.Path(sys.argv[1])
+merged = []
+for name in ("parser", "checker", "pipeline"):
+    merged.extend(json.loads((tmp / f"{name}.json").read_text()))
+(tmp / "merged.json").write_text(json.dumps(merged, indent=1))
+EOF
+
+echo "== machine-local comparison (informational) =="
+python3 "$repo_root/tools/bench_compare.py" \
+  "$repo_root/BENCH_after.json" "$tmp_dir/merged.json" --report-only
+
+echo "check_bench_smoke: OK"
