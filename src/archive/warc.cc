@@ -19,17 +19,30 @@ struct WarcMetrics {
   obs::Counter& bytes_written;
   obs::Counter& records_read;
   obs::Counter& bytes_read;
+  obs::Counter& seeks_performed;  ///< {skipped="false"}
+  obs::Counter& seeks_skipped;    ///< {skipped="true"}
 
   static WarcMetrics& get() {
-    static WarcMetrics* const metrics = new WarcMetrics{
-        obs::default_registry().counter("hv_archive_warc_records_written_total",
-                                        "WARC records written"),
-        obs::default_registry().counter("hv_archive_warc_bytes_written_total",
-                                        "WARC bytes written (incl. framing)"),
-        obs::default_registry().counter("hv_archive_warc_records_read_total",
-                                        "WARC records read"),
-        obs::default_registry().counter("hv_archive_warc_bytes_read_total",
-                                        "WARC bytes read (incl. framing)")};
+    static WarcMetrics* const metrics = [] {
+      obs::CounterFamily& seeks = obs::default_registry().counter_family(
+          "hv_archive_warc_seeks_total",
+          "WarcReader::seek calls, split by whether the redundant-seek "
+          "optimization skipped the seekg",
+          {"skipped"});
+      return new WarcMetrics{
+          obs::default_registry().counter(
+              "hv_archive_warc_records_written_total",
+              "WARC records written"),
+          obs::default_registry().counter(
+              "hv_archive_warc_bytes_written_total",
+              "WARC bytes written (incl. framing)"),
+          obs::default_registry().counter(
+              "hv_archive_warc_records_read_total", "WARC records read"),
+          obs::default_registry().counter(
+              "hv_archive_warc_bytes_read_total",
+              "WARC bytes read (incl. framing)"),
+          seeks.with({"false"}), seeks.with({"true"})};
+    }();
     return *metrics;
   }
 };
@@ -117,10 +130,14 @@ void WarcReader::seek(std::uint64_t offset) {
   // Offset-sorted batch reads make most seeks land exactly where the
   // previous record ended; skipping the redundant seekg keeps the stream's
   // readahead buffer intact instead of discarding it.
-  if (offset == offset_ && in_.good()) return;
+  if (offset == offset_ && in_.good()) {
+    WarcMetrics::get().seeks_skipped.inc();
+    return;
+  }
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(offset));
   offset_ = offset;
+  WarcMetrics::get().seeks_performed.inc();
 }
 
 std::optional<WarcRecord> WarcReader::next() {
@@ -173,6 +190,15 @@ std::optional<WarcRecord> WarcReader::next() {
     throw std::runtime_error("WARC: truncated payload");
   }
   offset_ += content_length;
+  // Consume the record's trailing CRLFCRLF so `offset()` — and a
+  // sequential `seek` over an offset-sorted batch — lands on the next
+  // record's first byte instead of its separator.
+  while (true) {
+    const int next_char = in_.peek();
+    if (next_char != '\r' && next_char != '\n') break;
+    in_.get();
+    ++offset_;
+  }
   WarcMetrics::get().records_read.inc();
   WarcMetrics::get().bytes_read.inc(offset_ - record_start);
   return record;

@@ -1,10 +1,13 @@
 #include "cli/commands.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "archive/warc.h"
 #include "core/checker.h"
@@ -53,11 +56,23 @@ void print_usage(std::ostream& out) {
          "markup\n"
          "  tokens <file>              dump tokens and parse errors\n"
          "  study [--domains N] [--pages N] [--seed N] [--workdir DIR]\n"
-         "        [--metrics-out FILE] [--trace-out FILE]\n"
+         "        [--metrics-out FILE] [--trace-out FILE] "
+         "[--report-out FILE]\n"
+         "        [--live-out FILE] [--stall-after SEC] [--slow-pages N]\n"
          "                             run the full longitudinal study\n"
+         "  run [study options]        hv study with run_report.json and "
+         "a live\n"
+         "                             snapshot in the workdir by default\n"
+         "  monitor [--once] [--interval-ms N] <path|workdir>\n"
+         "                             tail a running hv run's live "
+         "snapshot\n"
          "  stats [study options] [--format prom|json]\n"
          "                             run a small study, print the "
          "metrics snapshot\n"
+         "  stats --compare BASE.json CURRENT.json [--max-regression PCT]\n"
+         "        [--min-count N] [--counts-only]\n"
+         "                             diff two run reports; exit 1 on "
+         "regressions\n"
          "  warc list <file.warc>      index the records of an archive\n"
          "  warc cat <file> <offset>   print one record's HTTP body\n"
          "--log-level <debug|info|warn|error|off> mirrors structured logs "
@@ -123,6 +138,22 @@ bool parse_study_options(const std::vector<std::string>& args,
       const auto value = required(&i, "a path");
       if (!value) return false;
       options->trace_out = *value;
+    } else if (args[i] == "--report-out") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->config.report_out = *value;
+    } else if (args[i] == "--live-out") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->config.health.live_path = *value;
+    } else if (args[i] == "--stall-after") {
+      const auto value = required(&i, "seconds");
+      if (!value) return false;
+      options->config.health.stall_after_s = std::stod(*value);
+    } else if (args[i] == "--slow-pages") {
+      const auto value = required(&i, "a number");
+      if (!value) return false;
+      options->config.health.slow_page_capacity = std::stoull(*value);
     } else if (allow_format && args[i] == "--format") {
       const auto value = required(&i, "prom or json");
       if (!value) return false;
@@ -385,23 +416,49 @@ int cmd_tokens(const std::vector<std::string>& args, std::istream& in,
   return errors.empty() ? kOk : kFindings;
 }
 
-int cmd_study(const std::vector<std::string>& args, std::ostream& out,
-              std::ostream& err) {
+namespace {
+
+/// Shared body of `hv study` and `hv run`; the latter turns the
+/// run-health artifacts (report + live snapshot) on by default.
+int run_study_command(const std::vector<std::string>& args,
+                      std::string_view command, bool health_defaults,
+                      std::ostream& out, std::ostream& err) {
   StudyOptions options;
   options.config.corpus.domain_count = 400;
   options.config.corpus.max_pages_per_domain = 8;
   options.config.workdir =
-      std::filesystem::temp_directory_path() / "hv_cli_study";
-  if (!parse_study_options(args, "study", /*allow_format=*/false, &options,
+      std::filesystem::temp_directory_path() /
+      (health_defaults ? "hv_cli_run" : "hv_cli_study");
+  if (!parse_study_options(args, command, /*allow_format=*/false, &options,
                            err)) {
     return kUsage;
   }
   pipeline::PipelineConfig& config = options.config;
+  std::error_code ec;
+  std::filesystem::create_directories(config.workdir, ec);
+  if (health_defaults) {
+    if (config.report_out.empty()) {
+      config.report_out = config.workdir / "run_report.json";
+    }
+    if (config.health.live_path.empty()) {
+      config.health.live_path = config.workdir / "run_live.json";
+    }
+  }
 
-  err << "hv study: " << config.corpus.domain_count << " domains x "
-      << config.corpus.max_pages_per_domain << " pages x 8 snapshots\n";
+  // Self-contained run: the report's counters and percentiles should
+  // describe this study, not whatever earlier commands recorded.
+  obs::default_registry().reset();
+  obs::default_tracer().clear();
+
+  err << "hv " << command << ": " << config.corpus.domain_count
+      << " domains x " << config.corpus.max_pages_per_domain
+      << " pages x 8 snapshots\n";
   pipeline::StudyPipeline pipeline(config);
   pipeline.run_all();
+  if (!config.report_out.empty()) {
+    err << "hv " << command << ": run report written to "
+        << config.report_out.string() << "\n";
+  }
 
   if (!options.metrics_out.empty() &&
       !write_metrics_file(options.metrics_out, err)) {
@@ -435,8 +492,278 @@ int cmd_study(const std::vector<std::string>& args, std::ostream& out,
   return kOk;
 }
 
+std::optional<obs::json::Value> load_report(const std::string& path,
+                                            std::ostream& err) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    err << "hv stats: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = obs::json::parse(buffer.str());
+  if (!parsed.has_value() || !parsed->is_object()) {
+    err << "hv stats: " << path << " is not a run report\n";
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+/// Identity of one percentile-table entry: name plus its label pairs.
+std::string series_key(const obs::json::Value& entry) {
+  std::string key = entry.string_or("name", "");
+  if (const obs::json::Value* labels = entry.find("labels");
+      labels != nullptr) {
+    for (const auto& [label_key, label_value] : labels->object) {
+      key += "|" + label_key + "=" + label_value.string;
+    }
+  }
+  return key;
+}
+
+/// `hv stats --compare BASE CURRENT`: the CI gate over two run reports.
+/// Counter mismatches always fail (same config => deterministic counts);
+/// percentile regressions beyond --max-regression fail unless
+/// --counts-only.  Exit 0 = no regression, 1 = regression, 2 = usage.
+int stats_compare(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  std::vector<std::string> paths;
+  double max_regression = 15.0;  // percent
+  double min_count = 100.0;      // ignore thin percentile series
+  bool counts_only = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--max-regression") {
+      if (i + 1 >= args.size()) {
+        err << "hv stats: --max-regression needs a percentage\n";
+        return kUsage;
+      }
+      max_regression = std::stod(args[++i]);
+    } else if (args[i] == "--min-count") {
+      if (i + 1 >= args.size()) {
+        err << "hv stats: --min-count needs a number\n";
+        return kUsage;
+      }
+      min_count = std::stod(args[++i]);
+    } else if (args[i] == "--counts-only") {
+      counts_only = true;
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    err << "hv stats: --compare needs exactly two report paths\n";
+    return kUsage;
+  }
+  const auto base = load_report(paths[0], err);
+  if (!base.has_value()) return kUsage;
+  const auto current = load_report(paths[1], err);
+  if (!current.has_value()) return kUsage;
+
+  if (base->bool_or("obs_disabled", false) ||
+      current->bool_or("obs_disabled", false)) {
+    out << "stats compare: report(s) from an HV_OBS_DISABLED build; "
+           "nothing to compare\n";
+    return kOk;
+  }
+
+  int problems = 0;
+  const obs::json::Value* base_config = base->find("config");
+  const obs::json::Value* current_config = current->find("config");
+  if (base_config != nullptr && current_config != nullptr &&
+      base_config->string_or("hash", "") !=
+          current_config->string_or("hash", "")) {
+    out << "note: config hash differs (" << base_config->string_or("hash", "")
+        << " vs " << current_config->string_or("hash", "")
+        << ") — comparing anyway\n";
+  }
+
+  // Counters: deterministic for a fixed config, so any drift is a
+  // correctness signal, not noise.
+  const obs::json::Value* base_counters = base->find("counters");
+  const obs::json::Value* current_counters = current->find("counters");
+  if (base_counters != nullptr && current_counters != nullptr) {
+    const auto check_count = [&](std::string_view field, double base_value,
+                                 double current_value) {
+      if (base_value == current_value) return;
+      out << "count mismatch: " << field << " "
+          << static_cast<long long>(base_value) << " -> "
+          << static_cast<long long>(current_value) << "\n";
+      ++problems;
+    };
+    for (const char* field : {"records_read", "pages_checked"}) {
+      check_count(field, base_counters->number_or(field, 0.0),
+                  current_counters->number_or(field, 0.0));
+    }
+    const obs::json::Value* base_drops = base_counters->find("drops");
+    const obs::json::Value* current_drops = current_counters->find("drops");
+    if (base_drops != nullptr && current_drops != nullptr) {
+      for (const auto& [reason, value] : base_drops->object) {
+        check_count("drops." + reason, value.number,
+                    current_drops->number_or(reason, 0.0));
+      }
+    }
+  }
+
+  // Percentiles: flag p50/p99 latency growth beyond the tolerance.
+  if (!counts_only) {
+    std::map<std::string, const obs::json::Value*> current_series;
+    if (const obs::json::Value* table = current->find("percentiles");
+        table != nullptr && table->is_array()) {
+      for (const obs::json::Value& entry : table->array) {
+        current_series[series_key(entry)] = &entry;
+      }
+    }
+    if (const obs::json::Value* table = base->find("percentiles");
+        table != nullptr && table->is_array()) {
+      for (const obs::json::Value& entry : table->array) {
+        if (entry.number_or("count", 0.0) < min_count) continue;
+        const auto it = current_series.find(series_key(entry));
+        if (it == current_series.end()) {
+          out << "missing series in current report: " << series_key(entry)
+              << "\n";
+          ++problems;
+          continue;
+        }
+        for (const char* percentile : {"p50", "p99"}) {
+          const double base_value = entry.number_or(percentile, 0.0);
+          const double current_value =
+              it->second->number_or(percentile, 0.0);
+          if (base_value <= 0.0) continue;
+          const double regression =
+              100.0 * (current_value - base_value) / base_value;
+          if (regression > max_regression) {
+            char line[64];
+            std::snprintf(line, sizeof(line), "%+.1f%% (limit %.1f%%)",
+                          regression, max_regression);
+            out << "regression: " << series_key(entry) << " " << percentile
+                << " " << base_value << " -> " << current_value << " "
+                << line << "\n";
+            ++problems;
+          }
+        }
+      }
+    }
+  }
+
+  if (problems == 0) {
+    out << "stats compare: no regressions (max " << max_regression
+        << "% on p50/p99" << (counts_only ? ", counts only" : "") << ")\n";
+    return kOk;
+  }
+  out << "stats compare: " << problems << " problem(s)\n";
+  return kFindings;
+}
+
+}  // namespace
+
+int cmd_study(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  return run_study_command(args, "study", /*health_defaults=*/false, out,
+                           err);
+}
+
+int cmd_run(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  return run_study_command(args, "run", /*health_defaults=*/true, out, err);
+}
+
+int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  bool once = false;
+  int interval_ms = 500;
+  std::string target;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--once") {
+      once = true;
+    } else if (args[i] == "--interval-ms") {
+      if (i + 1 >= args.size()) {
+        err << "hv monitor: --interval-ms needs a number\n";
+        return kUsage;
+      }
+      interval_ms = std::max(1, std::stoi(args[++i]));
+    } else if (target.empty()) {
+      target = args[i];
+    } else {
+      err << "hv monitor: unexpected argument " << args[i] << "\n";
+      return kUsage;
+    }
+  }
+  if (target.empty()) {
+    err << "hv monitor: usage: monitor [--once] [--interval-ms N] "
+           "<path|workdir>\n";
+    return kUsage;
+  }
+  std::filesystem::path path = target;
+  if (std::filesystem::is_directory(path)) path /= "run_live.json";
+  if (!std::filesystem::exists(path)) {
+    err << "hv monitor: no live snapshot at " << path.string()
+        << " (is hv run writing one?)\n";
+    return kUsage;
+  }
+
+  while (true) {
+    std::optional<obs::json::Value> snapshot;
+    {
+      std::ifstream file(path, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      snapshot = obs::json::parse(buffer.str());
+    }
+    if (!snapshot.has_value() || !snapshot->is_object()) {
+      // The writer renames atomically, so a malformed file is not a
+      // mid-write artifact — it is simply not a live snapshot.
+      err << "hv monitor: " << path.string()
+          << " is not a live snapshot\n";
+      return kUsage;
+    }
+    if (snapshot->bool_or("obs_disabled", false)) {
+      out << "hv monitor: observability disabled "
+             "(HV_OBS_DISABLED build) — no live data\n";
+      return kOk;
+    }
+    const bool complete = snapshot->bool_or("complete", false);
+    const obs::json::Value* progress = snapshot->find("progress");
+    if (progress != nullptr && progress->bool_or("active", false)) {
+      const double done = progress->number_or("done", 0.0);
+      const double total = progress->number_or("total", 0.0);
+      char pct[16] = "";
+      if (total > 0.0) {
+        std::snprintf(pct, sizeof(pct), " (%.1f%%)", 100.0 * done / total);
+      }
+      out << progress->string_or("stage", "?") << " "
+          << progress->string_or("snapshot", "?") << ": "
+          << static_cast<long long>(done) << "/"
+          << static_cast<long long>(total) << pct << " rate="
+          << progress->number_or("rate", 0.0) << "/s eta="
+          << progress->number_or("eta_s", 0.0) << "s";
+    } else {
+      out << (complete ? "idle" : "starting");
+    }
+    out << " workers=" << snapshot->number_or("active_workers", 0.0)
+        << " items=" << snapshot->number_or("items_done", 0.0)
+        << " stalls=" << snapshot->number_or("stall_count", 0.0) << "\n";
+    if (const obs::json::Value* slow = snapshot->find("slow_pages");
+        slow != nullptr && slow->is_array() && !slow->array.empty()) {
+      for (const obs::json::Value& page : slow->array) {
+        out << "  slow: " << page.string_or("domain", "?") << " "
+            << page.number_or("seconds", 0.0) << "s\n";
+      }
+    }
+    if (complete) {
+      out << "run complete\n";
+      return kOk;
+    }
+    if (once) return kOk;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
+  if (!args.empty() && args[0] == "--compare") {
+    return stats_compare(
+        std::vector<std::string>(args.begin() + 1, args.end()), out, err);
+  }
   StudyOptions options;
   options.config.corpus.domain_count = 150;
   options.config.corpus.max_pages_per_domain = 4;
@@ -581,6 +908,8 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (command == "sanitize") return cmd_sanitize(rest, in, out, err);
   if (command == "tokens") return cmd_tokens(rest, in, out, err);
   if (command == "study") return cmd_study(rest, out, err);
+  if (command == "run") return cmd_run(rest, out, err);
+  if (command == "monitor") return cmd_monitor(rest, out, err);
   if (command == "stats") return cmd_stats(rest, out, err);
   if (command == "warc") return cmd_warc(rest, out, err);
   err << "hv: unknown command '" << command << "'\n";

@@ -6,11 +6,24 @@
 //   hv sanitize [--legacy] file       DOMPurify-style sanitation
 //   hv tokens file                    dump the token stream + parse errors
 //   hv study [--domains N] [--pages N] [--seed N] [--workdir DIR]
-//            [--metrics-out FILE] [--trace-out FILE]
+//            [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
+//            [--live-out FILE] [--stall-after SEC] [--slow-pages N]
 //                                     run the full Figure 6 study
+//   hv run [study options]            hv study with the run-health
+//                                     observatory on by default:
+//                                     run_report.json + live snapshot in
+//                                     the workdir
+//   hv monitor [--once] [--interval-ms N] <path|workdir>
+//                                     tail the live snapshot a running
+//                                     `hv run` rewrites
 //   hv stats [study options] [--format prom|json]
 //                                     run a small study, print the obs
 //                                     metrics snapshot
+//   hv stats --compare BASE.json CURRENT.json [--max-regression PCT]
+//            [--min-count N] [--counts-only]
+//                                     diff two run reports; exit 1 on
+//                                     percentile regressions / count
+//                                     mismatches (the CI gate)
 //   hv warc list <file.warc>          index the records of an archive
 //   hv warc cat <file.warc> <offset>  print one record's HTTP body
 //
@@ -47,6 +60,10 @@ int cmd_tokens(const std::vector<std::string>& args, std::istream& in,
                std::ostream& out, std::ostream& err);
 int cmd_study(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
+int cmd_run(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_warc(const std::vector<std::string>& args, std::ostream& out,

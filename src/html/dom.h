@@ -198,6 +198,8 @@ class Document final : public Node {
                                             bool any_namespace = false) const;
 
   std::size_t node_count() const noexcept { return arena_.object_count(); }
+  /// Arena bytes behind this document's nodes (obs byte accounting).
+  std::size_t arena_bytes() const noexcept { return arena_.bytes_used(); }
 
   /// True when a <math>/<svg> element was ever created for this document,
   /// recorded at parse time so the pipeline's foreign-content accounting
@@ -206,6 +208,7 @@ class Document final : public Node {
   bool uses_svg() const noexcept { return saw_svg_; }
 
   NameInterner& names() noexcept { return interner_; }
+  const NameInterner& names() const noexcept { return interner_; }
 
  private:
   Element* find_direct_child(const Element* parent,

@@ -90,6 +90,7 @@ std::string_view NameInterner::intern_local(std::string_view name) {
   storage_.emplace_back(name);
   const std::string_view view = storage_.back();
   local_.insert(view);
+  local_bytes_ += view.size();
   return view;
 }
 

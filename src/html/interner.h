@@ -64,6 +64,8 @@ class NameInterner {
 
   /// Number of names that fell outside the well-known table.
   std::size_t local_count() const noexcept { return local_.size(); }
+  /// Bytes of private name storage (the obs byte-accounting gauges).
+  std::size_t local_bytes() const noexcept { return local_bytes_; }
 
  private:
   /// Interns a name that is not in the well-known table.
@@ -72,6 +74,7 @@ class NameInterner {
   // deque never relocates elements, so views into `storage_` are stable.
   std::deque<std::string> storage_;
   std::unordered_set<std::string_view> local_;
+  std::size_t local_bytes_ = 0;
 };
 
 }  // namespace hv::html

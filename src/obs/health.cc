@@ -1,0 +1,623 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace hv::obs {
+namespace {
+
+std::string format_number(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string escape_json(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::int64_t steady_now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#ifndef HV_OBS_DISABLED
+/// hv_health_* series, resolved once per process.
+struct HealthMetrics {
+  Counter& stalls;
+  Counter& heartbeats;
+  Counter& slow_page_admissions;
+
+  static HealthMetrics& get() {
+    static HealthMetrics* const metrics = new HealthMetrics{
+        default_registry().counter("hv_health_stalls_total",
+                                   "Worker stall episodes flagged by the "
+                                   "watchdog"),
+        default_registry().counter("hv_health_heartbeats_total",
+                                   "Worker heartbeats recorded"),
+        default_registry().counter("hv_health_slow_page_admissions_total",
+                                   "Pages admitted into the slow-page "
+                                   "top-K tracker")};
+    return *metrics;
+  }
+};
+#endif
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+// --- SlowPageTracker --------------------------------------------------------
+
+SlowPageTracker::SlowPageTracker(std::size_t capacity)
+    : capacity_(capacity) {
+  threshold_.store(-1.0, std::memory_order_relaxed);
+}
+
+void SlowPageTracker::record(std::string_view domain,
+                             std::string_view snapshot,
+                             std::uint64_t warc_offset, double seconds,
+                             std::size_t bytes) {
+#ifndef HV_OBS_DISABLED
+  if (capacity_ == 0) return;
+  // Once the tracker is full, `threshold_` is the K-th slowest latency;
+  // faster pages bounce off this relaxed load without touching the lock.
+  if (seconds <= threshold_.load(std::memory_order_relaxed)) return;
+  const auto slower = [](const SlowPage& a, const SlowPage& b) {
+    return a.seconds > b.seconds;  // min-heap on seconds
+  };
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pages_.size() < capacity_) {
+    pages_.push_back({std::string(domain), std::string(snapshot),
+                      warc_offset, seconds, bytes});
+    std::push_heap(pages_.begin(), pages_.end(), slower);
+    if (pages_.size() == capacity_) {
+      threshold_.store(pages_.front().seconds, std::memory_order_relaxed);
+    }
+  } else {
+    if (seconds <= pages_.front().seconds) return;  // raced below the bar
+    std::pop_heap(pages_.begin(), pages_.end(), slower);
+    pages_.back() = {std::string(domain), std::string(snapshot), warc_offset,
+                     seconds, bytes};
+    std::push_heap(pages_.begin(), pages_.end(), slower);
+    threshold_.store(pages_.front().seconds, std::memory_order_relaxed);
+  }
+  HealthMetrics::get().slow_page_admissions.inc();
+#else
+  (void)domain;
+  (void)snapshot;
+  (void)warc_offset;
+  (void)seconds;
+  (void)bytes;
+#endif
+}
+
+std::vector<SlowPage> SlowPageTracker::worst() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SlowPage> pages = pages_;
+  std::sort(pages.begin(), pages.end(),
+            [](const SlowPage& a, const SlowPage& b) {
+              return a.seconds > b.seconds;
+            });
+  return pages;
+}
+
+void SlowPageTracker::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pages_.clear();
+  threshold_.store(-1.0, std::memory_order_relaxed);
+}
+
+// --- HeartbeatBoard ---------------------------------------------------------
+
+int HeartbeatBoard::register_worker(std::string name, std::string stage) {
+#ifndef HV_OBS_DISABLED
+  auto slot = std::make_unique<Slot>();
+  slot->name = std::move(name);
+  slot->stage = std::move(stage);
+  slot->last_beat_us.store(steady_now_us(), std::memory_order_relaxed);
+  slot->active.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.push_back(std::move(slot));
+  return static_cast<int>(slots_.size()) - 1;
+#else
+  (void)name;
+  (void)stage;
+  return -1;
+#endif
+}
+
+void HeartbeatBoard::beat(int handle, std::uint64_t items_done) noexcept {
+#ifndef HV_OBS_DISABLED
+  if (handle < 0) return;
+  Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (static_cast<std::size_t>(handle) >= slots_.size()) return;
+    slot = slots_[static_cast<std::size_t>(handle)].get();
+  }
+  slot->items.store(items_done, std::memory_order_relaxed);
+  slot->beats.fetch_add(1, std::memory_order_relaxed);
+  slot->last_beat_us.store(steady_now_us(), std::memory_order_relaxed);
+  slot->flagged.store(false, std::memory_order_relaxed);
+  HealthMetrics::get().heartbeats.inc();
+#else
+  (void)handle;
+  (void)items_done;
+#endif
+}
+
+void HeartbeatBoard::deregister(int handle) noexcept {
+#ifndef HV_OBS_DISABLED
+  if (handle < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<std::size_t>(handle) >= slots_.size()) return;
+  slots_[static_cast<std::size_t>(handle)]->active.store(
+      false, std::memory_order_relaxed);
+#else
+  (void)handle;
+#endif
+}
+
+std::vector<WorkerStats> HeartbeatBoard::stats() const {
+  std::vector<WorkerStats> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    out.push_back({slot->name, slot->stage,
+                   slot->items.load(std::memory_order_relaxed),
+                   slot->beats.load(std::memory_order_relaxed),
+                   slot->active.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+// --- RunHealth --------------------------------------------------------------
+
+RunHealth::RunHealth(RunHealthOptions options)
+    : options_(std::move(options)), slow_(options_.slow_page_capacity) {}
+
+RunHealth::~RunHealth() { stop(); }
+
+void RunHealth::set_config_summary(std::string summary) {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  config_summary_ = std::move(summary);
+}
+
+void RunHealth::start() {
+#ifndef HV_OBS_DISABLED
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (running_) return;
+  running_ = true;
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+  if (!options_.live_path.empty()) {
+    reporter_ = std::thread([this] { reporter_loop(); });
+  }
+#else
+  // Graceful degradation: leave a marker instead of a silent void so
+  // `hv monitor` can explain why there is no live data.
+  write_live_file(/*complete=*/true);
+#endif
+}
+
+void RunHealth::stop() {
+#ifndef HV_OBS_DISABLED
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  wake_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  if (reporter_.joinable()) reporter_.join();
+  write_live_file(/*complete=*/true);
+#endif
+}
+
+void RunHealth::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (running_) {
+    wake_.wait_for(
+        lock,
+        std::chrono::duration<double>(options_.watchdog_interval_s),
+        [this] { return !running_; });
+    if (!running_) break;
+    lock.unlock();
+    watchdog_scan();
+    lock.lock();
+  }
+}
+
+void RunHealth::reporter_loop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (running_) {
+    wake_.wait_for(lock,
+                   std::chrono::duration<double>(options_.live_period_s),
+                   [this] { return !running_; });
+    if (!running_) break;
+    lock.unlock();
+    write_live_file(/*complete=*/false);
+    lock.lock();
+  }
+}
+
+void RunHealth::watchdog_scan() {
+#ifndef HV_OBS_DISABLED
+  const std::int64_t now_us = steady_now_us();
+  std::vector<HeartbeatBoard::Slot*> slots;
+  {
+    std::lock_guard<std::mutex> lock(board_.mutex_);
+    slots.reserve(board_.slots_.size());
+    for (const auto& slot : board_.slots_) slots.push_back(slot.get());
+  }
+  for (HeartbeatBoard::Slot* slot : slots) {
+    if (!slot->active.load(std::memory_order_relaxed)) continue;
+    const std::int64_t last =
+        slot->last_beat_us.load(std::memory_order_relaxed);
+    const double age = static_cast<double>(now_us - last) / 1e6;
+    if (age < options_.stall_after_s) continue;
+    // One event per silence episode; the next beat clears the flag.
+    if (slot->flagged.exchange(true, std::memory_order_relaxed)) continue;
+    StallEvent event{slot->name, slot->stage, age,
+                     slot->items.load(std::memory_order_relaxed)};
+    {
+      std::lock_guard<std::mutex> lock(stall_mutex_);
+      stalls_.push_back(event);
+    }
+    HealthMetrics::get().stalls.inc();
+    default_log().warn(
+        "worker stalled",
+        {{"worker", event.worker},
+         {"stage", event.stage},
+         {"stalled_s", format_number(event.stalled_seconds)},
+         {"items_done", std::to_string(event.items_done)}});
+  }
+#endif
+}
+
+std::size_t RunHealth::stage_begin(std::string stage, std::string snapshot,
+                                   std::uint64_t total_items) {
+#ifndef HV_OBS_DISABLED
+  auto state = std::make_unique<StageState>();
+  state->stage = std::move(stage);
+  state->snapshot = std::move(snapshot);
+  state->total = total_items;
+  state->start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  stages_.push_back(std::move(state));
+  return stages_.size() - 1;
+#else
+  (void)stage;
+  (void)snapshot;
+  (void)total_items;
+  return 0;
+#endif
+}
+
+void RunHealth::stage_advance(std::size_t handle,
+                              std::uint64_t items) noexcept {
+#ifndef HV_OBS_DISABLED
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  if (handle >= stages_.size()) return;
+  stages_[handle]->done.fetch_add(items, std::memory_order_relaxed);
+#else
+  (void)handle;
+  (void)items;
+#endif
+}
+
+void RunHealth::stage_end(std::size_t handle) {
+#ifndef HV_OBS_DISABLED
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  if (handle >= stages_.size()) return;
+  StageState& state = *stages_[handle];
+  if (state.finished) return;
+  state.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - state.start)
+                      .count();
+  state.finished = true;
+#else
+  (void)handle;
+#endif
+}
+
+std::vector<StageRecord> RunHealth::stage_records() const {
+  std::vector<StageRecord> out;
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  out.reserve(stages_.size());
+  for (const auto& state : stages_) {
+    StageRecord record;
+    record.stage = state->stage;
+    record.snapshot = state->snapshot;
+    record.items = state->done.load(std::memory_order_relaxed);
+    record.finished = state->finished;
+    record.seconds =
+        state->finished
+            ? state->seconds
+            : std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - state->start)
+                  .count();
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+ProgressView RunHealth::progress() const {
+  ProgressView view;
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    const StageState& state = **it;
+    if (state.finished) continue;
+    view.stage = state.stage;
+    view.snapshot = state.snapshot;
+    view.done = state.done.load(std::memory_order_relaxed);
+    view.total = state.total;
+    view.elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - state.start)
+                         .count();
+    view.active = true;
+    if (view.elapsed_s > 0.0 && view.done > 0) {
+      view.rate = static_cast<double>(view.done) / view.elapsed_s;
+      if (view.total > view.done) {
+        view.eta_s = static_cast<double>(view.total - view.done) / view.rate;
+      }
+    }
+    return view;
+  }
+  return view;
+}
+
+std::vector<StallEvent> RunHealth::stall_events() const {
+  std::lock_guard<std::mutex> lock(stall_mutex_);
+  return stalls_;
+}
+
+void RunHealth::write_report(std::ostream& out,
+                             const Registry& registry) const {
+#ifdef HV_OBS_DISABLED
+  (void)registry;
+  out << "{\n  \"version\": 1,\n  \"obs_disabled\": true\n}\n";
+#else
+  std::string summary;
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    summary = config_summary_;
+  }
+  out << "{\n  \"version\": 1,\n  \"obs_disabled\": false,\n";
+  out << "  \"config\": {\"hash\": \"" << hex64(fnv1a64(summary))
+      << "\", \"summary\": \"" << escape_json(summary) << "\"},\n";
+
+  // Counters: the pipeline naming scheme (DESIGN.md section 7) summed
+  // across snapshots.
+  const auto sum_over_snapshots = [&](std::string_view name,
+                                      std::string_view reason = {}) {
+    double total = 0.0;
+    for (const std::string& snapshot :
+         registry.label_values(name, "snapshot")) {
+      const auto value = reason.empty()
+                             ? registry.value(name, {snapshot})
+                             : registry.value(name, {snapshot, reason});
+      total += value.value_or(0.0);
+    }
+    return total;
+  };
+  out << "  \"counters\": {\"records_read\": "
+      << format_number(
+             sum_over_snapshots("hv_pipeline_records_read_total"))
+      << ", \"pages_checked\": "
+      << format_number(
+             sum_over_snapshots("hv_pipeline_pages_checked_total"))
+      << ", \"drops\": {";
+  bool first = true;
+  for (const std::string& reason : registry.label_values(
+           "hv_pipeline_filter_drops_total", "reason")) {
+    out << (first ? "" : ", ") << "\"" << escape_json(reason) << "\": "
+        << format_number(
+               sum_over_snapshots("hv_pipeline_filter_drops_total", reason));
+    first = false;
+  }
+  out << "}},\n";
+
+  // Byte accounting (arena / interner / stream buffers).
+  const auto scalar = [&](std::string_view name) {
+    return format_number(registry.value(name).value_or(0.0));
+  };
+  out << "  \"memory\": {\"arena_bytes_total\": "
+      << scalar("hv_html_arena_bytes_total") << ", \"arena_peak_bytes\": "
+      << scalar("hv_html_arena_peak_bytes") << ", \"dom_nodes_total\": "
+      << scalar("hv_html_dom_nodes_total")
+      << ", \"interner_local_names_total\": "
+      << scalar("hv_html_interner_local_names_total")
+      << ", \"stream_buffer_bytes\": "
+      << scalar("hv_pipeline_stream_buffer_bytes") << "},\n";
+
+  out << "  \"stages\": [";
+  first = true;
+  for (const StageRecord& stage : stage_records()) {
+    out << (first ? "" : ",") << "\n    {\"stage\": \""
+        << escape_json(stage.stage) << "\", \"snapshot\": \""
+        << escape_json(stage.snapshot) << "\", \"seconds\": "
+        << format_number(stage.seconds) << ", \"items\": " << stage.items
+        << ", \"finished\": " << (stage.finished ? "true" : "false") << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << ",\n";
+
+  out << "  \"percentiles\": [";
+  first = true;
+  registry.visit_histograms([&](const std::string& name,
+                                const std::vector<std::string>& label_keys,
+                                const std::vector<std::string>& label_values,
+                                const Histogram& histogram) {
+    if (histogram.count() == 0) return;
+    out << (first ? "" : ",") << "\n    {\"name\": \"" << escape_json(name)
+        << "\", \"labels\": {";
+    for (std::size_t i = 0; i < label_keys.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\"" << escape_json(label_keys[i])
+          << "\":\"" << escape_json(label_values[i]) << "\"";
+    }
+    out << "}, \"count\": " << histogram.count()
+        << ", \"mean\": " << format_number(histogram.mean());
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}, {"p999", 0.999}};
+    for (const auto& [label, q] : kQuantiles) {
+      out << ", \"" << label
+          << "\": " << format_number(histogram.quantile(q));
+    }
+    out << "}";
+    first = false;
+  });
+  out << (first ? "]" : "\n  ]") << ",\n";
+
+  out << "  \"slow_pages\": [";
+  first = true;
+  for (const SlowPage& page : slow_.worst()) {
+    out << (first ? "" : ",") << "\n    {\"domain\": \""
+        << escape_json(page.domain) << "\", \"snapshot\": \""
+        << escape_json(page.snapshot) << "\", \"warc_offset\": "
+        << page.warc_offset << ", \"seconds\": "
+        << format_number(page.seconds) << ", \"bytes\": " << page.bytes
+        << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << ",\n";
+
+  out << "  \"workers\": [";
+  first = true;
+  for (const WorkerStats& worker : board_.stats()) {
+    out << (first ? "" : ",") << "\n    {\"name\": \""
+        << escape_json(worker.name) << "\", \"stage\": \""
+        << escape_json(worker.stage) << "\", \"items\": " << worker.items
+        << ", \"beats\": " << worker.beats << ", \"active\": "
+        << (worker.active ? "true" : "false") << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << ",\n";
+
+  out << "  \"stalls\": [";
+  first = true;
+  for (const StallEvent& stall : stall_events()) {
+    out << (first ? "" : ",") << "\n    {\"worker\": \""
+        << escape_json(stall.worker) << "\", \"stage\": \""
+        << escape_json(stall.stage) << "\", \"stalled_seconds\": "
+        << format_number(stall.stalled_seconds) << ", \"items_done\": "
+        << stall.items_done << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << "\n}\n";
+#endif
+}
+
+void RunHealth::write_live_snapshot(std::ostream& out, bool complete) const {
+#ifdef HV_OBS_DISABLED
+  out << "{\"version\": 1, \"obs_disabled\": true, \"complete\": "
+      << (complete ? "true" : "false") << "}\n";
+#else
+  std::string summary;
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    summary = config_summary_;
+  }
+  const ProgressView view = progress();
+  out << "{\"version\": 1, \"obs_disabled\": false, \"complete\": "
+      << (complete ? "true" : "false") << ",\n \"config_hash\": \""
+      << hex64(fnv1a64(summary)) << "\",\n \"progress\": {\"stage\": \""
+      << escape_json(view.stage) << "\", \"snapshot\": \""
+      << escape_json(view.snapshot) << "\", \"done\": " << view.done
+      << ", \"total\": " << view.total << ", \"elapsed_s\": "
+      << format_number(view.elapsed_s) << ", \"rate\": "
+      << format_number(view.rate) << ", \"eta_s\": "
+      << format_number(view.eta_s) << ", \"active\": "
+      << (view.active ? "true" : "false") << "},\n \"workers\": [";
+  bool first = true;
+  std::uint64_t items_total = 0;
+  std::size_t active_workers = 0;
+  for (const WorkerStats& worker : board_.stats()) {
+    items_total += worker.items;
+    if (worker.active) ++active_workers;
+    out << (first ? "" : ",") << "\n  {\"name\": \""
+        << escape_json(worker.name) << "\", \"items\": " << worker.items
+        << ", \"beats\": " << worker.beats << ", \"active\": "
+        << (worker.active ? "true" : "false") << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n ]") << ",\n \"active_workers\": "
+      << active_workers << ", \"items_done\": " << items_total
+      << ", \"stall_count\": " << stall_events().size()
+      << ",\n \"slow_pages\": [";
+  first = true;
+  std::size_t shown = 0;
+  for (const SlowPage& page : slow_.worst()) {
+    if (++shown > 3) break;  // headline suspects only; the report has all
+    out << (first ? "" : ",") << "\n  {\"domain\": \""
+        << escape_json(page.domain) << "\", \"seconds\": "
+        << format_number(page.seconds) << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n ]") << "}\n";
+#endif
+}
+
+bool RunHealth::write_live_file(bool complete) const {
+  if (options_.live_path.empty()) return false;
+  std::ostringstream buffer;
+  write_live_snapshot(buffer, complete);
+  const std::filesystem::path tmp =
+      options_.live_path.string() + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    file << buffer.str();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, options_.live_path, ec);
+  return !ec;
+}
+
+}  // namespace hv::obs

@@ -1,0 +1,235 @@
+// hv::obs — run-health observatory layered on the metrics/trace/log core.
+//
+// The primitives in metrics.h answer "how many / how fast" but not
+// "is this run healthy right now" or "which input made it misbehave".
+// This header adds the run-granularity layer:
+//
+//   * HeartbeatBoard + watchdog: every pipeline worker registers a slot
+//     and beats on progress; a background thread flags workers that go
+//     silent for longer than `stall_after_s` (one StallEvent + WARN log
+//     per silence episode, cleared by the next beat).
+//   * SlowPageTracker: a top-K tracker recording the (domain, snapshot,
+//     WARC offset, latency, byte size) of the slowest pages, so "why was
+//     this run slow" has named suspects instead of a fat histogram tail.
+//   * Stage watermarks: begin/advance/end bookkeeping per pipeline stage
+//     with throughput and ETA derived from the live watermark.
+//   * Run report + live snapshot: `write_report` emits the
+//     self-describing run_report.json (config hash, stage durations,
+//     percentile tables from the registry's sketches, drop reasons, slow
+//     pages, worker stats, stall events); a reporter thread atomically
+//     rewrites a small live snapshot file that `hv monitor` tails.
+//
+// Under HV_OBS_DISABLED no thread is ever started, every mutation is a
+// no-op, and the report/live files degrade to a `"obs_disabled": true`
+// marker so downstream tooling (hv monitor, hv stats --compare) can
+// detect the configuration instead of misreading zeros.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace hv::obs {
+
+class Registry;
+
+/// 64-bit FNV-1a — the config hash in run reports (stable across runs
+/// and platforms, unlike std::hash).
+std::uint64_t fnv1a64(std::string_view text) noexcept;
+std::string hex64(std::uint64_t value);
+
+// --- slow pages -------------------------------------------------------------
+
+struct SlowPage {
+  std::string domain;
+  std::string snapshot;
+  std::uint64_t warc_offset = 0;
+  double seconds = 0.0;  ///< parse+check latency
+  std::size_t bytes = 0; ///< HTTP message size
+};
+
+/// Top-K slowest pages.  The hot path is one relaxed atomic load when
+/// the candidate is faster than the current K-th page; the mutex is only
+/// taken for genuine admissions.
+class SlowPageTracker {
+ public:
+  explicit SlowPageTracker(std::size_t capacity = 16);
+
+  void record(std::string_view domain, std::string_view snapshot,
+              std::uint64_t warc_offset, double seconds, std::size_t bytes);
+
+  /// Slowest first.
+  std::vector<SlowPage> worst() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  void reset();
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<double> threshold_{0.0};  ///< admission bar once full
+  mutable std::mutex mutex_;
+  std::vector<SlowPage> pages_;  ///< min-heap on seconds
+};
+
+// --- heartbeats -------------------------------------------------------------
+
+struct WorkerStats {
+  std::string name;
+  std::string stage;
+  std::uint64_t items = 0;
+  std::uint64_t beats = 0;
+  bool active = false;
+};
+
+class HeartbeatBoard {
+ public:
+  /// Registers a worker slot; the returned handle addresses `beat` and
+  /// `deregister`.  Slots persist for the board's lifetime so the final
+  /// report still lists finished workers.
+  int register_worker(std::string name, std::string stage);
+  void beat(int handle, std::uint64_t items_done) noexcept;
+  void deregister(int handle) noexcept;
+
+  std::vector<WorkerStats> stats() const;
+
+ private:
+  friend class RunHealth;
+  struct Slot {
+    std::string name;
+    std::string stage;
+    std::atomic<std::uint64_t> items{0};
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<std::int64_t> last_beat_us{0};  ///< steady-clock us
+    std::atomic<bool> active{false};
+    std::atomic<bool> flagged{false};  ///< stall reported this silence
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+struct StallEvent {
+  std::string worker;
+  std::string stage;
+  double stalled_seconds = 0.0;
+  std::uint64_t items_done = 0;
+};
+
+// --- stages -----------------------------------------------------------------
+
+struct StageRecord {
+  std::string stage;
+  std::string snapshot;
+  double seconds = 0.0;
+  std::uint64_t items = 0;
+  bool finished = false;
+};
+
+/// Live view of the most recent unfinished stage (for `hv monitor`).
+struct ProgressView {
+  std::string stage;
+  std::string snapshot;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  double elapsed_s = 0.0;
+  double rate = 0.0;   ///< items/s over the stage so far
+  double eta_s = 0.0;  ///< remaining items at the observed rate
+  bool active = false;
+};
+
+// --- the observatory --------------------------------------------------------
+
+struct RunHealthOptions {
+  double watchdog_interval_s = 0.25;  ///< scan cadence
+  double stall_after_s = 5.0;         ///< silence that counts as a stall
+  std::size_t slow_page_capacity = 16;
+  std::filesystem::path live_path;  ///< live snapshot file ("" = off)
+  double live_period_s = 0.5;       ///< snapshot rewrite cadence
+};
+
+class RunHealth {
+ public:
+  explicit RunHealth(RunHealthOptions options = {});
+  ~RunHealth();
+
+  RunHealth(const RunHealth&) = delete;
+  RunHealth& operator=(const RunHealth&) = delete;
+
+  /// Free-form config rendering; its FNV-1a hash identifies the run in
+  /// reports and live snapshots.
+  void set_config_summary(std::string summary);
+
+  /// Starts the watchdog and (when a live path is set) reporter threads.
+  /// Idempotent.  Under HV_OBS_DISABLED starts nothing but still writes
+  /// the disabled marker to the live path so `hv monitor` can explain.
+  void start();
+  /// Stops the threads and writes a final `"complete": true` snapshot.
+  void stop();
+
+  HeartbeatBoard& heartbeats() noexcept { return board_; }
+  SlowPageTracker& slow_pages() noexcept { return slow_; }
+
+  /// Stage watermarks.  begin returns a handle for advance/end so
+  /// overlapped snapshot runs track their stages independently.
+  std::size_t stage_begin(std::string stage, std::string snapshot,
+                          std::uint64_t total_items);
+  void stage_advance(std::size_t handle, std::uint64_t items) noexcept;
+  void stage_end(std::size_t handle);
+
+  std::vector<StageRecord> stage_records() const;
+  ProgressView progress() const;
+  std::vector<StallEvent> stall_events() const;
+
+  /// run_report.json: config hash, counters, stages, percentiles (from
+  /// `registry`'s histogram sketches), slow pages, workers, stalls.
+  void write_report(std::ostream& out, const Registry& registry) const;
+  /// The small live snapshot `hv monitor` renders.
+  void write_live_snapshot(std::ostream& out, bool complete) const;
+
+  const RunHealthOptions& options() const noexcept { return options_; }
+
+ private:
+  struct StageState {
+    std::string stage;
+    std::string snapshot;
+    std::uint64_t total = 0;
+    std::atomic<std::uint64_t> done{0};
+    std::chrono::steady_clock::time_point start;
+    double seconds = 0.0;
+    bool finished = false;
+  };
+
+  void watchdog_loop();
+  void reporter_loop();
+  void watchdog_scan();
+  bool write_live_file(bool complete) const;
+
+  RunHealthOptions options_;
+  HeartbeatBoard board_;
+  SlowPageTracker slow_;
+
+  mutable std::mutex config_mutex_;
+  std::string config_summary_;
+
+  mutable std::mutex stage_mutex_;
+  std::vector<std::unique_ptr<StageState>> stages_;
+
+  mutable std::mutex stall_mutex_;
+  std::vector<StallEvent> stalls_;
+
+  std::mutex thread_mutex_;
+  std::condition_variable wake_;
+  bool running_ = false;
+  std::thread watchdog_;
+  std::thread reporter_;
+};
+
+}  // namespace hv::obs

@@ -1,0 +1,220 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hv::obs::json {
+namespace {
+
+constexpr int kMaxDepth = 100;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    skip_whitespace();
+    Value value;
+    if (!parse_value(&value, 0)) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out->type = Value::Type::kString;
+        return parse_string(&out->string);
+      case 't':
+        out->type = Value::Type::kBool;
+        out->boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out->type = Value::Type::kBool;
+        out->boolean = false;
+        return consume_literal("false");
+      case 'n':
+        out->type = Value::Type::kNull;
+        return consume_literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value* out, int depth) {
+    out->type = Value::Type::kObject;
+    ++pos_;  // '{'
+    skip_whitespace();
+    if (consume('}')) return true;
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(&key)) {
+        return false;
+      }
+      skip_whitespace();
+      if (!consume(':')) return false;
+      skip_whitespace();
+      Value member;
+      if (!parse_value(&member, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(member));
+      skip_whitespace();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array(Value* out, int depth) {
+    out->type = Value::Type::kArray;
+    ++pos_;  // '['
+    skip_whitespace();
+    if (consume(']')) return true;
+    while (true) {
+      skip_whitespace();
+      Value element;
+      if (!parse_value(&element, depth + 1)) return false;
+      out->array.push_back(std::move(element));
+      skip_whitespace();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          // BMP-only UTF-8 encoding; our own writers never emit
+          // surrogate pairs.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    out->type = Value::Type::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double Value::number_or(std::string_view key, double fallback) const noexcept {
+  const Value* member = find(key);
+  return member != nullptr && member->type == Type::kNumber ? member->number
+                                                            : fallback;
+}
+
+std::string Value::string_or(std::string_view key,
+                             std::string_view fallback) const {
+  const Value* member = find(key);
+  return member != nullptr && member->type == Type::kString
+             ? member->string
+             : std::string(fallback);
+}
+
+bool Value::bool_or(std::string_view key, bool fallback) const noexcept {
+  const Value* member = find(key);
+  return member != nullptr && member->type == Type::kBool ? member->boolean
+                                                          : fallback;
+}
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace hv::obs::json

@@ -1,0 +1,46 @@
+// hv::obs::json — a minimal JSON reader for the observability artifacts
+// the framework itself writes (run_report.json, the live monitor
+// snapshot, metrics --format json).  It is a consumer for our own
+// well-formed output, not a general-purpose parser: numbers are doubles,
+// \uXXXX escapes decode the BMP only, and inputs deeper than ~100 levels
+// are rejected.  No third-party dependency, by design (the container
+// bakes in nothing beyond the toolchain).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hv::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion order preserved (reports are written deterministically).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const noexcept;
+
+  /// Conveniences for "read field with fallback" consumers.
+  double number_or(std::string_view key, double fallback) const noexcept;
+  std::string string_or(std::string_view key,
+                        std::string_view fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const noexcept;
+};
+
+/// Parses a complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace hv::obs::json

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -124,6 +125,7 @@ void Histogram::observe(double value) noexcept {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
+  sketch_.observe(value);
 #else
   (void)value;
 #endif
@@ -138,6 +140,14 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
+  // The sketch answers with bounded relative error; the fixed buckets are
+  // only a fallback for the (mid-observe) race where the sketch count
+  // lags the histogram count.
+  if (sketch_.count() == count()) return sketch_.quantile(q);
+  return bucket_quantile(q);
+}
+
+double Histogram::bucket_quantile(double q) const {
   const std::uint64_t total = count();
   if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -166,6 +176,7 @@ void Histogram::reset() noexcept {
   }
   sum_.store(0.0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
+  sketch_.reset();
 }
 
 const std::vector<double>& default_time_buckets() {
@@ -303,6 +314,14 @@ void Registry::write_prometheus(std::ostream& out) const {
           << " " << format_number(histogram.sum()) << "\n";
       out << name << "_count" << label_block(family->label_keys(), labels)
           << " " << histogram.count() << "\n";
+      // Summary-style quantile lines from the sketch (a deliberate
+      // deviation from pure Prometheus histograms — see DESIGN.md).
+      for (const char* q : {"0.5", "0.9", "0.99", "0.999"}) {
+        out << name
+            << label_block(family->label_keys(), labels, "quantile", q)
+            << " " << format_number(histogram.quantile(std::atof(q)))
+            << "\n";
+      }
     });
   }
 }
@@ -346,6 +365,10 @@ void Registry::write_json(std::ostream& out) const {
           << "\", \"labels\": " << labels_json(family->label_keys(), labels)
           << ", \"count\": " << histogram.count()
           << ", \"sum\": " << format_number(histogram.sum())
+          << ", \"p50\": " << format_number(histogram.quantile(0.5))
+          << ", \"p90\": " << format_number(histogram.quantile(0.9))
+          << ", \"p99\": " << format_number(histogram.quantile(0.99))
+          << ", \"p999\": " << format_number(histogram.quantile(0.999))
           << ", \"buckets\": [";
       const std::vector<std::uint64_t> counts = histogram.bucket_counts();
       for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -424,6 +447,20 @@ std::vector<std::string> Registry::label_values(
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());
   return values;
+}
+
+void Registry::visit_histograms(
+    const std::function<void(const std::string&,
+                             const std::vector<std::string>&,
+                             const std::vector<std::string>&,
+                             const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : histograms_) {
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Histogram& histogram) {
+      fn(name, family->label_keys(), labels, histogram);
+    });
+  }
 }
 
 void Registry::reset() {

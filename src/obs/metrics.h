@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <iosfwd>
 #include <map>
@@ -27,6 +28,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/sketch.h"
 
 namespace hv::obs {
 
@@ -66,6 +69,19 @@ class Gauge {
     (void)v;
 #endif
   }
+  /// Raises the gauge to `v` if above the current value (CAS loop) —
+  /// high-watermark gauges like peak arena bytes.
+  void set_max(double v) noexcept {
+#ifndef HV_OBS_DISABLED
+    double current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
   double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
@@ -75,7 +91,9 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Fixed-bucket distribution: per-bucket atomic counts plus sum/count.
+/// Fixed-bucket distribution: per-bucket atomic counts plus sum/count,
+/// paired with a log-bucketed QuantileSketch so percentile queries carry
+/// a bounded relative error instead of bucket-interpolation guesswork.
 /// Buckets are upper bounds; values above the last bound land in the
 /// implicit +Inf bucket.  All mutation is relaxed atomics.
 class Histogram {
@@ -96,15 +114,23 @@ class Histogram {
   /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
   /// the last entry being the +Inf bucket.
   std::vector<std::uint64_t> bucket_counts() const;
-  /// Bucket-interpolated quantile estimate (q in [0,1]); 0 when empty.
+  /// Sketch-backed quantile estimate (q in [0,1]) with bounded relative
+  /// error (sketch().relative_accuracy()); 0 when empty.  Falls back to
+  /// bucket interpolation if the sketch disagrees about the count (only
+  /// possible mid-race).
   double quantile(double q) const;
+  /// The underlying quantile sketch (mergeable across histograms).
+  const QuantileSketch& sketch() const noexcept { return sketch_; }
   void reset() noexcept;
 
  private:
+  double bucket_quantile(double q) const;
+
   std::vector<double> bounds_;  ///< sorted, deduplicated upper bounds
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<double> sum_{0.0};
   std::atomic<std::uint64_t> count_{0};
+  QuantileSketch sketch_;
 };
 
 /// Default latency buckets (seconds): 1µs .. 10s in a 1-2.5-5 ladder.
@@ -272,6 +298,14 @@ class Registry {
   /// Distinct values of `label_key` across one family's series (sorted).
   std::vector<std::string> label_values(std::string_view name,
                                         std::string_view label_key) const;
+
+  /// Visits every histogram series in export order (family name, then
+  /// label order) — the run-report percentile-table builder.
+  void visit_histograms(
+      const std::function<void(const std::string& name,
+                               const std::vector<std::string>& label_keys,
+                               const std::vector<std::string>& label_values,
+                               const Histogram& histogram)>& fn) const;
 
   /// Zeroes every series (families and handles stay valid).
   void reset();

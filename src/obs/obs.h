@@ -1,6 +1,9 @@
 // hv::obs — umbrella header for the observability layer.
 //
 //   metrics.h  Registry / Counter / Gauge / Histogram / ScopedTimer
+//   sketch.h   QuantileSketch (log-bucketed, mergeable percentiles)
+//   health.h   RunHealth (heartbeats/watchdog, slow pages, run report)
+//   json.h     minimal JSON reader for our own artifacts
 //   trace.h    Tracer / Span (Chrome trace_event export)
 //   log.h      Log (levels, key=value fields, ring-buffer sink)
 //
@@ -11,6 +14,9 @@
 // the whole layer into no-ops.
 #pragma once
 
+#include "obs/health.h"
+#include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/sketch.h"
 #include "obs/trace.h"

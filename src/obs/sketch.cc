@@ -1,0 +1,112 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hv::obs {
+namespace {
+
+// Tracked value range: below kMinTrackable clamps into the lowest grid
+// bucket, above kMaxTrackable into the highest.  For latencies observed
+// in seconds this spans nanoseconds to ~30 years.
+constexpr double kMinTrackable = 1e-9;
+constexpr double kMaxTrackable = 1e9;
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_accuracy)
+    : alpha_(std::clamp(relative_accuracy, 1e-4, 0.5)),
+      gamma_((1.0 + alpha_) / (1.0 - alpha_)),
+      inv_log_gamma_(1.0 / std::log(gamma_)) {
+  min_index_ = static_cast<int>(
+      std::floor(std::log(kMinTrackable) * inv_log_gamma_));
+  max_index_ =
+      static_cast<int>(std::ceil(std::log(kMaxTrackable) * inv_log_gamma_));
+  size_ = static_cast<std::size_t>(max_index_ - min_index_ + 1);
+#ifndef HV_OBS_DISABLED
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(size_);
+  for (std::size_t i = 0; i < size_; ++i) buckets_[i] = 0;
+#endif
+}
+
+int QuantileSketch::index_for(double value) const noexcept {
+  const int index =
+      static_cast<int>(std::ceil(std::log(value) * inv_log_gamma_));
+  return std::clamp(index, min_index_, max_index_);
+}
+
+double QuantileSketch::value_for(int index) const noexcept {
+  // Bucket `index` covers (gamma^(index-1), gamma^index]; the harmonic
+  // midpoint 2*gamma^i/(gamma+1) is within alpha of every point in it.
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::observe(double value) noexcept {
+#ifndef HV_OBS_DISABLED
+  if (!(value > 0.0)) {  // zero, negative, NaN
+    zero_count_.fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t slot =
+      static_cast<std::size_t>(index_for(value) - min_index_);
+  buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+#else
+  (void)value;
+#endif
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) noexcept {
+#ifndef HV_OBS_DISABLED
+  if (other.size_ != size_ || other.min_index_ != min_index_) return;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::uint64_t n =
+        other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  zero_count_.fetch_add(other.zero_count_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+#else
+  (void)other;
+#endif
+}
+
+double QuantileSketch::quantile(double q) const noexcept {
+#ifndef HV_OBS_DISABLED
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based rank of the sample whose value we estimate.
+  const auto rank = static_cast<std::uint64_t>(
+      std::llround(q * static_cast<double>(total - 1)));
+  std::uint64_t cumulative = zero_count_.load(std::memory_order_relaxed);
+  if (cumulative > rank) return 0.0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative > rank) {
+      return value_for(min_index_ + static_cast<int>(i));
+    }
+  }
+  // Count raced ahead of the bucket write; the top of the grid is the
+  // closest answer available.
+  return value_for(max_index_);
+#else
+  (void)q;
+  return 0.0;
+#endif
+}
+
+void QuantileSketch::reset() noexcept {
+#ifndef HV_OBS_DISABLED
+  for (std::size_t i = 0; i < size_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+#endif
+  zero_count_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hv::obs

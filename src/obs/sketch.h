@@ -1,0 +1,73 @@
+// hv::obs — mergeable log-bucketed quantile sketch (DDSketch-style).
+//
+// Fixed-bucket histograms answer "how many under 5ms" well but pin
+// percentile accuracy to the bucket ladder: a p999 landing inside the
+// 2.5ms..5ms bucket can be off by 2x.  The sketch buckets values on a
+// geometric grid instead — bucket i covers (gamma^(i-1), gamma^i] with
+// gamma = (1+a)/(1-a) — which bounds the RELATIVE error of every
+// quantile estimate by the configured accuracy `a` (default 1%),
+// uniformly across the whole tracked range (1e-9 .. 1e9, i.e. ns to
+// ~30 years when observing seconds).
+//
+// Two sketches with the same accuracy merge by bucket-count addition,
+// so per-worker sketches can fold into a run-level one without loss.
+// Mutation is relaxed atomics (same contract as Counter/Histogram);
+// under HV_OBS_DISABLED observe/merge compile to no-ops and the bucket
+// array is never allocated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace hv::obs {
+
+class QuantileSketch {
+ public:
+  /// `relative_accuracy` a in (0, 1): every quantile estimate q^ for a
+  /// true sample value q satisfies |q^ - q| <= a * q.
+  explicit QuantileSketch(double relative_accuracy = 0.01);
+
+  QuantileSketch(const QuantileSketch&) = delete;
+  QuantileSketch& operator=(const QuantileSketch&) = delete;
+
+  /// Records one value.  Non-positive (and NaN) values land in a
+  /// dedicated zero bucket and are reported as 0.0 by `quantile`.
+  void observe(double value) noexcept;
+
+  /// Folds `other` into this sketch (same relative accuracy required;
+  /// mismatched grids are ignored rather than corrupting the buckets).
+  void merge(const QuantileSketch& other) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate for q in [0,1]; 0 when empty.  The estimate is
+  /// within `relative_accuracy` of the sample at rank round(q*(n-1)).
+  double quantile(double q) const noexcept;
+
+  double relative_accuracy() const noexcept { return alpha_; }
+  /// Buckets in the geometric grid (exposed for the accuracy tests).
+  std::size_t grid_size() const noexcept { return size_; }
+
+  void reset() noexcept;
+
+ private:
+  int index_for(double value) const noexcept;
+  double value_for(int index) const noexcept;
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  int min_index_;
+  int max_index_;
+  std::size_t size_;
+#ifndef HV_OBS_DISABLED
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+#endif
+  std::atomic<std::uint64_t> zero_count_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace hv::obs

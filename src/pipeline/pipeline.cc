@@ -28,6 +28,7 @@ struct PipelineMetrics {
   obs::Histogram& crawl_seconds;        ///< per-capture WARC random read
   obs::Histogram& check_seconds;        ///< per-capture filter+parse+rules
   obs::GaugeFamily& worker_throughput;  ///< {snapshot, worker}, pages/s
+  obs::Gauge& stream_buffer_bytes;      ///< live readahead buffer bytes
 
   static PipelineMetrics& get() {
     obs::Registry& registry = obs::default_registry();
@@ -57,7 +58,37 @@ struct PipelineMetrics {
         registry.gauge_family("hv_pipeline_worker_pages_per_sec",
                               "Check throughput per worker in the last "
                               "snapshot run",
-                              {"snapshot", "worker"})};
+                              {"snapshot", "worker"}),
+        registry.gauge("hv_pipeline_stream_buffer_bytes",
+                       "Readahead buffer bytes currently held by crawl "
+                       "workers")};
+    return *metrics;
+  }
+};
+
+/// DOM memory accounting per checked page (arena, interner, node counts);
+/// the run report's byte-accounting section reads these back.
+struct HtmlMemoryMetrics {
+  obs::Counter& arena_bytes;      ///< cumulative arena bytes
+  obs::Gauge& arena_peak_bytes;   ///< largest single document arena
+  obs::Counter& dom_nodes;        ///< cumulative DOM nodes built
+  obs::Counter& interner_names;   ///< names outside the well-known table
+  obs::Counter& interner_bytes;   ///< private interner storage bytes
+
+  static HtmlMemoryMetrics& get() {
+    obs::Registry& registry = obs::default_registry();
+    static HtmlMemoryMetrics* const metrics = new HtmlMemoryMetrics{
+        registry.counter("hv_html_arena_bytes_total",
+                         "DOM arena bytes allocated across checked pages"),
+        registry.gauge("hv_html_arena_peak_bytes",
+                       "Largest single-document DOM arena seen"),
+        registry.counter("hv_html_dom_nodes_total",
+                         "DOM nodes built across checked pages"),
+        registry.counter("hv_html_interner_local_names_total",
+                         "Tag/attribute names interned outside the "
+                         "well-known table"),
+        registry.counter("hv_html_interner_local_bytes_total",
+                         "Bytes of private name-interner storage")};
     return *metrics;
   }
 };
@@ -145,17 +176,41 @@ bool analyze_capture(const core::Checker& checker, std::string_view domain,
   outcome->uses_math = parsed.document->uses_math();
   outcome->uses_svg = parsed.document->uses_svg();
   if (counters != nullptr) ++counters->pages_checked;
+#ifndef HV_OBS_DISABLED
+  const html::Document& document = *parsed.document;
+  HtmlMemoryMetrics& memory = HtmlMemoryMetrics::get();
+  memory.arena_bytes.inc(document.arena_bytes());
+  memory.arena_peak_bytes.set_max(
+      static_cast<double>(document.arena_bytes()));
+  memory.dom_nodes.inc(document.node_count());
+  memory.interner_names.inc(document.names().local_count());
+  memory.interner_bytes.inc(document.names().local_bytes());
+#endif
   return true;
 }
 
 StudyPipeline::StudyPipeline(PipelineConfig config)
     : config_(std::move(config)),
       generator_(config_.corpus, study_domains(config_.corpus)),
-      snapshots_(config_.workdir) {
+      snapshots_(config_.workdir),
+      health_(config_.health) {
   if (config_.threads <= 0) {
     config_.threads = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
   }
+  // The run report's config hash fingerprints everything that shapes the
+  // measurement, so two reports compare apples to apples.
+  std::string summary;
+  summary += "domains=" + std::to_string(config_.corpus.domain_count);
+  summary += " max_pages=" +
+             std::to_string(config_.corpus.max_pages_per_domain);
+  summary += " seed=" + std::to_string(config_.corpus.seed);
+  summary += " rate_scale=" +
+             std::to_string(config_.corpus.violation_rate_scale);
+  summary += " pages_per_domain=" + std::to_string(config_.pages_per_domain);
+  summary += " threads=" + std::to_string(config_.threads);
+  summary += config_.overlap_snapshots ? " overlap=1" : " overlap=0";
+  health_.set_config_summary(std::move(summary));
   // The study list is already average-rank-ordered (section 3.3), so the
   // index is the rank; registering it feeds the section 4.1 avg-rank
   // stability check.
@@ -178,6 +233,8 @@ void StudyPipeline::build_archives() {
                             "archive:" + std::string(label));
     const obs::ScopedTimer stage_timer(
         PipelineMetrics::get().stage_seconds.with({"build_archives", label}));
+    const std::size_t stage = health_.stage_begin(
+        "build_archives", std::string(label), generator_.domains().size());
     const archive::SnapshotPaths paths = snapshots_.create(label);
     std::ofstream warc_out(paths.warc, std::ios::binary);
     if (!warc_out) {
@@ -192,6 +249,7 @@ void StudyPipeline::build_archives() {
     for (std::size_t d = 0; d < generator_.domains().size(); ++d) {
       const corpus::DomainSnapshot snapshot =
           generator_.domain_snapshot(d, y);
+      health_.stage_advance(stage, 1);
       if (!snapshot.in_crawl) continue;
       for (const corpus::PageRecord& page : snapshot.pages) {
         const std::string url =
@@ -205,6 +263,7 @@ void StudyPipeline::build_archives() {
       }
     }
     index.save(paths.cdx);
+    health_.stage_end(stage);
     snapshot_span.arg("records", std::to_string(index.entries().size()));
     obs::default_log().info(
         "archive built",
@@ -230,17 +289,23 @@ void StudyPipeline::run_snapshot(int year_index) {
   archive::CdxIndex index;
   std::vector<std::string> domains;
   std::vector<Task> tasks;
+  std::size_t total_captures = 0;
   {
     obs::Span span(tracer, "metadata");
     const obs::ScopedTimer stage_timer(
         metrics.stage_seconds.with({"metadata", label}));
+    const std::size_t stage =
+        health_.stage_begin("metadata", std::string(label), 0);
     index = archive::CdxIndex::load(paths.cdx);
     domains = index.domains();
     tasks.reserve(domains.size());
     for (const std::string& domain : domains) {
       tasks.push_back({index.lookup(domain, config_.pages_per_domain)});
+      total_captures += tasks.back().captures.size();
       store_.mark_found(domain, year_index);
     }
+    health_.stage_advance(stage, domains.size());
+    health_.stage_end(stage);
     span.arg("domains", std::to_string(domains.size()));
   }
 
@@ -260,14 +325,28 @@ void StudyPipeline::run_snapshot(int year_index) {
   // small enough that the tail stays balanced across the pool.
   const std::size_t batch_size = std::max<std::size_t>(
       1, tasks.size() / (static_cast<std::size_t>(config_.threads) * 8));
+  const std::size_t crawl_stage = health_.stage_begin(
+      "crawl_check", std::string(label), total_captures);
 
-  const auto worker = [&](int worker_index) {
+  const auto worker = [&, crawl_stage](int worker_index) {
     obs::Span worker_span(tracer, "worker:" + std::to_string(worker_index),
                           "pool");
 #ifndef HV_OBS_DISABLED
     const auto worker_start = std::chrono::steady_clock::now();
 #endif
+    const int heartbeat = health_.heartbeats().register_worker(
+        std::string(label) + "/" + std::to_string(worker_index),
+        "crawl_check");
+    if (worker_index == config_.debug_stall_worker &&
+        config_.debug_stall_seconds > 0.0) {
+      // Test hook: one beat, then go silent so the watchdog has a stall
+      // to detect without a genuinely wedged input.
+      health_.heartbeats().beat(heartbeat, 0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config_.debug_stall_seconds));
+    }
     std::vector<char> readahead(256 * 1024);
+    metrics.stream_buffer_bytes.add(static_cast<double>(readahead.size()));
     std::ifstream warc_in;
     warc_in.rdbuf()->pubsetbuf(readahead.data(),
                                static_cast<std::streamsize>(readahead.size()));
@@ -299,16 +378,31 @@ void StudyPipeline::run_snapshot(int year_index) {
         ++local.records_read;
         if (!record.has_value() || record->type != "response") continue;
         PageOutcome outcome;
-        {
-          const obs::ScopedTimer check_timer(metrics.check_seconds);
-          analyze_capture(checker_, capture->domain, year_index,
-                          record->payload, &outcome, &local);
-        }
+#ifndef HV_OBS_DISABLED
+        const auto check_start = std::chrono::steady_clock::now();
+#endif
+        analyze_capture(checker_, capture->domain, year_index,
+                        record->payload, &outcome, &local);
+#ifndef HV_OBS_DISABLED
+        // Timed by hand (not ScopedTimer) so one clock pair feeds both
+        // the latency histogram and the slow-page tracker.
+        const double check_elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          check_start)
+                .count();
+        metrics.check_seconds.observe(check_elapsed);
+        health_.slow_pages().record(capture->domain, label, capture->offset,
+                                    check_elapsed, record->payload.size());
+#endif
         if (outcome.analyzable) {
           store_.add(outcome);
         }
       }
+      health_.stage_advance(crawl_stage, batch_captures.size());
+      health_.heartbeats().beat(heartbeat, local.records_read);
     }
+    metrics.stream_buffer_bytes.add(-static_cast<double>(readahead.size()));
+    health_.heartbeats().deregister(heartbeat);
     records_read.fetch_add(local.records_read);
     non_html.fetch_add(local.non_html_records);
     non_utf8.fetch_add(local.non_utf8_filtered);
@@ -337,60 +431,103 @@ void StudyPipeline::run_snapshot(int year_index) {
     for (std::thread& thread : pool) thread.join();
     span.arg("workers", std::to_string(config_.threads));
   }
+  health_.stage_end(crawl_stage);
 
   // Step 4: fold the pool's tallies into the study-level counters and the
   // exported per-snapshot series (ResultStore rows were added in-flight).
+  // One load per atomic into a plain tally first, so the study counters,
+  // the exported series, and the summary log line all report the same
+  // numbers — field-by-field re-loads would drift the moment anything
+  // else touched these atomics between reads.
+  PipelineCounters tally;
+  tally.records_read = records_read.load();
+  tally.non_html_records = non_html.load();
+  tally.non_utf8_filtered = non_utf8.load();
+  tally.http_errors = http_errors.load();
+  tally.pages_checked = checked.load();
   {
     obs::Span span(tracer, "store");
     const obs::ScopedTimer stage_timer(
         metrics.stage_seconds.with({"store", label}));
-    counters_.records_read.fetch_add(records_read.load());
-    counters_.non_html_records.fetch_add(non_html.load());
-    counters_.non_utf8_filtered.fetch_add(non_utf8.load());
-    counters_.http_errors.fetch_add(http_errors.load());
-    counters_.pages_checked.fetch_add(checked.load());
-    metrics.records_read.with({label}).inc(records_read.load());
-    metrics.filter_drops.with({label, "non_html"}).inc(non_html.load());
-    metrics.filter_drops.with({label, "non_utf8"}).inc(non_utf8.load());
-    metrics.filter_drops.with({label, "http_error"}).inc(http_errors.load());
-    metrics.pages_checked.with({label}).inc(checked.load());
+    const std::size_t stage =
+        health_.stage_begin("store", std::string(label), tally.records_read);
+    counters_.add(tally);
+    metrics.records_read.with({label}).inc(tally.records_read);
+    metrics.filter_drops.with({label, "non_html"})
+        .inc(tally.non_html_records);
+    metrics.filter_drops.with({label, "non_utf8"})
+        .inc(tally.non_utf8_filtered);
+    metrics.filter_drops.with({label, "http_error"}).inc(tally.http_errors);
+    metrics.pages_checked.with({label}).inc(tally.pages_checked);
+    health_.stage_advance(stage, tally.records_read);
+    health_.stage_end(stage);
   }
   obs::default_log().info(
       "snapshot complete",
       {{"snapshot", std::string(label)},
-       {"records", std::to_string(records_read.load())},
-       {"checked", std::to_string(checked.load())},
-       {"dropped_non_html", std::to_string(non_html.load())},
-       {"dropped_non_utf8", std::to_string(non_utf8.load())}});
+       {"records", std::to_string(tally.records_read)},
+       {"checked", std::to_string(tally.pages_checked)},
+       {"dropped_non_html", std::to_string(tally.non_html_records)},
+       {"dropped_non_utf8", std::to_string(tally.non_utf8_filtered)}});
 }
 
 void StudyPipeline::run_all() {
   obs::Span run_span(obs::default_tracer(), "run_all");
+  health_.start();
   build_archives();
   if (!config_.overlap_snapshots) {
     for (int y = 0; y < kYearCount; ++y) run_snapshot(y);
-    return;
-  }
-  // Pairwise overlap: two snapshots in flight bounds memory (each run
-  // holds its CDX index) while hiding the serial metadata/store stages.
-  for (int y = 0; y < kYearCount; y += 2) {
-    std::thread companion;
-    if (y + 1 < kYearCount) {
-      companion = std::thread([this, y] { run_snapshot(y + 1); });
+  } else {
+    // Pairwise overlap: two snapshots in flight bounds memory (each run
+    // holds its CDX index) while hiding the serial metadata/store stages.
+    for (int y = 0; y < kYearCount; y += 2) {
+      std::thread companion;
+      if (y + 1 < kYearCount) {
+        companion = std::thread([this, y] { run_snapshot(y + 1); });
+      }
+      run_snapshot(y);
+      if (companion.joinable()) companion.join();
     }
-    run_snapshot(y);
-    if (companion.joinable()) companion.join();
+  }
+  health_.stop();
+  if (!config_.report_out.empty()) {
+    std::ofstream report(config_.report_out,
+                         std::ios::binary | std::ios::trunc);
+    if (report) {
+      write_run_report(report);
+    } else {
+      obs::default_log().warn(
+          "cannot write run report",
+          {{"path", config_.report_out.string()}});
+    }
   }
 }
 
+void StudyPipeline::write_run_report(std::ostream& out) const {
+  health_.write_report(out, obs::default_registry());
+}
+
+void StudyPipeline::AtomicCounters::add(
+    const PipelineCounters& delta) noexcept {
+  records_read.fetch_add(delta.records_read);
+  non_html_records.fetch_add(delta.non_html_records);
+  non_utf8_filtered.fetch_add(delta.non_utf8_filtered);
+  http_errors.fetch_add(delta.http_errors);
+  pages_checked.fetch_add(delta.pages_checked);
+}
+
+PipelineCounters StudyPipeline::AtomicCounters::snapshot() const noexcept {
+  PipelineCounters view;
+  view.records_read = records_read.load();
+  view.non_html_records = non_html_records.load();
+  view.non_utf8_filtered = non_utf8_filtered.load();
+  view.http_errors = http_errors.load();
+  view.pages_checked = pages_checked.load();
+  return view;
+}
+
 PipelineCounters StudyPipeline::counters() const noexcept {
-  PipelineCounters snapshot;
-  snapshot.records_read = counters_.records_read.load();
-  snapshot.non_html_records = counters_.non_html_records.load();
-  snapshot.non_utf8_filtered = counters_.non_utf8_filtered.load();
-  snapshot.http_errors = counters_.http_errors.load();
-  snapshot.pages_checked = counters_.pages_checked.load();
-  return snapshot;
+  return counters_.snapshot();
 }
 
 }  // namespace hv::pipeline

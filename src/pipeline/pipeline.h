@@ -14,12 +14,14 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "archive/snapshot_store.h"
 #include "core/checker.h"
 #include "corpus/generator.h"
+#include "obs/health.h"
 #include "pipeline/result_store.h"
 
 namespace hv::pipeline {
@@ -34,6 +36,18 @@ struct PipelineConfig {
   /// counters are atomic, so one snapshot's metadata/store stages can
   /// hide behind the other's crawl+check.  Doubles peak thread count.
   bool overlap_snapshots = false;
+
+  /// Run-health observatory knobs (watchdog cadence, stall threshold,
+  /// slow-page capacity, live snapshot path).
+  obs::RunHealthOptions health;
+  /// Where run_all writes run_report.json ("" = don't write one).
+  std::filesystem::path report_out;
+
+  /// Test hook: worker `debug_stall_worker` sleeps `debug_stall_seconds`
+  /// after its first heartbeat, so watchdog stall detection is testable
+  /// without a genuinely wedged input.  Off by default (-1).
+  int debug_stall_worker = -1;
+  double debug_stall_seconds = 0.0;
 };
 
 /// Snapshot of the pipeline's bookkeeping counters.  `analyze_capture`
@@ -70,6 +84,15 @@ class StudyPipeline {
   const corpus::Generator& generator() const noexcept { return generator_; }
   const PipelineConfig& config() const noexcept { return config_; }
 
+  /// The run-health observatory (heartbeats, slow pages, stages).
+  /// run_all starts/stops it; callers driving run_snapshot directly can
+  /// start it themselves to get watchdog coverage.
+  obs::RunHealth& health() noexcept { return health_; }
+
+  /// Emits run_report.json for the work done so far (run_all also writes
+  /// it to `config().report_out` when set).
+  void write_run_report(std::ostream& out) const;
+
  private:
   /// Atomic accumulation across the step-3 worker pool; `counters()`
   /// materializes the view.  Plain fields would race if `run_snapshot`
@@ -80,6 +103,13 @@ class StudyPipeline {
     std::atomic<std::size_t> non_utf8_filtered{0};
     std::atomic<std::size_t> http_errors{0};
     std::atomic<std::size_t> pages_checked{0};
+
+    /// Folds one pool's tally in (one fetch_add per field).
+    void add(const PipelineCounters& delta) noexcept;
+    /// One load per field into a plain struct, so every consumer of the
+    /// end-of-run summary sees the same numbers instead of re-loading
+    /// fields that may move between reads.
+    PipelineCounters snapshot() const noexcept;
   };
 
   PipelineConfig config_;
@@ -88,6 +118,7 @@ class StudyPipeline {
   core::Checker checker_;
   ResultStore store_;
   AtomicCounters counters_;
+  obs::RunHealth health_;
 };
 
 /// Analyzes one HTTP response payload: media-type filter, UTF-8 filter,

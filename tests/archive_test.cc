@@ -7,9 +7,11 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "archive/snapshot_store.h"
 #include "net/http.h"
+#include "obs/metrics.h"
 
 namespace hv::archive {
 namespace {
@@ -71,6 +73,46 @@ TEST(Warc, RandomAccessViaOffsets) {
   reader.seek(first);
   EXPECT_EQ(reader.next()->target_uri, "https://a/");
 }
+
+#ifndef HV_OBS_DISABLED
+TEST(Warc, OffsetSortedBatchesSkipRedundantSeeks) {
+  // The crawl stage sorts each batch by WARC offset, so most seeks land
+  // exactly where the previous record ended; WarcReader::seek skips the
+  // seekg in that case and accounts for it in
+  // hv_archive_warc_seeks_total{skipped="true"}.
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  writer.write_warcinfo("T");
+  std::vector<std::uint64_t> offsets;
+  for (int i = 0; i < 8; ++i) {
+    offsets.push_back(writer.write_response(
+        "https://d" + std::to_string(i) + "/", "2020-01-01T00:00:00Z",
+        http_page("page " + std::to_string(i))));
+  }
+
+  const auto seeks = [](bool skipped) {
+    return obs::default_registry()
+        .value("hv_archive_warc_seeks_total", {skipped ? "true" : "false"})
+        .value_or(0.0);
+  };
+
+  WarcReader reader(stream);
+  const double skipped_before = seeks(true);
+  for (const std::uint64_t offset : offsets) {  // offset-sorted batch
+    reader.seek(offset);
+    ASSERT_TRUE(reader.next().has_value());
+  }
+  // Every seek after the first lands where the previous record ended.
+  EXPECT_GE(seeks(true) - skipped_before, 7.0);
+
+  const double performed_before = seeks(false);
+  for (auto it = offsets.rbegin(); it != offsets.rend(); ++it) {
+    reader.seek(*it);  // reverse order: every seek is a real seekg
+    ASSERT_TRUE(reader.next().has_value());
+  }
+  EXPECT_GE(seeks(false) - performed_before, 7.0);
+}
+#endif  // HV_OBS_DISABLED
 
 TEST(Warc, BinaryPayloadSurvives) {
   std::stringstream stream;

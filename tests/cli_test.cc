@@ -292,6 +292,121 @@ TEST(CliWarc, UsageErrors) {
   EXPECT_EQ(run_cli({"warc", "frob", "x"}).exit_code, 2);
 }
 
+TEST(CliRun, WritesReportLiveSnapshotAndMonitors) {
+  const auto workdir =
+      std::filesystem::temp_directory_path() / "hv_cli_run_test";
+  std::filesystem::remove_all(workdir);
+  const CliResult result =
+      run_cli({"run", "--domains", "30", "--pages", "2", "--seed", "9",
+               "--workdir", workdir.string()});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.err.find("run report written"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(workdir / "run_report.json"));
+  EXPECT_TRUE(std::filesystem::exists(workdir / "run_live.json"));
+
+  // `hv monitor --once` renders the final snapshot and exits cleanly,
+  // in both normal and HV_OBS_DISABLED builds.
+  const CliResult monitor = run_cli({"monitor", "--once", workdir.string()});
+  EXPECT_EQ(monitor.exit_code, 0) << monitor.err;
+#ifdef HV_OBS_DISABLED
+  EXPECT_NE(monitor.out.find("observability disabled"), std::string::npos);
+#else
+  EXPECT_NE(monitor.out.find("run complete"), std::string::npos);
+#endif
+
+  // A report compared against itself never regresses.
+  const CliResult compare =
+      run_cli({"stats", "--compare", (workdir / "run_report.json").string(),
+               (workdir / "run_report.json").string()});
+  EXPECT_EQ(compare.exit_code, 0) << compare.out << compare.err;
+  std::filesystem::remove_all(workdir);
+}
+
+TEST(CliMonitor, MissingSnapshotIsUsageError) {
+  EXPECT_EQ(run_cli({"monitor", "--once", "/no/such/dir"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"monitor"}).exit_code, 2);
+}
+
+// Synthetic run reports keep the compare tests independent of study
+// runtime (and of HV_OBS_DISABLED, which would blank a real report).
+std::string synthetic_report(double p50, double p99, int pages_checked) {
+  std::ostringstream report;
+  report << "{\n  \"version\": 1,\n  \"obs_disabled\": false,\n"
+         << "  \"config\": {\"hash\": \"0123456789abcdef\", "
+            "\"summary\": \"synthetic\"},\n"
+         << "  \"counters\": {\"records_read\": 500, \"pages_checked\": "
+         << pages_checked << ", \"drops\": {\"non_html\": 3}},\n"
+         << "  \"percentiles\": [\n"
+         << "    {\"name\": \"hv_pipeline_check_seconds\", "
+            "\"labels\": {\"snapshot\":\"2016\"}, \"count\": 400, "
+            "\"mean\": "
+         << p50 << ", \"p50\": " << p50 << ", \"p90\": " << p99
+         << ", \"p99\": " << p99 << ", \"p999\": " << p99 << "}\n"
+         << "  ]\n}\n";
+  return report.str();
+}
+
+TEST(CliStatsCompare, FlagsPercentileRegressionsAndCountDrift) {
+  const auto base = write_temp("hv_cmp_base.json",
+                               synthetic_report(0.010, 0.100, 460));
+  const auto same = write_temp("hv_cmp_same.json",
+                               synthetic_report(0.010, 0.100, 460));
+  // +30% p99, same counts: a latency regression, caught by default.
+  const auto slower = write_temp("hv_cmp_slow.json",
+                                 synthetic_report(0.010, 0.130, 460));
+  // Same latency, different pages_checked: a determinism break.
+  const auto drifted = write_temp("hv_cmp_drift.json",
+                                  synthetic_report(0.010, 0.100, 459));
+
+  EXPECT_EQ(
+      run_cli({"stats", "--compare", base.string(), same.string()}).exit_code,
+      0);
+
+  const CliResult regression =
+      run_cli({"stats", "--compare", base.string(), slower.string()});
+  EXPECT_EQ(regression.exit_code, 1);
+  EXPECT_NE(regression.out.find("regression: hv_pipeline_check_seconds"),
+            std::string::npos);
+
+  // A wider tolerance lets the same delta pass.
+  EXPECT_EQ(run_cli({"stats", "--compare", base.string(), slower.string(),
+                     "--max-regression", "50"})
+                .exit_code,
+            0);
+
+  const CliResult drift =
+      run_cli({"stats", "--compare", base.string(), drifted.string()});
+  EXPECT_EQ(drift.exit_code, 1);
+  EXPECT_NE(drift.out.find("count mismatch: pages_checked"),
+            std::string::npos);
+
+  // --counts-only ignores the latency regression but not count drift.
+  EXPECT_EQ(run_cli({"stats", "--compare", base.string(), slower.string(),
+                     "--counts-only"})
+                .exit_code,
+            0);
+
+  EXPECT_EQ(run_cli({"stats", "--compare", base.string(), "/no/such.json"})
+                .exit_code,
+            2);
+  EXPECT_EQ(run_cli({"stats", "--compare", base.string()}).exit_code, 2);
+
+  for (const auto& path : {base, same, slower, drifted}) {
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(CliStatsCompare, DisabledBuildReportsCompareAsNoop) {
+  const auto disabled = write_temp(
+      "hv_cmp_disabled.json",
+      "{\n  \"version\": 1,\n  \"obs_disabled\": true\n}\n");
+  const CliResult result = run_cli(
+      {"stats", "--compare", disabled.string(), disabled.string()});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("HV_OBS_DISABLED"), std::string::npos);
+  std::filesystem::remove(disabled);
+}
+
 TEST(JsonEscape, ControlAndQuotes) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string_view("x\x01y", 3)), "x\\u0001y");

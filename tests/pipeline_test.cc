@@ -7,7 +7,10 @@
 #include <algorithm>
 #include <array>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string_view>
+#include <vector>
 
 #include "net/http.h"
 #include "obs/obs.h"
@@ -332,6 +335,122 @@ TEST(StudyPipeline, DeterministicAcrossThreadCounts) {
   std::filesystem::remove_all(config_a.workdir);
   std::filesystem::remove_all(config_b.workdir);
 }
+
+#ifndef HV_OBS_DISABLED
+TEST(StudyPipeline, RunReportCarriesPercentilesSlowPagesAndWorkers) {
+  obs::default_registry().reset();
+  PipelineConfig config = mini_config("report");
+  config.health.slow_page_capacity = 8;
+  StudyPipeline pipeline(config);
+  pipeline.run_all();
+
+  std::ostringstream out;
+  pipeline.write_run_report(out);
+  const auto doc = obs::json::parse(out.str());
+  ASSERT_TRUE(doc.has_value()) << out.str();
+  EXPECT_FALSE(doc->bool_or("obs_disabled", true));
+
+  const obs::json::Value* config_json = doc->find("config");
+  ASSERT_NE(config_json, nullptr);
+  EXPECT_EQ(config_json->string_or("hash", "").size(), 16u);
+
+  const obs::json::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GT(counters->number_or("records_read", 0.0), 0.0);
+  EXPECT_GT(counters->number_or("pages_checked", 0.0), 0.0);
+
+  // Per-stage percentile tables, built from the registry's sketches.
+  const obs::json::Value* percentiles = doc->find("percentiles");
+  ASSERT_NE(percentiles, nullptr);
+  ASSERT_TRUE(percentiles->is_array());
+  bool found_check_seconds = false;
+  for (const obs::json::Value& entry : percentiles->array) {
+    if (entry.string_or("name", "") == "hv_pipeline_check_seconds") {
+      found_check_seconds = true;
+      EXPECT_GT(entry.number_or("count", 0.0), 0.0);
+      EXPECT_GT(entry.number_or("p50", 0.0), 0.0);
+      EXPECT_GE(entry.number_or("p99", 0.0), entry.number_or("p50", 0.0));
+    }
+  }
+  EXPECT_TRUE(found_check_seconds);
+
+  // Every checked page is a slow-page candidate, so the tracker is
+  // populated after any non-empty run.
+  const obs::json::Value* slow = doc->find("slow_pages");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_TRUE(slow->is_array());
+  ASSERT_FALSE(slow->array.empty());
+  EXPECT_FALSE(slow->array[0].string_or("domain", "").empty());
+  EXPECT_GT(slow->array[0].number_or("seconds", 0.0), 0.0);
+
+  const obs::json::Value* workers = doc->find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_TRUE(workers->is_array());
+  EXPECT_FALSE(workers->array.empty());
+
+  const obs::json::Value* stages = doc->find("stages");
+  ASSERT_NE(stages, nullptr);
+  bool found_crawl = false;
+  for (const obs::json::Value& stage : stages->array) {
+    if (stage.string_or("stage", "") == "crawl_check") found_crawl = true;
+  }
+  EXPECT_TRUE(found_crawl);
+
+  EXPECT_TRUE(doc->find("stalls") != nullptr);
+  std::filesystem::remove_all(config.workdir);
+}
+
+TEST(StudyPipeline, WatchdogFlagsAnArtificiallyHungWorker) {
+  obs::default_log().set_level(obs::LogLevel::kInfo);
+  PipelineConfig config = mini_config("stall");
+  config.threads = 2;
+  config.debug_stall_worker = 0;      // worker 0 wedges after its first beat
+  config.debug_stall_seconds = 0.6;
+  config.health.watchdog_interval_s = 0.02;
+  config.health.stall_after_s = 0.15;
+  StudyPipeline pipeline(config);
+  pipeline.build_archives();
+  pipeline.health().start();
+  pipeline.run_snapshot(0);
+  pipeline.health().stop();
+
+  const std::vector<obs::StallEvent> stalls = pipeline.health().stall_events();
+  ASSERT_FALSE(stalls.empty());
+  EXPECT_EQ(stalls[0].stage, "crawl_check");
+  EXPECT_GE(stalls[0].stalled_seconds, config.health.stall_after_s);
+
+  // The watchdog WARNs within the scan interval; the entry lands in the
+  // default structured-log ring.
+  bool warned = false;
+  for (const obs::LogEntry& entry : obs::default_log().recent()) {
+    if (entry.level == obs::LogLevel::kWarn &&
+        entry.message == "worker stalled") {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+  std::filesystem::remove_all(config.workdir);
+}
+
+TEST(StudyPipeline, LiveSnapshotFileIsWrittenAndFinalized) {
+  PipelineConfig config = mini_config("live");
+  config.health.live_path = config.workdir / "run_live.json";
+  config.health.live_period_s = 0.05;
+  StudyPipeline pipeline(config);
+  std::filesystem::create_directories(config.workdir);
+  pipeline.run_all();
+
+  std::ifstream live(config.health.live_path);
+  ASSERT_TRUE(live.is_open());
+  std::stringstream buffer;
+  buffer << live.rdbuf();
+  const auto doc = obs::json::parse(buffer.str());
+  ASSERT_TRUE(doc.has_value()) << buffer.str();
+  EXPECT_TRUE(doc->bool_or("complete", false));
+  EXPECT_EQ(doc->string_or("config_hash", "").size(), 16u);
+  std::filesystem::remove_all(config.workdir);
+}
+#endif  // HV_OBS_DISABLED
 
 }  // namespace
 }  // namespace hv::pipeline

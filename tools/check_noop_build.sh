@@ -15,4 +15,35 @@ cmake -S "$repo_root" -B "$build_dir" -DHV_OBS_DISABLED=ON
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
 cd "$build_dir"
 ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+# The run-health observatory must degrade gracefully, not vanish: the
+# disabled binary still runs `hv run`, writes obs_disabled marker files,
+# `hv monitor` explains the build instead of crashing, and
+# `hv stats --compare` treats two disabled reports as a clean no-op.
+echo "== run-health graceful degradation (HV_OBS_DISABLED) =="
+hv_bin="$build_dir/tools/hv"
+[ -x "$hv_bin" ] || hv_bin="$build_dir/hv"
+work_dir="$(mktemp -d)"
+trap 'rm -rf "$work_dir"' EXIT
+"$hv_bin" run --domains 20 --pages 2 --seed 5 \
+  --workdir "$work_dir/run" >/dev/null 2>&1
+[ -f "$work_dir/run/run_report.json" ] || {
+  echo "check_noop_build: FAIL (no run_report.json from disabled hv run)"
+  exit 1
+}
+grep -q '"obs_disabled": true' "$work_dir/run/run_report.json" || {
+  echo "check_noop_build: FAIL (disabled report missing obs_disabled marker)"
+  exit 1
+}
+"$hv_bin" monitor --once "$work_dir/run" | \
+  grep -q "observability disabled" || {
+  echo "check_noop_build: FAIL (hv monitor did not explain disabled build)"
+  exit 1
+}
+"$hv_bin" stats --compare "$work_dir/run/run_report.json" \
+  "$work_dir/run/run_report.json" >/dev/null || {
+  echo "check_noop_build: FAIL (stats --compare on disabled reports)"
+  exit 1
+}
+
 echo "check_noop_build: OK (HV_OBS_DISABLED build passes the test suite)"

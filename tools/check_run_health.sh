@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Run-health CI gate, next to check_bench_smoke.sh in the CI script set.
+#
+# Three layers:
+#   1. Reproducibility: two `hv run` invocations with identical parameters
+#      must produce reports that `hv stats --compare` accepts (identical
+#      counters; percentiles within the default tolerance).
+#   2. Sensitivity: an injected +25% p99 on the check-latency series must
+#      make the comparator exit non-zero, proving the gate actually gates.
+#   3. Baseline drift: the current run's counters are compared against the
+#      committed RUN_BASELINE.json with --counts-only (absolute latencies
+#      are machine-local, but record/page/drop counts are deterministic
+#      for the seeded corpus).
+#
+# Usage: tools/check_run_health.sh [build-dir]   (default: build)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+run_args="--domains 40 --pages 2 --seed 11 --threads 4"
+
+echo "== building hv =="
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target hv >/dev/null
+hv_bin="$build_dir/tools/hv"
+
+echo "== running the pipeline twice with identical parameters =="
+# shellcheck disable=SC2086  # run_args is a word list by design
+"$hv_bin" run $run_args --workdir "$tmp_dir/a" >/dev/null 2>&1
+# shellcheck disable=SC2086
+"$hv_bin" run $run_args --workdir "$tmp_dir/b" >/dev/null 2>&1
+
+echo "== compare: identical configuration must pass =="
+# Latency percentiles of a 2-second run are noisy; the counters are the
+# deterministic contract, so the repeat-run gate is counts-only.
+"$hv_bin" stats --compare \
+  "$tmp_dir/a/run_report.json" "$tmp_dir/b/run_report.json" --counts-only
+
+echo "== compare: injected +25% p99 must fail =="
+python3 - "$tmp_dir/a/run_report.json" "$tmp_dir/slow.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for entry in report.get("percentiles", []):
+    if entry.get("name") == "hv_pipeline_check_seconds":
+        entry["p99"] *= 1.25
+        entry["p50"] *= 1.25
+json.dump(report, open(sys.argv[2], "w"), indent=1)
+EOF
+if "$hv_bin" stats --compare "$tmp_dir/a/run_report.json" \
+     "$tmp_dir/slow.json" >/dev/null; then
+  echo "check_run_health: FAIL (comparator missed an injected regression)"
+  exit 1
+fi
+echo "(comparator rejected the doctored report, as intended)"
+
+echo "== compare: counters against committed RUN_BASELINE.json =="
+"$hv_bin" stats --compare "$repo_root/RUN_BASELINE.json" \
+  "$tmp_dir/a/run_report.json" --counts-only
+
+echo "check_run_health: OK"
