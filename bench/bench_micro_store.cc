@@ -1,0 +1,131 @@
+// Micro benchmarks for the hv::store write path: contended add()
+// throughput at 1/4/8 writer threads.
+//
+// The point of the sharded sink is that 8 check workers stop serializing
+// on one mutex, so the interesting number is the before/after ratio at 8
+// threads.  `HV_STORE_BENCH_IMPL=mutex` swaps in a faithful copy of the
+// old single-mutex pipeline::ResultStore write path under the SAME
+// benchmark names, so tools/bench_compare.py can diff the two runs:
+//
+//   HV_STORE_BENCH_IMPL=mutex   ./bench_micro_store --json before.json
+//   HV_STORE_BENCH_IMPL=sharded ./bench_micro_store --json after.json
+//   tools/bench_compare.py before.json after.json --require-speedup 2.0
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "micro_harness.h"
+#include "store/result_sink.h"
+#include "store/types.h"
+
+namespace {
+
+using hv::store::DomainRow;
+using hv::store::PageOutcome;
+using hv::store::ResultSink;
+using hv::store::ShardedResultSink;
+
+/// The old write path, kept verbatim as the benchmark baseline: one
+/// process-wide mutex in front of one row map (what
+/// pipeline::ResultStore did before hv::store replaced it).
+class SingleMutexSink final : public ResultSink {
+ public:
+  void add(const PageOutcome& outcome) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rows_[outcome.domain].merge_outcome(outcome);
+  }
+  void mark_found(std::string_view domain, int year_index) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rows_[std::string(domain)].flags[static_cast<std::size_t>(year_index)] |=
+        hv::store::kFlagFound;
+  }
+  void register_rank(std::string_view domain, std::uint64_t rank) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rows_[std::string(domain)].rank = rank;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, DomainRow, std::less<>> rows_;
+};
+
+bool use_sharded_impl() {
+  const char* impl = std::getenv("HV_STORE_BENCH_IMPL");
+  return impl == nullptr || std::strcmp(impl, "mutex") != 0;
+}
+
+/// A realistic outcome mix over enough domains that shard selection
+/// spreads (512 domains, 4096 distinct outcomes cycled per thread).
+const std::vector<PageOutcome>& outcome_pool() {
+  static const std::vector<PageOutcome>* const pool = [] {
+    auto* outcomes = new std::vector<PageOutcome>;
+    outcomes->reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      PageOutcome outcome;
+      outcome.domain = "domain" + std::to_string(i % 512) + ".example";
+      outcome.year_index = i % hv::store::kYearCount;
+      outcome.analyzable = true;
+      outcome.violations.set(
+          static_cast<std::size_t>(i % hv::core::kViolationCount));
+      if (i % 7 == 0) outcome.url_newline = true;
+      if (i % 11 == 0) outcome.uses_math = true;
+      outcomes->push_back(std::move(outcome));
+    }
+    return outcomes;
+  }();
+  return *pool;
+}
+
+ResultSink* g_sink = nullptr;
+
+void BM_ResultSinkAddContended(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_sink = use_sharded_impl() ? static_cast<ResultSink*>(
+                                      new ShardedResultSink(/*shards=*/16))
+                                : new SingleMutexSink;
+  }
+  const std::vector<PageOutcome>& pool = outcome_pool();
+  // Decorrelated start per thread so concurrent writers touch different
+  // domains (and therefore different shards) most of the time — the
+  // pattern real check workers produce.
+  std::size_t index =
+      static_cast<std::size_t>(state.thread_index()) * 977 % pool.size();
+  for (auto _ : state) {
+    g_sink->add(pool[index]);
+    index = (index + 1) % pool.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete g_sink;
+    g_sink = nullptr;
+  }
+}
+BENCHMARK(BM_ResultSinkAddContended)->Threads(1)->UseRealTime();
+BENCHMARK(BM_ResultSinkAddContended)->Threads(4)->UseRealTime();
+BENCHMARK(BM_ResultSinkAddContended)->Threads(8)->UseRealTime();
+
+/// Seal cost: how long compacting a populated sink into the columnar
+/// view takes (sharded impl only; runs once per iteration on a freshly
+/// filled sink, so this measures gather+sort+column fill).
+void BM_ResultSinkSeal(benchmark::State& state) {
+  const std::vector<PageOutcome>& pool = outcome_pool();
+  for (auto _ : state) {
+    state.PauseTiming();
+    ShardedResultSink sink(16);
+    for (const PageOutcome& outcome : pool) sink.add(outcome);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sink.seal());
+  }
+}
+BENCHMARK(BM_ResultSinkSeal);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hv::bench::micro_main(argc, argv);
+}

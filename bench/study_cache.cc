@@ -62,8 +62,8 @@ const pipeline::StudySummary& study() {
     std::filesystem::create_directories(config.workdir);
     pipeline::StudyPipeline pipeline(config);
     pipeline.run_all();
-    pipeline::StudySummary fresh = pipeline::StudySummary::from_store(
-        pipeline.results(), pipeline.counters());
+    pipeline::StudySummary fresh = pipeline::StudySummary::from_view(
+        pipeline.results_view(), pipeline.counters());
     fresh.corpus_seed = config.corpus.seed;
     fresh.domain_count = config.corpus.domain_count;
     fresh.max_pages_per_domain = config.corpus.max_pages_per_domain;

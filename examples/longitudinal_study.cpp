@@ -42,10 +42,10 @@ int main(int argc, char** argv) {
               pipeline.counters().non_html_records,
               pipeline.counters().non_utf8_filtered);
 
-  const pipeline::ResultStore& store = pipeline.results();
+  const store::StudyView& view = pipeline.results_view();
   report::Table table({"snapshot", "analyzed", "violating", "%", "top-3"});
   for (int y = 0; y < pipeline::kYearCount; ++y) {
-    const pipeline::SnapshotStats stats = store.snapshot_stats(y);
+    const pipeline::SnapshotStats stats = view.snapshot_stats(y);
     // Top three violations of the year.
     std::vector<std::pair<std::size_t, core::Violation>> ranked;
     for (std::size_t v = 0; v < core::kViolationCount; ++v) {
@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
 
   const double union_any =
-      100.0 * static_cast<double>(store.union_any_violation()) /
-      static_cast<double>(store.total_domains_analyzed());
+      100.0 * static_cast<double>(view.union_any_violation()) /
+      static_cast<double>(view.total_domains_analyzed());
   std::printf("domains violating at least once across all years: %.1f%% "
               "(paper: 92%%)\n",
               union_any);

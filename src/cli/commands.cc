@@ -22,6 +22,8 @@
 #include "report/paper_data.h"
 #include "report/render.h"
 #include "sanitize/sanitizer.h"
+#include "store/persist.h"
+#include "store/study_view.h"
 
 namespace hv::cli {
 namespace {
@@ -59,10 +61,16 @@ void print_usage(std::ostream& out) {
          "        [--metrics-out FILE] [--trace-out FILE] "
          "[--report-out FILE]\n"
          "        [--live-out FILE] [--stall-after SEC] [--slow-pages N]\n"
+         "        [--results-out FILE] [--csv-out FILE] [--years A-B]\n"
          "                             run the full longitudinal study\n"
          "  run [study options]        hv study with run_report.json and "
          "a live\n"
          "                             snapshot in the workdir by default\n"
+         "  query stats|union|csv <results.hv>\n"
+         "  query domain <results.hv> <name>\n"
+         "  query merge -o <out.hv> <a.hv> <b.hv>\n"
+         "                             analyze saved study results "
+         "offline\n"
          "  monitor [--once] [--interval-ms N] <path|workdir>\n"
          "                             tail a running hv run's live "
          "snapshot\n"
@@ -85,6 +93,8 @@ struct StudyOptions {
   pipeline::PipelineConfig config;
   std::string metrics_out;
   std::string trace_out;
+  std::string results_out;  ///< save the sealed view as results.hv
+  std::string csv_out;      ///< stream the per-domain CSV to a file
   std::string format = "prom";  ///< stats only: prom | json
 };
 
@@ -154,6 +164,37 @@ bool parse_study_options(const std::vector<std::string>& args,
       const auto value = required(&i, "a number");
       if (!value) return false;
       options->config.health.slow_page_capacity = std::stoull(*value);
+    } else if (args[i] == "--results-out") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->results_out = *value;
+    } else if (args[i] == "--csv-out") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->csv_out = *value;
+    } else if (args[i] == "--years") {
+      const auto value = required(&i, "a range like 0-7");
+      if (!value) return false;
+      int begin = 0;
+      int end = 0;
+      const std::size_t dash = value->find('-');
+      try {
+        if (dash == std::string::npos) {
+          begin = end = std::stoi(*value);
+        } else {
+          begin = std::stoi(value->substr(0, dash));
+          end = std::stoi(value->substr(dash + 1));
+        }
+      } catch (const std::exception&) {
+        begin = -1;
+      }
+      if (begin < 0 || end < begin || end >= pipeline::kYearCount) {
+        err << "hv " << command << ": --years expects A-B with 0 <= A <= "
+            << "B <= " << pipeline::kYearCount - 1 << "\n";
+        return false;
+      }
+      options->config.year_begin = begin;
+      options->config.year_end = end;
     } else if (allow_format && args[i] == "--format") {
       const auto value = required(&i, "prom or json");
       if (!value) return false;
@@ -451,8 +492,8 @@ int run_study_command(const std::vector<std::string>& args,
   obs::default_tracer().clear();
 
   err << "hv " << command << ": " << config.corpus.domain_count
-      << " domains x " << config.corpus.max_pages_per_domain
-      << " pages x 8 snapshots\n";
+      << " domains x " << config.corpus.max_pages_per_domain << " pages x "
+      << config.year_end - config.year_begin + 1 << " snapshot(s)\n";
   pipeline::StudyPipeline pipeline(config);
   pipeline.run_all();
   if (!config.report_out.empty()) {
@@ -469,26 +510,28 @@ int run_study_command(const std::vector<std::string>& args,
     return kUsage;
   }
 
-  const pipeline::ResultStore& store = pipeline.results();
-  report::Table table({"snapshot", "analyzed", "violating %", "auto-fixable %"});
-  for (int y = 0; y < pipeline::kYearCount; ++y) {
-    const pipeline::SnapshotStats stats = store.snapshot_stats(y);
-    table.add_row(
-        {std::string(report::kSnapshotLabels[static_cast<std::size_t>(y)]),
-         std::to_string(stats.domains_analyzed),
-         report::format_percent(
-             stats.percent_of_analyzed(stats.any_violation_domains), 1),
-         report::format_percent(
-             stats.percent_of_analyzed(stats.fully_auto_fixable_domains),
-             1)});
+  // Sealing: the first results_view() call ends the write phase; every
+  // render/save below reads the same immutable view.
+  const store::StudyView& view = pipeline.results_view();
+  report::render_study_overview(out, view);
+  if (!options.results_out.empty()) {
+    std::string save_error;
+    if (!store::save_results(view, options.results_out, &save_error)) {
+      err << "hv " << command << ": " << save_error << "\n";
+      return kUsage;
+    }
+    err << "hv " << command << ": results written to "
+        << options.results_out << "\n";
   }
-  out << table.render();
-  out << "union any-violation: "
-      << report::format_percent(
-             100.0 * static_cast<double>(store.union_any_violation()) /
-                 static_cast<double>(store.total_domains_analyzed()),
-             1)
-      << " of " << store.total_domains_analyzed() << " domains\n";
+  if (!options.csv_out.empty()) {
+    std::ofstream csv(options.csv_out, std::ios::binary | std::ios::trunc);
+    if (!csv) {
+      err << "hv " << command << ": cannot write " << options.csv_out
+          << "\n";
+      return kUsage;
+    }
+    view.write_csv(csv);
+  }
   return kOk;
 }
 
@@ -660,6 +703,124 @@ int cmd_study(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
   return run_study_command(args, "study", /*health_defaults=*/false, out,
                            err);
+}
+
+int cmd_query(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  const auto usage = [&err]() {
+    err << "hv query: usage:\n"
+           "  query stats|union|csv <results.hv>\n"
+           "  query domain <results.hv> <name>\n"
+           "  query merge -o <out.hv> <a.hv> <b.hv>\n";
+    return kUsage;
+  };
+  if (args.empty()) return usage();
+  const std::string& sub = args[0];
+
+  const auto load = [&err](const std::string& path)
+      -> std::optional<store::StudyView> {
+    std::string error;
+    auto view = store::load_results(std::filesystem::path(path), &error);
+    if (!view.has_value()) {
+      err << "hv query: " << path << ": " << error << "\n";
+    }
+    return view;
+  };
+
+  if (sub == "merge") {
+    std::string output_path;
+    std::vector<std::string> inputs;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "-o") {
+        if (i + 1 >= args.size()) return usage();
+        output_path = args[++i];
+      } else {
+        inputs.push_back(args[i]);
+      }
+    }
+    if (output_path.empty() || inputs.size() < 2) return usage();
+    auto merged = load(inputs[0]);
+    if (!merged.has_value()) return kUsage;
+    for (std::size_t i = 1; i < inputs.size(); ++i) {
+      const auto next = load(inputs[i]);
+      if (!next.has_value()) return kUsage;
+      merged = store::StudyView::merge(*merged, *next);
+    }
+    std::string save_error;
+    if (!store::save_results(*merged, output_path, &save_error)) {
+      err << "hv query: " << save_error << "\n";
+      return kUsage;
+    }
+    err << "hv query: merged " << inputs.size() << " result sets ("
+        << merged->domain_count() << " domains) into " << output_path
+        << "\n";
+    return kOk;
+  }
+
+  if (sub != "stats" && sub != "union" && sub != "csv" && sub != "domain") {
+    return usage();
+  }
+  if (args.size() < 2) return usage();
+  const auto view = load(args[1]);
+  if (!view.has_value()) return kUsage;
+
+  if (sub == "stats") {
+    report::render_study_overview(out, *view);
+    return kOk;
+  }
+  if (sub == "csv") {
+    view->write_csv(out);
+    return kOk;
+  }
+  if (sub == "union") {
+    const std::size_t analyzed = view->total_domains_analyzed();
+    const auto unions = view->union_violating();
+    report::Table table({"violation", "domains", "union %"});
+    for (const core::ViolationInfo& info : core::all_violations()) {
+      const std::size_t count = unions[static_cast<std::size_t>(info.id)];
+      table.add_row(
+          {std::string(info.name), std::to_string(count),
+           report::format_percent(
+               analyzed == 0 ? 0.0
+                             : 100.0 * static_cast<double>(count) /
+                                   static_cast<double>(analyzed),
+               1)});
+    }
+    out << table.render();
+    out << "any violation: " << view->union_any_violation() << " of "
+        << analyzed << " analyzed domains\n";
+    return kOk;
+  }
+
+  // domain
+  if (args.size() < 3) return usage();
+  const auto index = view->find_domain(args[2]);
+  if (!index.has_value()) {
+    err << "hv query: domain '" << args[2] << "' not in the result set\n";
+    return kFindings;
+  }
+  out << args[2] << " rank=" << view->rank(*index) << "\n";
+  for (int y = 0; y < store::kYearCount; ++y) {
+    const std::uint8_t flags = view->flags(*index, y);
+    if (flags == 0) continue;
+    out << "  " << report::kSnapshotLabels[static_cast<std::size_t>(y)]
+        << ": "
+        << ((flags & store::kFlagAnalyzed) != 0 ? "analyzed" : "found")
+        << " pages=" << view->pages(*index, y);
+    const auto bits = store::to_bitset(view->violations(*index, y));
+    if (bits.any()) {
+      out << " violations=";
+      bool first = true;
+      for (const core::ViolationInfo& info : core::all_violations()) {
+        if (!bits.test(static_cast<std::size_t>(info.id))) continue;
+        if (!first) out << ",";
+        first = false;
+        out << info.name;
+      }
+    }
+    out << "\n";
+  }
+  return kOk;
 }
 
 int cmd_run(const std::vector<std::string>& args, std::ostream& out,
@@ -909,6 +1070,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (command == "tokens") return cmd_tokens(rest, in, out, err);
   if (command == "study") return cmd_study(rest, out, err);
   if (command == "run") return cmd_run(rest, out, err);
+  if (command == "query") return cmd_query(rest, out, err);
   if (command == "monitor") return cmd_monitor(rest, out, err);
   if (command == "stats") return cmd_stats(rest, out, err);
   if (command == "warc") return cmd_warc(rest, out, err);

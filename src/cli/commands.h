@@ -8,11 +8,18 @@
 //   hv study [--domains N] [--pages N] [--seed N] [--workdir DIR]
 //            [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
 //            [--live-out FILE] [--stall-after SEC] [--slow-pages N]
+//            [--results-out FILE] [--csv-out FILE] [--years A-B]
 //                                     run the full Figure 6 study
 //   hv run [study options]            hv study with the run-health
 //                                     observatory on by default:
 //                                     run_report.json + live snapshot in
 //                                     the workdir
+//   hv query stats|union|csv <results.hv>
+//   hv query domain <results.hv> <name>
+//   hv query merge -o <out.hv> <a.hv> <b.hv>
+//                                     analyze results saved with
+//                                     --results-out, offline (DESIGN.md
+//                                     section 10 binary format)
 //   hv monitor [--once] [--interval-ms N] <path|workdir>
 //                                     tail the live snapshot a running
 //                                     `hv run` rewrites
@@ -62,6 +69,8 @@ int cmd_study(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_run(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
+int cmd_query(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
 int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err);
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out,

@@ -210,12 +210,18 @@ StudyPipeline::StudyPipeline(PipelineConfig config)
   summary += " pages_per_domain=" + std::to_string(config_.pages_per_domain);
   summary += " threads=" + std::to_string(config_.threads);
   summary += config_.overlap_snapshots ? " overlap=1" : " overlap=0";
+  if (config_.year_begin != 0 || config_.year_end != kYearCount - 1) {
+    summary += " years=" + std::to_string(config_.year_begin) + "-" +
+               std::to_string(config_.year_end);
+  }
   health_.set_config_summary(std::move(summary));
   // The study list is already average-rank-ordered (section 3.3), so the
   // index is the rank; registering it feeds the section 4.1 avg-rank
-  // stability check.
+  // stability check.  Ranks are registered for every study domain even on
+  // a partial --years run, so merging complementary halves reproduces the
+  // full study's rank table.
   for (std::size_t i = 0; i < generator_.domains().size(); ++i) {
-    store_.register_rank(generator_.domains()[i], i + 1);
+    sink_.register_rank(generator_.domains()[i], i + 1);
   }
 }
 
@@ -302,7 +308,7 @@ void StudyPipeline::run_snapshot(int year_index) {
     for (const std::string& domain : domains) {
       tasks.push_back({index.lookup(domain, config_.pages_per_domain)});
       total_captures += tasks.back().captures.size();
-      store_.mark_found(domain, year_index);
+      sink_.mark_found(domain, year_index);
     }
     health_.stage_advance(stage, domains.size());
     health_.stage_end(stage);
@@ -395,7 +401,7 @@ void StudyPipeline::run_snapshot(int year_index) {
                                     check_elapsed, record->payload.size());
 #endif
         if (outcome.analyzable) {
-          store_.add(outcome);
+          sink_.add(outcome);
         }
       }
       health_.stage_advance(crawl_stage, batch_captures.size());
@@ -434,7 +440,7 @@ void StudyPipeline::run_snapshot(int year_index) {
   health_.stage_end(crawl_stage);
 
   // Step 4: fold the pool's tallies into the study-level counters and the
-  // exported per-snapshot series (ResultStore rows were added in-flight).
+  // exported per-snapshot series (sink rows were added in-flight).
   // One load per atomic into a plain tally first, so the study counters,
   // the exported series, and the summary log line all report the same
   // numbers — field-by-field re-loads would drift the moment anything
@@ -473,16 +479,18 @@ void StudyPipeline::run_snapshot(int year_index) {
 
 void StudyPipeline::run_all() {
   obs::Span run_span(obs::default_tracer(), "run_all");
+  const int first = std::clamp(config_.year_begin, 0, kYearCount - 1);
+  const int last = std::clamp(config_.year_end, first, kYearCount - 1);
   health_.start();
   build_archives();
   if (!config_.overlap_snapshots) {
-    for (int y = 0; y < kYearCount; ++y) run_snapshot(y);
+    for (int y = first; y <= last; ++y) run_snapshot(y);
   } else {
     // Pairwise overlap: two snapshots in flight bounds memory (each run
     // holds its CDX index) while hiding the serial metadata/store stages.
-    for (int y = 0; y < kYearCount; y += 2) {
+    for (int y = first; y <= last; y += 2) {
       std::thread companion;
-      if (y + 1 < kYearCount) {
+      if (y + 1 <= last) {
         companion = std::thread([this, y] { run_snapshot(y + 1); });
       }
       run_snapshot(y);
@@ -528,6 +536,11 @@ PipelineCounters StudyPipeline::AtomicCounters::snapshot() const noexcept {
 
 PipelineCounters StudyPipeline::counters() const noexcept {
   return counters_.snapshot();
+}
+
+const store::StudyView& StudyPipeline::results_view() const {
+  std::call_once(seal_once_, [this] { view_.emplace(sink_.seal()); });
+  return *view_;
 }
 
 }  // namespace hv::pipeline

@@ -8,13 +8,18 @@
 //
 // Step (0) replaces the real Common Crawl (DESIGN.md section 2); from
 // step (1) on, the pipeline is the paper's architecture working on real
-// bytes from disk.
+// bytes from disk.  Step (4) is hv::store: workers stream outcomes into a
+// sharded ResultSink; reading any aggregate seals the sink into an
+// immutable StudyView (results_view()), after which no further snapshots
+// can run.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,9 +27,17 @@
 #include "core/checker.h"
 #include "corpus/generator.h"
 #include "obs/health.h"
-#include "pipeline/result_store.h"
+#include "store/result_sink.h"
+#include "store/study_view.h"
 
 namespace hv::pipeline {
+
+/// The store's row/aggregate types are the pipeline's public result
+/// vocabulary too (they predate hv::store and every caller spells them
+/// pipeline::...).
+using store::kYearCount;
+using PageOutcome = store::PageOutcome;
+using SnapshotStats = store::SnapshotStats;
 
 struct PipelineConfig {
   corpus::CorpusConfig corpus;
@@ -32,10 +45,17 @@ struct PipelineConfig {
   int threads = 0;                ///< 0 = hardware concurrency
   std::size_t pages_per_domain = 100;  ///< metadata cap, as in the paper
   /// When true, run_all overlaps two snapshot runs at a time: snapshots
-  /// are independent WARC files, the result store is mutex-protected, and
+  /// are independent WARC files, the result sink shards by domain, and
   /// counters are atomic, so one snapshot's metadata/store stages can
   /// hide behind the other's crawl+check.  Doubles peak thread count.
   bool overlap_snapshots = false;
+
+  /// Snapshot range run_all covers: year indices in [year_begin,
+  /// year_end].  The default is all eight; a partial run saved with
+  /// --results-out can be combined with its complement via
+  /// `hv query merge` (store::StudyView::merge).
+  int year_begin = 0;
+  int year_end = kYearCount - 1;
 
   /// Run-health observatory knobs (watchdog cadence, stall threshold,
   /// slow-page capacity, live snapshot path).
@@ -72,13 +92,20 @@ class StudyPipeline {
   /// Skips snapshots that already exist (archives are immutable).
   void build_archives();
 
-  /// Steps 1-4 for one snapshot.
+  /// Steps 1-4 for one snapshot.  Throws std::logic_error if the results
+  /// were already sealed by results_view().
   void run_snapshot(int year_index);
 
-  /// Builds archives if needed, then runs all eight snapshots.
+  /// Builds archives if needed, then runs the configured snapshot range
+  /// (all eight by default).
   void run_all();
 
-  const ResultStore& results() const noexcept { return store_; }
+  /// The sealed, immutable results of the study.  The first call ends
+  /// the write phase (compacting the sharded sink into the columnar
+  /// view); every aggregate query and the CSV export run on this view,
+  /// lock-free.  No caller can mutate or observe unsealed state.
+  const store::StudyView& results_view() const;
+
   /// Consistent snapshot of the accumulated counters (thread-safe).
   PipelineCounters counters() const noexcept;
   const corpus::Generator& generator() const noexcept { return generator_; }
@@ -116,7 +143,11 @@ class StudyPipeline {
   corpus::Generator generator_;
   archive::SnapshotStore snapshots_;
   core::Checker checker_;
-  ResultStore store_;
+  /// Write path / sealed read path of step (4); mutable because sealing
+  /// happens lazily behind the const results_view() accessor.
+  mutable store::ShardedResultSink sink_;
+  mutable std::once_flag seal_once_;
+  mutable std::optional<store::StudyView> view_;
   AtomicCounters counters_;
   obs::RunHealth health_;
 };

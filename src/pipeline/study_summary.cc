@@ -36,16 +36,16 @@ bool read_stats(std::istream& in, SnapshotStats* stats) {
 
 }  // namespace
 
-StudySummary StudySummary::from_store(const ResultStore& store,
-                                      const PipelineCounters& counters) {
+StudySummary StudySummary::from_view(const store::StudyView& view,
+                                     const PipelineCounters& counters) {
   StudySummary summary;
   for (int y = 0; y < kYearCount; ++y) {
-    summary.per_year[static_cast<std::size_t>(y)] = store.snapshot_stats(y);
+    summary.per_year[static_cast<std::size_t>(y)] = view.snapshot_stats(y);
   }
-  summary.union_violating = store.union_violating();
-  summary.union_any = store.union_any_violation();
-  summary.total_found = store.total_domains_found();
-  summary.total_analyzed = store.total_domains_analyzed();
+  summary.union_violating = view.union_violating();
+  summary.union_any = view.union_any_violation();
+  summary.total_found = view.total_domains_found();
+  summary.total_analyzed = view.total_domains_analyzed();
   summary.pages_checked = counters.pages_checked;
   return summary;
 }

@@ -9,7 +9,7 @@
 #include <string>
 
 #include "pipeline/pipeline.h"
-#include "pipeline/result_store.h"
+#include "store/study_view.h"
 
 namespace hv::pipeline {
 
@@ -44,8 +44,8 @@ struct StudySummary {
                      static_cast<double>(total_analyzed);
   }
 
-  static StudySummary from_store(const ResultStore& store,
-                                 const PipelineCounters& counters);
+  static StudySummary from_view(const store::StudyView& view,
+                                const PipelineCounters& counters);
 
   void save(const std::filesystem::path& path) const;
   /// Returns false when the file is missing or was produced by a different

@@ -1,11 +1,15 @@
 #include "report/render.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <ostream>
 #include <sstream>
+
+#include "report/paper_data.h"
+#include "store/study_view.h"
 
 namespace hv::report {
 
@@ -119,6 +123,32 @@ std::string render_series(const std::vector<int>& years,
     }
   }
   return out.str();
+}
+
+void render_study_overview(std::ostream& out, const store::StudyView& view) {
+  Table table({"snapshot", "analyzed", "violating %", "auto-fixable %"});
+  for (int y = 0; y < store::kYearCount; ++y) {
+    const store::SnapshotStats stats = view.snapshot_stats(y);
+    table.add_row(
+        {std::string(kSnapshotLabels[static_cast<std::size_t>(y)]),
+         std::to_string(stats.domains_analyzed),
+         format_percent(
+             stats.percent_of_analyzed(stats.any_violation_domains), 1),
+         format_percent(
+             stats.percent_of_analyzed(stats.fully_auto_fixable_domains),
+             1)});
+  }
+  out << table.render();
+  const std::size_t analyzed = view.total_domains_analyzed();
+  out << "union any-violation: "
+      << format_percent(
+             analyzed == 0
+                 ? 0.0
+                 : 100.0 *
+                       static_cast<double>(view.union_any_violation()) /
+                       static_cast<double>(analyzed),
+             1)
+      << " of " << analyzed << " domains\n";
 }
 
 }  // namespace hv::report

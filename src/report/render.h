@@ -9,6 +9,10 @@
 #include <string_view>
 #include <vector>
 
+namespace hv::store {
+class StudyView;
+}  // namespace hv::store
+
 namespace hv::report {
 
 /// Simple fixed-width ASCII table.
@@ -50,5 +54,11 @@ bool same_ordering(const std::vector<double>& a, const std::vector<double>& b);
 /// unicode sparkline.
 std::string render_series(const std::vector<int>& years,
                           const std::vector<double>& values);
+
+/// The per-snapshot study overview (analyzed / violating% / auto-fixable%
+/// table plus the 8-year union line) rendered from a sealed results view.
+/// Shared by `hv study`/`hv run` (live pipeline) and `hv query stats`
+/// (loaded results.hv), so both render byte-identically.
+void render_study_overview(std::ostream& out, const store::StudyView& view);
 
 }  // namespace hv::report

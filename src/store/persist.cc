@@ -1,0 +1,247 @@
+#include "store/persist.h"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace hv::store {
+namespace {
+
+// Explicit little-endian packing so the format is byte-identical across
+// hosts (and so a checksum mismatch means corruption, not endianness).
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFull));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Bounds-checked little-endian reader over the payload bytes.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool read_u32(std::uint32_t* v) {
+    if (bytes_.size() - pos_ < 4) return false;
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes_.data()) +
+                    pos_;
+    *v = static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t* v) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    if (!read_u32(&lo) || !read_u32(&hi)) return false;
+    *v = static_cast<std::uint64_t>(lo) |
+         (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool read_bytes(std::size_t n, std::string_view* out) {
+    if (bytes_.size() - pos_ < n) return false;
+    *out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string build_payload(const StudyView& view) {
+  const std::size_t n = view.domain_count();
+  std::string payload;
+  // name-length prefixes + names + ranks + three u32/u8 columns per year.
+  std::size_t estimate = n * (4 + 8) + kYearCount * n * (4 + 1 + 4);
+  for (const std::string& domain : view.domains()) {
+    estimate += domain.size();
+  }
+  payload.reserve(estimate);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& domain = view.domains()[i];
+    put_u32(payload, static_cast<std::uint32_t>(domain.size()));
+    payload.append(domain);
+    put_u64(payload, view.ranks()[i]);
+  }
+  for (const StudyView::YearColumn& column : view.years()) {
+    for (const ViolationMask mask : column.violations) {
+      put_u32(payload, mask);
+    }
+  }
+  for (const StudyView::YearColumn& column : view.years()) {
+    payload.append(reinterpret_cast<const char*>(column.flags.data()),
+                   column.flags.size());
+  }
+  for (const StudyView::YearColumn& column : view.years()) {
+    for (const std::uint32_t pages : column.pages) {
+      put_u32(payload, pages);
+    }
+  }
+  return payload;
+}
+
+std::optional<StudyView> fail(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool save_results(const StudyView& view, std::ostream& out) {
+  const std::string payload = build_payload(view);
+  std::string header;
+  header.reserve(32);
+  header.append(kResultsMagic);
+  put_u32(header, kResultsFormatVersion);
+  put_u32(header, static_cast<std::uint32_t>(kYearCount));
+  put_u32(header, static_cast<std::uint32_t>(core::kViolationCount));
+  put_u64(header, view.domain_count());
+  put_u64(header, fnv1a(payload));
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return static_cast<bool>(out);
+}
+
+bool save_results(const StudyView& view, const std::filesystem::path& path,
+                  std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path.string();
+    return false;
+  }
+  if (!save_results(view, out)) {
+    if (error != nullptr) *error = "write error on " + path.string();
+    return false;
+  }
+  return true;
+}
+
+std::optional<StudyView> load_results(std::string_view bytes,
+                                      std::string* error) {
+  if (bytes.size() < kResultsMagic.size() ||
+      bytes.substr(0, kResultsMagic.size()) != kResultsMagic) {
+    return fail(error, "bad magic (not a results.hv file)");
+  }
+  ByteReader header(bytes.substr(kResultsMagic.size()));
+  std::uint32_t version = 0;
+  std::uint32_t years = 0;
+  std::uint32_t violations = 0;
+  std::uint64_t domain_count = 0;
+  std::uint64_t checksum = 0;
+  if (!header.read_u32(&version) || !header.read_u32(&years) ||
+      !header.read_u32(&violations) || !header.read_u64(&domain_count) ||
+      !header.read_u64(&checksum)) {
+    return fail(error, "truncated header");
+  }
+  if (version != kResultsFormatVersion) {
+    return fail(error, "unsupported version " + std::to_string(version) +
+                           " (expected " +
+                           std::to_string(kResultsFormatVersion) + ")");
+  }
+  if (years != static_cast<std::uint32_t>(kYearCount) ||
+      violations != static_cast<std::uint32_t>(core::kViolationCount)) {
+    return fail(error, "layout mismatch (year/violation count differs "
+                       "from this build)");
+  }
+  constexpr std::size_t kHeaderSize = 4 + 4 + 4 + 4 + 8 + 8;
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (fnv1a(payload) != checksum) {
+    return fail(error, "checksum mismatch (corrupted payload)");
+  }
+  // Cheap sanity bound before allocating: every domain costs >= 12 bytes.
+  if (domain_count > payload.size() / 12 + 1) {
+    return fail(error, "implausible domain count");
+  }
+
+  const auto n = static_cast<std::size_t>(domain_count);
+  ByteReader reader(payload);
+  std::vector<std::string> domains;
+  std::vector<std::uint64_t> ranks;
+  domains.reserve(n);
+  ranks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t length = 0;
+    std::string_view name;
+    std::uint64_t rank = 0;
+    if (!reader.read_u32(&length) || !reader.read_bytes(length, &name) ||
+        !reader.read_u64(&rank)) {
+      return fail(error, "truncated domain table");
+    }
+    domains.emplace_back(name);
+    ranks.push_back(rank);
+  }
+  std::array<StudyView::YearColumn, kYearCount> columns;
+  for (auto& column : columns) {
+    column.violations.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t mask = 0;
+      if (!reader.read_u32(&mask)) {
+        return fail(error, "truncated violation columns");
+      }
+      column.violations.push_back(mask);
+    }
+  }
+  for (auto& column : columns) {
+    std::string_view flags;
+    if (!reader.read_bytes(n, &flags)) {
+      return fail(error, "truncated flag columns");
+    }
+    column.flags.assign(flags.begin(), flags.end());
+  }
+  for (auto& column : columns) {
+    column.pages.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t pages = 0;
+      if (!reader.read_u32(&pages)) {
+        return fail(error, "truncated page columns");
+      }
+      column.pages.push_back(pages);
+    }
+  }
+  if (!reader.exhausted()) {
+    return fail(error, "trailing bytes after payload");
+  }
+  std::string column_error;
+  auto view = StudyView::from_columns(std::move(domains), std::move(ranks),
+                                      std::move(columns), &column_error);
+  if (!view.has_value()) return fail(error, std::move(column_error));
+  return view;
+}
+
+std::optional<StudyView> load_results(const std::filesystem::path& path,
+                                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return fail(error, "cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  return load_results(std::string_view(bytes), error);
+}
+
+}  // namespace hv::store

@@ -1,0 +1,55 @@
+// Binary persistence for sealed study results (`results.hv`): a study
+// run is decoupled from analysis — `hv run --results-out r.hv` saves the
+// sealed view, `hv query ... r.hv` answers aggregates later, and
+// `hv query merge` combines runs that did disjoint work.
+//
+// Format (all integers little-endian):
+//
+//   magic   "HVRS"                      4 bytes
+//   version u32                         kResultsFormatVersion
+//   years   u32, violations u32         layout guards
+//   domains u64
+//   checksum u64                        FNV-1a over the payload bytes
+//   payload:
+//     per domain: u32 name length, name bytes, u64 rank   (sorted order)
+//     per year:   u32 violation mask   x domains           (columnar)
+//     per year:   u8  flag byte        x domains
+//     per year:   u32 page count      x domains
+//
+// The loader rejects bad magic, unsupported versions, layout-guard
+// mismatches, checksum failures, and truncated/overlong payloads — each
+// with a distinct error message.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "store/study_view.h"
+
+namespace hv::store {
+
+inline constexpr std::uint32_t kResultsFormatVersion = 1;
+inline constexpr std::string_view kResultsMagic = "HVRS";
+
+/// Serializes the view to the stream; returns false on a write error.
+bool save_results(const StudyView& view, std::ostream& out);
+/// Saves to `path` (atomically enough for our purposes: single write).
+/// On failure returns false and sets `*error` when non-null.
+bool save_results(const StudyView& view, const std::filesystem::path& path,
+                  std::string* error = nullptr);
+
+/// Parses a serialized view from raw bytes.  On failure returns
+/// std::nullopt and sets `*error` (when non-null) to a human-readable
+/// reason ("bad magic", "unsupported version ...", "checksum mismatch",
+/// "truncated payload", ...).
+std::optional<StudyView> load_results(std::string_view bytes,
+                                      std::string* error = nullptr);
+/// Loads from `path`.
+std::optional<StudyView> load_results(const std::filesystem::path& path,
+                                      std::string* error = nullptr);
+
+}  // namespace hv::store

@@ -1,0 +1,158 @@
+#include "store/result_sink.h"
+
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hv::store {
+namespace {
+
+/// Handles into obs::default_registry(), resolved once per process.
+struct StoreMetrics {
+  obs::Counter& adds;            ///< every add/mark_found/register_rank
+  obs::Counter& contention;      ///< shard lock was already held
+  obs::Histogram& add_seconds;   ///< sampled add latency (1 in 64)
+  obs::Histogram& seal_seconds;  ///< compaction cost
+  obs::Gauge& sealed_rows;       ///< domain rows in the sealed view
+
+  static StoreMetrics& get() {
+    obs::Registry& registry = obs::default_registry();
+    static StoreMetrics* const metrics = new StoreMetrics{
+        registry.counter("hv_store_writes_total",
+                         "Writes accepted by the sharded result sink"),
+        registry.counter("hv_store_shard_contention_total",
+                         "Sink writes that found their shard lock held"),
+        registry.histogram("hv_store_add_seconds",
+                           "Sampled (1/64) latency of one sink write, "
+                           "including the shard lock wait",
+                           obs::default_time_buckets()),
+        registry.histogram("hv_store_seal_seconds",
+                           "Cost of compacting the sink into a StudyView",
+                           obs::default_time_buckets()),
+        registry.gauge("hv_store_sealed_rows",
+                       "Domain rows in the most recently sealed view")};
+    return *metrics;
+  }
+};
+
+/// Every 64th write is timed; cheap enough to leave on in production
+/// while still feeding a meaningful latency distribution.
+constexpr std::uint64_t kAddSampleMask = 63;
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t default_shard_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t want = round_up_pow2(hw == 0 ? 16 : hw);
+  return want < 1 ? 1 : (want > 64 ? 64 : want);
+}
+
+}  // namespace
+
+ShardedResultSink::ShardedResultSink(std::size_t shard_count)
+    : shard_count_(shard_count == 0 ? default_shard_count()
+                                    : round_up_pow2(shard_count)) {
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+ShardedResultSink::~ShardedResultSink() = default;
+
+ShardedResultSink::Shard& ShardedResultSink::shard_for(
+    std::string_view domain) noexcept {
+  return shards_[std::hash<std::string_view>{}(domain) &
+                 (shard_count_ - 1)];
+}
+
+void ShardedResultSink::check_writable(const char* op) const {
+  if (sealed()) {
+    throw std::logic_error(std::string("hv::store: ") + op +
+                           " on a sealed result sink");
+  }
+}
+
+std::unique_lock<std::mutex> ShardedResultSink::lock_shard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    StoreMetrics::get().contention.inc();
+    lock.lock();
+  }
+  return lock;
+}
+
+void ShardedResultSink::add(const PageOutcome& outcome) {
+  check_writable("add");
+  StoreMetrics& metrics = StoreMetrics::get();
+  metrics.adds.inc();
+  Shard& shard = shard_for(outcome.domain);
+#ifndef HV_OBS_DISABLED
+  if ((add_tick_.fetch_add(1, std::memory_order_relaxed) &
+       kAddSampleMask) == 0) {
+    const obs::ScopedTimer timer(metrics.add_seconds);
+    const auto lock = lock_shard(shard);
+    shard.rows[outcome.domain].merge_outcome(outcome);
+    return;
+  }
+#endif
+  const auto lock = lock_shard(shard);
+  shard.rows[outcome.domain].merge_outcome(outcome);
+}
+
+void ShardedResultSink::mark_found(std::string_view domain,
+                                   int year_index) {
+  check_writable("mark_found");
+  StoreMetrics::get().adds.inc();
+  Shard& shard = shard_for(domain);
+  const auto lock = lock_shard(shard);
+  auto it = shard.rows.find(domain);
+  if (it == shard.rows.end()) {
+    it = shard.rows.emplace(std::string(domain), DomainRow{}).first;
+  }
+  it->second.flags[static_cast<std::size_t>(year_index)] |= kFlagFound;
+}
+
+void ShardedResultSink::register_rank(std::string_view domain,
+                                      std::uint64_t rank) {
+  check_writable("register_rank");
+  StoreMetrics::get().adds.inc();
+  Shard& shard = shard_for(domain);
+  const auto lock = lock_shard(shard);
+  auto it = shard.rows.find(domain);
+  if (it == shard.rows.end()) {
+    it = shard.rows.emplace(std::string(domain), DomainRow{}).first;
+  }
+  it->second.rank = rank;
+}
+
+StudyView ShardedResultSink::seal() {
+  bool expected = false;
+  if (!sealed_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    throw std::logic_error("hv::store: seal on an already-sealed sink");
+  }
+  StoreMetrics& metrics = StoreMetrics::get();
+  const obs::ScopedTimer timer(metrics.seal_seconds);
+  std::vector<std::pair<std::string, DomainRow>> rows;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    // Taking each shard's lock pairs with any writer that raced the
+    // seal flag, so its row lands in the view or its throw is honest.
+    const std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    rows.reserve(rows.size() + shards_[s].rows.size());
+    for (auto& [domain, row] : shards_[s].rows) {
+      rows.emplace_back(domain, row);
+    }
+    shards_[s].rows.clear();
+  }
+  StudyView view = StudyView::from_rows(std::move(rows));
+  metrics.sealed_rows.set(static_cast<double>(view.domain_count()));
+  return view;
+}
+
+}  // namespace hv::store

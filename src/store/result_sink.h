@@ -1,0 +1,87 @@
+// The write path of hv::store: check workers stream PageOutcomes into a
+// ResultSink while the study runs; seal() ends the write phase and
+// compacts everything into the immutable StudyView.
+//
+// The production sink shards rows N ways by domain hash — each shard is
+// its own mutex + map on its own cache line, so 8 check workers touch 8
+// different locks instead of serializing on one (the old
+// pipeline::ResultStore bottleneck; see bench_micro_store.cc for the
+// before/after numbers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "store/study_view.h"
+#include "store/types.h"
+
+namespace hv::store {
+
+/// Abstract write interface (thread-safe in every implementation).
+/// Readers never see this type: aggregates come from the StudyView a
+/// concrete sink produces when sealed.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Records a page outcome.
+  virtual void add(const PageOutcome& outcome) = 0;
+  /// Marks a domain as present in a snapshot even if nothing was
+  /// analyzable (Table 2's found vs. succeeded distinction).
+  virtual void mark_found(std::string_view domain, int year_index) = 0;
+  /// Registers a domain's study-list rank (1-based) for the avg_rank
+  /// statistic.  Unregistered domains count as rank 0 and are skipped.
+  virtual void register_rank(std::string_view domain,
+                             std::uint64_t rank) = 0;
+};
+
+/// Production sink: rows sharded by domain hash, one padded mutex per
+/// shard.  Writes after seal() throw std::logic_error — the sealed view
+/// is immutable and nothing may mutate or observe unsealed state.
+class ShardedResultSink final : public ResultSink {
+ public:
+  /// `shard_count` 0 picks a power of two sized to the hardware
+  /// concurrency (clamped to [1, 64]); any other value is rounded up to a
+  /// power of two so shard selection is a mask, not a modulo.
+  explicit ShardedResultSink(std::size_t shard_count = 0);
+  ~ShardedResultSink() override;
+
+  void add(const PageOutcome& outcome) override;
+  void mark_found(std::string_view domain, int year_index) override;
+  void register_rank(std::string_view domain, std::uint64_t rank) override;
+
+  /// Ends the write phase: compacts every shard into a sorted columnar
+  /// StudyView and leaves the sink empty.  Callable once; later writes
+  /// (and a second seal) throw std::logic_error.
+  StudyView seal();
+
+  bool sealed() const noexcept {
+    return sealed_.load(std::memory_order_acquire);
+  }
+  std::size_t shard_count() const noexcept { return shard_count_; }
+
+ private:
+  /// One lock + row map per cache line; the padding keeps a hot shard's
+  /// mutex from false-sharing with its neighbours.
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::map<std::string, DomainRow, std::less<>> rows;
+  };
+
+  Shard& shard_for(std::string_view domain) noexcept;
+  void check_writable(const char* op) const;
+  /// Locks `shard`, counting a contention event when the lock was held.
+  std::unique_lock<std::mutex> lock_shard(Shard& shard);
+
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t shard_count_;
+  std::atomic<bool> sealed_{false};
+  std::atomic<std::uint64_t> add_tick_{0};  ///< add-latency sampling clock
+};
+
+}  // namespace hv::store

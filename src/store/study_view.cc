@@ -1,0 +1,287 @@
+#include "store/study_view.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace hv::store {
+namespace {
+
+/// Cached per-violation facts so the per-domain stats loop does not
+/// re-resolve the registry entry for every set bit.
+struct ViolationFacts {
+  std::array<bool, core::kViolationCount> auto_fixable{};
+  std::array<ViolationMask, core::kProblemGroupCount> group_masks{};
+
+  static const ViolationFacts& get() {
+    static const ViolationFacts facts = [] {
+      ViolationFacts built;
+      for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+        const auto violation = static_cast<core::Violation>(v);
+        built.auto_fixable[v] = core::info(violation).auto_fixable;
+        built.group_masks[static_cast<std::size_t>(
+            core::group_of(violation))] |= ViolationMask{1} << v;
+      }
+      return built;
+    }();
+    return facts;
+  }
+};
+
+}  // namespace
+
+StudyView StudyView::from_rows(
+    std::vector<std::pair<std::string, DomainRow>> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  StudyView view;
+  const std::size_t n = rows.size();
+  view.domains_.reserve(n);
+  view.ranks_.reserve(n);
+  for (YearColumn& column : view.years_) {
+    column.violations.resize(n);
+    column.flags.resize(n);
+    column.pages.resize(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    view.domains_.push_back(std::move(rows[i].first));
+    const DomainRow& row = rows[i].second;
+    view.ranks_.push_back(row.rank);
+    for (int y = 0; y < kYearCount; ++y) {
+      const auto yi = static_cast<std::size_t>(y);
+      view.years_[yi].violations[i] = row.violations[yi];
+      view.years_[yi].flags[i] = row.flags[yi];
+      view.years_[yi].pages[i] = row.pages[yi];
+    }
+  }
+  return view;
+}
+
+std::optional<StudyView> StudyView::from_columns(
+    std::vector<std::string> domains, std::vector<std::uint64_t> ranks,
+    std::array<YearColumn, kYearCount> years, std::string* error) {
+  const auto fail = [error](const char* why) -> std::optional<StudyView> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  const std::size_t n = domains.size();
+  if (ranks.size() != n) return fail("rank column size mismatch");
+  for (const YearColumn& column : years) {
+    if (column.violations.size() != n || column.flags.size() != n ||
+        column.pages.size() != n) {
+      return fail("year column size mismatch");
+    }
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!(domains[i - 1] < domains[i])) {
+      return fail("domain table not sorted/unique");
+    }
+  }
+  StudyView view;
+  view.domains_ = std::move(domains);
+  view.ranks_ = std::move(ranks);
+  view.years_ = std::move(years);
+  return view;
+}
+
+StudyView StudyView::merge(const StudyView& a, const StudyView& b) {
+  StudyView merged;
+  const std::size_t upper = a.domain_count() + b.domain_count();
+  merged.domains_.reserve(upper);
+  merged.ranks_.reserve(upper);
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  // Classic sorted merge; on a name collision the columns combine
+  // (disjoint-work semantics: OR the sets, sum the page counts).
+  while (ia < a.domain_count() || ib < b.domain_count()) {
+    int take = 0;  // <0 = a only, >0 = b only, 0 = both
+    if (ia == a.domain_count()) {
+      take = 1;
+    } else if (ib == b.domain_count()) {
+      take = -1;
+    } else if (a.domains_[ia] < b.domains_[ib]) {
+      take = -1;
+    } else if (b.domains_[ib] < a.domains_[ia]) {
+      take = 1;
+    }
+    const std::size_t out = merged.domains_.size();
+    if (take <= 0) {
+      merged.domains_.push_back(a.domains_[ia]);
+      merged.ranks_.push_back(a.ranks_[ia]);
+    } else {
+      merged.domains_.push_back(b.domains_[ib]);
+      merged.ranks_.push_back(b.ranks_[ib]);
+    }
+    for (int y = 0; y < kYearCount; ++y) {
+      const auto yi = static_cast<std::size_t>(y);
+      YearColumn& column = merged.years_[yi];
+      column.violations.push_back(0);
+      column.flags.push_back(0);
+      column.pages.push_back(0);
+      if (take <= 0) {
+        column.violations[out] |= a.years_[yi].violations[ia];
+        column.flags[out] |= a.years_[yi].flags[ia];
+        column.pages[out] += a.years_[yi].pages[ia];
+      }
+      if (take >= 0) {
+        column.violations[out] |= b.years_[yi].violations[ib];
+        column.flags[out] |= b.years_[yi].flags[ib];
+        column.pages[out] += b.years_[yi].pages[ib];
+      }
+    }
+    if (take == 0 && merged.ranks_[out] == 0) {
+      merged.ranks_[out] = b.ranks_[ib];
+    }
+    if (take <= 0) ++ia;
+    if (take >= 0) ++ib;
+  }
+  return merged;
+}
+
+SnapshotStats StudyView::snapshot_stats(int year_index) const {
+  const YearColumn& column = years_[static_cast<std::size_t>(year_index)];
+  const ViolationFacts& facts = ViolationFacts::get();
+  SnapshotStats stats;
+  std::size_t total_pages = 0;
+  std::uint64_t rank_sum = 0;
+  std::size_t ranked_domains = 0;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    const std::uint8_t flags = column.flags[i];
+    if (flags & kFlagFound) ++stats.domains_found;
+    if (!(flags & kFlagAnalyzed)) continue;
+    ++stats.domains_analyzed;
+    total_pages += column.pages[i];
+    if (ranks_[i] > 0) {
+      rank_sum += ranks_[i];
+      ++ranked_domains;
+    }
+
+    const ViolationMask bits = column.violations[i];
+    if (bits != 0) {
+      ++stats.any_violation_domains;
+      bool all_fixable = true;
+      for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+        if (!(bits & (ViolationMask{1} << v))) continue;
+        ++stats.violating_domains[v];
+        if (!facts.auto_fixable[v]) all_fixable = false;
+      }
+      if (all_fixable) ++stats.fully_auto_fixable_domains;
+      for (std::size_t g = 0; g < core::kProblemGroupCount; ++g) {
+        if (bits & facts.group_masks[g]) ++stats.group_domains[g];
+      }
+    }
+    if (flags & kFlagUrlNewline) ++stats.url_newline_domains;
+    if (flags & kFlagUrlNewlineLt) ++stats.url_newline_lt_domains;
+    if (flags & kFlagScriptInAttr) ++stats.script_in_attr_domains;
+    if (flags & kFlagScriptInAttrAffected) {
+      ++stats.script_in_attr_affected_domains;
+    }
+    if (flags & kFlagUsesMath) ++stats.math_domains;
+  }
+  stats.pages_analyzed = total_pages;
+  stats.avg_pages = stats.domains_analyzed == 0
+                        ? 0.0
+                        : static_cast<double>(total_pages) /
+                              static_cast<double>(stats.domains_analyzed);
+  stats.avg_rank = ranked_domains == 0
+                       ? 0.0
+                       : static_cast<double>(rank_sum) /
+                             static_cast<double>(ranked_domains);
+  return stats;
+}
+
+std::array<std::size_t, core::kViolationCount> StudyView::union_violating()
+    const {
+  std::array<std::size_t, core::kViolationCount> counts{};
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    ViolationMask merged = 0;
+    for (int y = 0; y < kYearCount; ++y) {
+      merged |= years_[static_cast<std::size_t>(y)].violations[i];
+    }
+    for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+      if (merged & (ViolationMask{1} << v)) ++counts[v];
+    }
+  }
+  return counts;
+}
+
+std::size_t StudyView::union_any_violation() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    for (int y = 0; y < kYearCount; ++y) {
+      if (years_[static_cast<std::size_t>(y)].violations[i] != 0) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t StudyView::total_domains_analyzed() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    for (int y = 0; y < kYearCount; ++y) {
+      if (years_[static_cast<std::size_t>(y)].flags[i] & kFlagAnalyzed) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t StudyView::total_domains_found() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    for (int y = 0; y < kYearCount; ++y) {
+      if (years_[static_cast<std::size_t>(y)].flags[i] & kFlagFound) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<StudyView::DomainYear> StudyView::domains_for_year(
+    int year_index) const {
+  const YearColumn& column = years_[static_cast<std::size_t>(year_index)];
+  std::vector<DomainYear> result;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    if (column.flags[i] & kFlagAnalyzed) {
+      result.push_back({domains_[i], to_bitset(column.violations[i])});
+    }
+  }
+  return result;
+}
+
+void StudyView::write_csv(std::ostream& out) const {
+  out << "# hv-results-csv v" << kCsvSchemaVersion << '\n';
+  out << "domain,year_index";
+  for (const core::ViolationInfo& info : core::all_violations()) {
+    out << ',' << info.name;
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    for (int y = 0; y < kYearCount; ++y) {
+      const YearColumn& column = years_[static_cast<std::size_t>(y)];
+      if (!(column.flags[i] & kFlagAnalyzed)) continue;
+      out << domains_[i] << ',' << y;
+      const ViolationMask bits = column.violations[i];
+      for (std::size_t v = 0; v < core::kViolationCount; ++v) {
+        out << ',' << ((bits & (ViolationMask{1} << v)) ? '1' : '0');
+      }
+      out << '\n';
+    }
+  }
+}
+
+std::optional<std::size_t> StudyView::find_domain(
+    std::string_view domain) const {
+  const auto it =
+      std::lower_bound(domains_.begin(), domains_.end(), domain);
+  if (it == domains_.end() || *it != domain) return std::nullopt;
+  return static_cast<std::size_t>(it - domains_.begin());
+}
+
+}  // namespace hv::store

@@ -1,0 +1,116 @@
+// The sealed read path of hv::store: an immutable columnar view of one
+// study run (sorted domain table + per-year violation/flag/page columns).
+//
+// Every aggregate query behind the paper's tables and figures — per-year
+// rates (Figures 9, 10, 16-21), 8-year unions (Figure 8), dataset
+// statistics (Table 2), auto-fixability (section 4.4), mitigation counts
+// (section 4.5) — and the CSV export run on this view, lock-free: the
+// columns never change after construction, so any number of threads may
+// query concurrently.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "store/types.h"
+
+namespace hv::store {
+
+/// Schema version of the CSV export's `# hv-results-csv vN` header line.
+inline constexpr int kCsvSchemaVersion = 1;
+
+class StudyView {
+ public:
+  /// One year's columns, indexed by domain position.
+  struct YearColumn {
+    std::vector<ViolationMask> violations;
+    std::vector<std::uint8_t> flags;
+    std::vector<std::uint32_t> pages;
+  };
+
+  StudyView() = default;  ///< empty view (no domains)
+
+  /// Compacts accumulated rows (any order; sorted internally) into the
+  /// columnar layout.  Duplicate domain names are a caller bug.
+  static StudyView from_rows(
+      std::vector<std::pair<std::string, DomainRow>> rows);
+
+  /// Reassembles a view from raw columns (the persistence loader).
+  /// Domains must be sorted and unique and every column sized to match;
+  /// returns std::nullopt (with `*error` set) otherwise.
+  static std::optional<StudyView> from_columns(
+      std::vector<std::string> domains, std::vector<std::uint64_t> ranks,
+      std::array<YearColumn, kYearCount> years, std::string* error);
+
+  /// Combines two runs that did disjoint work (e.g. one half of the
+  /// snapshots each): flags and violation sets union, page counts sum,
+  /// a zero rank yields to the other side's.
+  static StudyView merge(const StudyView& a, const StudyView& b);
+
+  // --- aggregate queries (all lock-free, O(columns)) ---------------------
+
+  SnapshotStats snapshot_stats(int year_index) const;
+
+  /// Figure 8: domains violating v in at least one snapshot.
+  std::array<std::size_t, core::kViolationCount> union_violating() const;
+  /// Section 4.2: domains with >=1 violation in any snapshot.
+  std::size_t union_any_violation() const;
+  /// Domains analyzed in at least one snapshot (23,983 in the paper).
+  std::size_t total_domains_analyzed() const;
+  std::size_t total_domains_found() const;
+
+  /// Per-domain violation bitset for a snapshot (autofix experiment).
+  struct DomainYear {
+    std::string_view domain;
+    std::bitset<core::kViolationCount> violations;
+  };
+  std::vector<DomainYear> domains_for_year(int year_index) const;
+
+  /// Streaming CSV export: a `# hv-results-csv vN` schema line, a column
+  /// header, then one line per analyzed (domain, year) with violation
+  /// flags.  Deterministic (domains are sorted).
+  void write_csv(std::ostream& out) const;
+
+  // --- per-domain lookup -------------------------------------------------
+
+  std::size_t domain_count() const noexcept { return domains_.size(); }
+  /// Binary search over the sorted domain table.
+  std::optional<std::size_t> find_domain(std::string_view domain) const;
+  std::string_view domain_name(std::size_t index) const {
+    return domains_[index];
+  }
+  std::uint64_t rank(std::size_t index) const { return ranks_[index]; }
+  ViolationMask violations(std::size_t index, int year_index) const {
+    return years_[static_cast<std::size_t>(year_index)].violations[index];
+  }
+  std::uint8_t flags(std::size_t index, int year_index) const {
+    return years_[static_cast<std::size_t>(year_index)].flags[index];
+  }
+  std::uint32_t pages(std::size_t index, int year_index) const {
+    return years_[static_cast<std::size_t>(year_index)].pages[index];
+  }
+
+  // --- raw column access (persistence + tests) ---------------------------
+
+  const std::vector<std::string>& domains() const noexcept {
+    return domains_;
+  }
+  const std::vector<std::uint64_t>& ranks() const noexcept { return ranks_; }
+  const std::array<YearColumn, kYearCount>& years() const noexcept {
+    return years_;
+  }
+
+ private:
+  std::vector<std::string> domains_;  ///< sorted, unique
+  std::vector<std::uint64_t> ranks_;  ///< parallel to domains_
+  std::array<YearColumn, kYearCount> years_;
+};
+
+}  // namespace hv::store

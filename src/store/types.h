@@ -1,0 +1,123 @@
+// hv::store — the results database of the paper's Figure 6 step (4)
+// (PostgreSQL there; a sharded in-process column store with binary
+// persistence here, DESIGN.md section 10).
+//
+// Shared row/aggregate types.  The write path (ResultSink) accumulates
+// DomainRow entries; seal() compacts them into the immutable columnar
+// StudyView that answers every aggregate query behind the paper's tables
+// and figures.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+#include "core/violation.h"
+
+namespace hv::store {
+
+/// Eight yearly snapshots, 2015-2022 (Table 2).
+inline constexpr int kYearCount = 8;
+
+/// Violation bitsets travel as plain 32-bit masks inside the store: they
+/// pack into columns and serialize without surprises.
+using ViolationMask = std::uint32_t;
+static_assert(core::kViolationCount <= 32,
+              "ViolationMask must fit every Table 1 violation");
+
+inline ViolationMask to_mask(
+    const std::bitset<core::kViolationCount>& bits) noexcept {
+  return static_cast<ViolationMask>(bits.to_ulong());
+}
+
+inline std::bitset<core::kViolationCount> to_bitset(
+    ViolationMask mask) noexcept {
+  return std::bitset<core::kViolationCount>(mask);
+}
+
+/// Per-(domain, year) boolean facts, one bit each so a year's flags are a
+/// single byte column.
+enum DomainYearFlag : std::uint8_t {
+  kFlagFound = 1u << 0,     ///< had records in the snapshot
+  kFlagAnalyzed = 1u << 1,  ///< >=1 analyzable (UTF-8 HTML) page
+  kFlagUrlNewline = 1u << 2,
+  kFlagUrlNewlineLt = 1u << 3,
+  kFlagScriptInAttr = 1u << 4,
+  kFlagScriptInAttrAffected = 1u << 5,
+  kFlagUsesMath = 1u << 6,
+  kFlagUsesSvg = 1u << 7,
+};
+
+/// Result of analyzing one page (already checked).
+struct PageOutcome {
+  std::string domain;
+  int year_index = 0;
+  bool analyzable = false;  ///< UTF-8 HTML that was actually checked
+  std::bitset<core::kViolationCount> violations;
+  bool url_newline = false;        ///< some URL attr contains \n (sec. 4.5)
+  bool url_newline_lt = false;     ///< \n plus '<' (would be blocked)
+  bool script_in_attribute = false;       ///< "<script" in some attribute
+  bool script_in_attr_affected = false;   ///< ...on a nonced <script>
+  bool uses_math = false;
+  bool uses_svg = false;
+};
+
+/// One domain's accumulated facts across all eight snapshots — the unit
+/// the sink shards and seal() compacts into columns.
+struct DomainRow {
+  std::uint64_t rank = 0;  ///< 1-based study-list rank; 0 = unknown
+  std::array<ViolationMask, kYearCount> violations{};
+  std::array<std::uint8_t, kYearCount> flags{};
+  std::array<std::uint32_t, kYearCount> pages{};
+
+  /// Folds one page outcome in (caller holds the shard lock).
+  void merge_outcome(const PageOutcome& outcome) noexcept {
+    const auto y = static_cast<std::size_t>(outcome.year_index);
+    flags[y] |= kFlagFound;
+    if (!outcome.analyzable) return;
+    flags[y] |= kFlagAnalyzed;
+    pages[y] += 1;
+    violations[y] |= to_mask(outcome.violations);
+    if (outcome.url_newline) flags[y] |= kFlagUrlNewline;
+    if (outcome.url_newline_lt) flags[y] |= kFlagUrlNewlineLt;
+    if (outcome.script_in_attribute) flags[y] |= kFlagScriptInAttr;
+    if (outcome.script_in_attr_affected) {
+      flags[y] |= kFlagScriptInAttrAffected;
+    }
+    if (outcome.uses_math) flags[y] |= kFlagUsesMath;
+    if (outcome.uses_svg) flags[y] |= kFlagUsesSvg;
+  }
+};
+
+/// Aggregates for one snapshot (one Table 2 row + one x-position of every
+/// trend figure).
+struct SnapshotStats {
+  std::size_t domains_found = 0;     ///< had records in the snapshot
+  std::size_t domains_analyzed = 0;  ///< >=1 analyzable page
+  std::size_t pages_analyzed = 0;
+  double avg_pages = 0.0;
+  std::array<std::size_t, core::kViolationCount> violating_domains{};
+  std::size_t any_violation_domains = 0;
+  std::array<std::size_t, core::kProblemGroupCount> group_domains{};
+  /// Violating domains whose entire violation set is auto-fixable (4.4).
+  std::size_t fully_auto_fixable_domains = 0;
+  std::size_t url_newline_domains = 0;
+  std::size_t url_newline_lt_domains = 0;
+  std::size_t script_in_attr_domains = 0;
+  std::size_t script_in_attr_affected_domains = 0;
+  std::size_t math_domains = 0;
+  /// Mean study-list rank of the analyzed domains.  The paper checks this
+  /// stays ~constant (~16,150) across snapshots as a dataset sanity check
+  /// (section 4.1); 0 when ranks were never registered.
+  double avg_rank = 0.0;
+
+  double percent_of_analyzed(std::size_t count) const noexcept {
+    return domains_analyzed == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(count) /
+                     static_cast<double>(domains_analyzed);
+  }
+};
+
+}  // namespace hv::store

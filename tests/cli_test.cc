@@ -191,6 +191,95 @@ TEST(CliStudy, TinyStudyRuns) {
 TEST(CliStudy, BadOptionIsUsageError) {
   EXPECT_EQ(run_cli({"study", "--domains"}).exit_code, 2);
   EXPECT_EQ(run_cli({"study", "--bogus"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"study", "--years", "3-1"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"study", "--years", "0-9"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"study", "--years", "x"}).exit_code, 2);
+}
+
+TEST(CliQuery, SavedResultsAnswerLikeTheLivePipeline) {
+  const auto workdir =
+      std::filesystem::temp_directory_path() / "hv_cli_query_test";
+  const auto results_path = workdir / "results.hv";
+  const auto csv_path = workdir / "results.csv";
+  std::filesystem::remove_all(workdir);
+  std::filesystem::create_directories(workdir);
+
+  const CliResult study = run_cli(
+      {"study", "--domains", "60", "--pages", "3", "--seed", "9",
+       "--workdir", workdir.string(), "--results-out", results_path.string(),
+       "--csv-out", csv_path.string()});
+  ASSERT_EQ(study.exit_code, 0) << study.err;
+  ASSERT_TRUE(std::filesystem::exists(results_path));
+
+  // `query stats` renders the same overview the live run printed.
+  const CliResult stats = run_cli({"query", "stats", results_path.string()});
+  EXPECT_EQ(stats.exit_code, 0) << stats.err;
+  EXPECT_EQ(stats.out, study.out);
+
+  // `query csv` is byte-identical to the live pipeline's --csv-out.
+  const CliResult csv = run_cli({"query", "csv", results_path.string()});
+  EXPECT_EQ(csv.exit_code, 0) << csv.err;
+  std::ifstream csv_file(csv_path, std::ios::binary);
+  std::stringstream csv_written;
+  csv_written << csv_file.rdbuf();
+  EXPECT_EQ(csv.out, csv_written.str());
+  EXPECT_EQ(csv.out.rfind("# hv-results-csv v1\n", 0), 0u);
+
+  const CliResult unions = run_cli({"query", "union", results_path.string()});
+  EXPECT_EQ(unions.exit_code, 0) << unions.err;
+  EXPECT_NE(unions.out.find("any violation:"), std::string::npos);
+  EXPECT_NE(unions.out.find("DE1"), std::string::npos);
+
+  EXPECT_EQ(
+      run_cli({"query", "domain", results_path.string(), "no-such.example"})
+          .exit_code,
+      1);
+  std::filesystem::remove_all(workdir);
+}
+
+TEST(CliQuery, MergedYearRangesEqualTheFullStudy) {
+  const auto workdir =
+      std::filesystem::temp_directory_path() / "hv_cli_query_merge_test";
+  std::filesystem::remove_all(workdir);
+  std::filesystem::create_directories(workdir);
+  const std::vector<std::string> base = {"--domains", "50",     "--pages",
+                                         "3",         "--seed", "11",
+                                         "--workdir", workdir.string()};
+  const auto with = [&base](std::initializer_list<std::string> extra) {
+    std::vector<std::string> args = {"study"};
+    args.insert(args.end(), base.begin(), base.end());
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  };
+  const auto full = (workdir / "full.hv").string();
+  const auto early = (workdir / "early.hv").string();
+  const auto late = (workdir / "late.hv").string();
+  ASSERT_EQ(run_cli(with({"--results-out", full})).exit_code, 0);
+  ASSERT_EQ(
+      run_cli(with({"--results-out", early, "--years", "0-3"})).exit_code, 0);
+  ASSERT_EQ(
+      run_cli(with({"--results-out", late, "--years", "4-7"})).exit_code, 0);
+
+  const auto merged = (workdir / "merged.hv").string();
+  ASSERT_EQ(
+      run_cli({"query", "merge", "-o", merged, early, late}).exit_code, 0);
+  const CliResult merged_csv = run_cli({"query", "csv", merged});
+  const CliResult full_csv = run_cli({"query", "csv", full});
+  EXPECT_EQ(merged_csv.exit_code, 0);
+  EXPECT_EQ(merged_csv.out, full_csv.out);
+  std::filesystem::remove_all(workdir);
+}
+
+TEST(CliQuery, RejectsGarbageAndUsageErrors) {
+  const auto bogus = write_temp("hv_cli_query_bogus.hv", "not a results file");
+  const CliResult result = run_cli({"query", "stats", bogus.string()});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("bad magic"), std::string::npos);
+  EXPECT_EQ(run_cli({"query"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"query", "frobnicate", "x"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"query", "merge", "-o", "x"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"query", "stats", "/nonexistent/r.hv"}).exit_code, 2);
+  std::filesystem::remove(bogus);
 }
 
 TEST(CliStats, PrintsMetricsSnapshot) {

@@ -90,18 +90,19 @@ TEST(StudySummary, PercentHelpers) {
   EXPECT_EQ(summary.violation_percent(0, core::Violation::kDE1), 0.0);
 }
 
-TEST(StudySummary, FromStoreMatchesQueries) {
-  ResultStore store;
+TEST(StudySummary, FromViewMatchesQueries) {
+  store::ShardedResultSink sink;
   PageOutcome outcome;
   outcome.domain = "x.example";
   outcome.year_index = 2;
   outcome.analyzable = true;
   outcome.violations.set(static_cast<std::size_t>(core::Violation::kDM3));
-  store.add(outcome);
+  sink.add(outcome);
   PipelineCounters counters;
   counters.pages_checked = 1;
 
-  const StudySummary summary = StudySummary::from_store(store, counters);
+  const StudySummary summary =
+      StudySummary::from_view(sink.seal(), counters);
   EXPECT_EQ(summary.total_analyzed, 1u);
   EXPECT_EQ(summary.pages_checked, 1u);
   EXPECT_EQ(summary.per_year[2].domains_analyzed, 1u);

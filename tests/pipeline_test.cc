@@ -94,95 +94,7 @@ TEST(AnalyzeCapture, MitigationScansPopulated) {
   EXPECT_TRUE(outcome.uses_math);
 }
 
-// --- ResultStore ------------------------------------------------------------------
-
-TEST(ResultStore, AggregatesDomainLevel) {
-  ResultStore store;
-  PageOutcome outcome;
-  outcome.domain = "a.example";
-  outcome.year_index = 0;
-  outcome.analyzable = true;
-  outcome.violations.set(static_cast<std::size_t>(core::Violation::kFB2));
-  store.add(outcome);
-  outcome.violations.reset();
-  outcome.violations.set(static_cast<std::size_t>(core::Violation::kHF4));
-  store.add(outcome);  // second page, same domain
-
-  const SnapshotStats stats = store.snapshot_stats(0);
-  EXPECT_EQ(stats.domains_analyzed, 1u);
-  EXPECT_EQ(stats.pages_analyzed, 2u);
-  EXPECT_EQ(stats.any_violation_domains, 1u);
-  EXPECT_EQ(stats.violating_domains[static_cast<std::size_t>(
-                core::Violation::kFB2)],
-            1u);
-  EXPECT_EQ(stats.violating_domains[static_cast<std::size_t>(
-                core::Violation::kHF4)],
-            1u);
-  // HF4 is not auto-fixable -> domain not fully fixable.
-  EXPECT_EQ(stats.fully_auto_fixable_domains, 0u);
-  EXPECT_EQ(stats.group_domains[static_cast<std::size_t>(
-                core::ProblemGroup::kFilterBypass)],
-            1u);
-}
-
-TEST(ResultStore, AvgRankOverAnalyzedDomains) {
-  ResultStore store;
-  store.register_rank("a.example", 10);
-  store.register_rank("b.example", 30);
-  store.register_rank("c.example", 1000);  // never analyzed
-  PageOutcome outcome;
-  outcome.analyzable = true;
-  outcome.year_index = 0;
-  outcome.domain = "a.example";
-  store.add(outcome);
-  outcome.domain = "b.example";
-  store.add(outcome);
-  EXPECT_DOUBLE_EQ(store.snapshot_stats(0).avg_rank, 20.0);
-  // No ranked analyzed domains in another year.
-  EXPECT_DOUBLE_EQ(store.snapshot_stats(3).avg_rank, 0.0);
-}
-
-TEST(ResultStore, FoundWithoutAnalyzedCounted) {
-  ResultStore store;
-  store.mark_found("api.example", 3);
-  const SnapshotStats stats = store.snapshot_stats(3);
-  EXPECT_EQ(stats.domains_found, 1u);
-  EXPECT_EQ(stats.domains_analyzed, 0u);
-  EXPECT_EQ(store.total_domains_found(), 1u);
-  EXPECT_EQ(store.total_domains_analyzed(), 0u);
-}
-
-TEST(ResultStore, UnionAcrossYears) {
-  ResultStore store;
-  PageOutcome outcome;
-  outcome.domain = "a.example";
-  outcome.analyzable = true;
-  outcome.year_index = 0;
-  outcome.violations.set(static_cast<std::size_t>(core::Violation::kFB2));
-  store.add(outcome);
-  outcome.year_index = 5;
-  outcome.violations.reset();
-  outcome.violations.set(static_cast<std::size_t>(core::Violation::kDM3));
-  store.add(outcome);
-
-  const auto unions = store.union_violating();
-  EXPECT_EQ(unions[static_cast<std::size_t>(core::Violation::kFB2)], 1u);
-  EXPECT_EQ(unions[static_cast<std::size_t>(core::Violation::kDM3)], 1u);
-  EXPECT_EQ(store.union_any_violation(), 1u);
-}
-
-TEST(ResultStore, CsvExportShape) {
-  ResultStore store;
-  PageOutcome outcome;
-  outcome.domain = "a.example";
-  outcome.year_index = 1;
-  outcome.analyzable = true;
-  outcome.violations.set(static_cast<std::size_t>(core::Violation::kFB1));
-  store.add(outcome);
-  const std::string csv = store.to_csv();
-  EXPECT_NE(csv.find("domain,year_index,DE1,"), std::string::npos);
-  EXPECT_NE(csv.find("a.example,1,"), std::string::npos);
-}
+// (ResultSink/StudyView unit tests live in store_test.cc.)
 
 // --- full pipeline ------------------------------------------------------------------
 
@@ -191,12 +103,12 @@ TEST(StudyPipeline, EndToEndMiniStudy) {
   StudyPipeline pipeline(config);
   pipeline.run_all();
 
-  const ResultStore& store = pipeline.results();
-  EXPECT_GT(store.total_domains_analyzed(), 20u);
-  EXPECT_GE(store.total_domains_found(), store.total_domains_analyzed());
+  const store::StudyView& view = pipeline.results_view();
+  EXPECT_GT(view.total_domains_analyzed(), 20u);
+  EXPECT_GE(view.total_domains_found(), view.total_domains_analyzed());
 
   for (int y = 0; y < kYearCount; ++y) {
-    const SnapshotStats stats = store.snapshot_stats(y);
+    const SnapshotStats stats = view.snapshot_stats(y);
     EXPECT_GE(stats.domains_found, stats.domains_analyzed);
     EXPECT_GE(stats.any_violation_domains, stats.fully_auto_fixable_domains);
     EXPECT_GT(stats.pages_analyzed, 0u);
@@ -206,8 +118,8 @@ TEST(StudyPipeline, EndToEndMiniStudy) {
     }
   }
   // Unions dominate single years.
-  const auto unions = store.union_violating();
-  const SnapshotStats y0 = store.snapshot_stats(0);
+  const auto unions = view.union_violating();
+  const SnapshotStats y0 = view.snapshot_stats(0);
   for (std::size_t v = 0; v < core::kViolationCount; ++v) {
     EXPECT_GE(unions[v], y0.violating_domains[v]);
   }
@@ -244,7 +156,7 @@ double metric_value(std::string_view name, std::string_view snapshot,
   return value.value_or(0.0);
 }
 
-TEST(StudyPipeline, ObsCountersReconcileWithResultStore) {
+TEST(StudyPipeline, ObsCountersReconcileWithResultsView) {
   // The obs registry is process-global and cumulative, so compare deltas
   // around this run rather than absolute values.
   std::array<double, kYearCount> checked_before{};
@@ -266,7 +178,7 @@ TEST(StudyPipeline, ObsCountersReconcileWithResultStore) {
   StudyPipeline pipeline(config);
   pipeline.run_all();
 
-  const ResultStore& store = pipeline.results();
+  const store::StudyView& view = pipeline.results_view();
   for (int y = 0; y < kYearCount; ++y) {
     const auto label = report::kSnapshotLabels[static_cast<std::size_t>(y)];
     const double checked =
@@ -281,10 +193,10 @@ TEST(StudyPipeline, ObsCountersReconcileWithResultStore) {
           metric_value("hv_pipeline_filter_drops_total", label, kReasons[r]) -
           drops_before[y][r];
     }
-    // Per-snapshot page counts match the ResultStore's ground truth, and
+    // Per-snapshot page counts match the sealed view's ground truth, and
     // every record read is accounted for: checked or dropped by a filter.
     EXPECT_EQ(checked,
-              static_cast<double>(store.snapshot_stats(y).pages_analyzed))
+              static_cast<double>(view.snapshot_stats(y).pages_analyzed))
         << "snapshot " << label;
     EXPECT_EQ(read, checked + dropped) << "snapshot " << label;
   }
@@ -331,7 +243,11 @@ TEST(StudyPipeline, DeterministicAcrossThreadCounts) {
   StudyPipeline pipeline_b(config_b);
   pipeline_b.run_all();
 
-  EXPECT_EQ(pipeline_a.results().to_csv(), pipeline_b.results().to_csv());
+  std::ostringstream csv_a;
+  std::ostringstream csv_b;
+  pipeline_a.results_view().write_csv(csv_a);
+  pipeline_b.results_view().write_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
   std::filesystem::remove_all(config_a.workdir);
   std::filesystem::remove_all(config_b.workdir);
 }

@@ -1,0 +1,374 @@
+// hv::store tests: the sharded write path, seal semantics, the sealed
+// columnar view's aggregates (migrated from the old pipeline::ResultStore
+// suite — the numbers must not change), binary persistence, and merge.
+#include "store/result_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/persist.h"
+#include "store/study_view.h"
+#include "store/types.h"
+
+namespace hv::store {
+namespace {
+
+PageOutcome make_outcome(std::string domain, int year,
+                         core::Violation violation) {
+  PageOutcome outcome;
+  outcome.domain = std::move(domain);
+  outcome.year_index = year;
+  outcome.analyzable = true;
+  outcome.violations.set(static_cast<std::size_t>(violation));
+  return outcome;
+}
+
+std::string csv_of(const StudyView& view) {
+  std::ostringstream out;
+  view.write_csv(out);
+  return out.str();
+}
+
+// --- sealed-view aggregates (migrated ResultStore semantics) -------------
+
+TEST(StudyView, AggregatesDomainLevel) {
+  ShardedResultSink sink;
+  PageOutcome outcome;
+  outcome.domain = "a.example";
+  outcome.year_index = 0;
+  outcome.analyzable = true;
+  outcome.violations.set(static_cast<std::size_t>(core::Violation::kFB2));
+  sink.add(outcome);
+  outcome.violations.reset();
+  outcome.violations.set(static_cast<std::size_t>(core::Violation::kHF4));
+  sink.add(outcome);  // second page, same domain
+
+  const StudyView view = sink.seal();
+  const SnapshotStats stats = view.snapshot_stats(0);
+  EXPECT_EQ(stats.domains_analyzed, 1u);
+  EXPECT_EQ(stats.pages_analyzed, 2u);
+  EXPECT_EQ(stats.any_violation_domains, 1u);
+  EXPECT_EQ(stats.violating_domains[static_cast<std::size_t>(
+                core::Violation::kFB2)],
+            1u);
+  EXPECT_EQ(stats.violating_domains[static_cast<std::size_t>(
+                core::Violation::kHF4)],
+            1u);
+  // HF4 is not auto-fixable -> domain not fully fixable.
+  EXPECT_EQ(stats.fully_auto_fixable_domains, 0u);
+  EXPECT_EQ(stats.group_domains[static_cast<std::size_t>(
+                core::ProblemGroup::kFilterBypass)],
+            1u);
+}
+
+TEST(StudyView, AvgRankOverAnalyzedDomains) {
+  ShardedResultSink sink;
+  sink.register_rank("a.example", 10);
+  sink.register_rank("b.example", 30);
+  sink.register_rank("c.example", 1000);  // never analyzed
+  PageOutcome outcome;
+  outcome.analyzable = true;
+  outcome.year_index = 0;
+  outcome.domain = "a.example";
+  sink.add(outcome);
+  outcome.domain = "b.example";
+  sink.add(outcome);
+  const StudyView view = sink.seal();
+  EXPECT_DOUBLE_EQ(view.snapshot_stats(0).avg_rank, 20.0);
+  // No ranked analyzed domains in another year.
+  EXPECT_DOUBLE_EQ(view.snapshot_stats(3).avg_rank, 0.0);
+}
+
+TEST(StudyView, FoundWithoutAnalyzedCounted) {
+  ShardedResultSink sink;
+  sink.mark_found("api.example", 3);
+  const StudyView view = sink.seal();
+  const SnapshotStats stats = view.snapshot_stats(3);
+  EXPECT_EQ(stats.domains_found, 1u);
+  EXPECT_EQ(stats.domains_analyzed, 0u);
+  EXPECT_EQ(view.total_domains_found(), 1u);
+  EXPECT_EQ(view.total_domains_analyzed(), 0u);
+}
+
+TEST(StudyView, UnionAcrossYears) {
+  ShardedResultSink sink;
+  sink.add(make_outcome("a.example", 0, core::Violation::kFB2));
+  sink.add(make_outcome("a.example", 5, core::Violation::kDM3));
+  const StudyView view = sink.seal();
+  const auto unions = view.union_violating();
+  EXPECT_EQ(unions[static_cast<std::size_t>(core::Violation::kFB2)], 1u);
+  EXPECT_EQ(unions[static_cast<std::size_t>(core::Violation::kDM3)], 1u);
+  EXPECT_EQ(view.union_any_violation(), 1u);
+}
+
+TEST(StudyView, CsvExportShape) {
+  ShardedResultSink sink;
+  sink.add(make_outcome("a.example", 1, core::Violation::kFB1));
+  const std::string csv = csv_of(sink.seal());
+  // Schema-version line first, then the column header, then data rows.
+  EXPECT_EQ(csv.rfind("# hv-results-csv v1\n", 0), 0u) << csv;
+  EXPECT_NE(csv.find("domain,year_index,DE1,"), std::string::npos);
+  EXPECT_NE(csv.find("a.example,1,"), std::string::npos);
+}
+
+TEST(StudyView, DomainLookup) {
+  ShardedResultSink sink;
+  sink.register_rank("b.example", 2);
+  sink.add(make_outcome("a.example", 0, core::Violation::kFB1));
+  sink.add(make_outcome("c.example", 7, core::Violation::kDE1));
+  const StudyView view = sink.seal();
+  ASSERT_TRUE(view.find_domain("c.example").has_value());
+  const std::size_t c = *view.find_domain("c.example");
+  EXPECT_EQ(view.domain_name(c), "c.example");
+  EXPECT_EQ(view.pages(c, 7), 1u);
+  EXPECT_NE(view.flags(c, 7) & kFlagAnalyzed, 0);
+  EXPECT_FALSE(view.find_domain("missing.example").has_value());
+  ASSERT_TRUE(view.find_domain("b.example").has_value());
+  EXPECT_EQ(view.rank(*view.find_domain("b.example")), 2u);
+}
+
+// --- seal semantics ------------------------------------------------------
+
+TEST(ShardedResultSink, WritesAfterSealThrow) {
+  ShardedResultSink sink;
+  sink.add(make_outcome("a.example", 0, core::Violation::kFB1));
+  (void)sink.seal();
+  EXPECT_TRUE(sink.sealed());
+  EXPECT_THROW(sink.add(make_outcome("b.example", 0, core::Violation::kFB1)),
+               std::logic_error);
+  EXPECT_THROW(sink.mark_found("b.example", 0), std::logic_error);
+  EXPECT_THROW(sink.register_rank("b.example", 1), std::logic_error);
+  EXPECT_THROW((void)sink.seal(), std::logic_error);
+}
+
+TEST(ShardedResultSink, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedResultSink(1).shard_count(), 1u);
+  EXPECT_EQ(ShardedResultSink(3).shard_count(), 4u);
+  EXPECT_EQ(ShardedResultSink(16).shard_count(), 16u);
+  EXPECT_EQ(ShardedResultSink(65).shard_count(), 128u);
+}
+
+// --- concurrency ---------------------------------------------------------
+
+/// The deterministic op stream thread `t` replays; the golden run replays
+/// all 16 streams on one thread.  Every cross-thread collision writes the
+/// same value (rank is a function of the domain), so the sealed views
+/// must be identical regardless of interleaving.
+void replay_ops(ResultSink& sink, int t) {
+  for (int i = 0; i < 200; ++i) {
+    const int d = (t * 37 + i) % 50;
+    const std::string domain = "d" + std::to_string(d) + ".example";
+    PageOutcome outcome = make_outcome(
+        domain, (t + i) % kYearCount,
+        static_cast<core::Violation>(i % core::kViolationCount));
+    if (i % 3 == 0) outcome.url_newline = true;
+    if (i % 5 == 0) outcome.uses_math = true;
+    sink.add(outcome);
+    sink.mark_found(domain, (i + 3) % kYearCount);
+    sink.register_rank(domain, static_cast<std::uint64_t>(d) + 1);
+  }
+}
+
+TEST(ShardedResultSink, SixteenWritersMatchSingleThreadedGolden) {
+  constexpr int kThreads = 16;
+  ShardedResultSink golden(1);
+  for (int t = 0; t < kThreads; ++t) replay_ops(golden, t);
+
+  ShardedResultSink sink(8);
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, t] { replay_ops(sink, t); });
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  const StudyView expected = golden.seal();
+  const StudyView actual = sink.seal();
+  EXPECT_EQ(actual.domains(), expected.domains());
+  EXPECT_EQ(actual.ranks(), expected.ranks());
+  for (int y = 0; y < kYearCount; ++y) {
+    EXPECT_EQ(actual.years()[static_cast<std::size_t>(y)].violations,
+              expected.years()[static_cast<std::size_t>(y)].violations)
+        << "year " << y;
+    EXPECT_EQ(actual.years()[static_cast<std::size_t>(y)].flags,
+              expected.years()[static_cast<std::size_t>(y)].flags)
+        << "year " << y;
+    EXPECT_EQ(actual.years()[static_cast<std::size_t>(y)].pages,
+              expected.years()[static_cast<std::size_t>(y)].pages)
+        << "year " << y;
+  }
+  EXPECT_EQ(csv_of(actual), csv_of(expected));
+}
+
+TEST(StudyView, ConcurrentQueriesOnSealedViewAgree) {
+  ShardedResultSink sink;
+  for (int t = 0; t < 4; ++t) replay_ops(sink, t);
+  const StudyView view = sink.seal();
+
+  // Reference answers, computed before the readers start.
+  const SnapshotStats stats0 = view.snapshot_stats(0);
+  const auto unions = view.union_violating();
+  const std::size_t any = view.union_any_violation();
+  const std::string csv = csv_of(view);
+
+  // The sealed read path takes no locks, so any number of threads must be
+  // able to hammer every query concurrently and agree byte-for-byte.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 8; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const SnapshotStats stats = view.snapshot_stats(0);
+        if (stats.domains_analyzed != stats0.domains_analyzed ||
+            stats.pages_analyzed != stats0.pages_analyzed ||
+            stats.violating_domains != stats0.violating_domains) {
+          mismatches.fetch_add(1);
+        }
+        if (view.union_violating() != unions) mismatches.fetch_add(1);
+        if (view.union_any_violation() != any) mismatches.fetch_add(1);
+        if (csv_of(view) != csv) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- persistence ---------------------------------------------------------
+
+StudyView sample_view() {
+  ShardedResultSink sink;
+  for (int t = 0; t < 3; ++t) replay_ops(sink, t);
+  sink.mark_found("found-only.example", 2);
+  return sink.seal();
+}
+
+std::string save_to_string(const StudyView& view) {
+  std::ostringstream out;
+  EXPECT_TRUE(save_results(view, out));
+  return out.str();
+}
+
+TEST(Persist, SaveLoadRoundTripIsExact) {
+  const StudyView original = sample_view();
+  const std::string bytes = save_to_string(original);
+
+  std::string error;
+  const auto loaded = load_results(std::string_view(bytes), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->domains(), original.domains());
+  EXPECT_EQ(loaded->ranks(), original.ranks());
+  EXPECT_EQ(csv_of(*loaded), csv_of(original));
+  // Serialization is deterministic: a second save is byte-identical.
+  EXPECT_EQ(save_to_string(*loaded), bytes);
+}
+
+TEST(Persist, MergeOfSavedHalvesEqualsFullStudy) {
+  ShardedResultSink full;
+  ShardedResultSink first_half;
+  ShardedResultSink second_half;
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 100; ++i) {
+      const std::string domain =
+          "m" + std::to_string((t * 13 + i) % 30) + ".example";
+      const int year = (t + i) % kYearCount;
+      const PageOutcome outcome = make_outcome(
+          domain, year,
+          static_cast<core::Violation>(i % core::kViolationCount));
+      full.add(outcome);
+      (year < kYearCount / 2 ? first_half : second_half).add(outcome);
+      // Both halves register every rank, like two --years runs of the
+      // same study list would.
+      full.register_rank(domain, (t * 13 + i) % 30 + 1);
+      first_half.register_rank(domain, (t * 13 + i) % 30 + 1);
+      second_half.register_rank(domain, (t * 13 + i) % 30 + 1);
+    }
+  }
+  // Round-trip both halves through the binary format before merging,
+  // exactly like `hv query merge a.hv b.hv`.
+  const auto a =
+      load_results(std::string_view(save_to_string(first_half.seal())));
+  const auto b =
+      load_results(std::string_view(save_to_string(second_half.seal())));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  const StudyView merged = StudyView::merge(*a, *b);
+  const StudyView expected = full.seal();
+  EXPECT_EQ(merged.domains(), expected.domains());
+  EXPECT_EQ(merged.ranks(), expected.ranks());
+  EXPECT_EQ(csv_of(merged), csv_of(expected));
+}
+
+TEST(Persist, MergePrefersNonZeroRank) {
+  ShardedResultSink left;
+  ShardedResultSink right;
+  left.add(make_outcome("a.example", 0, core::Violation::kFB1));
+  right.add(make_outcome("a.example", 4, core::Violation::kDE1));
+  right.register_rank("a.example", 7);  // only one side knows the rank
+  const StudyView merged = StudyView::merge(left.seal(), right.seal());
+  ASSERT_TRUE(merged.find_domain("a.example").has_value());
+  const std::size_t i = *merged.find_domain("a.example");
+  EXPECT_EQ(merged.rank(i), 7u);
+  EXPECT_NE(merged.violations(i, 0), 0u);
+  EXPECT_NE(merged.violations(i, 4), 0u);
+}
+
+TEST(Persist, RejectsBadMagic) {
+  std::string bytes = save_to_string(sample_view());
+  bytes[0] = 'X';
+  std::string error;
+  EXPECT_FALSE(load_results(std::string_view(bytes), &error).has_value());
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+}
+
+TEST(Persist, RejectsUnsupportedVersion) {
+  std::string bytes = save_to_string(sample_view());
+  // The version field is the u32 right after the 4-byte magic — bump it.
+  bytes[4] = static_cast<char>(kResultsFormatVersion + 1);
+  std::string error;
+  EXPECT_FALSE(load_results(std::string_view(bytes), &error).has_value());
+  EXPECT_NE(error.find("unsupported version"), std::string::npos) << error;
+}
+
+TEST(Persist, RejectsCorruptedPayload) {
+  std::string bytes = save_to_string(sample_view());
+  bytes[bytes.size() - 1] ^= 0x5A;  // flip bits in the payload tail
+  std::string error;
+  EXPECT_FALSE(load_results(std::string_view(bytes), &error).has_value());
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+TEST(Persist, RejectsTruncatedFile) {
+  const std::string bytes = save_to_string(sample_view());
+  std::string error;
+  EXPECT_FALSE(
+      load_results(std::string_view(bytes).substr(0, 10), &error)
+          .has_value());
+  EXPECT_NE(error.find("truncated header"), std::string::npos) << error;
+  // Cutting the payload changes its checksum, which is caught first.
+  EXPECT_FALSE(
+      load_results(std::string_view(bytes).substr(0, bytes.size() - 3),
+                   &error)
+          .has_value());
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+TEST(Persist, EmptyViewRoundTrips) {
+  ShardedResultSink sink;
+  const std::string bytes = save_to_string(sink.seal());
+  std::string error;
+  const auto loaded = load_results(std::string_view(bytes), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->domain_count(), 0u);
+  EXPECT_EQ(loaded->total_domains_analyzed(), 0u);
+}
+
+}  // namespace
+}  // namespace hv::store

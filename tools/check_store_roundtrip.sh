@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# Store persistence gate, next to check_run_health.sh in the CI script set.
+#
+# Three layers:
+#   1. Roundtrip: a live study saved with --results-out must answer
+#      `hv query csv` byte-identically to the CSV the live pipeline wrote
+#      (--csv-out), proving save -> load loses nothing.
+#   2. Merge: the same study split into --years 0-3 and --years 4-7 halves,
+#      merged with `hv query merge`, must reproduce the full-range CSV
+#      byte-for-byte.
+#   3. Corruption: a results.hv with one flipped payload byte must be
+#      rejected by `hv query` (checksum), proving the gate actually gates.
+#
+# Usage: tools/check_store_roundtrip.sh [build-dir]   (default: build)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+study_args="--domains 50 --pages 2 --seed 17 --threads 4"
+
+echo "== building hv =="
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target hv >/dev/null
+hv_bin="$build_dir/tools/hv"
+
+echo "== full study with --results-out / --csv-out =="
+# shellcheck disable=SC2086  # study_args is a word list by design
+"$hv_bin" study $study_args --workdir "$tmp_dir/corpus" \
+  --results-out "$tmp_dir/full.hv" --csv-out "$tmp_dir/full.csv" >/dev/null
+
+echo "== roundtrip: query csv over the saved file must match the live CSV =="
+"$hv_bin" query csv "$tmp_dir/full.hv" > "$tmp_dir/roundtrip.csv"
+cmp "$tmp_dir/full.csv" "$tmp_dir/roundtrip.csv" || {
+  echo "check_store_roundtrip: FAIL (save -> load changed the CSV)"
+  exit 1
+}
+
+echo "== merge: --years 0-3 + --years 4-7 halves must equal the full run =="
+# shellcheck disable=SC2086
+"$hv_bin" study $study_args --workdir "$tmp_dir/corpus" --years 0-3 \
+  --results-out "$tmp_dir/early.hv" >/dev/null
+# shellcheck disable=SC2086
+"$hv_bin" study $study_args --workdir "$tmp_dir/corpus" --years 4-7 \
+  --results-out "$tmp_dir/late.hv" >/dev/null
+"$hv_bin" query merge -o "$tmp_dir/merged.hv" \
+  "$tmp_dir/early.hv" "$tmp_dir/late.hv" >/dev/null
+"$hv_bin" query csv "$tmp_dir/merged.hv" > "$tmp_dir/merged.csv"
+cmp "$tmp_dir/full.csv" "$tmp_dir/merged.csv" || {
+  echo "check_store_roundtrip: FAIL (merged halves differ from full study)"
+  exit 1
+}
+
+echo "== corruption: a flipped payload byte must be rejected =="
+python3 - "$tmp_dir/full.hv" "$tmp_dir/corrupt.hv" <<'EOF'
+import sys
+data = bytearray(open(sys.argv[1], "rb").read())
+data[-1] ^= 0x5A  # last payload byte; checksum must catch this
+open(sys.argv[2], "wb").write(data)
+EOF
+if "$hv_bin" query stats "$tmp_dir/corrupt.hv" >/dev/null 2>&1; then
+  echo "check_store_roundtrip: FAIL (corrupted results.hv was accepted)"
+  exit 1
+fi
+echo "(query rejected the corrupted file, as intended)"
+
+echo "check_store_roundtrip: OK"
