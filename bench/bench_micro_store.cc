@@ -44,6 +44,12 @@ class SingleMutexSink final : public ResultSink {
     rows_[std::string(domain)].flags[static_cast<std::size_t>(year_index)] |=
         hv::store::kFlagFound;
   }
+  void mark_error(std::string_view domain, int year_index) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    DomainRow& row = rows_[std::string(domain)];
+    row.flags[static_cast<std::size_t>(year_index)] |= hv::store::kFlagFound;
+    ++row.errors[static_cast<std::size_t>(year_index)];
+  }
   void register_rank(std::string_view domain, std::uint64_t rank) override {
     const std::lock_guard<std::mutex> lock(mutex_);
     rows_[std::string(domain)].rank = rank;

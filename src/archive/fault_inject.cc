@@ -1,0 +1,199 @@
+#include "archive/fault_inject.h"
+
+#include <stdexcept>
+
+namespace hv::archive {
+namespace {
+
+constexpr std::string_view kVersionLine = "WARC/1.0";
+
+/// SplitMix64 — tiny, deterministic, and good enough for fault selection;
+/// keeps hv_archive free of a dependency on hv_corpus's RNG.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z;
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Byte-level structure of one record, with the absolute positions the
+/// mutations need.
+struct RecordSpan {
+  std::uint64_t offset = 0;  ///< record start (the 'W' of WARC/1.0)
+  std::string type;
+  std::string target_uri;
+  std::size_t first_header_colon = 0;  ///< abs index of the first ':'
+  std::size_t length_value_start = 0;  ///< abs index of the CL digits
+  std::size_t length_value_size = 0;
+  std::size_t payload_start = 0;
+  std::uint64_t payload_size = 0;
+};
+
+[[noreturn]] void malformed(std::size_t at, const std::string& what) {
+  throw std::runtime_error("inject_faults: input is not well-formed WARC (" +
+                           what + " at byte " + std::to_string(at) + ")");
+}
+
+/// Reads one line ending at '\n'; returns it without the terminator and
+/// with a trailing '\r' stripped, advancing `pos` past the '\n'.
+std::string_view scan_line(std::string_view bytes, std::size_t& pos) {
+  const std::size_t start = pos;
+  const std::size_t newline = bytes.find('\n', pos);
+  if (newline == std::string_view::npos) malformed(start, "unterminated line");
+  pos = newline + 1;
+  std::string_view line = bytes.substr(start, newline - start);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+std::vector<RecordSpan> scan_records(std::string_view bytes) {
+  std::vector<RecordSpan> records;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes[pos] == '\r' || bytes[pos] == '\n') {
+      ++pos;
+      continue;
+    }
+    RecordSpan record;
+    record.offset = pos;
+    if (scan_line(bytes, pos) != kVersionLine) {
+      malformed(record.offset, "missing WARC/1.0 version line");
+    }
+    bool have_length = false;
+    bool first_header = true;
+    while (true) {
+      const std::size_t line_start = pos;
+      const std::string_view line = scan_line(bytes, pos);
+      if (line.empty()) break;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        malformed(line_start, "header without ':'");
+      }
+      if (first_header) {
+        record.first_header_colon = line_start + colon;
+        first_header = false;
+      }
+      std::string_view name = line.substr(0, colon);
+      std::size_t value_off = colon + 1;
+      while (value_off < line.size() && line[value_off] == ' ') ++value_off;
+      const std::string_view value = line.substr(value_off);
+      if (name == "WARC-Type") {
+        record.type.assign(value);
+      } else if (name == "WARC-Target-URI") {
+        record.target_uri.assign(value);
+      } else if (name == "Content-Length") {
+        record.length_value_start = line_start + value_off;
+        record.length_value_size = value.size();
+        std::uint64_t parsed = 0;
+        for (const char c : value) {
+          if (c < '0' || c > '9') malformed(line_start, "bad Content-Length");
+          parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        record.payload_size = parsed;
+        have_length = true;
+      }
+    }
+    if (!have_length) malformed(record.offset, "missing Content-Length");
+    record.payload_start = pos;
+    if (record.payload_size > bytes.size() - pos) {
+      malformed(record.offset, "payload past EOF");
+    }
+    pos += static_cast<std::size_t>(record.payload_size);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void apply_fault(std::string* bytes, const RecordSpan& record,
+                 FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVersionBitFlip:
+      // 'W' -> 'w': a single-bit flip in the version line.
+      (*bytes)[static_cast<std::size_t>(record.offset)] ^= 0x20;
+      break;
+    case FaultKind::kHeaderGarbage:
+      // The first header is "WARC-Type: ...", whose only ':' is the
+      // separator — overwriting it leaves a line with no colon at all.
+      (*bytes)[record.first_header_colon] = '#';
+      break;
+    case FaultKind::kLengthRewrite:
+      if (record.length_value_size >= 10) {
+        // All-nines at >= 10 digits clears the 256 MiB sanity cap.
+        for (std::size_t i = 0; i < record.length_value_size; ++i) {
+          (*bytes)[record.length_value_start + i] = '9';
+        }
+      } else {
+        // A trailing non-digit: std::stoull would have accepted this.
+        (*bytes)[record.length_value_start + record.length_value_size - 1] =
+            'x';
+      }
+      break;
+    case FaultKind::kTruncateTail:
+      bytes->resize(record.payload_start +
+                    static_cast<std::size_t>(record.payload_size) / 2);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kVersionBitFlip:
+      return "version-bit-flip";
+    case FaultKind::kHeaderGarbage:
+      return "header-garbage";
+    case FaultKind::kLengthRewrite:
+      return "length-rewrite";
+    case FaultKind::kTruncateTail:
+      return "truncate-tail";
+  }
+  return "unknown";
+}
+
+FaultPlan inject_faults(std::string* warc_bytes,
+                        const FaultInjectConfig& config) {
+  const std::vector<RecordSpan> records = scan_records(*warc_bytes);
+  FaultPlan plan;
+  std::uint64_t rng = config.seed;
+  // Length-preserving kinds only, in rotation by RNG draw; kTruncateTail
+  // is opt-in because it destroys every record after the cut point.
+  const RecordSpan* last_response = nullptr;
+  for (const RecordSpan& record : records) {
+    if (record.type != "response") continue;
+    last_response = &record;
+  }
+  for (const RecordSpan& record : records) {
+    if (record.type != "response") continue;
+    ++plan.response_records;
+    // The tail-truncation target is excluded from random selection so the
+    // plan never double-counts one record.
+    if (config.truncate_tail && &record == last_response) continue;
+    if (uniform01(rng) >= config.rate) continue;
+    static constexpr FaultKind kInPlaceKinds[] = {
+        FaultKind::kVersionBitFlip,
+        FaultKind::kHeaderGarbage,
+        FaultKind::kLengthRewrite,
+    };
+    const FaultKind kind = kInPlaceKinds[splitmix64(rng) % 3];
+    apply_fault(warc_bytes, record, kind);
+    plan.faults.push_back({record.offset, kind, record.target_uri});
+  }
+  if (config.truncate_tail && last_response != nullptr &&
+      last_response->payload_size >= 2) {
+    apply_fault(warc_bytes, *last_response, FaultKind::kTruncateTail);
+    plan.faults.push_back({last_response->offset, FaultKind::kTruncateTail,
+                           last_response->target_uri});
+  }
+  return plan;
+}
+
+}  // namespace hv::archive

@@ -1,0 +1,57 @@
+// Deterministic WARC corruption for the fault-injection harness
+// (DESIGN.md section 12).  Mutations are length-preserving wherever
+// possible so the CDX index's offsets stay valid for every record —
+// corrupt records then fail *inside* next() with a typed ReadError, and a
+// study's quarantine count can be compared 1:1 against the injected-fault
+// count.  Only "response" records are targeted: warcinfo records are not
+// indexed in the CDX, so mutating one would break the count equality the
+// harness asserts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::archive {
+
+/// The corruption classes the mutator can apply to a record.
+enum class FaultKind : std::uint8_t {
+  kVersionBitFlip = 0,  ///< flip a bit in "WARC/1.0" → kBadVersionLine
+  kHeaderGarbage,       ///< destroy a header's ':' → kMalformedHeader
+  kLengthRewrite,       ///< garble Content-Length → kBad/kOversized...
+  kTruncateTail,        ///< cut the file mid-payload → kTruncatedPayload
+};
+
+std::string_view to_string(FaultKind kind) noexcept;
+
+/// One applied mutation, reported so tests and tools can reconcile
+/// quarantine counters against exactly these records.
+struct InjectedFault {
+  std::uint64_t record_offset = 0;  ///< matches the CDX entry's offset
+  FaultKind kind = FaultKind::kVersionBitFlip;
+  std::string target_uri;  ///< WARC-Target-URI of the mutated record
+};
+
+struct FaultPlan {
+  std::vector<InjectedFault> faults;
+  std::size_t response_records = 0;  ///< candidates scanned
+};
+
+struct FaultInjectConfig {
+  double rate = 0.02;      ///< fraction of response records to corrupt
+  std::uint64_t seed = 1;  ///< deterministic selection + kind choice
+  /// Also truncate the file inside the last response record's payload
+  /// (destructive to every later byte, so opt-in and applied last).
+  bool truncate_tail = false;
+};
+
+/// Structurally scans a well-formed WARC byte string and corrupts a
+/// seeded ~`rate` fraction of its response records in place.  Returns the
+/// plan of applied faults, ordered by record offset.  Throws
+/// std::runtime_error if the input is not well-formed WARC (the mutator
+/// is for corrupting good archives, not re-corrupting bad ones).
+FaultPlan inject_faults(std::string* warc_bytes,
+                        const FaultInjectConfig& config);
+
+}  // namespace hv::archive

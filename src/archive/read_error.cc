@@ -1,0 +1,63 @@
+#include "archive/read_error.h"
+
+namespace hv::archive {
+namespace {
+
+std::string build_message(ReadErrorKind kind, std::uint64_t offset,
+                          std::string_view detail) {
+  std::string message;
+  message.reserve(64 + detail.size());
+  message.append(kind == ReadErrorKind::kCdxParse ? "CDX: " : "WARC: ");
+  message.append(to_string(kind));
+  message.append(kind == ReadErrorKind::kCdxParse ? " at line "
+                                                  : " at offset ");
+  message.append(std::to_string(offset));
+  if (!detail.empty()) {
+    message.append(": ");
+    message.append(detail);
+  }
+  return message;
+}
+
+}  // namespace
+
+std::string_view to_string(ReadErrorKind kind) noexcept {
+  switch (kind) {
+    case ReadErrorKind::kBadVersionLine:
+      return "bad-version-line";
+    case ReadErrorKind::kMalformedHeader:
+      return "malformed-header";
+    case ReadErrorKind::kBadContentLength:
+      return "bad-content-length";
+    case ReadErrorKind::kOversizedContentLength:
+      return "oversized-content-length";
+    case ReadErrorKind::kMissingContentLength:
+      return "missing-content-length";
+    case ReadErrorKind::kTruncatedPayload:
+      return "truncated-payload";
+    case ReadErrorKind::kCdxParse:
+      return "cdx-parse";
+  }
+  return "unknown";
+}
+
+ReadError::ReadError(ReadErrorKind kind, std::uint64_t offset,
+                     std::string_view detail)
+    : std::runtime_error(build_message(kind, offset, detail)),
+      kind_(kind),
+      offset_(offset) {}
+
+bool parse_u64_digits(std::string_view text, std::uint64_t* value) noexcept {
+  if (text.empty()) return false;
+  std::uint64_t result = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) return false;  // overflow
+    result = result * 10 + digit;
+  }
+  *value = result;
+  return true;
+}
+
+}  // namespace hv::archive

@@ -1,0 +1,58 @@
+// Typed error taxonomy for the archive read path (WARC framing + CDX
+// index).  At Common Crawl scale, truncated records, garbage headers, and
+// malformed lengths are routine inputs, not exceptional ones — the crawl
+// workers catch ReadError per capture, quarantine the record, and keep
+// going (DESIGN.md section 12), so the kind has to be programmatically
+// inspectable instead of buried in a what() string.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hv::archive {
+
+/// Every distinct way the archive read path can reject input.  Keep in
+/// sync with kReadErrorKindCount and to_string(); the names double as the
+/// `kind` label of hv_archive_read_errors_total and the quarantine
+/// counters.
+enum class ReadErrorKind : std::uint8_t {
+  kBadVersionLine = 0,   ///< record does not start with "WARC/1.0"
+  kMalformedHeader,      ///< header line without a ':' separator
+  kBadContentLength,     ///< non-digit / overflowing Content-Length value
+  kOversizedContentLength,  ///< length beyond the sanity cap
+  kMissingContentLength,    ///< record header block without Content-Length
+  kTruncatedPayload,     ///< payload extends past the end of the stream
+  kCdxParse,             ///< malformed CDX index line
+};
+
+inline constexpr std::size_t kReadErrorKindCount = 7;
+
+/// Stable kebab-case name ("bad-version-line", ...), used as a metric
+/// label and in diagnostics.
+std::string_view to_string(ReadErrorKind kind) noexcept;
+
+/// Thrown by WarcReader / CdxIndex on malformed input.  Derives from
+/// std::runtime_error so pre-taxonomy catch sites keep working; new code
+/// should catch ReadError and dispatch on kind().
+class ReadError : public std::runtime_error {
+ public:
+  /// `offset` is the byte offset of the offending record for WARC errors
+  /// and the 1-based line number for kCdxParse.
+  ReadError(ReadErrorKind kind, std::uint64_t offset, std::string_view detail);
+
+  ReadErrorKind kind() const noexcept { return kind_; }
+  std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  ReadErrorKind kind_;
+  std::uint64_t offset_;
+};
+
+/// Strict decimal parser shared by the WARC and CDX readers: digits only
+/// (no sign, no whitespace, no trailing garbage — std::stoull accepted
+/// "123abc"), overflow-checked.  Returns false on any deviation.
+bool parse_u64_digits(std::string_view text, std::uint64_t* value) noexcept;
+
+}  // namespace hv::archive

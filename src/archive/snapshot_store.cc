@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "archive/read_error.h"
 #include "obs/metrics.h"
 
 namespace hv::archive {
@@ -68,14 +69,18 @@ CdxIndex CdxIndex::load(const std::filesystem::path& path) {
   }
   CdxIndex index;
   std::string line;
+  std::uint64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
     CdxEntry entry;
     std::size_t pos = 0;
-    const auto take = [&line, &pos]() {
+    const auto take = [&line, &pos, line_number]() {
       const std::size_t comma = line.find(kSep, pos);
       if (comma == std::string::npos) {
-        throw std::runtime_error("malformed CDX line: " + line);
+        throw ReadError(ReadErrorKind::kCdxParse, line_number,
+                        "expected 5 fields, line is \"" + line.substr(0, 64) +
+                            "\"");
       }
       std::string field = line.substr(pos, comma - pos);
       pos = comma + 1;
@@ -83,8 +88,19 @@ CdxIndex CdxIndex::load(const std::filesystem::path& path) {
     };
     entry.domain = take();
     entry.url = take();
-    entry.offset = std::stoull(take());
-    entry.length = std::stoull(take());
+    // std::stoull here used to throw std::invalid_argument with no line
+    // context; the checked parser turns a corrupt index line into a typed
+    // error naming the line.
+    const std::string offset_field = take();
+    if (!parse_u64_digits(offset_field, &entry.offset)) {
+      throw ReadError(ReadErrorKind::kCdxParse, line_number,
+                      "bad offset \"" + offset_field.substr(0, 32) + "\"");
+    }
+    const std::string length_field = take();
+    if (!parse_u64_digits(length_field, &entry.length)) {
+      throw ReadError(ReadErrorKind::kCdxParse, line_number,
+                      "bad length \"" + length_field.substr(0, 32) + "\"");
+    }
     entry.content_type = line.substr(pos);  // greedy: may contain commas
     index.add(std::move(entry));
   }

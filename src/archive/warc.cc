@@ -21,6 +21,9 @@ struct WarcMetrics {
   obs::Counter& bytes_read;
   obs::Counter& seeks_performed;  ///< {skipped="false"}
   obs::Counter& seeks_skipped;    ///< {skipped="true"}
+  obs::CounterFamily& read_errors;  ///< {kind}
+  obs::Counter& resyncs;
+  obs::Counter& resync_skipped_bytes;
 
   static WarcMetrics& get() {
     static WarcMetrics* const metrics = [] {
@@ -41,7 +44,18 @@ struct WarcMetrics {
           obs::default_registry().counter(
               "hv_archive_warc_bytes_read_total",
               "WARC bytes read (incl. framing)"),
-          seeks.with({"false"}), seeks.with({"true"})};
+          seeks.with({"false"}), seeks.with({"true"}),
+          obs::default_registry().counter_family(
+              "hv_archive_read_errors_total",
+              "Archive read-path rejections by ReadError kind",
+              {"kind"}),
+          obs::default_registry().counter(
+              "hv_archive_warc_resyncs_total",
+              "Boundary scans after a corrupt record"),
+          obs::default_registry().counter(
+              "hv_archive_warc_resync_skipped_bytes_total",
+              "Bytes skipped while scanning for the next record "
+              "boundary")};
     }();
     return *metrics;
   }
@@ -124,45 +138,102 @@ std::uint64_t WarcWriter::write_response(std::string_view target_uri,
   return start;
 }
 
-WarcReader::WarcReader(std::istream& in) : in_(in) {}
+WarcReader::WarcReader(std::istream& in) : in_(in) {
+  // Size the stream once so Content-Length claims can be checked against
+  // the bytes that actually exist.  Non-seekable streams (rare here) just
+  // skip the pre-check and rely on the short-read detection.
+  const std::streampos pos = in_.tellg();
+  if (pos != std::streampos(-1)) {
+    in_.seekg(0, std::ios::end);
+    const std::streampos end = in_.tellg();
+    if (end != std::streampos(-1)) {
+      stream_size_ = static_cast<std::uint64_t>(end);
+    }
+    in_.clear();
+    in_.seekg(pos);
+  } else {
+    in_.clear();
+  }
+}
+
+void WarcReader::fail(ReadErrorKind kind, std::uint64_t offset,
+                      std::string_view detail) {
+  corrupt_ = true;
+  WarcMetrics::get().read_errors.with({to_string(kind)}).inc();
+  throw ReadError(kind, offset, detail);
+}
 
 void WarcReader::seek(std::uint64_t offset) {
   // Offset-sorted batch reads make most seeks land exactly where the
   // previous record ended; skipping the redundant seekg keeps the stream's
-  // readahead buffer intact instead of discarding it.
-  if (offset == offset_ && in_.good()) {
+  // readahead buffer intact instead of discarding it.  A corrupt reader
+  // (next() threw mid-record) never takes the shortcut: offset_ no longer
+  // reflects the true stream position.
+  if (offset == offset_ && !corrupt_ && in_.good()) {
     WarcMetrics::get().seeks_skipped.inc();
     return;
   }
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(offset));
   offset_ = offset;
+  corrupt_ = false;
   WarcMetrics::get().seeks_performed.inc();
 }
 
+std::optional<std::uint64_t> WarcReader::resync(std::uint64_t from_offset) {
+  WarcMetrics::get().resyncs.inc();
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(from_offset));
+  std::uint64_t cursor = from_offset;
+  std::string line;
+  while (true) {
+    const std::uint64_t line_start = cursor;
+    if (in_.peek() == std::char_traits<char>::eof()) break;
+    line = read_line(in_, cursor);
+    if (line.empty() && in_.eof()) break;
+    if (line == kVersionLine) {
+      // Rewind to the boundary so next() re-reads the version line.
+      in_.clear();
+      in_.seekg(static_cast<std::streamoff>(line_start));
+      offset_ = line_start;
+      corrupt_ = false;
+      WarcMetrics::get().resync_skipped_bytes.inc(line_start - from_offset);
+      return line_start;
+    }
+  }
+  // No boundary left: park the reader at EOF so next() reports a clean
+  // end instead of re-throwing on the same garbage.
+  offset_ = cursor;
+  corrupt_ = false;
+  WarcMetrics::get().resync_skipped_bytes.inc(cursor - from_offset);
+  return std::nullopt;
+}
+
 std::optional<WarcRecord> WarcReader::next() {
-  const std::uint64_t record_start = offset_;
+  std::uint64_t record_start = offset_;
   // Skip blank separator lines.
   std::string line;
   while (true) {
     if (in_.peek() == std::char_traits<char>::eof()) return std::nullopt;
+    record_start = offset_;
     line = read_line(in_, offset_);
     if (!line.empty()) break;
     if (in_.eof()) return std::nullopt;
   }
   if (line != kVersionLine) {
-    throw std::runtime_error("WARC: bad version line at offset " +
-                             std::to_string(offset_ - line.size() - 1));
+    fail(ReadErrorKind::kBadVersionLine, record_start,
+         "got \"" + line.substr(0, 32) + "\"");
   }
   WarcRecord record;
-  std::size_t content_length = 0;
+  std::uint64_t content_length = 0;
   bool have_length = false;
   while (true) {
     line = read_line(in_, offset_);
     if (line.empty()) break;
     const std::size_t colon = line.find(':');
     if (colon == std::string::npos) {
-      throw std::runtime_error("WARC: malformed header: " + line);
+      fail(ReadErrorKind::kMalformedHeader, record_start,
+           "header without ':': \"" + line.substr(0, 32) + "\"");
     }
     std::string name = line.substr(0, colon);
     std::string value = line.substr(colon + 1);
@@ -174,20 +245,41 @@ std::optional<WarcRecord> WarcReader::next() {
     } else if (net::iequals(name, "WARC-Date")) {
       record.date = value;
     } else if (net::iequals(name, "Content-Length")) {
-      content_length = static_cast<std::size_t>(std::stoull(value));
+      // std::stoull here used to accept "123abc" and throw uncaught on
+      // "abc"; the checked parser rejects both as typed errors.
+      if (!parse_u64_digits(value, &content_length)) {
+        fail(ReadErrorKind::kBadContentLength, record_start,
+             "\"" + value.substr(0, 32) + "\"");
+      }
       have_length = true;
     } else {
       record.extra_headers.push_back({std::move(name), std::move(value)});
     }
   }
   if (!have_length) {
-    throw std::runtime_error("WARC: record without Content-Length");
+    fail(ReadErrorKind::kMissingContentLength, record_start, {});
   }
-  record.payload.resize(content_length);
+  if (content_length > kMaxPayloadBytes) {
+    fail(ReadErrorKind::kOversizedContentLength, record_start,
+         std::to_string(content_length) + " > cap " +
+             std::to_string(kMaxPayloadBytes));
+  }
+  // When the stream size is known, a length past EOF is truncation —
+  // detected before allocating a payload buffer the bytes can't fill.
+  if (stream_size_.has_value() &&
+      content_length > *stream_size_ - std::min(*stream_size_, offset_)) {
+    fail(ReadErrorKind::kTruncatedPayload, record_start,
+         "length " + std::to_string(content_length) + " exceeds the " +
+             std::to_string(*stream_size_ - std::min(*stream_size_, offset_)) +
+             " bytes left in the stream");
+  }
+  record.payload.resize(static_cast<std::size_t>(content_length));
   in_.read(record.payload.data(),
            static_cast<std::streamsize>(content_length));
-  if (static_cast<std::size_t>(in_.gcount()) != content_length) {
-    throw std::runtime_error("WARC: truncated payload");
+  if (static_cast<std::uint64_t>(in_.gcount()) != content_length) {
+    fail(ReadErrorKind::kTruncatedPayload, record_start,
+         "got " + std::to_string(in_.gcount()) + " of " +
+             std::to_string(content_length) + " payload bytes");
   }
   offset_ += content_length;
   // Consume the record's trailing CRLFCRLF so `offset()` — and a

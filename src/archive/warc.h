@@ -22,7 +22,15 @@
 #include <string_view>
 #include <vector>
 
+#include "archive/read_error.h"
+
 namespace hv::archive {
+
+/// Sanity cap on a record's Content-Length claim.  Common Crawl truncates
+/// response payloads at 1 MiB; anything claiming more than this is a
+/// corrupt or hostile header, and rejecting it up front keeps a rewritten
+/// length from driving an unbounded payload allocation.
+inline constexpr std::uint64_t kMaxPayloadBytes = 256ull * 1024 * 1024;
 
 struct WarcHeader {
   std::string name;
@@ -69,8 +77,12 @@ class WarcReader {
  public:
   explicit WarcReader(std::istream& in);
 
-  /// Reads the next record; nullopt at clean EOF.  Throws std::runtime_error
-  /// on framing corruption (truncated payload, missing version line).
+  /// Reads the next record; nullopt at clean EOF.  Throws
+  /// archive::ReadError (a std::runtime_error) on framing corruption —
+  /// bad version line, malformed header, bad/oversized Content-Length,
+  /// truncated payload — with the offending kind and record offset
+  /// attached.  After a throw the reader is in a corrupt state; call
+  /// seek() or resync() before reading again.
   std::optional<WarcRecord> next();
 
   /// Byte offset of the record that `next` would read.
@@ -79,9 +91,26 @@ class WarcReader {
   /// Seeks to an absolute record offset (random access via CDX).
   void seek(std::uint64_t offset);
 
+  /// Corruption recovery: scans forward from `from_offset` for the next
+  /// line that is exactly "WARC/1.0" (a record boundary), leaves the
+  /// reader positioned there, and returns that offset — or std::nullopt
+  /// when no further boundary exists before EOF.  Sequential consumers
+  /// call this after a ReadError to skip the corrupt region and continue.
+  std::optional<std::uint64_t> resync(std::uint64_t from_offset);
+
  private:
+  /// Counts the error in obs and throws; marks the reader corrupt so the
+  /// redundant-seek optimization never trusts `offset_` afterwards.
+  [[noreturn]] void fail(ReadErrorKind kind, std::uint64_t offset,
+                         std::string_view detail);
+
   std::istream& in_;
   std::uint64_t offset_ = 0;
+  /// Total stream size when the stream is seekable (files, stringstreams);
+  /// lets Content-Length claims be checked against the bytes that exist.
+  std::optional<std::uint64_t> stream_size_;
+  /// Set when next() threw: offset_ no longer matches the stream position.
+  bool corrupt_ = false;
 };
 
 }  // namespace hv::archive

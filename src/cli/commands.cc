@@ -1,6 +1,7 @@
 #include "cli/commands.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -9,6 +10,8 @@
 #include <sstream>
 #include <thread>
 
+#include "archive/fault_inject.h"
+#include "archive/read_error.h"
 #include "archive/warc.h"
 #include "core/checker.h"
 #include "fix/autofix.h"
@@ -49,6 +52,47 @@ std::optional<std::string> read_input(const std::string& path,
   return buffer.str();
 }
 
+// Checked numeric parsers for CLI options.  The std::sto* family threw
+// std::invalid_argument straight through main on `--threads bananas`
+// (an uncaught-exception std::terminate instead of exit 2) and silently
+// accepted trailing garbage like "123abc"; these consume the whole string
+// or report a usage error.
+
+bool parse_u64(std::string_view command, std::string_view flag,
+               const std::string& text, std::uint64_t* value,
+               std::ostream& err) {
+  if (archive::parse_u64_digits(text, value)) return true;
+  err << "hv " << command << ": " << flag << " expects a number, got '"
+      << text << "'\n";
+  return false;
+}
+
+bool parse_int(std::string_view command, std::string_view flag,
+               const std::string& text, int* value, std::ostream& err) {
+  std::uint64_t wide = 0;
+  if (archive::parse_u64_digits(text, &wide) && wide <= 1000000) {
+    *value = static_cast<int>(wide);
+    return true;
+  }
+  err << "hv " << command << ": " << flag << " expects a number, got '"
+      << text << "'\n";
+  return false;
+}
+
+bool parse_double(std::string_view command, std::string_view flag,
+                  const std::string& text, double* value,
+                  std::ostream& err) {
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (!text.empty() && end == text.c_str() + text.size()) {
+    *value = parsed;
+    return true;
+  }
+  err << "hv " << command << ": " << flag << " expects a number, got '"
+      << text << "'\n";
+  return false;
+}
+
 void print_usage(std::ostream& out) {
   out << "usage: hv [--log-level LVL] <command> [options]\n"
          "  check [--json] [file...]   detect HTML specification "
@@ -62,6 +106,7 @@ void print_usage(std::ostream& out) {
          "[--report-out FILE]\n"
          "        [--live-out FILE] [--stall-after SEC] [--slow-pages N]\n"
          "        [--results-out FILE] [--csv-out FILE] [--years A-B]\n"
+         "        [--max-errors N] [--strict]\n"
          "                             run the full longitudinal study\n"
          "  run [study options]        hv study with run_report.json and "
          "a live\n"
@@ -83,6 +128,10 @@ void print_usage(std::ostream& out) {
          "regressions\n"
          "  warc list <file.warc>      index the records of an archive\n"
          "  warc cat <file> <offset>   print one record's HTTP body\n"
+         "  warc mutate <in> <out> [--rate P] [--seed N] "
+         "[--truncate-tail]\n"
+         "                             corrupt records for fault-injection "
+         "testing\n"
          "--log-level <debug|info|warn|error|off> mirrors structured logs "
          "to stderr\n"
          "files named '-' read standard input\n";
@@ -123,19 +172,30 @@ bool parse_study_options(const std::vector<std::string>& args,
     if (args[i] == "--domains") {
       const auto value = required(&i, "a number");
       if (!value) return false;
-      options->config.corpus.domain_count = std::stoull(*value);
+      std::uint64_t count = 0;
+      if (!parse_u64(command, "--domains", *value, &count, err)) return false;
+      options->config.corpus.domain_count = count;
     } else if (args[i] == "--pages") {
       const auto value = required(&i, "a number");
       if (!value) return false;
-      options->config.corpus.max_pages_per_domain = std::stoi(*value);
+      if (!parse_int(command, "--pages", *value,
+                     &options->config.corpus.max_pages_per_domain, err)) {
+        return false;
+      }
     } else if (args[i] == "--seed") {
       const auto value = required(&i, "a number");
       if (!value) return false;
-      options->config.corpus.seed = std::stoull(*value);
+      if (!parse_u64(command, "--seed", *value, &options->config.corpus.seed,
+                     err)) {
+        return false;
+      }
     } else if (args[i] == "--threads") {
       const auto value = required(&i, "a number");
       if (!value) return false;
-      options->config.threads = std::stoi(*value);
+      if (!parse_int(command, "--threads", *value, &options->config.threads,
+                     err)) {
+        return false;
+      }
     } else if (args[i] == "--workdir") {
       const auto value = required(&i, "a path");
       if (!value) return false;
@@ -159,11 +219,29 @@ bool parse_study_options(const std::vector<std::string>& args,
     } else if (args[i] == "--stall-after") {
       const auto value = required(&i, "seconds");
       if (!value) return false;
-      options->config.health.stall_after_s = std::stod(*value);
+      if (!parse_double(command, "--stall-after", *value,
+                        &options->config.health.stall_after_s, err)) {
+        return false;
+      }
     } else if (args[i] == "--slow-pages") {
       const auto value = required(&i, "a number");
       if (!value) return false;
-      options->config.health.slow_page_capacity = std::stoull(*value);
+      std::uint64_t capacity = 0;
+      if (!parse_u64(command, "--slow-pages", *value, &capacity, err)) {
+        return false;
+      }
+      options->config.health.slow_page_capacity = capacity;
+    } else if (args[i] == "--max-errors") {
+      const auto value = required(&i, "a number");
+      if (!value) return false;
+      std::uint64_t limit = 0;
+      if (!parse_u64(command, "--max-errors", *value, &limit, err)) {
+        return false;
+      }
+      options->config.max_errors = limit;
+    } else if (args[i] == "--strict") {
+      // First corrupt record aborts the run (DESIGN.md section 12).
+      options->config.max_errors = 0;
     } else if (args[i] == "--results-out") {
       const auto value = required(&i, "a path");
       if (!value) return false;
@@ -177,15 +255,22 @@ bool parse_study_options(const std::vector<std::string>& args,
       if (!value) return false;
       int begin = 0;
       int end = 0;
+      std::uint64_t parsed_begin = 0;
+      std::uint64_t parsed_end = 0;
       const std::size_t dash = value->find('-');
-      try {
-        if (dash == std::string::npos) {
-          begin = end = std::stoi(*value);
-        } else {
-          begin = std::stoi(value->substr(0, dash));
-          end = std::stoi(value->substr(dash + 1));
-        }
-      } catch (const std::exception&) {
+      const bool parsed =
+          dash == std::string::npos
+              ? archive::parse_u64_digits(*value, &parsed_begin) &&
+                    (parsed_end = parsed_begin, true)
+              : archive::parse_u64_digits(value->substr(0, dash),
+                                          &parsed_begin) &&
+                    archive::parse_u64_digits(value->substr(dash + 1),
+                                              &parsed_end);
+      if (parsed &&
+          parsed_end < static_cast<std::uint64_t>(pipeline::kYearCount)) {
+        begin = static_cast<int>(parsed_begin);
+        end = static_cast<int>(parsed_end);
+      } else {
         begin = -1;
       }
       if (begin < 0 || end < begin || end >= pipeline::kYearCount) {
@@ -495,7 +580,15 @@ int run_study_command(const std::vector<std::string>& args,
       << " domains x " << config.corpus.max_pages_per_domain << " pages x "
       << config.year_end - config.year_begin + 1 << " snapshot(s)\n";
   pipeline::StudyPipeline pipeline(config);
-  pipeline.run_all();
+  try {
+    pipeline.run_all();
+  } catch (const std::runtime_error& error) {
+    // The quarantine limit (--max-errors / --strict) throws after the
+    // worker pool drains; anything else (unwritable WARC, ...) lands here
+    // too rather than escaping as an uncaught exception.
+    err << "hv " << command << ": aborted: " << error.what() << "\n";
+    return kFindings;
+  }
   if (!config.report_out.empty()) {
     err << "hv " << command << ": run report written to "
         << config.report_out.string() << "\n";
@@ -580,13 +673,19 @@ int stats_compare(const std::vector<std::string>& args, std::ostream& out,
         err << "hv stats: --max-regression needs a percentage\n";
         return kUsage;
       }
-      max_regression = std::stod(args[++i]);
+      if (!parse_double("stats", "--max-regression", args[++i],
+                        &max_regression, err)) {
+        return kUsage;
+      }
     } else if (args[i] == "--min-count") {
       if (i + 1 >= args.size()) {
         err << "hv stats: --min-count needs a number\n";
         return kUsage;
       }
-      min_count = std::stod(args[++i]);
+      if (!parse_double("stats", "--min-count", args[++i], &min_count,
+                        err)) {
+        return kUsage;
+      }
     } else if (args[i] == "--counts-only") {
       counts_only = true;
     } else {
@@ -807,6 +906,9 @@ int cmd_query(const std::vector<std::string>& args, std::ostream& out,
         << ": "
         << ((flags & store::kFlagAnalyzed) != 0 ? "analyzed" : "found")
         << " pages=" << view->pages(*index, y);
+    if (view->errors(*index, y) > 0) {
+      out << " errors=" << view->errors(*index, y);
+    }
     const auto bits = store::to_bitset(view->violations(*index, y));
     if (bits.any()) {
       out << " violations=";
@@ -841,7 +943,11 @@ int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
         err << "hv monitor: --interval-ms needs a number\n";
         return kUsage;
       }
-      interval_ms = std::max(1, std::stoi(args[++i]));
+      if (!parse_int("monitor", "--interval-ms", args[++i], &interval_ms,
+                     err)) {
+        return kUsage;
+      }
+      interval_ms = std::max(1, interval_ms);
     } else if (target.empty()) {
       target = args[i];
     } else {
@@ -950,7 +1056,12 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
   err << "hv stats: " << config.corpus.domain_count << " domains x "
       << config.corpus.max_pages_per_domain << " pages x 8 snapshots\n";
   pipeline::StudyPipeline pipeline(config);
-  pipeline.run_all();
+  try {
+    pipeline.run_all();
+  } catch (const std::runtime_error& error) {
+    err << "hv stats: aborted: " << error.what() << "\n";
+    return kFindings;
+  }
 
   const pipeline::PipelineCounters counters = pipeline.counters();
   err << "hv stats: " << counters.pages_checked << " pages checked, "
@@ -972,11 +1083,89 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
   return kOk;
 }
 
+namespace {
+
+/// `hv warc mutate <in> <out>`: the fault-injection driver.  Prints one
+/// line per applied fault plus a machine-checkable summary count so
+/// tools/check_fault_injection.sh can reconcile quarantine counters.
+int warc_mutate(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.size() < 2) {
+    err << "hv warc mutate: usage: warc mutate <in> <out> [--rate P] "
+           "[--seed N] [--truncate-tail]\n";
+    return kUsage;
+  }
+  archive::FaultInjectConfig config;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--rate") {
+      if (i + 1 >= args.size()) {
+        err << "hv warc mutate: --rate needs a fraction\n";
+        return kUsage;
+      }
+      if (!parse_double("warc mutate", "--rate", args[++i], &config.rate,
+                        err)) {
+        return kUsage;
+      }
+    } else if (args[i] == "--seed") {
+      if (i + 1 >= args.size()) {
+        err << "hv warc mutate: --seed needs a number\n";
+        return kUsage;
+      }
+      if (!parse_u64("warc mutate", "--seed", args[++i], &config.seed,
+                     err)) {
+        return kUsage;
+      }
+    } else if (args[i] == "--truncate-tail") {
+      config.truncate_tail = true;
+    } else {
+      err << "hv warc mutate: unknown option " << args[i] << "\n";
+      return kUsage;
+    }
+  }
+  std::ifstream in_file(args[0], std::ios::binary);
+  if (!in_file) {
+    err << "hv warc mutate: cannot read " << args[0] << "\n";
+    return kUsage;
+  }
+  std::ostringstream buffer;
+  buffer << in_file.rdbuf();
+  std::string bytes = buffer.str();
+  archive::FaultPlan plan;
+  try {
+    plan = archive::inject_faults(&bytes, config);
+  } catch (const std::exception& e) {
+    err << "hv warc mutate: " << e.what() << "\n";
+    return kUsage;
+  }
+  std::ofstream out_file(args[1], std::ios::binary | std::ios::trunc);
+  if (!out_file) {
+    err << "hv warc mutate: cannot write " << args[1] << "\n";
+    return kUsage;
+  }
+  out_file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  for (const archive::InjectedFault& fault : plan.faults) {
+    out << "fault " << archive::to_string(fault.kind) << " offset="
+        << fault.record_offset << " uri=" << fault.target_uri << "\n";
+  }
+  out << "mutated " << plan.faults.size() << " of " << plan.response_records
+      << " response record(s)\n";
+  return kOk;
+}
+
+}  // namespace
+
 int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
-  if (args.size() < 2 || (args[0] != "list" && args[0] != "cat")) {
-    err << "hv warc: usage: warc list <file> | warc cat <file> <offset>\n";
+  if (args.size() < 2 ||
+      (args[0] != "list" && args[0] != "cat" && args[0] != "mutate")) {
+    err << "hv warc: usage: warc list <file> | warc cat <file> <offset> | "
+           "warc mutate <in> <out> [--rate P] [--seed N] "
+           "[--truncate-tail]\n";
     return kUsage;
+  }
+  if (args[0] == "mutate") {
+    return warc_mutate(std::vector<std::string>(args.begin() + 1, args.end()),
+                       out, err);
   }
   std::ifstream file(args[1], std::ios::binary);
   if (!file) {
@@ -989,7 +1178,17 @@ int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
       out << "offset      type       uri\n";
       while (true) {
         const std::uint64_t offset = reader.offset();
-        const auto record = reader.next();
+        std::optional<archive::WarcRecord> record;
+        try {
+          record = reader.next();
+        } catch (const archive::ReadError& error) {
+          // Sequential read over a possibly-corrupt archive: note the bad
+          // record, resync to the next WARC/1.0 boundary, keep listing.
+          out << "corrupt     " << archive::to_string(error.kind()) << " "
+              << error.what() << "\n";
+          if (!reader.resync(offset + 1).has_value()) break;
+          continue;
+        }
         if (!record.has_value()) break;
         char line[64];
         std::snprintf(line, sizeof(line), "%-11llu %-10s ",
@@ -1004,7 +1203,11 @@ int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
       err << "hv warc cat: missing offset\n";
       return kUsage;
     }
-    reader.seek(std::stoull(args[2]));
+    std::uint64_t offset = 0;
+    if (!parse_u64("warc cat", "offset", args[2], &offset, err)) {
+      return kUsage;
+    }
+    reader.seek(offset);
     const auto record = reader.next();
     if (!record.has_value()) {
       err << "hv warc cat: no record at offset " << args[2] << "\n";

@@ -462,6 +462,17 @@ void RunHealth::write_report(std::ostream& out,
                sum_over_snapshots("hv_pipeline_filter_drops_total", reason));
     first = false;
   }
+  // Quarantined corrupt records by archive::ReadError kind (empty when
+  // the archives were clean — DESIGN.md section 12).
+  out << "}, \"quarantined\": {";
+  first = true;
+  for (const std::string& kind : registry.label_values(
+           "hv_pipeline_quarantined_total", "kind")) {
+    out << (first ? "" : ", ") << "\"" << escape_json(kind) << "\": "
+        << format_number(
+               sum_over_snapshots("hv_pipeline_quarantined_total", kind));
+    first = false;
+  }
   out << "}},\n";
 
   // Byte accounting (arena / interner / stream buffers).

@@ -24,6 +24,7 @@ struct PipelineMetrics {
   obs::CounterFamily& records_read;     ///< {snapshot}
   obs::CounterFamily& filter_drops;     ///< {snapshot, reason}
   obs::CounterFamily& pages_checked;    ///< {snapshot}
+  obs::CounterFamily& quarantined;      ///< {snapshot, kind}
   obs::HistogramFamily& stage_seconds;  ///< {stage, snapshot}
   obs::Histogram& crawl_seconds;        ///< per-capture WARC random read
   obs::Histogram& check_seconds;        ///< per-capture filter+parse+rules
@@ -44,6 +45,11 @@ struct PipelineMetrics {
                                 "Pages that passed every filter and were "
                                 "rule-checked",
                                 {"snapshot"}),
+        registry.counter_family(
+            "hv_pipeline_quarantined_total",
+            "Captures quarantined on a corrupt WARC record, by "
+            "archive::ReadError kind",
+            {"snapshot", "kind"}),
         registry.histogram_family("hv_pipeline_stage_seconds",
                                   "Wall-clock time per pipeline stage",
                                   {"stage", "snapshot"},
@@ -214,6 +220,10 @@ StudyPipeline::StudyPipeline(PipelineConfig config)
     summary += " years=" + std::to_string(config_.year_begin) + "-" +
                std::to_string(config_.year_end);
   }
+  // Appended only when set, so default-policy runs keep their old hash.
+  if (config_.max_errors != std::numeric_limits<std::size_t>::max()) {
+    summary += " max_errors=" + std::to_string(config_.max_errors);
+  }
   health_.set_config_summary(std::move(summary));
   // The study list is already average-rank-ordered (section 3.3), so the
   // index is the rank; registering it feeds the section 4.1 avg-rank
@@ -326,6 +336,11 @@ void StudyPipeline::run_snapshot(int year_index) {
   std::atomic<std::size_t> non_utf8{0};
   std::atomic<std::size_t> http_errors{0};
   std::atomic<std::size_t> checked{0};
+  // Quarantine policy state, shared across the pool: the running corrupt
+  // count is compared against max_errors on every quarantine, and the
+  // abort flag drains the workers instead of throwing out of a thread.
+  std::atomic<std::size_t> quarantined{0};
+  std::atomic<bool> quarantine_abort{false};
 
   // Big enough to amortize the atomic and open a sequential read window,
   // small enough that the tail stays balanced across the pool.
@@ -360,7 +375,7 @@ void StudyPipeline::run_snapshot(int year_index) {
     archive::WarcReader reader(warc_in);
     PipelineCounters local;
     std::vector<const archive::CdxEntry*> batch_captures;
-    while (true) {
+    while (!quarantine_abort.load(std::memory_order_relaxed)) {
       const std::size_t begin =
           next_task.fetch_add(batch_size, std::memory_order_relaxed);
       if (begin >= tasks.size()) break;
@@ -375,11 +390,32 @@ void StudyPipeline::run_snapshot(int year_index) {
                   return a->offset < b->offset;
                 });
       for (const archive::CdxEntry* capture : batch_captures) {
+        if (quarantine_abort.load(std::memory_order_relaxed)) break;
         std::optional<archive::WarcRecord> record;
-        {
+        try {
           const obs::ScopedTimer crawl_timer(metrics.crawl_seconds);
           reader.seek(capture->offset);
           record = reader.next();
+        } catch (const archive::ReadError& error) {
+          // Corrupt record: quarantine it and keep going (DESIGN.md
+          // section 12).  Random access recovers for free — the next
+          // capture's seek() re-positions the reader — so no resync scan
+          // is needed here, unlike sequential consumers.
+          ++local.records_quarantined;
+          sink_.mark_error(capture->domain, year_index);
+          metrics.quarantined.with({label, to_string(error.kind())}).inc();
+          obs::default_log().warn(
+              "quarantined corrupt record",
+              {{"snapshot", std::string(label)},
+               {"domain", capture->domain},
+               {"kind", std::string(to_string(error.kind()))},
+               {"offset", std::to_string(capture->offset)},
+               {"error", error.what()}});
+          if (quarantined.fetch_add(1, std::memory_order_relaxed) + 1 >
+              config_.max_errors) {
+            quarantine_abort.store(true, std::memory_order_relaxed);
+          }
+          continue;
         }
         ++local.records_read;
         if (!record.has_value() || record->type != "response") continue;
@@ -414,6 +450,8 @@ void StudyPipeline::run_snapshot(int year_index) {
     non_utf8.fetch_add(local.non_utf8_filtered);
     http_errors.fetch_add(local.http_errors);
     checked.fetch_add(local.pages_checked);
+    // local.records_quarantined folds through `quarantined` (incremented
+    // in-line so the abort policy sees the live total).
     worker_span.arg("pages_checked", std::to_string(local.pages_checked));
 #ifndef HV_OBS_DISABLED
     const double elapsed = std::chrono::duration<double>(
@@ -451,6 +489,7 @@ void StudyPipeline::run_snapshot(int year_index) {
   tally.non_utf8_filtered = non_utf8.load();
   tally.http_errors = http_errors.load();
   tally.pages_checked = checked.load();
+  tally.records_quarantined = quarantined.load();
   {
     obs::Span span(tracer, "store");
     const obs::ScopedTimer stage_timer(
@@ -468,11 +507,21 @@ void StudyPipeline::run_snapshot(int year_index) {
     health_.stage_advance(stage, tally.records_read);
     health_.stage_end(stage);
   }
+  if (quarantine_abort.load()) {
+    // Thrown after the pool drained and the counters folded, so every
+    // quarantine up to the abort is accounted for in the partial results.
+    throw std::runtime_error(
+        "quarantine limit exceeded in snapshot " + std::string(label) + ": " +
+        std::to_string(tally.records_quarantined) +
+        " corrupt record(s), --max-errors " +
+        std::to_string(config_.max_errors));
+  }
   obs::default_log().info(
       "snapshot complete",
       {{"snapshot", std::string(label)},
        {"records", std::to_string(tally.records_read)},
        {"checked", std::to_string(tally.pages_checked)},
+       {"quarantined", std::to_string(tally.records_quarantined)},
        {"dropped_non_html", std::to_string(tally.non_html_records)},
        {"dropped_non_utf8", std::to_string(tally.non_utf8_filtered)}});
 }
@@ -522,6 +571,7 @@ void StudyPipeline::AtomicCounters::add(
   non_utf8_filtered.fetch_add(delta.non_utf8_filtered);
   http_errors.fetch_add(delta.http_errors);
   pages_checked.fetch_add(delta.pages_checked);
+  records_quarantined.fetch_add(delta.records_quarantined);
 }
 
 PipelineCounters StudyPipeline::AtomicCounters::snapshot() const noexcept {
@@ -531,6 +581,7 @@ PipelineCounters StudyPipeline::AtomicCounters::snapshot() const noexcept {
   view.non_utf8_filtered = non_utf8_filtered.load();
   view.http_errors = http_errors.load();
   view.pages_checked = pages_checked.load();
+  view.records_quarantined = records_quarantined.load();
   return view;
 }
 

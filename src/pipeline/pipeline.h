@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -68,6 +69,13 @@ struct PipelineConfig {
   /// without a genuinely wedged input.  Off by default (-1).
   int debug_stall_worker = -1;
   double debug_stall_seconds = 0.0;
+
+  /// Quarantine policy (DESIGN.md section 12): corrupt records
+  /// (archive::ReadError) are quarantined and the run continues — until
+  /// more than `max_errors` have accumulated, at which point run_snapshot
+  /// throws after the pool drains.  The default tolerates everything;
+  /// `--strict` maps to 0 (first corrupt record is fatal).
+  std::size_t max_errors = std::numeric_limits<std::size_t>::max();
 };
 
 /// Snapshot of the pipeline's bookkeeping counters.  `analyze_capture`
@@ -77,11 +85,15 @@ struct PipelineConfig {
 /// `counters()`.  The same numbers are exported through obs as
 /// `hv_pipeline_*_total{snapshot=...}` series.
 struct PipelineCounters {
-  std::size_t records_read = 0;
+  std::size_t records_read = 0;  ///< successfully framed records only
   std::size_t non_html_records = 0;
   std::size_t non_utf8_filtered = 0;
   std::size_t http_errors = 0;  ///< non-200 / unparseable HTTP messages
   std::size_t pages_checked = 0;
+  /// Captures whose WARC record failed to read (archive::ReadError) and
+  /// were quarantined instead of checked.  Read attempts reconcile as
+  /// records_read + records_quarantined.
+  std::size_t records_quarantined = 0;
 };
 
 class StudyPipeline {
@@ -130,6 +142,7 @@ class StudyPipeline {
     std::atomic<std::size_t> non_utf8_filtered{0};
     std::atomic<std::size_t> http_errors{0};
     std::atomic<std::size_t> pages_checked{0};
+    std::atomic<std::size_t> records_quarantined{0};
 
     /// Folds one pool's tally in (one fetch_add per field).
     void add(const PipelineCounters& delta) noexcept;

@@ -149,6 +149,13 @@ void render_study_overview(std::ostream& out, const store::StudyView& view) {
                        static_cast<double>(analyzed),
              1)
       << " of " << analyzed << " domains\n";
+  // Only printed when something was quarantined, so clean-archive output
+  // stays byte-identical to pre-quarantine builds.
+  const std::size_t quarantined = view.total_records_quarantined();
+  if (quarantined > 0) {
+    out << "quarantined: " << quarantined << " corrupt record(s) across "
+        << view.total_domains_quarantined() << " domain(s)\n";
+  }
 }
 
 }  // namespace hv::report

@@ -101,6 +101,11 @@ std::string build_payload(const StudyView& view) {
       put_u32(payload, pages);
     }
   }
+  for (const StudyView::YearColumn& column : view.years()) {
+    for (const std::uint32_t errors : column.errors) {
+      put_u32(payload, errors);
+    }
+  }
   return payload;
 }
 
@@ -157,9 +162,10 @@ std::optional<StudyView> load_results(std::string_view bytes,
       !header.read_u64(&checksum)) {
     return fail(error, "truncated header");
   }
-  if (version != kResultsFormatVersion) {
+  if (version < kResultsMinReadVersion || version > kResultsFormatVersion) {
     return fail(error, "unsupported version " + std::to_string(version) +
-                           " (expected " +
+                           " (this build reads v" +
+                           std::to_string(kResultsMinReadVersion) + "-v" +
                            std::to_string(kResultsFormatVersion) + ")");
   }
   if (years != static_cast<std::uint32_t>(kYearCount) ||
@@ -221,6 +227,22 @@ std::optional<StudyView> load_results(std::string_view bytes,
       }
       column.pages.push_back(pages);
     }
+  }
+  if (version >= 2) {
+    for (auto& column : columns) {
+      column.errors.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t errors = 0;
+        if (!reader.read_u32(&errors)) {
+          return fail(error, "truncated error columns");
+        }
+        column.errors.push_back(errors);
+      }
+    }
+  } else {
+    // v1 predates quarantine accounting: nothing was recorded, so zero
+    // (not unknown) is the faithful value.
+    for (auto& column : columns) column.errors.assign(n, 0);
   }
   if (!reader.exhausted()) {
     return fail(error, "trailing bytes after payload");

@@ -15,6 +15,11 @@
 //     per year:   u32 violation mask   x domains           (columnar)
 //     per year:   u8  flag byte        x domains
 //     per year:   u32 page count      x domains
+//     per year:   u32 error count     x domains            (v2+ only)
+//
+// Version history: v1 had no error columns; v2 appended the per-year
+// quarantined-record counts.  The loader still accepts v1 files (errors
+// load as zero) so pre-quarantine results stay readable.
 //
 // The loader rejects bad magic, unsupported versions, layout-guard
 // mismatches, checksum failures, and truncated/overlong payloads — each
@@ -32,7 +37,9 @@
 
 namespace hv::store {
 
-inline constexpr std::uint32_t kResultsFormatVersion = 1;
+inline constexpr std::uint32_t kResultsFormatVersion = 2;
+/// Oldest version the loader still reads (v1 = no error columns).
+inline constexpr std::uint32_t kResultsMinReadVersion = 1;
 inline constexpr std::string_view kResultsMagic = "HVRS";
 
 /// Serializes the view to the stream; returns false on a write error.

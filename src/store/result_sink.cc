@@ -118,6 +118,21 @@ void ShardedResultSink::mark_found(std::string_view domain,
   it->second.flags[static_cast<std::size_t>(year_index)] |= kFlagFound;
 }
 
+void ShardedResultSink::mark_error(std::string_view domain,
+                                   int year_index) {
+  check_writable("mark_error");
+  StoreMetrics::get().adds.inc();
+  Shard& shard = shard_for(domain);
+  const auto lock = lock_shard(shard);
+  auto it = shard.rows.find(domain);
+  if (it == shard.rows.end()) {
+    it = shard.rows.emplace(std::string(domain), DomainRow{}).first;
+  }
+  const auto y = static_cast<std::size_t>(year_index);
+  it->second.flags[y] |= kFlagFound;
+  ++it->second.errors[y];
+}
+
 void ShardedResultSink::register_rank(std::string_view domain,
                                       std::uint64_t rank) {
   check_writable("register_rank");

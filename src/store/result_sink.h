@@ -34,6 +34,10 @@ class ResultSink {
   /// Marks a domain as present in a snapshot even if nothing was
   /// analyzable (Table 2's found vs. succeeded distinction).
   virtual void mark_found(std::string_view domain, int year_index) = 0;
+  /// Records one quarantined (corrupt, archive::ReadError) record for a
+  /// (domain, year).  Implies mark_found: the capture existed in the
+  /// snapshot even though its bytes were unreadable.
+  virtual void mark_error(std::string_view domain, int year_index) = 0;
   /// Registers a domain's study-list rank (1-based) for the avg_rank
   /// statistic.  Unregistered domains count as rank 0 and are skipped.
   virtual void register_rank(std::string_view domain,
@@ -53,6 +57,7 @@ class ShardedResultSink final : public ResultSink {
 
   void add(const PageOutcome& outcome) override;
   void mark_found(std::string_view domain, int year_index) override;
+  void mark_error(std::string_view domain, int year_index) override;
   void register_rank(std::string_view domain, std::uint64_t rank) override;
 
   /// Ends the write phase: compacts every shard into a sorted columnar

@@ -41,6 +41,7 @@ StudyView StudyView::from_rows(
     column.violations.resize(n);
     column.flags.resize(n);
     column.pages.resize(n);
+    column.errors.resize(n);
   }
   for (std::size_t i = 0; i < n; ++i) {
     view.domains_.push_back(std::move(rows[i].first));
@@ -51,6 +52,7 @@ StudyView StudyView::from_rows(
       view.years_[yi].violations[i] = row.violations[yi];
       view.years_[yi].flags[i] = row.flags[yi];
       view.years_[yi].pages[i] = row.pages[yi];
+      view.years_[yi].errors[i] = row.errors[yi];
     }
   }
   return view;
@@ -67,7 +69,7 @@ std::optional<StudyView> StudyView::from_columns(
   if (ranks.size() != n) return fail("rank column size mismatch");
   for (const YearColumn& column : years) {
     if (column.violations.size() != n || column.flags.size() != n ||
-        column.pages.size() != n) {
+        column.pages.size() != n || column.errors.size() != n) {
       return fail("year column size mismatch");
     }
   }
@@ -117,15 +119,18 @@ StudyView StudyView::merge(const StudyView& a, const StudyView& b) {
       column.violations.push_back(0);
       column.flags.push_back(0);
       column.pages.push_back(0);
+      column.errors.push_back(0);
       if (take <= 0) {
         column.violations[out] |= a.years_[yi].violations[ia];
         column.flags[out] |= a.years_[yi].flags[ia];
         column.pages[out] += a.years_[yi].pages[ia];
+        column.errors[out] += a.years_[yi].errors[ia];
       }
       if (take >= 0) {
         column.violations[out] |= b.years_[yi].violations[ib];
         column.flags[out] |= b.years_[yi].flags[ib];
         column.pages[out] += b.years_[yi].pages[ib];
+        column.errors[out] += b.years_[yi].errors[ib];
       }
     }
     if (take == 0 && merged.ranks_[out] == 0) {
@@ -147,6 +152,12 @@ SnapshotStats StudyView::snapshot_stats(int year_index) const {
   for (std::size_t i = 0; i < domains_.size(); ++i) {
     const std::uint8_t flags = column.flags[i];
     if (flags & kFlagFound) ++stats.domains_found;
+    // Counted before the analyzed-gate: a fully-corrupt domain has
+    // quarantined records but no analyzable page.
+    if (column.errors[i] > 0) {
+      ++stats.domains_quarantined;
+      stats.records_quarantined += column.errors[i];
+    }
     if (!(flags & kFlagAnalyzed)) continue;
     ++stats.domains_analyzed;
     total_pages += column.pages[i];
@@ -235,6 +246,27 @@ std::size_t StudyView::total_domains_found() const {
   for (std::size_t i = 0; i < domains_.size(); ++i) {
     for (int y = 0; y < kYearCount; ++y) {
       if (years_[static_cast<std::size_t>(y)].flags[i] & kFlagFound) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t StudyView::total_records_quarantined() const {
+  std::size_t count = 0;
+  for (const YearColumn& column : years_) {
+    for (const std::uint32_t errors : column.errors) count += errors;
+  }
+  return count;
+}
+
+std::size_t StudyView::total_domains_quarantined() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    for (int y = 0; y < kYearCount; ++y) {
+      if (years_[static_cast<std::size_t>(y)].errors[i] > 0) {
         ++count;
         break;
       }

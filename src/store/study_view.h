@@ -33,6 +33,7 @@ class StudyView {
     std::vector<ViolationMask> violations;
     std::vector<std::uint8_t> flags;
     std::vector<std::uint32_t> pages;
+    std::vector<std::uint32_t> errors;  ///< quarantined records
   };
 
   StudyView() = default;  ///< empty view (no domains)
@@ -96,6 +97,13 @@ class StudyView {
   std::uint32_t pages(std::size_t index, int year_index) const {
     return years_[static_cast<std::size_t>(year_index)].pages[index];
   }
+  std::uint32_t errors(std::size_t index, int year_index) const {
+    return years_[static_cast<std::size_t>(year_index)].errors[index];
+  }
+
+  /// Quarantine totals across all snapshots (DESIGN.md section 12).
+  std::size_t total_records_quarantined() const;
+  std::size_t total_domains_quarantined() const;
 
   // --- raw column access (persistence + tests) ---------------------------
 

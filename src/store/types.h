@@ -70,6 +70,10 @@ struct DomainRow {
   std::array<ViolationMask, kYearCount> violations{};
   std::array<std::uint8_t, kYearCount> flags{};
   std::array<std::uint32_t, kYearCount> pages{};
+  /// Records quarantined (archive::ReadError) for this (domain, year).
+  /// A count, not a flag bit: all eight DomainYearFlag bits are taken and
+  /// reconciliation against injected faults needs the exact number.
+  std::array<std::uint32_t, kYearCount> errors{};
 
   /// Folds one page outcome in (caller holds the shard lock).
   void merge_outcome(const PageOutcome& outcome) noexcept {
@@ -111,6 +115,10 @@ struct SnapshotStats {
   /// stays ~constant (~16,150) across snapshots as a dataset sanity check
   /// (section 4.1); 0 when ranks were never registered.
   double avg_rank = 0.0;
+  /// Quarantine accounting (DESIGN.md section 12): domains with >=1
+  /// corrupt record in the snapshot, and the total corrupt records.
+  std::size_t domains_quarantined = 0;
+  std::size_t records_quarantined = 0;
 
   double percent_of_analyzed(std::size_t count) const noexcept {
     return domains_analyzed == 0

@@ -6,9 +6,12 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <vector>
 
+#include "archive/fault_inject.h"
+#include "archive/read_error.h"
 #include "archive/snapshot_store.h"
 #include "net/http.h"
 #include "obs/metrics.h"
@@ -157,6 +160,159 @@ TEST(Warc, EmptyStreamIsCleanEof) {
   EXPECT_FALSE(reader.next().has_value());
 }
 
+// --- typed ReadError taxonomy ---------------------------------------------------
+
+/// Reads until the first ReadError and returns its kind.
+ReadErrorKind first_error_kind(std::string bytes) {
+  std::stringstream stream(std::move(bytes));
+  WarcReader reader(stream);
+  while (true) {
+    try {
+      if (!reader.next().has_value()) {
+        ADD_FAILURE() << "stream ended without a ReadError";
+        return ReadErrorKind::kCdxParse;
+      }
+    } catch (const ReadError& error) {
+      return error.kind();
+    }
+  }
+}
+
+TEST(ReadErrorTaxonomy, BadVersionLine) {
+  EXPECT_EQ(first_error_kind("NOT-A-WARC\r\n\r\n"),
+            ReadErrorKind::kBadVersionLine);
+}
+
+TEST(ReadErrorTaxonomy, MalformedHeader) {
+  EXPECT_EQ(first_error_kind("WARC/1.0\r\nno colon here\r\n\r\n"),
+            ReadErrorKind::kMalformedHeader);
+}
+
+TEST(ReadErrorTaxonomy, BadContentLengthNonNumeric) {
+  EXPECT_EQ(first_error_kind("WARC/1.0\r\nWARC-Type: response\r\n"
+                             "Content-Length: abc\r\n\r\n"),
+            ReadErrorKind::kBadContentLength);
+}
+
+TEST(ReadErrorTaxonomy, BadContentLengthTrailingGarbage) {
+  // std::stoull would have parsed "123abc" as 123; the checked parser
+  // rejects the whole value.
+  EXPECT_EQ(first_error_kind("WARC/1.0\r\nWARC-Type: response\r\n"
+                             "Content-Length: 123abc\r\n\r\n"),
+            ReadErrorKind::kBadContentLength);
+}
+
+TEST(ReadErrorTaxonomy, OversizedContentLength) {
+  EXPECT_EQ(first_error_kind("WARC/1.0\r\nWARC-Type: response\r\n"
+                             "Content-Length: 99999999999\r\n\r\n"),
+            ReadErrorKind::kOversizedContentLength);
+}
+
+TEST(ReadErrorTaxonomy, MissingContentLength) {
+  EXPECT_EQ(first_error_kind("WARC/1.0\r\nWARC-Type: response\r\n\r\n"),
+            ReadErrorKind::kMissingContentLength);
+}
+
+TEST(ReadErrorTaxonomy, TruncatedPayload) {
+  // A plausible length that exceeds the bytes left in the (seekable)
+  // stream is reported as truncation without allocating the claim.
+  EXPECT_EQ(first_error_kind("WARC/1.0\r\nWARC-Type: response\r\n"
+                             "Content-Length: 100\r\n\r\nshort"),
+            ReadErrorKind::kTruncatedPayload);
+}
+
+TEST(ReadErrorTaxonomy, ErrorCarriesOffsetAndKindName) {
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  writer.write_warcinfo("T");
+  const std::uint64_t second =
+      writer.write_response("https://x/", "2020-01-01T00:00:00Z",
+                            http_page("ok"));
+  std::string bytes = stream.str();
+  bytes[static_cast<std::size_t>(second)] ^= 0x20;  // 'W' -> 'w'
+  std::stringstream corrupt(bytes);
+  WarcReader reader(corrupt);
+  ASSERT_TRUE(reader.next().has_value());  // warcinfo still fine
+  try {
+    reader.next();
+    FAIL() << "expected ReadError";
+  } catch (const ReadError& error) {
+    EXPECT_EQ(error.kind(), ReadErrorKind::kBadVersionLine);
+    EXPECT_EQ(error.offset(), second);
+    EXPECT_NE(std::string(error.what()).find("bad-version-line"),
+              std::string::npos);
+  }
+}
+
+TEST(ReadErrorTaxonomy, ParseU64Digits) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64_digits("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(parse_u64_digits("18446744073709551615", &value));
+  EXPECT_EQ(value, UINT64_MAX);
+  EXPECT_FALSE(parse_u64_digits("", &value));
+  EXPECT_FALSE(parse_u64_digits("123abc", &value));
+  EXPECT_FALSE(parse_u64_digits("-1", &value));
+  EXPECT_FALSE(parse_u64_digits(" 1", &value));
+  EXPECT_FALSE(parse_u64_digits("18446744073709551616", &value));  // 2^64
+}
+
+// --- resync scanner -------------------------------------------------------------
+
+TEST(Resync, SkipsCorruptRecordAndContinues) {
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  const std::uint64_t first = writer.write_response(
+      "https://a/", "2020-01-01T00:00:00Z", http_page("AAA"));
+  const std::uint64_t second = writer.write_response(
+      "https://b/", "2020-01-01T00:00:00Z", http_page("BBB"));
+  writer.write_response("https://c/", "2020-01-01T00:00:00Z",
+                        http_page("CCC"));
+  std::string bytes = stream.str();
+  bytes[static_cast<std::size_t>(second)] ^= 0x20;  // corrupt record b
+  std::stringstream corrupt(bytes);
+  WarcReader reader(corrupt);
+  EXPECT_EQ(reader.next()->target_uri, "https://a/");
+  const std::uint64_t failed_at = second;
+  EXPECT_THROW(reader.next(), ReadError);
+  const auto resumed = reader.resync(failed_at + 1);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_GT(*resumed, first);
+  EXPECT_EQ(reader.next()->target_uri, "https://c/");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Resync, ReturnsNulloptPastLastBoundary) {
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  const std::uint64_t only = writer.write_response(
+      "https://a/", "2020-01-01T00:00:00Z", http_page("AAA"));
+  std::string bytes = stream.str();
+  bytes[static_cast<std::size_t>(only)] ^= 0x20;
+  std::stringstream corrupt(bytes);
+  WarcReader reader(corrupt);
+  EXPECT_THROW(reader.next(), ReadError);
+  EXPECT_FALSE(reader.resync(only + 1).has_value());
+  // Parked at EOF: reads end cleanly instead of re-throwing.
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Resync, SeekAfterErrorDoesNotTrustStaleOffset) {
+  // A corrupt next() leaves offset_ out of sync with the stream; a
+  // subsequent seek to the numerically-equal offset must really seek.
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  const std::uint64_t first = writer.write_response(
+      "https://a/", "2020-01-01T00:00:00Z", http_page("AAA"));
+  std::string bytes = stream.str();
+  bytes[static_cast<std::size_t>(first)] ^= 0x20;
+  std::stringstream corrupt(bytes);
+  WarcReader reader(corrupt);
+  EXPECT_THROW(reader.next(), ReadError);
+  reader.seek(reader.offset());
+  EXPECT_THROW(reader.next(), ReadError);  // same record, same error
+}
+
 // --- CDX ------------------------------------------------------------------------
 
 TEST(Cdx, LookupGroupsByDomainInInsertionOrder) {
@@ -206,6 +362,157 @@ TEST(Cdx, DomainsSorted) {
   const auto domains = index.domains();
   ASSERT_EQ(domains.size(), 2u);
   EXPECT_EQ(domains[0], "a.example");
+}
+
+TEST(Cdx, LoadReportsBadLineWithLineNumber) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "hv_cdx_badline.cdx";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a.example,https://a.example/,0,10,text/html\n";
+    out << "only two,fields\n";
+  }
+  try {
+    CdxIndex::load(path);
+    FAIL() << "expected ReadError";
+  } catch (const ReadError& error) {
+    EXPECT_EQ(error.kind(), ReadErrorKind::kCdxParse);
+    EXPECT_EQ(error.offset(), 2u);  // 1-based line number
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Cdx, LoadReportsBadOffsetAndLength) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "hv_cdx_badnum.cdx";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a.example,https://a.example/,12x,10,text/html\n";
+  }
+  try {
+    CdxIndex::load(path);
+    FAIL() << "expected ReadError";
+  } catch (const ReadError& error) {
+    EXPECT_EQ(error.kind(), ReadErrorKind::kCdxParse);
+    EXPECT_EQ(error.offset(), 1u);
+    EXPECT_NE(std::string(error.what()).find("bad offset"),
+              std::string::npos);
+  }
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a.example,https://a.example/,12,1e3,text/html\n";
+  }
+  try {
+    CdxIndex::load(path);
+    FAIL() << "expected ReadError";
+  } catch (const ReadError& error) {
+    EXPECT_EQ(error.kind(), ReadErrorKind::kCdxParse);
+    EXPECT_NE(std::string(error.what()).find("bad length"),
+              std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+// --- fault injection ------------------------------------------------------------
+
+/// Builds a small archive: one warcinfo record plus `pages` response
+/// records, returning the bytes and the per-record offsets via the index.
+std::string build_archive(int pages, CdxIndex* index) {
+  std::stringstream stream;
+  WarcWriter writer(stream);
+  writer.write_warcinfo("fault-inject test");
+  for (int i = 0; i < pages; ++i) {
+    const std::string url = "https://d" + std::to_string(i) + ".example/";
+    const std::string body = http_page("page " + std::to_string(i));
+    const std::uint64_t offset = writer.write_response(
+        url, "2020-01-01T00:00:00Z", body);
+    index->add({"d" + std::to_string(i) + ".example", url, "text/html",
+                offset, static_cast<std::uint64_t>(stream.str().size()) -
+                            offset});
+  }
+  return stream.str();
+}
+
+TEST(FaultInject, RateOneMutatesEveryResponseRecord) {
+  CdxIndex index;
+  std::string bytes = build_archive(6, &index);
+  const std::string pristine = bytes;
+  const FaultPlan plan = inject_faults(&bytes, {1.0, 7, false});
+  EXPECT_EQ(plan.response_records, 6u);
+  ASSERT_EQ(plan.faults.size(), 6u);
+  EXPECT_NE(bytes, pristine);
+  // Length-preserving: CDX offsets stay valid.
+  EXPECT_EQ(bytes.size(), pristine.size());
+}
+
+TEST(FaultInject, SameSeedSamePlan) {
+  CdxIndex index;
+  std::string a = build_archive(40, &index);
+  std::string b = a;
+  const FaultPlan plan_a = inject_faults(&a, {0.25, 42, false});
+  const FaultPlan plan_b = inject_faults(&b, {0.25, 42, false});
+  ASSERT_EQ(plan_a.faults.size(), plan_b.faults.size());
+  EXPECT_GT(plan_a.faults.size(), 0u);
+  EXPECT_LT(plan_a.faults.size(), 40u);  // rate is a fraction, not all
+  for (std::size_t i = 0; i < plan_a.faults.size(); ++i) {
+    EXPECT_EQ(plan_a.faults[i].record_offset,
+              plan_b.faults[i].record_offset);
+    EXPECT_EQ(plan_a.faults[i].kind, plan_b.faults[i].kind);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInject, MutatedRecordsThrowCleanRecordsRead) {
+  CdxIndex index;
+  std::string bytes = build_archive(30, &index);
+  const FaultPlan plan = inject_faults(&bytes, {0.3, 11, false});
+  ASSERT_GT(plan.faults.size(), 0u);
+  std::set<std::uint64_t> mutated;
+  for (const InjectedFault& fault : plan.faults) {
+    mutated.insert(fault.record_offset);
+  }
+  std::stringstream stream(bytes);
+  WarcReader reader(stream);
+  for (const CdxEntry& entry : index.entries()) {
+    reader.seek(entry.offset);
+    if (mutated.count(entry.offset) > 0) {
+      try {
+        reader.next();
+        FAIL() << "mutated record at " << entry.offset << " read cleanly";
+      } catch (const ReadError&) {
+      }
+    } else {
+      const auto record = reader.next();
+      ASSERT_TRUE(record.has_value());
+      EXPECT_EQ(record->target_uri, entry.url);
+    }
+  }
+}
+
+TEST(FaultInject, TruncateTailCutsLastResponsePayload) {
+  CdxIndex index;
+  std::string bytes = build_archive(4, &index);
+  const std::string pristine = bytes;
+  const FaultPlan plan = inject_faults(&bytes, {0.0, 3, true});
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults.back().kind, FaultKind::kTruncateTail);
+  EXPECT_LT(bytes.size(), pristine.size());
+  std::stringstream stream(bytes);
+  WarcReader reader(stream);
+  reader.seek(plan.faults.back().record_offset);
+  try {
+    reader.next();
+    FAIL() << "expected truncation error";
+  } catch (const ReadError& error) {
+    EXPECT_EQ(error.kind(), ReadErrorKind::kTruncatedPayload);
+  }
+}
+
+TEST(FaultInject, RejectsMalformedInput) {
+  std::string garbage = "this is not a WARC file";
+  EXPECT_THROW(inject_faults(&garbage, {1.0, 1, false}),
+               std::runtime_error);
 }
 
 TEST(SnapshotStore, CreateAndExists) {

@@ -381,6 +381,109 @@ TEST(CliWarc, UsageErrors) {
   EXPECT_EQ(run_cli({"warc", "frob", "x"}).exit_code, 2);
 }
 
+TEST(CliStudy, NonNumericFlagsAreUsageErrors) {
+  // std::stoi would have crashed with an uncaught std::invalid_argument;
+  // the checked parsers turn this into exit 2 plus a diagnostic.
+  const CliResult result = run_cli({"study", "--threads", "bananas"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("--threads expects a number, got 'bananas'"),
+            std::string::npos)
+      << result.err;
+  EXPECT_EQ(run_cli({"study", "--domains", "12x"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"study", "--pages", "-1"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"study", "--seed", "1e6"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"study", "--max-errors", "many"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"warc", "cat", "/no/such.warc", "12x"}).exit_code, 2);
+}
+
+TEST(CliWarc, MutateInjectsFaultsAndListResyncs) {
+  const auto in_path =
+      std::filesystem::temp_directory_path() / "hv_cli_mutate_in.warc";
+  const auto out_path =
+      std::filesystem::temp_directory_path() / "hv_cli_mutate_out.warc";
+  {
+    std::ofstream file(in_path, std::ios::binary);
+    archive::WarcWriter writer(file);
+    writer.write_warcinfo("CC-TEST");
+    for (int i = 0; i < 3; ++i) {
+      writer.write_response(
+          "https://d" + std::to_string(i) + ".example/",
+          "2020-01-01T00:00:00Z",
+          net::build_http_response(200, "OK",
+                                   {{"Content-Type", "text/html"}},
+                                   "<p>page</p>"));
+    }
+  }
+
+  const CliResult mutate = run_cli({"warc", "mutate", in_path.string(),
+                                    out_path.string(), "--rate", "1",
+                                    "--seed", "3"});
+  EXPECT_EQ(mutate.exit_code, 0) << mutate.err;
+  EXPECT_NE(mutate.out.find("mutated 3 of 3 response record(s)"),
+            std::string::npos)
+      << mutate.out;
+
+  // Listing the damaged archive notes each bad record and resyncs
+  // instead of dying on the first one.
+  const CliResult listing = run_cli({"warc", "list", out_path.string()});
+  EXPECT_EQ(listing.exit_code, 0) << listing.err;
+  EXPECT_NE(listing.out.find("warcinfo"), std::string::npos);
+  EXPECT_NE(listing.out.find("corrupt"), std::string::npos) << listing.out;
+
+  EXPECT_EQ(run_cli({"warc", "mutate", in_path.string(), out_path.string(),
+                     "--rate", "x"})
+                .exit_code,
+            2);
+  std::filesystem::remove(in_path);
+  std::filesystem::remove(out_path);
+}
+
+TEST(CliStudy, CorruptArchiveQuarantinesOrAbortsUnderStrict) {
+  const auto workdir =
+      std::filesystem::temp_directory_path() / "hv_cli_corrupt_study";
+  std::filesystem::remove_all(workdir);
+  const std::vector<std::string> base = {
+      "study",   "--domains", "40", "--pages",   "2",
+      "--seed",  "9",         "--threads", "4",
+      "--workdir", workdir.string()};
+  ASSERT_EQ(run_cli(base).exit_code, 0);
+
+  // Mutate every snapshot archive in place via the CLI harness.
+  std::size_t injected = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(workdir)) {
+    const auto warc = entry.path() / "segment.warc";
+    if (!std::filesystem::exists(warc)) continue;
+    const CliResult mutate =
+        run_cli({"warc", "mutate", warc.string(), warc.string(), "--rate",
+                 "0.1", "--seed", "21"});
+    ASSERT_EQ(mutate.exit_code, 0) << mutate.err;
+    for (std::size_t pos = mutate.out.find("fault ");
+         pos != std::string::npos;
+         pos = mutate.out.find("fault ", pos + 1)) {
+      ++injected;
+    }
+  }
+  ASSERT_GT(injected, 0u);
+
+  // Default policy: the damaged study completes and reports exactly the
+  // injected faults as quarantined.
+  const CliResult tolerant = run_cli(base);
+  EXPECT_EQ(tolerant.exit_code, 0) << tolerant.err;
+  const std::string needle =
+      "quarantined: " + std::to_string(injected) + " corrupt record(s)";
+  EXPECT_NE(tolerant.out.find(needle), std::string::npos)
+      << "expected \"" << needle << "\" in:\n"
+      << tolerant.out;
+
+  // --strict aborts on the first corrupt record with a findings exit.
+  std::vector<std::string> strict = base;
+  strict.push_back("--strict");
+  const CliResult aborted = run_cli(strict);
+  EXPECT_EQ(aborted.exit_code, 1);
+  EXPECT_NE(aborted.err.find("aborted"), std::string::npos) << aborted.err;
+  std::filesystem::remove_all(workdir);
+}
+
 TEST(CliRun, WritesReportLiveSnapshotAndMonitors) {
   const auto workdir =
       std::filesystem::temp_directory_path() / "hv_cli_run_test";

@@ -8,10 +8,15 @@
 #include <array>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "archive/fault_inject.h"
+#include "archive/snapshot_store.h"
 #include "net/http.h"
 #include "obs/obs.h"
 #include "report/paper_data.h"
@@ -231,6 +236,146 @@ TEST(StudyPipeline, AllTwentyRulesAppearInPerRuleMetrics) {
 }
 
 #endif  // HV_OBS_DISABLED
+
+// --- corruption quarantine ----------------------------------------------------
+
+/// Mutates every snapshot archive under `workdir` with seeded in-place
+/// faults and returns, per year index, the injected-fault count per
+/// domain (resolved through each snapshot's CDX index).
+std::array<std::map<std::string, std::uint32_t>, kYearCount>
+corrupt_archives(const std::filesystem::path& workdir, double rate,
+                 std::uint64_t seed, std::size_t* total_faults) {
+  std::array<std::map<std::string, std::uint32_t>, kYearCount> per_domain;
+  *total_faults = 0;
+  for (int y = 0; y < kYearCount; ++y) {
+    const auto label = report::kSnapshotLabels[static_cast<std::size_t>(y)];
+    const auto dir = workdir / label;
+    std::string bytes;
+    {
+      std::ifstream in(dir / "segment.warc", std::ios::binary);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      bytes = buffer.str();
+    }
+    const archive::FaultPlan plan = archive::inject_faults(
+        &bytes, {rate, seed + static_cast<std::uint64_t>(y), false});
+    {
+      std::ofstream out(dir / "segment.warc",
+                        std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+    const archive::CdxIndex index = archive::CdxIndex::load(dir / "index.cdx");
+    std::map<std::uint64_t, std::string> domain_at;
+    for (const archive::CdxEntry& entry : index.entries()) {
+      domain_at[entry.offset] = entry.domain;
+    }
+    for (const archive::InjectedFault& fault : plan.faults) {
+      EXPECT_EQ(domain_at.count(fault.record_offset), 1u)
+          << "fault at unindexed offset " << fault.record_offset;
+      ++per_domain[static_cast<std::size_t>(y)][domain_at[fault.record_offset]];
+    }
+    *total_faults += plan.faults.size();
+  }
+  return per_domain;
+}
+
+/// CSV lines for domains NOT in `quarantined`, preserving order.
+std::string filter_csv(const std::string& csv,
+                       const std::set<std::string>& quarantined) {
+  std::istringstream in(csv);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t comma = line.find(',');
+    if (line.empty() || line[0] == '#' ||
+        comma == std::string::npos ||
+        quarantined.count(line.substr(0, comma)) == 0) {
+      out << line << '\n';
+    }
+  }
+  return out.str();
+}
+
+TEST(StudyPipeline, CorruptedArchiveIsQuarantinedNotFatal) {
+  // Baseline: an identical corpus in a clean workdir.
+  PipelineConfig clean_config = mini_config("quar_clean");
+  StudyPipeline clean(clean_config);
+  clean.run_all();
+  std::ostringstream clean_csv;
+  clean.results_view().write_csv(clean_csv);
+
+  // Corrupt ~5% of the response records in every snapshot, then run the
+  // same study over the damaged archives.
+  PipelineConfig config = mini_config("quar");
+  {
+    StudyPipeline builder(config);
+    builder.build_archives();
+  }
+  std::size_t total_faults = 0;
+  const auto per_domain =
+      corrupt_archives(config.workdir, 0.05, 99, &total_faults);
+  ASSERT_GT(total_faults, 0u);
+
+  StudyPipeline pipeline(config);
+  pipeline.run_all();  // must complete despite the corruption
+
+  // Quarantine counters reconcile exactly with the injected faults, and
+  // every read attempt is accounted for: read cleanly or quarantined.
+  EXPECT_EQ(pipeline.counters().records_quarantined, total_faults);
+  EXPECT_EQ(pipeline.counters().records_read +
+                pipeline.counters().records_quarantined,
+            clean.counters().records_read);
+
+  // Per-domain error counts in the sealed view match the fault plan.
+  const store::StudyView& view = pipeline.results_view();
+  std::set<std::string> quarantined_domains;
+  std::size_t view_errors = 0;
+  for (int y = 0; y < kYearCount; ++y) {
+    for (const auto& [domain, count] : per_domain[static_cast<std::size_t>(y)]) {
+      const auto index = view.find_domain(domain);
+      ASSERT_TRUE(index.has_value()) << domain;
+      EXPECT_EQ(view.errors(*index, y), count)
+          << domain << " year " << y;
+      quarantined_domains.insert(domain);
+    }
+    for (std::size_t i = 0; i < view.domain_count(); ++i) {
+      view_errors += view.errors(i, y);
+    }
+  }
+  EXPECT_EQ(view_errors, total_faults);
+  EXPECT_EQ(view.total_records_quarantined(), total_faults);
+
+  // Domains the mutator never touched produce byte-identical CSV lines.
+  std::ostringstream corrupt_csv;
+  view.write_csv(corrupt_csv);
+  EXPECT_EQ(filter_csv(corrupt_csv.str(), quarantined_domains),
+            filter_csv(clean_csv.str(), quarantined_domains));
+
+  std::filesystem::remove_all(clean_config.workdir);
+  std::filesystem::remove_all(config.workdir);
+}
+
+TEST(StudyPipeline, StrictModeAbortsOnFirstCorruptRecord) {
+  PipelineConfig config = mini_config("quar_strict");
+  {
+    StudyPipeline builder(config);
+    builder.build_archives();
+  }
+  std::size_t total_faults = 0;
+  corrupt_archives(config.workdir, 0.05, 5, &total_faults);
+  ASSERT_GT(total_faults, 0u);
+
+  config.max_errors = 0;  // --strict
+  StudyPipeline pipeline(config);
+  try {
+    pipeline.run_all();
+    FAIL() << "expected quarantine-limit abort";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("quarantine limit"),
+              std::string::npos);
+  }
+  std::filesystem::remove_all(config.workdir);
+}
 
 TEST(StudyPipeline, DeterministicAcrossThreadCounts) {
   PipelineConfig config_a = mini_config("t1");

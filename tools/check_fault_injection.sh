@@ -1,0 +1,106 @@
+#!/usr/bin/env sh
+# Fault-tolerance gate, next to check_store_roundtrip.sh in the CI script
+# set: proves the crawl path survives archive corruption (DESIGN.md
+# section 12) instead of dying on the first bad record.
+#
+# Four layers:
+#   1. Quarantine: a study over archives with ~2% of their response
+#      records mutated (hv warc mutate) must complete, and its overview
+#      must report exactly the injected fault count as quarantined.
+#   2. Isolation: domains the mutator never touched must produce CSV
+#      lines byte-identical to the clean baseline run.
+#   3. Strict policy: the same corrupt study with --strict must fail
+#      fast with a nonzero exit.
+#   4. CLI hygiene: hv study --threads bananas must exit 2 (the checked
+#      numeric parsers) rather than crash.
+#
+# Usage: tools/check_fault_injection.sh [build-dir]   (default: build)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+study_args="--domains 50 --pages 2 --seed 17 --threads 4"
+mutate_rate=0.02
+mutate_seed=23
+
+echo "== building hv =="
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target hv >/dev/null
+hv_bin="$build_dir/tools/hv"
+
+echo "== clean baseline study =="
+# shellcheck disable=SC2086  # study_args is a word list by design
+"$hv_bin" study $study_args --workdir "$tmp_dir/corpus" \
+  --csv-out "$tmp_dir/clean.csv" >/dev/null
+
+echo "== mutating ~2% of response records in every snapshot =="
+: > "$tmp_dir/faults.txt"
+for warc in "$tmp_dir"/corpus/*/segment.warc; do
+  "$hv_bin" warc mutate "$warc" "$warc" \
+    --rate "$mutate_rate" --seed "$mutate_seed" \
+    | grep '^fault ' >> "$tmp_dir/faults.txt" || true
+done
+injected="$(wc -l < "$tmp_dir/faults.txt" | tr -d ' ')"
+if [ "$injected" -eq 0 ]; then
+  echo "check_fault_injection: FAIL (mutator injected no faults)"
+  exit 1
+fi
+echo "(injected $injected faults)"
+
+echo "== corrupt study must complete and quarantine exactly $injected =="
+# shellcheck disable=SC2086
+"$hv_bin" study $study_args --workdir "$tmp_dir/corpus" \
+  --csv-out "$tmp_dir/corrupt.csv" > "$tmp_dir/corrupt.out"
+grep "quarantined: $injected corrupt record(s)" "$tmp_dir/corrupt.out" \
+  >/dev/null || {
+  echo "check_fault_injection: FAIL (quarantine count != injected faults)"
+  grep "quarantined:" "$tmp_dir/corrupt.out" || echo "(no quarantine line)"
+  exit 1
+}
+
+echo "== clean-domain CSV lines must be byte-identical =="
+# Fault lines carry uri=https://<domain>/...; everything else is clean.
+sed -n 's|.* uri=https://\([^/]*\)/.*|\1|p' "$tmp_dir/faults.txt" \
+  | sort -u > "$tmp_dir/quarantined_domains.txt"
+filter_clean() {
+  awk -F, 'NR==FNR { bad[$1] = 1; next } !($1 in bad)' \
+    "$tmp_dir/quarantined_domains.txt" "$1"
+}
+filter_clean "$tmp_dir/clean.csv" > "$tmp_dir/clean.filtered.csv"
+filter_clean "$tmp_dir/corrupt.csv" > "$tmp_dir/corrupt.filtered.csv"
+cmp "$tmp_dir/clean.filtered.csv" "$tmp_dir/corrupt.filtered.csv" || {
+  echo "check_fault_injection: FAIL (corruption leaked into clean domains)"
+  exit 1
+}
+
+echo "== --strict over the corrupt archives must fail fast =="
+# shellcheck disable=SC2086
+if "$hv_bin" study $study_args --workdir "$tmp_dir/corpus" --strict \
+    >/dev/null 2>"$tmp_dir/strict.err"; then
+  echo "check_fault_injection: FAIL (--strict accepted a corrupt archive)"
+  exit 1
+fi
+grep "aborted" "$tmp_dir/strict.err" >/dev/null || {
+  echo "check_fault_injection: FAIL (--strict died without the abort diagnostic)"
+  cat "$tmp_dir/strict.err"
+  exit 1
+}
+echo "(--strict aborted, as intended)"
+
+echo "== bad numeric flags must be usage errors, not crashes =="
+if "$hv_bin" study --threads bananas >/dev/null 2>&1; then
+  echo "check_fault_injection: FAIL (--threads bananas was accepted)"
+  exit 1
+fi
+status=0
+"$hv_bin" study --threads bananas >/dev/null 2>&1 || status=$?
+if [ "$status" -ne 2 ]; then
+  echo "check_fault_injection: FAIL (--threads bananas exited $status, want 2)"
+  exit 1
+fi
+
+echo "check_fault_injection: OK"
