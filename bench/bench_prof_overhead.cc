@@ -1,0 +1,86 @@
+// Profiler overhead micro benchmarks (ISSUE 6 satellite).
+//
+// Two measurements of the same question — what does arming hv::obs::prof
+// cost the hot parse path?
+//
+//   * BM_ParseBySize — byte-identical to the bench_micro_parser
+//     benchmark of the same name.  Run this binary twice,
+//       bench_prof_overhead --json BENCH_prof_off.json
+//       bench_prof_overhead --profile-hz 99 --json BENCH_prof_on.json
+//     and the two files compare the identical names with the profiler
+//     off vs sampling (tools/check_profile.sh automates the diff;
+//     target: <3% at 99 Hz).
+//
+//   * BM_ProfilerOverhead/<hz> — self-contained sweep: the benchmark
+//     arms the profiler at its Arg (0 = off, 99 = report default,
+//     997 = `hv profile` default) around the same parse loop, so one
+//     run shows the overhead curve directly.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "micro_harness.h"
+
+#include "html/parser.h"
+#include "obs/prof.h"
+
+namespace {
+
+using namespace hv;
+
+std::string repeated(std::string_view unit, std::size_t copies) {
+  std::string out = "<!DOCTYPE html><html><head><title>b</title></head><body>";
+  for (std::size_t i = 0; i < copies; ++i) out.append(unit);
+  out += "</body></html>";
+  return out;
+}
+
+constexpr std::string_view kRowUnit =
+    "<div class=\"row\"><p>lorem ipsum dolor <b>sit</b> amet</p>"
+    "<a href=\"/x\">link</a></div>";
+
+void BM_ParseBySize(benchmark::State& state) {
+  const std::string page =
+      repeated(kRowUnit, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ParseBySize)->Arg(8)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_ProfilerOverhead(benchmark::State& state) {
+  const int hz = static_cast<int>(state.range(0));
+  const std::string page = repeated(kRowUnit, 512);
+  // One session per Arg; a no-op when the harness (or an outer caller)
+  // already has a session running — the loop is then sampled at the
+  // outer rate and the Arg sweep degenerates to repeats, which is the
+  // honest behavior for nested profiling requests.
+  std::optional<obs::prof::ThreadGuard> guard;
+  bool started = false;
+  if (hz > 0 && obs::prof::available()) {
+    guard.emplace("bench_prof");
+    obs::prof::profiler().reset();
+    obs::prof::ProfileOptions options;
+    options.hz = hz;
+    started = obs::prof::profiler().start(options);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::parse(page));
+  }
+  if (started) {
+    obs::prof::profiler().stop();
+    state.counters["samples"] =
+        static_cast<double>(obs::prof::profiler().sample_count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_ProfilerOverhead)->Arg(0)->Arg(99)->Arg(997);
+
+}  // namespace
+
+int main(int argc, char** argv) { return hv::bench::micro_main(argc, argv); }

@@ -25,10 +25,12 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace hv::bench {
 
@@ -107,14 +109,23 @@ class CollectingReporter : public benchmark::BenchmarkReporter {
 
 }  // namespace detail
 
-/// Drop-in replacement for BENCHMARK_MAIN() adding `--json <file>`.
+/// Drop-in replacement for BENCHMARK_MAIN() adding `--json <file>` and
+/// `--profile-hz <n>` (sample every benchmark under the hv::obs::prof
+/// profiler — BENCH_prof_on.json vs BENCH_prof_off.json measure the
+/// probe overhead under identical benchmark names).  In HV_OBS_DISABLED
+/// builds the flag is accepted and inert, so scripts run unchanged.
 inline int micro_main(int argc, char** argv) {
   std::string json_path;
+  int profile_hz = 0;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      profile_hz = std::atoi(argv[++i]);
       continue;
     }
     filtered.push_back(argv[i]);
@@ -126,8 +137,24 @@ inline int micro_main(int argc, char** argv) {
     return 1;
   }
 
+  std::optional<obs::prof::ThreadGuard> prof_guard;
+  bool profiling = false;
+  if (profile_hz > 0 && obs::prof::available()) {
+    prof_guard.emplace("bench");
+    obs::prof::profiler().reset();
+    obs::prof::ProfileOptions prof_options;
+    prof_options.hz = profile_hz;
+    profiling = obs::prof::profiler().start(prof_options);
+  }
+
   detail::CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (profiling) {
+    obs::prof::profiler().stop();
+    std::cerr << "profiler: " << obs::prof::profiler().sample_count()
+              << " sample(s) at " << profile_hz << " Hz, "
+              << obs::prof::profiler().drop_count() << " dropped\n";
+  }
   benchmark::Shutdown();
 
   if (!json_path.empty()) {

@@ -6,6 +6,7 @@
 
 #include "net/http.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace hv::archive {
 namespace {
@@ -210,6 +211,7 @@ std::optional<std::uint64_t> WarcReader::resync(std::uint64_t from_offset) {
 }
 
 std::optional<WarcRecord> WarcReader::next() {
+  HV_PROF_SCOPE("warc_read");
   std::uint64_t record_start = offset_;
   // Skip blank separator lines.
   std::string line;

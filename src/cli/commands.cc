@@ -1,5 +1,6 @@
 #include "cli/commands.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -107,10 +108,19 @@ void print_usage(std::ostream& out) {
          "        [--live-out FILE] [--stall-after SEC] [--slow-pages N]\n"
          "        [--results-out FILE] [--csv-out FILE] [--years A-B]\n"
          "        [--max-errors N] [--strict]\n"
-         "                             run the full longitudinal study\n"
+         "        [--profile-out FILE] [--profile-hz N]\n"
+         "                             run the full longitudinal study; "
+         "--profile-out\n"
+         "                             arms the sampling profiler and "
+         "writes\n"
+         "                             flamegraph.pl collapsed stacks\n"
          "  run [study options]        hv study with run_report.json and "
          "a live\n"
          "                             snapshot in the workdir by default\n"
+         "  profile [study options]    hv run with the sampling profiler "
+         "armed\n"
+         "                             (997 Hz); prints the top scopes by "
+         "self CPU\n"
          "  query stats|union|csv <results.hv>\n"
          "  query domain <results.hv> <name>\n"
          "  query merge -o <out.hv> <a.hv> <b.hv>\n"
@@ -123,7 +133,8 @@ void print_usage(std::ostream& out) {
          "                             run a small study, print the "
          "metrics snapshot\n"
          "  stats --compare BASE.json CURRENT.json [--max-regression PCT]\n"
-         "        [--min-count N] [--counts-only]\n"
+         "        [--min-count N] [--counts-only] "
+         "[--max-cpu-share-drift PTS]\n"
          "                             diff two run reports; exit 1 on "
          "regressions\n"
          "  warc list <file.warc>      index the records of an archive\n"
@@ -144,6 +155,8 @@ struct StudyOptions {
   std::string trace_out;
   std::string results_out;  ///< save the sealed view as results.hv
   std::string csv_out;      ///< stream the per-domain CSV to a file
+  std::string profile_out;  ///< collapsed-stack (flamegraph.pl) output
+  int profile_hz = 0;       ///< 0 = per-command default when profiling
   std::string format = "prom";  ///< stats only: prom | json
 };
 
@@ -250,6 +263,21 @@ bool parse_study_options(const std::vector<std::string>& args,
       const auto value = required(&i, "a path");
       if (!value) return false;
       options->csv_out = *value;
+    } else if (args[i] == "--profile-out") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->profile_out = *value;
+    } else if (args[i] == "--profile-hz") {
+      const auto value = required(&i, "a number");
+      if (!value) return false;
+      if (!parse_int(command, "--profile-hz", *value, &options->profile_hz,
+                     err)) {
+        return false;
+      }
+      if (options->profile_hz < 1 || options->profile_hz > 10000) {
+        err << "hv " << command << ": --profile-hz expects 1..10000\n";
+        return false;
+      }
     } else if (args[i] == "--years") {
       const auto value = required(&i, "a range like 0-7");
       if (!value) return false;
@@ -544,17 +572,54 @@ int cmd_tokens(const std::vector<std::string>& args, std::istream& in,
 
 namespace {
 
-/// Shared body of `hv study` and `hv run`; the latter turns the
-/// run-health artifacts (report + live snapshot) on by default.
+/// `hv profile` epilogue: the top scopes by self CPU, rendered from a
+/// freshly drained snapshot.
+void print_profile_table(std::ostream& out) {
+  obs::prof::ProfileSnapshot snapshot = obs::prof::profiler().snapshot();
+  out << "\nprofile: " << snapshot.samples << " sample(s) @ " << snapshot.hz
+      << " Hz";
+  if (snapshot.drops > 0) out << ", " << snapshot.drops << " dropped";
+  out << "\n";
+  if (snapshot.samples == 0) return;
+  std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+            [](const obs::prof::ProfileEntry& a,
+               const obs::prof::ProfileEntry& b) {
+              if (a.self != b.self) return a.self > b.self;
+              return a.path < b.path;
+            });
+  out << "  self%  total%    self   scope\n";
+  const double scale = 100.0 / static_cast<double>(snapshot.samples);
+  std::size_t shown = 0;
+  for (const obs::prof::ProfileEntry& entry : snapshot.entries) {
+    if (entry.self == 0 || shown >= 20) continue;
+    char line[64];
+    std::snprintf(line, sizeof(line), "%6.2f  %6.2f  %6llu   ",
+                  static_cast<double>(entry.self) * scale,
+                  static_cast<double>(entry.total) * scale,
+                  static_cast<unsigned long long>(entry.self));
+    out << line << entry.path << "\n";
+    ++shown;
+  }
+  if (!snapshot.bytes.empty()) {
+    out << "  bytes by scope:\n";
+    for (const obs::prof::ByteEntry& entry : snapshot.bytes) {
+      out << "    " << entry.scope << " " << entry.bytes << "\n";
+    }
+  }
+}
+
+/// Shared body of `hv study`, `hv run` and `hv profile`; `hv run` turns
+/// the run-health artifacts (report + live snapshot) on by default and
+/// `hv profile` additionally arms the sampling profiler.
 int run_study_command(const std::vector<std::string>& args,
                       std::string_view command, bool health_defaults,
-                      std::ostream& out, std::ostream& err) {
+                      bool profile_default, std::ostream& out,
+                      std::ostream& err) {
   StudyOptions options;
   options.config.corpus.domain_count = 400;
   options.config.corpus.max_pages_per_domain = 8;
-  options.config.workdir =
-      std::filesystem::temp_directory_path() /
-      (health_defaults ? "hv_cli_run" : "hv_cli_study");
+  options.config.workdir = std::filesystem::temp_directory_path() /
+                           ("hv_cli_" + std::string(command));
   if (!parse_study_options(args, command, /*allow_format=*/false, &options,
                            err)) {
     return kUsage;
@@ -576,6 +641,33 @@ int run_study_command(const std::vector<std::string>& args,
   obs::default_registry().reset();
   obs::default_tracer().clear();
 
+  // Profiling session: `hv profile` arms it unconditionally (997 Hz for
+  // exemplar density); --profile-out / --profile-hz opt in on study/run
+  // at the cheaper 99 Hz default.  The guard registers the CLI thread so
+  // the sequential build_archives/metadata phases are sampled too.
+  const bool want_profile = profile_default || options.profile_hz > 0 ||
+                            !options.profile_out.empty();
+  const int profile_hz = options.profile_hz > 0 ? options.profile_hz
+                         : profile_default      ? 997
+                                                : 99;
+  std::optional<obs::prof::ThreadGuard> prof_guard;
+  bool profiling = false;
+  if (want_profile && obs::prof::available()) {
+    prof_guard.emplace("main");
+    obs::prof::profiler().reset();
+    obs::prof::ProfileOptions prof_options;
+    prof_options.hz = profile_hz;
+    profiling = obs::prof::profiler().start(prof_options);
+    if (profiling) {
+      err << "hv " << command << ": sampling profiler armed at "
+          << profile_hz << " Hz\n";
+    }
+  } else if (want_profile) {
+    err << "hv " << command
+        << ": profiler disabled in this build (HV_OBS_DISABLED); "
+           "running without it\n";
+  }
+
   err << "hv " << command << ": " << config.corpus.domain_count
       << " domains x " << config.corpus.max_pages_per_domain << " pages x "
       << config.year_end - config.year_begin + 1 << " snapshot(s)\n";
@@ -586,8 +678,26 @@ int run_study_command(const std::vector<std::string>& args,
     // The quarantine limit (--max-errors / --strict) throws after the
     // worker pool drains; anything else (unwritable WARC, ...) lands here
     // too rather than escaping as an uncaught exception.
+    if (profiling) obs::prof::profiler().stop();
     err << "hv " << command << ": aborted: " << error.what() << "\n";
     return kFindings;
+  }
+  if (profiling) {
+    // Stop before the artifact writes below so the folded output and any
+    // later report re-render see the final drained aggregate.
+    obs::prof::profiler().stop();
+    if (!options.profile_out.empty()) {
+      std::ofstream folded(options.profile_out,
+                           std::ios::binary | std::ios::trunc);
+      if (!folded) {
+        err << "hv " << command << ": cannot write " << options.profile_out
+            << "\n";
+        return kUsage;
+      }
+      obs::prof::profiler().write_folded(folded);
+      err << "hv " << command << ": collapsed stacks written to "
+          << options.profile_out << "\n";
+    }
   }
   if (!config.report_out.empty()) {
     err << "hv " << command << ": run report written to "
@@ -625,6 +735,7 @@ int run_study_command(const std::vector<std::string>& args,
     }
     view.write_csv(csv);
   }
+  if (profiling && profile_default) print_profile_table(out);
   return kOk;
 }
 
@@ -666,9 +777,19 @@ int stats_compare(const std::vector<std::string>& args, std::ostream& out,
   std::vector<std::string> paths;
   double max_regression = 15.0;  // percent
   double min_count = 100.0;      // ignore thin percentile series
+  double max_share_drift = -1.0;  // CPU-share points; negative = gate off
   bool counts_only = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--max-regression") {
+    if (args[i] == "--max-cpu-share-drift") {
+      if (i + 1 >= args.size()) {
+        err << "hv stats: --max-cpu-share-drift needs points\n";
+        return kUsage;
+      }
+      if (!parse_double("stats", "--max-cpu-share-drift", args[++i],
+                        &max_share_drift, err)) {
+        return kUsage;
+      }
+    } else if (args[i] == "--max-regression") {
       if (i + 1 >= args.size()) {
         err << "hv stats: --max-regression needs a percentage\n";
         return kUsage;
@@ -787,9 +908,71 @@ int stats_compare(const std::vector<std::string>& args, std::ostream& out,
     }
   }
 
+  // CPU-share drift: opt-in gate over the profiler's scope attribution.
+  // A scope whose self-CPU share moved more than the budget between the
+  // two reports is a cost-structure change (new hot rule, parser path
+  // regression) even when absolute latency stayed within tolerance.
+  if (max_share_drift >= 0.0) {
+    const obs::json::Value* base_profile = base->find("profile");
+    const obs::json::Value* current_profile = current->find("profile");
+    const bool comparable =
+        base_profile != nullptr && current_profile != nullptr &&
+        base_profile->bool_or("enabled", false) &&
+        current_profile->bool_or("enabled", false);
+    if (!comparable) {
+      out << "note: profile section missing or not enabled in both "
+             "reports; skipping the CPU-share drift gate\n";
+    } else {
+      const auto shares_of = [](const obs::json::Value& profile) {
+        std::map<std::string, double> shares;
+        if (const obs::json::Value* scopes = profile.find("scopes");
+            scopes != nullptr && scopes->is_array()) {
+          for (const obs::json::Value& entry : scopes->array) {
+            shares[entry.string_or("path", "")] =
+                entry.number_or("self_share", 0.0);
+          }
+        }
+        return shares;
+      };
+      const std::map<std::string, double> base_shares =
+          shares_of(*base_profile);
+      std::map<std::string, double> current_shares =
+          shares_of(*current_profile);
+      // Union of scope paths: a scope absent from one side has share 0
+      // there, so a brand-new hot scope still trips the gate.
+      for (const auto& [path, base_share] : base_shares) {
+        const auto it = current_shares.find(path);
+        const double current_share =
+            it == current_shares.end() ? 0.0 : it->second;
+        if (it != current_shares.end()) current_shares.erase(it);
+        const double drift = current_share - base_share;
+        if (drift > max_share_drift || -drift > max_share_drift) {
+          char line[96];
+          std::snprintf(line, sizeof(line),
+                        "%.2f%% -> %.2f%% (%+.2f pts, limit %.2f)",
+                        base_share, current_share, drift, max_share_drift);
+          out << "cpu-share drift: " << path << " " << line << "\n";
+          ++problems;
+        }
+      }
+      for (const auto& [path, current_share] : current_shares) {
+        if (current_share > max_share_drift) {
+          char line[96];
+          std::snprintf(line, sizeof(line),
+                        "0%% -> %.2f%% (limit %.2f)", current_share,
+                        max_share_drift);
+          out << "cpu-share drift: " << path << " " << line << "\n";
+          ++problems;
+        }
+      }
+    }
+  }
+
   if (problems == 0) {
     out << "stats compare: no regressions (max " << max_regression
-        << "% on p50/p99" << (counts_only ? ", counts only" : "") << ")\n";
+        << "% on p50/p99" << (counts_only ? ", counts only" : "")
+        << (max_share_drift >= 0.0 ? ", cpu-share drift gated" : "")
+        << ")\n";
     return kOk;
   }
   out << "stats compare: " << problems << " problem(s)\n";
@@ -800,8 +983,8 @@ int stats_compare(const std::vector<std::string>& args, std::ostream& out,
 
 int cmd_study(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
-  return run_study_command(args, "study", /*health_defaults=*/false, out,
-                           err);
+  return run_study_command(args, "study", /*health_defaults=*/false,
+                           /*profile_default=*/false, out, err);
 }
 
 int cmd_query(const std::vector<std::string>& args, std::ostream& out,
@@ -927,7 +1110,22 @@ int cmd_query(const std::vector<std::string>& args, std::ostream& out,
 
 int cmd_run(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
-  return run_study_command(args, "run", /*health_defaults=*/true, out, err);
+  return run_study_command(args, "run", /*health_defaults=*/true,
+                           /*profile_default=*/false, out, err);
+}
+
+int cmd_profile(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (!obs::prof::available()) {
+    // HV_OBS_DISABLED build: the probes compile to no-ops and there is no
+    // timer to arm; say so instead of silently running an unprofiled
+    // study (tools/check_noop_build.sh asserts on this line).
+    out << "hv profile: profiler disabled in this build "
+           "(HV_OBS_DISABLED)\n";
+    return kOk;
+  }
+  return run_study_command(args, "profile", /*health_defaults=*/true,
+                           /*profile_default=*/true, out, err);
 }
 
 int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
@@ -1008,7 +1206,15 @@ int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
     }
     out << " workers=" << snapshot->number_or("active_workers", 0.0)
         << " items=" << snapshot->number_or("items_done", 0.0)
-        << " stalls=" << snapshot->number_or("stall_count", 0.0) << "\n";
+        << " stalls=" << snapshot->number_or("stall_count", 0.0);
+    // Present when the run has the sampling profiler armed (hv profile /
+    // --profile-out): samples collected so far across all threads.
+    if (const double prof_samples =
+            snapshot->number_or("prof_samples", 0.0);
+        prof_samples > 0.0) {
+      out << " prof=" << static_cast<long long>(prof_samples);
+    }
+    out << "\n";
     if (const obs::json::Value* slow = snapshot->find("slow_pages");
         slow != nullptr && slow->is_array() && !slow->array.empty()) {
       for (const obs::json::Value& page : slow->array) {
@@ -1273,6 +1479,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (command == "tokens") return cmd_tokens(rest, in, out, err);
   if (command == "study") return cmd_study(rest, out, err);
   if (command == "run") return cmd_run(rest, out, err);
+  if (command == "profile") return cmd_profile(rest, out, err);
   if (command == "query") return cmd_query(rest, out, err);
   if (command == "monitor") return cmd_monitor(rest, out, err);
   if (command == "stats") return cmd_stats(rest, out, err);

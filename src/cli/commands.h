@@ -9,11 +9,20 @@
 //            [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
 //            [--live-out FILE] [--stall-after SEC] [--slow-pages N]
 //            [--results-out FILE] [--csv-out FILE] [--years A-B]
-//                                     run the full Figure 6 study
+//            [--profile-out FILE] [--profile-hz N]
+//                                     run the full Figure 6 study;
+//                                     --profile-out also arms the sampling
+//                                     profiler (99 Hz unless --profile-hz)
+//                                     and writes flamegraph.pl collapsed
+//                                     stacks there
 //   hv run [study options]            hv study with the run-health
 //                                     observatory on by default:
 //                                     run_report.json + live snapshot in
 //                                     the workdir
+//   hv profile [study options]        hv run with the sampling profiler
+//                                     armed (997 Hz default); prints the
+//                                     top scopes by self CPU and honors
+//                                     --profile-out / --profile-hz
 //   hv query stats|union|csv <results.hv>
 //   hv query domain <results.hv> <name>
 //   hv query merge -o <out.hv> <a.hv> <b.hv>
@@ -28,9 +37,14 @@
 //                                     metrics snapshot
 //   hv stats --compare BASE.json CURRENT.json [--max-regression PCT]
 //            [--min-count N] [--counts-only]
+//            [--max-cpu-share-drift PTS]
 //                                     diff two run reports; exit 1 on
 //                                     percentile regressions / count
-//                                     mismatches (the CI gate)
+//                                     mismatches (the CI gate).  The
+//                                     drift gate (off by default) also
+//                                     fails when any profiler scope's
+//                                     self-CPU share moves more than PTS
+//                                     percentage points
 //   hv warc list <file.warc>          index the records of an archive
 //   hv warc cat <file.warc> <offset>  print one record's HTTP body
 //
@@ -69,6 +83,8 @@ int cmd_study(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_run(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
+int cmd_profile(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
 int cmd_query(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,

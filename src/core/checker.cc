@@ -6,6 +6,7 @@
 
 #include "net/url.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace hv::core {
 namespace {
@@ -248,6 +249,8 @@ void Checker::add_rule(std::unique_ptr<Rule> rule) {
                                            {"rule"},
                                            obs::default_time_buckets())
                          .with({rule_name});
+  metrics.prof_scope =
+      obs::prof::intern_scope("rule:" + std::string(rule_name));
   rule_metrics_.push_back(metrics);
   rules_.push_back(std::move(rule));
 }
@@ -271,6 +274,7 @@ CheckResult Checker::check(std::string_view html) const {
 
 CheckResult Checker::check(const html::ParseResult& parse,
                            std::string_view source) const {
+  HV_PROF_SCOPE("rules");
   CheckContext context{parse, source, collect_attributes(*parse.document)};
   CheckResult result;
 #ifndef HV_OBS_DISABLED
@@ -280,6 +284,10 @@ CheckResult Checker::check(const html::ParseResult& parse,
   auto last = std::chrono::steady_clock::now();
 #endif
   for (std::size_t i = 0; i < rules_.size(); ++i) {
+#ifndef HV_OBS_DISABLED
+    // Profiler samples landing during this rule resolve to `rule:<name>`.
+    const obs::prof::LeafScope rule_leaf(rule_metrics_[i].prof_scope);
+#endif
     const std::size_t before = result.findings.size();
     rules_[i]->evaluate(context, result.findings);
     const std::size_t emitted = result.findings.size() - before;

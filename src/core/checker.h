@@ -95,6 +95,9 @@ class Checker {
   struct RuleMetrics {
     obs::Counter* hits = nullptr;
     obs::Histogram* seconds = nullptr;
+    /// Profiler leaf scope (`rule:<name>`, obs/prof.h) the check loop
+    /// points the thread's attribution leaf at while the rule runs.
+    std::uint16_t prof_scope = 0;
   };
 
   std::vector<std::unique_ptr<Rule>> rules_;

@@ -1,9 +1,14 @@
 #include "corpus/generator.h"
 
 #include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "corpus/rng.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "report/paper_data.h"
 
 namespace hv::corpus {
@@ -74,6 +79,39 @@ SeriesTarget make_target(const std::array<double, kYears>& yearly,
   return target;
 }
 
+/// Calibration::solve is a pure function of its inputs and costs seconds
+/// of Monte-Carlo bisection (the profiler's `corpus_calibrate` scope made
+/// that cost visible); processes that construct many generators — the
+/// test suite above all — hit this cache instead of re-solving.
+const Calibration& solved_calibration(
+    const std::array<SeriesTarget, core::kViolationCount>& targets,
+    double any_target, std::uint64_t seed, int samples) {
+  // The targets array is fully determined by violation_rate_scale, which
+  // also uniquely determines any_target; hashing the targets anyway keeps
+  // the cache correct if that coupling ever loosens.
+  std::uint64_t targets_hash = 1469598103934665603ull;
+  const auto fold = [&targets_hash](double value) {
+    targets_hash ^= std::bit_cast<std::uint64_t>(value);
+    targets_hash *= 1099511628211ull;
+  };
+  for (const SeriesTarget& target : targets) {
+    for (const double rate : target.yearly) fold(rate);
+    fold(target.union_fraction);
+  }
+  fold(any_target);
+  using Key = std::tuple<std::uint64_t, std::uint64_t, int>;
+  static std::mutex mutex;
+  static std::map<Key, Calibration>* const cache =
+      new std::map<Key, Calibration>;
+  const Key key{targets_hash, seed, samples};
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  return cache
+      ->emplace(key, Calibration::solve(targets, any_target, seed, samples))
+      .first->second;
+}
+
 }  // namespace
 
 Generator::Generator(CorpusConfig config, std::vector<std::string> domains)
@@ -93,8 +131,9 @@ Generator::Generator(CorpusConfig config, std::vector<std::string> domains)
     }
     any_target = std::min(0.95, any_target * std::sqrt(scale));
   }
+  HV_PROF_SCOPE("corpus_calibrate");
   calibration_ =
-      Calibration::solve(targets, any_target, mix(config_.seed, 0xCAFE),
+      solved_calibration(targets, any_target, mix(config_.seed, 0xCAFE),
                          config_.calibration_samples);
   const double w = calibration_.domain_weight;
   newline_url_series_ = Calibration::solve_single(

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/prof.h"
+
 namespace hv::html {
 
 /// Chunked bump allocator with destructor registration.  Objects are
@@ -78,6 +80,9 @@ class BumpArena {
       }
     }
     const std::size_t capacity = size > kChunkSize ? size : kChunkSize;
+    // Charge allocation pressure to the profiler's current attribution
+    // scope at chunk granularity — one call per 16 KiB, not per node.
+    obs::prof::charge_bytes(capacity);
     Chunk chunk;
     chunk.data = std::make_unique<std::byte[]>(capacity);
     chunk.capacity = capacity;

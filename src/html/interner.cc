@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "obs/prof.h"
+
 namespace hv::html {
 namespace {
 
@@ -91,6 +93,9 @@ std::string_view NameInterner::intern_local(std::string_view name) {
   const std::string_view view = storage_.back();
   local_.insert(view);
   local_bytes_ += view.size();
+  // Non-well-known names are the unbounded part of interner memory;
+  // charge them to the profiler's current scope.
+  obs::prof::charge_bytes(view.size());
   return view;
 }
 

@@ -5,6 +5,7 @@
 #include "html/token.h"
 #include "html/tokenizer.h"
 #include "html/treebuilder.h"
+#include "obs/prof.h"
 
 namespace hv::html {
 
@@ -27,6 +28,7 @@ std::size_t ParseResult::count(ObservationKind kind) const noexcept {
 ParseResult parse(std::string_view html) { return parse(html, {}); }
 
 ParseResult parse(std::string_view html, const ParseOptions& options) {
+  HV_PROF_SCOPE("parse");
   ParseResult result;
   result.document = std::make_unique<Document>();
 
@@ -47,6 +49,7 @@ std::string parse_and_serialize(std::string_view html) {
 
 ParseResult parse_fragment(std::string_view html,
                            std::string_view context_tag) {
+  HV_PROF_SCOPE("parse");
   ParseResult result;
   result.document = std::make_unique<Document>();
 

@@ -1,10 +1,12 @@
 #include "html/tokenizer.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 
 #include "html/encoding.h"
+#include "obs/prof.h"
 
 namespace hv::html {
 
@@ -23,6 +25,50 @@ bool parser_fastpath_enabled() noexcept {
 }
 
 namespace {
+
+#ifndef HV_OBS_DISABLED
+/// Profiler attribution: the 80 spec states folded into 9 cost groups —
+/// fine enough to aim the optimisation roadmap (SIMD text scanning, DFA
+/// decode, entity perfect-hash) at the right sub-machine, coarse enough
+/// that a sample resolves with one table lookup.
+constexpr std::size_t kTokGroupCount = 9;
+
+std::uint8_t tok_group_of(TokenizerState s) noexcept {
+  using S = TokenizerState;
+  const auto v = static_cast<std::uint8_t>(s);
+  if (v <= static_cast<std::uint8_t>(S::kPlaintext)) return 0;  // text runs
+  if (v <= static_cast<std::uint8_t>(S::kTagName)) return 1;    // tag open
+  if (v <= static_cast<std::uint8_t>(S::kScriptDataEndTagName)) {
+    return 2;  // rawtext/RCDATA/script end-tag scanning
+  }
+  if (v <= static_cast<std::uint8_t>(S::kScriptDataDoubleEscapeEnd)) {
+    return 3;  // script-data escape sub-machine
+  }
+  if (v <= static_cast<std::uint8_t>(S::kAfterAttributeValueQuoted)) {
+    return 4;  // attributes
+  }
+  if (v == static_cast<std::uint8_t>(S::kSelfClosingStartTag)) return 1;
+  if (v <= static_cast<std::uint8_t>(S::kCommentEndBang)) return 5;
+  if (v <= static_cast<std::uint8_t>(S::kBogusDoctype)) return 6;
+  if (v <= static_cast<std::uint8_t>(S::kCdataSectionEnd)) return 7;
+  return 8;  // character-reference sub-machine
+}
+
+const std::array<obs::prof::ScopeId, kTokGroupCount>& tok_group_scopes() {
+  static const std::array<obs::prof::ScopeId, kTokGroupCount> ids = {
+      obs::prof::intern_scope("tok:text_run"),
+      obs::prof::intern_scope("tok:tag"),
+      obs::prof::intern_scope("tok:end_tag_scan"),
+      obs::prof::intern_scope("tok:script_escape"),
+      obs::prof::intern_scope("tok:attr"),
+      obs::prof::intern_scope("tok:comment"),
+      obs::prof::intern_scope("tok:doctype"),
+      obs::prof::intern_scope("tok:cdata"),
+      obs::prof::intern_scope("tok:charref"),
+  };
+  return ids;
+}
+#endif
 
 constexpr char32_t kEofChar = InputStream::kEof;
 
@@ -54,6 +100,14 @@ Tokenizer::Tokenizer(InputStream& input, TokenSink& sink,
 }
 
 void Tokenizer::run() {
+#ifndef HV_OBS_DISABLED
+  // Save/restore the caller's profiler leaf; step() keeps it pointed at
+  // the current state group while tokenizing.  The cache must be
+  // invalidated here because a nested parse (or the tree builder's mode
+  // scopes) may have moved the leaf since our last step.
+  const obs::prof::LeafScope leaf_scope(obs::prof::kNoScope);
+  prof_group_ = 0xFF;
+#endif
   while (pump()) {
   }
 }
@@ -233,6 +287,17 @@ void Tokenizer::flush_code_points_consumed_as_character_reference() {
 // NOLINTNEXTLINE(readability-function-size): mirrors the spec's 80 states.
 void Tokenizer::step() {
   using S = TokenizerState;
+
+#ifndef HV_OBS_DISABLED
+  // One branch per step; a TLS store only when the state crosses a
+  // group boundary (tag -> attrs -> text...), which is rare relative to
+  // per-character work.
+  const std::uint8_t prof_group = tok_group_of(state_);
+  if (prof_group != prof_group_) {
+    prof_group_ = prof_group;
+    obs::prof::set_leaf(tok_group_scopes()[prof_group]);
+  }
+#endif
 
   // Fast path: batch plain text runs in the pure-text states.  With the
   // run-scanning path on, whole byte runs come straight off the input

@@ -197,6 +197,11 @@ class Tokenizer {
 
   bool cdata_allowed_ = false;
   bool eof_emitted_ = false;
+
+  /// Profiler leaf-attribution cache: the index of the `tok:*` scope
+  /// group the thread-local leaf slot currently holds.  step() only
+  /// touches TLS on group transitions, keeping per-character cost zero.
+  std::uint8_t prof_group_ = 0xFF;
 };
 
 }  // namespace hv::html

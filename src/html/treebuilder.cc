@@ -6,9 +6,46 @@
 #include <unordered_set>
 
 #include "html/encoding.h"
+#include "obs/prof.h"
 
 namespace hv::html {
 namespace {
+
+#ifndef HV_OBS_DISABLED
+/// Profiler attribution for the 23 insertion modes, indexed by
+/// InsertionMode.  Registered once; process_by_mode save/restores the
+/// leaf so the tokenizer's `tok:*` attribution resumes after the token
+/// is processed.
+obs::prof::ScopeId mode_scope(InsertionMode mode) {
+  static const std::array<obs::prof::ScopeId, 23> ids = {
+      obs::prof::intern_scope("mode:initial"),
+      obs::prof::intern_scope("mode:before_html"),
+      obs::prof::intern_scope("mode:before_head"),
+      obs::prof::intern_scope("mode:in_head"),
+      obs::prof::intern_scope("mode:in_head_noscript"),
+      obs::prof::intern_scope("mode:after_head"),
+      obs::prof::intern_scope("mode:in_body"),
+      obs::prof::intern_scope("mode:text"),
+      obs::prof::intern_scope("mode:in_table"),
+      obs::prof::intern_scope("mode:in_table_text"),
+      obs::prof::intern_scope("mode:in_caption"),
+      obs::prof::intern_scope("mode:in_column_group"),
+      obs::prof::intern_scope("mode:in_table_body"),
+      obs::prof::intern_scope("mode:in_row"),
+      obs::prof::intern_scope("mode:in_cell"),
+      obs::prof::intern_scope("mode:in_select"),
+      obs::prof::intern_scope("mode:in_select_in_table"),
+      obs::prof::intern_scope("mode:in_template"),
+      obs::prof::intern_scope("mode:after_body"),
+      obs::prof::intern_scope("mode:in_frameset"),
+      obs::prof::intern_scope("mode:after_frameset"),
+      obs::prof::intern_scope("mode:after_after_body"),
+      obs::prof::intern_scope("mode:after_after_frameset"),
+  };
+  const auto index = static_cast<std::size_t>(mode);
+  return index < ids.size() ? ids[index] : obs::prof::kNoScope;
+}
+#endif
 
 using TagSet = std::unordered_set<std::string_view>;
 
@@ -293,6 +330,9 @@ void TreeBuilder::dispatch(Token& token) {
 }
 
 void TreeBuilder::process_by_mode(Token& token, InsertionMode mode) {
+#ifndef HV_OBS_DISABLED
+  const obs::prof::LeafScope leaf_scope(mode_scope(mode));
+#endif
   switch (mode) {
     case InsertionMode::kInitial:
       return mode_initial(token);

@@ -9,6 +9,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace hv::obs {
 namespace {
@@ -100,41 +101,56 @@ SlowPageTracker::SlowPageTracker(std::size_t capacity)
   threshold_.store(-1.0, std::memory_order_relaxed);
 }
 
-void SlowPageTracker::record(std::string_view domain,
+bool SlowPageTracker::would_admit(double seconds) const noexcept {
+#ifndef HV_OBS_DISABLED
+  return capacity_ > 0 &&
+         seconds > threshold_.load(std::memory_order_relaxed);
+#else
+  (void)seconds;
+  return false;
+#endif
+}
+
+bool SlowPageTracker::record(std::string_view domain,
                              std::string_view snapshot,
                              std::uint64_t warc_offset, double seconds,
-                             std::size_t bytes) {
+                             std::size_t bytes,
+                             std::string_view hottest_scope) {
 #ifndef HV_OBS_DISABLED
-  if (capacity_ == 0) return;
+  if (capacity_ == 0) return false;
   // Once the tracker is full, `threshold_` is the K-th slowest latency;
   // faster pages bounce off this relaxed load without touching the lock.
-  if (seconds <= threshold_.load(std::memory_order_relaxed)) return;
+  if (seconds <= threshold_.load(std::memory_order_relaxed)) return false;
   const auto slower = [](const SlowPage& a, const SlowPage& b) {
     return a.seconds > b.seconds;  // min-heap on seconds
   };
   std::lock_guard<std::mutex> lock(mutex_);
   if (pages_.size() < capacity_) {
     pages_.push_back({std::string(domain), std::string(snapshot),
-                      warc_offset, seconds, bytes});
+                      warc_offset, seconds, bytes,
+                      std::string(hottest_scope)});
     std::push_heap(pages_.begin(), pages_.end(), slower);
     if (pages_.size() == capacity_) {
       threshold_.store(pages_.front().seconds, std::memory_order_relaxed);
     }
   } else {
-    if (seconds <= pages_.front().seconds) return;  // raced below the bar
+    if (seconds <= pages_.front().seconds) return false;  // raced below
     std::pop_heap(pages_.begin(), pages_.end(), slower);
     pages_.back() = {std::string(domain), std::string(snapshot), warc_offset,
-                     seconds, bytes};
+                     seconds, bytes, std::string(hottest_scope)};
     std::push_heap(pages_.begin(), pages_.end(), slower);
     threshold_.store(pages_.front().seconds, std::memory_order_relaxed);
   }
   HealthMetrics::get().slow_page_admissions.inc();
+  return true;
 #else
   (void)domain;
   (void)snapshot;
   (void)warc_offset;
   (void)seconds;
   (void)bytes;
+  (void)hottest_scope;
+  return false;
 #endif
 }
 
@@ -488,6 +504,12 @@ void RunHealth::write_report(std::ostream& out,
       << ", \"stream_buffer_bytes\": "
       << scalar("hv_pipeline_stream_buffer_bytes") << "},\n";
 
+  // CPU attribution from the sampling profiler (prof.h); merged across
+  // threads at drain time.  {"enabled": false} when no session ran.
+  out << "  \"profile\": ";
+  prof::profiler().write_profile_json(out);
+  out << ",\n";
+
   out << "  \"stages\": [";
   first = true;
   for (const StageRecord& stage : stage_records()) {
@@ -534,7 +556,8 @@ void RunHealth::write_report(std::ostream& out,
         << escape_json(page.snapshot) << "\", \"warc_offset\": "
         << page.warc_offset << ", \"seconds\": "
         << format_number(page.seconds) << ", \"bytes\": " << page.bytes
-        << "}";
+        << ", \"hottest_scope\": \"" << escape_json(page.hottest_scope)
+        << "\"}";
     first = false;
   }
   out << (first ? "]" : "\n  ]") << ",\n";
@@ -601,6 +624,7 @@ void RunHealth::write_live_snapshot(std::ostream& out, bool complete) const {
   out << (first ? "]" : "\n ]") << ",\n \"active_workers\": "
       << active_workers << ", \"items_done\": " << items_total
       << ", \"stall_count\": " << stall_events().size()
+      << ", \"prof_samples\": " << prof::profiler().sample_count()
       << ",\n \"slow_pages\": [";
   first = true;
   std::size_t shown = 0;

@@ -55,6 +55,10 @@ struct SlowPage {
   std::uint64_t warc_offset = 0;
   double seconds = 0.0;  ///< parse+check latency
   std::size_t bytes = 0; ///< HTTP message size
+  /// Profiler exemplar: the ';'-joined scope path with the most samples
+  /// while this page was checked ("" when profiling was off or no
+  /// sample landed in the window).  See obs/prof.h.
+  std::string hottest_scope;
 };
 
 /// Top-K slowest pages.  The hot path is one relaxed atomic load when
@@ -64,8 +68,16 @@ class SlowPageTracker {
  public:
   explicit SlowPageTracker(std::size_t capacity = 16);
 
-  void record(std::string_view domain, std::string_view snapshot,
-              std::uint64_t warc_offset, double seconds, std::size_t bytes);
+  /// True when `seconds` would currently clear the admission bar — the
+  /// pipeline's cheap pre-check before computing a profiler exemplar for
+  /// the record() call.  Racy by design (the bar may move), so record()
+  /// re-checks under the lock.
+  bool would_admit(double seconds) const noexcept;
+
+  /// Returns true when the page was admitted into the top-K.
+  bool record(std::string_view domain, std::string_view snapshot,
+              std::uint64_t warc_offset, double seconds, std::size_t bytes,
+              std::string_view hottest_scope = {});
 
   /// Slowest first.
   std::vector<SlowPage> worst() const;

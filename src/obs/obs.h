@@ -3,6 +3,7 @@
 //   metrics.h  Registry / Counter / Gauge / Histogram / ScopedTimer
 //   sketch.h   QuantileSketch (log-bucketed, mergeable percentiles)
 //   health.h   RunHealth (heartbeats/watchdog, slow pages, run report)
+//   prof.h     sampling profiler (scope attribution, flamegraph export)
 //   json.h     minimal JSON reader for our own artifacts
 //   trace.h    Tracer / Span (Chrome trace_event export)
 //   log.h      Log (levels, key=value fields, ring-buffer sink)
@@ -18,5 +19,6 @@
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/sketch.h"
 #include "obs/trace.h"

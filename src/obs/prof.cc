@@ -1,0 +1,704 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__) && !defined(HV_OBS_DISABLED)
+#define HV_PROF_HAVE_THREAD_TIMERS 1
+#include <csignal>
+#include <ctime>
+#include <sys/syscall.h>
+#include <sys/types.h>
+#include <unistd.h>
+#else
+#define HV_PROF_HAVE_THREAD_TIMERS 0
+#endif
+
+namespace hv::obs::prof {
+
+#ifndef HV_OBS_DISABLED
+
+namespace {
+
+// --- scope registry ---------------------------------------------------------
+
+/// Names live in a deque (stable storage) so the id->name mapping never
+/// relocates; the signal handler never touches this — it only ever sees
+/// interned ids.
+struct ScopeTable {
+  std::mutex mutex;
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, ScopeId> ids;
+
+  ScopeTable() {
+    names.emplace_back("(unattributed)");
+    ids.emplace(names.back(), kNoScope);
+  }
+};
+
+ScopeTable& scope_table() {
+  static ScopeTable table;
+  return table;
+}
+
+/// Resolves a sample path to "a;b;c" under one table lock.
+std::string join_path(const std::vector<ScopeId>& path) {
+  ScopeTable& table = scope_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out.push_back(';');
+    if (path[i] < table.names.size()) {
+      out.append(table.names[path[i]]);
+    } else {
+      out.append("(unknown)");
+    }
+  }
+  return out;
+}
+
+// --- per-thread state -------------------------------------------------------
+
+/// One ring slot: a copied scope path.  Atomics because the polling
+/// sampler writes from another thread; the values are only ever read
+/// after an acquire on the ring write index.
+struct Slot {
+  std::atomic<std::uint8_t> depth{0};
+  std::atomic<ScopeId> frames[kSlotFrames];
+};
+
+struct ThreadState {
+  std::string name;
+  detail::ScopeStack* stack = nullptr;  ///< nulled at detach
+  std::atomic<bool> alive{true};
+  Counter* samples_metric = nullptr;
+
+  /// Sample ring, allocated lazily at the first profiling session so
+  /// unprofiled runs pay nothing; `ring_ready` gates every producer.
+  std::unique_ptr<Slot[]> slots;
+  std::atomic<bool> ring_ready{false};
+  std::atomic<std::uint64_t> write{0};
+  std::atomic<std::uint64_t> read{0};
+  std::atomic<std::uint64_t> drops{0};
+  std::uint64_t drops_drained = 0;  ///< collector-only cursor
+
+  /// Byte attribution (charge_bytes), indexed by scope id.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bytes;
+
+#if HV_PROF_HAVE_THREAD_TIMERS
+  pid_t tid = 0;
+  timer_t timer{};
+  bool timer_armed = false;
+#endif
+};
+
+thread_local ThreadState* tls_thread = nullptr;
+
+/// The sampling primitive, shared by the SIGPROF handler (same thread)
+/// and the polling sampler (cross-thread).  Signal-safe by
+/// construction: relaxed atomic reads of the scope stack, atomic writes
+/// into a pre-allocated slot, drop-on-full — no allocation, no lock, no
+/// errno, never blocks.
+void record_sample(ThreadState& t, const detail::ScopeStack& s) noexcept {
+  if (!t.ring_ready.load(std::memory_order_acquire)) return;
+  const std::uint64_t w = t.write.load(std::memory_order_relaxed);
+  if (w - t.read.load(std::memory_order_acquire) >= kRingCapacity) {
+    t.drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = t.slots[w % kRingCapacity];
+  std::uint32_t depth = s.depth.load(std::memory_order_relaxed);
+  if (depth > kMaxDepth) depth = kMaxDepth;
+  std::uint8_t n = 0;
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    slot.frames[n++].store(s.frames[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  }
+  const ScopeId leaf = s.leaf.load(std::memory_order_relaxed);
+  if (leaf != kNoScope) {
+    slot.frames[n++].store(leaf, std::memory_order_relaxed);
+  }
+  slot.depth.store(n, std::memory_order_relaxed);
+  t.write.store(w + 1, std::memory_order_release);
+}
+
+/// Decodes one drained slot into `path` (never empty).
+void decode_slot(const Slot& slot, std::vector<ScopeId>* path) {
+  path->clear();
+  const std::uint8_t n = slot.depth.load(std::memory_order_relaxed);
+  for (std::uint8_t i = 0; i < n && i < kSlotFrames; ++i) {
+    path->push_back(slot.frames[i].load(std::memory_order_relaxed));
+  }
+  if (path->empty()) path->push_back(kNoScope);
+}
+
+#if HV_PROF_HAVE_THREAD_TIMERS
+
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+extern "C" void hv_prof_sigprof_handler(int, siginfo_t*, void*) {
+  ThreadState* t = tls_thread;
+  if (t != nullptr) record_sample(*t, detail::tls_stack);
+}
+
+void install_sigprof_handler() {
+  static const bool installed = [] {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = hv_prof_sigprof_handler;
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    return ::sigaction(SIGPROF, &action, nullptr) == 0;
+  }();
+  (void)installed;
+}
+
+bool arm_timer(ThreadState& t, int hz) {
+  if (t.timer_armed) return true;
+  struct sigevent event;
+  std::memset(&event, 0, sizeof(event));
+  event.sigev_notify = SIGEV_THREAD_ID;
+  event.sigev_signo = SIGPROF;
+  event.sigev_notify_thread_id = t.tid;
+  // The *target* thread's CPU clock: an IO-blocked thread accrues no
+  // samples, so profiles answer "where did the cycles go", not "where
+  // did we wait".  CLOCK_THREAD_CPUTIME_ID would name the clock of
+  // whichever thread calls timer_create — wrong when start() arms
+  // threads registered before the session — so the clockid is derived
+  // from the tid (the kernel's CPUCLOCK_SCHED per-thread encoding, the
+  // same id pthread_getcpuclockid returns).
+  const clockid_t thread_clock = static_cast<clockid_t>(
+      ((~static_cast<clockid_t>(t.tid)) << 3) | 6);
+  if (::timer_create(thread_clock, &event, &t.timer) != 0) {
+    return false;
+  }
+  const long period_ns = 1000000000L / hz;
+  struct itimerspec spec;
+  std::memset(&spec, 0, sizeof(spec));
+  spec.it_interval.tv_sec = period_ns / 1000000000L;
+  spec.it_interval.tv_nsec = period_ns % 1000000000L;
+  spec.it_value = spec.it_interval;
+  if (::timer_settime(t.timer, 0, &spec, nullptr) != 0) {
+    ::timer_delete(t.timer);
+    return false;
+  }
+  t.timer_armed = true;
+  return true;
+}
+
+void disarm_timer(ThreadState& t) {
+  if (t.timer_armed) {
+    ::timer_delete(t.timer);
+    t.timer_armed = false;
+  }
+}
+
+#else  // !HV_PROF_HAVE_THREAD_TIMERS
+
+bool arm_timer(ThreadState&, int) { return false; }
+void disarm_timer(ThreadState&) {}
+
+#endif
+
+}  // namespace
+
+// --- free functions ---------------------------------------------------------
+
+ScopeId intern_scope(std::string_view name) {
+  if (name.empty()) return kNoScope;
+  ScopeTable& table = scope_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  const auto it = table.ids.find(name);
+  if (it != table.ids.end()) return it->second;
+  if (table.names.size() >= kMaxScopes) return kNoScope;
+  table.names.emplace_back(name);
+  const ScopeId id = static_cast<ScopeId>(table.names.size() - 1);
+  table.ids.emplace(table.names.back(), id);
+  return id;
+}
+
+std::string scope_name(ScopeId id) {
+  ScopeTable& table = scope_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  if (id >= table.names.size()) return std::string();
+  return table.names[id];
+}
+
+void charge_bytes(std::size_t bytes) noexcept {
+  ThreadState* t = tls_thread;
+  if (t == nullptr || bytes == 0) return;
+  const detail::ScopeStack& s = detail::tls_stack;
+  ScopeId id = s.leaf.load(std::memory_order_relaxed);
+  if (id == kNoScope) {
+    const std::uint32_t depth = s.depth.load(std::memory_order_relaxed);
+    if (depth > 0 && depth <= kMaxDepth) {
+      id = s.frames[depth - 1].load(std::memory_order_relaxed);
+    }
+  }
+  t->bytes[id < kMaxScopes ? id : kNoScope].fetch_add(
+      bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t thread_cursor() noexcept {
+  const ThreadState* t = tls_thread;
+  return t != nullptr ? t->write.load(std::memory_order_relaxed) : 0;
+}
+
+std::string hottest_path_since(std::uint64_t cursor) {
+  ThreadState* t = tls_thread;
+  if (t == nullptr || !t->ring_ready.load(std::memory_order_acquire)) {
+    return std::string();
+  }
+  const std::uint64_t w = t->write.load(std::memory_order_relaxed);
+  std::uint64_t begin = cursor;
+  // Slots older than a full ring revolution have been overwritten; the
+  // collector may also have consumed part of the window already — the
+  // slot contents survive a drain, so only the wrap bound matters.
+  if (w > kRingCapacity && begin < w - kRingCapacity) {
+    begin = w - kRingCapacity;
+  }
+  if (begin >= w) return std::string();
+  std::map<std::vector<ScopeId>, std::uint64_t> tally;
+  std::vector<ScopeId> path;
+  for (std::uint64_t i = begin; i != w; ++i) {
+    decode_slot(t->slots[i % kRingCapacity], &path);
+    ++tally[path];
+  }
+  const std::vector<ScopeId>* best = nullptr;
+  std::uint64_t best_count = 0;
+  for (const auto& [p, count] : tally) {
+    if (count > best_count) {
+      best = &p;
+      best_count = count;
+    }
+  }
+  return best != nullptr ? join_path(*best) : std::string();
+}
+
+// --- Profiler ---------------------------------------------------------------
+
+struct Profiler::Impl {
+  /// Registry + lifecycle lock (attach/detach, start/stop, draining).
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadState>> threads;
+  bool running = false;
+  bool ever_started = false;
+  bool polling = false;
+  int hz = 0;
+  double drain_period_s = 0.25;
+  std::condition_variable wake;
+  std::thread collector;
+
+  /// Aggregate lock (merged path counts); always inner to `mutex`.
+  std::mutex agg_mutex;
+  std::map<std::vector<ScopeId>, std::uint64_t> counts;
+  std::atomic<std::uint64_t> samples_total{0};
+  std::atomic<std::uint64_t> drops_total{0};
+
+  CounterFamily* samples_family = nullptr;
+  Counter* drops_metric = nullptr;
+
+  Impl() {
+    samples_family = &default_registry().counter_family(
+        "hv_obs_prof_samples_total",
+        "Profiler samples drained, per registered thread", {"thread"});
+    drops_metric = &default_registry().counter(
+        "hv_obs_prof_drops_total",
+        "Profiler samples dropped on ring-buffer overrun");
+  }
+
+  void ensure_ring(ThreadState& t) {  // caller holds mutex
+    if (t.ring_ready.load(std::memory_order_relaxed)) return;
+    t.slots.reset(new Slot[kRingCapacity]);
+    t.ring_ready.store(true, std::memory_order_release);
+  }
+
+  void drain_thread(ThreadState& t) {  // caller holds mutex
+    if (t.ring_ready.load(std::memory_order_acquire)) {
+      const std::uint64_t r = t.read.load(std::memory_order_relaxed);
+      const std::uint64_t w = t.write.load(std::memory_order_acquire);
+      if (w != r) {
+        std::lock_guard<std::mutex> agg(agg_mutex);
+        std::vector<ScopeId> path;
+        for (std::uint64_t i = r; i != w; ++i) {
+          decode_slot(t.slots[i % kRingCapacity], &path);
+          ++counts[path];
+        }
+        t.read.store(w, std::memory_order_release);
+        samples_total.fetch_add(w - r, std::memory_order_relaxed);
+        if (t.samples_metric != nullptr) t.samples_metric->inc(w - r);
+      }
+    }
+    const std::uint64_t drops = t.drops.load(std::memory_order_relaxed);
+    if (drops > t.drops_drained) {
+      const std::uint64_t delta = drops - t.drops_drained;
+      t.drops_drained = drops;
+      drops_total.fetch_add(delta, std::memory_order_relaxed);
+      if (drops_metric != nullptr) drops_metric->inc(delta);
+    }
+  }
+
+  void drain_all() {  // caller holds mutex
+    for (auto& t : threads) drain_thread(*t);
+  }
+
+  /// Collector: drains rings every drain_period_s; in polling mode it is
+  /// also the sampler, ticking every thread's scope stack at `hz`.
+  void collector_loop() {
+    using clock = std::chrono::steady_clock;
+    std::unique_lock<std::mutex> lock(mutex);
+    const auto drain_period = std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double>(drain_period_s));
+    const auto tick = std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double>(polling ? 1.0 / hz : drain_period_s));
+    auto next_drain = clock::now() + drain_period;
+    while (running) {
+      wake.wait_for(lock, tick);
+      if (!running) break;
+      if (polling) {
+        for (auto& t : threads) {
+          if (t->alive.load(std::memory_order_relaxed) &&
+              t->stack != nullptr) {
+            record_sample(*t, *t->stack);
+          }
+        }
+      }
+      if (!polling || clock::now() >= next_drain) {
+        drain_all();
+        next_drain = clock::now() + drain_period;
+      }
+    }
+  }
+};
+
+Profiler::Profiler() : impl_(std::make_unique<Impl>()) {}
+
+Profiler::~Profiler() { stop(); }
+
+bool Profiler::start(const ProfileOptions& options) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->running) return false;
+  impl_->hz = std::clamp(options.hz, 1, 10000);
+  impl_->drain_period_s = std::clamp(options.drain_period_s, 0.01, 3600.0);
+  impl_->polling = options.force_polling || !HV_PROF_HAVE_THREAD_TIMERS;
+  impl_->ever_started = true;
+  impl_->running = true;
+#if HV_PROF_HAVE_THREAD_TIMERS
+  if (!impl_->polling) install_sigprof_handler();
+#endif
+  bool arm_failed = false;
+  for (auto& t : impl_->threads) {
+    if (!t->alive.load(std::memory_order_relaxed)) continue;
+    impl_->ensure_ring(*t);
+    if (!impl_->polling && !arm_timer(*t, impl_->hz)) arm_failed = true;
+  }
+  if (arm_failed) {
+    // Per-thread CPU timers unavailable after all: fall back to the
+    // portable sampler so the session still produces data.
+    for (auto& t : impl_->threads) disarm_timer(*t);
+    impl_->polling = true;
+  }
+  impl_->collector = std::thread([this] { impl_->collector_loop(); });
+  return true;
+}
+
+void Profiler::stop() {
+  std::thread collector;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!impl_->running) return;
+    impl_->running = false;
+    impl_->wake.notify_all();
+    collector = std::move(impl_->collector);
+  }
+  if (collector.joinable()) collector.join();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& t : impl_->threads) disarm_timer(*t);
+  impl_->drain_all();
+}
+
+bool Profiler::running() const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->running;
+}
+
+int Profiler::hz() const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->hz;
+}
+
+std::uint64_t Profiler::sample_count() const noexcept {
+  return impl_->samples_total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::drop_count() const noexcept {
+  return impl_->drops_total.load(std::memory_order_relaxed);
+}
+
+void* Profiler::attach_current_thread(std::string name) {
+  if (tls_thread != nullptr) return nullptr;  // nested guard: no-op
+  auto state = std::make_unique<ThreadState>();
+  state->name = std::move(name);
+  state->stack = &detail::tls_stack;
+  state->bytes.reset(new std::atomic<std::uint64_t>[kMaxScopes]());
+#if HV_PROF_HAVE_THREAD_TIMERS
+  state->tid = static_cast<pid_t>(::syscall(SYS_gettid));
+#endif
+  ThreadState* raw = state.get();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    raw->samples_metric = &impl_->samples_family->with({raw->name});
+    impl_->threads.push_back(std::move(state));
+    if (impl_->running) {
+      impl_->ensure_ring(*raw);
+      if (!impl_->polling) arm_timer(*raw, impl_->hz);
+    }
+  }
+  tls_thread = raw;
+  return raw;
+}
+
+void Profiler::detach_current_thread(void* state) {
+  if (state == nullptr) return;
+  ThreadState* t = static_cast<ThreadState*>(state);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  disarm_timer(*t);
+  tls_thread = nullptr;
+  t->alive.store(false, std::memory_order_relaxed);
+  // The polling sampler must never touch a detached thread's TLS (it may
+  // be destroyed once the thread exits); the ring itself outlives the
+  // thread so queued samples still drain.
+  t->stack = nullptr;
+  impl_->drain_thread(*t);
+}
+
+ProfileSnapshot Profiler::snapshot() {
+  ProfileSnapshot snap;
+  std::map<std::vector<ScopeId>, std::uint64_t> counts_copy;
+  std::vector<std::uint64_t> bytes_by_id(kMaxScopes, 0);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->drain_all();
+    snap.enabled = impl_->ever_started;
+    snap.hz = impl_->hz;
+    for (const auto& t : impl_->threads) {
+      if (t->bytes == nullptr) continue;
+      for (std::size_t i = 0; i < kMaxScopes; ++i) {
+        bytes_by_id[i] += t->bytes[i].load(std::memory_order_relaxed);
+      }
+    }
+    std::lock_guard<std::mutex> agg(impl_->agg_mutex);
+    counts_copy = impl_->counts;
+  }
+  snap.samples = sample_count();
+  snap.drops = drop_count();
+
+  // Fold exact-path counts into a tree: `self` is the count of samples
+  // whose deepest frame is this node, `total` sums the subtree.
+  struct Node {
+    std::uint64_t self = 0;
+    std::uint64_t total = 0;
+  };
+  std::map<std::vector<ScopeId>, Node> nodes;
+  for (const auto& [path, count] : counts_copy) {
+    nodes[path].self += count;
+    std::vector<ScopeId> prefix;
+    prefix.reserve(path.size());
+    for (const ScopeId id : path) {
+      prefix.push_back(id);
+      nodes[prefix].total += count;
+    }
+  }
+  snap.entries.reserve(nodes.size());
+  for (const auto& [path, node] : nodes) {
+    snap.entries.push_back(ProfileEntry{join_path(path), node.self,
+                                        node.total});
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.path < b.path;
+            });
+
+  for (std::size_t id = 0; id < kMaxScopes; ++id) {
+    if (bytes_by_id[id] == 0) continue;
+    snap.bytes.push_back(
+        ByteEntry{scope_name(static_cast<ScopeId>(id)), bytes_by_id[id]});
+  }
+  std::sort(snap.bytes.begin(), snap.bytes.end(),
+            [](const ByteEntry& a, const ByteEntry& b) {
+              return a.scope < b.scope;
+            });
+  return snap;
+}
+
+void Profiler::write_folded(std::ostream& out) {
+  const ProfileSnapshot snap = snapshot();
+  for (const ProfileEntry& entry : snap.entries) {
+    if (entry.self == 0) continue;
+    out << entry.path << ' ' << entry.self << '\n';
+  }
+}
+
+void Profiler::write_profile_json(std::ostream& out) {
+  const ProfileSnapshot snap = snapshot();
+  out << "{\"enabled\": " << (snap.enabled ? "true" : "false")
+      << ", \"hz\": " << snap.hz << ", \"samples\": " << snap.samples
+      << ", \"drops\": " << snap.drops << ", \"scopes\": [";
+  // Top scopes by self share; re-sorted by path so output is
+  // deterministic for a given sample set.
+  std::vector<const ProfileEntry*> top;
+  top.reserve(snap.entries.size());
+  for (const ProfileEntry& entry : snap.entries) top.push_back(&entry);
+  std::stable_sort(top.begin(), top.end(),
+                   [](const ProfileEntry* a, const ProfileEntry* b) {
+                     return a->self > b->self;
+                   });
+  constexpr std::size_t kTopScopes = 40;
+  if (top.size() > kTopScopes) top.resize(kTopScopes);
+  std::sort(top.begin(), top.end(),
+            [](const ProfileEntry* a, const ProfileEntry* b) {
+              return a->path < b->path;
+            });
+  const double denom =
+      snap.samples > 0 ? static_cast<double>(snap.samples) : 1.0;
+  bool first = true;
+  for (const ProfileEntry* entry : top) {
+    if (!first) out << ", ";
+    first = false;
+    char share[32];
+    std::snprintf(share, sizeof(share), "%.3f",
+                  100.0 * static_cast<double>(entry->self) / denom);
+    out << "{\"path\": \"" << entry->path << "\", \"self\": " << entry->self
+        << ", \"total\": " << entry->total << ", \"self_share\": " << share
+        << "}";
+  }
+  out << "], \"bytes_by_scope\": [";
+  first = true;
+  for (const ByteEntry& entry : snap.bytes) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"scope\": \"" << entry.scope
+        << "\", \"bytes\": " << entry.bytes << "}";
+  }
+  out << "]}";
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->running) return;
+  {
+    std::lock_guard<std::mutex> agg(impl_->agg_mutex);
+    impl_->counts.clear();
+  }
+  impl_->samples_total.store(0, std::memory_order_relaxed);
+  impl_->drops_total.store(0, std::memory_order_relaxed);
+  impl_->ever_started = false;
+  impl_->hz = 0;
+  auto& threads = impl_->threads;
+  threads.erase(std::remove_if(threads.begin(), threads.end(),
+                               [](const std::unique_ptr<ThreadState>& t) {
+                                 return !t->alive.load(
+                                     std::memory_order_relaxed);
+                               }),
+                threads.end());
+  for (auto& t : threads) {
+    t->write.store(0, std::memory_order_relaxed);
+    t->read.store(0, std::memory_order_relaxed);
+    t->drops.store(0, std::memory_order_relaxed);
+    t->drops_drained = 0;
+    if (t->bytes != nullptr) {
+      for (std::size_t i = 0; i < kMaxScopes; ++i) {
+        t->bytes[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void Profiler::record_synthetic_sample(const std::vector<std::string>& path,
+                                       std::uint64_t weight) {
+  std::vector<ScopeId> ids;
+  ids.reserve(path.size());
+  for (const std::string& name : path) ids.push_back(intern_scope(name));
+  if (ids.empty()) ids.push_back(kNoScope);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->ever_started = true;
+  {
+    std::lock_guard<std::mutex> agg(impl_->agg_mutex);
+    impl_->counts[ids] += weight;
+  }
+  impl_->samples_total.fetch_add(weight, std::memory_order_relaxed);
+}
+
+bool Profiler::sample_current_thread_for_test() {
+  ThreadState* t = tls_thread;
+  if (t == nullptr || !t->ring_ready.load(std::memory_order_acquire)) {
+    return false;
+  }
+  record_sample(*t, detail::tls_stack);
+  return true;
+}
+
+// --- ThreadGuard ------------------------------------------------------------
+
+ThreadGuard::ThreadGuard(std::string name)
+    : state_(profiler().attach_current_thread(std::move(name))) {}
+
+ThreadGuard::~ThreadGuard() { profiler().detach_current_thread(state_); }
+
+#else  // HV_OBS_DISABLED -----------------------------------------------------
+
+ScopeId intern_scope(std::string_view) { return kNoScope; }
+std::string scope_name(ScopeId id) {
+  return id == kNoScope ? std::string("(unattributed)") : std::string();
+}
+void charge_bytes(std::size_t) noexcept {}
+std::uint64_t thread_cursor() noexcept { return 0; }
+std::string hottest_path_since(std::uint64_t) { return std::string(); }
+
+struct Profiler::Impl {};
+Profiler::Profiler() = default;
+Profiler::~Profiler() = default;
+bool Profiler::start(const ProfileOptions&) { return false; }
+void Profiler::stop() {}
+bool Profiler::running() const noexcept { return false; }
+int Profiler::hz() const noexcept { return 0; }
+std::uint64_t Profiler::sample_count() const noexcept { return 0; }
+std::uint64_t Profiler::drop_count() const noexcept { return 0; }
+ProfileSnapshot Profiler::snapshot() { return ProfileSnapshot{}; }
+void Profiler::write_folded(std::ostream&) {}
+void Profiler::write_profile_json(std::ostream& out) {
+  out << "{\"enabled\": false}";
+}
+void Profiler::reset() {}
+void Profiler::record_synthetic_sample(const std::vector<std::string>&,
+                                       std::uint64_t) {}
+bool Profiler::sample_current_thread_for_test() { return false; }
+void* Profiler::attach_current_thread(std::string) { return nullptr; }
+void Profiler::detach_current_thread(void*) {}
+
+ThreadGuard::ThreadGuard(std::string) {}
+ThreadGuard::~ThreadGuard() = default;
+
+#endif  // HV_OBS_DISABLED
+
+Profiler& profiler() {
+  static Profiler instance;
+  return instance;
+}
+
+}  // namespace hv::obs::prof

@@ -1,0 +1,299 @@
+// hv::obs::prof — a low-overhead in-process sampling profiler.
+//
+// The observatory (health.h) says *that* a run is slow; this layer says
+// *why*.  A per-thread POSIX interval timer (`timer_create` on the
+// thread CPU clock delivering SIGPROF via SIGEV_THREAD_ID) samples each
+// registered thread at `hz`; on platforms without per-thread timers a
+// sampler thread polls the same scope state at the same rate.  Either
+// way a sample is just a copy of the thread's *attribution-scope stack*
+// — a thread-local array of interned scope ids maintained by
+// HV_PROF_SCOPE RAII tags — into a signal-safe single-producer ring.
+// There is no libunwind, no symbolization, no allocation and no lock
+// anywhere near the signal handler: scope names live in a static
+// interned table and the handler only reads relaxed atomics and bumps a
+// ring cursor (dropping, and counting the drop, when the ring is full).
+//
+// Attribution has two levels:
+//   * stack frames — coarse pipeline structure (`crawl`, `warc_read`,
+//     `check`, `parse`, `rules`, `store`), pushed/popped by
+//     HV_PROF_SCOPE at scope granularity;
+//   * the leaf slot — a single thread-local scope id for fine-grained
+//     state that changes far too often to push/pop (tokenizer state
+//     groups, tree-builder insertion modes, checker rules).  Samples
+//     append the leaf as the deepest frame.  set_leaf is one relaxed
+//     TLS store; LeafScope save/restores it across nested phases.
+//
+// Exports: flamegraph.pl-compatible collapsed stacks (write_folded), a
+// `profile` object for run_report.json (write_profile_json), and
+// tail-latency exemplars — thread_cursor()/hottest_path_since() let the
+// pipeline attach "the hottest scope while this page was checked" to
+// SlowPageTracker records.  charge_bytes() adds arena/interner
+// allocation pressure to the same scope tree.
+//
+// Under HV_OBS_DISABLED every probe, the rings and the timer setup
+// compile to no-ops; Profiler::start reports the profiler unavailable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::obs::prof {
+
+/// Interned scope identifier.  Id 0 is reserved for "(unattributed)" —
+/// a sample taken outside any scope.
+using ScopeId = std::uint16_t;
+inline constexpr ScopeId kNoScope = 0;
+
+/// Depth limits.  kMaxDepth stack frames plus the leaf slot fit in one
+/// ring slot; deeper nesting is truncated (and never happens with the
+/// scopes this codebase registers — the deepest real path is 5).
+inline constexpr std::size_t kMaxDepth = 12;
+inline constexpr std::size_t kSlotFrames = kMaxDepth + 1;
+
+/// Ring capacity per thread (samples).  At the default 99 Hz this is
+/// ~80 s of backlog; the collector drains every ~250 ms.
+inline constexpr std::size_t kRingCapacity = 8192;
+
+/// Byte-attribution table width; ids beyond it charge to kNoScope.
+inline constexpr std::size_t kMaxScopes = 512;
+
+/// Interns `name`, returning its stable id.  Thread-safe; repeated
+/// calls with the same name return the same id.  Call sites cache the
+/// result in a function-local static (see HV_PROF_SCOPE).
+ScopeId intern_scope(std::string_view name);
+
+/// Name for an id ("(unattributed)" for kNoScope, "" for unknown ids).
+std::string scope_name(ScopeId id);
+
+/// True when the profiler is compiled in (i.e. not HV_OBS_DISABLED).
+constexpr bool available() noexcept {
+#ifdef HV_OBS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+namespace detail {
+
+/// The per-thread scope state the signal handler reads.  All fields are
+/// relaxed atomics: the same-thread handler is ordered by
+/// atomic_signal_fence; the cross-thread polling sampler tolerates a
+/// torn-in-time (but never torn-in-value) stack — a sample is at worst
+/// attributed to the adjacent scope.
+struct ScopeStack {
+  std::atomic<ScopeId> frames[kMaxDepth];
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<ScopeId> leaf{kNoScope};
+};
+
+#ifndef HV_OBS_DISABLED
+inline thread_local ScopeStack tls_stack;
+#endif
+
+}  // namespace detail
+
+/// Pushes `id` for the current lexical scope.  Prefer HV_PROF_SCOPE.
+class Scope {
+ public:
+  explicit Scope(ScopeId id) noexcept {
+#ifndef HV_OBS_DISABLED
+    detail::ScopeStack& s = detail::tls_stack;
+    const std::uint32_t d = s.depth.load(std::memory_order_relaxed);
+    if (d < kMaxDepth) s.frames[d].store(id, std::memory_order_relaxed);
+    // Frame must be visible to a same-thread signal before depth grows.
+    std::atomic_signal_fence(std::memory_order_release);
+    s.depth.store(d + 1, std::memory_order_relaxed);
+#else
+    (void)id;
+#endif
+  }
+  ~Scope() {
+#ifndef HV_OBS_DISABLED
+    detail::ScopeStack& s = detail::tls_stack;
+    const std::uint32_t d = s.depth.load(std::memory_order_relaxed);
+    if (d > 0) s.depth.store(d - 1, std::memory_order_relaxed);
+#endif
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+/// Sets the fine-grained attribution leaf (one relaxed TLS store).
+inline void set_leaf(ScopeId id) noexcept {
+#ifndef HV_OBS_DISABLED
+  detail::tls_stack.leaf.store(id, std::memory_order_relaxed);
+#else
+  (void)id;
+#endif
+}
+
+inline ScopeId current_leaf() noexcept {
+#ifndef HV_OBS_DISABLED
+  return detail::tls_stack.leaf.load(std::memory_order_relaxed);
+#else
+  return kNoScope;
+#endif
+}
+
+/// Save/restore wrapper around set_leaf for nested fine-grained phases
+/// (the tree builder runs inside the tokenizer's leaf, checker rules
+/// inside the rule loop's).
+class LeafScope {
+ public:
+  explicit LeafScope(ScopeId id) noexcept : saved_(current_leaf()) {
+    set_leaf(id);
+  }
+  ~LeafScope() { set_leaf(saved_); }
+  LeafScope(const LeafScope&) = delete;
+  LeafScope& operator=(const LeafScope&) = delete;
+
+ private:
+  ScopeId saved_;
+};
+
+/// RAII stack frame: `HV_PROF_SCOPE("crawl");` — interns once
+/// (function-local static), then one relaxed store + fence per entry.
+#ifndef HV_OBS_DISABLED
+#define HV_PROF_SCOPE_CAT2(a, b) a##b
+#define HV_PROF_SCOPE_CAT(a, b) HV_PROF_SCOPE_CAT2(a, b)
+#define HV_PROF_SCOPE(name)                                               \
+  static const ::hv::obs::prof::ScopeId HV_PROF_SCOPE_CAT(                \
+      hv_prof_scope_id_, __LINE__) = ::hv::obs::prof::intern_scope(name); \
+  const ::hv::obs::prof::Scope HV_PROF_SCOPE_CAT(hv_prof_scope_,          \
+                                                 __LINE__)(               \
+      HV_PROF_SCOPE_CAT(hv_prof_scope_id_, __LINE__))
+#else
+#define HV_PROF_SCOPE(name) ((void)0)
+#endif
+
+// --- thread registration ----------------------------------------------------
+
+/// Registers the current thread with the profiler for its lifetime
+/// (pipeline workers, the CLI main thread, benches).  Arms the
+/// per-thread CPU timer when a profiling session is active; rings are
+/// allocated lazily so idle (unprofiled) runs pay one small registry
+/// entry and nothing else.  Nested guards on the same thread are no-ops.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::string name);
+  ~ThreadGuard();
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+ private:
+  void* state_ = nullptr;
+};
+
+/// Charges `bytes` of allocation pressure to the current thread's
+/// attribution scope (the leaf when set, else the top stack frame).
+/// No-op on unregistered threads.
+void charge_bytes(std::size_t bytes) noexcept;
+
+// --- exemplars --------------------------------------------------------------
+
+/// Current thread's ring write cursor (0 when unregistered/idle).  Take
+/// it before a unit of work; hottest_path_since() then names the scope
+/// path with the most samples in [cursor, now) — the exemplar attached
+/// to slow-page records.  Empty string when no samples landed.
+std::uint64_t thread_cursor() noexcept;
+std::string hottest_path_since(std::uint64_t cursor);
+
+// --- the profiler -----------------------------------------------------------
+
+struct ProfileOptions {
+  int hz = 99;  ///< sampling rate, clamped to [1, 10000]
+  /// Test/portability hook: use the polling sampler thread even where
+  /// per-thread CPU timers exist.
+  bool force_polling = false;
+  double drain_period_s = 0.25;  ///< collector cadence
+};
+
+struct ProfileEntry {
+  std::string path;  ///< ';'-joined scope names, root first
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+struct ByteEntry {
+  std::string scope;
+  std::uint64_t bytes = 0;
+};
+
+struct ProfileSnapshot {
+  bool enabled = false;  ///< a profiling session ran (or is running)
+  int hz = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t drops = 0;
+  std::vector<ProfileEntry> entries;  ///< every tree node, sorted by path
+  std::vector<ByteEntry> bytes;       ///< per-scope bytes, sorted by name
+};
+
+/// One profiling session at a time; samples merge across threads at
+/// drain time.  All methods are thread-safe.  Under HV_OBS_DISABLED
+/// start() returns false and everything else is inert.
+class Profiler {
+ public:
+  Profiler();
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Arms timers (or starts the polling sampler) for every registered
+  /// thread and starts the collector.  False when already running or
+  /// when the build has the profiler compiled out.
+  bool start(const ProfileOptions& options = {});
+  /// Disarms, joins the collector, drains every ring.  Aggregates are
+  /// kept for snapshot()/write_* until reset().
+  void stop();
+  bool running() const noexcept;
+  int hz() const noexcept;
+
+  /// Samples drained so far (cheap; the collector keeps it fresh).
+  std::uint64_t sample_count() const noexcept;
+  std::uint64_t drop_count() const noexcept;
+
+  /// Drains all rings, then returns the merged view.
+  ProfileSnapshot snapshot();
+
+  /// flamegraph.pl-compatible collapsed stacks: `a;b;c <count>` lines,
+  /// sorted by path for determinism.
+  void write_folded(std::ostream& out);
+
+  /// The `profile` object embedded in run_report.json: enabled/hz/
+  /// samples/drops, top scopes by self share, bytes by scope.
+  void write_profile_json(std::ostream& out);
+
+  /// Clears aggregates, per-thread rings/bytes and session state;
+  /// registered threads stay registered.  Not callable mid-session.
+  void reset();
+
+  /// Test hook: folds a pre-resolved path directly into the aggregate
+  /// (marks the profiler enabled), bypassing rings and timers.
+  void record_synthetic_sample(const std::vector<std::string>& path,
+                               std::uint64_t weight = 1);
+
+  /// Test hook: takes one sample of the current thread exactly as the
+  /// signal handler would (ring append or drop).  False when the thread
+  /// is unregistered or rings are unallocated (no session ever started).
+  bool sample_current_thread_for_test();
+
+ private:
+  friend class ThreadGuard;
+  void* attach_current_thread(std::string name);
+  void detach_current_thread(void* state);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide instance all built-in instrumentation uses.
+Profiler& profiler();
+
+}  // namespace hv::obs::prof

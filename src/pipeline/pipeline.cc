@@ -100,6 +100,7 @@ struct HtmlMemoryMetrics {
 };
 
 std::vector<std::string> study_domains(const corpus::CorpusConfig& config) {
+  HV_PROF_SCOPE("corpus_rank");
   // Paper section 3.3: intersect the top cutoff of many Tranco lists,
   // order by average rank, take the study population.
   // The intersection drops a large share of the cutoff (the paper keeps
@@ -142,6 +143,7 @@ std::string warc_date_for_year(int year) {
 bool analyze_capture(const core::Checker& checker, std::string_view domain,
                      int year_index, std::string_view http_message,
                      PageOutcome* outcome, PipelineCounters* counters) {
+  HV_PROF_SCOPE("check");
   outcome->domain.assign(domain);
   outcome->year_index = year_index;
   outcome->analyzable = false;
@@ -169,14 +171,17 @@ bool analyze_capture(const core::Checker& checker, std::string_view domain,
   outcome->analyzable = true;
   outcome->violations = checked.present;
 
-  const mitigation::UrlNewlineScan url_scan =
-      mitigation::scan_url_newlines(*parsed.document);
-  outcome->url_newline = url_scan.any_newline();
-  outcome->url_newline_lt = url_scan.any_blocked();
-  const mitigation::ScriptInAttributeScan script_scan =
-      mitigation::scan_script_in_attributes(*parsed.document);
-  outcome->script_in_attribute = script_scan.any();
-  outcome->script_in_attr_affected = script_scan.any_affected();
+  {
+    HV_PROF_SCOPE("mitigations");
+    const mitigation::UrlNewlineScan url_scan =
+        mitigation::scan_url_newlines(*parsed.document);
+    outcome->url_newline = url_scan.any_newline();
+    outcome->url_newline_lt = url_scan.any_blocked();
+    const mitigation::ScriptInAttributeScan script_scan =
+        mitigation::scan_script_in_attributes(*parsed.document);
+    outcome->script_in_attribute = script_scan.any();
+    outcome->script_in_attr_affected = script_scan.any_affected();
+  }
   // Foreign-content usage was observed at parse time by the Document
   // factory; no full-tree traversal needed.
   outcome->uses_math = parsed.document->uses_math();
@@ -237,6 +242,7 @@ StudyPipeline::StudyPipeline(PipelineConfig config)
 
 void StudyPipeline::build_archives() {
   obs::Span build_span(obs::default_tracer(), "build_archives");
+  HV_PROF_SCOPE("build_archives");
   for (int y = 0; y < kYearCount; ++y) {
     const std::string_view label =
         report::kSnapshotLabels[static_cast<std::size_t>(y)];
@@ -292,6 +298,10 @@ void StudyPipeline::build_archives() {
 void StudyPipeline::run_snapshot(int year_index) {
   const std::string_view label =
       report::kSnapshotLabels[static_cast<std::size_t>(year_index)];
+  // Register the driving thread with the profiler: a no-op when the CLI
+  // already attached it; with overlap_snapshots the companion thread gets
+  // its metadata/store samples attributed here.
+  obs::prof::ThreadGuard prof_guard("snap");
   PipelineMetrics& metrics = PipelineMetrics::get();
   obs::Tracer& tracer = obs::default_tracer();
   obs::Span snapshot_span(tracer, "snapshot:" + std::string(label));
@@ -308,6 +318,7 @@ void StudyPipeline::run_snapshot(int year_index) {
   std::size_t total_captures = 0;
   {
     obs::Span span(tracer, "metadata");
+    HV_PROF_SCOPE("metadata");
     const obs::ScopedTimer stage_timer(
         metrics.stage_seconds.with({"metadata", label}));
     const std::size_t stage =
@@ -352,6 +363,10 @@ void StudyPipeline::run_snapshot(int year_index) {
   const auto worker = [&, crawl_stage](int worker_index) {
     obs::Span worker_span(tracer, "worker:" + std::to_string(worker_index),
                           "pool");
+    // Profiler registration + the root attribution frame: every sample
+    // taken on this thread resolves under `crawl/...`.
+    obs::prof::ThreadGuard prof_guard("w" + std::to_string(worker_index));
+    HV_PROF_SCOPE("crawl");
 #ifndef HV_OBS_DISABLED
     const auto worker_start = std::chrono::steady_clock::now();
 #endif
@@ -422,6 +437,9 @@ void StudyPipeline::run_snapshot(int year_index) {
         PageOutcome outcome;
 #ifndef HV_OBS_DISABLED
         const auto check_start = std::chrono::steady_clock::now();
+        // Ring cursor before the check: if this page turns out slow, the
+        // hottest sampled path in [cursor, now) becomes its exemplar.
+        const std::uint64_t prof_cursor = obs::prof::thread_cursor();
 #endif
         analyze_capture(checker_, capture->domain, year_index,
                         record->payload, &outcome, &local);
@@ -433,8 +451,16 @@ void StudyPipeline::run_snapshot(int year_index) {
                                           check_start)
                 .count();
         metrics.check_seconds.observe(check_elapsed);
+        // The tally over the sample window is only worth computing when
+        // the page would clear the tracker's admission bar (racy
+        // pre-check; record() re-checks under its lock).
+        std::string hottest;
+        if (health_.slow_pages().would_admit(check_elapsed)) {
+          hottest = obs::prof::hottest_path_since(prof_cursor);
+        }
         health_.slow_pages().record(capture->domain, label, capture->offset,
-                                    check_elapsed, record->payload.size());
+                                    check_elapsed, record->payload.size(),
+                                    hottest);
 #endif
         if (outcome.analyzable) {
           sink_.add(outcome);

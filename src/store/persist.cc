@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/prof.h"
+
 namespace hv::store {
 namespace {
 
@@ -117,6 +119,7 @@ std::optional<StudyView> fail(std::string* error, std::string why) {
 }  // namespace
 
 bool save_results(const StudyView& view, std::ostream& out) {
+  HV_PROF_SCOPE("store");
   const std::string payload = build_payload(view);
   std::string header;
   header.reserve(32);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace hv::store {
 namespace {
@@ -88,6 +89,7 @@ std::unique_lock<std::mutex> ShardedResultSink::lock_shard(Shard& shard) {
 }
 
 void ShardedResultSink::add(const PageOutcome& outcome) {
+  HV_PROF_SCOPE("store");
   check_writable("add");
   StoreMetrics& metrics = StoreMetrics::get();
   metrics.adds.inc();
@@ -147,6 +149,7 @@ void ShardedResultSink::register_rank(std::string_view domain,
 }
 
 StudyView ShardedResultSink::seal() {
+  HV_PROF_SCOPE("store");
   bool expected = false;
   if (!sealed_.compare_exchange_strong(expected, true,
                                        std::memory_order_acq_rel)) {

@@ -45,5 +45,17 @@ grep -q '"obs_disabled": true' "$work_dir/run/run_report.json" || {
   echo "check_noop_build: FAIL (stats --compare on disabled reports)"
   exit 1
 }
+# The sampling profiler is compiled out too: `hv profile` must explain
+# itself and exit cleanly instead of arming a timer, and the drift gate
+# must skip (not trip) when neither report has a profile section.
+"$hv_bin" profile | grep -q "profiler disabled in this build" || {
+  echo "check_noop_build: FAIL (hv profile did not explain disabled build)"
+  exit 1
+}
+"$hv_bin" stats --compare "$work_dir/run/run_report.json" \
+  "$work_dir/run/run_report.json" --max-cpu-share-drift 1 >/dev/null || {
+  echo "check_noop_build: FAIL (drift gate tripped on disabled reports)"
+  exit 1
+}
 
 echo "check_noop_build: OK (HV_OBS_DISABLED build passes the test suite)"

@@ -1,0 +1,150 @@
+#!/usr/bin/env sh
+# Sampling-profiler gate, next to check_noop_build.sh in the CI script
+# set.  Proves the hv::obs::prof pipeline end to end on a stock
+# synthetic study:
+#
+#   1. `hv profile` completes a study with the profiler armed, takes a
+#      nonzero number of samples, and writes parseable flamegraph.pl
+#      collapsed stacks (every line is "path count").
+#   2. Attribution is real, not "(unattributed)": the folded output
+#      covers tokenizer state groups (tok:*), tree-builder insertion
+#      modes (mode:*), checker rules (rule:*), the store sink and the
+#      WARC read path, and the top *steady-state* scope is under crawl/.
+#      (One-time setup — corpus_calibrate, corpus_rank, build_archives —
+#      is excluded from that ranking: calibration legitimately dominates
+#      any single small run, which is exactly what the profiler is for.)
+#   3. run_report.json carries the profile section and at least one
+#      slow-page exemplar record with a hottest_scope field.
+#   4. Overhead is bounded: the profiled run's wall time stays within
+#      1.30x of an identical unprofiled run on the same prebuilt
+#      archives.
+#   5. The CPU-share drift gate accepts a report against itself.
+#
+# Sampling is probabilistic, so the coverage check (2) gets up to three
+# profiled runs before the gate fails; checks 1/3/4/5 must hold on every
+# attempt.
+#
+# Usage: tools/check_profile.sh [build-dir]   (default: build)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+work_dir="$(mktemp -d)"
+trap 'rm -rf "$work_dir"' EXIT
+
+echo "== building hv =="
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target hv >/dev/null
+hv_bin="$build_dir/tools/hv"
+[ -x "$hv_bin" ] || hv_bin="$build_dir/hv"
+
+study_args="--domains 200 --pages 4 --seed 9"
+
+echo "== baseline run (unprofiled, builds the archives) =="
+t0="$(date +%s%N 2>/dev/null || date +%s)"
+$hv_bin run $study_args --workdir "$work_dir/study" >/dev/null
+t1="$(date +%s%N 2>/dev/null || date +%s)"
+report="$work_dir/study/run_report.json"
+
+attempt=1
+max_attempts=3
+while :; do
+  echo "== profiled run on the same archives (attempt $attempt) =="
+  t2="$(date +%s%N 2>/dev/null || date +%s)"
+  $hv_bin profile $study_args --workdir "$work_dir/study" \
+    --profile-out "$work_dir/prof.folded" >"$work_dir/profile.out"
+  t3="$(date +%s%N 2>/dev/null || date +%s)"
+
+  [ -f "$report" ] || {
+    echo "check_profile: FAIL (no run_report.json)"
+    exit 1
+  }
+  [ -s "$work_dir/prof.folded" ] || {
+    echo "check_profile: FAIL (empty collapsed-stack output)"
+    exit 1
+  }
+
+  status=0
+  python3 - "$work_dir/prof.folded" "$report" \
+    "$t0" "$t1" "$t2" "$t3" <<'EOF' || status=$?
+import json, sys, pathlib
+
+folded_path, report_path, t0, t1, t2, t3 = sys.argv[1:7]
+hard = []   # structural problems: retrying cannot help
+soft = []   # sampling luck: a retry may fix these
+
+# 1. Every folded line is "scope;path count" with a positive count.
+lines = pathlib.Path(folded_path).read_text().splitlines()
+stacks = {}
+for line in lines:
+    path, _, count = line.rpartition(" ")
+    if not path or not count.isdigit() or int(count) <= 0:
+        hard.append(f"malformed folded line: {line!r}")
+        continue
+    stacks[path] = stacks.get(path, 0) + int(count)
+if not stacks:
+    hard.append("no collapsed stacks")
+
+# 2. Coverage: the scopes ISSUE 6 wires up all appear, and the top
+#    steady-state scope (setup excluded) sits under crawl/.
+text = "\n".join(stacks)
+for needle in ("tok:", "mode:", "rule:", "store", "warc_read", "crawl"):
+    if needle not in text:
+        soft.append(f"folded output never mentions {needle!r}")
+setup = ("corpus_calibrate", "corpus_rank", "build_archives")
+steady = {p: c for p, c in stacks.items()
+          if not any(p.startswith(s) for s in setup)}
+if steady:
+    top = max(steady, key=steady.get)
+    if not top.startswith("crawl"):
+        soft.append(f"top steady-state scope {top!r} is not under crawl/")
+else:
+    soft.append("no steady-state samples at all")
+
+# 3. Report: profile section enabled with samples, and at least one
+#    slow-page record carrying the hottest_scope field.
+report = json.loads(pathlib.Path(report_path).read_text())
+profile = report.get("profile") or {}
+if not profile.get("enabled"):
+    hard.append("run_report.json profile section missing or disabled")
+if not profile.get("samples"):
+    hard.append("run_report.json profile section has zero samples")
+slow = report.get("slow_pages") or []
+if not slow:
+    hard.append("no slow-page records in run_report.json")
+elif any("hottest_scope" not in page for page in slow):
+    hard.append("slow-page record without a hottest_scope field")
+
+# 4. Overhead bound.  Coarse (second-granularity date gets one tick of
+#    slack), but catches pathological regressions.
+base, prof = int(t1) - int(t0), int(t3) - int(t2)
+if base > 0 and prof > 1.30 * base + (1 if base < 1000 else 1e9):
+    hard.append(f"profiled run took {prof} vs baseline {base} (>1.30x)")
+
+for f in hard:
+    print(f"check_profile: FAIL ({f})")
+for f in soft:
+    print(f"check_profile: coverage miss ({f})")
+print(f"check_profile: {len(stacks)} stacks, "
+      f"{profile.get('samples', 0)} samples, "
+      f"{len(slow)} slow pages, overhead {prof}/{base}")
+sys.exit(1 if hard else (2 if soft else 0))
+EOF
+
+  [ "$status" -eq 0 ] && break
+  [ "$status" -eq 2 ] && [ "$attempt" -lt "$max_attempts" ] || {
+    echo "check_profile: FAIL (attempt $attempt, status $status)"
+    exit 1
+  }
+  attempt=$((attempt + 1))
+done
+
+echo "== CPU-share drift gate (self-compare) =="
+$hv_bin stats --compare "$report" "$report" \
+  --max-cpu-share-drift 5 >/dev/null || {
+  echo "check_profile: FAIL (drift gate tripped on identical reports)"
+  exit 1
+}
+
+echo "check_profile: OK"
