@@ -53,6 +53,7 @@ struct BenchRecord {
   double last_ns_per_op = 0.0;  ///< direct value (works when obs is no-op)
   std::uint64_t iters = 0;
   double pages_per_sec = 0.0;
+  double bytes_per_sec = 0.0;  ///< 0 when the bench doesn't size its input
 };
 
 /// Forwards everything to a ConsoleReporter while collecting per-run
@@ -78,6 +79,16 @@ class CollectingReporter : public benchmark::BenchmarkReporter {
       const auto items = run.counters.find("items_per_second");
       if (items != run.counters.end()) {
         record.pages_per_sec = items->second;
+      } else if (run.real_accumulated_time > 0.0) {
+        // Sized benches (BM_ParseBySize/N) report SetBytesProcessed only;
+        // one iteration parses one page, so ops/sec IS pages/sec — the
+        // field used to stay 0 for them.
+        record.pages_per_sec =
+            static_cast<double>(run.iterations) / run.real_accumulated_time;
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        record.bytes_per_sec = bytes->second;
       }
     }
     console_.ReportRuns(runs);
@@ -97,7 +108,8 @@ class CollectingReporter : public benchmark::BenchmarkReporter {
                             : record.last_ns_per_op;
       out << "\n  {\"name\": \"" << name << "\", \"iters\": " << record.iters
           << ", \"ns_per_op\": " << ns
-          << ", \"pages_per_sec\": " << record.pages_per_sec << "}";
+          << ", \"pages_per_sec\": " << record.pages_per_sec
+          << ", \"bytes_per_sec\": " << record.bytes_per_sec << "}";
     }
     out << "\n]\n";
   }
@@ -154,6 +166,22 @@ inline int micro_main(int argc, char** argv) {
     std::cerr << "profiler: " << obs::prof::profiler().sample_count()
               << " sample(s) at " << profile_hz << " Hz, "
               << obs::prof::profiler().drop_count() << " dropped\n";
+    obs::prof::ProfileSnapshot snapshot = obs::prof::profiler().snapshot();
+    std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+              [](const obs::prof::ProfileEntry& a,
+                 const obs::prof::ProfileEntry& b) {
+                return a.self > b.self;
+              });
+    const double scale =
+        snapshot.samples > 0 ? 100.0 / static_cast<double>(snapshot.samples)
+                             : 0.0;
+    std::size_t shown = 0;
+    for (const obs::prof::ProfileEntry& entry : snapshot.entries) {
+      if (entry.self == 0 || shown >= 15) break;
+      std::cerr << "  " << static_cast<double>(entry.self) * scale << "% "
+                << entry.path << "\n";
+      ++shown;
+    }
   }
   benchmark::Shutdown();
 

@@ -18,6 +18,7 @@
 #include "fix/autofix.h"
 #include "net/http.h"
 #include "html/input_stream.h"
+#include "html/simd.h"
 #include "html/parser.h"
 #include "html/token.h"
 #include "html/tokenizer.h"
@@ -35,6 +36,10 @@ namespace {
 constexpr int kOk = 0;
 constexpr int kFindings = 1;
 constexpr int kUsage = 2;
+
+// Bumped per release; `hv version` also reports which hot-path backend
+// this build selected so perf numbers are attributable (DESIGN.md §14).
+constexpr std::string_view kHvVersion = "0.7.0";
 
 std::optional<std::string> read_input(const std::string& path,
                                       std::istream& in, std::ostream& err) {
@@ -143,6 +148,9 @@ void print_usage(std::ostream& out) {
          "[--truncate-tail]\n"
          "                             corrupt records for fault-injection "
          "testing\n"
+         "  version                    print the hv version and the "
+         "selected SIMD\n"
+         "                             backend (sse2|neon|scalar)\n"
          "--log-level <debug|info|warn|error|off> mirrors structured logs "
          "to stderr\n"
          "files named '-' read standard input\n";
@@ -577,7 +585,7 @@ namespace {
 void print_profile_table(std::ostream& out) {
   obs::prof::ProfileSnapshot snapshot = obs::prof::profiler().snapshot();
   out << "\nprofile: " << snapshot.samples << " sample(s) @ " << snapshot.hz
-      << " Hz";
+      << " Hz [simd: " << html::simd::active_backend_name() << "]";
   if (snapshot.drops > 0) out << ", " << snapshot.drops << " dropped";
   out << "\n";
   if (snapshot.samples == 0) return;
@@ -1473,6 +1481,11 @@ int run(const std::vector<std::string>& args, std::istream& in,
   }
   const std::string& command = filtered[0];
   const std::vector<std::string> rest(filtered.begin() + 1, filtered.end());
+  if (command == "version" || command == "--version") {
+    out << "hv " << kHvVersion << " (simd: " << html::simd::active_backend_name()
+        << ", compiled: " << html::simd::compiled_backend_name() << ")\n";
+    return kOk;
+  }
   if (command == "check") return cmd_check(rest, in, out, err);
   if (command == "fix") return cmd_fix(rest, in, out, err);
   if (command == "sanitize") return cmd_sanitize(rest, in, out, err);

@@ -28,6 +28,17 @@ struct NamedEntity {
 const NamedEntity* match_named_entity(std::string_view text,
                                       std::size_t* matched_length) noexcept;
 
+/// The two implementations behind match_named_entity, exposed so the
+/// entity-audit test can pin them against each other for every name and
+/// probe: the reference does up to 32 binary searches (longest first); the
+/// trie walks the generated entities_trie.inc table in one forward pass.
+/// match_named_entity dispatches on the active SIMD backend (the scalar
+/// backend is the all-reference configuration).
+const NamedEntity* match_named_entity_reference(
+    std::string_view text, std::size_t* matched_length) noexcept;
+const NamedEntity* match_named_entity_trie(
+    std::string_view text, std::size_t* matched_length) noexcept;
+
 /// Exact lookup (name must match a table entry completely).
 const NamedEntity* find_named_entity(std::string_view name) noexcept;
 

@@ -1,10 +1,26 @@
 #include "html/input_stream.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstring>
+#include <utility>
 
 #include "html/encoding.h"
+#include "html/simd.h"
+#include "html/utf8_dfa.h"
+
+#if !defined(HV_FORCE_SCALAR) && \
+    (defined(__SSE2__) || defined(_M_X64) || \
+     (defined(_M_IX86_FP) && _M_IX86_FP >= 2))
+#define HV_HAVE_SSE2 1
+#include <emmintrin.h>
+#endif
+#if !defined(HV_FORCE_SCALAR) && \
+    (defined(__ARM_NEON) || defined(__ARM_NEON__) || defined(__aarch64__))
+#define HV_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
 
 namespace hv::html {
 namespace {
@@ -22,45 +38,69 @@ constexpr ByteTable make_attention_table() {
 }
 constexpr ByteTable kNeedsAttention = make_attention_table();
 
-/// Stop bytes per text-run state.  NUL and CR always stop (NUL tokens and
-/// newline normalization take the slow path); '<' stops everywhere a tag
-/// can open; '&' stops where character references live; '-' stays on the
-/// slow path in script data for escape handling.  When the document is not
-/// well-formed UTF-8, every non-ASCII byte stops too, so runs only ever
-/// cover bytes whose decode/re-encode round trip is the identity.
-constexpr ByteTable make_stop_table(std::initializer_list<unsigned char> stops,
-                                    bool stop_non_ascii,
-                                    bool stop_upper = false) {
+/// One stop-set description per TextRunKind — the single source of truth
+/// both the scalar byte tables and the SIMD comparison chains are derived
+/// from, so the two classifiers cannot drift apart.
+///
+/// NUL and CR always stop (NUL tokens and newline normalization take the
+/// slow path); '<' stops everywhere a tag can open; '&' stops where
+/// character references live; '-' stays on the slow path in script data
+/// for escape handling; name states stop at uppercase ASCII so the
+/// tokenizer's lowercasing stays on the slow path.  When the document is
+/// not well-formed UTF-8, every non-ASCII byte stops too, so runs only
+/// ever cover bytes whose decode/re-encode round trip is the identity.
+struct StopSpec {
+  std::array<unsigned char, 12> stops{};
+  unsigned count = 0;
+  bool stop_upper = false;
+
+  constexpr StopSpec(std::initializer_list<unsigned char> extra,
+                     bool upper = false)
+      : stop_upper(upper) {
+    stops[count++] = 0x00;
+    stops[count++] = static_cast<unsigned char>('\r');
+    for (const unsigned char b : extra) stops[count++] = b;
+  }
+};
+
+// Indexed by TextRunKind.
+constexpr std::array<StopSpec, 9> kStopSpecs = {{
+    StopSpec{{'<', '&'}},                                          // data
+    StopSpec{{'<', '&'}},                                          // RCDATA
+    StopSpec{{'<'}},                                               // RAWTEXT
+    StopSpec{{'<', '-'}},                                          // script
+    StopSpec{{}},                                                  // plaintext
+    StopSpec{{'"', '&'}},                                          // attr "
+    StopSpec{{'\'', '&'}},                                         // attr '
+    StopSpec{{'\t', '\n', '\f', ' ', '/', '>'}, true},             // tag name
+    StopSpec{{'\t', '\n', '\f', ' ', '/', '=', '>', '"', '\'', '<'},
+             true},                                                // attr name
+}};
+
+constexpr ByteTable make_stop_table(const StopSpec& spec,
+                                    bool stop_non_ascii) {
   ByteTable table{};
-  table[0x00] = true;
-  table[static_cast<unsigned char>('\r')] = true;
-  for (const unsigned char b : stops) table[b] = true;
+  for (unsigned i = 0; i < spec.count; ++i) table[spec.stops[i]] = true;
   if (stop_non_ascii) {
     for (unsigned i = 0x80; i < 256; ++i) table[i] = true;
   }
-  if (stop_upper) {
+  if (spec.stop_upper) {
     for (unsigned i = 'A'; i <= 'Z'; ++i) table[i] = true;
   }
   return table;
 }
 
 // Indexed [kind][wellformed ? 0 : 1].
-constexpr std::array<std::array<ByteTable, 2>, 9> kStopTables = {{
-    {make_stop_table({'<', '&'}, false), make_stop_table({'<', '&'}, true)},
-    {make_stop_table({'<', '&'}, false), make_stop_table({'<', '&'}, true)},
-    {make_stop_table({'<'}, false), make_stop_table({'<'}, true)},
-    {make_stop_table({'<', '-'}, false), make_stop_table({'<', '-'}, true)},
-    {make_stop_table({}, false), make_stop_table({}, true)},
-    {make_stop_table({'"', '&'}, false), make_stop_table({'"', '&'}, true)},
-    {make_stop_table({'\'', '&'}, false),
-     make_stop_table({'\'', '&'}, true)},
-    {make_stop_table({'\t', '\n', '\f', ' ', '/', '>'}, false, true),
-     make_stop_table({'\t', '\n', '\f', ' ', '/', '>'}, true, true)},
-    {make_stop_table({'\t', '\n', '\f', ' ', '/', '=', '>', '"', '\'', '<'},
-                     false, true),
-     make_stop_table({'\t', '\n', '\f', ' ', '/', '=', '>', '"', '\'', '<'},
-                     true, true)},
-}};
+constexpr std::array<std::array<ByteTable, 2>, 9> make_stop_tables() {
+  std::array<std::array<ByteTable, 2>, 9> tables{};
+  for (std::size_t kind = 0; kind < kStopSpecs.size(); ++kind) {
+    tables[kind][0] = make_stop_table(kStopSpecs[kind], false);
+    tables[kind][1] = make_stop_table(kStopSpecs[kind], true);
+  }
+  return tables;
+}
+constexpr std::array<std::array<ByteTable, 2>, 9> kStopTables =
+    make_stop_tables();
 
 constexpr bool is_utf8_continuation(unsigned char byte) noexcept {
   return (byte & 0xC0u) == 0x80u;
@@ -81,10 +121,183 @@ constexpr bool word_needs_attention(std::uint64_t w) noexcept {
   return ((high | lt20 | eq7f) & kHigh) != 0;
 }
 
+// --- vector kernels ------------------------------------------------------
+//
+// find_stop: index of the first stop-set byte in data[0, len), or len.
+// Each (kind, wellformed) pair instantiates its own kernel so the
+// comparison chain is fully unrolled against compile-time constants; the
+// sub-16-byte tail at the end of the document falls back to the scalar
+// table derived from the same StopSpec.
+
+using FindStopFn = std::size_t (*)(const char* data, std::size_t len);
+
+template <StopSpec S, bool StopNonAscii>
+std::size_t scalar_find_stop(const char* data, std::size_t len) {
+  static constexpr ByteTable kTable = make_stop_table(S, StopNonAscii);
+  std::size_t i = 0;
+  while (i < len && !kTable[static_cast<unsigned char>(data[i])]) ++i;
+  return i;
+}
+
+#if defined(HV_HAVE_SSE2)
+
+template <StopSpec S, bool StopNonAscii>
+std::size_t sse2_find_stop(const char* data, std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    __m128i stop =
+        _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(S.stops[0])));
+    for (unsigned k = 1; k < S.count; ++k) {  // unrolled: S.count is constexpr
+      stop = _mm_or_si128(
+          stop, _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(S.stops[k]))));
+    }
+    if constexpr (S.stop_upper) {
+      // Signed compares are safe: non-ASCII bytes are negative and fail
+      // the 'A'-side check (they are handled by the movemask below).
+      stop = _mm_or_si128(
+          stop, _mm_and_si128(_mm_cmpgt_epi8(v, _mm_set1_epi8('A' - 1)),
+                              _mm_cmplt_epi8(v, _mm_set1_epi8('Z' + 1))));
+    }
+    unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(stop));
+    if constexpr (StopNonAscii) {
+      // The sign bit of each byte IS the non-ASCII predicate.
+      mask |= static_cast<unsigned>(_mm_movemask_epi8(v));
+    }
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctz(mask));
+    }
+  }
+  return i + scalar_find_stop<S, StopNonAscii>(data + i, len - i);
+}
+
+#endif  // HV_HAVE_SSE2
+
+#if defined(HV_HAVE_NEON)
+
+template <StopSpec S, bool StopNonAscii>
+std::size_t neon_find_stop(const char* data, std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(data + i));
+    uint8x16_t stop = vceqq_u8(v, vdupq_n_u8(S.stops[0]));
+    for (unsigned k = 1; k < S.count; ++k) {
+      stop = vorrq_u8(stop, vceqq_u8(v, vdupq_n_u8(S.stops[k])));
+    }
+    if constexpr (S.stop_upper) {
+      stop = vorrq_u8(stop, vandq_u8(vcgeq_u8(v, vdupq_n_u8('A')),
+                                     vcleq_u8(v, vdupq_n_u8('Z'))));
+    }
+    if constexpr (StopNonAscii) {
+      stop = vorrq_u8(stop, vcgeq_u8(v, vdupq_n_u8(0x80)));
+    }
+    // First matching lane via the two 64-bit halves (little-endian).
+    const std::uint64_t lo =
+        vgetq_lane_u64(vreinterpretq_u64_u8(stop), 0);
+    if (lo != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctzll(lo) >> 3);
+    }
+    const std::uint64_t hi =
+        vgetq_lane_u64(vreinterpretq_u64_u8(stop), 1);
+    if (hi != 0) {
+      return i + 8 + static_cast<std::size_t>(__builtin_ctzll(hi) >> 3);
+    }
+  }
+  return i + scalar_find_stop<S, StopNonAscii>(data + i, len - i);
+}
+
+#endif  // HV_HAVE_NEON
+
+// Explicit table construction: one row per kind, columns [wellformed?0:1].
+#define HV_FIND_STOP_ROW(fn, idx)                          \
+  std::array<FindStopFn, 2> {                              \
+    &fn<kStopSpecs[idx], false>, &fn<kStopSpecs[idx], true> \
+  }
+#define HV_FIND_STOP_TABLE(fn)                                            \
+  std::array<std::array<FindStopFn, 2>, 9> {                              \
+    HV_FIND_STOP_ROW(fn, 0), HV_FIND_STOP_ROW(fn, 1),                     \
+        HV_FIND_STOP_ROW(fn, 2), HV_FIND_STOP_ROW(fn, 3),                 \
+        HV_FIND_STOP_ROW(fn, 4), HV_FIND_STOP_ROW(fn, 5),                 \
+        HV_FIND_STOP_ROW(fn, 6), HV_FIND_STOP_ROW(fn, 7),                 \
+        HV_FIND_STOP_ROW(fn, 8)                                           \
+  }
+
+#if defined(HV_HAVE_SSE2)
+constexpr auto kVectorFindStop = HV_FIND_STOP_TABLE(sse2_find_stop);
+#elif defined(HV_HAVE_NEON)
+constexpr auto kVectorFindStop = HV_FIND_STOP_TABLE(neon_find_stop);
+#endif
+
+#undef HV_FIND_STOP_ROW
+#undef HV_FIND_STOP_TABLE
+
+/// Index of the first byte needing pre-scan attention (b < 0x20,
+/// b == 0x7F, or b >= 0x80) in data[0, len), or len.  Vector front, SWAR
+/// middle, scalar tail.
+std::size_t find_attention(const char* data, std::size_t len) {
+  std::size_t i = 0;
+#if defined(HV_HAVE_SSE2)
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    // Signed (v < 0x20) flags 0x00-0x1F and, via the sign bit, everything
+    // >= 0x80 as well; OR in DEL explicitly.
+    const __m128i flagged =
+        _mm_or_si128(_mm_cmplt_epi8(v, _mm_set1_epi8(0x20)),
+                     _mm_cmpeq_epi8(v, _mm_set1_epi8(0x7F)));
+    const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(flagged));
+    if (mask != 0) return i + static_cast<std::size_t>(__builtin_ctz(mask));
+  }
+#elif defined(HV_HAVE_NEON)
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(data + i));
+    const uint8x16_t flagged = vorrq_u8(
+        vorrq_u8(vcltq_u8(v, vdupq_n_u8(0x20)), vceqq_u8(v, vdupq_n_u8(0x7F))),
+        vcgeq_u8(v, vdupq_n_u8(0x80)));
+    const std::uint64_t lo =
+        vgetq_lane_u64(vreinterpretq_u64_u8(flagged), 0);
+    if (lo != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctzll(lo) >> 3);
+    }
+    const std::uint64_t hi =
+        vgetq_lane_u64(vreinterpretq_u64_u8(flagged), 1);
+    if (hi != 0) {
+      return i + 8 + static_cast<std::size_t>(__builtin_ctzll(hi) >> 3);
+    }
+  }
+#endif
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    if (word_needs_attention(word)) break;
+  }
+  while (i < len && !kNeedsAttention[static_cast<unsigned char>(data[i])]) {
+    ++i;
+  }
+  return i;
+}
+
+/// Code points in data[0, len): bytes that are not UTF-8 continuations.
+std::size_t count_leads(const char* data, std::size_t len) {
+  std::size_t leads = 0;
+  for (std::size_t i = 0; i < len; ++i) {  // auto-vectorizes
+    leads += !is_utf8_continuation(static_cast<unsigned char>(data[i]));
+  }
+  return leads;
+}
+
 }  // namespace
 
-InputStream::InputStream(std::string_view bytes) : bytes_(bytes) {
-  pre_scan();
+InputStream::InputStream(std::string_view bytes)
+    : bytes_(bytes), backend_(simd::active_backend()) {
+  if (backend_ == simd::Backend::kScalar) {
+    pre_scan();
+  } else {
+    pre_scan_dfa();
+  }
 }
 
 void InputStream::pre_scan() {
@@ -93,6 +306,9 @@ void InputStream::pre_scan() {
   // line/column positions, the well-formedness verdict, and the code-point
   // count.  Columns are counted in code points from the last newline, like
   // the old per-character line_starts_ table did.
+  //
+  // This is the scalar reference path; pre_scan_dfa() below must stay
+  // byte-for-byte equivalent (tests/html_golden_equivalence_test.cc).
   std::size_t offset = 0;
   std::size_t char_index = 0;
   std::size_t line = 1;
@@ -157,6 +373,79 @@ void InputStream::pre_scan() {
   char_count_ = char_index;
 }
 
+void InputStream::pre_scan_dfa() {
+  // Round-2 pre-scan: a 16-byte vector skip over printable ASCII fused
+  // with Hoehrmann's table DFA for the non-ASCII stretches.  Produces the
+  // exact same errors/verdict/count as pre_scan(): the DFA accepts the
+  // same language as the strict decoder, and rejected or truncated
+  // sequences fall back to decode_utf8() for the reference maximal-subpart
+  // length (rare: one such byte flips the document onto slow paths).
+  std::size_t offset = 0;
+  std::size_t char_index = 0;
+  std::size_t line = 1;
+  std::size_t line_start = 0;  // char index of the current line's start
+  const std::size_t size = bytes_.size();
+  const char* data = bytes_.data();
+  while (offset < size) {
+    const std::size_t skip = find_attention(data + offset, size - offset);
+    offset += skip;
+    char_index += skip;
+    if (offset >= size) break;
+    const auto b = static_cast<unsigned char>(data[offset]);
+    if (b == '\n') {
+      ++offset;
+      ++char_index;
+      ++line;
+      line_start = char_index;
+      continue;
+    }
+    if (b == '\r') {
+      offset += (offset + 1 < size && data[offset + 1] == '\n') ? 2 : 1;
+      ++char_index;
+      ++line;
+      line_start = char_index;
+      continue;
+    }
+    const SourcePosition pos{offset, line, char_index - line_start + 1};
+    if (b < 0x80) {
+      if (b != '\t' && b != '\f' && b != 0x00) {
+        errors_.push_back(
+            {ParseError::ControlCharacterInInputStream, pos, {}});
+      }
+      ++offset;
+      ++char_index;
+      continue;
+    }
+    // One UTF-8 sequence through the DFA.
+    const std::size_t seq_start = offset;
+    std::uint32_t state = kUtf8Accept;
+    std::uint32_t code_point = 0;
+    do {
+      utf8_dfa_step(&state, &code_point,
+                    static_cast<std::uint8_t>(data[offset]));
+      ++offset;
+    } while (state > kUtf8Reject && offset < size);
+    if (state == kUtf8Accept) {
+      if (is_noncharacter(code_point)) {
+        errors_.push_back({ParseError::NoncharacterInInputStream, pos, {}});
+      } else if (is_control(code_point)) {
+        errors_.push_back(
+            {ParseError::ControlCharacterInInputStream, pos, {}});
+      }
+      ++char_index;
+    } else {
+      // Rejected mid-sequence or truncated at EOF: re-decode with the
+      // reference decoder so the cursor lands exactly one maximal subpart
+      // further, as the scalar pre-scan does.
+      wellformed_ = false;
+      const DecodedCodePoint decoded = decode_utf8(bytes_, seq_start);
+      offset = seq_start + (decoded.length == 0 ? 1 : decoded.length);
+      ++char_index;
+    }
+  }
+  char_count_ = char_index;
+}
+
 InputStream::Decoded InputStream::decode_at(std::size_t offset) const {
   if (offset == cache_offset_) return cache_;
   Decoded out;
@@ -195,6 +484,23 @@ char32_t InputStream::consume() {
     // pointing at the final real character, as the old stream did.
     last_char_ = kEof;
     return kEof;
+  }
+  // Plain ASCII below DEL (everything the per-character tag/attribute
+  // states chew through) skips the decode cache entirely; '\r' needs the
+  // CRLF fold and 0x7F..0xFF the full decoder.
+  const auto byte = static_cast<unsigned char>(bytes_[cursor_]);
+  if (byte < 0x7F && byte != '\r') {
+    prev_last_pos_ = last_pos_;
+    last_pos_ = {cursor_, line_, column_};
+    ++cursor_;
+    if (byte == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    last_char_ = byte;
+    return byte;
   }
   const Decoded decoded = decode_at(cursor_);
   prev_last_pos_ = last_pos_;
@@ -240,7 +546,87 @@ char32_t InputStream::peek(std::size_t ahead) const {
   }
 }
 
+std::string_view InputStream::lookahead_bytes() const {
+  if (has_pending_) {
+    if (pending_char_ == kEof) return {};
+    return bytes_.substr(pending_pos_.offset);
+  }
+  return bytes_.substr(cursor_);
+}
+
 std::string_view InputStream::scan_text_run(TextRunKind kind) {
+  if (backend_ == simd::Backend::kScalar) return scan_text_run_scalar(kind);
+#if defined(HV_HAVE_SSE2) || defined(HV_HAVE_NEON)
+  const std::size_t start = cursor_;
+  const char* data = bytes_.data();
+  // Short-run head: tag names, attribute names/values and inter-tag text
+  // are usually a handful of bytes, where the vector call + position
+  // fixup cost more than the fused per-byte reference loop.  Probe the
+  // first few bytes with the scalar stop table and only bring out the
+  // vector kernel for runs that outlive the probe.
+  {
+    const ByteTable& stop =
+        kStopTables[static_cast<std::size_t>(kind)][wellformed_ ? 0 : 1];
+    const std::size_t probe_end = std::min(start + 8, bytes_.size());
+    std::size_t probe = start;
+    while (probe < probe_end &&
+           !stop[static_cast<unsigned char>(data[probe])]) {
+      ++probe;
+    }
+    if (probe < probe_end || probe_end == bytes_.size()) {
+      return scan_text_run_scalar(kind);
+    }
+  }
+  const std::size_t run_len =
+      kVectorFindStop[static_cast<std::size_t>(kind)][wellformed_ ? 0 : 1](
+          data + start, bytes_.size() - start);
+  if (run_len == 0) return {};
+  const std::size_t end = start + run_len;
+
+  // Position fixup, replacing the scalar loop's per-byte tracking.  Split
+  // the run into the final code point (its lead byte is the largest
+  // non-continuation position — the run starts on a boundary and stop
+  // bytes are ASCII, so the backward scan takes at most 3 steps) and the
+  // prefix before it, then count newlines and code points; std::count and
+  // count_leads auto-vectorize.
+  std::size_t last_lead = end - 1;
+  while (is_utf8_continuation(static_cast<unsigned char>(data[last_lead]))) {
+    --last_lead;
+  }
+  const std::size_t newlines =
+      static_cast<std::size_t>(std::count(data + start, data + last_lead,
+                                          '\n'));
+  std::size_t last_line;
+  std::size_t last_column;
+  if (newlines == 0) {
+    last_line = line_;
+    last_column = column_ + count_leads(data + start, last_lead - start);
+  } else {
+    std::size_t last_nl = last_lead;
+    while (data[--last_nl] != '\n') {
+    }
+    last_line = line_ + newlines;
+    last_column = 1 + count_leads(data + last_nl + 1, last_lead - last_nl - 1);
+  }
+  if (data[last_lead] == '\n') {
+    line_ = last_line + 1;
+    column_ = 1;
+  } else {
+    line_ = last_line;
+    column_ = last_column + 1;
+  }
+  consumed_anything_ = true;
+  cursor_ = end;
+  prev_last_pos_ = last_pos_;
+  last_pos_ = {last_lead, last_line, last_column};
+  last_char_ = decode_at(last_lead).c;
+  return bytes_.substr(start, run_len);
+#else
+  return scan_text_run_scalar(kind);
+#endif
+}
+
+std::string_view InputStream::scan_text_run_scalar(TextRunKind kind) {
   const ByteTable& stop =
       kStopTables[static_cast<std::size_t>(kind)][wellformed_ ? 0 : 1];
   const std::size_t start = cursor_;
@@ -309,6 +695,26 @@ void InputStream::advance(std::size_t count) {
     consume();
     --count;
   }
+}
+
+void InputStream::advance_ascii_no_newline(std::size_t count) {
+  if (count > 0 && has_pending_) {
+    consume();
+    --count;
+  }
+  if (count == 0) return;
+  consumed_anything_ = true;
+  // All `count` characters are single bytes on the current line, so the
+  // per-character consume() loop collapses to offset/column arithmetic.
+  prev_last_pos_ = count >= 2
+                       ? SourcePosition{cursor_ + count - 2, line_,
+                                        column_ + count - 2}
+                       : last_pos_;
+  last_pos_ = {cursor_ + count - 1, line_, column_ + count - 1};
+  last_char_ = static_cast<char32_t>(
+      static_cast<unsigned char>(bytes_[cursor_ + count - 1]));
+  cursor_ += count;
+  column_ += count;
 }
 
 }  // namespace hv::html

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "html/errors.h"
+#include "html/simd.h"
 
 namespace hv::html {
 
@@ -76,12 +77,24 @@ class InputStream {
     return scan_text_run(kind);
   }
 
+  /// The raw bytes from the next character consume() would return
+  /// (including a pending reconsumed character) to the end of input.
+  /// Entity matching scans this window directly: entity names are pure
+  /// ASCII, so for the matched prefix bytes and characters are 1:1.
+  /// Empty when the pending character is a reconsumed EOF.
+  std::string_view lookahead_bytes() const;
+
   /// True when the next characters match `text` ASCII case-insensitively.
   bool lookahead_matches_insensitive(std::string_view text) const;
   /// True when the next characters match `text` exactly.
   bool lookahead_matches(std::string_view text) const;
   /// Advances the cursor by `count` characters.
   void advance(std::size_t count);
+  /// Bulk advance over characters known to be one-byte ASCII other than
+  /// NUL, CR, and LF (entity-name bytes qualify), so bytes == characters
+  /// and no line breaks or normalization can occur.  Equivalent to
+  /// advance(count) including position/pushback bookkeeping.
+  void advance_ascii_no_newline(std::size_t count);
 
   /// Source position of the character at the cursor (for error events).
   SourcePosition position() const {
@@ -117,10 +130,17 @@ class InputStream {
 
   /// Decodes the (newline-normalized) character starting at `offset`.
   Decoded decode_at(std::size_t offset) const;
+  /// Backend dispatcher; the scalar variant is the golden reference the
+  /// SIMD kernels are tested against (html_golden_equivalence_test).
   std::string_view scan_text_run(TextRunKind kind);
+  std::string_view scan_text_run_scalar(TextRunKind kind);
+  /// Construction pre-scans: scalar reference vs the vector-skip +
+  /// UTF-8-DFA fast path, selected by `backend_`.
   void pre_scan();
+  void pre_scan_dfa();
 
   std::string_view bytes_;
+  simd::Backend backend_ = simd::Backend::kScalar;
   std::size_t cursor_ = 0;    // byte offset of the character at the cursor
   std::size_t line_ = 1;      // position of the character at the cursor
   std::size_t column_ = 1;

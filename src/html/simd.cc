@@ -1,0 +1,66 @@
+#include "html/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hv::html::simd {
+namespace {
+
+Backend clamp_to_compiled(Backend backend) noexcept {
+  // "Stronger than compiled" can't run; anything else is selectable.  The
+  // enum is ordered scalar < sse2 < neon only nominally — sse2 and neon
+  // never coexist in one binary, so equality-or-scalar is the real rule.
+  if (backend == kCompiledBackend || backend == Backend::kScalar) {
+    return backend;
+  }
+  return kCompiledBackend;
+}
+
+Backend initial_backend() noexcept {
+  const char* env = std::getenv("HV_SIMD");
+  if (env == nullptr || *env == '\0') return kCompiledBackend;
+  if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+  if (std::strcmp(env, "sse2") == 0) return clamp_to_compiled(Backend::kSse2);
+  if (std::strcmp(env, "neon") == 0) return clamp_to_compiled(Backend::kNeon);
+  return kCompiledBackend;  // unknown value: ignore, keep the compiled best
+}
+
+std::atomic<Backend>& backend_slot() noexcept {
+  static std::atomic<Backend> slot{initial_backend()};
+  return slot;
+}
+
+}  // namespace
+
+Backend active_backend() noexcept {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kNeon:
+      return "neon";
+    case Backend::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+const char* active_backend_name() noexcept {
+  return backend_name(active_backend());
+}
+
+const char* compiled_backend_name() noexcept {
+  return backend_name(kCompiledBackend);
+}
+
+Backend set_simd_backend(Backend backend) noexcept {
+  const Backend effective = clamp_to_compiled(backend);
+  backend_slot().store(effective, std::memory_order_relaxed);
+  return effective;
+}
+
+}  // namespace hv::html::simd

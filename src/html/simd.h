@@ -1,0 +1,58 @@
+// SIMD backend selection for the hot-path round-2 kernels (DESIGN.md
+// section 14): vectorized text-run scanning, the DFA UTF-8 pre-scan, and
+// the generated entity trie all key off one process-wide backend.
+//
+// The *scalar* backend is not merely a fallback — it is the reference
+// implementation the golden-equivalence suite compares against: selecting
+// it routes every round-2 call site back to the PR-3 scalar code (per-byte
+// stop-table scanning, the word-at-a-time pre-scan with the strict
+// Encoding Standard decoder, and the binary-search entity matcher).  The
+// SSE2/NEON backends must be byte-for-byte indistinguishable from it.
+//
+// Selection order:
+//   1. compile time: -DHV_FORCE_SCALAR pins the backend to scalar and
+//      compiles the vector kernels out entirely (mirrors HV_OBS_DISABLED);
+//      otherwise the best ISA the target guarantees is compiled in (SSE2
+//      is baseline on x86-64, NEON on aarch64).
+//   2. process start: the HV_SIMD environment variable (scalar|sse2|neon)
+//      can force a *weaker* backend than compiled, e.g. HV_SIMD=scalar
+//      for A/B runs without a rebuild.  Unknown or stronger-than-compiled
+//      values fall back to the compiled backend.
+//   3. tests: set_simd_backend() overrides at runtime (clamped to the
+//      compiled backend) so one binary can drive both paths.
+#pragma once
+
+#include <cstdint>
+
+namespace hv::html::simd {
+
+enum class Backend : std::uint8_t { kScalar = 0, kSse2 = 1, kNeon = 2 };
+
+#if defined(HV_FORCE_SCALAR)
+inline constexpr Backend kCompiledBackend = Backend::kScalar;
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+inline constexpr Backend kCompiledBackend = Backend::kSse2;
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__) || defined(__aarch64__)
+inline constexpr Backend kCompiledBackend = Backend::kNeon;
+#else
+inline constexpr Backend kCompiledBackend = Backend::kScalar;
+#endif
+
+/// The backend the round-2 kernels currently use (compiled backend unless
+/// HV_SIMD or set_simd_backend() narrowed it).
+Backend active_backend() noexcept;
+
+/// Short lowercase name ("scalar", "sse2", "neon") — used by `hv version`,
+/// the profile header, and the bench JSON so results are attributable.
+const char* backend_name(Backend backend) noexcept;
+const char* active_backend_name() noexcept;
+const char* compiled_backend_name() noexcept;
+
+/// Test hook: force `backend` for subsequently constructed parsers.
+/// Requests stronger than the compiled backend are clamped; returns the
+/// backend actually in effect.  Thread-compatible with the parser the same
+/// way set_parser_fastpath is (relaxed atomic, per-parse snapshot).
+Backend set_simd_backend(Backend backend) noexcept;
+
+}  // namespace hv::html::simd

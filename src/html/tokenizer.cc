@@ -152,20 +152,33 @@ void Tokenizer::emit_null() {
   sink_.process_token(std::move(token));
 }
 
-void Tokenizer::begin_start_tag() {
-  current_tag_ = Token{};
-  current_tag_.type = Token::Type::kStartTag;
+void Tokenizer::reset_current_tag(Token::Type type) {
+  // In-place reset: emit_current_tag moved the buffers out, so clearing
+  // the fields is free — rebuilding a Token from scratch (and destroying
+  // the husk) showed up as ~9% of tag-dense parses.
+  current_tag_.type = type;
+  current_tag_.name.clear();
+  current_tag_.attributes.clear();
+  current_tag_.self_closing = false;
+  current_tag_.dropped_duplicate_attributes.clear();
+  current_tag_.data.clear();
+  current_tag_.public_identifier.clear();
+  current_tag_.system_identifier.clear();
+  current_tag_.has_public_identifier = false;
+  current_tag_.has_system_identifier = false;
+  current_tag_.force_quirks = false;
   current_tag_.position = token_start_;
-  current_tag_is_start_ = true;
   has_current_attr_ = false;
 }
 
+void Tokenizer::begin_start_tag() {
+  reset_current_tag(Token::Type::kStartTag);
+  current_tag_is_start_ = true;
+}
+
 void Tokenizer::begin_end_tag() {
-  current_tag_ = Token{};
-  current_tag_.type = Token::Type::kEndTag;
-  current_tag_.position = token_start_;
+  reset_current_tag(Token::Type::kEndTag);
   current_tag_is_start_ = false;
-  has_current_attr_ = false;
 }
 
 void Tokenizer::start_new_attribute() {
@@ -1575,23 +1588,45 @@ void Tokenizer::step() {
     }
     case S::kNamedCharacterReference: {
       // Consume the maximum number of characters matching a table entry.
-      std::string candidate;
-      candidate.reserve(32);
-      for (std::size_t i = 0; i < 32; ++i) {
-        const char32_t c = input_.peek(i);
-        if (c == kEofChar || c > 0x7F) break;
-        candidate.push_back(static_cast<char>(c));
-        if (c == U';') break;
-      }
+      //
+      // Fast path (non-scalar backends): match the generated trie directly
+      // against the raw byte window.  Entity names are pure ASCII, so for
+      // the matched prefix bytes and characters are 1:1, and the bytes the
+      // preprocessor would rewrite (CR and non-ASCII leads) can neither be
+      // part of a match nor change the next-after predicates below — CR vs
+      // LF and raw lead byte vs decoded char land on the same side of
+      // '=' / alphanumeric every time.
       std::size_t matched = 0;
-      const NamedEntity* entity = match_named_entity(candidate, &matched);
+      const NamedEntity* entity = nullptr;
+      char32_t fast_next_after = kEofChar;
+      if (simd_entities_) {
+        const std::string_view window = input_.lookahead_bytes();
+        entity = match_named_entity_trie(window, &matched);
+        if (matched < window.size()) {
+          fast_next_after =
+              static_cast<char32_t>(static_cast<unsigned char>(window[matched]));
+        }
+      } else {
+        std::string candidate;
+        candidate.reserve(32);
+        for (std::size_t i = 0; i < 32; ++i) {
+          const char32_t c = input_.peek(i);
+          if (c == kEofChar || c > 0x7F) break;
+          candidate.push_back(static_cast<char>(c));
+          if (c == U';') break;
+        }
+        entity = match_named_entity_reference(candidate, &matched);
+        if (entity != nullptr) {
+          fast_next_after =
+              matched < candidate.size()
+                  ? static_cast<char32_t>(
+                        static_cast<unsigned char>(candidate[matched]))
+                  : input_.peek(matched);
+        }
+      }
       if (entity != nullptr) {
         const bool ends_with_semicolon = entity->name.back() == ';';
-        const char32_t next_after =
-            matched < candidate.size()
-                ? static_cast<char32_t>(
-                      static_cast<unsigned char>(candidate[matched]))
-                : input_.peek(matched);
+        const char32_t next_after = fast_next_after;
         // Historical attribute exception: "&not" followed by "=in" etc. is
         // left alone inside attribute values.
         if (char_ref_in_attribute() && !ends_with_semicolon &&
@@ -1600,12 +1635,20 @@ void Tokenizer::step() {
             temporary_buffer_.push_back(
                 static_cast<char32_t>(static_cast<unsigned char>(name_char)));
           }
-          input_.advance(matched);
+          if (simd_entities_) {
+            input_.advance_ascii_no_newline(matched);
+          } else {
+            input_.advance(matched);
+          }
           flush_code_points_consumed_as_character_reference();
           state_ = return_state_;
           return;
         }
-        input_.advance(matched);
+        if (simd_entities_) {
+          input_.advance_ascii_no_newline(matched);
+        } else {
+          input_.advance(matched);
+        }
         if (!ends_with_semicolon) {
           error(ParseError::MissingSemicolonAfterCharacterReference);
         }

@@ -152,6 +152,7 @@ class Tokenizer {
   void flush_text();                 // flush pending character batch
   void emit_char(char32_t c);        // append to pending batch / NUL token
   void emit_null();
+  void reset_current_tag(Token::Type type);
   void begin_start_tag();
   void begin_end_tag();
   void start_new_attribute();
@@ -175,6 +176,10 @@ class Tokenizer {
   TokenizerState state_ = TokenizerState::kData;
   TokenizerState return_state_ = TokenizerState::kData;
   const bool fastpath_ = parser_fastpath_enabled();
+  // Snapshot of the SIMD backend at construction: non-scalar backends take
+  // the raw-byte-window entity matching path (lookahead_bytes + generated
+  // trie) in kNamedCharacterReference.
+  const bool simd_entities_ = simd::active_backend() != simd::Backend::kScalar;
 
   Token current_tag_;
   bool current_tag_is_start_ = false;

@@ -1,0 +1,70 @@
+// Hoehrmann's table-driven UTF-8 DFA, the round-2 replacement for the
+// per-sequence branching decoder in InputStream::pre_scan (DESIGN.md
+// section 14).
+//
+// Table and stepping scheme from Bjoern Hoehrmann's "Flexible and Economical
+// UTF-8 Decoder" (http://bjoern.hoehrmann.de/utf-8/decoder/dfa/, MIT
+// licensed).  Bytes map to one of 12 character classes; (state, class)
+// indexes a transition table whose states are premultiplied by 12.  The
+// automaton accepts exactly the well-formed sequences our strict
+// encoding.cc decoder accepts: overlong encodings, surrogates, and code
+// points above U+10FFFF all reach kUtf8Reject.
+//
+// The DFA does not report maximal-subpart lengths on rejection, so error
+// recovery (rare by construction: one reject flips the whole document onto
+// slow paths) falls back to decode_utf8() — tests/html_golden_equivalence
+// pins the two decoders against each other byte by byte.
+#pragma once
+
+#include <cstdint>
+
+namespace hv::html {
+
+inline constexpr std::uint32_t kUtf8Accept = 0;
+inline constexpr std::uint32_t kUtf8Reject = 12;
+
+inline constexpr std::uint8_t kUtf8Dfa[] = {
+    // Byte -> character class (256 entries).
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 0x00-0x0F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 0x10-0x1F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 0x20-0x2F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 0x30-0x3F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 0x40-0x4F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 0x50-0x5F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 0x60-0x6F
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // 0x70-0x7F
+    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,  // 0x80-0x8F
+    9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9,  // 0x90-0x9F
+    7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,  // 0xA0-0xAF
+    7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,  // 0xB0-0xBF
+    8, 8, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,  // 0xC0-0xCF
+    2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,  // 0xD0-0xDF
+    10, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 4, 3, 3,  // 0xE0-0xEF
+    11, 6, 6, 6, 5, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8,  // 0xF0-0xFF
+    // (state, class) -> state transitions, states premultiplied by 12.
+    0, 12, 24, 36, 60, 96, 84, 12, 12, 12, 48, 72,    // state  0: accept
+    12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12,   // state 12: reject
+    12, 0, 12, 12, 12, 12, 12, 0, 12, 0, 12, 12,      // state 24
+    12, 24, 12, 12, 12, 12, 12, 24, 12, 24, 12, 12,   // state 36
+    12, 12, 12, 12, 12, 12, 12, 24, 12, 12, 12, 12,   // state 48
+    12, 24, 12, 12, 12, 12, 12, 12, 12, 24, 12, 12,   // state 60
+    12, 12, 12, 12, 12, 12, 12, 36, 12, 36, 12, 12,   // state 72
+    12, 36, 12, 12, 12, 12, 12, 36, 12, 36, 12, 12,   // state 84
+    12, 36, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12,   // state 96
+};
+
+/// One DFA step: feeds `byte`, updating `*state` and the code point being
+/// accumulated in `*code_point`.  Returns the new state; `*code_point`
+/// holds the decoded scalar value when that state is kUtf8Accept.
+inline std::uint32_t utf8_dfa_step(std::uint32_t* state,
+                                   std::uint32_t* code_point,
+                                   std::uint8_t byte) noexcept {
+  const std::uint32_t type = kUtf8Dfa[byte];
+  *code_point = (*state != kUtf8Accept)
+                    ? (byte & 0x3Fu) | (*code_point << 6)
+                    : (0xFFu >> type) & byte;
+  *state = kUtf8Dfa[256 + *state + type];
+  return *state;
+}
+
+}  // namespace hv::html

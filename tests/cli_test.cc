@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "archive/warc.h"
+#include "html/simd.h"
 #include "net/http.h"
 
 namespace hv::cli {
@@ -56,6 +57,23 @@ TEST(Cli, UnknownCommand) {
   const CliResult result = run_cli({"frobnicate"});
   EXPECT_EQ(result.exit_code, 2);
   EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, VersionReportsSimdBackend) {
+  for (const char* spelling : {"version", "--version"}) {
+    const CliResult result = run_cli({spelling});
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_NE(result.out.find("hv "), std::string::npos);
+    EXPECT_NE(result.out.find("simd: "), std::string::npos);
+    // The reported backend is one of the three known names.
+    const bool known =
+        result.out.find("simd: sse2") != std::string::npos ||
+        result.out.find("simd: neon") != std::string::npos ||
+        result.out.find("simd: scalar") != std::string::npos;
+    EXPECT_TRUE(known) << result.out;
+    EXPECT_NE(result.out.find(hv::html::simd::active_backend_name()),
+              std::string::npos);
+  }
 }
 
 TEST(CliCheck, CleanPageFromStdin) {

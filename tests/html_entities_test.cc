@@ -12,6 +12,87 @@ namespace {
 
 using testing::tokenize;
 
+// The audit re-includes the checked-in source list so the generated trie
+// (entities_trie.inc, via match_named_entity_trie) can be checked against
+// it and against the binary-search reference independently of either.
+constexpr NamedEntity kAuditEntities[] = {
+#include "html/entities_data.inc"
+};
+
+/// Compares both matcher implementations on one probe: same hit/miss, same
+/// matched length, same resolved entity (by value — the two return
+/// pointers into different tables).
+void expect_matchers_agree(std::string_view probe) {
+  std::size_t ref_len = 0;
+  std::size_t trie_len = 0;
+  const NamedEntity* ref = match_named_entity_reference(probe, &ref_len);
+  const NamedEntity* trie = match_named_entity_trie(probe, &trie_len);
+  ASSERT_EQ(ref != nullptr, trie != nullptr) << "probe '" << probe << "'";
+  EXPECT_EQ(ref_len, trie_len) << "probe '" << probe << "'";
+  if (ref != nullptr && trie != nullptr) {
+    EXPECT_EQ(ref->name, trie->name) << "probe '" << probe << "'";
+    EXPECT_EQ(ref->first, trie->first) << "probe '" << probe << "'";
+    EXPECT_EQ(ref->second, trie->second) << "probe '" << probe << "'";
+  }
+}
+
+TEST(EntityTrieAudit, SourceListMatchesShippedTable) {
+  ASSERT_EQ(std::size(kAuditEntities), named_entity_count());
+  for (const NamedEntity& entity : kAuditEntities) {
+    const NamedEntity* found = find_named_entity(entity.name);
+    ASSERT_NE(found, nullptr) << entity.name;
+    EXPECT_EQ(found->first, entity.first) << entity.name;
+    EXPECT_EQ(found->second, entity.second) << entity.name;
+  }
+}
+
+TEST(EntityTrieAudit, EveryNameResolvesIdentically) {
+  for (const NamedEntity& entity : kAuditEntities) {
+    expect_matchers_agree(entity.name);
+    // The exact name must match in full through the trie.
+    std::size_t len = 0;
+    const NamedEntity* hit = match_named_entity_trie(entity.name, &len);
+    ASSERT_NE(hit, nullptr) << entity.name;
+    // A semicolon-less form may be shadowed by a longer sibling only via
+    // longest-match; matching the name itself can never shorten it.
+    EXPECT_GE(len, entity.name.size()) << entity.name;
+  }
+}
+
+TEST(EntityTrieAudit, EveryNamePrefixResolvesIdentically) {
+  for (const NamedEntity& entity : kAuditEntities) {
+    for (std::size_t cut = 0; cut < entity.name.size(); ++cut) {
+      expect_matchers_agree(entity.name.substr(0, cut));
+    }
+  }
+}
+
+TEST(EntityTrieAudit, PerturbedAndExtendedProbesResolveIdentically) {
+  for (const NamedEntity& entity : kAuditEntities) {
+    const std::string name(entity.name);
+    // Trailing garbage: longest-match must stop at the same place.
+    expect_matchers_agree(name + "x");
+    expect_matchers_agree(name + ";");
+    expect_matchers_agree(name + "amp;");
+    // Every single-character corruption turns the probe into a (usually)
+    // non-name; both matchers must agree on whatever prefix remains.
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      std::string probe = name;
+      probe[i] = probe[i] == 'z' ? 'q' : 'z';
+      expect_matchers_agree(probe);
+      probe[i] = '\x01';
+      expect_matchers_agree(probe);
+      probe[i] = '\xC3';
+      expect_matchers_agree(probe);
+    }
+  }
+  // Degenerate probes.
+  expect_matchers_agree("");
+  expect_matchers_agree(";");
+  expect_matchers_agree(std::string(64, 'a'));
+  expect_matchers_agree("amp;amp;amp;amp;amp;amp;amp;amp;amp;");
+}
+
 TEST(Entities, ExactLookup) {
   const NamedEntity* amp = find_named_entity("amp;");
   ASSERT_NE(amp, nullptr);

@@ -20,6 +20,7 @@
 #include "corpus/page_builder.h"
 #include "corpus/rng.h"
 #include "html/encoding.h"
+#include "html/simd.h"
 #include "html_test_util.h"
 
 namespace hv::html {
@@ -31,6 +32,28 @@ class FastpathGuard {
   explicit FastpathGuard(bool enabled) { set_parser_fastpath(enabled); }
   ~FastpathGuard() { set_parser_fastpath(true); }
 };
+
+/// Forces a SIMD backend for the scope (clamped to the compiled one),
+/// restoring the process default on exit.  Selecting kScalar routes every
+/// round-2 kernel (run scanning, UTF-8 pre-scan, entity lookup) back to
+/// its reference implementation.
+class SimdBackendGuard {
+ public:
+  explicit SimdBackendGuard(simd::Backend backend)
+      : previous_(simd::active_backend()) {
+    simd::set_simd_backend(backend);
+  }
+  ~SimdBackendGuard() { simd::set_simd_backend(previous_); }
+
+ private:
+  simd::Backend previous_;
+};
+
+/// True when this build can actually exercise a vector backend — under
+/// -DHV_FORCE_SCALAR the scalar-vs-SIMD comparisons collapse to
+/// scalar-vs-scalar, which is vacuous but harmless.
+constexpr bool kHasVectorBackend =
+    simd::kCompiledBackend != simd::Backend::kScalar;
 
 std::string dump_position(const SourcePosition& pos) {
   std::ostringstream out;
@@ -89,8 +112,10 @@ struct GoldenRun {
   std::string fragment_errors;
 };
 
-GoldenRun run_stack(std::string_view input, bool fastpath) {
+GoldenRun run_stack(std::string_view input, bool fastpath,
+                    simd::Backend backend = simd::Backend::kScalar) {
   const FastpathGuard guard(fastpath);
+  const SimdBackendGuard simd_guard(backend);
   GoldenRun run;
 
   const testing::TokenizeResult tokenized = testing::tokenize(input);
@@ -115,20 +140,30 @@ GoldenRun run_stack(std::string_view input, bool fastpath) {
   return run;
 }
 
+void expect_runs_equal(const GoldenRun& golden, const GoldenRun& other,
+                       std::string_view label) {
+  EXPECT_EQ(golden.tokens, other.tokens) << label;
+  EXPECT_EQ(golden.tokenizer_errors, other.tokenizer_errors) << label;
+  EXPECT_EQ(golden.parse_errors, other.parse_errors) << label;
+  EXPECT_EQ(golden.observations, other.observations) << label;
+  EXPECT_EQ(golden.serialized, other.serialized) << label;
+  EXPECT_EQ(golden.utf8_valid, other.utf8_valid) << label;
+  EXPECT_EQ(golden.uses_math, other.uses_math) << label;
+  EXPECT_EQ(golden.uses_svg, other.uses_svg) << label;
+  EXPECT_EQ(golden.checker_verdict, other.checker_verdict) << label;
+  EXPECT_EQ(golden.fragment_serialized, other.fragment_serialized) << label;
+  EXPECT_EQ(golden.fragment_errors, other.fragment_errors) << label;
+}
+
 void expect_equivalent(std::string_view input, std::string_view label) {
   const GoldenRun golden = run_stack(input, /*fastpath=*/false);
   const GoldenRun fast = run_stack(input, /*fastpath=*/true);
-  EXPECT_EQ(golden.tokens, fast.tokens) << label;
-  EXPECT_EQ(golden.tokenizer_errors, fast.tokenizer_errors) << label;
-  EXPECT_EQ(golden.parse_errors, fast.parse_errors) << label;
-  EXPECT_EQ(golden.observations, fast.observations) << label;
-  EXPECT_EQ(golden.serialized, fast.serialized) << label;
-  EXPECT_EQ(golden.utf8_valid, fast.utf8_valid) << label;
-  EXPECT_EQ(golden.uses_math, fast.uses_math) << label;
-  EXPECT_EQ(golden.uses_svg, fast.uses_svg) << label;
-  EXPECT_EQ(golden.checker_verdict, fast.checker_verdict) << label;
-  EXPECT_EQ(golden.fragment_serialized, fast.fragment_serialized) << label;
-  EXPECT_EQ(golden.fragment_errors, fast.fragment_errors) << label;
+  expect_runs_equal(golden, fast, label);
+  // Third leg: fast path plus the vector kernels (SIMD run scanning, the
+  // UTF-8 DFA pre-scan, the entity trie) against the same golden run.
+  const GoldenRun vector =
+      run_stack(input, /*fastpath=*/true, simd::kCompiledBackend);
+  expect_runs_equal(golden, vector, std::string(label) + " [simd]");
 }
 
 // --- corpus pages: every injected violation family, quirks, years -------
@@ -314,23 +349,41 @@ struct ReferenceStream {
 void expect_stream_matches_reference(std::string_view bytes,
                                      std::string_view label) {
   const ReferenceStream reference(bytes);
-  InputStream stream(bytes);
-  EXPECT_EQ(stream.size(), reference.chars.size()) << label;
-  EXPECT_EQ(stream.wellformed_utf8(), reference.wellformed) << label;
-  for (std::size_t i = 0; i < reference.chars.size(); ++i) {
-    EXPECT_EQ(stream.position().offset, reference.positions[i].offset)
-        << label << " char " << i;
-    const char32_t c = stream.consume();
-    ASSERT_EQ(c, reference.chars[i]) << label << " char " << i;
-    EXPECT_EQ(stream.last_position().offset, reference.positions[i].offset)
-        << label << " char " << i;
-    EXPECT_EQ(stream.last_position().line, reference.positions[i].line)
-        << label << " char " << i;
-    EXPECT_EQ(stream.last_position().column, reference.positions[i].column)
-        << label << " char " << i;
+  // Both pre-scans (the scalar word-at-a-time one and the DFA one) must
+  // agree with the eager reference — and with each other, including the
+  // preprocessing error list.
+  for (const simd::Backend backend :
+       {simd::Backend::kScalar, simd::kCompiledBackend}) {
+    const SimdBackendGuard guard(backend);
+    const std::string full_label =
+        std::string(label) + " [" + simd::backend_name(backend) + "]";
+    InputStream stream(bytes);
+    EXPECT_EQ(stream.size(), reference.chars.size()) << full_label;
+    EXPECT_EQ(stream.wellformed_utf8(), reference.wellformed) << full_label;
+    for (std::size_t i = 0; i < reference.chars.size(); ++i) {
+      EXPECT_EQ(stream.position().offset, reference.positions[i].offset)
+          << full_label << " char " << i;
+      const char32_t c = stream.consume();
+      ASSERT_EQ(c, reference.chars[i]) << full_label << " char " << i;
+      EXPECT_EQ(stream.last_position().offset, reference.positions[i].offset)
+          << full_label << " char " << i;
+      EXPECT_EQ(stream.last_position().line, reference.positions[i].line)
+          << full_label << " char " << i;
+      EXPECT_EQ(stream.last_position().column, reference.positions[i].column)
+          << full_label << " char " << i;
+    }
+    EXPECT_TRUE(stream.at_eof()) << full_label;
+    EXPECT_EQ(stream.consume(), InputStream::kEof) << full_label;
   }
-  EXPECT_TRUE(stream.at_eof()) << label;
-  EXPECT_EQ(stream.consume(), InputStream::kEof) << label;
+  const auto dfa_errors = [&] {
+    const SimdBackendGuard guard(simd::kCompiledBackend);
+    return dump_errors(InputStream(bytes).preprocessing_errors());
+  }();
+  const auto scalar_errors = [&] {
+    const SimdBackendGuard guard(simd::Backend::kScalar);
+    return dump_errors(InputStream(bytes).preprocessing_errors());
+  }();
+  EXPECT_EQ(scalar_errors, dfa_errors) << label;
 }
 
 TEST(GoldenEquivalence, StreamMatchesEagerReference) {
@@ -353,6 +406,104 @@ TEST(GoldenEquivalence, StreamMatchesEagerReference) {
   for (std::uint64_t seed = 100; seed < 108; ++seed) {
     expect_stream_matches_reference(random_soup(seed, 120),
                                     "soup " + std::to_string(seed));
+  }
+}
+
+// --- SIMD lane boundaries and truncated sequences -----------------------
+
+/// Text runs whose stop byte lands at every offset around the 16- and
+/// 32-byte vector lane boundaries: the SIMD scanner must report the same
+/// run, positions, and tail handling as the scalar loop whether the stop
+/// is in the first lane, the second, or the scalar remainder.
+TEST(GoldenEquivalence, TextRunsAcrossLaneBoundaries) {
+  for (std::size_t stop = 0; stop <= 40; ++stop) {
+    const std::string pad(stop, 'a');
+    expect_equivalent("<p>" + pad + "&amp;" + pad + "</p>",
+                      "amp stop at " + std::to_string(stop));
+    expect_equivalent("<p>" + pad + "<b>x</b>",
+                      "tag stop at " + std::to_string(stop));
+    expect_equivalent("<p>" + pad + "\r\n" + pad,
+                      "crlf stop at " + std::to_string(stop));
+    expect_equivalent("<p>" + pad + "\xC3\xA9" + pad,
+                      "multibyte at " + std::to_string(stop));
+    expect_equivalent("<div title=\"" + pad + "\">v</div>",
+                      "dquote stop at " + std::to_string(stop));
+    expect_equivalent("<div title='" + pad + "'>v</div>",
+                      "squote stop at " + std::to_string(stop));
+    expect_equivalent("<" + pad + "Z" + pad + ">",
+                      "tag-name upper at " + std::to_string(stop));
+  }
+  // Stop byte exactly on the boundary of a run that itself starts
+  // mid-buffer (the scanner never sees aligned loads).
+  for (std::size_t lead = 0; lead <= 17; ++lead) {
+    const std::string prefix(lead, 'x');
+    expect_equivalent(prefix + "<p>" + std::string(16, 'y') + "&lt;",
+                      "unaligned start " + std::to_string(lead));
+  }
+}
+
+/// Truncated multi-byte UTF-8 sequences at the very end of the buffer,
+/// shifted across lane boundaries by ASCII padding: the DFA pre-scan's
+/// truncation fallback must agree with the scalar decoder's
+/// maximal-subpart behavior at every alignment.
+TEST(GoldenEquivalence, TruncatedUtf8AtBufferEnd) {
+  static constexpr const char* kTails[] = {
+      "\xC3",              // 2-byte lead, no continuation
+      "\xE2",              // 3-byte lead, no continuation
+      "\xE2\x82",          // 3-byte lead, one continuation
+      "\xF0",              // 4-byte lead, no continuation
+      "\xF0\x9F",          // 4-byte lead, one continuation
+      "\xF0\x9F\x98",      // 4-byte lead, two continuations
+      "\xED\xA0",          // surrogate prefix (invalid after 1 byte)
+      "\xC0",              // overlong lead (invalid immediately)
+      "\x80",              // bare continuation byte
+  };
+  for (std::size_t pad = 0; pad <= 35; ++pad) {
+    const std::string prefix(pad, 'p');
+    for (const char* tail : kTails) {
+      const std::string input = prefix + tail;
+      expect_stream_matches_reference(
+          input, "pad " + std::to_string(pad) + " tail");
+      expect_equivalent(input,
+                        "parse pad " + std::to_string(pad) + " tail");
+    }
+  }
+}
+
+/// Entity matching through the raw-byte window: entities straddling
+/// vector lanes, at EOF, and brushing the 32-character match limit.
+TEST(GoldenEquivalence, EntityWindowEdgeCases) {
+  for (std::size_t pad = 0; pad <= 33; ++pad) {
+    const std::string prefix(pad, 'e');
+    expect_equivalent(prefix + "&amp;", "entity after " + std::to_string(pad));
+    expect_equivalent(prefix + "&amp", "bare entity after " +
+                                           std::to_string(pad));
+    expect_equivalent(prefix + "&no", "partial entity after " +
+                                          std::to_string(pad));
+  }
+  const char* cases[] = {
+      "&",
+      "&a",
+      "&amp",
+      "&ampX",
+      "&amp;",
+      "&AMP",
+      "&CounterClockwiseContourIntegral;",  // longest table entry
+      "&CounterClockwiseContourIntegra",    // one short of it
+      "&notit;x",                           // legacy prefix match "&not"
+      "&notin;x",                           // longer match beats "&not"
+      "<a href=\"?x=1&amp=2\">attr exception</a>",
+      "<a href=\"?x=1&not=2\">attr exception</a>",
+      "<a href='&notit;'>legacy in attr</a>",
+      "&amp\xC3\xA9",   // non-ASCII byte right after a bare entity
+      "&amp\r\nx",      // CR after a bare entity
+      "&thisisdefinitelynotanentityname;",
+      "&#x48;&#X6f;&#119;",
+      "&eacute&eacute;&eacuteX",
+  };
+  int index = 0;
+  for (const char* raw : cases) {
+    expect_equivalent(raw, "entity case " + std::to_string(index++));
   }
 }
 

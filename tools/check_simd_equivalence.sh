@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# SIMD equivalence job, next to check_bench_smoke.sh in the CI script set
+# (DESIGN.md section 14).
+#
+# Builds the tree twice — once with the default vector backend and once
+# with -DHV_FORCE_SCALAR=ON, which compiles the round-2 kernels (SIMD run
+# scanning, the UTF-8 DFA pre-scan, the entity trie) out entirely and
+# routes every call site to the scalar reference implementations — then
+# proves the two are indistinguishable:
+#
+#   1. the golden-equivalence suite passes in both builds (the vector
+#      build additionally self-compares scalar vs SIMD in-process via
+#      set_simd_backend);
+#   2. a deterministic study smoke run produces byte-identical CSV output
+#      from both binaries;
+#   3. the SIMD build must actually be faster: bench_compare.py gates
+#      BM_ParseEntityHeavy on a same-machine scalar-vs-vector run.
+#
+# Usage: tools/check_simd_equivalence.sh [build-dir] [scalar-build-dir]
+#        (defaults: build, build-scalar)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+scalar_dir="${2:-"$repo_root/build-scalar"}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configuring and building (vector backend) =="
+cmake -S "$repo_root" -B "$build_dir" -DHV_FORCE_SCALAR=OFF >/dev/null
+cmake --build "$build_dir" -j "$jobs" \
+  --target hv html_golden_equivalence_test bench_micro_parser >/dev/null
+
+echo "== configuring and building (HV_FORCE_SCALAR) =="
+cmake -S "$repo_root" -B "$scalar_dir" -DHV_FORCE_SCALAR=ON >/dev/null
+cmake --build "$scalar_dir" -j "$jobs" \
+  --target hv html_golden_equivalence_test bench_micro_parser >/dev/null
+
+"$build_dir/tools/hv" version
+"$scalar_dir/tools/hv" version
+
+echo "== golden equivalence, both builds =="
+"$build_dir/tests/html_golden_equivalence_test" >/dev/null
+"$scalar_dir/tests/html_golden_equivalence_test" >/dev/null
+
+echo "== study smoke: CSV must be byte-identical =="
+study_flags="--domains 6 --pages 4 --seed 1234 --years 0-7"
+# shellcheck disable=SC2086  # word-splitting the flag list is intended
+"$build_dir/tools/hv" study $study_flags \
+  --csv-out "$tmp_dir/vector.csv" >/dev/null
+# shellcheck disable=SC2086
+"$scalar_dir/tools/hv" study $study_flags \
+  --csv-out "$tmp_dir/scalar.csv" >/dev/null
+cmp "$tmp_dir/scalar.csv" "$tmp_dir/vector.csv"
+lines="$(wc -l < "$tmp_dir/vector.csv")"
+echo "   identical ($lines CSV lines)"
+
+echo "== perf gate: the vector build must beat scalar =="
+"$scalar_dir/bench/bench_micro_parser" \
+  --benchmark_filter='BM_ParseEntityHeavy|BM_ParseBySize' \
+  --benchmark_min_time=0.2 --json "$tmp_dir/bench_scalar.json" >/dev/null
+"$build_dir/bench/bench_micro_parser" \
+  --benchmark_filter='BM_ParseEntityHeavy|BM_ParseBySize' \
+  --benchmark_min_time=0.2 --json "$tmp_dir/bench_vector.json" >/dev/null
+python3 "$repo_root/tools/bench_compare.py" \
+  "$tmp_dir/bench_scalar.json" "$tmp_dir/bench_vector.json" \
+  --max-regression 10 \
+  --require-speedup BM_ParseEntityHeavy:1.3
+
+echo "check_simd_equivalence: OK"
