@@ -39,7 +39,7 @@ constexpr int kUsage = 2;
 
 // Bumped per release; `hv version` also reports which hot-path backend
 // this build selected so perf numbers are attributable (DESIGN.md §14).
-constexpr std::string_view kHvVersion = "0.7.0";
+constexpr std::string_view kHvVersion = "0.8.0";
 
 std::optional<std::string> read_input(const std::string& path,
                                       std::istream& in, std::ostream& err) {
@@ -111,6 +111,7 @@ void print_usage(std::ostream& out) {
          "        [--metrics-out FILE] [--trace-out FILE] "
          "[--report-out FILE]\n"
          "        [--live-out FILE] [--stall-after SEC] [--slow-pages N]\n"
+         "        [--hard-stall-after SEC] [--timeseries-out FILE]\n"
          "        [--results-out FILE] [--csv-out FILE] [--years A-B]\n"
          "        [--max-errors N] [--strict]\n"
          "        [--profile-out FILE] [--profile-hz N]\n"
@@ -134,6 +135,12 @@ void print_usage(std::ostream& out) {
          "  monitor [--once] [--interval-ms N] <path|workdir>\n"
          "                             tail a running hv run's live "
          "snapshot\n"
+         "  monitor --follow [--once] <path|workdir>\n"
+         "                             rate sparklines from the run's "
+         "timeseries.jsonl\n"
+         "  crash <report|workdir>     summarize a crash_report.json "
+         "(fatal signal\n"
+         "                             or --hard-stall-after forensics)\n"
          "  stats [study options] [--format prom|json]\n"
          "                             run a small study, print the "
          "metrics snapshot\n"
@@ -242,6 +249,35 @@ bool parse_study_options(const std::vector<std::string>& args,
       if (!value) return false;
       if (!parse_double(command, "--stall-after", *value,
                         &options->config.health.stall_after_s, err)) {
+        return false;
+      }
+    } else if (args[i] == "--hard-stall-after") {
+      const auto value = required(&i, "seconds");
+      if (!value) return false;
+      if (!parse_double(command, "--hard-stall-after", *value,
+                        &options->config.health.hard_stall_after_s, err)) {
+        return false;
+      }
+    } else if (args[i] == "--timeseries-out") {
+      const auto value = required(&i, "a path");
+      if (!value) return false;
+      options->config.health.timeseries_path = *value;
+    } else if (args[i] == "--debug-crash-at") {
+      // Fault injection for the crash-forensics gate: raise SIGSEGV in
+      // the worker right after it reads this capture.  DOMAIN alone
+      // matches any snapshot; DOMAIN:SNAPSHOT pins one.
+      const auto value = required(&i, "DOMAIN[:SNAPSHOT]");
+      if (!value) return false;
+      const std::size_t colon = value->find(':');
+      if (colon == std::string::npos) {
+        options->config.debug_crash_domain = *value;
+      } else {
+        options->config.debug_crash_domain = value->substr(0, colon);
+        options->config.debug_crash_snapshot = value->substr(colon + 1);
+      }
+      if (options->config.debug_crash_domain.empty()) {
+        err << "hv " << command
+            << ": --debug-crash-at expects DOMAIN[:SNAPSHOT]\n";
         return false;
       }
     } else if (args[i] == "--slow-pages") {
@@ -642,7 +678,24 @@ int run_study_command(const std::vector<std::string>& args,
     if (config.health.live_path.empty()) {
       config.health.live_path = config.workdir / "run_live.json";
     }
+    if (config.health.timeseries_path.empty()) {
+      config.health.timeseries_path = config.workdir / "timeseries.jsonl";
+    }
   }
+
+  // Crash forensics (DESIGN.md §15): every study run arms the fatal-signal
+  // handler so a crash — or a hard stall, with --hard-stall-after — leaves
+  // crash_report.json in the workdir for `hv crash`.  A clean exit removes
+  // the (empty) file again via uninstall.
+  obs::crash::set_build_info(kHvVersion, html::simd::active_backend_name());
+  const bool crash_armed =
+      obs::crash::install({config.workdir / "crash_report.json"});
+  struct CrashGuard {
+    bool armed;
+    ~CrashGuard() {
+      if (armed) obs::crash::uninstall();
+    }
+  } crash_guard{crash_armed};
 
   // Self-contained run: the report's counters and percentiles should
   // describe this study, not whatever earlier commands recorded.
@@ -1136,14 +1189,117 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out,
                            /*profile_default=*/true, out, err);
 }
 
+/// One tick of timeseries.jsonl, decoded: wall offset, window, and the
+/// per-family counter deltas recorded for the window.
+struct TimeseriesTick {
+  double t_s = 0.0;
+  double dt_s = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// `hv monitor --follow`: render per-counter rate sparklines from the
+/// metric-delta series an `hv run` appends (obs/timeseries.h).  Reads the
+/// whole file each frame (ticks are small and bounded by run length) and
+/// draws the last kSparkWidth windows.
+int monitor_follow(const std::filesystem::path& series_path, bool once,
+                   int interval_ms, std::ostream& out, std::ostream& err) {
+  constexpr std::size_t kSparkWidth = 32;
+  static const char* const kSpark[] = {"▁", "▂", "▃", "▄",
+                                       "▅", "▆", "▇", "█"};
+  const std::filesystem::path live_path =
+      series_path.parent_path() / "run_live.json";
+  while (true) {
+    std::vector<TimeseriesTick> ticks;
+    {
+      std::ifstream file(series_path, std::ios::binary);
+      std::string line;
+      while (std::getline(file, line)) {
+        if (line.empty()) continue;
+        const auto parsed = obs::json::parse(line);
+        if (!parsed.has_value() || !parsed->is_object()) continue;
+        TimeseriesTick tick;
+        tick.t_s = parsed->number_or("t_s", 0.0);
+        tick.dt_s = parsed->number_or("dt_s", 0.0);
+        if (const obs::json::Value* counters = parsed->find("counters");
+            counters != nullptr && counters->is_object()) {
+          for (const auto& [name, value] : counters->object) {
+            tick.counters.emplace_back(name, value.number);
+          }
+        }
+        ticks.push_back(std::move(tick));
+      }
+    }
+    if (ticks.size() > kSparkWidth) {
+      ticks.erase(ticks.begin(),
+                  ticks.end() - static_cast<std::ptrdiff_t>(kSparkWidth));
+    }
+    // Union of families over the window, first-seen order.
+    std::vector<std::string> names;
+    for (const TimeseriesTick& tick : ticks) {
+      for (const auto& [name, _] : tick.counters) {
+        if (std::find(names.begin(), names.end(), name) == names.end()) {
+          names.push_back(name);
+        }
+      }
+    }
+    out << "timeseries " << series_path.string() << " (" << ticks.size()
+        << " tick(s))\n";
+    for (const std::string& name : names) {
+      std::vector<double> rates;
+      rates.reserve(ticks.size());
+      double peak = 0.0;
+      for (const TimeseriesTick& tick : ticks) {
+        double delta = 0.0;
+        for (const auto& [tick_name, value] : tick.counters) {
+          if (tick_name == name) delta = value;
+        }
+        const double rate = tick.dt_s > 0.0 ? delta / tick.dt_s : 0.0;
+        rates.push_back(rate);
+        peak = std::max(peak, rate);
+      }
+      out << "  " << name << " ";
+      for (const double rate : rates) {
+        const auto level =
+            peak > 0.0 ? static_cast<std::size_t>(rate / peak * 7.0) : 0;
+        out << kSpark[std::min<std::size_t>(level, 7)];
+      }
+      char last[32];
+      std::snprintf(last, sizeof(last), " %.1f/s\n",
+                    rates.empty() ? 0.0 : rates.back());
+      out << last;
+    }
+    if (names.empty()) out << "  (no counter deltas yet)\n";
+    if (once) return kOk;
+    // Stop when the sibling live snapshot reports the run complete.
+    {
+      std::ifstream live(live_path, std::ios::binary);
+      if (live) {
+        std::ostringstream buffer;
+        buffer << live.rdbuf();
+        const auto snapshot = obs::json::parse(buffer.str());
+        if (snapshot.has_value() && snapshot->is_object() &&
+            snapshot->bool_or("complete", false)) {
+          out << "run complete\n";
+          return kOk;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  (void)err;
+}
+
 int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err) {
   bool once = false;
+  bool follow = false;
   int interval_ms = 500;
   std::string target;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--once") {
       once = true;
+    } else if (args[i] == "--follow") {
+      follow = true;
     } else if (args[i] == "--interval-ms") {
       if (i + 1 >= args.size()) {
         err << "hv monitor: --interval-ms needs a number\n";
@@ -1162,9 +1318,34 @@ int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
     }
   }
   if (target.empty()) {
-    err << "hv monitor: usage: monitor [--once] [--interval-ms N] "
-           "<path|workdir>\n";
+    err << "hv monitor: usage: monitor [--once] [--follow] "
+           "[--interval-ms N] <path|workdir>\n";
     return kUsage;
+  }
+  if (follow) {
+    std::filesystem::path series = target;
+    if (std::filesystem::is_directory(series)) series /= "timeseries.jsonl";
+    if (!std::filesystem::exists(series)) {
+      // Distinguish "run not writing a series" from "this build can't":
+      // an HV_OBS_DISABLED run leaves a marker in its live snapshot.
+      std::ifstream live(series.parent_path() / "run_live.json",
+                         std::ios::binary);
+      if (live) {
+        std::ostringstream buffer;
+        buffer << live.rdbuf();
+        const auto snapshot = obs::json::parse(buffer.str());
+        if (snapshot.has_value() && snapshot->is_object() &&
+            snapshot->bool_or("obs_disabled", false)) {
+          out << "hv monitor: observability disabled "
+                 "(HV_OBS_DISABLED build) — no timeseries\n";
+          return kOk;
+        }
+      }
+      err << "hv monitor: no timeseries at " << series.string()
+          << " (is hv run writing one?)\n";
+      return kUsage;
+    }
+    return monitor_follow(series, once, interval_ms, out, err);
   }
   std::filesystem::path path = target;
   if (std::filesystem::is_directory(path)) path /= "run_live.json";
@@ -1237,6 +1418,131 @@ int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
     if (once) return kOk;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }
+}
+
+int cmd_crash(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  if (args.size() != 1) {
+    err << "hv crash: usage: crash <crash_report.json|workdir>\n";
+    return kUsage;
+  }
+  if (!obs::crash::available()) {
+    // HV_OBS_DISABLED (or platform without POSIX signals): no handler was
+    // ever installed, so there is nothing of ours to read
+    // (tools/check_noop_build.sh asserts on this line).
+    out << "hv crash: observability disabled in this build "
+           "(HV_OBS_DISABLED)\n";
+    return kOk;
+  }
+  std::filesystem::path path = args[0];
+  if (std::filesystem::is_directory(path)) path /= "crash_report.json";
+  if (!std::filesystem::exists(path)) {
+    err << "hv crash: no crash report at " << path.string()
+        << " (a clean run removes it; crashes and hard stalls leave one)\n";
+    return kUsage;
+  }
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const auto report = obs::json::parse(buffer.str());
+  if (!report.has_value() || !report->is_object() ||
+      report->find("reason") == nullptr ||
+      report->find("threads") == nullptr) {
+    err << "hv crash: " << path.string() << " is not a crash report\n";
+    return kUsage;
+  }
+
+  out << "crash report " << path.string() << "\n";
+  out << "  reason: " << report->string_or("reason", "?");
+  if (const std::string name = report->string_or("signal_name", "");
+      !name.empty()) {
+    out << " (" << name << ")";
+  }
+  if (const std::string detail = report->string_or("detail", "");
+      !detail.empty()) {
+    out << " detail=" << detail;
+  }
+  out << "\n";
+  if (const obs::json::Value* build = report->find("build");
+      build != nullptr) {
+    out << "  build: hv " << build->string_or("version", "?")
+        << " (simd: " << build->string_or("simd", "?") << ")\n";
+  }
+  if (report->bool_or("truncated", false)) {
+    out << "  (truncated report — arena overflow fallback)\n";
+  }
+  const double table_drops = report->number_or("thread_drops", 0.0);
+  if (table_drops > 0.0) {
+    out << "  threads dropped (table full): "
+        << static_cast<long long>(table_drops) << "\n";
+  }
+
+  const obs::json::Value* threads = report->find("threads");
+  if (threads != nullptr && threads->is_array()) {
+    for (const obs::json::Value& thread : threads->array) {
+      out << "  thread " << thread.string_or("name", "?")
+          << (thread.bool_or("alive", false) ? "" : " (exited)")
+          << ": events=" << static_cast<long long>(
+                 thread.number_or("events_total", 0.0))
+          << " dropped=" << static_cast<long long>(
+                 thread.number_or("dropped", 0.0))
+          << "\n";
+      if (const obs::json::Value* capture = thread.find("capture");
+          capture != nullptr && capture->is_object()) {
+        out << "    "
+            << (capture->bool_or("active", false) ? "in-flight" : "last")
+            << " capture: " << capture->string_or("domain", "?") << " "
+            << capture->string_or("snapshot", "?") << " year="
+            << static_cast<long long>(capture->number_or("year", 0.0))
+            << " offset=" << static_cast<long long>(
+                   capture->number_or("warc_offset", 0.0));
+        if (capture->bool_or("torn", false)) out << " (torn)";
+        out << "\n";
+      }
+      if (const obs::json::Value* stack = thread.find("prof_stack");
+          stack != nullptr && stack->is_array() && !stack->array.empty()) {
+        out << "    prof stack: ";
+        for (std::size_t i = 0; i < stack->array.size(); ++i) {
+          if (i != 0) out << ";";
+          out << stack->array[i].string;
+        }
+        out << "\n";
+      }
+      // Hottest scope of the recorded tail: the coarse "where was this
+      // thread" answer when there is no live prof stack.
+      if (const obs::json::Value* events = thread.find("events");
+          events != nullptr && events->is_array() &&
+          !events->array.empty()) {
+        std::map<std::string, std::size_t> scope_counts;
+        for (const obs::json::Value& event : events->array) {
+          const std::string scope = event.string_or("scope", "");
+          if (!scope.empty() && scope != "(none)") ++scope_counts[scope];
+        }
+        const auto hottest = std::max_element(
+            scope_counts.begin(), scope_counts.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+        if (hottest != scope_counts.end()) {
+          out << "    hottest scope: " << hottest->first << " ("
+              << hottest->second << " of " << events->array.size()
+              << " events)\n";
+        }
+        const obs::json::Value& last = events->array.back();
+        out << "    last event: " << last.string_or("kind", "?");
+        if (const std::string scope = last.string_or("scope", "");
+            !scope.empty() && scope != "(none)") {
+          out << " " << scope;
+        }
+        out << " arg=" << static_cast<long long>(last.number_or("arg", 0.0))
+            << "\n";
+      }
+    }
+  }
+  const obs::json::Value* metrics = report->find("metrics");
+  out << "  metrics snapshot: "
+      << (metrics != nullptr && metrics->is_object() ? "embedded"
+                                                     : "absent")
+      << "\n";
+  return kOk;
 }
 
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
@@ -1495,6 +1801,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (command == "profile") return cmd_profile(rest, out, err);
   if (command == "query") return cmd_query(rest, out, err);
   if (command == "monitor") return cmd_monitor(rest, out, err);
+  if (command == "crash") return cmd_crash(rest, out, err);
   if (command == "stats") return cmd_stats(rest, out, err);
   if (command == "warc") return cmd_warc(rest, out, err);
   err << "hv: unknown command '" << command << "'\n";

@@ -32,6 +32,13 @@
 //   hv monitor [--once] [--interval-ms N] <path|workdir>
 //                                     tail the live snapshot a running
 //                                     `hv run` rewrites
+//   hv monitor --follow [--once] <path|workdir>
+//                                     render per-counter rate sparklines
+//                                     from the run's timeseries.jsonl
+//   hv crash <report|workdir>         summarize a crash_report.json left
+//                                     by a fatal signal or a hard stall
+//                                     (--hard-stall-after): reason, per-
+//                                     thread breadcrumbs, hottest scope
 //   hv stats [study options] [--format prom|json]
 //                                     run a small study, print the obs
 //                                     metrics snapshot
@@ -89,6 +96,8 @@ int cmd_query(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_monitor(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err);
+int cmd_crash(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_warc(const std::vector<std::string>& args, std::ostream& out,

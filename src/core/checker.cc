@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "net/url.h"
+#include "obs/fdr.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 
@@ -251,6 +252,7 @@ void Checker::add_rule(std::unique_ptr<Rule> rule) {
                          .with({rule_name});
   metrics.prof_scope =
       obs::prof::intern_scope("rule:" + std::string(rule_name));
+  metrics.fdr_scope = obs::fdr::intern("rule:" + std::string(rule_name));
   rule_metrics_.push_back(metrics);
   rules_.push_back(std::move(rule));
 }
@@ -291,7 +293,11 @@ CheckResult Checker::check(const html::ParseResult& parse,
     const std::size_t before = result.findings.size();
     rules_[i]->evaluate(context, result.findings);
     const std::size_t emitted = result.findings.size() - before;
-    if (emitted != 0) rule_metrics_[i].hits->inc(emitted);
+    if (emitted != 0) {
+      rule_metrics_[i].hits->inc(emitted);
+      obs::fdr::emit(obs::fdr::EventKind::kRuleFire,
+                     rule_metrics_[i].fdr_scope, emitted);
+    }
 #ifndef HV_OBS_DISABLED
     const auto now = std::chrono::steady_clock::now();
     rule_metrics_[i].seconds->observe(

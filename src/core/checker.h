@@ -98,6 +98,9 @@ class Checker {
     /// Profiler leaf scope (`rule:<name>`, obs/prof.h) the check loop
     /// points the thread's attribution leaf at while the rule runs.
     std::uint16_t prof_scope = 0;
+    /// Flight-recorder scope (same name, obs/fdr.h) for kRuleFire events
+    /// recorded when the rule emits findings.
+    std::uint16_t fdr_scope = 0;
   };
 
   std::vector<std::unique_ptr<Rule>> rules_;

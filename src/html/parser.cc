@@ -5,6 +5,7 @@
 #include "html/token.h"
 #include "html/tokenizer.h"
 #include "html/treebuilder.h"
+#include "obs/fdr.h"
 #include "obs/prof.h"
 
 namespace hv::html {
@@ -29,6 +30,8 @@ ParseResult parse(std::string_view html) { return parse(html, {}); }
 
 ParseResult parse(std::string_view html, const ParseOptions& options) {
   HV_PROF_SCOPE("parse");
+  obs::fdr::emit(obs::fdr::EventKind::kParseBegin, obs::fdr::kNoScope,
+                 html.size());
   ParseResult result;
   result.document = std::make_unique<Document>();
 
@@ -39,6 +42,8 @@ ParseResult parse(std::string_view html, const ParseOptions& options) {
   builder.set_tokenizer(&tokenizer);
   tokenizer.run();
   result.input_utf8_valid = input.wellformed_utf8();
+  obs::fdr::emit(obs::fdr::EventKind::kParseEnd, obs::fdr::kNoScope,
+                 result.errors.size());
   return result;
 }
 

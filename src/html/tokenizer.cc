@@ -6,6 +6,7 @@
 #include <cassert>
 
 #include "html/encoding.h"
+#include "obs/fdr.h"
 #include "obs/prof.h"
 
 namespace hv::html {
@@ -65,6 +66,19 @@ const std::array<obs::prof::ScopeId, kTokGroupCount>& tok_group_scopes() {
       obs::prof::intern_scope("tok:doctype"),
       obs::prof::intern_scope("tok:cdata"),
       obs::prof::intern_scope("tok:charref"),
+  };
+  return ids;
+}
+
+/// Flight-recorder mirror of the same nine groups, so a crash report's
+/// event tail shows which tokenizer sub-machine the thread was in.
+const std::array<obs::fdr::ScopeId, kTokGroupCount>& tok_group_fdr_scopes() {
+  static const std::array<obs::fdr::ScopeId, kTokGroupCount> ids = {
+      obs::fdr::intern("tok:text_run"), obs::fdr::intern("tok:tag"),
+      obs::fdr::intern("tok:end_tag_scan"),
+      obs::fdr::intern("tok:script_escape"), obs::fdr::intern("tok:attr"),
+      obs::fdr::intern("tok:comment"),  obs::fdr::intern("tok:doctype"),
+      obs::fdr::intern("tok:cdata"),    obs::fdr::intern("tok:charref"),
   };
   return ids;
 }
@@ -309,6 +323,15 @@ void Tokenizer::step() {
   if (prof_group != prof_group_) {
     prof_group_ = prof_group;
     obs::prof::set_leaf(tok_group_scopes()[prof_group]);
+    // Flight-recorder milestone, throttled: group changes are rare per
+    // character but frequent per page (thousands on script-dense markup,
+    // where every '<' or '-' bounces text_run <-> end_tag_scan), so
+    // record every 256th transition — enough tail context to place a
+    // crash inside the tokenizer without measurable per-page cost.
+    if ((fdr_group_changes_++ & 255u) == 0) {
+      obs::fdr::emit(obs::fdr::EventKind::kTokenizerState,
+                     tok_group_fdr_scopes()[prof_group], fdr_group_changes_);
+    }
   }
 #endif
 

@@ -207,6 +207,9 @@ class Tokenizer {
   /// group the thread-local leaf slot currently holds.  step() only
   /// touches TLS on group transitions, keeping per-character cost zero.
   std::uint8_t prof_group_ = 0xFF;
+  /// Flight-recorder throttle: counts group transitions; every 64th one
+  /// is recorded as a kTokenizerState event (see step()).
+  std::uint32_t fdr_group_changes_ = 0;
 };
 
 }  // namespace hv::html

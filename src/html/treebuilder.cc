@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "html/encoding.h"
+#include "obs/fdr.h"
 #include "obs/prof.h"
 
 namespace hv::html {
@@ -44,6 +45,40 @@ obs::prof::ScopeId mode_scope(InsertionMode mode) {
   };
   const auto index = static_cast<std::size_t>(mode);
   return index < ids.size() ? ids[index] : obs::prof::kNoScope;
+}
+
+/// Flight-recorder mirror: one "mode:*" scope per insertion mode, so a
+/// crash report's event tail shows where in the tree-construction state
+/// machine the thread was.  Emitted only on mode *changes* (dozens per
+/// page, not per token) — cheap enough to leave unthrottled.
+obs::fdr::ScopeId mode_fdr_scope(InsertionMode mode) {
+  static const std::array<obs::fdr::ScopeId, 23> ids = {
+      obs::fdr::intern("mode:initial"),
+      obs::fdr::intern("mode:before_html"),
+      obs::fdr::intern("mode:before_head"),
+      obs::fdr::intern("mode:in_head"),
+      obs::fdr::intern("mode:in_head_noscript"),
+      obs::fdr::intern("mode:after_head"),
+      obs::fdr::intern("mode:in_body"),
+      obs::fdr::intern("mode:text"),
+      obs::fdr::intern("mode:in_table"),
+      obs::fdr::intern("mode:in_table_text"),
+      obs::fdr::intern("mode:in_caption"),
+      obs::fdr::intern("mode:in_column_group"),
+      obs::fdr::intern("mode:in_table_body"),
+      obs::fdr::intern("mode:in_row"),
+      obs::fdr::intern("mode:in_cell"),
+      obs::fdr::intern("mode:in_select"),
+      obs::fdr::intern("mode:in_select_in_table"),
+      obs::fdr::intern("mode:in_template"),
+      obs::fdr::intern("mode:after_body"),
+      obs::fdr::intern("mode:in_frameset"),
+      obs::fdr::intern("mode:after_frameset"),
+      obs::fdr::intern("mode:after_after_body"),
+      obs::fdr::intern("mode:after_after_frameset"),
+  };
+  const auto index = static_cast<std::size_t>(mode);
+  return index < ids.size() ? ids[index] : obs::fdr::kNoScope;
 }
 #endif
 
@@ -332,6 +367,15 @@ void TreeBuilder::dispatch(Token& token) {
 void TreeBuilder::process_by_mode(Token& token, InsertionMode mode) {
 #ifndef HV_OBS_DISABLED
   const obs::prof::LeafScope leaf_scope(mode_scope(mode));
+  if (static_cast<int>(mode) != fdr_last_mode_) {
+    fdr_last_mode_ = static_cast<int>(mode);
+    // Table-dense markup flips modes on nearly every tag, so record at
+    // most every 8th change (the first is change 0, so it always lands).
+    if ((fdr_mode_changes_++ & 7u) == 0) {
+      obs::fdr::emit(obs::fdr::EventKind::kTreeMode, mode_fdr_scope(mode),
+                     static_cast<std::uint64_t>(mode));
+    }
+  }
 #endif
   switch (mode) {
     case InsertionMode::kInitial:

@@ -199,6 +199,11 @@ class TreeBuilder final : public TokenSink {
 
   InsertionMode mode_ = InsertionMode::kInitial;
   InsertionMode original_mode_ = InsertionMode::kInBody;
+  /// Flight-recorder dedup: last insertion mode recorded as a kTreeMode
+  /// event (-1 = none yet) and a change counter for the 1-in-8 emit
+  /// throttle; see process_by_mode.
+  int fdr_last_mode_ = -1;
+  std::uint32_t fdr_mode_changes_ = 0;
   std::vector<InsertionMode> template_modes_;
 
   std::vector<Element*> open_elements_;

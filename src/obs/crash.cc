@@ -1,0 +1,491 @@
+#include "obs/crash.h"
+
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <string>
+
+#include "obs/fdr.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+
+#if !defined(_WIN32)
+#define HV_CRASH_HAVE_SIGNALS 1
+#include <csignal>
+#include <ctime>
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define HV_CRASH_HAVE_SIGNALS 0
+#endif
+
+namespace hv::obs::crash {
+
+#if !defined(HV_OBS_DISABLED) && HV_CRASH_HAVE_SIGNALS
+
+namespace {
+
+// --- static state (everything the handler touches lives here) ---------------
+
+constexpr std::size_t kArenaCap = 1 << 20;
+constexpr std::size_t kMetricsCap = 256 * 1024;
+constexpr std::size_t kPathCap = 4096;
+constexpr std::size_t kAltStackCap = 64 * 1024;
+constexpr int kSignals[] = {SIGSEGV, SIGBUS, SIGABRT, SIGFPE, SIGILL};
+constexpr std::size_t kSignalCount = sizeof(kSignals) / sizeof(kSignals[0]);
+
+/// Report-file claim: 0 = none, 1 = a writer is formatting, 2 = a
+/// soft (hard-stall) report is on disk, 3 = a fatal report is on disk.
+/// Fatal writers may reclaim state 2 — the crash after a stall is the
+/// better evidence; nothing ever overwrites state 3.
+std::atomic<int> g_state{0};
+std::atomic<bool> g_installed{false};
+int g_fd = -1;
+char g_path[kPathCap] = {0};
+char g_arena[kArenaCap];
+char g_altstack[kAltStackCap];
+char g_build_version[64] = {0};
+char g_build_backend[64] = {0};
+struct sigaction g_saved[kSignalCount];
+std::terminate_handler g_saved_terminate = nullptr;
+
+/// Double-buffered pre-rendered metrics JSON.  Each side carries a
+/// seqlock version (odd while being rewritten) so the handler can tell
+/// a stable snapshot from one the sampler is re-rendering under it.
+struct MetricsBuffers {
+  char buf[2][kMetricsCap];
+  std::size_t len[2] = {0, 0};
+  std::atomic<std::uint32_t> ver[2] = {{0}, {0}};
+  std::atomic<int> published{-1};
+  std::mutex refresh_mutex;  // normal-context writers only
+};
+MetricsBuffers g_metrics;
+
+std::uint64_t monotonic_ns() noexcept {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+const char* signal_name(int signo) noexcept {
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGABRT: return "SIGABRT";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    default: return "";
+  }
+}
+
+// --- async-signal-safe JSON formatting --------------------------------------
+
+struct Writer {
+  char* p;
+  char* end;
+  bool overflow = false;
+
+  void byte(char c) noexcept {
+    if (p < end) {
+      *p++ = c;
+    } else {
+      overflow = true;
+    }
+  }
+  void raw(const char* s) noexcept {
+    while (*s != '\0') byte(*s++);
+  }
+  void raw_n(const char* s, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) byte(s[i]);
+  }
+  void u64(std::uint64_t v) noexcept {
+    char tmp[20];
+    std::size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) byte(tmp[--n]);
+  }
+  /// `"..."` with JSON escaping (the only strings that reach here are
+  /// scope names, thread names and domains).
+  void quoted(const char* s) noexcept {
+    byte('"');
+    for (; *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      if (c == '"' || c == '\\') {
+        byte('\\');
+        byte(static_cast<char>(c));
+      } else if (c < 0x20) {
+        byte('\\');
+        byte('u');
+        byte('0');
+        byte('0');
+        const char* hex = "0123456789abcdef";
+        byte(hex[c >> 4]);
+        byte(hex[c & 0xF]);
+      } else {
+        byte(static_cast<char>(c));
+      }
+    }
+    byte('"');
+  }
+};
+
+/// Copies one thread's breadcrumb out from under its seqlock.  Returns
+/// false when the breadcrumb was never set; `torn` reports a read that
+/// never stabilized.
+struct CrumbCopy {
+  char domain[fdr::kCrumbDomain];
+  char snapshot[fdr::kCrumbSnapshot];
+  std::uint32_t year = 0;
+  std::uint64_t offset = 0;
+  bool active = false;
+  bool torn = false;
+};
+
+bool copy_crumb(const fdr::detail::ThreadRec& rec, CrumbCopy& out) noexcept {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint32_t before =
+        rec.crumb_seq.load(std::memory_order_acquire);
+    if (before == 0) return false;
+    if ((before & 1u) != 0) continue;
+    std::memcpy(out.domain, rec.crumb_domain, sizeof(out.domain));
+    std::memcpy(out.snapshot, rec.crumb_snapshot, sizeof(out.snapshot));
+    out.year = rec.crumb_year;
+    out.offset = rec.crumb_offset;
+    out.active = rec.crumb_active.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rec.crumb_seq.load(std::memory_order_relaxed) == before) {
+      out.torn = false;
+      return true;
+    }
+  }
+  out.domain[sizeof(out.domain) - 1] = '\0';
+  out.snapshot[sizeof(out.snapshot) - 1] = '\0';
+  out.torn = true;
+  return true;
+}
+
+void format_thread(Writer& w, const fdr::detail::ThreadRec& rec) noexcept {
+  w.raw("{\"name\": ");
+  w.quoted(rec.name);
+  const bool alive = rec.alive.load(std::memory_order_acquire);
+  w.raw(alive ? ", \"alive\": true" : ", \"alive\": false");
+  const std::uint64_t cursor = rec.cursor.load(std::memory_order_acquire);
+  const std::uint64_t dropped =
+      cursor > fdr::kRingCapacity ? cursor - fdr::kRingCapacity : 0;
+  w.raw(", \"events_total\": ");
+  w.u64(cursor);
+  w.raw(", \"dropped\": ");
+  w.u64(dropped);
+
+  // Live HV_PROF_SCOPE stack (root-first, leaf last).
+  w.raw(", \"prof_stack\": [");
+  if (alive && rec.prof_stack != nullptr) {
+    const auto* stack =
+        static_cast<const prof::detail::ScopeStack*>(rec.prof_stack);
+    std::uint32_t depth = stack->depth.load(std::memory_order_relaxed);
+    if (depth > prof::kMaxDepth) depth = prof::kMaxDepth;
+    bool first = true;
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      if (!first) w.raw(", ");
+      w.quoted(prof::scope_name_raw(
+          stack->frames[d].load(std::memory_order_relaxed)));
+      first = false;
+    }
+    const prof::ScopeId leaf = stack->leaf.load(std::memory_order_relaxed);
+    if (leaf != prof::kNoScope) {
+      if (!first) w.raw(", ");
+      w.quoted(prof::scope_name_raw(leaf));
+    }
+  }
+  w.raw("]");
+
+  // In-flight (or last-completed) capture breadcrumb.
+  CrumbCopy crumb;
+  if (copy_crumb(rec, crumb)) {
+    w.raw(", \"capture\": {\"domain\": ");
+    w.quoted(crumb.domain);
+    w.raw(", \"snapshot\": ");
+    w.quoted(crumb.snapshot);
+    w.raw(", \"year\": ");
+    w.u64(crumb.year);
+    w.raw(", \"warc_offset\": ");
+    w.u64(crumb.offset);
+    w.raw(crumb.active ? ", \"active\": true" : ", \"active\": false");
+    w.raw(crumb.torn ? ", \"torn\": true}" : ", \"torn\": false}");
+  } else {
+    w.raw(", \"capture\": null");
+  }
+
+  // Newest kReportEvents flight-recorder events, oldest first.
+  w.raw(", \"events\": [");
+  const std::uint64_t first_event =
+      cursor > fdr::kReportEvents ? cursor - fdr::kReportEvents : 0;
+  bool first = true;
+  for (std::uint64_t c = first_event; c < cursor; ++c) {
+    const fdr::Event& event = rec.ring[c % fdr::kRingCapacity];
+    if (!first) w.raw(", ");
+    w.raw("{\"t_ns\": ");
+    w.u64(event.t_ns);
+    w.raw(", \"kind\": ");
+    w.quoted(fdr::kind_name(event.kind));
+    w.raw(", \"scope\": ");
+    w.quoted(fdr::scope_name(event.scope));
+    w.raw(", \"arg\": ");
+    w.u64(event.arg);
+    w.raw("}");
+    first = false;
+  }
+  w.raw("]}");
+}
+
+std::size_t format_report(char* buffer, std::size_t cap, const char* reason,
+                          int signo, const char* detail) noexcept {
+  Writer w{buffer, buffer + cap};
+  w.raw("{\n\"version\": 1,\n\"obs_disabled\": false,\n\"reason\": ");
+  w.quoted(reason);
+  w.raw(",\n\"signal\": ");
+  w.u64(static_cast<std::uint64_t>(signo));
+  w.raw(",\n\"signal_name\": ");
+  w.quoted(signal_name(signo));
+  w.raw(",\n\"detail\": ");
+  w.quoted(detail);
+  w.raw(",\n\"pid\": ");
+  w.u64(static_cast<std::uint64_t>(getpid()));
+  w.raw(",\n\"now_ns\": ");
+  w.u64(monotonic_ns());
+  w.raw(",\n\"build\": {\"version\": ");
+  w.quoted(g_build_version);
+  w.raw(", \"simd\": ");
+  w.quoted(g_build_backend);
+  w.raw("},\n\"thread_drops\": ");
+  w.u64(fdr::thread_drops());
+
+  w.raw(",\n\"threads\": [");
+  const std::size_t n = fdr::detail::thread_count();
+  bool first = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const fdr::detail::ThreadRec* rec = fdr::detail::thread_at(i);
+    if (rec == nullptr) continue;
+    if (!first) w.raw(",\n  ");
+    else w.raw("\n  ");
+    format_thread(w, *rec);
+    first = false;
+  }
+  w.raw(first ? "]" : "\n]");
+
+  // Pre-rendered metrics snapshot (only if its seqlock is stable — an
+  // unstable side would splice torn JSON into the report).
+  w.raw(",\n\"metrics\": ");
+  const int side = g_metrics.published.load(std::memory_order_acquire);
+  bool metrics_done = false;
+  if (side >= 0) {
+    const std::uint32_t ver =
+        g_metrics.ver[side].load(std::memory_order_acquire);
+    if ((ver & 1u) == 0) {
+      const std::size_t len = g_metrics.len[side];
+      if (w.p + len <= w.end) {
+        w.raw_n(g_metrics.buf[side], len);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (g_metrics.ver[side].load(std::memory_order_relaxed) == ver) {
+          metrics_done = true;
+        } else {
+          w.p -= len;  // sampler re-rendered under us: back out
+        }
+      }
+    }
+  }
+  if (!metrics_done) w.raw("null");
+  w.raw("\n}\n");
+
+  if (w.overflow) {
+    // Fall back to a minimal, guaranteed-valid report.
+    Writer m{buffer, buffer + cap};
+    m.raw("{\"version\": 1, \"obs_disabled\": false, \"reason\": ");
+    m.quoted(reason);
+    m.raw(", \"signal\": ");
+    m.u64(static_cast<std::uint64_t>(signo));
+    m.raw(", \"truncated\": true}\n");
+    return static_cast<std::size_t>(m.p - buffer);
+  }
+  return static_cast<std::size_t>(w.p - buffer);
+}
+
+void write_report_file(const char* reason, int signo,
+                       const char* detail) noexcept {
+  const std::size_t len =
+      format_report(g_arena, kArenaCap, reason, signo, detail);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = pwrite(g_fd, g_arena + done, len - done,
+                             static_cast<off_t>(done));
+    if (n <= 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  // A fatal report may be shorter than the hard-stall report it
+  // replaces; truncate so no stale tail survives.
+  (void)ftruncate(g_fd, static_cast<off_t>(done));
+  (void)fsync(g_fd);
+}
+
+/// Fatal writers claim a fresh file (0) or overwrite a stall report (2).
+bool acquire_fatal() noexcept {
+  int expected = 0;
+  if (g_state.compare_exchange_strong(expected, 1)) return true;
+  if (expected == 2) return g_state.compare_exchange_strong(expected, 1);
+  return false;
+}
+
+void restore_and_reraise(int signo) noexcept {
+  struct sigaction dfl;
+  std::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  sigaction(signo, &dfl, nullptr);
+  raise(signo);
+}
+
+void fatal_handler(int signo) {
+  if (acquire_fatal()) {
+    write_report_file("signal", signo, "");
+    g_state.store(3, std::memory_order_release);
+  } else {
+    // Another thread is mid-report: give it a bounded moment so the
+    // file is complete before the process dies.
+    struct timespec delay{0, 1000000};  // 1 ms
+    for (int i = 0;
+         i < 2000 && g_state.load(std::memory_order_acquire) == 1; ++i) {
+      nanosleep(&delay, nullptr);
+    }
+  }
+  restore_and_reraise(signo);
+}
+
+[[noreturn]] void terminate_handler() {
+  int expected = 0;
+  if (g_state.compare_exchange_strong(expected, 1)) {
+    write_report_file("terminate", 0, "");
+    g_state.store(3, std::memory_order_release);
+  }
+  std::abort();  // our SIGABRT handler sees state 3 and just re-raises
+}
+
+}  // namespace
+
+bool install(const InstallOptions& options) {
+  if (g_installed.load(std::memory_order_acquire)) return false;
+  const std::string path = options.path.string();
+  if (path.empty() || path.size() >= kPathCap) return false;
+  const int fd = open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  (void)ftruncate(fd, 0);
+  g_fd = fd;
+  std::memcpy(g_path, path.c_str(), path.size() + 1);
+  g_state.store(0, std::memory_order_relaxed);
+
+  stack_t altstack;
+  std::memset(&altstack, 0, sizeof(altstack));
+  altstack.ss_sp = g_altstack;
+  altstack.ss_size = kAltStackCap;
+  sigaltstack(&altstack, nullptr);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = fatal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_ONSTACK;
+  for (std::size_t i = 0; i < kSignalCount; ++i) {
+    sigaction(kSignals[i], &action, &g_saved[i]);
+  }
+  g_saved_terminate = std::set_terminate(terminate_handler);
+  g_installed.store(true, std::memory_order_release);
+  return true;
+}
+
+void uninstall() {
+  if (!g_installed.load(std::memory_order_acquire)) return;
+  for (std::size_t i = 0; i < kSignalCount; ++i) {
+    sigaction(kSignals[i], &g_saved[i], nullptr);
+  }
+  std::set_terminate(g_saved_terminate);
+  const bool written = g_state.load(std::memory_order_acquire) >= 2;
+  if (g_fd >= 0) close(g_fd);
+  g_fd = -1;
+  if (!written) unlink(g_path);
+  g_path[0] = '\0';
+  g_state.store(0, std::memory_order_relaxed);
+  g_installed.store(false, std::memory_order_release);
+}
+
+bool installed() noexcept {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+bool report_written() noexcept {
+  return g_installed.load(std::memory_order_acquire) &&
+         g_state.load(std::memory_order_acquire) >= 2;
+}
+
+void set_build_info(std::string_view version, std::string_view backend) {
+  const auto copy = [](char* dst, std::size_t cap, std::string_view src) {
+    const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+  };
+  copy(g_build_version, sizeof(g_build_version), version);
+  copy(g_build_backend, sizeof(g_build_backend), backend);
+}
+
+void refresh_metrics(const Registry& registry) {
+  std::lock_guard<std::mutex> lock(g_metrics.refresh_mutex);
+  const std::string text = registry.json_text();
+  const int side = 1 - g_metrics.published.load(std::memory_order_relaxed);
+  const int target = side < 0 || side > 1 ? 0 : side;
+  g_metrics.ver[target].fetch_add(1, std::memory_order_acq_rel);
+  if (text.size() < kMetricsCap) {
+    std::memcpy(g_metrics.buf[target], text.data(), text.size());
+    g_metrics.len[target] = text.size();
+  } else {
+    static constexpr char kTooBig[] = "{\"truncated\": true}";
+    std::memcpy(g_metrics.buf[target], kTooBig, sizeof(kTooBig) - 1);
+    g_metrics.len[target] = sizeof(kTooBig) - 1;
+  }
+  g_metrics.ver[target].fetch_add(1, std::memory_order_release);
+  g_metrics.published.store(target, std::memory_order_release);
+}
+
+bool write_report_now(std::string_view reason, std::string_view detail) {
+  if (!g_installed.load(std::memory_order_acquire)) return false;
+  int expected = 0;
+  if (!g_state.compare_exchange_strong(expected, 1)) return false;
+  char reason_buf[64];
+  char detail_buf[128];
+  const auto copy = [](char* dst, std::size_t cap, std::string_view src) {
+    const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+  };
+  copy(reason_buf, sizeof(reason_buf), reason);
+  copy(detail_buf, sizeof(detail_buf), detail);
+  write_report_file(reason_buf, 0, detail_buf);
+  g_state.store(2, std::memory_order_release);
+  return true;
+}
+
+#else  // disabled or no signal support
+
+bool install(const InstallOptions&) { return false; }
+void uninstall() {}
+bool installed() noexcept { return false; }
+bool report_written() noexcept { return false; }
+void set_build_info(std::string_view, std::string_view) {}
+void refresh_metrics(const Registry&) {}
+bool write_report_now(std::string_view, std::string_view) { return false; }
+
+#endif
+
+}  // namespace hv::obs::crash

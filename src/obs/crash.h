@@ -1,0 +1,81 @@
+// hv::obs::crash — fatal-signal crash reports fed by the flight
+// recorder (fdr.h).
+//
+// install() pre-opens the report fd, pre-commits a formatting arena and
+// hooks SIGSEGV/SIGBUS/SIGABRT/SIGFPE/SIGILL (on an alternate stack)
+// plus std::terminate.  When the process dies, the handler formats
+// `crash_report.json` — reason + signal, build/backend info, and per
+// registered thread the last-N flight-recorder events, the live
+// HV_PROF_SCOPE stack, the in-flight capture breadcrumb (domain /
+// year / WARC offset) and drop accounting, plus the most recent metrics
+// snapshot — then restores the default disposition and re-raises so the
+// exit status still tells the truth.
+//
+// Async-signal-safety contract: after install() the handler only calls
+// write/pwrite/ftruncate/fsync/nanosleep, reads fdr's lock-free
+// structures and prof::scope_name_raw's immutable name table, and
+// formats into a static arena.  No allocation, no locks, no stdio.
+// The metrics snapshot is double-buffered: refresh_metrics() (called
+// by the timeseries sampler from normal context) renders the registry
+// into the spare buffer and atomically publishes it; the handler only
+// ever copies the published side.
+//
+// The stall watchdog (health.h, `hard_stall_after_s`) escalates into
+// the same report via write_report_now("hard-stall", ...) — the run
+// keeps going, but the evidence is on disk.  First writer wins, with
+// one exception: a fatal signal may overwrite a hard-stall report,
+// because the crash that follows a stall is the better evidence.
+//
+// Under HV_OBS_DISABLED install() returns false and nothing is hooked.
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace hv::obs {
+class Registry;
+}  // namespace hv::obs
+
+namespace hv::obs::crash {
+
+constexpr bool available() noexcept {
+#ifdef HV_OBS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+struct InstallOptions {
+  std::filesystem::path path;  ///< where crash_report.json lands
+};
+
+/// Opens the report fd, installs the signal + terminate handlers.
+/// False when already installed, the path can't be opened, or the
+/// build has observability compiled out.  Not thread-safe with itself.
+bool install(const InstallOptions& options);
+
+/// Restores the previous handlers, closes the fd and — when no report
+/// was written — unlinks the (empty) report file so clean runs leave
+/// nothing behind.
+void uninstall();
+
+bool installed() noexcept;
+bool report_written() noexcept;
+
+/// Records the version/backend strings embedded in reports (truncating
+/// copies into static storage; call before or after install).
+void set_build_info(std::string_view version, std::string_view backend);
+
+/// Renders `registry` into the spare metrics buffer and publishes it
+/// for the handler.  Normal context only; the timeseries sampler calls
+/// this every tick.
+void refresh_metrics(const Registry& registry);
+
+/// Writes a report from normal context without terminating — the
+/// watchdog's hard-stall escalation.  `detail` names the trigger (the
+/// stalled worker).  False when not installed or a fatal report
+/// already claimed the file.
+bool write_report_now(std::string_view reason, std::string_view detail = {});
+
+}  // namespace hv::obs::crash

@@ -1,0 +1,292 @@
+#include "obs/fdr.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "obs/prof.h"
+
+namespace hv::obs::fdr {
+
+const char* kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kNone: return "none";
+    case EventKind::kStageEnter: return "stage-enter";
+    case EventKind::kStageExit: return "stage-exit";
+    case EventKind::kCaptureBegin: return "capture-begin";
+    case EventKind::kCaptureEnd: return "capture-end";
+    case EventKind::kParseBegin: return "parse-begin";
+    case EventKind::kParseEnd: return "parse-end";
+    case EventKind::kTokenizerState: return "tokenizer-state";
+    case EventKind::kTreeMode: return "tree-mode";
+    case EventKind::kRuleFire: return "rule-fire";
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kStoreAdd: return "store-add";
+    case EventKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+#ifndef HV_OBS_DISABLED
+
+namespace {
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// The scope table.  Interning takes a mutex; reading a published slot
+/// is lock-free (names are written before the count's release store and
+/// never change afterwards), so the crash handler can resolve names.
+struct ScopeTable {
+  std::mutex mutex;
+  char names[kMaxScopes][kMaxScopeName] = {{0}};
+  std::atomic<std::uint32_t> count{1};  // slot 0 reserved for kNoScope
+};
+
+ScopeTable& scope_table() {
+  static ScopeTable* const table = new ScopeTable();
+  return *table;
+}
+
+/// The thread table: fixed array of pointers published with a release
+/// store on the count so signal-context iteration sees fully-built
+/// records.  Records intentionally leak (dead threads stay reportable).
+struct ThreadTable {
+  std::atomic<detail::ThreadRec*> slots[kMaxThreads] = {};
+  std::atomic<std::uint32_t> count{0};
+  std::atomic<std::uint64_t> drops{0};
+};
+
+ThreadTable& thread_table() {
+  static ThreadTable* const table = new ThreadTable();
+  return *table;
+}
+
+/// Marks the record dead when its thread exits.
+struct ThreadExitGuard {
+  detail::ThreadRec* rec = nullptr;
+  ~ThreadExitGuard() {
+    if (rec != nullptr) {
+      rec->prof_stack = nullptr;
+      rec->alive.store(false, std::memory_order_release);
+    }
+  }
+};
+
+thread_local detail::ThreadRec* tls_rec = nullptr;
+thread_local ThreadExitGuard tls_exit_guard;
+
+/// Registers the calling thread (normal context: allocates).  Returns
+/// nullptr when the table is full.
+detail::ThreadRec* register_thread() {
+  ThreadTable& table = thread_table();
+  auto* rec = new detail::ThreadRec();
+  rec->prof_stack = static_cast<void*>(&prof::detail::tls_stack);
+  const std::uint32_t index =
+      table.count.fetch_add(1, std::memory_order_relaxed);
+  if (index >= kMaxThreads) {
+    table.count.fetch_sub(1, std::memory_order_relaxed);
+    table.drops.fetch_add(1, std::memory_order_relaxed);
+    delete rec;
+    return nullptr;
+  }
+  std::snprintf(rec->name, sizeof(rec->name), "t%u", index);
+  // Publish after the record is fully built.
+  table.slots[index].store(rec, std::memory_order_release);
+  tls_rec = rec;
+  tls_exit_guard.rec = rec;
+  return rec;
+}
+
+detail::ThreadRec* thread_rec() {
+  detail::ThreadRec* rec = tls_rec;
+  return rec != nullptr ? rec : register_thread();
+}
+
+Breadcrumb read_crumb(const detail::ThreadRec& rec) {
+  Breadcrumb crumb;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint32_t before =
+        rec.crumb_seq.load(std::memory_order_acquire);
+    if (before == 0) return crumb;  // never set
+    if ((before & 1u) != 0) continue;
+    crumb.domain = rec.crumb_domain;
+    crumb.snapshot = rec.crumb_snapshot;
+    crumb.year = rec.crumb_year;
+    crumb.offset = rec.crumb_offset;
+    crumb.active = rec.crumb_active.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rec.crumb_seq.load(std::memory_order_relaxed) == before) {
+      crumb.valid = true;
+      return crumb;
+    }
+  }
+  crumb.valid = true;  // torn but better than nothing
+  return crumb;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::size_t thread_count() noexcept {
+  const std::uint32_t n =
+      thread_table().count.load(std::memory_order_acquire);
+  return n < kMaxThreads ? n : kMaxThreads;
+}
+
+const ThreadRec* thread_at(std::size_t index) noexcept {
+  if (index >= kMaxThreads) return nullptr;
+  return thread_table().slots[index].load(std::memory_order_acquire);
+}
+
+}  // namespace detail
+
+ScopeId intern(std::string_view name) {
+  ScopeTable& table = scope_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  const std::uint32_t count = table.count.load(std::memory_order_relaxed);
+  for (std::uint32_t id = 1; id < count; ++id) {
+    if (name == table.names[id]) return static_cast<ScopeId>(id);
+  }
+  if (count >= kMaxScopes) return kNoScope;
+  copy_truncated(table.names[count], kMaxScopeName, name);
+  // Release: a reader that sees the new count sees the finished name.
+  table.count.store(count + 1, std::memory_order_release);
+  return static_cast<ScopeId>(count);
+}
+
+const char* scope_name(ScopeId id) noexcept {
+  ScopeTable& table = scope_table();
+  if (id == kNoScope ||
+      id >= table.count.load(std::memory_order_acquire)) {
+    return "";
+  }
+  return table.names[id];
+}
+
+void emit(EventKind kind, ScopeId scope, std::uint64_t arg) noexcept {
+  detail::ThreadRec* rec = thread_rec();
+  if (rec == nullptr) return;
+  const std::uint64_t cursor =
+      rec->cursor.load(std::memory_order_relaxed);
+  Event& slot = rec->ring[cursor % kRingCapacity];
+  slot.t_ns = steady_ns();
+  slot.arg = arg;
+  slot.scope = scope;
+  slot.kind = kind;
+  // Publish: a cross-thread reader that sees the new cursor sees the
+  // finished slot (the owning thread needs no ordering at all).
+  rec->cursor.store(cursor + 1, std::memory_order_release);
+}
+
+void set_capture(std::string_view domain, std::string_view snapshot,
+                 std::uint32_t year, std::uint64_t offset) noexcept {
+  detail::ThreadRec* rec = thread_rec();
+  if (rec == nullptr) return;
+  // Seqlock write: odd while mid-update.
+  rec->crumb_seq.fetch_add(1, std::memory_order_acq_rel);
+  copy_truncated(rec->crumb_domain, kCrumbDomain, domain);
+  copy_truncated(rec->crumb_snapshot, kCrumbSnapshot, snapshot);
+  rec->crumb_year = year;
+  rec->crumb_offset = offset;
+  rec->crumb_active.store(true, std::memory_order_relaxed);
+  rec->crumb_seq.fetch_add(1, std::memory_order_release);
+}
+
+void end_capture() noexcept {
+  detail::ThreadRec* rec = tls_rec;
+  if (rec == nullptr) return;
+  rec->crumb_active.store(false, std::memory_order_relaxed);
+}
+
+void set_thread_name(std::string_view name) noexcept {
+  detail::ThreadRec* rec = thread_rec();
+  if (rec == nullptr || name.empty()) return;
+  copy_truncated(rec->name, kThreadName, name);
+}
+
+std::uint64_t thread_drops() noexcept {
+  return thread_table().drops.load(std::memory_order_relaxed);
+}
+
+std::vector<ThreadSnapshot> snapshot_all() {
+  std::vector<ThreadSnapshot> out;
+  const std::size_t n = detail::thread_count();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const detail::ThreadRec* rec = detail::thread_at(i);
+    if (rec == nullptr) continue;
+    ThreadSnapshot snap;
+    snap.name = rec->name;
+    snap.alive = rec->alive.load(std::memory_order_acquire);
+    const std::uint64_t cursor =
+        rec->cursor.load(std::memory_order_acquire);
+    snap.events_total = cursor;
+    snap.dropped = cursor > kRingCapacity ? cursor - kRingCapacity : 0;
+    const std::uint64_t first =
+        cursor > kRingCapacity ? cursor - kRingCapacity : 0;
+    snap.recent.reserve(static_cast<std::size_t>(cursor - first));
+    for (std::uint64_t c = first; c < cursor; ++c) {
+      snap.recent.push_back(rec->ring[c % kRingCapacity]);
+    }
+    snap.crumb = read_crumb(*rec);
+    if (snap.alive && rec->prof_stack != nullptr) {
+      const auto* stack =
+          static_cast<const prof::detail::ScopeStack*>(rec->prof_stack);
+      std::uint32_t depth = stack->depth.load(std::memory_order_relaxed);
+      if (depth > prof::kMaxDepth) depth = prof::kMaxDepth;
+      for (std::uint32_t d = 0; d < depth; ++d) {
+        snap.prof_stack.push_back(prof::scope_name(
+            stack->frames[d].load(std::memory_order_relaxed)));
+      }
+      const prof::ScopeId leaf =
+          stack->leaf.load(std::memory_order_relaxed);
+      if (leaf != prof::kNoScope) {
+        snap.prof_stack.push_back(prof::scope_name(leaf));
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void reset_for_test() {
+  ThreadTable& table = thread_table();
+  const std::size_t n = detail::thread_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    table.slots[i].store(nullptr, std::memory_order_relaxed);
+  }
+  table.count.store(0, std::memory_order_release);
+  table.drops.store(0, std::memory_order_relaxed);
+  tls_rec = nullptr;
+  tls_exit_guard.rec = nullptr;
+}
+
+#else  // HV_OBS_DISABLED
+
+ScopeId intern(std::string_view) { return kNoScope; }
+const char* scope_name(ScopeId) noexcept { return ""; }
+void emit(EventKind, ScopeId, std::uint64_t) noexcept {}
+void set_capture(std::string_view, std::string_view, std::uint32_t,
+                 std::uint64_t) noexcept {}
+void end_capture() noexcept {}
+void set_thread_name(std::string_view) noexcept {}
+std::uint64_t thread_drops() noexcept { return 0; }
+std::vector<ThreadSnapshot> snapshot_all() { return {}; }
+void reset_for_test() {}
+
+#endif  // HV_OBS_DISABLED
+
+}  // namespace hv::obs::fdr

@@ -1,0 +1,204 @@
+// hv::obs::fdr — an always-on flight data recorder for crash forensics.
+//
+// The sampling profiler (prof.h) answers "where does CPU go"; the
+// observatory (health.h) answers "is the run healthy".  Neither can
+// answer the question a dead process leaves behind: *what was each
+// thread doing right before the end?*  This layer keeps, per thread, a
+// fixed ring of compact binary events — monotonic timestamp, interned
+// scope id, event kind, one u64 argument — fed by the existing
+// instrumentation points (pipeline stage enter/exit, capture begin with
+// a domain/year/WARC-offset breadcrumb, tokenizer/tree-builder state
+// milestones, checker rule fires, quarantines, store adds).  The ring
+// overwrites oldest-first and counts what it overwrote; nothing ever
+// blocks, allocates or takes a lock on the emit path, so the recorder
+// is cheap enough to leave on for every run.
+//
+// Signal-safety contract (mirrors prof.cc's ring rules):
+//   * emit() is wait-free for the owning thread: plain stores into the
+//     thread's own slot, then a release store of the cursor.  It is the
+//     only writer of its ring.
+//   * The crash handler (crash.h) reads rings, breadcrumbs, scope names
+//     and the thread table from *any* thread inside a signal handler:
+//     every structure it touches is either immutable after publication
+//     (scope names, thread records) or tolerates a torn read (an
+//     in-flight ring slot, a breadcrumb mid-update — the seqlock
+//     sequence tells the reader to retry or mark the read torn).
+//   * Thread records are allocated on first use from normal context and
+//     intentionally never freed; a thread that exits is marked dead but
+//     stays in the table so the crash report can still show its last
+//     moments.
+//
+// Under HV_OBS_DISABLED every probe compiles to a no-op and
+// available() is false.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hv::obs::fdr {
+
+/// Interned scope identifier (fdr's own table — names are readable from
+/// a signal handler, unlike prof's mutex-guarded table).  Id 0 is "".
+using ScopeId = std::uint16_t;
+inline constexpr ScopeId kNoScope = 0;
+
+/// Scope-table bounds: every name the codebase interns is a stage,
+/// snapshot label, tokenizer group, insertion mode, rule or error-kind
+/// name — a few dozen in practice.
+inline constexpr std::size_t kMaxScopes = 256;
+inline constexpr std::size_t kMaxScopeName = 48;
+
+/// Ring capacity per thread (events).  At milestone granularity (a
+/// handful of events per page) this is minutes of history; the crash
+/// report dumps the newest kReportEvents of them.
+inline constexpr std::size_t kRingCapacity = 256;
+inline constexpr std::size_t kReportEvents = 32;
+
+/// Thread-table bound; registrations beyond it are counted as drops.
+inline constexpr std::size_t kMaxThreads = 64;
+
+/// Breadcrumb string bounds (truncating copies).
+inline constexpr std::size_t kCrumbDomain = 64;
+inline constexpr std::size_t kCrumbSnapshot = 24;
+inline constexpr std::size_t kThreadName = 16;
+
+enum class EventKind : std::uint8_t {
+  kNone = 0,
+  kStageEnter,      ///< scope = "stage:snapshot", arg = total items
+  kStageExit,       ///< scope = "stage:snapshot", arg = items done
+  kCaptureBegin,    ///< scope = snapshot label, arg = WARC offset
+  kCaptureEnd,      ///< scope = snapshot label, arg = WARC offset
+  kParseBegin,      ///< arg = document byte size
+  kParseEnd,        ///< arg = parse error count
+  kTokenizerState,  ///< scope = tok group, arg = group changes so far
+  kTreeMode,        ///< scope = insertion mode, arg = mode changes so far
+  kRuleFire,        ///< scope = rule name, arg = violations emitted
+  kQuarantine,      ///< scope = archive error kind, arg = WARC offset
+  kStoreAdd,        ///< arg = year index
+  kStall,           ///< scope = worker name, arg = stalled seconds
+};
+
+/// Stable kebab-case name for a kind ("?" for unknown).  Signal-safe:
+/// returns pointers to string literals.
+const char* kind_name(EventKind kind) noexcept;
+
+struct Event {
+  std::uint64_t t_ns = 0;  ///< steady-clock nanoseconds
+  std::uint64_t arg = 0;
+  ScopeId scope = kNoScope;
+  EventKind kind = EventKind::kNone;
+};
+
+constexpr bool available() noexcept {
+#ifdef HV_OBS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Interns `name` into the recorder's signal-safe scope table, returning
+/// a stable id.  Thread-safe; repeated calls return the same id.  Once
+/// the table is full every new name maps to kNoScope.  Call sites cache
+/// the result (static arrays / function-local statics).
+ScopeId intern(std::string_view name);
+
+/// Name for an id.  Signal-safe: reads an immutable published slot and
+/// returns a pointer that stays valid for the process lifetime ("" for
+/// kNoScope and unpublished ids).
+const char* scope_name(ScopeId id) noexcept;
+
+#ifndef HV_OBS_DISABLED
+namespace detail {
+
+/// One registered thread.  The owning thread writes; the crash handler
+/// reads from any thread.  See the signal-safety contract above.
+struct ThreadRec {
+  char name[kThreadName] = {0};
+  std::atomic<bool> alive{true};
+
+  Event ring[kRingCapacity];
+  /// Total events ever emitted; slot = (cursor - 1) % kRingCapacity is
+  /// the newest event once the release store lands.
+  std::atomic<std::uint64_t> cursor{0};
+
+  /// Capture breadcrumb, seqlock-protected: odd sequence = mid-update.
+  std::atomic<std::uint32_t> crumb_seq{0};
+  char crumb_domain[kCrumbDomain] = {0};
+  char crumb_snapshot[kCrumbSnapshot] = {0};
+  std::uint32_t crumb_year = 0;  ///< study year (0 = none)
+  std::uint64_t crumb_offset = 0;
+  std::atomic<bool> crumb_active{false};  ///< in-flight vs last-completed
+
+  /// The prof attribution stack of this thread (address of its
+  /// thread-local; valid while alive — the crash handler only reads it
+  /// for threads still marked alive).
+  void* prof_stack = nullptr;
+};
+
+/// Signal-safe thread-table access for the crash writer.
+std::size_t thread_count() noexcept;
+const ThreadRec* thread_at(std::size_t index) noexcept;
+
+}  // namespace detail
+#endif
+
+/// Appends an event to the calling thread's ring (registering the
+/// thread on first use — that one-time path may allocate, so the very
+/// first event per thread must come from normal context; every call in
+/// this codebase does).  Never blocks; overwrites the oldest event when
+/// the ring is full.
+void emit(EventKind kind, ScopeId scope = kNoScope,
+          std::uint64_t arg = 0) noexcept;
+
+/// Sets the calling thread's in-flight capture breadcrumb.  `year` is
+/// the study year (e.g. 2016), `offset` the capture's WARC offset.
+void set_capture(std::string_view domain, std::string_view snapshot,
+                 std::uint32_t year, std::uint64_t offset) noexcept;
+
+/// Marks the breadcrumb completed (fields are kept so a crash between
+/// captures still names the last page this thread touched).
+void end_capture() noexcept;
+
+/// Names the calling thread in the recorder (registering it if
+/// needed).  prof::ThreadGuard calls this, so pipeline workers and the
+/// CLI main thread are named for free.
+void set_thread_name(std::string_view name) noexcept;
+
+/// Threads that could not be registered because the table was full.
+std::uint64_t thread_drops() noexcept;
+
+// --- snapshots (normal context: tests, `hv crash`, report embedding) --------
+
+struct Breadcrumb {
+  std::string domain;
+  std::string snapshot;
+  std::uint32_t year = 0;
+  std::uint64_t offset = 0;
+  bool active = false;  ///< capture in flight (vs last completed)
+  bool valid = false;   ///< a breadcrumb was ever set
+};
+
+struct ThreadSnapshot {
+  std::string name;
+  bool alive = false;
+  std::uint64_t events_total = 0;
+  std::uint64_t dropped = 0;            ///< overwritten (lost) events
+  std::vector<Event> recent;            ///< oldest-first, newest last
+  Breadcrumb crumb;
+  std::vector<std::string> prof_stack;  ///< root-first; leaf appended
+};
+
+/// Copies every registered thread's state.  Not async-signal-safe (the
+/// crash handler has its own reader); intended for tests and tooling.
+std::vector<ThreadSnapshot> snapshot_all();
+
+/// Test hook: forgets all registered threads and drops (records leak by
+/// design).  Only call when no other thread is emitting.
+void reset_for_test();
+
+}  // namespace hv::obs::fdr

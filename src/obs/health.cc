@@ -7,9 +7,12 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/crash.h"
+#include "obs/fdr.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
+#include "obs/timeseries.h"
 
 namespace hv::obs {
 namespace {
@@ -255,6 +258,11 @@ void RunHealth::start() {
   if (!options_.live_path.empty()) {
     reporter_ = std::thread([this] { reporter_loop(); });
   }
+  if (!options_.timeseries_path.empty()) {
+    sampler_ = std::make_unique<TimeseriesSampler>(default_registry());
+    sampler_->start(
+        {options_.timeseries_path, options_.timeseries_period_s});
+  }
 #else
   // Graceful degradation: leave a marker instead of a silent void so
   // `hv monitor` can explain why there is no live data.
@@ -272,6 +280,7 @@ void RunHealth::stop() {
   wake_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
   if (reporter_.joinable()) reporter_.join();
+  if (sampler_ != nullptr) sampler_->stop();
   write_live_file(/*complete=*/true);
 #endif
 }
@@ -318,6 +327,22 @@ void RunHealth::watchdog_scan() {
         slot->last_beat_us.load(std::memory_order_relaxed);
     const double age = static_cast<double>(now_us - last) / 1e6;
     if (age < options_.stall_after_s) continue;
+    // A hard stall escalates into a crash-style forensic report (once
+    // per run; write_report_now is first-writer-wins anyway) so an
+    // operator gets breadcrumbs even when the run never dies.
+    if (options_.hard_stall_after_s > 0.0 &&
+        age >= options_.hard_stall_after_s &&
+        !hard_stall_reported_.exchange(true, std::memory_order_relaxed)) {
+      fdr::emit(fdr::EventKind::kStall, fdr::intern(slot->name),
+                static_cast<std::uint64_t>(age));
+      const bool written =
+          crash::write_report_now("hard-stall", slot->name);
+      default_log().error(
+          "hard stall escalated",
+          {{"worker", slot->name},
+           {"stalled_s", format_number(age)},
+           {"report_written", written ? "true" : "false"}});
+    }
     // One event per silence episode; the next beat clears the flag.
     if (slot->flagged.exchange(true, std::memory_order_relaxed)) continue;
     StallEvent event{slot->name, slot->stage, age,
@@ -345,6 +370,11 @@ std::size_t RunHealth::stage_begin(std::string stage, std::string snapshot,
   state->snapshot = std::move(snapshot);
   state->total = total_items;
   state->start = std::chrono::steady_clock::now();
+  state->fdr_scope = fdr::intern(state->snapshot.empty()
+                                     ? state->stage
+                                     : state->stage + ":" +
+                                           state->snapshot);
+  fdr::emit(fdr::EventKind::kStageEnter, state->fdr_scope, total_items);
   std::lock_guard<std::mutex> lock(stage_mutex_);
   stages_.push_back(std::move(state));
   return stages_.size() - 1;
@@ -378,6 +408,8 @@ void RunHealth::stage_end(std::size_t handle) {
                       std::chrono::steady_clock::now() - state.start)
                       .count();
   state.finished = true;
+  fdr::emit(fdr::EventKind::kStageExit, state.fdr_scope,
+            state.done.load(std::memory_order_relaxed));
 #else
   (void)handle;
 #endif

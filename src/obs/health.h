@@ -41,6 +41,7 @@
 namespace hv::obs {
 
 class Registry;
+class TimeseriesSampler;
 
 /// 64-bit FNV-1a — the config hash in run reports (stable across runs
 /// and platforms, unlike std::hash).
@@ -162,9 +163,16 @@ struct ProgressView {
 struct RunHealthOptions {
   double watchdog_interval_s = 0.25;  ///< scan cadence
   double stall_after_s = 5.0;         ///< silence that counts as a stall
+  /// Silence that counts as a *hard* stall: the watchdog escalates into
+  /// a crash-style forensic report (crash::write_report_now) without
+  /// killing the run.  0 disables escalation.
+  double hard_stall_after_s = 0.0;
   std::size_t slow_page_capacity = 16;
   std::filesystem::path live_path;  ///< live snapshot file ("" = off)
   double live_period_s = 0.5;       ///< snapshot rewrite cadence
+  /// Metric-delta series ("" = off); see obs/timeseries.h.
+  std::filesystem::path timeseries_path;
+  double timeseries_period_s = 0.5;
 };
 
 class RunHealth {
@@ -217,6 +225,7 @@ class RunHealth {
     std::chrono::steady_clock::time_point start;
     double seconds = 0.0;
     bool finished = false;
+    std::uint16_t fdr_scope = 0;  ///< interned "stage:snapshot"
   };
 
   void watchdog_loop();
@@ -242,6 +251,9 @@ class RunHealth {
   bool running_ = false;
   std::thread watchdog_;
   std::thread reporter_;
+
+  std::atomic<bool> hard_stall_reported_{false};
+  std::unique_ptr<TimeseriesSampler> sampler_;
 };
 
 }  // namespace hv::obs

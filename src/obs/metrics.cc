@@ -449,6 +449,19 @@ std::vector<std::string> Registry::label_values(
   return values;
 }
 
+void Registry::visit_counters(
+    const std::function<void(const std::string&,
+                             const std::vector<std::string>&,
+                             std::uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : counters_) {
+    family->for_each([&](const std::vector<std::string>& labels,
+                         const Counter& counter) {
+      fn(name, labels, counter.value());
+    });
+  }
+}
+
 void Registry::visit_histograms(
     const std::function<void(const std::string&,
                              const std::vector<std::string>&,

@@ -299,6 +299,13 @@ class Registry {
   std::vector<std::string> label_values(std::string_view name,
                                         std::string_view label_key) const;
 
+  /// Visits every counter series in export order (family name, then
+  /// label order) — the timeseries sampler's delta source.
+  void visit_counters(
+      const std::function<void(const std::string& name,
+                               const std::vector<std::string>& label_values,
+                               std::uint64_t value)>& fn) const;
+
   /// Visits every histogram series in export order (family name, then
   /// label order) — the run-report percentile-table builder.
   void visit_histograms(

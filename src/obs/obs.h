@@ -1,12 +1,15 @@
 // hv::obs — umbrella header for the observability layer.
 //
-//   metrics.h  Registry / Counter / Gauge / Histogram / ScopedTimer
-//   sketch.h   QuantileSketch (log-bucketed, mergeable percentiles)
-//   health.h   RunHealth (heartbeats/watchdog, slow pages, run report)
-//   prof.h     sampling profiler (scope attribution, flamegraph export)
-//   json.h     minimal JSON reader for our own artifacts
-//   trace.h    Tracer / Span (Chrome trace_event export)
-//   log.h      Log (levels, key=value fields, ring-buffer sink)
+//   metrics.h     Registry / Counter / Gauge / Histogram / ScopedTimer
+//   sketch.h      QuantileSketch (log-bucketed, mergeable percentiles)
+//   health.h      RunHealth (heartbeats/watchdog, slow pages, run report)
+//   prof.h        sampling profiler (scope attribution, flamegraph export)
+//   fdr.h         flight recorder (per-thread event rings, breadcrumbs)
+//   crash.h       fatal-signal crash_report.json writer
+//   timeseries.h  periodic counter-delta sampler (timeseries.jsonl)
+//   json.h        minimal JSON reader for our own artifacts
+//   trace.h       Tracer / Span (Chrome trace_event export)
+//   log.h         Log (levels, key=value fields, ring-buffer sink)
 //
 // Each piece has a process-wide default instance (`default_registry()`,
 // `default_tracer()`, `default_log()`) that all built-in instrumentation
@@ -15,10 +18,13 @@
 // the whole layer into no-ops.
 #pragma once
 
+#include "obs/crash.h"
+#include "obs/fdr.h"
 #include "obs/health.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/sketch.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"

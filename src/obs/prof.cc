@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/fdr.h"
 #include "obs/metrics.h"
 
 #if defined(__linux__) && !defined(HV_OBS_DISABLED)
@@ -43,9 +44,27 @@ struct ScopeTable {
   std::deque<std::string> names;
   std::unordered_map<std::string_view, ScopeId> ids;
 
+  /// Signal-safe mirror for the crash writer (obs/crash.cc): fixed-size
+  /// truncating copies, published by a release store on `raw_count` and
+  /// immutable afterwards.  scope_name_raw reads these without a lock.
+  static constexpr std::size_t kRawNameCap = 48;
+  char raw[kMaxScopes][kRawNameCap] = {{0}};
+  std::atomic<std::uint32_t> raw_count{0};
+
   ScopeTable() {
     names.emplace_back("(unattributed)");
     ids.emplace(names.back(), kNoScope);
+    publish_raw(kNoScope, names.back());
+  }
+
+  void publish_raw(ScopeId id, std::string_view name) {
+    const std::size_t n = name.size() < kRawNameCap - 1
+                              ? name.size()
+                              : kRawNameCap - 1;
+    std::memcpy(raw[id], name.data(), n);
+    raw[id][n] = '\0';
+    raw_count.store(static_cast<std::uint32_t>(id) + 1,
+                    std::memory_order_release);
   }
 };
 
@@ -229,7 +248,14 @@ ScopeId intern_scope(std::string_view name) {
   table.names.emplace_back(name);
   const ScopeId id = static_cast<ScopeId>(table.names.size() - 1);
   table.ids.emplace(table.names.back(), id);
+  table.publish_raw(id, table.names.back());
   return id;
+}
+
+const char* scope_name_raw(ScopeId id) noexcept {
+  ScopeTable& table = scope_table();
+  if (id >= table.raw_count.load(std::memory_order_acquire)) return "";
+  return table.raw[id];
 }
 
 std::string scope_name(ScopeId id) {
@@ -655,8 +681,12 @@ bool Profiler::sample_current_thread_for_test() {
 
 // --- ThreadGuard ------------------------------------------------------------
 
-ThreadGuard::ThreadGuard(std::string name)
-    : state_(profiler().attach_current_thread(std::move(name))) {}
+ThreadGuard::ThreadGuard(std::string name) {
+  // Name the thread in the flight recorder too, so crash reports show
+  // "w3" instead of a synthetic table index.
+  fdr::set_thread_name(name);
+  state_ = profiler().attach_current_thread(std::move(name));
+}
 
 ThreadGuard::~ThreadGuard() { profiler().detach_current_thread(state_); }
 
@@ -666,6 +696,7 @@ ScopeId intern_scope(std::string_view) { return kNoScope; }
 std::string scope_name(ScopeId id) {
   return id == kNoScope ? std::string("(unattributed)") : std::string();
 }
+const char* scope_name_raw(ScopeId) noexcept { return ""; }
 void charge_bytes(std::size_t) noexcept {}
 std::uint64_t thread_cursor() noexcept { return 0; }
 std::string hottest_path_since(std::uint64_t) { return std::string(); }

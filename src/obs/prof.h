@@ -71,6 +71,12 @@ ScopeId intern_scope(std::string_view name);
 /// Name for an id ("(unattributed)" for kNoScope, "" for unknown ids).
 std::string scope_name(ScopeId id);
 
+/// Async-signal-safe variant: a pointer into an immutable published
+/// name table, truncated to 47 chars ("" for unknown ids).  The crash
+/// writer (obs/crash.h) uses this to dump scope stacks from a signal
+/// handler; everything else should prefer scope_name.
+const char* scope_name_raw(ScopeId id) noexcept;
+
 /// True when the profiler is compiled in (i.e. not HV_OBS_DISABLED).
 constexpr bool available() noexcept {
 #ifdef HV_OBS_DISABLED

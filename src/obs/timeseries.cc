@@ -1,0 +1,127 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/crash.h"
+#include "obs/metrics.h"
+
+namespace hv::obs {
+
+TimeseriesSampler::TimeseriesSampler(Registry& registry)
+    : registry_(registry) {}
+
+TimeseriesSampler::~TimeseriesSampler() { stop(); }
+
+bool TimeseriesSampler::start(const TimeseriesOptions& options) {
+#ifndef HV_OBS_DISABLED
+  if (options.path.empty()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return false;
+  {
+    // Truncate up front so a re-run over the same workdir starts a
+    // fresh series, and fail early on an unwritable path.
+    std::ofstream file(options.path, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+  }
+  options_ = options;
+  if (options_.period_s <= 0.0) options_.period_s = 0.5;
+  previous_.clear();
+  start_time_ = std::chrono::steady_clock::now();
+  last_time_ = start_time_;
+  // Seed the crash handler's metrics snapshot immediately: a crash
+  // before the first periodic tick should embed the (near-zero) start
+  // counters rather than report the snapshot as absent.
+  crash::refresh_metrics(registry_);
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+  return true;
+#else
+  (void)options;
+  return false;
+#endif
+}
+
+void TimeseriesSampler::stop() {
+#ifndef HV_OBS_DISABLED
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final sample so the series covers the whole run.
+  std::lock_guard<std::mutex> lock(mutex_);
+  sample_locked();
+#endif
+}
+
+bool TimeseriesSampler::running() const noexcept {
+  return running_;
+}
+
+void TimeseriesSampler::sample_now() {
+#ifndef HV_OBS_DISABLED
+  std::lock_guard<std::mutex> lock(mutex_);
+  sample_locked();
+#endif
+}
+
+void TimeseriesSampler::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    wake_.wait_for(lock, std::chrono::duration<double>(options_.period_s),
+                   [this] { return !running_; });
+    if (!running_) break;
+    sample_locked();
+  }
+}
+
+void TimeseriesSampler::sample_locked() {
+#ifndef HV_OBS_DISABLED
+  if (options_.path.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double t_s =
+      std::chrono::duration<double>(now - start_time_).count();
+  const double dt_s =
+      std::chrono::duration<double>(now - last_time_).count();
+  last_time_ = now;
+
+  // Each tick also re-renders the crash handler's pre-formatted metrics
+  // snapshot, so a report written from signal context embeds counters no
+  // staler than one sampling period.
+  crash::refresh_metrics(registry_);
+
+  // Per-family sums across label sets: sparklines want family rates.
+  std::map<std::string, std::uint64_t> current;
+  registry_.visit_counters(
+      [&](const std::string& name, const std::vector<std::string>&,
+          std::uint64_t value) { current[name] += value; });
+
+  std::ofstream file(options_.path,
+                     std::ios::binary | std::ios::app);
+  if (!file) return;
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "{\"t_s\": %.3f, \"dt_s\": %.3f, \"counters\": {", t_s,
+                dt_s);
+  file << head;
+  bool first = true;
+  for (const auto& [name, value] : current) {
+    const auto it = previous_.find(name);
+    const std::uint64_t before = it == previous_.end() ? 0 : it->second;
+    if (value == before) continue;  // zero delta: omit
+    file << (first ? "" : ", ") << "\"" << name
+         << "\": " << (value - before);
+    first = false;
+  }
+  file << "}}\n";
+  previous_ = std::move(current);
+
+  // Keep the crash handler's metrics snapshot near-live for free.
+  crash::refresh_metrics(registry_);
+#endif
+}
+
+}  // namespace hv::obs

@@ -1,0 +1,76 @@
+// hv::obs — metrics time series: periodic counter deltas on disk.
+//
+// run_report.json is a post-mortem total and run_live.json is a single
+// moving point; neither can answer "what did the page rate look like
+// over the run" after the fact.  The sampler appends one JSON line per
+// tick to `timeseries.jsonl`:
+//
+//   {"t_s": 12.5, "dt_s": 0.5, "counters": {"hv_pipeline_pages_checked_total": 731, ...}}
+//
+// where each value is the family's delta over the tick, summed across
+// label sets (per-family rates are what sparklines want; the full
+// labeled breakdown stays in the registry exports).  Families with a
+// zero delta are omitted, so idle ticks cost a few bytes.  `hv monitor
+// --follow` tails the file and renders rate sparklines; each tick also
+// refreshes the crash handler's pre-rendered metrics snapshot
+// (crash.h), which is how crash reports get near-live counters without
+// the handler touching the registry.
+//
+// Under HV_OBS_DISABLED start() returns false and no file is written.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace hv::obs {
+
+class Registry;
+
+struct TimeseriesOptions {
+  std::filesystem::path path;  ///< timeseries.jsonl ("" = disabled)
+  double period_s = 0.5;       ///< sampling cadence
+};
+
+/// Appends metric deltas to a JSONL file on a background thread.
+/// start/stop are idempotent; stop() takes a final sample so short
+/// runs still leave at least one line behind.
+class TimeseriesSampler {
+ public:
+  explicit TimeseriesSampler(Registry& registry);
+  ~TimeseriesSampler();
+  TimeseriesSampler(const TimeseriesSampler&) = delete;
+  TimeseriesSampler& operator=(const TimeseriesSampler&) = delete;
+
+  /// False when the path is empty, the file can't be opened, or the
+  /// build has observability compiled out.
+  bool start(const TimeseriesOptions& options);
+  void stop();
+  bool running() const noexcept;
+
+  /// Takes one sample immediately (test hook; also used by stop()).
+  void sample_now();
+
+ private:
+  void loop();
+  void sample_locked();
+
+  Registry& registry_;
+  TimeseriesOptions options_;
+  std::map<std::string, std::uint64_t> previous_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::chrono::steady_clock::time_point last_time_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hv::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <fstream>
 
 #include "archive/warc.h"
@@ -359,8 +360,9 @@ void StudyPipeline::run_snapshot(int year_index) {
       1, tasks.size() / (static_cast<std::size_t>(config_.threads) * 8));
   const std::size_t crawl_stage = health_.stage_begin(
       "crawl_check", std::string(label), total_captures);
+  const obs::fdr::ScopeId snap_scope = obs::fdr::intern(label);
 
-  const auto worker = [&, crawl_stage](int worker_index) {
+  const auto worker = [&, crawl_stage, snap_scope](int worker_index) {
     obs::Span worker_span(tracer, "worker:" + std::to_string(worker_index),
                           "pool");
     // Profiler registration + the root attribution frame: every sample
@@ -406,6 +408,16 @@ void StudyPipeline::run_snapshot(int year_index) {
                 });
       for (const archive::CdxEntry* capture : batch_captures) {
         if (quarantine_abort.load(std::memory_order_relaxed)) break;
+        // Flight-recorder breadcrumb before the first byte is touched:
+        // if anything from here to the store kills the process, the
+        // crash report names this exact (domain, year, offset).
+        obs::fdr::set_capture(
+            capture->domain, label,
+            static_cast<std::uint32_t>(
+                report::kYears[static_cast<std::size_t>(year_index)]),
+            capture->offset);
+        obs::fdr::emit(obs::fdr::EventKind::kCaptureBegin, snap_scope,
+                       capture->offset);
         std::optional<archive::WarcRecord> record;
         try {
           const obs::ScopedTimer crawl_timer(metrics.crawl_seconds);
@@ -417,6 +429,10 @@ void StudyPipeline::run_snapshot(int year_index) {
           // capture's seek() re-positions the reader — so no resync scan
           // is needed here, unlike sequential consumers.
           ++local.records_quarantined;
+          obs::fdr::emit(obs::fdr::EventKind::kQuarantine,
+                         obs::fdr::intern(to_string(error.kind())),
+                         capture->offset);
+          obs::fdr::end_capture();
           sink_.mark_error(capture->domain, year_index);
           metrics.quarantined.with({label, to_string(error.kind())}).inc();
           obs::default_log().warn(
@@ -433,7 +449,18 @@ void StudyPipeline::run_snapshot(int year_index) {
           continue;
         }
         ++local.records_read;
-        if (!record.has_value() || record->type != "response") continue;
+        if (config_.debug_crash_domain == capture->domain &&
+            !config_.debug_crash_domain.empty() &&
+            (config_.debug_crash_snapshot.empty() ||
+             config_.debug_crash_snapshot == label)) {
+          // Fault injection (`--debug-crash-at`): die mid-capture so the
+          // crash-forensics gate can check the report names this page.
+          std::raise(SIGSEGV);
+        }
+        if (!record.has_value() || record->type != "response") {
+          obs::fdr::end_capture();
+          continue;
+        }
         PageOutcome outcome;
 #ifndef HV_OBS_DISABLED
         const auto check_start = std::chrono::steady_clock::now();
@@ -465,6 +492,9 @@ void StudyPipeline::run_snapshot(int year_index) {
         if (outcome.analyzable) {
           sink_.add(outcome);
         }
+        obs::fdr::emit(obs::fdr::EventKind::kCaptureEnd, snap_scope,
+                       capture->offset);
+        obs::fdr::end_capture();
       }
       health_.stage_advance(crawl_stage, batch_captures.size());
       health_.heartbeats().beat(heartbeat, local.records_read);

@@ -70,6 +70,15 @@ struct PipelineConfig {
   int debug_stall_worker = -1;
   double debug_stall_seconds = 0.0;
 
+  /// Fault-injection hook for crash forensics (`--debug-crash-at`):
+  /// raise SIGSEGV right after the worker reads the capture of
+  /// `debug_crash_domain` in the snapshot labeled `debug_crash_snapshot`
+  /// ("" in the snapshot matches any).  With a crash handler installed
+  /// (obs/crash.h) the resulting crash_report.json must name this exact
+  /// (domain, year, WARC offset) — tools/check_crash_forensics.sh.
+  std::string debug_crash_domain;
+  std::string debug_crash_snapshot;
+
   /// Quarantine policy (DESIGN.md section 12): corrupt records
   /// (archive::ReadError) are quarantined and the run continues — until
   /// more than `max_errors` have accumulated, at which point run_snapshot

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/fdr.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 
@@ -93,6 +94,8 @@ void ShardedResultSink::add(const PageOutcome& outcome) {
   check_writable("add");
   StoreMetrics& metrics = StoreMetrics::get();
   metrics.adds.inc();
+  obs::fdr::emit(obs::fdr::EventKind::kStoreAdd, obs::fdr::kNoScope,
+                 static_cast<std::uint64_t>(outcome.year_index));
   Shard& shard = shard_for(outcome.domain);
 #ifndef HV_OBS_DISABLED
   if ((add_tick_.fetch_add(1, std::memory_order_relaxed) &

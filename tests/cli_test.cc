@@ -11,6 +11,8 @@
 #include "archive/warc.h"
 #include "html/simd.h"
 #include "net/http.h"
+#include "obs/crash.h"
+#include "obs/fdr.h"
 
 namespace hv::cli {
 namespace {
@@ -529,6 +531,24 @@ TEST(CliRun, WritesReportLiveSnapshotAndMonitors) {
       run_cli({"stats", "--compare", (workdir / "run_report.json").string(),
                (workdir / "run_report.json").string()});
   EXPECT_EQ(compare.exit_code, 0) << compare.out << compare.err;
+
+#ifndef HV_OBS_DISABLED
+  // The run also appends the metric-delta series; `--follow --once`
+  // renders one sparkline frame from it.
+  EXPECT_TRUE(std::filesystem::exists(workdir / "timeseries.jsonl"));
+  const CliResult follow =
+      run_cli({"monitor", "--follow", "--once", workdir.string()});
+  EXPECT_EQ(follow.exit_code, 0) << follow.err;
+  EXPECT_NE(follow.out.find("timeseries"), std::string::npos);
+  EXPECT_NE(follow.out.find("hv_pipeline_pages_checked_total"),
+            std::string::npos);
+  // A clean run leaves no crash report behind (uninstall removed the
+  // empty file the armed handler pre-opened).
+  EXPECT_FALSE(std::filesystem::exists(workdir / "crash_report.json"));
+  const CliResult crash = run_cli({"crash", workdir.string()});
+  EXPECT_EQ(crash.exit_code, 2);
+  EXPECT_NE(crash.err.find("no crash report"), std::string::npos);
+#endif
   std::filesystem::remove_all(workdir);
 }
 
@@ -536,6 +556,75 @@ TEST(CliMonitor, MissingSnapshotIsUsageError) {
   EXPECT_EQ(run_cli({"monitor", "--once", "/no/such/dir"}).exit_code, 2);
   EXPECT_EQ(run_cli({"monitor"}).exit_code, 2);
 }
+
+TEST(CliMonitor, FollowWithoutTimeseriesIsUsageError) {
+  const CliResult result =
+      run_cli({"monitor", "--follow", "--once", "/no/such/dir"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("no timeseries"), std::string::npos);
+}
+
+TEST(CliMonitor, FollowRendersSparklinesFromSeriesFile) {
+  // Pure file rendering: works identically in HV_OBS_DISABLED builds.
+  const auto path = write_temp(
+      "hv_cli_follow_test.jsonl",
+      "{\"t_s\": 0.5, \"dt_s\": 0.5, \"counters\": "
+      "{\"hv_test_follow_total\": 10}}\n"
+      "{\"t_s\": 1.0, \"dt_s\": 0.5, \"counters\": "
+      "{\"hv_test_follow_total\": 40}}\n");
+  const CliResult result =
+      run_cli({"monitor", "--follow", "--once", path.string()});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("2 tick(s)"), std::string::npos);
+  EXPECT_NE(result.out.find("hv_test_follow_total"), std::string::npos);
+  EXPECT_NE(result.out.find("80.0/s"), std::string::npos);  // 40 / 0.5s
+  std::filesystem::remove(path);
+}
+
+TEST(CliCrash, MissingReportAndUsageErrors) {
+  if (!obs::crash::available()) {
+    const CliResult result = run_cli({"crash", "/no/such/dir"});
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_NE(result.out.find("observability disabled"), std::string::npos);
+    return;
+  }
+  EXPECT_EQ(run_cli({"crash"}).exit_code, 2);
+  const CliResult missing = run_cli({"crash", "/no/such/dir"});
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.err.find("no crash report"), std::string::npos);
+  const auto garbage =
+      write_temp("hv_cli_crash_garbage.json", "{\"foo\": 1}");
+  const CliResult bad = run_cli({"crash", garbage.string()});
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.err.find("not a crash report"), std::string::npos);
+  std::filesystem::remove(garbage);
+}
+
+#ifndef HV_OBS_DISABLED
+TEST(CliCrash, SummarizesAForensicReport) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "hv_cli_crash_report_test.json";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(obs::crash::install({path}));
+  obs::crash::set_build_info("test-build", "scalar");
+  obs::fdr::set_thread_name("cli-crash");
+  obs::fdr::set_capture("crash.example", "CC-MAIN-2019-04", 2019, 777);
+  obs::fdr::emit(obs::fdr::EventKind::kCaptureBegin,
+                 obs::fdr::intern("CC-MAIN-2019-04"), 777);
+  ASSERT_TRUE(obs::crash::write_report_now("hard-stall", "w1"));
+  obs::crash::uninstall();  // keeps the written report
+
+  const CliResult result = run_cli({"crash", path.string()});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("reason: hard-stall"), std::string::npos);
+  EXPECT_NE(result.out.find("detail=w1"), std::string::npos);
+  EXPECT_NE(result.out.find("crash.example"), std::string::npos);
+  EXPECT_NE(result.out.find("offset=777"), std::string::npos);
+  EXPECT_NE(result.out.find("hv test-build"), std::string::npos);
+  obs::fdr::end_capture();
+  std::filesystem::remove(path);
+}
+#endif
 
 // Synthetic run reports keep the compare tests independent of study
 // runtime (and of HV_OBS_DISABLED, which would blank a real report).

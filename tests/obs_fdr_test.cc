@@ -1,0 +1,305 @@
+// hv::obs::fdr + hv::obs::crash — flight recorder and crash forensics.
+// Covers the ISSUE 8 test satellite: ring wrap/drop accounting,
+// multi-thread event ordering, breadcrumb lifecycle, the fatal-signal
+// death test (fork + raise(SIGSEGV) asserting crash_report.json shape),
+// soft reports via write_report_now, and the HV_OBS_DISABLED paths.
+#include "obs/fdr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/crash.h"
+#include "obs/json.h"
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace hv::obs::fdr {
+namespace {
+
+#ifdef HV_OBS_DISABLED
+#define SKIP_IF_NOOP() \
+  GTEST_SKIP() << "hv::obs::fdr is compiled out (HV_OBS_DISABLED)"
+#else
+#define SKIP_IF_NOOP() (void)0
+#endif
+
+/// Finds this test's thread in a snapshot by the name it registered.
+const ThreadSnapshot* find_thread(const std::vector<ThreadSnapshot>& threads,
+                                  std::string_view name) {
+  for (const ThreadSnapshot& thread : threads) {
+    if (thread.name == name) return &thread;
+  }
+  return nullptr;
+}
+
+TEST(FdrScopes, InternIsStableAndSignalSafeNamed) {
+  SKIP_IF_NOOP();
+  const ScopeId a = intern("fdr_test:alpha");
+  const ScopeId b = intern("fdr_test:beta");
+  EXPECT_NE(a, kNoScope);
+  EXPECT_NE(b, kNoScope);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(intern("fdr_test:alpha"), a);
+  EXPECT_STREQ(scope_name(a), "fdr_test:alpha");
+  EXPECT_STREQ(scope_name(kNoScope), "");
+  // Over-long names truncate rather than fail.
+  const ScopeId wide = intern(std::string(200, 'x'));
+  EXPECT_EQ(std::string(scope_name(wide)).size(), kMaxScopeName - 1);
+}
+
+TEST(FdrKinds, NamesAreStableLiterals) {
+  EXPECT_STREQ(kind_name(EventKind::kCaptureBegin), "capture-begin");
+  EXPECT_STREQ(kind_name(EventKind::kQuarantine), "quarantine");
+  EXPECT_STREQ(kind_name(EventKind::kStall), "stall");
+  EXPECT_STREQ(kind_name(static_cast<EventKind>(0xEE)), "?");
+}
+
+TEST(FdrRing, EmitRecordsAndWrapCountsDrops) {
+  SKIP_IF_NOOP();
+  reset_for_test();
+  set_thread_name("fdr-wrap");
+  const ScopeId scope = intern("fdr_test:wrap");
+  const std::size_t total = kRingCapacity + 50;
+  for (std::size_t i = 0; i < total; ++i) {
+    emit(EventKind::kStoreAdd, scope, i);
+  }
+  const auto threads = snapshot_all();
+  const ThreadSnapshot* mine = find_thread(threads, "fdr-wrap");
+  ASSERT_NE(mine, nullptr);
+  EXPECT_TRUE(mine->alive);
+  EXPECT_EQ(mine->events_total, total);
+  EXPECT_EQ(mine->dropped, total - kRingCapacity);
+  ASSERT_FALSE(mine->recent.empty());
+  EXPECT_LE(mine->recent.size(), kRingCapacity);
+  // Oldest-first: newest event is last and carries the final arg.
+  EXPECT_EQ(mine->recent.back().arg, total - 1);
+  EXPECT_EQ(mine->recent.back().kind, EventKind::kStoreAdd);
+  EXPECT_EQ(mine->recent.back().scope, scope);
+  for (std::size_t i = 1; i < mine->recent.size(); ++i) {
+    EXPECT_EQ(mine->recent[i].arg, mine->recent[i - 1].arg + 1);
+    EXPECT_GE(mine->recent[i].t_ns, mine->recent[i - 1].t_ns);
+  }
+}
+
+TEST(FdrRing, BreadcrumbLifecycle) {
+  SKIP_IF_NOOP();
+  reset_for_test();
+  set_thread_name("fdr-crumb");
+  set_capture("example.org", "CC-MAIN-2016-07", 2016, 4242);
+  {
+    const auto threads = snapshot_all();
+    const ThreadSnapshot* mine = find_thread(threads, "fdr-crumb");
+    ASSERT_NE(mine, nullptr);
+    ASSERT_TRUE(mine->crumb.valid);
+    EXPECT_TRUE(mine->crumb.active);
+    EXPECT_EQ(mine->crumb.domain, "example.org");
+    EXPECT_EQ(mine->crumb.snapshot, "CC-MAIN-2016-07");
+    EXPECT_EQ(mine->crumb.year, 2016u);
+    EXPECT_EQ(mine->crumb.offset, 4242u);
+  }
+  // end_capture() keeps the fields as "the last page this thread saw".
+  end_capture();
+  {
+    const auto threads = snapshot_all();
+    const ThreadSnapshot* mine = find_thread(threads, "fdr-crumb");
+    ASSERT_NE(mine, nullptr);
+    ASSERT_TRUE(mine->crumb.valid);
+    EXPECT_FALSE(mine->crumb.active);
+    EXPECT_EQ(mine->crumb.domain, "example.org");
+    EXPECT_EQ(mine->crumb.offset, 4242u);
+  }
+}
+
+TEST(FdrRing, MultiThreadEventsStayPerThreadAndOrdered) {
+  SKIP_IF_NOOP();
+  reset_for_test();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kEvents = 100;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      set_thread_name("fdr-mt" + std::to_string(t));
+      const ScopeId scope = intern("fdr_test:mt" + std::to_string(t));
+      for (std::uint64_t i = 0; i < kEvents; ++i) {
+        emit(EventKind::kParseEnd, scope, i);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const auto threads = snapshot_all();
+  for (int t = 0; t < kThreads; ++t) {
+    const ThreadSnapshot* mine =
+        find_thread(threads, "fdr-mt" + std::to_string(t));
+    ASSERT_NE(mine, nullptr) << "thread " << t << " not registered";
+    // Exited threads stay in the table, marked dead, history intact.
+    EXPECT_FALSE(mine->alive);
+    EXPECT_EQ(mine->events_total, kEvents);
+    EXPECT_EQ(mine->dropped, 0u);
+    ASSERT_EQ(mine->recent.size(), kEvents);
+    const ScopeId scope = intern("fdr_test:mt" + std::to_string(t));
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      EXPECT_EQ(mine->recent[i].arg, i);
+      EXPECT_EQ(mine->recent[i].scope, scope);
+    }
+  }
+}
+
+#if !defined(HV_OBS_DISABLED) && !defined(_WIN32)
+
+/// Reads and parses a crash report written by a child process.
+std::optional<json::Value> read_report(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return json::parse(buffer.str());
+}
+
+TEST(CrashReport, FatalSignalDumpsValidJsonWithBreadcrumb) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "hv_fdr_death_report.json";
+  std::filesystem::remove(path);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: arm the handler, leave a breadcrumb trail, die hard.
+    if (!crash::install({path})) _exit(3);
+    set_thread_name("death");
+    set_capture("death.example", "CC-MAIN-2015-14", 2015, 1234);
+    emit(EventKind::kCaptureBegin, intern("CC-MAIN-2015-14"), 1234);
+    std::raise(SIGSEGV);
+    _exit(4);  // unreachable: the handler re-raises with SIG_DFL
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const auto report = read_report(path);
+  ASSERT_TRUE(report.has_value()) << "report missing or not valid JSON";
+  ASSERT_TRUE(report->is_object());
+  EXPECT_EQ(report->string_or("reason", ""), "signal");
+  EXPECT_EQ(report->string_or("signal_name", ""), "SIGSEGV");
+  EXPECT_FALSE(report->bool_or("obs_disabled", true));
+
+  const json::Value* threads = report->find("threads");
+  ASSERT_NE(threads, nullptr);
+  ASSERT_TRUE(threads->is_array());
+  bool found = false;
+  for (const json::Value& thread : threads->array) {
+    if (thread.string_or("name", "") != "death") continue;
+    found = true;
+    const json::Value* capture = thread.find("capture");
+    ASSERT_NE(capture, nullptr);
+    ASSERT_TRUE(capture->is_object());
+    EXPECT_EQ(capture->string_or("domain", ""), "death.example");
+    EXPECT_EQ(capture->string_or("snapshot", ""), "CC-MAIN-2015-14");
+    EXPECT_EQ(capture->number_or("year", 0.0), 2015.0);
+    EXPECT_EQ(capture->number_or("warc_offset", 0.0), 1234.0);
+    EXPECT_TRUE(capture->bool_or("active", false));
+    const json::Value* events = thread.find("events");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    ASSERT_FALSE(events->array.empty());
+    EXPECT_EQ(events->array.back().string_or("kind", ""), "capture-begin");
+    EXPECT_EQ(events->array.back().number_or("arg", 0.0), 1234.0);
+  }
+  EXPECT_TRUE(found) << "crashing thread missing from report";
+  std::filesystem::remove(path);
+}
+
+TEST(CrashReport, TerminateHandlerDumpsReport) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "hv_fdr_terminate_report.json";
+  std::filesystem::remove(path);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    if (!crash::install({path})) _exit(3);
+    set_thread_name("term");
+    std::terminate();
+    _exit(4);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const auto report = read_report(path);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->string_or("reason", ""), "terminate");
+  std::filesystem::remove(path);
+}
+
+TEST(CrashReport, WriteReportNowLeavesSoftReportAndProcessAlive) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "hv_fdr_soft_report.json";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(crash::install({path}));
+  set_thread_name("soft");
+  set_capture("soft.example", "CC-MAIN-2022-05", 2022, 99);
+  EXPECT_TRUE(crash::write_report_now("hard-stall", "w3"));
+  EXPECT_TRUE(crash::report_written());
+  // First writer wins: a second soft report is refused.
+  EXPECT_FALSE(crash::write_report_now("hard-stall", "w4"));
+
+  const auto report = read_report(path);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->string_or("reason", ""), "hard-stall");
+  EXPECT_EQ(report->string_or("detail", ""), "w3");
+  EXPECT_EQ(report->number_or("signal", -1.0), 0.0);
+
+  // uninstall keeps a written report (it only unlinks empty ones).
+  crash::uninstall();
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+  end_capture();
+}
+
+TEST(CrashReport, UninstallRemovesEmptyReport) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "hv_fdr_clean_report.json";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(crash::install({path}));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(crash::report_written());
+  crash::uninstall();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+#endif  // !HV_OBS_DISABLED && !_WIN32
+
+#ifdef HV_OBS_DISABLED
+TEST(FdrDisabled, EverythingIsANoOp) {
+  EXPECT_FALSE(available());
+  EXPECT_FALSE(crash::available());
+  emit(EventKind::kParseBegin, intern("fdr_test:disabled"), 1);
+  set_capture("d", "s", 2015, 1);
+  end_capture();
+  set_thread_name("noop");
+  EXPECT_TRUE(snapshot_all().empty());
+  EXPECT_FALSE(crash::install(
+      {std::filesystem::temp_directory_path() / "hv_fdr_noop.json"}));
+  EXPECT_FALSE(crash::write_report_now("hard-stall", ""));
+  crash::uninstall();
+}
+#endif
+
+}  // namespace
+}  // namespace hv::obs::fdr

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -269,6 +270,43 @@ TEST(Registry, PrometheusEscapesLabelValues) {
   EXPECT_NE(registry.prometheus_text().find(
                 "hv_test_esc_total{k=\"a\\\"b\\\\c\\nd\"} 1"),
             std::string::npos);
+}
+
+TEST(Registry, PrometheusEscapesHistogramSeriesLabels) {
+  SKIP_IF_NOOP();
+  // The quantile lines share label_block with counters, so a hostile
+  // label value must come out escaped on every derived series too.
+  Registry registry;
+  registry.histogram_family("hv_test_esc_seconds", "e", {"k"}, {1.0})
+      .with({"x\"y"})
+      .observe(0.5);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("k=\"x\\\"y\""), std::string::npos);
+  EXPECT_EQ(text.find("k=\"x\"y\""), std::string::npos);
+}
+
+TEST(Registry, VisitCountersWalksEveryLabeledSeries) {
+  SKIP_IF_NOOP();
+  // The timeseries sampler (obs/timeseries.h) sums families through this
+  // visitor; it must see plain counters and every family member.
+  Registry registry;
+  registry.counter("hv_test_visit_plain_total", "p").inc(2);
+  CounterFamily& family =
+      registry.counter_family("hv_test_visit_total", "v", {"rule"});
+  family.with({"DE1"}).inc(3);
+  family.with({"DE2"}).inc(5);
+  std::map<std::string, std::uint64_t> sums;
+  std::size_t series = 0;
+  registry.visit_counters([&](const std::string& name,
+                              const std::vector<std::string>& labels,
+                              std::uint64_t value) {
+    sums[name] += value;
+    if (name == "hv_test_visit_total") EXPECT_EQ(labels.size(), 1u);
+    ++series;
+  });
+  EXPECT_EQ(series, 3u);
+  EXPECT_EQ(sums["hv_test_visit_plain_total"], 2u);
+  EXPECT_EQ(sums["hv_test_visit_total"], 8u);
 }
 
 TEST(Tracer, RecordsNestingDepthAndParent) {

@@ -493,6 +493,45 @@ TEST(StudyPipeline, WatchdogFlagsAnArtificiallyHungWorker) {
   std::filesystem::remove_all(config.workdir);
 }
 
+TEST(StudyPipeline, HardStallEscalatesIntoForensicReportWithoutDying) {
+  PipelineConfig config = mini_config("hardstall");
+  config.threads = 2;
+  config.debug_stall_worker = 0;  // worker 0 wedges after its first beat
+  config.debug_stall_seconds = 1.0;
+  config.health.watchdog_interval_s = 0.02;
+  config.health.stall_after_s = 0.1;
+  config.health.hard_stall_after_s = 0.3;
+  std::filesystem::create_directories(config.workdir);
+  const std::filesystem::path report_path =
+      config.workdir / "crash_report.json";
+  ASSERT_TRUE(obs::crash::install({report_path}));
+
+  StudyPipeline pipeline(config);
+  pipeline.build_archives();
+  pipeline.health().start();
+  pipeline.run_snapshot(0);  // survives: escalation reports, never kills
+  pipeline.health().stop();
+
+  EXPECT_TRUE(obs::crash::report_written());
+  std::ifstream file(report_path, std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto doc = obs::json::parse(buffer.str());
+  ASSERT_TRUE(doc.has_value()) << buffer.str();
+  EXPECT_EQ(doc->string_or("reason", ""), "hard-stall");
+  EXPECT_FALSE(doc->string_or("detail", "").empty());  // wedged worker name
+  const obs::json::Value* threads = doc->find("threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_TRUE(threads->is_array());
+  EXPECT_FALSE(threads->array.empty());
+
+  // A written report survives uninstall (only empty ones are removed).
+  obs::crash::uninstall();
+  EXPECT_TRUE(std::filesystem::exists(report_path));
+  std::filesystem::remove_all(config.workdir);
+}
+
 TEST(StudyPipeline, LiveSnapshotFileIsWrittenAndFinalized) {
   PipelineConfig config = mini_config("live");
   config.health.live_path = config.workdir / "run_live.json";

@@ -1,0 +1,117 @@
+#!/usr/bin/env sh
+# Crash-forensics gate, next to check_fault_injection.sh in the CI script
+# set: proves that when a worker dies mid-study the flight recorder's
+# crash report (DESIGN.md section 15) names the exact page it was
+# holding — (domain, year, WARC offset) — and that `hv crash` renders it.
+#
+# Flow:
+#   1. Build a small study corpus, then fault it with the seeded mutator
+#      (hv warc mutate) so the crash happens on an archive that is also
+#      exercising the quarantine path.
+#   2. Pick a victim: an intact response record from the first snapshot
+#      (a domain the mutator did not touch, so the read succeeds and the
+#      injected SIGSEGV actually fires).
+#   3. Run the study with --debug-crash-at <domain>:<snapshot>; the run
+#      must die to a signal and leave crash_report.json behind.
+#   4. The report must be valid JSON with an in-flight breadcrumb naming
+#      the victim domain, its year, and one of its true WARC offsets
+#      (cross-checked against `hv warc list`).
+#   5. `hv crash` must summarize the report, naming the domain.
+#
+# Usage: tools/check_crash_forensics.sh [build-dir]   (default: build)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+snapshot="CC-MAIN-2015-14"
+year=2015
+study_args="--domains 40 --pages 2 --seed 11 --threads 2"
+
+echo "== building hv =="
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target hv >/dev/null
+hv_bin="$build_dir/tools/hv"
+
+echo "== building the corpus (clean study) =="
+# shellcheck disable=SC2086  # study_args is a word list by design
+"$hv_bin" study $study_args --workdir "$tmp_dir/corpus" >/dev/null
+
+echo "== faulting ~2% of response records in every snapshot =="
+: > "$tmp_dir/faults.txt"
+for warc in "$tmp_dir"/corpus/*/segment.warc; do
+  "$hv_bin" warc mutate "$warc" "$warc" --rate 0.02 --seed 29 \
+    | grep '^fault ' >> "$tmp_dir/faults.txt" || true
+done
+echo "(injected $(wc -l < "$tmp_dir/faults.txt" | tr -d ' ') faults)"
+
+echo "== picking an intact victim record from $snapshot =="
+victim_warc="$tmp_dir/corpus/$snapshot/segment.warc"
+"$hv_bin" warc list "$victim_warc" > "$tmp_dir/list.txt"
+sed -n 's|.* uri=https://\([^/]*\)/.*|\1|p' "$tmp_dir/faults.txt" \
+  | sort -u > "$tmp_dir/mutated_domains.txt"
+victim_domain="$(awk '$2 == "response" {
+    uri = $3; sub(/^https?:\/\//, "", uri); sub(/\/.*/, "", uri)
+    print uri
+  }' "$tmp_dir/list.txt" \
+  | grep -v -x -F -f "$tmp_dir/mutated_domains.txt" \
+  | sed -n '3p')"
+if [ -z "$victim_domain" ]; then
+  echo "check_crash_forensics: FAIL (no intact victim domain found)"
+  exit 1
+fi
+awk -v d="$victim_domain" '$2 == "response" && index($3, "//" d "/") {
+    print $1
+  }' "$tmp_dir/list.txt" > "$tmp_dir/victim_offsets.txt"
+echo "(victim: $victim_domain @ $(tr '\n' ' ' \
+  < "$tmp_dir/victim_offsets.txt"))"
+
+echo "== study must die at the injected crash point =="
+# shellcheck disable=SC2086
+if "$hv_bin" study $study_args --workdir "$tmp_dir/corpus" \
+    --debug-crash-at "$victim_domain:$snapshot" \
+    >/dev/null 2>&1; then
+  echo "check_crash_forensics: FAIL (study survived --debug-crash-at)"
+  exit 1
+fi
+report="$tmp_dir/corpus/crash_report.json"
+[ -f "$report" ] || {
+  echo "check_crash_forensics: FAIL (no crash_report.json left behind)"
+  exit 1
+}
+
+echo "== report must name the exact (domain, year, offset) =="
+python3 - "$report" "$victim_domain" "$year" "$tmp_dir/victim_offsets.txt" \
+    <<'PY' || exit 1
+import json, sys
+report_path, domain, year, offsets_path = sys.argv[1:5]
+report = json.load(open(report_path))  # must parse: handler-written JSON
+assert report["reason"] == "signal", report["reason"]
+assert report["signal_name"] == "SIGSEGV", report["signal_name"]
+offsets = {int(line) for line in open(offsets_path) if line.strip()}
+crumbs = [t.get("capture") for t in report["threads"] if t.get("capture")]
+hits = [c for c in crumbs
+        if c["domain"] == domain and c["active"]
+        and c["year"] == int(year) and c["warc_offset"] in offsets]
+if not hits:
+    sys.exit(f"no in-flight breadcrumb for {domain}: {crumbs}")
+print(f"(breadcrumb: {hits[0]['domain']} year={hits[0]['year']} "
+      f"offset={hits[0]['warc_offset']})")
+PY
+
+echo "== hv crash must summarize the report =="
+"$hv_bin" crash "$tmp_dir/corpus" > "$tmp_dir/crash.out"
+grep -F "$victim_domain" "$tmp_dir/crash.out" >/dev/null || {
+  echo "check_crash_forensics: FAIL (hv crash did not name the victim)"
+  cat "$tmp_dir/crash.out"
+  exit 1
+}
+grep "reason: signal (SIGSEGV)" "$tmp_dir/crash.out" >/dev/null || {
+  echo "check_crash_forensics: FAIL (hv crash missing the signal reason)"
+  exit 1
+}
+
+echo "check_crash_forensics: OK"

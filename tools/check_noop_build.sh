@@ -57,5 +57,26 @@ grep -q '"obs_disabled": true' "$work_dir/run/run_report.json" || {
   echo "check_noop_build: FAIL (drift gate tripped on disabled reports)"
   exit 1
 }
+# The flight recorder / crash forensics layer is compiled out with the
+# rest: the disabled run must not write a timeseries or leave a crash
+# report, and `hv crash` / `hv monitor --follow` must explain the build
+# instead of failing confusingly.
+[ ! -f "$work_dir/run/timeseries.jsonl" ] || {
+  echo "check_noop_build: FAIL (disabled run wrote timeseries.jsonl)"
+  exit 1
+}
+[ ! -f "$work_dir/run/crash_report.json" ] || {
+  echo "check_noop_build: FAIL (disabled run left a crash_report.json)"
+  exit 1
+}
+"$hv_bin" crash "$work_dir/run" | grep -q "observability disabled" || {
+  echo "check_noop_build: FAIL (hv crash did not explain disabled build)"
+  exit 1
+}
+"$hv_bin" monitor --follow --once "$work_dir/run" | \
+  grep -q "observability disabled" || {
+  echo "check_noop_build: FAIL (monitor --follow did not explain disabled build)"
+  exit 1
+}
 
 echo "check_noop_build: OK (HV_OBS_DISABLED build passes the test suite)"
