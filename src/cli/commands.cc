@@ -11,10 +11,13 @@
 #include <sstream>
 #include <thread>
 
+#include <csignal>
+
 #include "archive/fault_inject.h"
 #include "archive/read_error.h"
 #include "archive/warc.h"
 #include "core/checker.h"
+#include "engine/engine.h"
 #include "fix/autofix.h"
 #include "net/http.h"
 #include "html/input_stream.h"
@@ -27,6 +30,7 @@
 #include "report/paper_data.h"
 #include "report/render.h"
 #include "sanitize/sanitizer.h"
+#include "serve/server.h"
 #include "store/persist.h"
 #include "store/study_view.h"
 
@@ -39,7 +43,7 @@ constexpr int kUsage = 2;
 
 // Bumped per release; `hv version` also reports which hot-path backend
 // this build selected so perf numbers are attributable (DESIGN.md §14).
-constexpr std::string_view kHvVersion = "0.8.0";
+constexpr std::string_view kHvVersion = "0.9.0";
 
 std::optional<std::string> read_input(const std::string& path,
                                       std::istream& in, std::ostream& err) {
@@ -151,6 +155,14 @@ void print_usage(std::ostream& out) {
          "regressions\n"
          "  warc list <file.warc>      index the records of an archive\n"
          "  warc cat <file> <offset>   print one record's HTTP body\n"
+         "  serve [--port N] [--bind ADDR] [--threads N]\n"
+         "        [--results results.hv] [--max-body BYTES]\n"
+         "        [--keep-alive-max N] [--idle-timeout SEC]\n"
+         "                             online checking service: POST "
+         "/check[?fix=1],\n"
+         "                             GET /stats /query/... /metrics "
+         "/healthz;\n"
+         "                             SIGINT drains and exits cleanly\n"
          "  warc mutate <in> <out> [--rate P] [--seed N] "
          "[--truncate-tail]\n"
          "                             corrupt records for fault-injection "
@@ -393,37 +405,9 @@ bool write_trace_file(const std::string& path, std::ostream& err) {
 }  // namespace
 
 std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 8);
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned char>(c));
-          out += buffer;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
+  // The one escaper for every hand-assembled JSON payload lives with the
+  // engine, shared with `hv serve`.
+  return engine::json_escape(text);
 }
 
 int cmd_check(const std::vector<std::string>& args, std::istream& in,
@@ -439,42 +423,37 @@ int cmd_check(const std::vector<std::string>& args, std::istream& in,
   }
   if (files.empty()) files.push_back("-");
 
-  const core::Checker checker;
+  // The same Engine (and findings renderer) the server uses, so `hv
+  // check` and POST /check agree byte-for-byte on the same input.
+  const engine::Engine engine;
   bool any_violation = false;
   bool first_file = true;
   if (json) out << "[";
   for (const std::string& path : files) {
     const auto content = read_input(path, in, err);
     if (!content.has_value()) return kUsage;
-    const core::CheckResult result = checker.check(*content);
-    any_violation = any_violation || result.violating();
+    engine::CheckRequest request;
+    request.bytes = *content;
+    const engine::CheckReport report = engine.check(request);
+    any_violation = any_violation || report.violating();
 
     if (json) {
       if (!first_file) out << ",";
       first_file = false;
-      out << "\n  {\"file\": \"" << json_escape(path) << "\", \"findings\": [";
-      bool first_finding = true;
-      for (const core::Finding& finding : result.findings) {
-        if (!first_finding) out << ",";
-        first_finding = false;
-        const core::ViolationInfo& info = core::info(finding.violation);
-        out << "\n    {\"violation\": \"" << info.name << "\", \"group\": \""
-            << core::to_string(info.group) << "\", \"line\": "
-            << finding.position.line << ", \"column\": "
-            << finding.position.column << ", \"auto_fixable\": "
-            << (info.auto_fixable ? "true" : "false") << ", \"detail\": \""
-            << json_escape(finding.detail) << "\"}";
-      }
-      out << (first_finding ? "]}" : "\n  ]}");
+      out << "\n  {\"file\": \"" << json_escape(path)
+          << "\", \"parse_errors\": " << report.parse_errors
+          << ", \"findings\": [";
+      engine::write_findings_json(out, report.findings, "    ");
+      out << (report.findings.empty() ? "]}" : "\n  ]}");
       continue;
     }
-    if (!result.violating()) {
+    if (!report.violating()) {
       out << path << ": clean\n";
       continue;
     }
-    out << path << ": " << result.findings.size() << " finding(s), "
-        << result.distinct_violations() << " distinct violation(s)\n";
-    for (const core::Finding& finding : result.findings) {
+    out << path << ": " << report.findings.size() << " finding(s), "
+        << report.distinct_violations() << " distinct violation(s)\n";
+    for (const core::Finding& finding : report.findings) {
       const core::ViolationInfo& info = core::info(finding.violation);
       out << "  " << info.name << "  line " << finding.position.line << ":"
           << finding.position.column << "  " << info.definition;
@@ -1116,22 +1095,7 @@ int cmd_query(const std::vector<std::string>& args, std::ostream& out,
     return kOk;
   }
   if (sub == "union") {
-    const std::size_t analyzed = view->total_domains_analyzed();
-    const auto unions = view->union_violating();
-    report::Table table({"violation", "domains", "union %"});
-    for (const core::ViolationInfo& info : core::all_violations()) {
-      const std::size_t count = unions[static_cast<std::size_t>(info.id)];
-      table.add_row(
-          {std::string(info.name), std::to_string(count),
-           report::format_percent(
-               analyzed == 0 ? 0.0
-                             : 100.0 * static_cast<double>(count) /
-                                   static_cast<double>(analyzed),
-               1)});
-    }
-    out << table.render();
-    out << "any violation: " << view->union_any_violation() << " of "
-        << analyzed << " analyzed domains\n";
+    report::render_union_table(out, *view);
     return kOk;
   }
 
@@ -1142,30 +1106,7 @@ int cmd_query(const std::vector<std::string>& args, std::ostream& out,
     err << "hv query: domain '" << args[2] << "' not in the result set\n";
     return kFindings;
   }
-  out << args[2] << " rank=" << view->rank(*index) << "\n";
-  for (int y = 0; y < store::kYearCount; ++y) {
-    const std::uint8_t flags = view->flags(*index, y);
-    if (flags == 0) continue;
-    out << "  " << report::kSnapshotLabels[static_cast<std::size_t>(y)]
-        << ": "
-        << ((flags & store::kFlagAnalyzed) != 0 ? "analyzed" : "found")
-        << " pages=" << view->pages(*index, y);
-    if (view->errors(*index, y) > 0) {
-      out << " errors=" << view->errors(*index, y);
-    }
-    const auto bits = store::to_bitset(view->violations(*index, y));
-    if (bits.any()) {
-      out << " violations=";
-      bool first = true;
-      for (const core::ViolationInfo& info : core::all_violations()) {
-        if (!bits.test(static_cast<std::size_t>(info.id))) continue;
-        if (!first) out << ",";
-        first = false;
-        out << info.name;
-      }
-    }
-    out << "\n";
-  }
+  report::render_domain_history(out, *view, *index);
   return kOk;
 }
 
@@ -1748,6 +1689,132 @@ int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
   }
 }
 
+namespace {
+
+/// The serve signal hook: SIGINT/SIGTERM begin the graceful drain.
+/// request_stop() is async-signal-safe (atomic store + shutdown(2)), so
+/// the handler may call it directly.
+std::atomic<serve::Server*> g_serve_server{nullptr};
+
+void serve_signal_handler(int) {
+  serve::Server* const server = g_serve_server.load();
+  if (server != nullptr) server->request_stop();
+}
+
+}  // namespace
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  serve::ServerConfig config;
+  config.threads = 4;
+  std::string results_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto value = [&]() -> const std::string* {
+      if (i + 1 >= args.size()) {
+        err << "hv serve: " << args[i] << " needs a value\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (args[i] == "--port") {
+      const std::string* text = value();
+      if (text == nullptr ||
+          !parse_int("serve", "--port", *text, &config.port, err)) {
+        return kUsage;
+      }
+      if (config.port > 65535) {
+        err << "hv serve: --port must be <= 65535\n";
+        return kUsage;
+      }
+    } else if (args[i] == "--bind") {
+      const std::string* text = value();
+      if (text == nullptr) return kUsage;
+      config.bind_address = *text;
+    } else if (args[i] == "--threads") {
+      const std::string* text = value();
+      if (text == nullptr ||
+          !parse_int("serve", "--threads", *text, &config.threads, err)) {
+        return kUsage;
+      }
+    } else if (args[i] == "--results") {
+      const std::string* text = value();
+      if (text == nullptr) return kUsage;
+      results_path = *text;
+    } else if (args[i] == "--max-body") {
+      const std::string* text = value();
+      std::uint64_t bytes = 0;
+      if (text == nullptr ||
+          !parse_u64("serve", "--max-body", *text, &bytes, err)) {
+        return kUsage;
+      }
+      config.max_body_bytes = static_cast<std::size_t>(bytes);
+    } else if (args[i] == "--keep-alive-max") {
+      const std::string* text = value();
+      std::uint64_t count = 0;
+      if (text == nullptr ||
+          !parse_u64("serve", "--keep-alive-max", *text, &count, err)) {
+        return kUsage;
+      }
+      config.max_requests_per_connection = static_cast<std::size_t>(count);
+    } else if (args[i] == "--idle-timeout") {
+      const std::string* text = value();
+      if (text == nullptr || !parse_int("serve", "--idle-timeout", *text,
+                                        &config.idle_timeout_seconds, err)) {
+        return kUsage;
+      }
+    } else {
+      err << "hv serve: unknown option '" << args[i] << "'\n";
+      return kUsage;
+    }
+  }
+
+  std::optional<store::StudyView> view;
+  if (!results_path.empty()) {
+    std::string error;
+    view = store::load_results(std::filesystem::path(results_path), &error);
+    if (!view.has_value()) {
+      err << "hv serve: " << results_path << ": " << error << "\n";
+      return kUsage;
+    }
+    config.results = &*view;
+  }
+
+  const engine::Engine engine;
+  serve::Server server(engine, config);
+  std::string error;
+  if (!server.start(&error)) {
+    err << "hv serve: " << error << "\n";
+    return kUsage;
+  }
+  // The bound port goes out immediately (and flushed) so scripts binding
+  // port 0 can read it back.
+  out << "hv serve: listening on " << config.bind_address << ":"
+      << server.port() << " (" << config.threads << " worker(s)";
+  if (view.has_value()) {
+    out << ", " << view->domain_count() << " domain(s) loaded";
+  }
+  out << ")\n";
+  out.flush();
+
+  g_serve_server.store(&server);
+  struct sigaction action {};
+  action.sa_handler = serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int {};
+  struct sigaction old_term {};
+  sigaction(SIGINT, &action, &old_int);
+  sigaction(SIGTERM, &action, &old_term);
+
+  server.wait();
+
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+  g_serve_server.store(nullptr);
+  out << "hv serve: drained after " << server.requests_served()
+      << " request(s)\n";
+  return kOk;
+}
+
 int run(const std::vector<std::string>& args, std::istream& in,
         std::ostream& out, std::ostream& err) {
   // The global --log-level flag is accepted anywhere on the command line
@@ -1804,6 +1871,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (command == "crash") return cmd_crash(rest, out, err);
   if (command == "stats") return cmd_stats(rest, out, err);
   if (command == "warc") return cmd_warc(rest, out, err);
+  if (command == "serve") return cmd_serve(rest, out, err);
   err << "hv: unknown command '" << command << "'\n";
   print_usage(err);
   return kUsage;

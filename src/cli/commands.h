@@ -54,6 +54,14 @@
 //                                     percentage points
 //   hv warc list <file.warc>          index the records of an archive
 //   hv warc cat <file.warc> <offset>  print one record's HTTP body
+//   hv serve [--port N] [--bind ADDR] [--threads N] [--results results.hv]
+//            [--max-body BYTES] [--keep-alive-max N] [--idle-timeout SEC]
+//                                     the online checking service (DESIGN.md
+//                                     section 16): POST /check[?fix=1], GET
+//                                     /stats, /query/..., /metrics, /healthz.
+//                                     --port 0 binds an ephemeral port and
+//                                     prints it; SIGINT/SIGTERM drain
+//                                     in-flight requests and exit 0
 //
 // The global flag `--log-level <debug|info|warn|error|off>` (any position)
 // sets the structured-log threshold and mirrors accepted entries to
@@ -102,6 +110,8 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_warc(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err);
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
 
 /// JSON-escapes a string (the check --json output is hand-assembled; the
 /// findings schema is documented in README).

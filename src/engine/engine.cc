@@ -1,0 +1,223 @@
+#include "engine/engine.h"
+
+#include <ostream>
+
+#include "fix/autofix.h"
+#include "html/parser.h"
+#include "html/serializer.h"
+#include "mitigation/mitigations.h"
+#include "net/http.h"
+#include "obs/obs.h"
+
+namespace hv::engine {
+namespace {
+
+/// DOM memory accounting per checked page (arena, interner, node counts);
+/// the run report's byte-accounting section reads these back.  Lived in
+/// pipeline.cc until the engine extraction; the metric names are
+/// unchanged so existing dashboards and the report reader keep working.
+struct HtmlMemoryMetrics {
+  obs::Counter& arena_bytes;      ///< cumulative arena bytes
+  obs::Gauge& arena_peak_bytes;   ///< largest single document arena
+  obs::Counter& dom_nodes;        ///< cumulative DOM nodes built
+  obs::Counter& interner_names;   ///< names outside the well-known table
+  obs::Counter& interner_bytes;   ///< private interner storage bytes
+
+  static HtmlMemoryMetrics& get() {
+    obs::Registry& registry = obs::default_registry();
+    static HtmlMemoryMetrics* const metrics = new HtmlMemoryMetrics{
+        registry.counter("hv_html_arena_bytes_total",
+                         "DOM arena bytes allocated across checked pages"),
+        registry.gauge("hv_html_arena_peak_bytes",
+                       "Largest single-document DOM arena seen"),
+        registry.counter("hv_html_dom_nodes_total",
+                         "DOM nodes built across checked pages"),
+        registry.counter("hv_html_interner_local_names_total",
+                         "Tag/attribute names interned outside the "
+                         "well-known table"),
+        registry.counter("hv_html_interner_local_bytes_total",
+                         "Bytes of private name-interner storage")};
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+std::string_view to_string(Drop drop) noexcept {
+  switch (drop) {
+    case Drop::kNone:
+      return "none";
+    case Drop::kHttpError:
+      return "http-error";
+    case Drop::kNonHtml:
+      return "non-html";
+    case Drop::kNonUtf8:
+      return "non-utf8";
+  }
+  return "unknown";
+}
+
+CheckReport check_document(const core::Checker& checker,
+                           const CheckRequest& request) {
+  HV_PROF_SCOPE("check");
+  CheckReport report;
+
+  // Filter order is load-bearing: it reproduces the batch pipeline's
+  // capture handling exactly (HTTP envelope -> status -> media type ->
+  // parse -> encoding filter -> rules), so drop taxonomies and per-filter
+  // counts line up between the crawl and any online consumer.
+  std::string_view body = request.bytes;
+  if (request.http_message) {
+    const auto response = net::parse_http_response(request.bytes);
+    if (!response.has_value() || response->status_code != 200) {
+      report.drop = Drop::kHttpError;
+      return report;
+    }
+    if (response->media_type() != "text/html") {
+      report.drop = Drop::kNonHtml;
+      return report;
+    }
+    body = response->body;
+  }
+
+  // The paper's encoding filter verdict falls out of the parser's own
+  // decoding pass (ParseResult::input_utf8_valid); no separate scan.
+  const html::ParseResult parsed = html::parse(body);
+  report.utf8_valid = parsed.input_utf8_valid;
+  if (request.require_utf8 && !parsed.input_utf8_valid) {
+    report.drop = Drop::kNonUtf8;
+    return report;
+  }
+  report.parse_errors = parsed.errors.size();
+
+  core::CheckResult checked = checker.check(parsed, body);
+  report.findings = std::move(checked.findings);
+  report.violations = checked.present;
+  report.fully_auto_fixable = checked.fully_auto_fixable();
+
+  if (request.scan_mitigations) {
+    HV_PROF_SCOPE("mitigations");
+    const mitigation::UrlNewlineScan url_scan =
+        mitigation::scan_url_newlines(*parsed.document);
+    report.url_newline = url_scan.any_newline();
+    report.url_newline_lt = url_scan.any_blocked();
+    const mitigation::ScriptInAttributeScan script_scan =
+        mitigation::scan_script_in_attributes(*parsed.document);
+    report.script_in_attribute = script_scan.any();
+    report.script_in_attr_affected = script_scan.any_affected();
+  }
+  // Foreign-content usage was observed at parse time by the Document
+  // factory; no full-tree traversal needed.
+  report.uses_math = parsed.document->uses_math();
+  report.uses_svg = parsed.document->uses_svg();
+
+#ifndef HV_OBS_DISABLED
+  {
+    const html::Document& document = *parsed.document;
+    HtmlMemoryMetrics& memory = HtmlMemoryMetrics::get();
+    memory.arena_bytes.inc(document.arena_bytes());
+    memory.arena_peak_bytes.set_max(
+        static_cast<double>(document.arena_bytes()));
+    memory.dom_nodes.inc(document.node_count());
+    memory.interner_names.inc(document.names().local_count());
+    memory.interner_bytes.inc(document.names().local_bytes());
+  }
+#endif
+
+  if (request.autofix) {
+    // The document is already parsed, so the section 4.4 repair reuses it:
+    // mutate in place, serialize, and re-check only the fixed bytes (the
+    // repair verdict is about what the serialized output does).
+    HV_PROF_SCOPE("autofix");
+    FixReport fix;
+    fix::relocate_head_only_elements(*parsed.document);
+    fix.fixed_html = html::serialize(*parsed.document);
+    const core::CheckResult after = checker.check(fix.fixed_html);
+    for (std::size_t i = 0; i < core::kViolationCount; ++i) {
+      const auto violation = static_cast<core::Violation>(i);
+      if (report.violations.test(i) && !after.has(violation)) {
+        fix.fixed.push_back(violation);
+      } else if (after.has(violation)) {
+        fix.remaining.push_back(violation);
+      }
+    }
+    fix.semantics_preserving = report.fully_auto_fixable;
+    fix.fully_fixed = !after.violating();
+    report.fix = std::move(fix);
+  }
+  return report;
+}
+
+CheckReport Session::check(const CheckRequest& request) {
+  CheckReport report = engine_->check(request);
+  switch (report.drop) {
+    case Drop::kNone:
+      ++stats_.checked;
+      if (report.violating()) ++stats_.violating;
+      if (report.fix.has_value()) ++stats_.fixes;
+      break;
+    case Drop::kHttpError:
+      ++stats_.dropped_http_error;
+      break;
+    case Drop::kNonHtml:
+      ++stats_.dropped_non_html;
+      break;
+    case Drop::kNonUtf8:
+      ++stats_.dropped_non_utf8;
+      break;
+  }
+  return report;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_findings_json(std::ostream& out,
+                         const std::vector<core::Finding>& findings,
+                         std::string_view indent) {
+  bool first = true;
+  for (const core::Finding& finding : findings) {
+    if (!first) out << ",";
+    first = false;
+    const core::ViolationInfo& info = core::info(finding.violation);
+    out << "\n" << indent << "{\"violation\": \"" << info.name
+        << "\", \"group\": \"" << core::to_string(info.group)
+        << "\", \"line\": " << finding.position.line
+        << ", \"column\": " << finding.position.column
+        << ", \"auto_fixable\": " << (info.auto_fixable ? "true" : "false")
+        << ", \"detail\": \"" << json_escape(finding.detail) << "\"}";
+  }
+}
+
+}  // namespace hv::engine

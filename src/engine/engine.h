@@ -1,0 +1,163 @@
+// hv::engine — the per-document check path as a first-class, reusable
+// API (DESIGN.md section 16).
+//
+// The paper's framework checks one page at a time: instrumented parse ->
+// 20 rules -> mitigation scans -> optional automatic repair.  That hot
+// path used to be welded into the StudyPipeline workers; this library
+// extracts it behind a CheckRequest/CheckReport pair so every consumer —
+// the batch pipeline, the `hv check` CLI, the `hv serve` online service —
+// runs the exact same code and produces identical results by
+// construction.
+//
+// Concurrency model: an Engine is immutable after construction (the rule
+// set is fixed, check() is const) and may be shared by any number of
+// threads.  The mutable half is the per-worker Session, which tallies
+// what its owner saw; pipeline workers and server connection handlers
+// each own one.  The DOM arena is per-call: every check() parses into a
+// fresh bump arena that dies with the call, so no request can see
+// another's allocations.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/violation.h"
+
+namespace hv::engine {
+
+/// Why an HTTP capture was filtered before checking — the pipeline's
+/// drop taxonomy, now part of the public API so online consumers report
+/// the same reasons the batch crawl counts.
+enum class Drop : std::uint8_t {
+  kNone = 0,    ///< the page was checked
+  kHttpError,   ///< unparseable HTTP message or non-200 status
+  kNonHtml,     ///< Content-Type was not text/html
+  kNonUtf8,     ///< body failed the paper's UTF-8 encoding filter
+};
+
+/// Kebab-case name (doubles as a metric/JSON label).
+std::string_view to_string(Drop drop) noexcept;
+
+/// One check invocation.  `bytes` is either raw HTML or, with
+/// `http_message`, a full HTTP response message (the WARC capture
+/// payload shape) that goes through the status/media-type filters first.
+struct CheckRequest {
+  std::string_view bytes;
+  bool http_message = false;  ///< parse an HTTP envelope before checking
+  /// Apply the paper's encoding filter: a non-UTF-8 document is dropped
+  /// (Drop::kNonUtf8) instead of checked.  Off for the CLI/server, which
+  /// check whatever they are handed and report utf8_valid instead.
+  bool require_utf8 = false;
+  bool scan_mitigations = false;  ///< section 4.5 URL/script scans
+  bool autofix = false;           ///< also compute the section 4.4 repair
+};
+
+/// The section 4.4 mechanical repair, reported as a diff: what was
+/// fixed, what remains, and the repaired bytes themselves.
+struct FixReport {
+  std::string fixed_html;
+  std::vector<core::Violation> fixed;      ///< present before, absent after
+  std::vector<core::Violation> remaining;  ///< still present after
+  /// Every original violation was in the auto-fixable (FB/DM) classes.
+  bool semantics_preserving = false;
+  bool fully_fixed = false;
+};
+
+/// Everything one check produced.  Move-friendly by design: the findings
+/// vector and the fix report are moved in, never copied — the old
+/// fix::FixOutcome embedded two full CheckResults by value and copied
+/// them on every hand-off, which `hv profile` showed on entity-heavy fix
+/// runs.
+struct CheckReport {
+  Drop drop = Drop::kNone;
+  bool utf8_valid = true;          ///< decoder verdict on the input
+  std::size_t parse_errors = 0;    ///< spec-named tokenizer/tree errors
+  std::vector<core::Finding> findings;
+  std::bitset<core::kViolationCount> violations;
+  bool fully_auto_fixable = false;  ///< section 4.4 policy over `violations`
+
+  // Mitigation scans (when requested): section 4.5.
+  bool url_newline = false;
+  bool url_newline_lt = false;
+  bool script_in_attribute = false;
+  bool script_in_attr_affected = false;
+  bool uses_math = false;
+  bool uses_svg = false;
+
+  std::optional<FixReport> fix;  ///< present when autofix was requested
+
+  bool checked() const noexcept { return drop == Drop::kNone; }
+  bool violating() const noexcept { return violations.any(); }
+  std::size_t distinct_violations() const noexcept {
+    return violations.count();
+  }
+};
+
+/// The full check path over an explicit rule set.  This is the single
+/// implementation every consumer funnels through; Engine::check and the
+/// pipeline's analyze_capture are thin wrappers.  Thread-safe for a
+/// const Checker.
+CheckReport check_document(const core::Checker& checker,
+                           const CheckRequest& request);
+
+class Engine {
+ public:
+  /// Constructs an engine with all twenty built-in rules registered.
+  Engine() = default;
+
+  /// Checks one document (or HTTP capture).  Const and thread-safe; the
+  /// DOM arena lives and dies inside the call.
+  CheckReport check(const CheckRequest& request) const {
+    return check_document(checker_, request);
+  }
+
+  const core::Checker& checker() const noexcept { return checker_; }
+
+ private:
+  core::Checker checker_;
+};
+
+/// Per-worker mutable handle: wraps a shared Engine and tallies what
+/// this worker saw.  Not thread-safe — that is the point: one Session
+/// per worker means zero synchronization on the per-request path.
+class Session {
+ public:
+  struct Stats {
+    std::uint64_t checked = 0;
+    std::uint64_t violating = 0;
+    std::uint64_t dropped_http_error = 0;
+    std::uint64_t dropped_non_html = 0;
+    std::uint64_t dropped_non_utf8 = 0;
+    std::uint64_t fixes = 0;  ///< checks that also ran the autofix
+  };
+
+  explicit Session(const Engine& engine) noexcept : engine_(&engine) {}
+
+  CheckReport check(const CheckRequest& request);
+
+  const Stats& stats() const noexcept { return stats_; }
+  const Engine& engine() const noexcept { return *engine_; }
+
+ private:
+  const Engine* engine_;
+  Stats stats_;
+};
+
+/// Renders `findings` as the `hv check --json` findings array body: one
+/// `\n<indent>{...}` object per finding, comma-separated, no enclosing
+/// brackets.  Shared by the CLI and the server so batch and online JSON
+/// are identical by construction.
+void write_findings_json(std::ostream& out,
+                         const std::vector<core::Finding>& findings,
+                         std::string_view indent);
+
+/// JSON string escaping for the hand-assembled check/serve payloads.
+std::string json_escape(std::string_view text);
+
+}  // namespace hv::engine

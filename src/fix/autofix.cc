@@ -6,14 +6,11 @@
 #include "html/serializer.h"
 
 namespace hv::fix {
-namespace {
 
 using html::Document;
 using html::Element;
 using html::Node;
 
-/// Moves meta[http-equiv] and base elements that ended up outside the head
-/// back into it, and removes every base element after the first (DM1/DM2).
 void relocate_head_only_elements(Document& document) {
   Element* head = document.head();
   if (head == nullptr) return;
@@ -67,8 +64,6 @@ void relocate_head_only_elements(Document& document) {
   }
 }
 
-}  // namespace
-
 AutoFixer::AutoFixer() = default;
 
 std::string AutoFixer::fix(std::string_view html) const {
@@ -78,20 +73,29 @@ std::string AutoFixer::fix(std::string_view html) const {
 }
 
 FixOutcome AutoFixer::fix_and_verify(std::string_view html) const {
+  // One parse serves both the before-check and the repair: check over the
+  // instrumented parse, then mutate the same DOM and serialize.  Only the
+  // fixed output needs a fresh parse (the repair verdict is about what
+  // the *serialized* bytes do), so this is two parses where the old
+  // check/fix/re-check sequence paid three.
   FixOutcome outcome;
-  outcome.before = checker_.check(html);
-  outcome.fixed_html = fix(html);
-  outcome.after = checker_.check(outcome.fixed_html);
+  html::ParseResult parsed = html::parse(html);
+  const core::CheckResult before = checker_.check(parsed, html);
+  relocate_head_only_elements(*parsed.document);
+  outcome.fixed_html = html::serialize(*parsed.document);
+  const core::CheckResult after = checker_.check(outcome.fixed_html);
+  outcome.before.present = before.present;
+  outcome.after.present = after.present;
   for (std::size_t i = 0; i < core::kViolationCount; ++i) {
     const auto violation = static_cast<core::Violation>(i);
-    if (outcome.before.has(violation) && !outcome.after.has(violation)) {
+    if (before.has(violation) && !after.has(violation)) {
       outcome.fixed.push_back(violation);
-    } else if (outcome.after.has(violation)) {
+    } else if (after.has(violation)) {
       outcome.remaining.push_back(violation);
     }
   }
-  outcome.semantics_preserving = outcome.before.fully_auto_fixable();
-  outcome.fully_fixed = !outcome.after.violating();
+  outcome.semantics_preserving = before.fully_auto_fixable();
+  outcome.fully_fixed = !after.violating();
   return outcome;
 }
 

@@ -18,6 +18,7 @@
 // the FB/DM classes.
 #pragma once
 
+#include <bitset>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,10 +27,24 @@
 
 namespace hv::fix {
 
+/// Which violations a check found, as a bare bitset.  FixOutcome used to
+/// embed two full CheckResults — findings vectors, details and all — just
+/// to answer has()/violating() queries, and copied both on every
+/// hand-off; the fix verdict only needs the presence bits.
+struct ViolationSet {
+  std::bitset<core::kViolationCount> present;
+
+  bool has(core::Violation violation) const noexcept {
+    return present.test(static_cast<std::size_t>(violation));
+  }
+  bool violating() const noexcept { return present.any(); }
+  std::size_t distinct_violations() const noexcept { return present.count(); }
+};
+
 struct FixOutcome {
   std::string fixed_html;
-  core::CheckResult before;
-  core::CheckResult after;
+  ViolationSet before;
+  ViolationSet after;
   /// Violations present before and absent after.
   std::vector<core::Violation> fixed;
   /// Violations still present after the mechanical fix.
@@ -57,5 +72,11 @@ class AutoFixer {
  private:
   core::Checker checker_;
 };
+
+/// The mechanical transform itself: moves meta[http-equiv] and base
+/// elements that ended up outside the head back into it and drops every
+/// base after the first (DM1/DM2).  Exposed so hv::engine can repair a
+/// document it has already parsed without paying a second parse.
+void relocate_head_only_elements(html::Document& document);
 
 }  // namespace hv::fix

@@ -37,6 +37,34 @@ std::pair<std::string_view, std::size_t> next_line(std::string_view text,
   return {text.substr(offset, end - offset), lf + 1};
 }
 
+/// The shared header-field tokenizer: consumes "name: value" lines from
+/// `offset` until the blank line (or end of input) and appends them to
+/// `head->headers`.  On success returns the offset of the first body
+/// byte; on a malformed field returns nullopt with the offending offset
+/// in `*error_offset`.  Requests and responses differ only in their
+/// start line — everything from the second line on goes through here.
+std::optional<std::size_t> parse_header_block(std::string_view message,
+                                              std::size_t offset,
+                                              MessageHead* head,
+                                              std::size_t* error_offset) {
+  while (offset < message.size()) {
+    auto [line, next] = next_line(message, offset);
+    if (line.empty()) return next;  // blank line: body starts here
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      *error_offset = offset;
+      return std::nullopt;
+    }
+    HeaderField field;
+    field.name = std::string(trim(line.substr(0, colon)));
+    field.value = std::string(trim(line.substr(colon + 1)));
+    head->headers.push_back(std::move(field));
+    offset = next;
+  }
+  // No blank line: headers-only message with an empty body.
+  return message.size();
+}
+
 }  // namespace
 
 bool iequals(std::string_view a, std::string_view b) noexcept {
@@ -50,7 +78,7 @@ bool iequals(std::string_view a, std::string_view b) noexcept {
   return true;
 }
 
-std::optional<std::string_view> HttpResponse::header(
+std::optional<std::string_view> MessageHead::header(
     std::string_view name) const {
   for (const HeaderField& field : headers) {
     if (iequals(field.name, name)) return std::string_view{field.value};
@@ -58,14 +86,14 @@ std::optional<std::string_view> HttpResponse::header(
   return std::nullopt;
 }
 
-std::string HttpResponse::media_type() const {
+std::string MessageHead::media_type() const {
   const auto content_type = header("Content-Type");
   if (!content_type.has_value()) return {};
   const std::size_t semi = content_type->find(';');
   return to_lower(trim(content_type->substr(0, semi)));
 }
 
-std::string HttpResponse::charset() const {
+std::string MessageHead::charset() const {
   const auto content_type = header("Content-Type");
   if (!content_type.has_value()) return {};
   const std::string lowered = to_lower(*content_type);
@@ -78,6 +106,36 @@ std::string HttpResponse::charset() const {
   return std::string(value);
 }
 
+std::optional<std::uint64_t> MessageHead::content_length() const {
+  const auto value = header("Content-Length");
+  if (!value.has_value() || value->empty()) return std::nullopt;
+  // Strict digits only: signs, whitespace and trailing junk are how a
+  // hostile or corrupt length smuggles past a lenient stoull.
+  std::uint64_t length = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), length);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    return std::nullopt;
+  }
+  return length;
+}
+
+bool MessageHead::wants_close() const {
+  const auto connection = header("Connection");
+  return connection.has_value() && iequals(trim(*connection), "close");
+}
+
+std::string_view HttpRequest::path() const {
+  const std::string_view t{target};
+  return t.substr(0, t.find('?'));
+}
+
+std::string_view HttpRequest::query() const {
+  const std::string_view t{target};
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? std::string_view{} : t.substr(q + 1);
+}
+
 std::optional<HttpResponse> parse_http_response(std::string_view message,
                                                 HttpParseError* error) {
   const auto fail = [error](std::string text, std::size_t offset)
@@ -87,9 +145,7 @@ std::optional<HttpResponse> parse_http_response(std::string_view message,
   };
 
   HttpResponse response;
-  std::size_t offset = 0;
-  auto [status_line, after_status] = next_line(message, offset);
-  offset = after_status;
+  auto [status_line, after_status] = next_line(message, 0);
 
   // Status line: HTTP-version SP status-code SP [reason].
   const std::size_t sp1 = status_line.find(' ');
@@ -114,28 +170,87 @@ std::optional<HttpResponse> parse_http_response(std::string_view message,
     response.reason_phrase = std::string(trim(rest.substr(sp2 + 1)));
   }
 
-  // Header fields until the blank line.
-  while (offset < message.size()) {
-    auto [line, next] = next_line(message, offset);
-    if (line.empty()) {
-      offset = next;
-      response.body = message.substr(offset);
-      return response;
-    }
-    const std::size_t colon = line.find(':');
-    if (colon == std::string_view::npos || colon == 0) {
-      return fail("malformed header field", offset);
-    }
-    HeaderField field;
-    field.name = std::string(trim(line.substr(0, colon)));
-    field.value = std::string(trim(line.substr(colon + 1)));
-    response.headers.push_back(std::move(field));
-    offset = next;
+  std::size_t error_offset = 0;
+  const auto body_offset = parse_header_block(message, after_status,
+                                              &response, &error_offset);
+  if (!body_offset.has_value()) {
+    return fail("malformed header field", error_offset);
   }
-  // No blank line: headers-only message with empty body.
-  response.body = std::string_view{};
+  response.body = message.substr(*body_offset);
   return response;
 }
+
+std::optional<HttpRequest> parse_http_request(std::string_view message,
+                                              HttpParseError* error) {
+  const auto fail = [error](std::string text, std::size_t offset)
+      -> std::optional<HttpRequest> {
+    if (error != nullptr) *error = {std::move(text), offset};
+    return std::nullopt;
+  };
+
+  HttpRequest request;
+  auto [request_line, after_request] = next_line(message, 0);
+
+  // Request line: method SP request-target SP HTTP-version.
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) {
+    return fail("missing method", 0);
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  // Methods are tokens: reject anything that is not an ASCII letter so a
+  // stray binary blob on the socket reads as malformed, not as a method.
+  for (const char c : method) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      return fail("invalid method", 0);
+    }
+  }
+  request.method = std::string(method);
+  std::string_view rest = request_line.substr(sp1 + 1);
+  const std::size_t sp2 = rest.find(' ');
+  if (sp2 == std::string_view::npos || sp2 == 0) {
+    return fail("missing request target", sp1 + 1);
+  }
+  request.target = std::string(rest.substr(0, sp2));
+  request.http_version = std::string(trim(rest.substr(sp2 + 1)));
+  if (!request.http_version.starts_with("HTTP/")) {
+    return fail("not an HTTP request", sp1 + 1 + sp2 + 1);
+  }
+
+  std::size_t error_offset = 0;
+  const auto body_offset = parse_header_block(message, after_request,
+                                              &request, &error_offset);
+  if (!body_offset.has_value()) {
+    return fail("malformed header field", error_offset);
+  }
+  request.body = message.substr(*body_offset);
+  return request;
+}
+
+namespace {
+
+/// Shared serialization tail: headers, auto Content-Length, blank line,
+/// body.
+void append_headers_and_body(std::string* out,
+                             const std::vector<HeaderField>& headers,
+                             std::string_view body) {
+  bool has_length = false;
+  for (const HeaderField& field : headers) {
+    out->append(field.name);
+    out->append(": ");
+    out->append(field.value);
+    out->append("\r\n");
+    if (iequals(field.name, "Content-Length")) has_length = true;
+  }
+  if (!has_length) {
+    out->append("Content-Length: ");
+    *out += std::to_string(body.size());
+    out->append("\r\n");
+  }
+  out->append("\r\n");
+  out->append(body);
+}
+
+}  // namespace
 
 std::string build_http_response(int status_code, std::string_view reason,
                                 const std::vector<HeaderField>& headers,
@@ -145,21 +260,21 @@ std::string build_http_response(int status_code, std::string_view reason,
   out.push_back(' ');
   out.append(reason);
   out.append("\r\n");
-  bool has_length = false;
-  for (const HeaderField& field : headers) {
-    out.append(field.name);
-    out.append(": ");
-    out.append(field.value);
-    out.append("\r\n");
-    if (iequals(field.name, "Content-Length")) has_length = true;
-  }
-  if (!has_length) {
-    out.append("Content-Length: ");
-    out += std::to_string(body.size());
-    out.append("\r\n");
-  }
-  out.append("\r\n");
-  out.append(body);
+  append_headers_and_body(&out, headers, body);
+  return out;
+}
+
+std::string build_http_request(std::string_view method,
+                               std::string_view target,
+                               const std::vector<HeaderField>& headers,
+                               std::string_view body) {
+  std::string out;
+  out.reserve(method.size() + target.size() + body.size() + 64);
+  out.append(method);
+  out.push_back(' ');
+  out.append(target);
+  out.append(" HTTP/1.1\r\n");
+  append_headers_and_body(&out, headers, body);
   return out;
 }
 

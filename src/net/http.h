@@ -1,11 +1,20 @@
-// Minimal HTTP/1.1 response-message parsing (RFC 9112 subset).
+// Minimal HTTP/1.1 message parsing and serialization (RFC 9112 subset),
+// shared by two very different consumers:
 //
-// Common Crawl WARC "response" records store the verbatim HTTP response —
-// status line, header fields, CRLF, body.  The crawler must split these to
-// reach the HTML payload and the Content-Type header (the paper requests
-// only text/html records and filters non-UTF-8 bodies).
+//   * the WARC crawl path: Common Crawl "response" records store the
+//     verbatim HTTP response — status line, header fields, CRLF, body —
+//     and the crawler splits these to reach the HTML payload and the
+//     Content-Type header (the paper requests only text/html records and
+//     filters non-UTF-8 bodies);
+//   * the `hv serve` online checker: the server parses request messages
+//     off a socket and serializes responses back.
+//
+// Both message shapes share one header block, so the field tokenizer and
+// the case-insensitive lookup helpers live on a common MessageHead base
+// instead of being duplicated per direction.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,12 +27,12 @@ struct HeaderField {
   std::string value;  ///< leading/trailing whitespace trimmed
 };
 
-struct HttpResponse {
-  int status_code = 0;
-  std::string reason_phrase;
+/// The part of an HTTP message that requests and responses share: the
+/// protocol version and the header block, plus the lookup helpers every
+/// consumer (crawl filter, server routing, bench client) needs.
+struct MessageHead {
   std::string http_version;  ///< e.g. "HTTP/1.1"
   std::vector<HeaderField> headers;
-  std::string_view body;  ///< view into the input buffer
 
   /// Case-insensitive header lookup; returns the first match.
   std::optional<std::string_view> header(std::string_view name) const;
@@ -34,6 +43,30 @@ struct HttpResponse {
 
   /// charset parameter from Content-Type, lowercased ("" if absent).
   std::string charset() const;
+
+  /// Content-Length parsed as strict decimal digits; nullopt when the
+  /// header is absent or malformed (signs, whitespace, trailing junk).
+  std::optional<std::uint64_t> content_length() const;
+
+  /// True when the peer asked to close the connection ("Connection:
+  /// close"); HTTP/1.1 defaults to keep-alive otherwise.
+  bool wants_close() const;
+};
+
+struct HttpResponse : MessageHead {
+  int status_code = 0;
+  std::string reason_phrase;
+  std::string_view body;  ///< view into the input buffer
+};
+
+struct HttpRequest : MessageHead {
+  std::string method;  ///< e.g. "GET", "POST" (case preserved)
+  std::string target;  ///< origin-form request target, e.g. "/check?fix=1"
+  std::string_view body;  ///< view into the input buffer
+
+  /// Request target split at the '?': path and (undecoded) query string.
+  std::string_view path() const;
+  std::string_view query() const;
 };
 
 struct HttpParseError {
@@ -47,11 +80,26 @@ struct HttpParseError {
 std::optional<HttpResponse> parse_http_response(
     std::string_view message, HttpParseError* error = nullptr);
 
+/// Parses an HTTP request message (request line + header block).  The
+/// body view is simply everything after the blank line — the caller is
+/// responsible for checking it against Content-Length, because a server
+/// reads the head first and the body may still be in flight.
+std::optional<HttpRequest> parse_http_request(
+    std::string_view message, HttpParseError* error = nullptr);
+
 /// Serializes a response (used by the corpus generator when writing WARC
-/// records).  Adds Content-Length automatically.
+/// records, and by the `hv serve` request loop).  Adds Content-Length
+/// automatically unless the caller provided one.
 std::string build_http_response(int status_code, std::string_view reason,
                                 const std::vector<HeaderField>& headers,
                                 std::string_view body);
+
+/// Serializes a request (the bench_serve load generator and the serve
+/// tests).  Adds Content-Length automatically unless provided.
+std::string build_http_request(std::string_view method,
+                               std::string_view target,
+                               const std::vector<HeaderField>& headers,
+                               std::string_view body);
 
 /// ASCII case-insensitive string equality.
 bool iequals(std::string_view a, std::string_view b) noexcept;

@@ -10,7 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
-#include "mitigation/mitigations.h"
+#include "engine/engine.h"
 #include "net/http.h"
 #include "obs/obs.h"
 #include "ranking/tranco.h"
@@ -73,33 +73,6 @@ struct PipelineMetrics {
   }
 };
 
-/// DOM memory accounting per checked page (arena, interner, node counts);
-/// the run report's byte-accounting section reads these back.
-struct HtmlMemoryMetrics {
-  obs::Counter& arena_bytes;      ///< cumulative arena bytes
-  obs::Gauge& arena_peak_bytes;   ///< largest single document arena
-  obs::Counter& dom_nodes;        ///< cumulative DOM nodes built
-  obs::Counter& interner_names;   ///< names outside the well-known table
-  obs::Counter& interner_bytes;   ///< private interner storage bytes
-
-  static HtmlMemoryMetrics& get() {
-    obs::Registry& registry = obs::default_registry();
-    static HtmlMemoryMetrics* const metrics = new HtmlMemoryMetrics{
-        registry.counter("hv_html_arena_bytes_total",
-                         "DOM arena bytes allocated across checked pages"),
-        registry.gauge("hv_html_arena_peak_bytes",
-                       "Largest single-document DOM arena seen"),
-        registry.counter("hv_html_dom_nodes_total",
-                         "DOM nodes built across checked pages"),
-        registry.counter("hv_html_interner_local_names_total",
-                         "Tag/attribute names interned outside the "
-                         "well-known table"),
-        registry.counter("hv_html_interner_local_bytes_total",
-                         "Bytes of private name-interner storage")};
-    return *metrics;
-  }
-};
-
 std::vector<std::string> study_domains(const corpus::CorpusConfig& config) {
   HV_PROF_SCOPE("corpus_rank");
   // Paper section 3.3: intersect the top cutoff of many Tranco lists,
@@ -144,60 +117,44 @@ std::string warc_date_for_year(int year) {
 bool analyze_capture(const core::Checker& checker, std::string_view domain,
                      int year_index, std::string_view http_message,
                      PageOutcome* outcome, PipelineCounters* counters) {
-  HV_PROF_SCOPE("check");
   outcome->domain.assign(domain);
   outcome->year_index = year_index;
   outcome->analyzable = false;
 
-  const auto response = net::parse_http_response(http_message);
-  if (!response.has_value() || response->status_code != 200) {
-    if (counters != nullptr) ++counters->http_errors;
-    return false;
-  }
-  if (response->media_type() != "text/html") {
-    if (counters != nullptr) ++counters->non_html_records;
-    return false;
-  }
-  // The paper's encoding filter: only UTF-8-decodable documents.  The
-  // verdict now falls out of the parser's own decoding pass
-  // (ParseResult::input_utf8_valid), so the old separate
-  // html::is_valid_utf8 scan over the body is gone.
-  const html::ParseResult parsed = html::parse(response->body);
-  if (!parsed.input_utf8_valid) {
-    if (counters != nullptr) ++counters->non_utf8_filtered;
-    return false;
+  // The whole capture path — HTTP envelope, filters, instrumented parse,
+  // rules, mitigation scans — is the engine's check_document; the
+  // pipeline's only job here is mapping its report onto the store row and
+  // the crawl counters.  This is what makes batch and `hv serve` results
+  // byte-identical by construction.
+  engine::CheckRequest request;
+  request.bytes = http_message;
+  request.http_message = true;
+  request.require_utf8 = true;
+  request.scan_mitigations = true;
+  const engine::CheckReport report = engine::check_document(checker, request);
+  switch (report.drop) {
+    case engine::Drop::kHttpError:
+      if (counters != nullptr) ++counters->http_errors;
+      return false;
+    case engine::Drop::kNonHtml:
+      if (counters != nullptr) ++counters->non_html_records;
+      return false;
+    case engine::Drop::kNonUtf8:
+      if (counters != nullptr) ++counters->non_utf8_filtered;
+      return false;
+    case engine::Drop::kNone:
+      break;
   }
 
-  const core::CheckResult checked = checker.check(parsed, response->body);
   outcome->analyzable = true;
-  outcome->violations = checked.present;
-
-  {
-    HV_PROF_SCOPE("mitigations");
-    const mitigation::UrlNewlineScan url_scan =
-        mitigation::scan_url_newlines(*parsed.document);
-    outcome->url_newline = url_scan.any_newline();
-    outcome->url_newline_lt = url_scan.any_blocked();
-    const mitigation::ScriptInAttributeScan script_scan =
-        mitigation::scan_script_in_attributes(*parsed.document);
-    outcome->script_in_attribute = script_scan.any();
-    outcome->script_in_attr_affected = script_scan.any_affected();
-  }
-  // Foreign-content usage was observed at parse time by the Document
-  // factory; no full-tree traversal needed.
-  outcome->uses_math = parsed.document->uses_math();
-  outcome->uses_svg = parsed.document->uses_svg();
+  outcome->violations = report.violations;
+  outcome->url_newline = report.url_newline;
+  outcome->url_newline_lt = report.url_newline_lt;
+  outcome->script_in_attribute = report.script_in_attribute;
+  outcome->script_in_attr_affected = report.script_in_attr_affected;
+  outcome->uses_math = report.uses_math;
+  outcome->uses_svg = report.uses_svg;
   if (counters != nullptr) ++counters->pages_checked;
-#ifndef HV_OBS_DISABLED
-  const html::Document& document = *parsed.document;
-  HtmlMemoryMetrics& memory = HtmlMemoryMetrics::get();
-  memory.arena_bytes.inc(document.arena_bytes());
-  memory.arena_peak_bytes.set_max(
-      static_cast<double>(document.arena_bytes()));
-  memory.dom_nodes.inc(document.node_count());
-  memory.interner_names.inc(document.names().local_count());
-  memory.interner_bytes.inc(document.names().local_bytes());
-#endif
   return true;
 }
 

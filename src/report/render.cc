@@ -8,8 +8,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/violation.h"
 #include "report/paper_data.h"
 #include "store/study_view.h"
+#include "store/types.h"
 
 namespace hv::report {
 
@@ -155,6 +157,52 @@ void render_study_overview(std::ostream& out, const store::StudyView& view) {
   if (quarantined > 0) {
     out << "quarantined: " << quarantined << " corrupt record(s) across "
         << view.total_domains_quarantined() << " domain(s)\n";
+  }
+}
+
+void render_union_table(std::ostream& out, const store::StudyView& view) {
+  const std::size_t analyzed = view.total_domains_analyzed();
+  const auto unions = view.union_violating();
+  Table table({"violation", "domains", "union %"});
+  for (const core::ViolationInfo& info : core::all_violations()) {
+    const std::size_t count = unions[static_cast<std::size_t>(info.id)];
+    table.add_row(
+        {std::string(info.name), std::to_string(count),
+         format_percent(analyzed == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(count) /
+                                  static_cast<double>(analyzed),
+                        1)});
+  }
+  out << table.render();
+  out << "any violation: " << view.union_any_violation() << " of "
+      << analyzed << " analyzed domains\n";
+}
+
+void render_domain_history(std::ostream& out, const store::StudyView& view,
+                           std::size_t index) {
+  out << view.domain_name(index) << " rank=" << view.rank(index) << "\n";
+  for (int y = 0; y < store::kYearCount; ++y) {
+    const std::uint8_t flags = view.flags(index, y);
+    if (flags == 0) continue;
+    out << "  " << kSnapshotLabels[static_cast<std::size_t>(y)] << ": "
+        << ((flags & store::kFlagAnalyzed) != 0 ? "analyzed" : "found")
+        << " pages=" << view.pages(index, y);
+    if (view.errors(index, y) > 0) {
+      out << " errors=" << view.errors(index, y);
+    }
+    const auto bits = store::to_bitset(view.violations(index, y));
+    if (bits.any()) {
+      out << " violations=";
+      bool first = true;
+      for (const core::ViolationInfo& info : core::all_violations()) {
+        if (!bits.test(static_cast<std::size_t>(info.id))) continue;
+        if (!first) out << ",";
+        first = false;
+        out << info.name;
+      }
+    }
+    out << "\n";
   }
 }
 

@@ -61,4 +61,15 @@ std::string render_series(const std::vector<int>& years,
 /// (loaded results.hv), so both render byte-identically.
 void render_study_overview(std::ostream& out, const store::StudyView& view);
 
+/// The Figure 8 union table (domains violating each rule in >=1 snapshot)
+/// plus the any-violation line.  Shared by `hv query union` and the
+/// server's /query/union endpoint.
+void render_union_table(std::ostream& out, const store::StudyView& view);
+
+/// One domain's longitudinal history ("<domain> rank=N" plus a line per
+/// snapshot with flags, page counts, errors and violation names).  Shared
+/// by `hv query domain` and the server's /query/domain endpoint.
+void render_domain_history(std::ostream& out, const store::StudyView& view,
+                           std::size_t index);
+
 }  // namespace hv::report

@@ -1,0 +1,465 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "obs/obs.h"
+#include "report/render.h"
+#include "store/study_view.h"
+
+namespace hv::serve {
+namespace {
+
+/// Handles into obs::default_registry(), resolved once per process.
+/// Naming scheme: hv_serve_<name>{endpoint[,status]}.
+struct ServeMetrics {
+  obs::CounterFamily& requests;    ///< {endpoint, status}
+  obs::HistogramFamily& latency;   ///< {endpoint}
+  obs::Counter& bytes_in;          ///< request bytes off the socket
+  obs::Counter& bytes_out;         ///< response bytes onto the socket
+  obs::Gauge& active_connections;  ///< currently open connections
+
+  static ServeMetrics& get() {
+    obs::Registry& registry = obs::default_registry();
+    static ServeMetrics* const metrics = new ServeMetrics{
+        registry.counter_family("hv_serve_requests_total",
+                                "HTTP requests served, by endpoint and "
+                                "status code",
+                                {"endpoint", "status"}),
+        registry.histogram_family("hv_serve_request_seconds",
+                                  "Request handling latency (parse to "
+                                  "response written)",
+                                  {"endpoint"}, obs::default_time_buckets()),
+        registry.counter("hv_serve_bytes_in_total",
+                         "Request bytes read from clients"),
+        registry.counter("hv_serve_bytes_out_total",
+                         "Response bytes written to clients"),
+        registry.gauge("hv_serve_active_connections",
+                       "Connections currently open")};
+    return *metrics;
+  }
+};
+
+/// Bounded-cardinality endpoint label for metrics: known paths keep their
+/// name, everything else is "other" so a scanner can't mint label values.
+std::string_view endpoint_label(std::string_view path) {
+  if (path == "/check") return "/check";
+  if (path == "/stats") return "/stats";
+  if (path == "/metrics") return "/metrics";
+  if (path == "/healthz") return "/healthz";
+  if (path == "/query" || path.starts_with("/query/")) return "/query";
+  return "other";
+}
+
+/// True when the (undecoded) query string contains flag=1 or flag=true.
+bool query_flag(std::string_view query, std::string_view flag) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view param = query.substr(0, amp);
+    if (param == flag) return true;
+    const std::size_t eq = param.find('=');
+    if (eq != std::string_view::npos && param.substr(0, eq) == flag) {
+      const std::string_view value = param.substr(eq + 1);
+      if (value == "1" || value == "true") return true;
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return false;
+}
+
+void append_violation_names(std::ostream& out,
+                            const std::vector<core::Violation>& violations) {
+  out << "[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "\"" << core::info(violations[i]).name << "\"";
+  }
+  out << "]";
+}
+
+/// Reads more bytes from `fd` into `buffer`; returns bytes read (0 on
+/// orderly close, -1 on error/timeout).
+ssize_t read_some(int fd, std::string* buffer) {
+  char chunk[16 * 1024];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n > 0) buffer->append(chunk, static_cast<std::size_t>(n));
+  return n;
+}
+
+/// Offset one past the blank line ending the header block, or npos.
+std::size_t find_head_end(std::string_view buffer) {
+  const std::size_t crlf = buffer.find("\r\n\r\n");
+  const std::size_t lf = buffer.find("\n\n");
+  if (crlf == std::string_view::npos) {
+    return lf == std::string_view::npos ? std::string_view::npos : lf + 2;
+  }
+  if (lf != std::string_view::npos && lf + 2 < crlf + 4) return lf + 2;
+  return crlf + 4;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(const engine::Engine& engine, ServerConfig config)
+    : engine_(&engine), config_(std::move(config)) {
+  if (config_.threads <= 0) config_.threads = 1;
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool Server::start(std::string* error) {
+  const auto fail = [this, error](std::string_view what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(),
+                  &address.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("bad bind address '" + config_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return fail("bind " + config_.bind_address + ":" +
+                std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  workers_.reserve(static_cast<std::size_t>(config_.threads));
+  for (int i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+  return true;
+}
+
+void Server::request_stop() noexcept {
+  // Async-signal-safe by construction: one atomic store plus shutdown(2),
+  // which wakes every worker blocked in accept() on the shared fd.
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::wait() {
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void Server::worker_main(int index) {
+  obs::prof::ThreadGuard prof_guard("srv" + std::to_string(index));
+  while (!stopping()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping()) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener is gone; nothing left to accept
+    }
+    handle_connection(fd);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.active_connections.add(1.0);
+
+  timeval timeout{};
+  timeout.tv_sec = config_.idle_timeout_seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  static const obs::fdr::ScopeId serve_scope = obs::fdr::intern("serve");
+  std::string buffer;
+  std::size_t served = 0;
+
+  while (true) {
+    // Assemble one request head (bytes may already be buffered from a
+    // pipelined client).
+    std::size_t head_end = find_head_end(buffer);
+    bool peer_gone = false;
+    while (head_end == std::string_view::npos &&
+           buffer.size() <= config_.max_head_bytes) {
+      // An idle keep-alive connection parks here; the receive timeout is
+      // the drain tick that lets a stopping server close it.
+      if (stopping() && buffer.empty()) {
+        peer_gone = true;
+        break;
+      }
+      const ssize_t n = read_some(fd, &buffer);
+      if (n <= 0) {
+        peer_gone = true;
+        break;
+      }
+      metrics.bytes_in.inc(static_cast<std::uint64_t>(n));
+      head_end = find_head_end(buffer);
+    }
+    if (peer_gone) break;
+    if (head_end == std::string_view::npos) {
+      // Head larger than the cap and still no blank line.
+      const std::string response = net::build_http_response(
+          431, "Request Header Fields Too Large",
+          {{"Content-Type", "text/plain; charset=utf-8"},
+           {"Connection", "close"}},
+          "request head too large\n");
+      if (send_all(fd, response)) {
+        metrics.bytes_out.inc(response.size());
+      }
+      metrics.requests.with({"other", "431"}).inc();
+      break;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto request = net::parse_http_request(
+        std::string_view(buffer).substr(0, head_end));
+    if (!request.has_value()) {
+      const std::string response = net::build_http_response(
+          400, "Bad Request",
+          {{"Content-Type", "text/plain; charset=utf-8"},
+           {"Connection", "close"}},
+          "malformed request\n");
+      if (send_all(fd, response)) {
+        metrics.bytes_out.inc(response.size());
+      }
+      metrics.requests.with({"other", "400"}).inc();
+      break;
+    }
+
+    const std::string_view endpoint = endpoint_label(request->path());
+    const std::uint64_t sequence =
+        request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // The flight-recorder breadcrumb: the in-flight request takes the
+    // slot the batch pipeline uses for the in-flight capture, so a crash
+    // report names the exact request a worker died on.
+    obs::fdr::set_capture(request->target, "serve", 0, sequence);
+    obs::fdr::emit(obs::fdr::EventKind::kCaptureBegin, serve_scope,
+                   sequence);
+
+    // Body: strict Content-Length only (no chunked decoding — the check
+    // payload is one blob and every in-tree client sends a length).
+    bool close_after = request->wants_close();
+    Response response;
+    std::size_t body_length = 0;
+    bool body_ok = true;
+    const auto declared = request->content_length();
+    if (request->header("Content-Length").has_value() &&
+        !declared.has_value()) {
+      response = {400, "Bad Request", "text/plain; charset=utf-8",
+                  "malformed Content-Length\n"};
+      body_ok = false;
+      close_after = true;
+    } else if (declared.value_or(0) > config_.max_body_bytes) {
+      response = {413, "Content Too Large", "text/plain; charset=utf-8",
+                  "body exceeds " + std::to_string(config_.max_body_bytes) +
+                      " bytes\n"};
+      body_ok = false;
+      close_after = true;  // refusing to read the rest; can't resync
+    } else {
+      body_length = static_cast<std::size_t>(declared.value_or(0));
+      while (buffer.size() < head_end + body_length) {
+        const ssize_t n = read_some(fd, &buffer);
+        if (n <= 0) {
+          peer_gone = true;
+          break;
+        }
+        metrics.bytes_in.inc(static_cast<std::uint64_t>(n));
+      }
+      if (peer_gone) {
+        obs::fdr::emit(obs::fdr::EventKind::kCaptureEnd, serve_scope,
+                       sequence);
+        obs::fdr::end_capture();
+        break;  // truncated body: nothing sane to answer
+      }
+    }
+
+    if (body_ok) {
+      const std::string_view body =
+          std::string_view(buffer).substr(head_end, body_length);
+      response = handle_request(*request, body);
+    }
+
+    ++served;
+    if (served >= config_.max_requests_per_connection || stopping()) {
+      close_after = true;
+    }
+    const std::string wire = net::build_http_response(
+        response.status, response.reason,
+        {{"Content-Type", response.content_type},
+         {"Connection", close_after ? "close" : "keep-alive"}},
+        response.body);
+    const bool sent = send_all(fd, wire);
+    if (sent) metrics.bytes_out.inc(wire.size());
+
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    metrics.latency.with({endpoint}).observe(seconds);
+    metrics.requests.with({endpoint, std::to_string(response.status)}).inc();
+    obs::fdr::emit(obs::fdr::EventKind::kCaptureEnd, serve_scope, sequence);
+    obs::fdr::end_capture();
+
+    if (!sent || close_after) break;
+    buffer.erase(0, head_end + body_length);
+  }
+
+  ::close(fd);
+  metrics.active_connections.add(-1.0);
+}
+
+Server::Response Server::handle_request(const net::HttpRequest& request,
+                                        std::string_view body) const {
+  const std::string_view path = request.path();
+
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      return {405, "Method Not Allowed", "text/plain; charset=utf-8",
+              "method not allowed\n"};
+    }
+    return {200, "OK", "text/plain; charset=utf-8", "ok\n"};
+  }
+
+  if (path == "/metrics") {
+    if (request.method != "GET") {
+      return {405, "Method Not Allowed", "text/plain; charset=utf-8",
+              "method not allowed\n"};
+    }
+#ifdef HV_OBS_DISABLED
+    // Degrade, don't vanish: the scrape target stays alive so dashboards
+    // show an explained flatline instead of a dead endpoint.
+    return {200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            "# metrics disabled: built with HV_OBS_DISABLED\n"};
+#else
+    std::ostringstream out;
+    obs::default_registry().write_prometheus(out);
+    return {200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            out.str()};
+#endif
+  }
+
+  if (path == "/check") {
+    if (request.method != "POST") {
+      return {405, "Method Not Allowed", "text/plain; charset=utf-8",
+              "POST HTML bytes to /check\n"};
+    }
+    if (!request.header("Content-Length").has_value()) {
+      return {411, "Length Required", "text/plain; charset=utf-8",
+              "Content-Length required\n"};
+    }
+    engine::CheckRequest check;
+    check.bytes = body;
+    check.autofix = query_flag(request.query(), "fix");
+    const engine::CheckReport report = engine_->check(check);
+
+    std::ostringstream json;
+    json << "{\n  \"utf8_valid\": "
+         << (report.utf8_valid ? "true" : "false")
+         << ",\n  \"parse_errors\": " << report.parse_errors
+         << ",\n  \"distinct_violations\": " << report.distinct_violations()
+         << ",\n  \"fully_auto_fixable\": "
+         << (report.fully_auto_fixable ? "true" : "false")
+         << ",\n  \"findings\": [";
+    engine::write_findings_json(json, report.findings, "    ");
+    json << (report.findings.empty() ? "]" : "\n  ]");
+    if (report.fix.has_value()) {
+      const engine::FixReport& fix = *report.fix;
+      json << ",\n  \"fix\": {\n    \"fixed\": ";
+      append_violation_names(json, fix.fixed);
+      json << ",\n    \"remaining\": ";
+      append_violation_names(json, fix.remaining);
+      json << ",\n    \"semantics_preserving\": "
+           << (fix.semantics_preserving ? "true" : "false")
+           << ",\n    \"fully_fixed\": "
+           << (fix.fully_fixed ? "true" : "false")
+           << ",\n    \"fixed_html\": \""
+           << engine::json_escape(fix.fixed_html) << "\"\n  }";
+    }
+    json << "\n}\n";
+    return {200, "OK", "application/json", json.str()};
+  }
+
+  if (path == "/stats" || path == "/query/stats" || path == "/query/union" ||
+      path == "/query/csv" || path.starts_with("/query/domain/")) {
+    if (request.method != "GET") {
+      return {405, "Method Not Allowed", "text/plain; charset=utf-8",
+              "method not allowed\n"};
+    }
+    if (config_.results == nullptr) {
+      return {503, "Service Unavailable", "text/plain; charset=utf-8",
+              "no results loaded; start hv serve with --results "
+              "results.hv\n"};
+    }
+    const store::StudyView& view = *config_.results;
+    std::ostringstream out;
+    if (path == "/stats" || path == "/query/stats") {
+      report::render_study_overview(out, view);
+      return {200, "OK", "text/plain; charset=utf-8", out.str()};
+    }
+    if (path == "/query/union") {
+      report::render_union_table(out, view);
+      return {200, "OK", "text/plain; charset=utf-8", out.str()};
+    }
+    if (path == "/query/csv") {
+      view.write_csv(out);
+      return {200, "OK", "text/csv", out.str()};
+    }
+    const std::string_view domain =
+        path.substr(std::string_view("/query/domain/").size());
+    const auto index = view.find_domain(domain);
+    if (!index.has_value()) {
+      return {404, "Not Found", "text/plain; charset=utf-8",
+              "domain '" + std::string(domain) +
+                  "' not in the result set\n"};
+    }
+    report::render_domain_history(out, view, *index);
+    return {200, "OK", "text/plain; charset=utf-8", out.str()};
+  }
+
+  return {404, "Not Found", "text/plain; charset=utf-8", "not found\n"};
+}
+
+}  // namespace hv::serve

@@ -1,0 +1,106 @@
+// hv::serve — the `hv serve` online violation-checking service.
+//
+// A deliberately small HTTP/1.1 server (DESIGN.md section 16): one
+// listening socket shared by a fixed pool of blocking worker threads,
+// each accept()ing and owning one connection at a time.  No event loop,
+// no request queue — the kernel's accept queue IS the queue, and the
+// per-document work (an engine check) is CPU-bound enough that a worker
+// per core saturates the machine.  Keep-alive is bounded per connection;
+// bodies are bounded by Content-Length with a hard cap; shutdown is a
+// SIGINT-safe drain (stop accepting, finish in-flight requests, close).
+//
+// Endpoints:
+//   POST /check[?fix=1]   HTML bytes -> JSON findings + parse errors
+//                         (+ section 4.4 autofix diff with ?fix=1)
+//   GET  /stats           study overview from a --results results.hv
+//   GET  /query/stats     same as /stats
+//   GET  /query/union     Figure 8 union table
+//   GET  /query/csv       full results CSV
+//   GET  /query/domain/X  one domain's longitudinal history
+//   GET  /metrics         Prometheus text from hv::obs
+//   GET  /healthz         liveness probe
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "net/http.h"
+
+namespace hv::store {
+class StudyView;
+}  // namespace hv::store
+
+namespace hv::serve {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 binds an ephemeral port; read it back via port()
+  int threads = 4;
+  std::size_t max_body_bytes = 8u * 1024 * 1024;  ///< 413 above this
+  std::size_t max_head_bytes = 64u * 1024;        ///< 431 above this
+  std::size_t max_requests_per_connection = 100;  ///< keep-alive bound
+  int idle_timeout_seconds = 5;  ///< per-read timeout; also the drain tick
+  /// Sealed results backing /stats and /query/... (optional; those
+  /// endpoints answer 503 without it).  Lock-free for concurrent readers,
+  /// so every worker queries it directly.
+  const store::StudyView* results = nullptr;
+};
+
+class Server {
+ public:
+  Server(const engine::Engine& engine, ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the worker pool.  False (with *error set)
+  /// when the address can't be bound.
+  bool start(std::string* error);
+
+  /// The bound port (after start); the ephemeral-port answer.
+  int port() const noexcept { return port_; }
+
+  /// Begins the graceful drain: stop accepting, let in-flight requests
+  /// finish, close idle connections.  Async-signal-safe (an atomic store
+  /// plus shutdown(2)), so a SIGINT handler may call it directly.
+  void request_stop() noexcept;
+
+  bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+  /// Joins the workers (returns once the drain completes).
+  void wait();
+
+  /// Requests served across all workers (drained connections included).
+  std::uint64_t requests_served() const noexcept {
+    return request_seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Response {
+    int status = 200;
+    std::string reason = "OK";
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  void worker_main(int index);
+  void handle_connection(int fd);
+  Response handle_request(const net::HttpRequest& request,
+                          std::string_view body) const;
+
+  const engine::Engine* engine_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> request_seq_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hv::serve

@@ -1,0 +1,255 @@
+// hv::engine tests: the extracted check path must behave exactly like the
+// consumers it replaced — the same findings as a bare core::Checker, the
+// same repair as fix::AutoFixer, and (the headline) byte-identical study
+// CSV when an Engine-driven crawl replays the pipeline's golden corpus.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "archive/snapshot_store.h"
+#include "archive/warc.h"
+#include "fix/autofix.h"
+#include "net/http.h"
+#include "pipeline/pipeline.h"
+#include "report/paper_data.h"
+#include "store/result_sink.h"
+#include "store/study_view.h"
+
+namespace hv::engine {
+namespace {
+
+const Engine& shared_engine() {
+  static const Engine* const engine = new Engine();
+  return *engine;
+}
+
+constexpr std::string_view kViolatingPage =
+    "<p><p id=x><p id=x><base href=\"/a\"><base href=\"/b\">"
+    "<meta http-equiv=\"refresh\" content=\"1\">";
+
+// --- filters ---------------------------------------------------------------
+
+TEST(EngineCheck, ChecksRawHtml) {
+  CheckRequest request;
+  request.bytes = kViolatingPage;
+  const CheckReport report = shared_engine().check(request);
+  EXPECT_TRUE(report.checked());
+  EXPECT_TRUE(report.violating());
+  EXPECT_GT(report.parse_errors, 0u);
+  EXPECT_FALSE(report.fix.has_value());
+}
+
+TEST(EngineCheck, HttpEnvelopeDropsNon200) {
+  CheckRequest request;
+  const std::string message = net::build_http_response(
+      404, "Not Found", {{"Content-Type", "text/html"}}, "<p>x</p>");
+  request.bytes = message;
+  request.http_message = true;
+  const CheckReport report = shared_engine().check(request);
+  EXPECT_EQ(report.drop, Drop::kHttpError);
+  EXPECT_FALSE(report.checked());
+}
+
+TEST(EngineCheck, HttpEnvelopeDropsNonHtml) {
+  CheckRequest request;
+  const std::string message = net::build_http_response(
+      200, "OK", {{"Content-Type", "application/json"}}, "{}");
+  request.bytes = message;
+  request.http_message = true;
+  const CheckReport report = shared_engine().check(request);
+  EXPECT_EQ(report.drop, Drop::kNonHtml);
+}
+
+TEST(EngineCheck, RequireUtf8DropsLatin1) {
+  CheckRequest request;
+  request.bytes = "caf\xE9";
+  request.require_utf8 = true;
+  const CheckReport report = shared_engine().check(request);
+  EXPECT_EQ(report.drop, Drop::kNonUtf8);
+}
+
+TEST(EngineCheck, WithoutRequireUtf8TheVerdictIsReportedNotEnforced) {
+  CheckRequest request;
+  request.bytes = "caf\xE9";
+  const CheckReport report = shared_engine().check(request);
+  EXPECT_TRUE(report.checked());
+  EXPECT_FALSE(report.utf8_valid);
+}
+
+TEST(EngineCheck, DropNamesAreStable) {
+  EXPECT_EQ(to_string(Drop::kNone), "none");
+  EXPECT_EQ(to_string(Drop::kHttpError), "http-error");
+  EXPECT_EQ(to_string(Drop::kNonHtml), "non-html");
+  EXPECT_EQ(to_string(Drop::kNonUtf8), "non-utf8");
+}
+
+// --- parity with the consumers the engine replaced -------------------------
+
+TEST(EngineCheck, FindingsMatchBareChecker) {
+  const core::Checker checker;
+  const core::CheckResult direct = checker.check(kViolatingPage);
+  CheckRequest request;
+  request.bytes = kViolatingPage;
+  const CheckReport report = shared_engine().check(request);
+
+  EXPECT_EQ(report.violations, direct.present);
+  ASSERT_EQ(report.findings.size(), direct.findings.size());
+  for (std::size_t i = 0; i < direct.findings.size(); ++i) {
+    EXPECT_EQ(report.findings[i].violation, direct.findings[i].violation);
+    EXPECT_EQ(report.findings[i].position.line,
+              direct.findings[i].position.line);
+    EXPECT_EQ(report.findings[i].position.column,
+              direct.findings[i].position.column);
+    EXPECT_EQ(report.findings[i].detail, direct.findings[i].detail);
+  }
+  EXPECT_EQ(report.fully_auto_fixable, direct.fully_auto_fixable());
+}
+
+TEST(EngineCheck, AutofixMatchesAutoFixer) {
+  const fix::AutoFixer fixer;
+  const fix::FixOutcome outcome = fixer.fix_and_verify(kViolatingPage);
+
+  CheckRequest request;
+  request.bytes = kViolatingPage;
+  request.autofix = true;
+  const CheckReport report = shared_engine().check(request);
+  ASSERT_TRUE(report.fix.has_value());
+  EXPECT_EQ(report.fix->fixed_html, outcome.fixed_html);
+  EXPECT_EQ(report.fix->fixed, outcome.fixed);
+  EXPECT_EQ(report.fix->remaining, outcome.remaining);
+  EXPECT_EQ(report.fix->semantics_preserving, outcome.semantics_preserving);
+  EXPECT_EQ(report.fix->fully_fixed, outcome.fully_fixed);
+}
+
+TEST(EngineCheck, MitigationScansPopulated) {
+  CheckRequest request;
+  request.bytes =
+      "<body><a href=\"/a\nb\">x</a><math><mi>y</mi></math></body>";
+  request.scan_mitigations = true;
+  const CheckReport report = shared_engine().check(request);
+  EXPECT_TRUE(report.url_newline);
+  EXPECT_FALSE(report.url_newline_lt);
+  EXPECT_TRUE(report.uses_math);
+  EXPECT_FALSE(report.uses_svg);
+}
+
+TEST(EngineSession, TalliesWhatItSaw) {
+  Session session(shared_engine());
+
+  CheckRequest clean;
+  clean.bytes = "<!DOCTYPE html><html><head><title>t</title></head>"
+                "<body>ok</body></html>";
+  session.check(clean);
+
+  CheckRequest violating;
+  violating.bytes = kViolatingPage;
+  violating.autofix = true;
+  session.check(violating);
+
+  CheckRequest non_html;
+  const std::string message = net::build_http_response(
+      200, "OK", {{"Content-Type", "text/plain"}}, "hi");
+  non_html.bytes = message;
+  non_html.http_message = true;
+  session.check(non_html);
+
+  const Session::Stats& stats = session.stats();
+  EXPECT_EQ(stats.checked, 2u);
+  EXPECT_EQ(stats.violating, 1u);
+  EXPECT_EQ(stats.fixes, 1u);
+  EXPECT_EQ(stats.dropped_non_html, 1u);
+  EXPECT_EQ(stats.dropped_http_error, 0u);
+}
+
+TEST(EngineJson, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+// --- the golden-corpus equivalence -----------------------------------------
+//
+// Run the real pipeline over a miniature study, then replay the same WARC
+// archives through an Engine session and aggregate into a fresh sink.
+// The two sealed views must export byte-identical CSV — this is the
+// "batch and online results agree by construction" guarantee.
+
+TEST(EngineGolden, ReplayMatchesPipelineCsvByteForByte) {
+  pipeline::PipelineConfig config;
+  config.corpus.domain_count = 60;
+  config.corpus.max_pages_per_domain = 3;
+  config.corpus.calibration_samples = 600;
+  config.corpus.seed = 11;
+  config.workdir = std::filesystem::temp_directory_path() /
+                   "hv_engine_golden_test";
+  config.threads = 4;
+  std::filesystem::remove_all(config.workdir);
+
+  pipeline::StudyPipeline study(config);
+  study.run_all();
+  const store::StudyView& pipeline_view = study.results_view();
+  std::ostringstream pipeline_csv;
+  pipeline_view.write_csv(pipeline_csv);
+
+  // Engine-driven replay: same metadata walk (mark_found + capped capture
+  // lookup), same rank table, but every capture goes through
+  // Session::check instead of the pipeline worker.
+  store::ShardedResultSink sink;
+  for (std::size_t i = 0; i < pipeline_view.domain_count(); ++i) {
+    sink.register_rank(pipeline_view.domain_name(i), pipeline_view.rank(i));
+  }
+  Session session(shared_engine());
+  const archive::SnapshotStore snapshots(config.workdir);
+  for (int y = 0; y < store::kYearCount; ++y) {
+    const std::string_view label =
+        report::kSnapshotLabels[static_cast<std::size_t>(y)];
+    const archive::SnapshotPaths paths = snapshots.paths_for(label);
+    const archive::CdxIndex index = archive::CdxIndex::load(paths.cdx);
+    std::ifstream warc_in(paths.warc, std::ios::binary);
+    ASSERT_TRUE(warc_in.is_open()) << paths.warc;
+    archive::WarcReader reader(warc_in);
+    for (const std::string& domain : index.domains()) {
+      sink.mark_found(domain, y);
+      for (const archive::CdxEntry* capture :
+           index.lookup(domain, config.pages_per_domain)) {
+        reader.seek(capture->offset);
+        const auto record = reader.next();
+        if (!record.has_value() || record->type != "response") continue;
+        CheckRequest request;
+        request.bytes = record->payload;
+        request.http_message = true;
+        request.require_utf8 = true;
+        request.scan_mitigations = true;
+        const CheckReport report = session.check(request);
+        if (!report.checked()) continue;
+        store::PageOutcome outcome;
+        outcome.domain = domain;
+        outcome.year_index = y;
+        outcome.analyzable = true;
+        outcome.violations = report.violations;
+        outcome.url_newline = report.url_newline;
+        outcome.url_newline_lt = report.url_newline_lt;
+        outcome.script_in_attribute = report.script_in_attribute;
+        outcome.script_in_attr_affected = report.script_in_attr_affected;
+        outcome.uses_math = report.uses_math;
+        outcome.uses_svg = report.uses_svg;
+        sink.add(outcome);
+      }
+    }
+  }
+  const store::StudyView replay_view = sink.seal();
+  std::ostringstream replay_csv;
+  replay_view.write_csv(replay_csv);
+
+  EXPECT_GT(session.stats().checked, 0u);
+  EXPECT_EQ(pipeline_csv.str(), replay_csv.str());
+
+  std::filesystem::remove_all(config.workdir);
+}
+
+}  // namespace
+}  // namespace hv::engine

@@ -102,6 +102,74 @@ TEST(HttpBuild, DoesNotDuplicateContentLength) {
             message.rfind("Content-Length"));
 }
 
+TEST(HttpRequestParse, BasicRequest) {
+  const std::string message =
+      "POST /check?fix=1 HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Type: text/html\r\nContent-Length: 7\r\n\r\n<p>x</p>";
+  const auto request = parse_http_request(message);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "POST");
+  EXPECT_EQ(request->target, "/check?fix=1");
+  EXPECT_EQ(request->http_version, "HTTP/1.1");
+  EXPECT_EQ(request->path(), "/check");
+  EXPECT_EQ(request->query(), "fix=1");
+  EXPECT_EQ(request->media_type(), "text/html");
+  EXPECT_EQ(request->content_length(), 7u);
+  EXPECT_EQ(request->body, "<p>x</p>");
+}
+
+TEST(HttpRequestParse, PathWithoutQuery) {
+  const auto request = parse_http_request("GET /healthz HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->path(), "/healthz");
+  EXPECT_EQ(request->query(), "");
+}
+
+TEST(HttpRequestParse, ToleratesBareLfLineEndings) {
+  const auto request =
+      parse_http_request("GET / HTTP/1.1\nHost: a\n\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(*request->header("Host"), "a");
+}
+
+TEST(HttpRequestParse, RejectsMalformedRequestLine) {
+  HttpParseError error;
+  EXPECT_FALSE(parse_http_request("not http at all\r\n\r\n", &error)
+                   .has_value());
+  EXPECT_FALSE(error.message.empty());
+  EXPECT_FALSE(parse_http_request("GET /\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_request("GET / FTP/1.0\r\n\r\n").has_value());
+}
+
+TEST(HttpRequestParse, ContentLengthIsStrictDigits) {
+  const auto request = parse_http_request(
+      "POST / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_FALSE(request->content_length().has_value());
+}
+
+TEST(HttpRequestParse, WantsCloseHonorsConnectionHeader) {
+  const auto keep = parse_http_request("GET / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(keep.has_value());
+  EXPECT_FALSE(keep->wants_close());
+  const auto close = parse_http_request(
+      "GET / HTTP/1.1\r\nConnection: Close\r\n\r\n");
+  ASSERT_TRUE(close.has_value());
+  EXPECT_TRUE(close->wants_close());
+}
+
+TEST(HttpRequestBuild, RoundTrip) {
+  const std::string message = build_http_request(
+      "POST", "/check", {{"Content-Type", "text/html"}}, "<p>x</p>");
+  const auto request = parse_http_request(message);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "POST");
+  EXPECT_EQ(request->target, "/check");
+  EXPECT_EQ(*request->header("Content-Length"), "8");
+  EXPECT_EQ(request->body, "<p>x</p>");
+}
+
 TEST(Iequals, Basics) {
   EXPECT_TRUE(iequals("Content-Type", "content-type"));
   EXPECT_FALSE(iequals("a", "ab"));

@@ -1,0 +1,424 @@
+// hv::serve tests: drive an in-process Server over real loopback sockets.
+// Each fixture binds an ephemeral port, so the suite can run in parallel
+// with itself and with anything else on the machine.
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "net/http.h"
+#include "report/render.h"
+#include "store/result_sink.h"
+#include "store/study_view.h"
+
+namespace hv::serve {
+namespace {
+
+const engine::Engine& shared_engine() {
+  static const engine::Engine* const engine = new engine::Engine();
+  return *engine;
+}
+
+constexpr std::string_view kViolatingPage =
+    "<p><p id=x><p id=x><base href=\"/a\"><base href=\"/b\">";
+
+/// A blocking test client: one connection, send bytes, read one complete
+/// HTTP response (head + Content-Length body).
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool send(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until one full response is buffered, then pops and parses it
+  /// (leftover pipelined bytes stay buffered for the next call).
+  std::optional<net::HttpResponse> read_response() {
+    while (true) {
+      const std::size_t head_end = buffer_.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        const std::string head = buffer_.substr(0, head_end + 4);
+        const auto parsed_head = net::parse_http_response(head);
+        if (!parsed_head.has_value()) return std::nullopt;
+        const std::size_t body_len =
+            parsed_head->content_length().value_or(0);
+        if (buffer_.size() >= head_end + 4 + body_len) {
+          message_ = buffer_.substr(0, head_end + 4 + body_len);
+          buffer_.erase(0, head_end + 4 + body_len);
+          return net::parse_http_response(message_);
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True when the server closed the connection (EOF on the next read).
+  bool at_eof() {
+    char byte = 0;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  std::string message_;  ///< owns the bytes the parsed response views
+};
+
+struct ServerFixture {
+  explicit ServerFixture(ServerConfig config = {})
+      : server(shared_engine(), patch(std::move(config))) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+  ~ServerFixture() {
+    server.request_stop();
+    server.wait();
+  }
+  static ServerConfig patch(ServerConfig config) {
+    config.port = 0;  // always ephemeral in tests
+    if (config.idle_timeout_seconds == ServerConfig{}.idle_timeout_seconds) {
+      config.idle_timeout_seconds = 1;  // fast drain ticks
+    }
+    return config;
+  }
+
+  Server server;
+  bool started = false;
+};
+
+/// A tiny sealed study for the /stats and /query endpoints.
+const store::StudyView& shared_view() {
+  static const store::StudyView* const view = [] {
+    store::ShardedResultSink sink;
+    sink.register_rank("alpha.example", 1);
+    sink.register_rank("beta.example", 2);
+    for (int y = 0; y < store::kYearCount; ++y) {
+      sink.mark_found("alpha.example", y);
+      sink.mark_found("beta.example", y);
+      store::PageOutcome outcome;
+      outcome.domain = "alpha.example";
+      outcome.year_index = y;
+      outcome.analyzable = true;
+      outcome.violations.set(0);
+      sink.add(outcome);
+    }
+    return new store::StudyView(sink.seal());
+  }();
+  return *view;
+}
+
+// --- request handling ------------------------------------------------------
+
+TEST(ServeTest, HealthzAnswersOk) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/healthz", {}, "")));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "ok\n");
+}
+
+TEST(ServeTest, KeepAliveServesTwoRequestsOnOneConnection) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.send(
+        net::build_http_request("GET", "/healthz", {}, "")));
+    const auto response = client.read_response();
+    ASSERT_TRUE(response.has_value()) << "request " << i;
+    EXPECT_EQ(response->status_code, 200);
+  }
+  EXPECT_GE(fixture.server.requests_served(), 2u);
+}
+
+TEST(ServeTest, KeepAliveBoundClosesTheConnection) {
+  ServerConfig config;
+  config.max_requests_per_connection = 2;
+  ServerFixture fixture(config);
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.send(
+        net::build_http_request("GET", "/healthz", {}, "")));
+    const auto response = client.read_response();
+    ASSERT_TRUE(response.has_value());
+  }
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(ServeTest, CheckReturnsFindingsJson) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(net::build_http_request(
+      "POST", "/check", {{"Content-Type", "text/html"}}, kViolatingPage)));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->media_type(), "application/json");
+  const std::string body(response->body);
+  EXPECT_NE(body.find("\"distinct_violations\""), std::string::npos);
+  EXPECT_NE(body.find("\"findings\""), std::string::npos);
+  EXPECT_NE(body.find("\"DM2_1\""), std::string::npos);
+  // No ?fix=1, so no fix object.
+  EXPECT_EQ(body.find("\"fix\""), std::string::npos);
+}
+
+TEST(ServeTest, CheckWithFixReturnsRepairShape) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(net::build_http_request(
+      "POST", "/check?fix=1", {{"Content-Type", "text/html"}},
+      kViolatingPage)));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  const std::string body(response->body);
+  EXPECT_NE(body.find("\"fix\""), std::string::npos);
+  EXPECT_NE(body.find("\"fixed_html\""), std::string::npos);
+  EXPECT_NE(body.find("\"semantics_preserving\""), std::string::npos);
+  EXPECT_NE(body.find("\"fully_fixed\""), std::string::npos);
+}
+
+TEST(ServeTest, OversizedBodyIs413AndCloses) {
+  ServerConfig config;
+  config.max_body_bytes = 1024;
+  ServerFixture fixture(config);
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  const std::string big(4096, 'x');
+  ASSERT_TRUE(client.send(net::build_http_request(
+      "POST", "/check", {{"Content-Type", "text/html"}}, big)));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 413);
+  // The stream can't be resynced past an unread body: server must close.
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(ServeTest, CheckWithoutContentLengthIs411) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send("POST /check HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 411);
+}
+
+TEST(ServeTest, MalformedRequestLineIs400) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send("this is not http\r\n\r\n"));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 400);
+}
+
+TEST(ServeTest, UnknownPathIs404AndWrongMethodIs405) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/nope", {}, "")));
+  auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 404);
+
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/check", {}, "")));
+  response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 405);
+}
+
+// --- the study-query side --------------------------------------------------
+
+TEST(ServeTest, StatsWithoutResultsIs503) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/stats", {}, "")));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 503);
+}
+
+TEST(ServeTest, QueryEndpointsMatchTheSharedRenderers) {
+  ServerConfig config;
+  config.results = &shared_view();
+  ServerFixture fixture(config);
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+
+  std::ostringstream expected_union;
+  report::render_union_table(expected_union, shared_view());
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/query/union", {}, "")));
+  auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, expected_union.str());
+
+  std::ostringstream expected_domain;
+  const auto index = shared_view().find_domain("alpha.example");
+  ASSERT_TRUE(index.has_value());
+  report::render_domain_history(expected_domain, shared_view(), *index);
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/query/domain/alpha.example", {}, "")));
+  response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, expected_domain.str());
+
+  ASSERT_TRUE(client.send(net::build_http_request(
+      "GET", "/query/domain/unknown.example", {}, "")));
+  response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 404);
+
+  std::ostringstream expected_csv;
+  shared_view().write_csv(expected_csv);
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/query/csv", {}, "")));
+  response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->media_type(), "text/csv");
+  EXPECT_EQ(response->body, expected_csv.str());
+}
+
+TEST(ServeTest, ConcurrentQueriesAgainstSealedViewAreConsistent) {
+  ServerConfig config;
+  config.results = &shared_view();
+  config.threads = 4;
+  ServerFixture fixture(config);
+
+  std::ostringstream expected;
+  report::render_union_table(expected, shared_view());
+  const std::string want = expected.str();
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 16;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      Client client(fixture.server.port());
+      if (!client.ok()) {
+        ++mismatches;
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        if (!client.send(
+                net::build_http_request("GET", "/query/union", {}, ""))) {
+          ++mismatches;
+          return;
+        }
+        const auto response = client.read_response();
+        if (!response.has_value() || response->status_code != 200 ||
+            response->body != want) {
+          ++mismatches;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(fixture.server.requests_served(),
+            static_cast<std::uint64_t>(kClients * kRequests));
+}
+
+TEST(ServeTest, MetricsExposeServeSeries) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/healthz", {}, "")));
+  ASSERT_TRUE(client.read_response().has_value());
+  ASSERT_TRUE(client.send(
+      net::build_http_request("GET", "/metrics", {}, "")));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 200);
+  const std::string body(response->body);
+#ifdef HV_OBS_DISABLED
+  EXPECT_NE(body.find("metrics disabled"), std::string::npos);
+#else
+  EXPECT_NE(body.find("hv_serve_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("hv_serve_request_seconds"), std::string::npos);
+#endif
+}
+
+TEST(ServeTest, DrainStopsAcceptingAndWaitReturns) {
+  auto fixture = std::make_unique<ServerFixture>();
+  const int port = fixture->server.port();
+  {
+    Client client(port);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.send(
+        net::build_http_request("GET", "/healthz", {}, "")));
+    ASSERT_TRUE(client.read_response().has_value());
+  }
+  fixture->server.request_stop();
+  EXPECT_TRUE(fixture->server.stopping());
+  fixture->server.wait();  // must return: no in-flight work remains
+  EXPECT_GE(fixture->server.requests_served(), 1u);
+  fixture.reset();  // second stop+wait in the destructor must be harmless
+}
+
+}  // namespace
+}  // namespace hv::serve

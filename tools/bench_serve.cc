@@ -1,0 +1,244 @@
+// bench_serve — closed-loop load generator for `hv serve`.
+//
+// N connections (one thread each) send `--requests` keep-alive requests
+// back to back and time every round trip.  Latencies land in per-worker
+// obs::QuantileSketch instances (1% relative accuracy) that merge into
+// one run-level sketch, so the printed p50/p90/p99 carry the same error
+// bounds as the server's own histograms.  When the server closes a
+// connection at its keep-alive bound, the worker reconnects and resends.
+//
+//   bench_serve --port N [--host 127.0.0.1] [--connections 4]
+//               [--requests 200] [--target /check] [--body FILE]
+//
+// POSTs the built-in violating page to /check by default; any other
+// --target is fetched with GET.  Exits 1 when any request fails.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "obs/sketch.h"
+
+namespace {
+
+constexpr std::string_view kDefaultBody =
+    "<p><p id=x><p id=x><base href=\"/a\"><base href=\"/b\">"
+    "<meta http-equiv=\"refresh\" content=\"1\">";
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 4;
+  int requests = 200;  ///< per connection
+  std::string target = "/check";
+  std::string body;  ///< request body for POST /check
+};
+
+int connect_to(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one complete response (head + Content-Length body) into
+/// `message`; returns its status code, or nullopt on a dead connection.
+std::optional<int> read_response(int fd, std::string& buffer,
+                                 std::string& message) {
+  while (true) {
+    const std::size_t head_end = buffer.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      const std::string head = buffer.substr(0, head_end + 4);
+      const auto parsed = hv::net::parse_http_response(head);
+      if (!parsed.has_value()) return std::nullopt;
+      const std::size_t body_len = parsed->content_length().value_or(0);
+      if (buffer.size() >= head_end + 4 + body_len) {
+        message = buffer.substr(0, head_end + 4 + body_len);
+        buffer.erase(0, head_end + 4 + body_len);
+        return parsed->status_code;
+      }
+    }
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return std::nullopt;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+struct WorkerResult {
+  hv::obs::QuantileSketch sketch;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+};
+
+void worker_main(const Options& options, const std::string& request,
+                 WorkerResult* result) {
+  int fd = connect_to(options.host, options.port);
+  std::string buffer;
+  std::string message;
+  for (int i = 0; i < options.requests; ++i) {
+    bool done = false;
+    // One reconnect per request covers the server's keep-alive bound.
+    for (int attempt = 0; attempt < 2 && !done; ++attempt) {
+      if (fd < 0) {
+        fd = connect_to(options.host, options.port);
+        if (fd < 0) break;
+        buffer.clear();
+      }
+      const auto start = std::chrono::steady_clock::now();
+      if (!send_all(fd, request)) {
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+      const auto status = read_response(fd, buffer, message);
+      if (!status.has_value()) {
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (*status == 200) {
+        result->sketch.observe(elapsed.count());
+        ++result->ok;
+        done = true;
+      } else {
+        ++result->failed;
+        done = true;
+      }
+    }
+    if (!done) ++result->failed;
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+int usage(std::ostream& out, int code) {
+  out << "usage: bench_serve --port N [--host ADDR] [--connections N]\n"
+         "                   [--requests N] [--target PATH] [--body FILE]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  options.body = kDefaultBody;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    const char* value = nullptr;
+    if (arg == "--port" && (value = next())) {
+      options.port = std::atoi(value);
+    } else if (arg == "--host" && (value = next())) {
+      options.host = value;
+    } else if (arg == "--connections" && (value = next())) {
+      options.connections = std::atoi(value);
+    } else if (arg == "--requests" && (value = next())) {
+      options.requests = std::atoi(value);
+    } else if (arg == "--target" && (value = next())) {
+      options.target = value;
+    } else if (arg == "--body" && (value = next())) {
+      std::ifstream in(value, std::ios::binary);
+      if (!in.is_open()) {
+        std::cerr << "bench_serve: cannot open " << value << "\n";
+        return 2;
+      }
+      std::ostringstream content;
+      content << in.rdbuf();
+      options.body = content.str();
+    } else {
+      std::cerr << "bench_serve: unknown or incomplete option: " << arg
+                << "\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (options.port <= 0 || options.port > 65535) {
+    std::cerr << "bench_serve: --port is required\n";
+    return usage(std::cerr, 2);
+  }
+  if (options.connections < 1 || options.requests < 1) {
+    std::cerr << "bench_serve: --connections and --requests must be >= 1\n";
+    return 2;
+  }
+
+  const bool post = options.target.rfind("/check", 0) == 0;
+  const std::string request =
+      post ? hv::net::build_http_request(
+                 "POST", options.target,
+                 {{"Content-Type", "text/html; charset=utf-8"}}, options.body)
+           : hv::net::build_http_request("GET", options.target, {}, "");
+
+  std::cout << "bench_serve: " << options.connections << " connection(s) x "
+            << options.requests << " request(s), " << (post ? "POST" : "GET")
+            << " " << options.target << " against " << options.host << ":"
+            << options.port << "\n";
+
+  std::vector<WorkerResult> results(
+      static_cast<std::size_t>(options.connections));
+  std::vector<std::thread> workers;
+  workers.reserve(results.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    workers.emplace_back(worker_main, std::cref(options), std::cref(request),
+                         &results[c]);
+  }
+  for (std::thread& t : workers) t.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  hv::obs::QuantileSketch merged;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  for (const WorkerResult& r : results) {
+    merged.merge(r.sketch);
+    ok += r.ok;
+    failed += r.failed;
+  }
+  const double seconds = elapsed.count() > 0 ? elapsed.count() : 1e-9;
+  std::printf("requests: %llu ok, %llu failed in %.3fs\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(failed), seconds);
+  std::printf("throughput: %.1f req/s\n", static_cast<double>(ok) / seconds);
+  std::printf("latency: p50=%.3fms p90=%.3fms p99=%.3fms (sketch n=%llu)\n",
+              merged.quantile(0.5) * 1e3, merged.quantile(0.9) * 1e3,
+              merged.quantile(0.99) * 1e3,
+              static_cast<unsigned long long>(merged.count()));
+  return failed == 0 ? 0 : 1;
+}

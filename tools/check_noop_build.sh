@@ -79,4 +79,45 @@ grep -q '"obs_disabled": true' "$work_dir/run/run_report.json" || {
   exit 1
 }
 
+# `hv serve` must still serve checks with the instrumentation compiled
+# out — only /metrics degrades, to an explanatory comment instead of
+# series.  (Skipped when curl is unavailable; the serve_test suite covers
+# the same degradation in-process.)
+if command -v curl >/dev/null 2>&1; then
+  echo "== hv serve graceful degradation (HV_OBS_DISABLED) =="
+  "$hv_bin" serve --port 0 --threads 2 > "$work_dir/serve.log" 2>&1 &
+  serve_pid=$!
+  serve_port=""
+  for _ in $(seq 1 50); do
+    serve_port="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+      "$work_dir/serve.log" 2>/dev/null | head -n 1)"
+    [ -n "$serve_port" ] && break
+    sleep 0.1
+  done
+  [ -n "$serve_port" ] || {
+    echo "check_noop_build: FAIL (disabled hv serve never bound a port)"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  }
+  printf '<p><p id=x>' | curl -sf -X POST --data-binary @- \
+    "http://127.0.0.1:$serve_port/check" | grep -q '"findings"' || {
+    echo "check_noop_build: FAIL (disabled serve cannot check documents)"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  }
+  curl -sf "http://127.0.0.1:$serve_port/metrics" | \
+    grep -q "metrics disabled" || {
+    echo "check_noop_build: FAIL (/metrics did not explain disabled build)"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  }
+  kill -INT "$serve_pid"
+  wait "$serve_pid" || {
+    echo "check_noop_build: FAIL (disabled serve did not drain cleanly)"
+    exit 1
+  }
+else
+  echo "== hv serve degradation skipped (no curl) =="
+fi
+
 echo "check_noop_build: OK (HV_OBS_DISABLED build passes the test suite)"

@@ -1,0 +1,132 @@
+#!/usr/bin/env sh
+# End-to-end gate for the `hv serve` online checker: boots the server on
+# an ephemeral port against a freshly generated results.hv, then asserts
+#
+#   * POST /check returns the same findings as `hv check --json` on the
+#     same bytes (the engine-API "batch == online" guarantee, over HTTP);
+#   * POST /check?fix=1 carries the section 4.4 repair shape;
+#   * /stats, /query/union and /metrics answer 200 (with hv_serve_*
+#     series visible in the Prometheus text);
+#   * bench_serve sustains >= 1000 req/s of POST /check on localhost;
+#   * SIGINT drains in-flight work and the process exits 0.
+#
+# Usage: tools/check_serve.sh [build-dir]   (default: build)
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+hv_bin="$build_dir/tools/hv"
+bench_bin="$build_dir/tools/bench_serve"
+[ -x "$hv_bin" ] || { echo "check_serve: missing $hv_bin (build first)"; exit 1; }
+[ -x "$bench_bin" ] || { echo "check_serve: missing $bench_bin"; exit 1; }
+command -v curl >/dev/null || { echo "check_serve: curl required"; exit 1; }
+command -v python3 >/dev/null || { echo "check_serve: python3 required"; exit 1; }
+
+work_dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$work_dir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "check_serve: FAIL ($1)"
+  [ -f "$work_dir/serve.log" ] && sed 's/^/  serve: /' "$work_dir/serve.log"
+  exit 1
+}
+
+echo "== generate a small results.hv =="
+"$hv_bin" study --domains 20 --pages 2 --seed 5 \
+  --workdir "$work_dir/study" --results-out "$work_dir/results.hv" \
+  >/dev/null 2>&1 || fail "hv study for results.hv"
+
+cat > "$work_dir/page.html" <<'EOF'
+<p><p id=x><p id=x><base href="/a"><base href="/b">
+<meta http-equiv="refresh" content="1">
+EOF
+
+echo "== boot hv serve on an ephemeral port =="
+"$hv_bin" serve --port 0 --threads 4 --results "$work_dir/results.hv" \
+  > "$work_dir/serve.log" 2>&1 &
+server_pid=$!
+port=""
+for _ in $(seq 1 50); do
+  port="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+    "$work_dir/serve.log" 2>/dev/null | head -n 1)"
+  [ -n "$port" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+[ -n "$port" ] || fail "server never printed its port"
+base="http://127.0.0.1:$port"
+echo "   port $port"
+
+echo "== POST /check matches hv check --json =="
+curl -sf -X POST -H 'Content-Type: text/html' \
+  --data-binary "@$work_dir/page.html" "$base/check" \
+  > "$work_dir/serve_check.json" || fail "POST /check"
+"$hv_bin" check --json "$work_dir/page.html" > "$work_dir/cli_check.json" \
+  || true  # exit 1 == violations found, which is the point
+python3 - "$work_dir/serve_check.json" "$work_dir/cli_check.json" <<'EOF' \
+  || fail "serve findings differ from hv check --json"
+import json, sys
+serve = json.load(open(sys.argv[1]))
+cli = json.load(open(sys.argv[2]))  # hv check --json: array of file objects
+doc = cli[0]
+assert serve["parse_errors"] == doc["parse_errors"], \
+    (serve["parse_errors"], doc["parse_errors"])
+assert serve["findings"] == doc["findings"], "findings mismatch"
+assert serve["distinct_violations"] > 0
+assert "fix" not in serve
+EOF
+
+echo "== POST /check?fix=1 carries the repair shape =="
+curl -sf -X POST -H 'Content-Type: text/html' \
+  --data-binary "@$work_dir/page.html" "$base/check?fix=1" \
+  > "$work_dir/serve_fix.json" || fail "POST /check?fix=1"
+python3 - "$work_dir/serve_fix.json" <<'EOF' || fail "fix shape"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+fix = doc["fix"]
+for key in ("fixed", "remaining", "semantics_preserving", "fully_fixed",
+            "fixed_html"):
+    assert key in fix, key
+assert isinstance(fix["fixed_html"], str) and fix["fixed_html"]
+EOF
+
+echo "== study-query endpoints =="
+curl -sf "$base/stats" > "$work_dir/stats.txt" || fail "GET /stats"
+[ -s "$work_dir/stats.txt" ] || fail "/stats empty"
+curl -sf "$base/query/union" >/dev/null || fail "GET /query/union"
+curl -sf "$base/healthz" | grep -q ok || fail "GET /healthz"
+
+echo "== /metrics exposes the serve series =="
+curl -sf "$base/metrics" > "$work_dir/metrics.txt" || fail "GET /metrics"
+if grep -q "metrics disabled" "$work_dir/metrics.txt"; then
+  echo "   (HV_OBS_DISABLED build: degradation comment accepted)"
+else
+  grep -q "hv_serve_requests_total" "$work_dir/metrics.txt" \
+    || fail "missing hv_serve_requests_total"
+  grep -q "hv_serve_request_seconds" "$work_dir/metrics.txt" \
+    || fail "missing hv_serve_request_seconds"
+fi
+
+echo "== bench_serve smoke (>= 1000 req/s) =="
+"$bench_bin" --port "$port" --connections 4 --requests 250 \
+  > "$work_dir/bench.txt" || fail "bench_serve reported failures"
+sed 's/^/   /' "$work_dir/bench.txt"
+rps="$(sed -n 's/^throughput: \([0-9.]*\) req\/s$/\1/p' "$work_dir/bench.txt")"
+[ -n "$rps" ] || fail "bench_serve printed no throughput"
+awk "BEGIN { exit !($rps >= 1000) }" \
+  || fail "throughput $rps req/s below 1000"
+
+echo "== SIGINT drains and exits 0 =="
+kill -INT "$server_pid"
+server_exit=0
+wait "$server_pid" || server_exit=$?
+[ "$server_exit" -eq 0 ] || fail "server exited $server_exit after SIGINT"
+grep -q "drained after" "$work_dir/serve.log" || fail "no drain message"
+server_pid=""
+
+echo "check_serve: OK (POST /check == hv check, $rps req/s, clean drain)"
