@@ -1,6 +1,10 @@
 #include "archive/fault_inject.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "archive/gzip.h"
+#include "archive/warc.h"
 
 namespace hv::archive {
 namespace {
@@ -143,6 +147,101 @@ void apply_fault(std::string* bytes, const RecordSpan& record,
   }
 }
 
+/// Byte-level structure of one gzip member (.warc.gz framing).
+struct MemberSpan {
+  std::uint64_t offset = 0;  ///< member start (matches the CDX offset)
+  std::size_t size = 0;      ///< compressed on-disk bytes
+  std::string type;
+  std::string target_uri;
+};
+
+/// Decodes each member in turn to find its compressed span and the record
+/// headers inside it; malformed input is rejected just like the plain
+/// scanner rejects broken framing.
+std::vector<MemberSpan> scan_members(std::string_view bytes) {
+  std::vector<MemberSpan> members;
+  std::size_t pos = 0;
+  std::string text;
+  while (pos < bytes.size()) {
+    if (!gzip::has_gzip_magic(bytes.substr(pos))) {
+      malformed(pos, "missing gzip member magic");
+    }
+    text.clear();
+    const gzip::InflateResult result = gzip::inflate_member(
+        bytes.substr(pos), &text, kMaxPayloadBytes + 64ull * 1024);
+    if (result.status != gzip::InflateStatus::kOk) {
+      malformed(pos, "gzip member does not decode: " + result.detail);
+    }
+    MemberSpan member;
+    member.offset = pos;
+    member.size = result.consumed;
+    // Light header scan of the decompressed record for type + target URI.
+    std::size_t text_pos = 0;
+    if (scan_line(text, text_pos) != kVersionLine) {
+      malformed(pos, "member does not contain a WARC/1.0 record");
+    }
+    while (true) {
+      const std::string_view line = scan_line(text, text_pos);
+      if (line.empty()) break;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        malformed(pos, "header without ':'");
+      }
+      const std::string_view name = line.substr(0, colon);
+      std::size_t value_off = colon + 1;
+      while (value_off < line.size() && line[value_off] == ' ') ++value_off;
+      if (name == "WARC-Type") {
+        member.type.assign(line.substr(value_off));
+      } else if (name == "WARC-Target-URI") {
+        member.target_uri.assign(line.substr(value_off));
+      }
+    }
+    pos += result.consumed;
+    members.push_back(std::move(member));
+  }
+  return members;
+}
+
+FaultPlan inject_gzip_faults(std::string* bytes,
+                             const FaultInjectConfig& config) {
+  const std::vector<MemberSpan> members = scan_members(*bytes);
+  FaultPlan plan;
+  std::uint64_t rng = config.seed;
+  const MemberSpan* last_response = nullptr;
+  for (const MemberSpan& member : members) {
+    if (member.type == "response") last_response = &member;
+  }
+  for (const MemberSpan& member : members) {
+    if (member.type != "response") continue;
+    ++plan.response_records;
+    if (config.truncate_tail && &member == last_response) continue;
+    if (uniform01(rng) >= config.rate) continue;
+    // Flip one bit inside the member's DEFLATE body (length-preserving, so
+    // every other CDX offset stays valid).  The final body byte is
+    // excluded: its high bits can be post-final-block padding that no
+    // check observes.  Everything else is covered — if the flipped stream
+    // still decodes, the CRC32 trailer catches the changed output.
+    const std::size_t body_range =
+        std::max<std::size_t>(1, member.size - 19);  // header 10 + trailer 8
+    const std::size_t at = static_cast<std::size_t>(member.offset) + 10 +
+                           static_cast<std::size_t>(splitmix64(rng) % body_range);
+    (*bytes)[at] = static_cast<char>(
+        static_cast<unsigned char>((*bytes)[at]) ^
+        static_cast<unsigned char>(1u << (splitmix64(rng) % 8)));
+    plan.faults.push_back(
+        {member.offset, FaultKind::kGzipFrameCorrupt, member.target_uri});
+  }
+  if (config.truncate_tail && last_response != nullptr) {
+    // Cut the file mid-member: the reader hits EOF inside the last
+    // response's compressed frame → kTruncatedGzipMember.
+    bytes->resize(static_cast<std::size_t>(last_response->offset) +
+                  last_response->size / 2);
+    plan.faults.push_back({last_response->offset, FaultKind::kTruncateTail,
+                           last_response->target_uri});
+  }
+  return plan;
+}
+
 }  // namespace
 
 std::string_view to_string(FaultKind kind) noexcept {
@@ -155,12 +254,17 @@ std::string_view to_string(FaultKind kind) noexcept {
       return "length-rewrite";
     case FaultKind::kTruncateTail:
       return "truncate-tail";
+    case FaultKind::kGzipFrameCorrupt:
+      return "gzip-frame-corrupt";
   }
   return "unknown";
 }
 
 FaultPlan inject_faults(std::string* warc_bytes,
                         const FaultInjectConfig& config) {
+  if (gzip::has_gzip_magic(*warc_bytes)) {
+    return inject_gzip_faults(warc_bytes, config);
+  }
   const std::vector<RecordSpan> records = scan_records(*warc_bytes);
   FaultPlan plan;
   std::uint64_t rng = config.seed;

@@ -21,6 +21,10 @@ enum class FaultKind : std::uint8_t {
   kHeaderGarbage,       ///< destroy a header's ':' → kMalformedHeader
   kLengthRewrite,       ///< garble Content-Length → kBad/kOversized...
   kTruncateTail,        ///< cut the file mid-payload → kTruncatedPayload
+                        ///< (mid-member on .warc.gz → kTruncatedGzipMember)
+  kGzipFrameCorrupt,    ///< flip a bit in a gzip member's DEFLATE body →
+                        ///< kBadGzipMember (or kTruncatedGzipMember when
+                        ///< the flip derails the block structure)
 };
 
 std::string_view to_string(FaultKind kind) noexcept;
@@ -47,10 +51,14 @@ struct FaultInjectConfig {
 };
 
 /// Structurally scans a well-formed WARC byte string and corrupts a
-/// seeded ~`rate` fraction of its response records in place.  Returns the
-/// plan of applied faults, ordered by record offset.  Throws
-/// std::runtime_error if the input is not well-formed WARC (the mutator
-/// is for corrupting good archives, not re-corrupting bad ones).
+/// seeded ~`rate` fraction of its response records in place.  Detects the
+/// framing from the first bytes: plain archives get the line-level kinds,
+/// per-record-gzip archives (.warc.gz) get kGzipFrameCorrupt bit flips —
+/// in both cases mutations stay inside the record's on-disk span so CDX
+/// offsets remain valid and quarantine counts reconcile 1:1 with the
+/// plan.  Returns the plan of applied faults, ordered by record offset.
+/// Throws std::runtime_error if the input is not well-formed WARC (the
+/// mutator is for corrupting good archives, not re-corrupting bad ones).
 FaultPlan inject_faults(std::string* warc_bytes,
                         const FaultInjectConfig& config);
 

@@ -1,0 +1,548 @@
+#include "archive/gzip.h"
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace hv::archive::gzip {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC-32 (reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Inflate
+// ---------------------------------------------------------------------------
+
+// Thrown internally to unwind out of the decode loops; converted to an
+// InflateResult at the inflate_member boundary. `detail` points at a string
+// literal so no allocation happens on the error path.
+struct InflateError {
+  InflateStatus status;
+  const char* detail;
+};
+
+[[noreturn]] void bad(const char* detail) {
+  throw InflateError{InflateStatus::kBad, detail};
+}
+[[noreturn]] void truncated(const char* detail) {
+  throw InflateError{InflateStatus::kTruncated, detail};
+}
+
+// LSB-first bit reader over the member bytes. Running out of input always
+// means the member was cut short, never an out-of-bounds read.
+struct BitReader {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;          // next unread byte
+  std::uint32_t bitbuf = 0;     // buffered bits, LSB = next bit
+  int bitcnt = 0;
+
+  std::uint32_t bits(int need) {
+    while (bitcnt < need) {
+      if (pos == size) truncated("member ends mid-bitstream");
+      bitbuf |= static_cast<std::uint32_t>(data[pos++]) << bitcnt;
+      bitcnt += 8;
+    }
+    const std::uint32_t value = bitbuf & ((1u << need) - 1u);
+    bitbuf >>= need;
+    bitcnt -= need;
+    return value;
+  }
+
+  // Discards bits up to the next byte boundary and returns any whole bytes
+  // sitting in the bit buffer to `pos`, so byte-oriented reads (stored
+  // blocks, the trailer) resume at the right place.
+  void align_to_byte() {
+    const int drop = bitcnt & 7;
+    bitbuf >>= drop;
+    bitcnt -= drop;
+    pos -= static_cast<std::size_t>(bitcnt / 8);
+    bitbuf = 0;
+    bitcnt = 0;
+  }
+
+  // Byte-aligned read; only valid straight after align_to_byte().
+  const unsigned char* bytes(std::size_t n, const char* what) {
+    if (size - pos < n) truncated(what);
+    const unsigned char* p = data + pos;
+    pos += n;
+    return p;
+  }
+};
+
+// Canonical Huffman code, decoded bit-by-bit (puff-style). Small and
+// impossible to index out of bounds: `symbol` is exactly as long as the
+// number of coded symbols.
+struct Huffman {
+  std::array<std::uint16_t, 16> count{};  // count[len] = codes of that length
+  std::array<std::uint16_t, 288> symbol{};
+};
+
+// Builds the canonical code from `lengths[0..n)`. Rejects oversubscribed
+// code sets; incomplete sets are allowed (decode errors out if an undefined
+// code actually appears in the stream).
+void construct(Huffman* h, const unsigned char* lengths, int n) {
+  h->count.fill(0);
+  for (int sym = 0; sym < n; ++sym) {
+    h->count[lengths[sym]]++;
+  }
+  int left = 1;  // codes left unassigned at the current length
+  for (int len = 1; len <= 15; ++len) {
+    left <<= 1;
+    left -= h->count[len];
+    if (left < 0) bad("oversubscribed Huffman code set");
+  }
+  std::array<std::uint16_t, 16> offs{};
+  for (int len = 1; len < 15; ++len) {
+    offs[len + 1] = static_cast<std::uint16_t>(offs[len] + h->count[len]);
+  }
+  for (int sym = 0; sym < n; ++sym) {
+    if (lengths[sym] != 0) {
+      h->symbol[offs[lengths[sym]]++] = static_cast<std::uint16_t>(sym);
+    }
+  }
+}
+
+int decode(BitReader* br, const Huffman& h) {
+  int code = 0, first = 0, index = 0;
+  for (int len = 1; len <= 15; ++len) {
+    code |= static_cast<int>(br->bits(1));
+    const int count = h.count[len];
+    if (code - first < count) return h.symbol[index + (code - first)];
+    index += count;
+    first = (first + count) << 1;
+    code <<= 1;
+  }
+  bad("invalid Huffman code in compressed data");
+}
+
+const Huffman& fixed_litlen_code() {
+  static const Huffman h = [] {
+    Huffman code;
+    unsigned char lengths[288];
+    int sym = 0;
+    for (; sym < 144; ++sym) lengths[sym] = 8;
+    for (; sym < 256; ++sym) lengths[sym] = 9;
+    for (; sym < 280; ++sym) lengths[sym] = 7;
+    for (; sym < 288; ++sym) lengths[sym] = 8;
+    construct(&code, lengths, 288);
+    return code;
+  }();
+  return h;
+}
+
+const Huffman& fixed_dist_code() {
+  static const Huffman h = [] {
+    Huffman code;
+    unsigned char lengths[30];
+    for (int sym = 0; sym < 30; ++sym) lengths[sym] = 5;
+    construct(&code, lengths, 30);
+    return code;
+  }();
+  return h;
+}
+
+// Length and distance symbol expansion tables (RFC 1951 section 3.2.5).
+constexpr std::uint16_t kLengthBase[29] = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::uint8_t kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                           1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                           4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::uint16_t kDistBase[30] = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::uint8_t kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                         4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                         9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+struct Output {
+  std::string* out;
+  std::size_t start;  // out->size() when this member began
+  std::uint64_t cap;  // max bytes this member may produce
+
+  std::uint64_t produced() const { return out->size() - start; }
+
+  void push(char byte) {
+    if (produced() + 1 > cap) bad("output cap exceeded");
+    out->push_back(byte);
+  }
+
+  void copy_back(std::size_t dist, std::size_t len) {
+    if (dist == 0 || dist > produced()) bad("distance too far back");
+    if (produced() + len > cap) bad("output cap exceeded");
+    // Byte-at-a-time on purpose: overlapping copies (dist < len) must see
+    // bytes written earlier in the same run.
+    std::size_t from = out->size() - dist;
+    for (std::size_t i = 0; i < len; ++i) {
+      out->push_back((*out)[from + i]);
+    }
+  }
+
+  void append(const unsigned char* data, std::size_t len) {
+    if (produced() + len > cap) bad("output cap exceeded");
+    out->append(reinterpret_cast<const char*>(data), len);
+  }
+};
+
+// Decodes Huffman-coded literal/length/distance symbols until end-of-block.
+void inflate_codes(BitReader* br, const Huffman& litlen, const Huffman& dist,
+                   Output* out) {
+  for (;;) {
+    const int sym = decode(br, litlen);
+    if (sym < 256) {
+      out->push(static_cast<char>(sym));
+      continue;
+    }
+    if (sym == 256) return;  // end of block
+    if (sym > 285) bad("invalid length symbol");
+    const int lidx = sym - 257;
+    const std::size_t len =
+        kLengthBase[lidx] + br->bits(kLengthExtra[lidx]);
+    const int dsym = decode(br, dist);
+    if (dsym > 29) bad("invalid distance symbol");
+    const std::size_t distance =
+        kDistBase[dsym] + br->bits(kDistExtra[dsym]);
+    out->copy_back(distance, len);
+  }
+}
+
+void inflate_stored(BitReader* br, Output* out) {
+  br->align_to_byte();
+  const unsigned char* head = br->bytes(4, "stored block header cut short");
+  const std::size_t len = head[0] | (static_cast<std::size_t>(head[1]) << 8);
+  const std::size_t nlen = head[2] | (static_cast<std::size_t>(head[3]) << 8);
+  if (len != (~nlen & 0xFFFFu)) bad("stored block length check failed");
+  const unsigned char* data = br->bytes(len, "stored block data cut short");
+  out->append(data, len);
+}
+
+void inflate_dynamic(BitReader* br, Output* out) {
+  const int nlen = static_cast<int>(br->bits(5)) + 257;
+  const int ndist = static_cast<int>(br->bits(5)) + 1;
+  const int ncode = static_cast<int>(br->bits(4)) + 4;
+  if (nlen > 286) bad("too many literal/length codes");
+  if (ndist > 30) bad("too many distance codes");
+
+  static constexpr std::uint8_t kOrder[19] = {16, 17, 18, 0, 8,  7, 9,
+                                              6,  10, 5,  11, 4, 12, 3,
+                                              13, 2,  14, 1,  15};
+  unsigned char clen_lengths[19] = {0};
+  for (int i = 0; i < ncode; ++i) {
+    clen_lengths[kOrder[i]] = static_cast<unsigned char>(br->bits(3));
+  }
+  Huffman clen_code;
+  construct(&clen_code, clen_lengths, 19);
+
+  unsigned char lengths[288 + 30] = {0};
+  int index = 0;
+  while (index < nlen + ndist) {
+    const int sym = decode(br, clen_code);
+    if (sym < 16) {
+      lengths[index++] = static_cast<unsigned char>(sym);
+      continue;
+    }
+    int repeat;
+    unsigned char value = 0;
+    if (sym == 16) {
+      if (index == 0) bad("code-length repeat with no previous length");
+      value = lengths[index - 1];
+      repeat = 3 + static_cast<int>(br->bits(2));
+    } else if (sym == 17) {
+      repeat = 3 + static_cast<int>(br->bits(3));
+    } else {
+      repeat = 11 + static_cast<int>(br->bits(7));
+    }
+    if (index + repeat > nlen + ndist) bad("code-length repeat overflows");
+    while (repeat-- > 0) lengths[index++] = value;
+  }
+  if (lengths[256] == 0) bad("dynamic block has no end-of-block code");
+
+  Huffman litlen_code, dist_code;
+  construct(&litlen_code, lengths, nlen);
+  construct(&dist_code, lengths + nlen, ndist);
+  inflate_codes(br, litlen_code, dist_code, out);
+}
+
+std::uint32_t read_le32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+// Parses the RFC 1952 member header, returning the offset of the first
+// DEFLATE byte. Reserved flag bits and non-DEFLATE methods are rejected
+// outright; the optional fields are skipped with bounds checks.
+std::size_t parse_gzip_header(std::string_view input) {
+  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
+  if (input.size() < 10) truncated("member shorter than gzip header");
+  if (data[0] != 0x1f || data[1] != 0x8b) bad("bad gzip magic");
+  if (data[2] != 8) bad("unsupported compression method");
+  const unsigned char flg = data[3];
+  if (flg & 0xE0u) bad("reserved gzip FLG bits set");
+  std::size_t pos = 10;  // magic(2) method(1) flg(1) mtime(4) xfl(1) os(1)
+  if (flg & 0x04u) {     // FEXTRA
+    if (input.size() - pos < 2) truncated("FEXTRA length cut short");
+    const std::size_t xlen =
+        data[pos] | (static_cast<std::size_t>(data[pos + 1]) << 8);
+    pos += 2;
+    if (input.size() - pos < xlen) truncated("FEXTRA field cut short");
+    pos += xlen;
+  }
+  for (const unsigned char bit : {static_cast<unsigned char>(0x08u),   // FNAME
+                                  static_cast<unsigned char>(0x10u)}) {// FCOMMENT
+    if (flg & bit) {
+      const std::size_t nul = input.find('\0', pos);
+      if (nul == std::string_view::npos) {
+        truncated("gzip header string field cut short");
+      }
+      pos = nul + 1;
+    }
+  }
+  if (flg & 0x02u) {  // FHCRC: CRC-16 of the header bytes so far
+    if (input.size() - pos < 2) truncated("FHCRC field cut short");
+    const std::uint32_t want =
+        data[pos] | (static_cast<std::uint32_t>(data[pos + 1]) << 8);
+    const std::uint32_t got = crc32(input.substr(0, pos)) & 0xFFFFu;
+    if (want != got) bad("gzip header CRC mismatch");
+    pos += 2;
+  }
+  return pos;
+}
+
+// ---------------------------------------------------------------------------
+// Deflate (fixed-Huffman only)
+// ---------------------------------------------------------------------------
+
+std::uint32_t reverse_bits(std::uint32_t code, int len) {
+  std::uint32_t reversed = 0;
+  for (int i = 0; i < len; ++i) {
+    reversed = (reversed << 1) | ((code >> i) & 1u);
+  }
+  return reversed;
+}
+
+// LSB-first bit accumulator; DEFLATE Huffman codes are emitted with their
+// bits pre-reversed so the decoder sees them MSB-first as the spec requires.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  void put(std::uint32_t value, int nbits) {
+    buf_ |= static_cast<std::uint64_t>(value) << cnt_;
+    cnt_ += nbits;
+    while (cnt_ >= 8) {
+      out_->push_back(static_cast<char>(buf_ & 0xFFu));
+      buf_ >>= 8;
+      cnt_ -= 8;
+    }
+  }
+
+  void put_code(std::uint32_t code, int len) { put(reverse_bits(code, len), len); }
+
+  void finish() {
+    if (cnt_ > 0) {
+      out_->push_back(static_cast<char>(buf_ & 0xFFu));
+      buf_ = 0;
+      cnt_ = 0;
+    }
+  }
+
+ private:
+  std::string* out_;
+  std::uint64_t buf_ = 0;
+  int cnt_ = 0;
+};
+
+void put_fixed_litlen(BitWriter* bw, int sym) {
+  if (sym < 144) {
+    bw->put_code(0x30u + static_cast<std::uint32_t>(sym), 8);
+  } else if (sym < 256) {
+    bw->put_code(0x190u + static_cast<std::uint32_t>(sym - 144), 9);
+  } else if (sym < 280) {
+    bw->put_code(static_cast<std::uint32_t>(sym - 256), 7);
+  } else {
+    bw->put_code(0xC0u + static_cast<std::uint32_t>(sym - 280), 8);
+  }
+}
+
+void put_length(BitWriter* bw, std::size_t len) {
+  int idx = 28;
+  while (idx > 0 && kLengthBase[idx] > len) --idx;
+  put_fixed_litlen(bw, 257 + idx);
+  bw->put(static_cast<std::uint32_t>(len - kLengthBase[idx]),
+          kLengthExtra[idx]);
+}
+
+void put_distance(BitWriter* bw, std::size_t dist) {
+  int idx = 29;
+  while (idx > 0 && kDistBase[idx] > dist) --idx;
+  bw->put_code(static_cast<std::uint32_t>(idx), 5);
+  bw->put(static_cast<std::uint32_t>(dist - kDistBase[idx]), kDistExtra[idx]);
+}
+
+constexpr std::size_t kWindowSize = 32768;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 258;
+constexpr int kHashBits = 15;
+constexpr int kMaxChain = 32;
+
+std::uint32_t hash3(const unsigned char* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Greedy LZ77 + fixed-Huffman encode of `input` as one DEFLATE block.
+void deflate_fixed_block(std::string_view input, BitWriter* bw) {
+  bw->put(1, 1);  // BFINAL
+  bw->put(1, 2);  // BTYPE = 01 (fixed Huffman)
+
+  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
+  const std::size_t n = input.size();
+  std::vector<std::int64_t> head(std::size_t{1} << kHashBits, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  auto insert = [&](std::size_t pos) {
+    if (pos + kMinMatch > n) return;
+    const std::uint32_t h = hash3(data + pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<std::int64_t>(pos);
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const std::size_t max_len = std::min(kMaxMatch, n - i);
+      std::int64_t cand = head[hash3(data + i)];
+      for (int chain = 0; cand >= 0 && chain < kMaxChain; ++chain) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        if (i - c > kWindowSize) break;
+        std::size_t len = 0;
+        while (len < max_len && data[c + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len == max_len) break;
+        }
+        cand = prev[c];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      put_length(bw, best_len);
+      put_distance(bw, best_dist);
+      for (std::size_t j = 0; j < best_len; ++j) insert(i + j);
+      i += best_len;
+    } else {
+      put_fixed_litlen(bw, data[i]);
+      insert(i);
+      ++i;
+    }
+  }
+  put_fixed_litlen(bw, 256);  // end of block
+}
+
+void put_le32(std::string* out, std::uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xFFu));
+  out->push_back(static_cast<char>((value >> 8) & 0xFFu));
+  out->push_back(static_cast<char>((value >> 16) & 0xFFu));
+  out->push_back(static_cast<char>((value >> 24) & 0xFFu));
+}
+
+}  // namespace
+
+bool has_gzip_magic(std::string_view bytes) {
+  return bytes.size() >= 3 && static_cast<unsigned char>(bytes[0]) == 0x1f &&
+         static_cast<unsigned char>(bytes[1]) == 0x8b &&
+         static_cast<unsigned char>(bytes[2]) == 0x08;
+}
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
+  const auto& table = crc_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+InflateResult inflate_member(std::string_view input, std::string* out,
+                             std::uint64_t max_output_bytes) {
+  Output output{out, out->size(), max_output_bytes};
+  try {
+    BitReader br{reinterpret_cast<const unsigned char*>(input.data()),
+                 input.size()};
+    br.pos = parse_gzip_header(input);
+    for (;;) {
+      const std::uint32_t bfinal = br.bits(1);
+      const std::uint32_t btype = br.bits(2);
+      switch (btype) {
+        case 0:
+          inflate_stored(&br, &output);
+          break;
+        case 1:
+          inflate_codes(&br, fixed_litlen_code(), fixed_dist_code(), &output);
+          break;
+        case 2:
+          inflate_dynamic(&br, &output);
+          break;
+        default:
+          bad("reserved DEFLATE block type");
+      }
+      if (bfinal) break;
+    }
+    br.align_to_byte();
+    const unsigned char* trailer = br.bytes(8, "gzip trailer cut short");
+    const std::uint32_t want_crc = read_le32(trailer);
+    const std::uint32_t want_isize = read_le32(trailer + 4);
+    const std::string_view produced(out->data() + output.start,
+                                    out->size() - output.start);
+    if (crc32(produced) != want_crc) bad("gzip CRC32 mismatch");
+    if ((produced.size() & 0xFFFFFFFFu) != want_isize) {
+      bad("gzip ISIZE mismatch");
+    }
+    return InflateResult{InflateStatus::kOk, {}, br.pos};
+  } catch (const InflateError& error) {
+    return InflateResult{error.status, error.detail, 0};
+  }
+}
+
+std::string deflate_member(std::string_view input) {
+  std::string out;
+  // Header + rough worst case for incompressible data under fixed Huffman
+  // (9 bits per literal) so typical members need no reallocation.
+  out.reserve(20 + input.size() + input.size() / 8);
+  const char header[10] = {'\x1f', '\x8b', '\x08', '\0', '\0',
+                           '\0',   '\0',   '\0',   '\0', '\xff'};
+  out.append(header, sizeof(header));
+  BitWriter bw(&out);
+  deflate_fixed_block(input, &bw);
+  bw.finish();
+  put_le32(&out, crc32(input));
+  put_le32(&out, static_cast<std::uint32_t>(input.size() & 0xFFFFFFFFu));
+  return out;
+}
+
+}  // namespace hv::archive::gzip

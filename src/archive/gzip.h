@@ -1,0 +1,83 @@
+// Dependency-free gzip (RFC 1952) / DEFLATE (RFC 1951) codec for per-record
+// WARC members.
+//
+// Real Common Crawl archives store one gzip member per WARC record so that a
+// CDX (offset, length) pair addresses a self-contained compressed frame. This
+// header provides exactly what the archive layer needs to speak that format
+// without an external zlib dependency:
+//
+//   * `inflate_member` — a strict, bounds-checked inflater for one member.
+//     It accepts all three DEFLATE block types (stored, fixed Huffman,
+//     dynamic Huffman) so real crawl data decodes, verifies the CRC32 and
+//     ISIZE trailer, enforces a caller-supplied output cap, and never reads
+//     or writes out of bounds regardless of input. Corruption is classified
+//     as either *truncated* (the member ran out of input bytes; more input
+//     might fix it) or *bad* (the bytes present are self-inconsistent), which
+//     the WARC reader maps onto `ReadErrorKind::kTruncatedGzipMember` /
+//     `kBadGzipMember`.
+//
+//   * `deflate_member` — a small fixed-Huffman-only compressor (greedy LZ77
+//     over the full 32 KiB window) used by `WarcWriter`. It favours
+//     simplicity over ratio; typical HTML records still shrink ~4-5x, and the
+//     output is standard DEFLATE that any decoder (including ours) accepts.
+//
+// The inflater is deliberately paranoid: oversubscribed Huffman code sets,
+// distances that reach before the start of the member, reserved header flag
+// bits, and trailer mismatches are all hard errors. Untrusted archive bytes
+// flow straight into this code (DESIGN.md section 17).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hv::archive::gzip {
+
+/// Minimum byte count that can ever hold a gzip member: 10-byte header,
+/// 2-byte empty fixed-Huffman block, 8-byte trailer.
+inline constexpr std::size_t kMinMemberBytes = 20;
+
+/// True when `bytes` begins with the gzip magic + DEFLATE method marker
+/// (0x1f 0x8b 0x08). Three bytes instead of two keeps stray 0x1f 0x8b pairs
+/// in binary payloads from being mistaken for member boundaries during
+/// resync scans.
+bool has_gzip_magic(std::string_view bytes);
+
+enum class InflateStatus : std::uint8_t {
+  kOk = 0,
+  /// Input ended mid-member; retrying with more appended bytes may succeed.
+  kTruncated,
+  /// The bytes present are not a valid gzip member (bad header, corrupt
+  /// Huffman data, CRC/ISIZE mismatch, output cap exceeded, ...).
+  kBad,
+};
+
+struct InflateResult {
+  InflateStatus status = InflateStatus::kOk;
+  /// Human-readable cause when status != kOk (static or short string).
+  std::string detail;
+  /// Bytes of `input` consumed by the member, valid only when status == kOk.
+  /// A concatenated stream continues at input.substr(consumed).
+  std::size_t consumed = 0;
+};
+
+/// Decompresses exactly one gzip member from the front of `input`, appending
+/// the decompressed bytes to `*out`. On failure `*out` may contain a partial
+/// prefix of the member (callers should treat it as scratch). Decompressed
+/// output beyond `max_output_bytes` fails with kBad ("output cap exceeded")
+/// rather than allocating unboundedly.
+InflateResult inflate_member(std::string_view input, std::string* out,
+                             std::uint64_t max_output_bytes);
+
+/// Compresses `input` into a single complete gzip member (fixed-Huffman
+/// DEFLATE, MTIME=0, OS=unknown) and returns it. Deterministic: identical
+/// input yields identical bytes, which the golden plain-vs-gzip study tests
+/// rely on.
+std::string deflate_member(std::string_view input);
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes`, seeded with `seed` so runs can
+/// be chained. Exposed for tests that hand-build members.
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0);
+
+}  // namespace hv::archive::gzip

@@ -37,6 +37,10 @@ std::string_view to_string(ReadErrorKind kind) noexcept {
       return "truncated-payload";
     case ReadErrorKind::kCdxParse:
       return "cdx-parse";
+    case ReadErrorKind::kBadGzipMember:
+      return "bad-gzip-member";
+    case ReadErrorKind::kTruncatedGzipMember:
+      return "truncated-gzip-member";
   }
   return "unknown";
 }

@@ -25,9 +25,11 @@ enum class ReadErrorKind : std::uint8_t {
   kMissingContentLength,    ///< record header block without Content-Length
   kTruncatedPayload,     ///< payload extends past the end of the stream
   kCdxParse,             ///< malformed CDX index line
+  kBadGzipMember,        ///< gzip member with corrupt header/Huffman/CRC data
+  kTruncatedGzipMember,  ///< gzip member cut off by the end of the stream
 };
 
-inline constexpr std::size_t kReadErrorKindCount = 7;
+inline constexpr std::size_t kReadErrorKindCount = 9;
 
 /// Stable kebab-case name ("bad-version-line", ...), used as a metric
 /// label and in diagnostics.

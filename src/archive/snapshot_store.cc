@@ -1,11 +1,21 @@
 #include "archive/snapshot_store.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "archive/read_error.h"
 #include "obs/metrics.h"
+
+#if !defined(HV_NO_MMAP) && (defined(__unix__) || defined(__APPLE__))
+#define HV_CDX_MMAP_AVAILABLE 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace hv::archive {
 namespace {
@@ -21,6 +31,109 @@ obs::Histogram& cdx_lookup_seconds() {
                                          obs::default_time_buckets());
   return *histogram;
 }
+
+obs::CounterFamily& cdx_loads() {
+  static obs::CounterFamily* const family =
+      &obs::default_registry().counter_family(
+          "hv_archive_cdx_load_total",
+          "CDX index loads, split by backing read path",
+          {"backend"});
+  return *family;
+}
+
+/// Parses one CDX CSV line.  Shared by the mmap and istream loaders so
+/// both reject malformed input with byte-identical ReadError messages.
+CdxEntry parse_cdx_line(std::string_view line, std::uint64_t line_number) {
+  std::size_t pos = 0;
+  const auto take = [&line, &pos, line_number]() -> std::string_view {
+    const std::size_t comma = line.find(kSep, pos);
+    if (comma == std::string_view::npos) {
+      throw ReadError(ReadErrorKind::kCdxParse, line_number,
+                      "expected 5 fields, line is \"" +
+                          std::string(line.substr(0, 64)) + "\"");
+    }
+    const std::string_view field = line.substr(pos, comma - pos);
+    pos = comma + 1;
+    return field;
+  };
+  CdxEntry entry;
+  entry.domain.assign(take());
+  entry.url.assign(take());
+  // std::stoull here used to throw std::invalid_argument with no line
+  // context; the checked parser turns a corrupt index line into a typed
+  // error naming the line.
+  const std::string_view offset_field = take();
+  if (!parse_u64_digits(offset_field, &entry.offset)) {
+    throw ReadError(ReadErrorKind::kCdxParse, line_number,
+                    "bad offset \"" + std::string(offset_field.substr(0, 32)) +
+                        "\"");
+  }
+  const std::string_view length_field = take();
+  if (!parse_u64_digits(length_field, &entry.length)) {
+    throw ReadError(ReadErrorKind::kCdxParse, line_number,
+                    "bad length \"" + std::string(length_field.substr(0, 32)) +
+                        "\"");
+  }
+  entry.content_type.assign(line.substr(pos));  // greedy: may contain commas
+  return entry;
+}
+
+#ifdef HV_CDX_MMAP_AVAILABLE
+
+/// RAII read-only mapping of a whole file.  `open` returns nullopt on any
+/// failure (missing file, not a regular file, mmap refusal) so the caller
+/// can fall back to the istream path with its usual error reporting.
+class MappedFile {
+ public:
+  static std::optional<MappedFile> open(const std::filesystem::path& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return std::nullopt;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (st.st_size == 0) {
+      ::close(fd);
+      return MappedFile(nullptr, 0);  // empty index: nothing to map
+    }
+    void* data = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping holds its own reference
+    if (data == MAP_FAILED) return std::nullopt;
+    return MappedFile(data, static_cast<std::size_t>(st.st_size));
+  }
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&&) = delete;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  ~MappedFile() {
+    if (data_ != nullptr) ::munmap(data_, size_);
+  }
+
+  std::string_view view() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+
+ private:
+  MappedFile(void* data, std::size_t size) : data_(data), size_(size) {}
+
+  void* data_;
+  std::size_t size_;
+};
+
+bool mmap_disabled_by_env() {
+  const char* value = std::getenv("HV_CDX_NO_MMAP");
+  return value != nullptr && *value != '\0';
+}
+
+#endif  // HV_CDX_MMAP_AVAILABLE
 
 }  // namespace
 
@@ -63,46 +176,51 @@ void CdxIndex::save(const std::filesystem::path& path) const {
 }
 
 CdxIndex CdxIndex::load(const std::filesystem::path& path) {
+#ifdef HV_CDX_MMAP_AVAILABLE
+  if (!mmap_disabled_by_env()) {
+    if (auto mapped = MappedFile::open(path)) {
+      cdx_loads().with({"mmap"}).inc();
+      return load_view(mapped->view());
+    }
+  }
+#endif
+  return load_stream(path);
+}
+
+CdxIndex CdxIndex::load_stream(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot read CDX index: " + path.string());
   }
+  cdx_loads().with({"stream"}).inc();
   CdxIndex index;
   std::string line;
   std::uint64_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty()) continue;
-    CdxEntry entry;
-    std::size_t pos = 0;
-    const auto take = [&line, &pos, line_number]() {
-      const std::size_t comma = line.find(kSep, pos);
-      if (comma == std::string::npos) {
-        throw ReadError(ReadErrorKind::kCdxParse, line_number,
-                        "expected 5 fields, line is \"" + line.substr(0, 64) +
-                            "\"");
-      }
-      std::string field = line.substr(pos, comma - pos);
-      pos = comma + 1;
-      return field;
-    };
-    entry.domain = take();
-    entry.url = take();
-    // std::stoull here used to throw std::invalid_argument with no line
-    // context; the checked parser turns a corrupt index line into a typed
-    // error naming the line.
-    const std::string offset_field = take();
-    if (!parse_u64_digits(offset_field, &entry.offset)) {
-      throw ReadError(ReadErrorKind::kCdxParse, line_number,
-                      "bad offset \"" + offset_field.substr(0, 32) + "\"");
+    index.add(parse_cdx_line(line, line_number));
+  }
+  return index;
+}
+
+CdxIndex CdxIndex::load_view(std::string_view text) {
+  CdxIndex index;
+  std::uint64_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line;
+    if (eol == std::string_view::npos) {
+      line = text.substr(pos);
+      pos = text.size();
+    } else {
+      line = text.substr(pos, eol - pos);
+      pos = eol + 1;
     }
-    const std::string length_field = take();
-    if (!parse_u64_digits(length_field, &entry.length)) {
-      throw ReadError(ReadErrorKind::kCdxParse, line_number,
-                      "bad length \"" + length_field.substr(0, 32) + "\"");
-    }
-    entry.content_type = line.substr(pos);  // greedy: may contain commas
-    index.add(std::move(entry));
+    ++line_number;
+    if (line.empty()) continue;
+    index.add(parse_cdx_line(line, line_number));
   }
   return index;
 }
@@ -112,13 +230,23 @@ SnapshotStore::SnapshotStore(std::filesystem::path root)
 
 SnapshotPaths SnapshotStore::paths_for(std::string_view snapshot_label) const {
   const std::filesystem::path dir = root_ / snapshot_label;
-  return {dir / "segment.warc", dir / "index.cdx"};
+  std::filesystem::path warc = dir / "segment.warc";
+  // Prefer the plain layout when present (backwards compatible); resolve
+  // to the compressed one when the snapshot was built with --gzip.
+  std::error_code ec;
+  if (!std::filesystem::exists(warc, ec)) {
+    std::filesystem::path gz = dir / "segment.warc.gz";
+    if (std::filesystem::exists(gz, ec)) warc = std::move(gz);
+  }
+  return {std::move(warc), dir / "index.cdx"};
 }
 
-SnapshotPaths SnapshotStore::create(std::string_view snapshot_label) const {
+SnapshotPaths SnapshotStore::create(std::string_view snapshot_label,
+                                    bool gzip) const {
   const std::filesystem::path dir = root_ / snapshot_label;
   std::filesystem::create_directories(dir);
-  return paths_for(snapshot_label);
+  return {dir / (gzip ? "segment.warc.gz" : "segment.warc"),
+          dir / "index.cdx"};
 }
 
 bool SnapshotStore::exists(std::string_view snapshot_label) const {

@@ -35,14 +35,32 @@ class CdxIndex {
   std::vector<std::string> domains() const;
 
   void save(const std::filesystem::path& path) const;
+
+  /// Loads the index, memory-mapping the file when the platform allows it
+  /// (zero-copy line scan over the mapped bytes — no per-line getline copy,
+  /// and the kernel page cache is shared across workers).  Falls back to
+  /// load_stream() when mmap is unavailable (HV_NO_MMAP builds), disabled
+  /// at runtime (non-empty HV_CDX_NO_MMAP env var), or the map fails.
+  /// Both paths reject malformed lines with identical ReadError kinds,
+  /// line numbers, and messages.
   static CdxIndex load(const std::filesystem::path& path);
+
+  /// Portable istream loader — the mmap fallback.  Public so tests and
+  /// tooling can pin mmap-vs-stream equivalence directly.
+  static CdxIndex load_stream(const std::filesystem::path& path);
+
+  /// Parses CDX lines from an in-memory buffer (the mmap path's core).
+  static CdxIndex load_view(std::string_view text);
 
  private:
   std::vector<CdxEntry> entries_;
   std::map<std::string, std::vector<std::size_t>, std::less<>> by_domain_;
 };
 
-/// One snapshot on disk: <root>/<label>/segment.warc + index.cdx.
+/// One snapshot on disk: <root>/<label>/segment.warc (plain records) or
+/// segment.warc.gz (one gzip member per record) + index.cdx.  The CDX
+/// offsets always address the on-disk byte stream, so both layouts are
+/// range-readable with the same index format.
 struct SnapshotPaths {
   std::filesystem::path warc;
   std::filesystem::path cdx;
@@ -53,9 +71,14 @@ class SnapshotStore {
  public:
   explicit SnapshotStore(std::filesystem::path root);
 
+  /// Resolves the snapshot's file paths, preferring an existing plain
+  /// segment.warc and falling back to segment.warc.gz when only the
+  /// compressed layout is present.
   SnapshotPaths paths_for(std::string_view snapshot_label) const;
-  /// Creates the snapshot directory and returns the file paths.
-  SnapshotPaths create(std::string_view snapshot_label) const;
+  /// Creates the snapshot directory and returns the file paths for the
+  /// requested layout (plain by default, .warc.gz when `gzip` is set).
+  SnapshotPaths create(std::string_view snapshot_label,
+                       bool gzip = false) const;
   bool exists(std::string_view snapshot_label) const;
 
   const std::filesystem::path& root() const noexcept { return root_; }

@@ -1,9 +1,11 @@
 #include "archive/warc.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "archive/gzip.h"
 #include "net/http.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
@@ -12,6 +14,12 @@ namespace hv::archive {
 namespace {
 
 constexpr std::string_view kVersionLine = "WARC/1.0";
+
+/// Inflate cap for one gzip member: the payload cap plus headroom for the
+/// record's own header block, so a legitimate maximal record still decodes
+/// while a decompress bomb hits a hard ceiling.
+constexpr std::uint64_t kMemberInflateCap =
+    kMaxPayloadBytes + 64ull * 1024;
 
 /// Pre-resolved handles into the default registry; one lookup per
 /// process, relaxed atomics afterwards.
@@ -70,6 +78,45 @@ std::string read_line(std::istream& in, std::uint64_t& offset) {
   return line;
 }
 
+/// Applies one "Name: value" header line to `record`, shared by the
+/// streaming (plain) and in-memory (inflated member) record parsers so both
+/// reject input with identical kinds and messages.  Returns the rejecting
+/// kind and fills `*detail` on failure.
+std::optional<ReadErrorKind> apply_header_line(std::string_view line,
+                                               WarcRecord* record,
+                                               std::uint64_t* content_length,
+                                               bool* have_length,
+                                               std::string* detail) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    *detail = "header without ':': \"";
+    detail->append(line.substr(0, 32));
+    detail->append("\"");
+    return ReadErrorKind::kMalformedHeader;
+  }
+  std::string name(line.substr(0, colon));
+  std::string value(line.substr(colon + 1));
+  while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+  if (net::iequals(name, "WARC-Type")) {
+    record->type = value;
+  } else if (net::iequals(name, "WARC-Target-URI")) {
+    record->target_uri = value;
+  } else if (net::iequals(name, "WARC-Date")) {
+    record->date = value;
+  } else if (net::iequals(name, "Content-Length")) {
+    // std::stoull here used to accept "123abc" and throw uncaught on
+    // "abc"; the checked parser rejects both as typed errors.
+    if (!parse_u64_digits(value, content_length)) {
+      *detail = "\"" + value.substr(0, 32) + "\"";
+      return ReadErrorKind::kBadContentLength;
+    }
+    *have_length = true;
+  } else {
+    record->extra_headers.push_back({std::move(name), std::move(value)});
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<std::string_view> WarcRecord::header(
@@ -82,7 +129,8 @@ std::optional<std::string_view> WarcRecord::header(
   return std::nullopt;
 }
 
-WarcWriter::WarcWriter(std::ostream& out) : out_(out) {}
+WarcWriter::WarcWriter(std::ostream& out, WarcCompression compression)
+    : out_(out), compression_(compression) {}
 
 std::uint64_t WarcWriter::write_record(const WarcRecord& record) {
   const std::uint64_t start = offset_;
@@ -101,11 +149,25 @@ std::uint64_t WarcWriter::write_record(const WarcRecord& record) {
   }
   head += "Content-Length: " + std::to_string(record.payload.size()) +
           "\r\n\r\n";
-  out_.write(head.data(), static_cast<std::streamsize>(head.size()));
-  out_.write(record.payload.data(),
-             static_cast<std::streamsize>(record.payload.size()));
-  out_.write("\r\n\r\n", 4);
-  offset_ += head.size() + record.payload.size() + 4;
+  if (compression_ == WarcCompression::kGzip) {
+    // One self-contained member per record, Common Crawl's layout: the
+    // returned offset and the advance of `offset_` both describe the
+    // *compressed* stream, so CDX entries address the member directly.
+    std::string text;
+    text.reserve(head.size() + record.payload.size() + 4);
+    text += head;
+    text += record.payload;
+    text += "\r\n\r\n";
+    const std::string member = gzip::deflate_member(text);
+    out_.write(member.data(), static_cast<std::streamsize>(member.size()));
+    offset_ += member.size();
+  } else {
+    out_.write(head.data(), static_cast<std::streamsize>(head.size()));
+    out_.write(record.payload.data(),
+               static_cast<std::streamsize>(record.payload.size()));
+    out_.write("\r\n\r\n", 4);
+    offset_ += head.size() + record.payload.size() + 4;
+  }
   WarcMetrics::get().records_written.inc();
   WarcMetrics::get().bytes_written.inc(offset_ - start);
   return start;
@@ -185,43 +247,93 @@ std::optional<std::uint64_t> WarcReader::resync(std::uint64_t from_offset) {
   WarcMetrics::get().resyncs.inc();
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(from_offset));
-  std::uint64_t cursor = from_offset;
-  std::string line;
+  // Overlapped chunked byte-scan for either boundary form: a "WARC/1.0"
+  // line start (plain records) or the gzip member magic.  `buf` is a
+  // sliding window whose first byte sits at stream offset `base`; chunks
+  // overlap by the longest pattern so a boundary straddling a chunk edge
+  // is still seen.
+  constexpr std::size_t kChunk = 64 * 1024;
+  constexpr std::size_t kTail = 10;  // "WARC/1.0\r\n"
+  std::string buf;
+  std::uint64_t base = from_offset;
+  std::uint64_t scanned_end = from_offset;
+  std::size_t scan_pos = 0;
   while (true) {
-    const std::uint64_t line_start = cursor;
-    if (in_.peek() == std::char_traits<char>::eof()) break;
-    line = read_line(in_, cursor);
-    if (line.empty() && in_.eof()) break;
-    if (line == kVersionLine) {
-      // Rewind to the boundary so next() re-reads the version line.
-      in_.clear();
-      in_.seekg(static_cast<std::streamoff>(line_start));
-      offset_ = line_start;
-      corrupt_ = false;
-      WarcMetrics::get().resync_skipped_bytes.inc(line_start - from_offset);
-      return line_start;
+    const std::size_t old_size = buf.size();
+    buf.resize(old_size + kChunk);
+    in_.read(buf.data() + old_size, static_cast<std::streamsize>(kChunk));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    buf.resize(old_size + got);
+    scanned_end += got;
+    const bool at_eof = got < kChunk;
+    const std::size_t limit =
+        at_eof ? buf.size()
+               : (buf.size() >= kTail ? buf.size() - kTail + 1 : 0);
+    const std::string_view window(buf);
+    for (std::size_t p = scan_pos; p < limit; ++p) {
+      const std::uint64_t abs = base + p;
+      bool hit = false;
+      if (gzip::has_gzip_magic(window.substr(p))) {
+        hit = true;
+      } else if (abs == from_offset || buf[p - 1] == '\n') {
+        // Candidate line start; must read exactly "WARC/1.0" + CR/LF (a
+        // bare "WARC/1.0" at EOF also counts, matching the line reader).
+        const std::string_view rest = window.substr(p);
+        if (rest.substr(0, kVersionLine.size()) == kVersionLine) {
+          if (rest.size() == kVersionLine.size()) {
+            hit = at_eof;
+          } else {
+            const char after = rest[kVersionLine.size()];
+            hit = after == '\r' || after == '\n';
+          }
+        }
+      }
+      if (hit) {
+        // Rewind to the boundary so next() re-reads it from the stream.
+        in_.clear();
+        in_.seekg(static_cast<std::streamoff>(abs));
+        offset_ = abs;
+        corrupt_ = false;
+        WarcMetrics::get().resync_skipped_bytes.inc(abs - from_offset);
+        return abs;
+      }
     }
+    if (at_eof) break;
+    // Slide: drop scanned bytes but keep one byte of context (for the
+    // line-start check) plus the unscanned tail.
+    const std::size_t keep_from = limit == 0 ? 0 : limit - 1;
+    buf.erase(0, keep_from);
+    base += keep_from;
+    scan_pos = limit - keep_from;
   }
   // No boundary left: park the reader at EOF so next() reports a clean
   // end instead of re-throwing on the same garbage.
-  offset_ = cursor;
+  offset_ = scanned_end;
   corrupt_ = false;
-  WarcMetrics::get().resync_skipped_bytes.inc(cursor - from_offset);
+  WarcMetrics::get().resync_skipped_bytes.inc(scanned_end - from_offset);
   return std::nullopt;
 }
 
 std::optional<WarcRecord> WarcReader::next() {
   HV_PROF_SCOPE("warc_read");
-  std::uint64_t record_start = offset_;
-  // Skip blank separator lines.
-  std::string line;
+  // Skip blank separator bytes between records.  (Byte-wise rather than
+  // line-wise: the next record may be a binary gzip member, not a line.)
   while (true) {
-    if (in_.peek() == std::char_traits<char>::eof()) return std::nullopt;
-    record_start = offset_;
-    line = read_line(in_, offset_);
-    if (!line.empty()) break;
-    if (in_.eof()) return std::nullopt;
+    const int next_char = in_.peek();
+    if (next_char == std::char_traits<char>::eof()) return std::nullopt;
+    if (next_char != '\r' && next_char != '\n') break;
+    in_.get();
+    ++offset_;
   }
+  const std::uint64_t record_start = offset_;
+  if (in_.peek() == 0x1f) {
+    // Gzip member framing, detected per record so mixed archives work.
+    WarcRecord record = next_gzip_record(record_start);
+    WarcMetrics::get().records_read.inc();
+    WarcMetrics::get().bytes_read.inc(offset_ - record_start);
+    return record;
+  }
+  std::string line = read_line(in_, offset_);
   if (line != kVersionLine) {
     fail(ReadErrorKind::kBadVersionLine, record_start,
          "got \"" + line.substr(0, 32) + "\"");
@@ -232,30 +344,10 @@ std::optional<WarcRecord> WarcReader::next() {
   while (true) {
     line = read_line(in_, offset_);
     if (line.empty()) break;
-    const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) {
-      fail(ReadErrorKind::kMalformedHeader, record_start,
-           "header without ':': \"" + line.substr(0, 32) + "\"");
-    }
-    std::string name = line.substr(0, colon);
-    std::string value = line.substr(colon + 1);
-    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
-    if (net::iequals(name, "WARC-Type")) {
-      record.type = value;
-    } else if (net::iequals(name, "WARC-Target-URI")) {
-      record.target_uri = value;
-    } else if (net::iequals(name, "WARC-Date")) {
-      record.date = value;
-    } else if (net::iequals(name, "Content-Length")) {
-      // std::stoull here used to accept "123abc" and throw uncaught on
-      // "abc"; the checked parser rejects both as typed errors.
-      if (!parse_u64_digits(value, &content_length)) {
-        fail(ReadErrorKind::kBadContentLength, record_start,
-             "\"" + value.substr(0, 32) + "\"");
-      }
-      have_length = true;
-    } else {
-      record.extra_headers.push_back({std::move(name), std::move(value)});
+    std::string detail;
+    if (const auto kind = apply_header_line(line, &record, &content_length,
+                                            &have_length, &detail)) {
+      fail(*kind, record_start, detail);
     }
   }
   if (!have_length) {
@@ -295,6 +387,105 @@ std::optional<WarcRecord> WarcReader::next() {
   }
   WarcMetrics::get().records_read.inc();
   WarcMetrics::get().bytes_read.inc(offset_ - record_start);
+  return record;
+}
+
+WarcRecord WarcReader::next_gzip_record(std::uint64_t record_start) {
+  // Accumulate compressed bytes in readahead chunks until a whole member
+  // inflates; the member length isn't known up front (CDX callers seek to
+  // the offset but the reader stays self-describing).  Most members fit in
+  // the first chunk, so the retry loop is cold.
+  constexpr std::size_t kChunk = 64 * 1024;
+  member_buf_.clear();
+  gzip::InflateResult result;
+  while (true) {
+    const std::size_t old_size = member_buf_.size();
+    member_buf_.resize(old_size + kChunk);
+    in_.read(member_buf_.data() + old_size,
+             static_cast<std::streamsize>(kChunk));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    member_buf_.resize(old_size + got);
+    const bool no_more = got < kChunk;
+    inflate_buf_.clear();
+    result = gzip::inflate_member(member_buf_, &inflate_buf_,
+                                  kMemberInflateCap);
+    if (result.status == gzip::InflateStatus::kOk) break;
+    if (result.status == gzip::InflateStatus::kBad) {
+      fail(ReadErrorKind::kBadGzipMember, record_start, result.detail);
+    }
+    if (no_more) {
+      fail(ReadErrorKind::kTruncatedGzipMember, record_start, result.detail);
+    }
+  }
+  // Reposition at the first byte after the member: bytes past `consumed`
+  // were readahead belonging to the next record.  (Requires a seekable
+  // stream, which every archive source here is.)
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(record_start + result.consumed));
+  offset_ = record_start + result.consumed;
+  return parse_record_text(inflate_buf_, record_start);
+}
+
+WarcRecord WarcReader::parse_record_text(std::string_view text,
+                                         std::uint64_t report_offset) {
+  std::size_t pos = 0;
+  bool saw_line = false;
+  auto next_line = [&]() -> std::string_view {
+    if (pos >= text.size()) {
+      saw_line = false;
+      return {};
+    }
+    saw_line = true;
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line;
+    if (eol == std::string_view::npos) {
+      line = text.substr(pos);
+      pos = text.size();
+    } else {
+      line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    return line;
+  };
+
+  std::string_view line = next_line();
+  if (!saw_line || line != kVersionLine) {
+    fail(ReadErrorKind::kBadVersionLine, report_offset,
+         "got \"" + std::string(line.substr(0, 32)) + "\"");
+  }
+  WarcRecord record;
+  std::uint64_t content_length = 0;
+  bool have_length = false;
+  while (true) {
+    line = next_line();
+    if (!saw_line) {
+      fail(ReadErrorKind::kMalformedHeader, report_offset,
+           "member ends inside the header block");
+    }
+    if (line.empty()) break;
+    std::string detail;
+    if (const auto kind = apply_header_line(line, &record, &content_length,
+                                            &have_length, &detail)) {
+      fail(*kind, report_offset, detail);
+    }
+  }
+  if (!have_length) {
+    fail(ReadErrorKind::kMissingContentLength, report_offset, {});
+  }
+  if (content_length > kMaxPayloadBytes) {
+    fail(ReadErrorKind::kOversizedContentLength, report_offset,
+         std::to_string(content_length) + " > cap " +
+             std::to_string(kMaxPayloadBytes));
+  }
+  const std::uint64_t remaining = text.size() - pos;
+  if (content_length > remaining) {
+    fail(ReadErrorKind::kTruncatedPayload, report_offset,
+         "length " + std::to_string(content_length) + " exceeds the " +
+             std::to_string(remaining) + " bytes left in the member");
+  }
+  record.payload.assign(
+      text.substr(pos, static_cast<std::size_t>(content_length)));
   return record;
 }
 

@@ -10,9 +10,17 @@
 //   <Content-Length bytes of payload> CRLF CRLF
 //
 // For "response" records the payload is a verbatim HTTP response message
-// (parsed by hv::net::parse_http_response).  Compression is out of scope
-// (DESIGN.md section 5): Common Crawl ships gzip members, we ship plain
-// records — the framing, indexing, and range-read logic is identical.
+// (parsed by hv::net::parse_http_response).  Two on-disk framings are
+// supported (DESIGN.md sections 5 and 17):
+//
+//   * plain    — records written verbatim, offsets into the raw stream;
+//   * gzip     — one gzip member per record, Common Crawl's real layout,
+//                where CDX offsets/lengths address the *compressed* stream
+//                and each member is independently decodable.
+//
+// WarcWriter picks the framing at construction; WarcReader detects it per
+// record from the gzip magic bytes, so mixed archives and transparent reads
+// of either layout work with the same code path.
 #pragma once
 
 #include <cstdint>
@@ -26,10 +34,14 @@
 
 namespace hv::archive {
 
-/// Sanity cap on a record's Content-Length claim.  Common Crawl truncates
-/// response payloads at 1 MiB; anything claiming more than this is a
-/// corrupt or hostile header, and rejecting it up front keeps a rewritten
-/// length from driving an unbounded payload allocation.
+/// Sanity cap on a record's Content-Length claim: 256 MiB.  (Common Crawl
+/// truncates response *payloads* far earlier — historically at 1 MiB — but
+/// the framing cap is deliberately looser so oversized-yet-real records
+/// still parse.)  Anything claiming more than this is a corrupt or hostile
+/// header, and rejecting it up front keeps a rewritten length from driving
+/// an unbounded payload allocation.  The same cap bounds how many bytes a
+/// single gzip member may inflate to, so a tiny corrupt frame cannot
+/// decompress-bomb the reader.
 inline constexpr std::uint64_t kMaxPayloadBytes = 256ull * 1024 * 1024;
 
 struct WarcHeader {
@@ -47,10 +59,20 @@ struct WarcRecord {
   std::optional<std::string_view> header(std::string_view name) const;
 };
 
-/// Streams records into an ostream with correct framing and offsets.
+/// On-disk framing emitted by WarcWriter.
+enum class WarcCompression : std::uint8_t {
+  kNone = 0,  ///< plain-text records (the .warc layout)
+  kGzip,      ///< one gzip member per record (the .warc.gz layout)
+};
+
+/// Streams records into an ostream with correct framing and offsets.  In
+/// gzip mode each record is deflated as a self-contained member, and the
+/// reported offsets/lengths are those of the *compressed* bytes — exactly
+/// what the CDX index must store for range reads of .warc.gz archives.
 class WarcWriter {
  public:
-  explicit WarcWriter(std::ostream& out);
+  explicit WarcWriter(std::ostream& out,
+                      WarcCompression compression = WarcCompression::kNone);
 
   /// Writes a warcinfo record describing the archive (software, label).
   void write_warcinfo(std::string_view snapshot_label);
@@ -68,6 +90,7 @@ class WarcWriter {
   std::uint64_t write_record(const WarcRecord& record);
 
   std::ostream& out_;
+  WarcCompression compression_;
   std::uint64_t offset_ = 0;
   std::uint64_t record_counter_ = 0;
 };
@@ -77,12 +100,15 @@ class WarcReader {
  public:
   explicit WarcReader(std::istream& in);
 
-  /// Reads the next record; nullopt at clean EOF.  Throws
-  /// archive::ReadError (a std::runtime_error) on framing corruption —
-  /// bad version line, malformed header, bad/oversized Content-Length,
-  /// truncated payload — with the offending kind and record offset
-  /// attached.  After a throw the reader is in a corrupt state; call
-  /// seek() or resync() before reading again.
+  /// Reads the next record; nullopt at clean EOF.  A record starting with
+  /// the gzip magic bytes is transparently inflated first (one member per
+  /// record); plain records are parsed in place.  Throws archive::ReadError
+  /// (a std::runtime_error) on framing corruption — bad version line,
+  /// malformed header, bad/oversized Content-Length, truncated payload,
+  /// bad/truncated gzip member — with the offending kind and record offset
+  /// attached (for gzip records the offset of the *member*, i.e. the CDX
+  /// offset).  After a throw the reader is in a corrupt state; call seek()
+  /// or resync() before reading again.
   std::optional<WarcRecord> next();
 
   /// Byte offset of the record that `next` would read.
@@ -92,10 +118,13 @@ class WarcReader {
   void seek(std::uint64_t offset);
 
   /// Corruption recovery: scans forward from `from_offset` for the next
-  /// line that is exactly "WARC/1.0" (a record boundary), leaves the
-  /// reader positioned there, and returns that offset — or std::nullopt
-  /// when no further boundary exists before EOF.  Sequential consumers
-  /// call this after a ReadError to skip the corrupt region and continue.
+  /// record boundary — a line that is exactly "WARC/1.0", or the gzip
+  /// member magic (0x1f 0x8b 0x08) — leaves the reader positioned there,
+  /// and returns that offset, or std::nullopt when no further boundary
+  /// exists before EOF.  Sequential consumers call this after a ReadError
+  /// to skip the corrupt region and continue.  A magic match inside a
+  /// binary payload can be a false positive; callers already loop
+  /// (next/resync) so a bad candidate just costs one more ReadError.
   std::optional<std::uint64_t> resync(std::uint64_t from_offset);
 
  private:
@@ -104,6 +133,15 @@ class WarcReader {
   [[noreturn]] void fail(ReadErrorKind kind, std::uint64_t offset,
                          std::string_view detail);
 
+  /// Reads + inflates the gzip member starting at `record_start` (stream
+  /// already positioned there) and parses the record inside it.
+  WarcRecord next_gzip_record(std::uint64_t record_start);
+
+  /// Parses one record from decompressed (or in-memory) text; errors are
+  /// reported at `report_offset`, the member's compressed-stream offset.
+  WarcRecord parse_record_text(std::string_view text,
+                               std::uint64_t report_offset);
+
   std::istream& in_;
   std::uint64_t offset_ = 0;
   /// Total stream size when the stream is seekable (files, stringstreams);
@@ -111,6 +149,9 @@ class WarcReader {
   std::optional<std::uint64_t> stream_size_;
   /// Set when next() threw: offset_ no longer matches the stream position.
   bool corrupt_ = false;
+  /// Scratch buffers reused across gzip records to avoid per-record churn.
+  std::string member_buf_;
+  std::string inflate_buf_;
 };
 
 }  // namespace hv::archive

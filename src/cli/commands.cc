@@ -43,7 +43,7 @@ constexpr int kUsage = 2;
 
 // Bumped per release; `hv version` also reports which hot-path backend
 // this build selected so perf numbers are attributable (DESIGN.md §14).
-constexpr std::string_view kHvVersion = "0.9.0";
+constexpr std::string_view kHvVersion = "0.10.0";
 
 std::optional<std::string> read_input(const std::string& path,
                                       std::istream& in, std::ostream& err) {
@@ -117,7 +117,7 @@ void print_usage(std::ostream& out) {
          "        [--live-out FILE] [--stall-after SEC] [--slow-pages N]\n"
          "        [--hard-stall-after SEC] [--timeseries-out FILE]\n"
          "        [--results-out FILE] [--csv-out FILE] [--years A-B]\n"
-         "        [--max-errors N] [--strict]\n"
+         "        [--max-errors N] [--strict] [--gzip]\n"
          "        [--profile-out FILE] [--profile-hz N]\n"
          "                             run the full longitudinal study; "
          "--profile-out\n"
@@ -153,7 +153,8 @@ void print_usage(std::ostream& out) {
          "[--max-cpu-share-drift PTS]\n"
          "                             diff two run reports; exit 1 on "
          "regressions\n"
-         "  warc list <file.warc>      index the records of an archive\n"
+         "  warc list <file.warc[.gz]> index the records of an archive\n"
+         "                             (plain or per-record-gzip framing)\n"
          "  warc cat <file> <offset>   print one record's HTTP body\n"
          "  serve [--port N] [--bind ADDR] [--threads N]\n"
          "        [--results results.hv] [--max-body BYTES]\n"
@@ -167,6 +168,8 @@ void print_usage(std::ostream& out) {
          "[--truncate-tail]\n"
          "                             corrupt records for fault-injection "
          "testing\n"
+         "                             (.warc.gz inputs get compressed-frame "
+         "bit flips)\n"
          "  version                    print the hv version and the "
          "selected SIMD\n"
          "                             backend (sse2|neon|scalar)\n"
@@ -311,6 +314,10 @@ bool parse_study_options(const std::vector<std::string>& args,
     } else if (args[i] == "--strict") {
       // First corrupt record aborts the run (DESIGN.md section 12).
       options->config.max_errors = 0;
+    } else if (args[i] == "--gzip") {
+      // Common Crawl's real framing: one gzip member per record, CDX
+      // offsets into the compressed stream (DESIGN.md section 17).
+      options->config.gzip_archives = true;
     } else if (args[i] == "--results-out") {
       const auto value = required(&i, "a path");
       if (!value) return false;

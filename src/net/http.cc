@@ -65,7 +65,80 @@ std::optional<std::size_t> parse_header_block(std::string_view message,
   return message.size();
 }
 
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Strict UTF-8 well-formedness (RFC 3629 table): overlong encodings,
+/// surrogates, and sequences past U+10FFFF are malformed.  Local to
+/// hv::net on purpose — pulling in html/utf8_dfa.h would invert the
+/// layering (hv_html links hv_net for the crawl path, not vice versa).
+bool utf8_well_formed(std::string_view bytes) {
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    const auto b0 = static_cast<unsigned char>(bytes[i]);
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    }
+    std::size_t len = 0;
+    unsigned char lo = 0x80, hi = 0xBF;  // bounds for the second byte
+    if (b0 >= 0xC2 && b0 <= 0xDF) {
+      len = 2;
+    } else if (b0 == 0xE0) {
+      len = 3;
+      lo = 0xA0;  // excludes overlong 3-byte forms
+    } else if ((b0 >= 0xE1 && b0 <= 0xEC) || b0 == 0xEE || b0 == 0xEF) {
+      len = 3;
+    } else if (b0 == 0xED) {
+      len = 3;
+      hi = 0x9F;  // excludes UTF-16 surrogates
+    } else if (b0 == 0xF0) {
+      len = 4;
+      lo = 0x90;  // excludes overlong 4-byte forms
+    } else if (b0 >= 0xF1 && b0 <= 0xF3) {
+      len = 4;
+    } else if (b0 == 0xF4) {
+      len = 4;
+      hi = 0x8F;  // excludes code points past U+10FFFF
+    } else {
+      return false;  // 0x80-0xC1 (continuation/overlong lead) or 0xF5+
+    }
+    if (bytes.size() - i < len) return false;
+    const auto b1 = static_cast<unsigned char>(bytes[i + 1]);
+    if (b1 < lo || b1 > hi) return false;
+    for (std::size_t k = 2; k < len; ++k) {
+      const auto bk = static_cast<unsigned char>(bytes[i + k]);
+      if (bk < 0x80 || bk > 0xBF) return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool percent_decode_path(std::string_view path, std::string* out) {
+  out->clear();
+  out->reserve(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const char c = path[i];
+    if (c != '%') {
+      out->push_back(c);
+      continue;
+    }
+    if (path.size() - i < 3) return false;  // truncated escape
+    const int high = hex_value(path[i + 1]);
+    const int low = hex_value(path[i + 2]);
+    if (high < 0 || low < 0) return false;  // non-hex escape
+    out->push_back(static_cast<char>((high << 4) | low));
+    i += 2;
+  }
+  return utf8_well_formed(*out);
+}
 
 bool iequals(std::string_view a, std::string_view b) noexcept {
   if (a.size() != b.size()) return false;
@@ -214,6 +287,12 @@ std::optional<HttpRequest> parse_http_request(std::string_view message,
   request.http_version = std::string(trim(rest.substr(sp2 + 1)));
   if (!request.http_version.starts_with("HTTP/")) {
     return fail("not an HTTP request", sp1 + 1 + sp2 + 1);
+  }
+  // Decode the path once, here, so every consumer routes on the same
+  // normalized bytes; a target whose escapes don't decode cleanly is a
+  // malformed request, full stop.
+  if (!percent_decode_path(request.path(), &request.decoded_path)) {
+    return fail("invalid percent-escape in request target", sp1 + 1);
   }
 
   std::size_t error_offset = 0;

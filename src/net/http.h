@@ -64,7 +64,17 @@ struct HttpRequest : MessageHead {
   std::string target;  ///< origin-form request target, e.g. "/check?fix=1"
   std::string_view body;  ///< view into the input buffer
 
-  /// Request target split at the '?': path and (undecoded) query string.
+  /// path() with percent-escapes decoded, filled by parse_http_request.
+  /// Routing must compare against this, not the raw path: "/query/domain/
+  /// alph%61.example" names the same resource as ".../alpha.example".
+  /// Parsing rejects the whole request when the path contains an invalid
+  /// or truncated escape, or when the decoded bytes are not well-formed
+  /// UTF-8 (overlong encodings like %C0%AF included) — a path that
+  /// decodes ambiguously must never reach routing.
+  std::string decoded_path;
+
+  /// Request target split at the '?': raw path and (undecoded) query
+  /// string.
   std::string_view path() const;
   std::string_view query() const;
 };
@@ -103,5 +113,12 @@ std::string build_http_request(std::string_view method,
 
 /// ASCII case-insensitive string equality.
 bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Percent-decodes a request path into `*out`.  Returns false on an
+/// invalid or truncated escape ("%G1", trailing "%2"), or when the decoded
+/// byte sequence is not well-formed UTF-8 — overlong encodings, surrogate
+/// code points, and out-of-range sequences are all rejected, closing the
+/// classic "%C0%AF slips past a '/' check" normalization hole.
+bool percent_decode_path(std::string_view path, std::string* out);
 
 }  // namespace hv::net

@@ -215,12 +215,18 @@ void StudyPipeline::build_archives() {
         PipelineMetrics::get().stage_seconds.with({"build_archives", label}));
     const std::size_t stage = health_.stage_begin(
         "build_archives", std::string(label), generator_.domains().size());
-    const archive::SnapshotPaths paths = snapshots_.create(label);
+    const archive::SnapshotPaths paths =
+        snapshots_.create(label, config_.gzip_archives);
     std::ofstream warc_out(paths.warc, std::ios::binary);
     if (!warc_out) {
       throw std::runtime_error("cannot create WARC: " + paths.warc.string());
     }
-    archive::WarcWriter writer(warc_out);
+    // Note: the framing is deliberately absent from the config hash — it
+    // changes how bytes sit on disk, not what the study measures, and the
+    // plain-vs-gzip golden tests assert identical reports.
+    archive::WarcWriter writer(warc_out, config_.gzip_archives
+                                             ? archive::WarcCompression::kGzip
+                                             : archive::WarcCompression::kNone);
     writer.write_warcinfo(label);
     archive::CdxIndex index;
     const std::string date =

@@ -51,6 +51,13 @@ struct PipelineConfig {
   /// hide behind the other's crawl+check.  Doubles peak thread count.
   bool overlap_snapshots = false;
 
+  /// When true, build_archives writes Common Crawl's real framing — one
+  /// gzip member per record (segment.warc.gz), CDX offsets into the
+  /// compressed stream.  The read path auto-detects the layout per
+  /// record, and study results are byte-identical either way (pinned by
+  /// tests and tools/check_gzip_warc.sh).
+  bool gzip_archives = false;
+
   /// Snapshot range run_all covers: year indices in [year_begin,
   /// year_end].  The default is all eight; a partial run saved with
   /// --results-out can be combined with its complement via

@@ -269,7 +269,30 @@ void Server::handle_connection(int fd) {
       break;
     }
 
-    const std::string_view endpoint = endpoint_label(request->path());
+    // Route on the decoded path: percent-encoded spellings of an endpoint
+    // ("/query/domain/alph%61.example") must hit the same handler and the
+    // same metric label as the literal one.  Invalid escapes never get
+    // this far — parse_http_request already rejected them as 400s.
+    const std::string_view endpoint = endpoint_label(request->decoded_path);
+
+    // A transfer-encoded body (chunked or otherwise) has no Content-Length
+    // to frame it.  Treating it as zero-length would leave the chunked
+    // payload in the buffer to be parsed as the *next* request head — a
+    // keep-alive desync serving confusing 400s — so refuse loudly and
+    // drop the connection before touching the body bytes.
+    if (request->header("Transfer-Encoding").has_value()) {
+      const std::string response = net::build_http_response(
+          501, "Not Implemented",
+          {{"Content-Type", "text/plain; charset=utf-8"},
+           {"Connection", "close"}},
+          "transfer encodings are not supported; send Content-Length\n");
+      if (send_all(fd, response)) {
+        metrics.bytes_out.inc(response.size());
+      }
+      metrics.requests.with({endpoint, "501"}).inc();
+      break;
+    }
+
     const std::uint64_t sequence =
         request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     // The flight-recorder breadcrumb: the in-flight request takes the
@@ -353,7 +376,7 @@ void Server::handle_connection(int fd) {
 
 Server::Response Server::handle_request(const net::HttpRequest& request,
                                         std::string_view body) const {
-  const std::string_view path = request.path();
+  const std::string_view path = request.decoded_path;
 
   if (path == "/healthz") {
     if (request.method != "GET") {

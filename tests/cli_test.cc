@@ -458,6 +458,56 @@ TEST(CliWarc, MutateInjectsFaultsAndListResyncs) {
   std::filesystem::remove(out_path);
 }
 
+TEST(CliWarc, ListCatAndMutateSpeakPerRecordGzip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "hv_cli_test.warc.gz";
+  const auto mutated_path =
+      std::filesystem::temp_directory_path() / "hv_cli_mutated.warc.gz";
+  std::uint64_t second_offset = 0;
+  {
+    std::ofstream file(path, std::ios::binary);
+    archive::WarcWriter writer(file, archive::WarcCompression::kGzip);
+    writer.write_warcinfo("CC-TEST-GZ");
+    writer.write_response(
+        "https://a.example/", "2020-01-01T00:00:00Z",
+        net::build_http_response(200, "OK", {{"Content-Type", "text/html"}},
+                                 "<p>first</p>"));
+    second_offset = writer.write_response(
+        "https://b.example/x", "2020-01-01T00:00:00Z",
+        net::build_http_response(200, "OK", {{"Content-Type", "text/html"}},
+                                 "<p>second</p>"));
+  }
+
+  const CliResult listing = run_cli({"warc", "list", path.string()});
+  EXPECT_EQ(listing.exit_code, 0) << listing.err;
+  EXPECT_NE(listing.out.find("warcinfo"), std::string::npos);
+  EXPECT_NE(listing.out.find("https://b.example/x"), std::string::npos);
+
+  // `warc cat` seeks straight to the compressed member's offset.
+  const CliResult cat = run_cli(
+      {"warc", "cat", path.string(), std::to_string(second_offset)});
+  EXPECT_EQ(cat.exit_code, 0) << cat.err;
+  EXPECT_EQ(cat.out, "<p>second</p>");
+
+  // Mutation flips bits inside the compressed frames; listing the result
+  // reports the corrupt records and resyncs past them.
+  const CliResult mutate =
+      run_cli({"warc", "mutate", path.string(), mutated_path.string(),
+               "--rate", "1", "--seed", "3"});
+  EXPECT_EQ(mutate.exit_code, 0) << mutate.err;
+  EXPECT_NE(mutate.out.find("mutated 2 of 2 response record(s)"),
+            std::string::npos)
+      << mutate.out;
+  EXPECT_NE(mutate.out.find("gzip-frame-corrupt"), std::string::npos)
+      << mutate.out;
+  const CliResult relisting = run_cli({"warc", "list", mutated_path.string()});
+  EXPECT_EQ(relisting.exit_code, 0) << relisting.err;
+  EXPECT_NE(relisting.out.find("corrupt"), std::string::npos)
+      << relisting.out;
+  std::filesystem::remove(path);
+  std::filesystem::remove(mutated_path);
+}
+
 TEST(CliStudy, CorruptArchiveQuarantinesOrAbortsUnderStrict) {
   const auto workdir =
       std::filesystem::temp_directory_path() / "hv_cli_corrupt_study";

@@ -170,6 +170,65 @@ TEST(HttpRequestBuild, RoundTrip) {
   EXPECT_EQ(request->body, "<p>x</p>");
 }
 
+TEST(PercentDecode, DecodesEscapesAndPassesPlainBytes) {
+  std::string out;
+  ASSERT_TRUE(percent_decode_path("/query/domain/alph%61.example", &out));
+  EXPECT_EQ(out, "/query/domain/alpha.example");
+  ASSERT_TRUE(percent_decode_path("/a%20b%2Fc", &out));
+  EXPECT_EQ(out, "/a b/c");
+  ASSERT_TRUE(percent_decode_path("/plain", &out));
+  EXPECT_EQ(out, "/plain");
+  // Hex digits are case-insensitive.
+  ASSERT_TRUE(percent_decode_path("/%2f%2F", &out));
+  EXPECT_EQ(out, "///");
+}
+
+TEST(PercentDecode, AcceptsWellFormedUtf8) {
+  std::string out;
+  ASSERT_TRUE(percent_decode_path("/caf%C3%A9", &out));  // é
+  EXPECT_EQ(out, "/caf\xC3\xA9");
+  EXPECT_TRUE(percent_decode_path("/%E2%9C%93", &out));      // ✓ (3 bytes)
+  EXPECT_TRUE(percent_decode_path("/%F0%9F%98%80", &out));   // 😀 (4 bytes)
+}
+
+TEST(PercentDecode, RejectsInvalidAndTruncatedEscapes) {
+  std::string out;
+  EXPECT_FALSE(percent_decode_path("/%G1", &out));  // not hex
+  EXPECT_FALSE(percent_decode_path("/%2", &out));   // one digit short
+  EXPECT_FALSE(percent_decode_path("/%", &out));    // bare escape
+}
+
+TEST(PercentDecode, RejectsNonWellFormedUtf8) {
+  std::string out;
+  // The classic overlong "/" that slips past naive path checks.
+  EXPECT_FALSE(percent_decode_path("/%C0%AF", &out));
+  EXPECT_FALSE(percent_decode_path("/%C1%81", &out));      // overlong lead
+  EXPECT_FALSE(percent_decode_path("/%E0%80%AF", &out));   // overlong 3-byte
+  EXPECT_FALSE(percent_decode_path("/%ED%A0%80", &out));   // UTF-16 surrogate
+  EXPECT_FALSE(percent_decode_path("/%F4%90%80%80", &out));  // > U+10FFFF
+  EXPECT_FALSE(percent_decode_path("/%FF", &out));         // invalid lead
+  EXPECT_FALSE(percent_decode_path("/%C3", &out));  // truncated sequence
+}
+
+TEST(HttpRequestParse, FillsDecodedPath) {
+  const auto request = parse_http_request(
+      "GET /query/domain/alph%61.example?x=%zz HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->path(), "/query/domain/alph%61.example");  // raw
+  EXPECT_EQ(request->decoded_path, "/query/domain/alpha.example");
+  // Only the path is decoded; the query stays raw, so "%zz" there is fine.
+  EXPECT_EQ(request->query(), "x=%zz");
+}
+
+TEST(HttpRequestParse, RejectsRequestsWithBadPathEscapes) {
+  HttpParseError error;
+  EXPECT_FALSE(
+      parse_http_request("GET /%G1 HTTP/1.1\r\n\r\n", &error).has_value());
+  EXPECT_NE(error.message.find("percent-escape"), std::string::npos);
+  EXPECT_FALSE(parse_http_request("GET /%C0%AF HTTP/1.1\r\n\r\n")
+                   .has_value());  // overlong UTF-8 never reaches routing
+}
+
 TEST(Iequals, Basics) {
   EXPECT_TRUE(iequals("Content-Type", "content-type"));
   EXPECT_FALSE(iequals("a", "ab"));

@@ -244,7 +244,8 @@ TEST(StudyPipeline, AllTwentyRulesAppearInPerRuleMetrics) {
 /// domain (resolved through each snapshot's CDX index).
 std::array<std::map<std::string, std::uint32_t>, kYearCount>
 corrupt_archives(const std::filesystem::path& workdir, double rate,
-                 std::uint64_t seed, std::size_t* total_faults) {
+                 std::uint64_t seed, std::size_t* total_faults,
+                 const char* segment = "segment.warc") {
   std::array<std::map<std::string, std::uint32_t>, kYearCount> per_domain;
   *total_faults = 0;
   for (int y = 0; y < kYearCount; ++y) {
@@ -252,7 +253,7 @@ corrupt_archives(const std::filesystem::path& workdir, double rate,
     const auto dir = workdir / label;
     std::string bytes;
     {
-      std::ifstream in(dir / "segment.warc", std::ios::binary);
+      std::ifstream in(dir / segment, std::ios::binary);
       std::stringstream buffer;
       buffer << in.rdbuf();
       bytes = buffer.str();
@@ -260,8 +261,7 @@ corrupt_archives(const std::filesystem::path& workdir, double rate,
     const archive::FaultPlan plan = archive::inject_faults(
         &bytes, {rate, seed + static_cast<std::uint64_t>(y), false});
     {
-      std::ofstream out(dir / "segment.warc",
-                        std::ios::binary | std::ios::trunc);
+      std::ofstream out(dir / segment, std::ios::binary | std::ios::trunc);
       out << bytes;
     }
     const archive::CdxIndex index = archive::CdxIndex::load(dir / "index.cdx");
@@ -352,6 +352,75 @@ TEST(StudyPipeline, CorruptedArchiveIsQuarantinedNotFatal) {
             filter_csv(clean_csv.str(), quarantined_domains));
 
   std::filesystem::remove_all(clean_config.workdir);
+  std::filesystem::remove_all(config.workdir);
+}
+
+TEST(StudyPipeline, GzipArchivesProduceByteIdenticalResults) {
+  // Compression changes the bytes on disk, never the measurement: the
+  // full mini study over per-record-gzip archives must emit a CSV that is
+  // byte-identical to the plain-framing run of the same corpus.
+  PipelineConfig plain_config = mini_config("gzcmp_plain");
+  StudyPipeline plain(plain_config);
+  plain.run_all();
+  std::ostringstream plain_csv;
+  plain.results_view().write_csv(plain_csv);
+
+  PipelineConfig gzip_config = mini_config("gzcmp_gz");
+  gzip_config.gzip_archives = true;
+  StudyPipeline compressed(gzip_config);
+  compressed.run_all();
+  std::ostringstream gzip_csv;
+  compressed.results_view().write_csv(gzip_csv);
+
+  EXPECT_EQ(gzip_csv.str(), plain_csv.str());
+  EXPECT_EQ(compressed.counters().records_read, plain.counters().records_read);
+  EXPECT_EQ(compressed.counters().pages_checked,
+            plain.counters().pages_checked);
+
+  // And the compressed layout really is the one on disk — smaller, with
+  // no plain segment next to it.
+  const auto label = report::kSnapshotLabels[0];
+  EXPECT_FALSE(std::filesystem::exists(
+      gzip_config.workdir / label / "segment.warc"));
+  const auto gz_path = gzip_config.workdir / label / "segment.warc.gz";
+  ASSERT_TRUE(std::filesystem::exists(gz_path));
+  EXPECT_LT(std::filesystem::file_size(gz_path),
+            std::filesystem::file_size(plain_config.workdir / label /
+                                       "segment.warc"));
+
+  std::filesystem::remove_all(plain_config.workdir);
+  std::filesystem::remove_all(gzip_config.workdir);
+}
+
+TEST(StudyPipeline, CorruptedGzipArchiveIsQuarantinedNotFatal) {
+  // Same reconciliation as the plain-framing quarantine test, but the
+  // faults are bit flips inside compressed frames and the reader reports
+  // them as bad/truncated gzip members.
+  PipelineConfig config = mini_config("gzquar");
+  config.gzip_archives = true;
+  {
+    StudyPipeline builder(config);
+    builder.build_archives();
+  }
+  std::size_t total_faults = 0;
+  const auto per_domain = corrupt_archives(config.workdir, 0.05, 17,
+                                           &total_faults, "segment.warc.gz");
+  ASSERT_GT(total_faults, 0u);
+
+  StudyPipeline pipeline(config);
+  pipeline.run_all();  // must complete despite the corruption
+
+  EXPECT_EQ(pipeline.counters().records_quarantined, total_faults);
+  const store::StudyView& view = pipeline.results_view();
+  EXPECT_EQ(view.total_records_quarantined(), total_faults);
+  for (int y = 0; y < kYearCount; ++y) {
+    for (const auto& [domain, count] :
+         per_domain[static_cast<std::size_t>(y)]) {
+      const auto index = view.find_domain(domain);
+      ASSERT_TRUE(index.has_value()) << domain;
+      EXPECT_EQ(view.errors(*index, y), count) << domain << " year " << y;
+    }
+  }
   std::filesystem::remove_all(config.workdir);
 }
 

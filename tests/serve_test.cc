@@ -339,6 +339,78 @@ TEST(ServeTest, QueryEndpointsMatchTheSharedRenderers) {
   EXPECT_EQ(response->body, expected_csv.str());
 }
 
+TEST(ServeTest, PercentEncodedDomainQueryHitsLikeTheLiteralSpelling) {
+  // "/query/domain/alph%61.example" names the same resource as
+  // ".../alpha.example"; routing on the raw target used to 404 it.
+  ServerConfig config;
+  config.results = &shared_view();
+  ServerFixture fixture(config);
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(client.send(net::build_http_request(
+      "GET", "/query/domain/alpha.example", {}, "")));
+  const auto literal = client.read_response();
+  ASSERT_TRUE(literal.has_value());
+  ASSERT_EQ(literal->status_code, 200);
+  const std::string expected(literal->body);
+
+  ASSERT_TRUE(client.send(net::build_http_request(
+      "GET", "/query/domain/alph%61.example", {}, "")));
+  const auto encoded = client.read_response();
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(encoded->status_code, 200);
+  EXPECT_EQ(encoded->body, expected);
+}
+
+TEST(ServeTest, InvalidPathEscapesAre400) {
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send(net::build_http_request(
+      "GET", "/query/domain/alph%G1.example", {}, "")));
+  auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 400);
+
+  // Overlong UTF-8 ("%C0%AF" is an overlong '/') is rejected outright
+  // rather than decoded into something no literal path could spell.
+  Client second(fixture.server.port());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.send(net::build_http_request(
+      "GET", "/%C0%AF", {}, "")));
+  response = second.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 400);
+}
+
+TEST(ServeTest, ChunkedTransferEncodingIs501AndCloses) {
+  // A chunked request has no Content-Length; treating it as a zero-length
+  // body used to leave the chunk payload in the connection buffer, where
+  // it was parsed as the next request head (keep-alive desync).  The
+  // chunk payload below is itself a well-formed pipelined request — if
+  // the server ever desyncs, it answers it and the test sees a second,
+  // bogus response instead of EOF.
+  ServerFixture fixture;
+  Client client(fixture.server.port());
+  ASSERT_TRUE(client.ok());
+  const std::string smuggled = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  std::ostringstream request;
+  request << "POST /check HTTP/1.1\r\nHost: t\r\n"
+          << "Content-Type: text/html\r\n"
+          << "Transfer-Encoding: chunked\r\n\r\n"
+          << std::hex << smuggled.size() << "\r\n" << smuggled << "\r\n"
+          << "0\r\n\r\n";
+  ASSERT_TRUE(client.send(request.str()));
+  const auto response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status_code, 501);
+  ASSERT_TRUE(response->header("Connection").has_value());
+  EXPECT_TRUE(net::iequals(*response->header("Connection"), "close"));
+  // Exactly one response, then EOF: the smuggled request was never served.
+  EXPECT_TRUE(client.at_eof());
+}
+
 TEST(ServeTest, ConcurrentQueriesAgainstSealedViewAreConsistent) {
   ServerConfig config;
   config.results = &shared_view();

@@ -91,6 +91,35 @@ grep "aborted" "$tmp_dir/strict.err" >/dev/null || {
 }
 echo "(--strict aborted, as intended)"
 
+echo "== compressed corpus: same reconciliation over .warc.gz frames =="
+# shellcheck disable=SC2086
+"$hv_bin" study $study_args --gzip --workdir "$tmp_dir/corpus_gz" >/dev/null
+: > "$tmp_dir/faults_gz.txt"
+for warc in "$tmp_dir"/corpus_gz/*/segment.warc.gz; do
+  "$hv_bin" warc mutate "$warc" "$warc" \
+    --rate "$mutate_rate" --seed "$mutate_seed" \
+    | grep '^fault ' >> "$tmp_dir/faults_gz.txt" || true
+done
+injected_gz="$(wc -l < "$tmp_dir/faults_gz.txt" | tr -d ' ')"
+if [ "$injected_gz" -eq 0 ]; then
+  echo "check_fault_injection: FAIL (mutator injected no gzip faults)"
+  exit 1
+fi
+grep 'gzip-frame-corrupt' "$tmp_dir/faults_gz.txt" >/dev/null || {
+  echo "check_fault_injection: FAIL (faults on .warc.gz were not frame flips)"
+  exit 1
+}
+echo "(injected $injected_gz gzip-frame faults)"
+# shellcheck disable=SC2086
+"$hv_bin" study $study_args --gzip --workdir "$tmp_dir/corpus_gz" \
+  > "$tmp_dir/corrupt_gz.out"
+grep "quarantined: $injected_gz corrupt record(s)" "$tmp_dir/corrupt_gz.out" \
+  >/dev/null || {
+  echo "check_fault_injection: FAIL (gzip quarantine count != injected)"
+  grep "quarantined:" "$tmp_dir/corrupt_gz.out" || echo "(no quarantine line)"
+  exit 1
+}
+
 echo "== bad numeric flags must be usage errors, not crashes =="
 if "$hv_bin" study --threads bananas >/dev/null 2>&1; then
   echo "check_fault_injection: FAIL (--threads bananas was accepted)"

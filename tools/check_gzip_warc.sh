@@ -1,0 +1,112 @@
+#!/usr/bin/env sh
+# Compressed-archive gate (DESIGN.md section 17): per-record-gzip WARC
+# framing and the mmap'd CDX loader must change bytes on disk, never the
+# measurement.
+#
+# Four layers:
+#   1. Golden equivalence: `hv study --gzip` over the same corpus seed
+#      must emit a CSV byte-identical to the plain-framing run.
+#   2. The compressed layout really compresses: every segment.warc.gz is
+#      smaller than its plain counterpart.
+#   3. mmap fallback: re-running the study with HV_CDX_NO_MMAP=1 (istream
+#      CDX loads) must reproduce the same CSV byte-for-byte.
+#   4. Fault reconciliation: bit flips inside compressed frames
+#      (hv warc mutate on .warc.gz) quarantine exactly 1:1 against the
+#      printed fault plan.
+#
+# Usage: tools/check_gzip_warc.sh [build-dir]   (default: build)
+# Set HV_CHECK_NO_MMAP_BUILD=1 to additionally verify a -DHV_NO_MMAP=ON
+# build produces the same CSV (slow: configures a second build tree).
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+study_args="--domains 50 --pages 2 --seed 17 --threads 4"
+
+echo "== building hv =="
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target hv >/dev/null
+hv_bin="$build_dir/tools/hv"
+
+echo "== plain-framing baseline study =="
+# shellcheck disable=SC2086  # study_args is a word list by design
+"$hv_bin" study $study_args --workdir "$tmp_dir/plain" \
+  --csv-out "$tmp_dir/plain.csv" >/dev/null
+
+echo "== same study over per-record-gzip archives =="
+# shellcheck disable=SC2086
+"$hv_bin" study $study_args --gzip --workdir "$tmp_dir/gz" \
+  --csv-out "$tmp_dir/gz.csv" >/dev/null
+cmp "$tmp_dir/plain.csv" "$tmp_dir/gz.csv" || {
+  echo "check_gzip_warc: FAIL (gzip study CSV differs from plain run)"
+  exit 1
+}
+
+echo "== compressed segments must be smaller than plain ones =="
+for gz in "$tmp_dir"/gz/*/segment.warc.gz; do
+  snapshot="$(basename "$(dirname "$gz")")"
+  plain="$tmp_dir/plain/$snapshot/segment.warc"
+  gz_size="$(wc -c < "$gz" | tr -d ' ')"
+  plain_size="$(wc -c < "$plain" | tr -d ' ')"
+  if [ "$gz_size" -ge "$plain_size" ]; then
+    echo "check_gzip_warc: FAIL ($snapshot: $gz_size >= $plain_size bytes)"
+    exit 1
+  fi
+done
+
+echo "== HV_CDX_NO_MMAP=1 (istream CDX loads) must reproduce the CSV =="
+# shellcheck disable=SC2086
+HV_CDX_NO_MMAP=1 "$hv_bin" study $study_args --gzip \
+  --workdir "$tmp_dir/gz" --csv-out "$tmp_dir/gz_nommap.csv" >/dev/null
+cmp "$tmp_dir/gz.csv" "$tmp_dir/gz_nommap.csv" || {
+  echo "check_gzip_warc: FAIL (stream-backend CDX load changed the CSV)"
+  exit 1
+}
+
+echo "== compressed-frame faults must quarantine 1:1 with the plan =="
+: > "$tmp_dir/faults.txt"
+for gz in "$tmp_dir"/gz/*/segment.warc.gz; do
+  "$hv_bin" warc mutate "$gz" "$gz" --rate 0.05 --seed 23 \
+    | grep '^fault ' >> "$tmp_dir/faults.txt" || true
+done
+injected="$(wc -l < "$tmp_dir/faults.txt" | tr -d ' ')"
+if [ "$injected" -eq 0 ]; then
+  echo "check_gzip_warc: FAIL (mutator injected no faults)"
+  exit 1
+fi
+grep 'gzip-frame-corrupt' "$tmp_dir/faults.txt" >/dev/null || {
+  echo "check_gzip_warc: FAIL (no gzip-frame-corrupt faults on a .warc.gz)"
+  exit 1
+}
+echo "(injected $injected faults)"
+# shellcheck disable=SC2086
+"$hv_bin" study $study_args --gzip --workdir "$tmp_dir/gz" \
+  > "$tmp_dir/corrupt.out"
+grep "quarantined: $injected corrupt record(s)" "$tmp_dir/corrupt.out" \
+  >/dev/null || {
+  echo "check_gzip_warc: FAIL (quarantine count != injected faults)"
+  grep "quarantined:" "$tmp_dir/corrupt.out" || echo "(no quarantine line)"
+  exit 1
+}
+
+if [ "${HV_CHECK_NO_MMAP_BUILD:-0}" = "1" ]; then
+  echo "== -DHV_NO_MMAP=ON build must reproduce the CSV =="
+  nommap_dir="$tmp_dir/build_nommap"
+  cmake -S "$repo_root" -B "$nommap_dir" -DHV_NO_MMAP=ON >/dev/null
+  cmake --build "$nommap_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target hv >/dev/null
+  # shellcheck disable=SC2086
+  "$nommap_dir/tools/hv" study $study_args --gzip \
+    --workdir "$tmp_dir/gz_nommap_build" \
+    --csv-out "$tmp_dir/gz_nommap_build.csv" >/dev/null
+  cmp "$tmp_dir/gz.csv" "$tmp_dir/gz_nommap_build.csv" || {
+    echo "check_gzip_warc: FAIL (HV_NO_MMAP build changed the CSV)"
+    exit 1
+  }
+fi
+
+echo "check_gzip_warc: OK"
